@@ -1,0 +1,222 @@
+//! The ADARANK baseline: Xu & Li's boosting algorithm \[40\] adapted to
+//! OPT as the paper describes (Section VI-A).
+//!
+//! Weak rankers are single attributes. Each round selects the attribute
+//! with the best distribution-weighted performance, adds it with weight
+//! `α_t`, and re-weights tuples toward those the current combination
+//! ranks badly. Performance of a ranker on tuple `r` is
+//! `1 − |ρ(r) − π(r)| / (n − 1)` — the position-error-based measure the
+//! paper substitutes for IR metrics.
+//!
+//! The paper observes a characteristic failure mode on NBA data: one
+//! attribute correlates so strongly with the given ranking that it is
+//! selected in every round, so boosting degenerates to a single weak
+//! ranker. The implementation deliberately reproduces this (no forced
+//! diversity), because the evaluation depends on it.
+
+use crate::{Fitted, Instance};
+
+/// AdaRank configuration.
+#[derive(Clone, Debug)]
+pub struct AdaRankConfig {
+    /// Boosting rounds.
+    pub rounds: usize,
+}
+
+impl Default for AdaRankConfig {
+    fn default() -> Self {
+        AdaRankConfig { rounds: 10 }
+    }
+}
+
+/// Per-attribute min/max spans used to put weak rankers on a common
+/// scale; the returned weight vector is mapped back to raw-attribute
+/// space (ranking-equivalent).
+struct Scaling {
+    lo: Vec<f64>,
+    span: Vec<f64>,
+}
+
+fn scaling(inst: &Instance<'_>) -> Scaling {
+    let m = inst.m();
+    let mut lo = vec![f64::INFINITY; m];
+    let mut hi = vec![f64::NEG_INFINITY; m];
+    for row in inst.rows {
+        for j in 0..m {
+            lo[j] = lo[j].min(row[j]);
+            hi[j] = hi[j].max(row[j]);
+        }
+    }
+    let span = lo
+        .iter()
+        .zip(&hi)
+        .map(|(l, h)| if h - l > 0.0 { h - l } else { 1.0 })
+        .collect();
+    Scaling { lo, span }
+}
+
+/// Performance ∈ [0, 1] of scoring function `scores` on ranked tuple `r`.
+fn tuple_performance(inst: &Instance<'_>, scores: &[f64], r: usize) -> f64 {
+    let rho = rankhow_ranking::rank_of_in(scores, r, inst.tol.eps) as i64;
+    let pi = inst.given.position(r).unwrap() as i64;
+    let denom = (inst.n() as f64 - 1.0).max(1.0);
+    1.0 - (rho - pi).unsigned_abs() as f64 / denom
+}
+
+/// Run AdaRank and return the boosted linear scoring function.
+pub fn fit(inst: &Instance<'_>, cfg: &AdaRankConfig) -> Fitted {
+    let m = inst.m();
+    let top = inst.given.top_k();
+    let k = top.len();
+    let scale = scaling(inst);
+
+    // Normalized per-attribute score columns (weak rankers).
+    let weak_scores: Vec<Vec<f64>> = (0..m)
+        .map(|j| {
+            inst.rows
+                .iter()
+                .map(|row| (row[j] - scale.lo[j]) / scale.span[j])
+                .collect()
+        })
+        .collect();
+
+    // Distribution over ranked tuples.
+    let mut dist = vec![1.0 / k as f64; k];
+    // Accumulated α per attribute (normalized space).
+    let mut alpha = vec![0.0f64; m];
+
+    for _round in 0..cfg.rounds {
+        // Select the weak ranker with max weighted performance.
+        let (best_attr, _) = (0..m)
+            .map(|j| {
+                let perf: f64 = top
+                    .iter()
+                    .zip(&dist)
+                    .map(|(&r, &p)| p * tuple_performance(inst, &weak_scores[j], r))
+                    .sum();
+                (j, perf)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+
+        // α_t from the weighted performance of the chosen ranker.
+        let num: f64 = top
+            .iter()
+            .zip(&dist)
+            .map(|(&r, &p)| p * (1.0 + tuple_performance(inst, &weak_scores[best_attr], r)))
+            .sum();
+        let den: f64 = top
+            .iter()
+            .zip(&dist)
+            .map(|(&r, &p)| p * (1.0 - tuple_performance(inst, &weak_scores[best_attr], r)))
+            .sum();
+        let a_t = 0.5 * ((num.max(1e-12)) / (den.max(1e-12))).ln();
+        if !a_t.is_finite() || a_t <= 0.0 {
+            break;
+        }
+        alpha[best_attr] += a_t;
+
+        // Combined scores so far (normalized space) drive re-weighting.
+        let combined: Vec<f64> = (0..inst.n())
+            .map(|i| {
+                (0..m)
+                    .map(|j| alpha[j] * weak_scores[j][i])
+                    .sum()
+            })
+            .collect();
+        let mut z = 0.0;
+        for (slot, &r) in top.iter().enumerate() {
+            let perf = tuple_performance(inst, &combined, r);
+            dist[slot] = (-perf).exp();
+            z += dist[slot];
+        }
+        dist.iter_mut().for_each(|d| *d /= z);
+    }
+
+    // Map the normalized-space weights back to raw attributes: scoring
+    // Σ α_j (x_j − lo_j)/span_j equals Σ (α_j/span_j) x_j + const.
+    let mut weights: Vec<f64> = alpha.iter().zip(&scale.span).map(|(a, s)| a / s).collect();
+    let total: f64 = weights.iter().sum();
+    if total > 0.0 {
+        weights.iter_mut().for_each(|w| *w /= total);
+    } else {
+        weights = vec![1.0 / m as f64; m];
+    }
+    let error = inst.evaluate(&weights);
+    Fitted { weights, error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_ranking::{GivenRanking, Tolerances};
+
+    #[test]
+    fn single_informative_attribute_dominates() {
+        // Attribute 0 generates the ranking exactly; attribute 1 is
+        // noise. AdaRank should pick attribute 0 (repeatedly) and achieve
+        // zero error — the paper's degenerate-selection behaviour.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, ((i * 31) % 20) as f64])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let given = GivenRanking::from_scores(&scores, 20, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let f = fit(&inst, &AdaRankConfig::default());
+        assert_eq!(f.error, 0);
+        assert!(
+            f.weights[0] > 0.9,
+            "informative attribute should dominate: {:?}",
+            f.weights
+        );
+    }
+
+    #[test]
+    fn weights_normalized_and_nonnegative() {
+        let rows: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![(i % 5) as f64, (i % 3) as f64, (i % 7) as f64])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| r[0] + r[1] + r[2]).collect();
+        let given = GivenRanking::from_scores(&scores, 6, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let f = fit(&inst, &AdaRankConfig::default());
+        let sum: f64 = f.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(f.weights.iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn more_rounds_never_catastrophic() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![((i * 7) % 30) as f64, ((i * 11) % 30) as f64])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| 0.6 * r[0] + 0.4 * r[1]).collect();
+        let given = GivenRanking::from_scores(&scores, 10, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let short = fit(&inst, &AdaRankConfig { rounds: 2 });
+        let long = fit(&inst, &AdaRankConfig { rounds: 25 });
+        // Boosting is a heuristic — no guarantee of improvement — but it
+        // must stay bounded and produce valid output.
+        assert!(long.error <= short.error + 10);
+    }
+
+    #[test]
+    fn scale_invariance_of_returned_ranking() {
+        // Multiplying an attribute by 1000 must not change the *ranking*
+        // produced by the fitted function (internal normalization).
+        let rows_a: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64, ((i * 5) % 12) as f64])
+            .collect();
+        let rows_b: Vec<Vec<f64>> = rows_a
+            .iter()
+            .map(|r| vec![r[0] * 1000.0, r[1]])
+            .collect();
+        let scores: Vec<f64> = rows_a.iter().map(|r| r[0] + r[1]).collect();
+        let given = GivenRanking::from_scores(&scores, 12, 0.0).unwrap();
+        let ia = Instance::new(&rows_a, &given, Tolerances::exact());
+        let ib = Instance::new(&rows_b, &given, Tolerances::exact());
+        let fa = fit(&ia, &AdaRankConfig::default());
+        let fb = fit(&ib, &AdaRankConfig::default());
+        assert_eq!(fa.error, fb.error);
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared problem view and helpers for all baselines.
+
+use rankhow_ranking::{evaluate_weights, GivenRanking, Tolerances};
+
+/// A borrowed view of one OPT instance: the relation, the given ranking,
+/// and the comparison tolerances.
+#[derive(Clone, Copy, Debug)]
+pub struct Instance<'a> {
+    /// Tuple rows (each of length `m`).
+    pub rows: &'a [Vec<f64>],
+    /// The given ranking `π`.
+    pub given: &'a GivenRanking,
+    /// Tie/precision tolerances.
+    pub tol: Tolerances,
+}
+
+impl<'a> Instance<'a> {
+    /// Construct, validating shape.
+    pub fn new(rows: &'a [Vec<f64>], given: &'a GivenRanking, tol: Tolerances) -> Self {
+        assert_eq!(rows.len(), given.len(), "rows vs ranking length");
+        assert!(!rows.is_empty());
+        Instance { rows, given, tol }
+    }
+
+    /// Number of tuples.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of attributes.
+    pub fn m(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Position error (Definition 3) of a weight vector under `ε`.
+    pub fn evaluate(&self, weights: &[f64]) -> u64 {
+        evaluate_weights(self.rows, self.given, weights, self.tol.eps)
+    }
+}
+
+/// A fitted linear scoring function with its measured error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fitted {
+    /// Weight vector (length `m`). Baselines may return weights off the
+    /// probability simplex (e.g. plain regression with negatives); the
+    /// error is measured on the function as returned.
+    pub weights: Vec<f64>,
+    /// Position error of `weights` on the instance it was fitted to.
+    pub error: u64,
+}
+
+/// The indicator pair list of Equation (2): one `(s, r)` pair for every
+/// ranked tuple `r` and every other tuple `s`.
+pub fn indicator_pairs(given: &GivenRanking) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(given.k() * (given.len() - 1));
+    for &r in given.top_k() {
+        for s in 0..given.len() {
+            if s != r {
+                pairs.push((s, r));
+            }
+        }
+    }
+    pairs
+}
+
+/// Euclidean projection of a vector onto the probability simplex
+/// `{w : w ≥ 0, Σw = 1}` (Duchi et al.'s O(n log n) algorithm). Used by
+/// the subgradient path of ordinal regression and by seed cleanup.
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    assert!(n > 0);
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.total_cmp(a));
+    let mut css = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let t = (css - 1.0) / (i + 1) as f64;
+        if ui - t > 0.0 {
+            rho = i;
+            theta = t;
+        }
+    }
+    let _ = rho;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_ranking::GivenRanking;
+
+    #[test]
+    fn instance_shape_checks() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let given = GivenRanking::from_positions(vec![Some(1), None]).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.m(), 1);
+        assert_eq!(inst.evaluate(&[1.0]), 1); // tuple 1 outscores tuple 0
+    }
+
+    #[test]
+    fn pair_enumeration_counts() {
+        let given =
+            GivenRanking::from_positions(vec![Some(1), Some(2), None, None]).unwrap();
+        let pairs = indicator_pairs(&given);
+        // k·(n−1) = 2·3 = 6 pairs.
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(1, 0)) && pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(2, 0)) && pairs.contains(&(3, 1)));
+        // No self pairs.
+        assert!(pairs.iter().all(|&(s, r)| s != r));
+    }
+
+    #[test]
+    fn simplex_projection_properties() {
+        for v in [
+            vec![0.2, 0.3, 0.5],
+            vec![1.0, 1.0, 1.0],
+            vec![-1.0, 2.0, 0.5],
+            vec![0.0, 0.0],
+            vec![10.0],
+        ] {
+            let p = project_to_simplex(&v);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{v:?} -> {p:?}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+        // Already on the simplex: unchanged.
+        let p = project_to_simplex(&[0.25, 0.75]);
+        assert!((p[0] - 0.25).abs() < 1e-12 && (p[1] - 0.75).abs() < 1e-12);
+        // Dominated by one huge coordinate: becomes a vertex.
+        let p = project_to_simplex(&[100.0, 0.0, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+    }
+}

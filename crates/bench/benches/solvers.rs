@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks for the solver stack: LP simplex, generic
+//! MILP, the specialized exact solver, SYM-GD cell solves, pair
+//! reduction/constant folding, and exact verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rankhow_bench::setups;
+use rankhow_core::formulation;
+use rankhow_core::{seeding, RankHow, SolverConfig, SymGd, SymGdConfig};
+use rankhow_lp::{Op, Problem, Sense};
+use rankhow_milp::MilpProblem;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn lp_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    for &size in &[5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::new("dense_lp", size), &size, |b, &size| {
+            b.iter(|| {
+                let mut p = Problem::new(Sense::Maximize);
+                let vars: Vec<_> = (0..size)
+                    .map(|i| p.add_var(&format!("x{i}"), 0.0, 10.0, 1.0 + (i % 3) as f64))
+                    .collect();
+                for r in 0..size {
+                    let terms: Vec<(usize, f64)> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, 1.0 + ((i + r) % 5) as f64))
+                        .collect();
+                    p.add_constraint(&terms, Op::Le, 50.0 + r as f64);
+                }
+                black_box(p.solve().unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn milp_small(c: &mut Criterion) {
+    c.bench_function("milp_knapsack_14", |b| {
+        b.iter(|| {
+            let mut m = MilpProblem::new(Sense::Maximize);
+            let vars: Vec<_> = (0..14)
+                .map(|i| m.add_binary(&format!("b{i}"), ((i * 7) % 5) as f64 + 1.0))
+                .collect();
+            let terms: Vec<(usize, f64)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + ((i * 3) % 4) as f64))
+                .collect();
+            m.add_constraint(&terms, Op::Le, 15.0);
+            black_box(m.solve().unwrap())
+        });
+    });
+}
+
+fn rankhow_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rankhow_exact");
+    group.sample_size(10);
+    for &(n, k) in &[(200usize, 3usize), (500, 4)] {
+        let problem = setups::nba_problem(n, 5, k);
+        group.bench_with_input(
+            BenchmarkId::new("nba", format!("n{n}_k{k}")),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    let sol = RankHow::with_config(SolverConfig {
+                        time_limit: Some(Duration::from_secs(30)),
+                        ..SolverConfig::default()
+                    })
+                    .solve(p)
+                    .unwrap();
+                    black_box(sol.error)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn symgd_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symgd");
+    group.sample_size(10);
+    let problem = setups::nba_problem(1_000, 5, 6);
+    let seed = seeding::ordinal_seed(&problem);
+    for &cell in &[0.01f64, 0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::new("cell", cell), &cell, |b, &cell| {
+            b.iter(|| {
+                let res = SymGd::with_config(SymGdConfig {
+                    cell_size: cell,
+                    adaptive: false,
+                    max_iterations: 5,
+                    ..SymGdConfig::default()
+                })
+                .solve(&problem, &seed)
+                .unwrap();
+                black_box(res.error)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constant_folding");
+    for &n in &[1_000usize, 10_000] {
+        let problem = setups::nba_problem(n, 5, 6);
+        group.bench_with_input(BenchmarkId::new("global", n), &problem, |b, p| {
+            b.iter(|| black_box(formulation::reduce_global(p).pairs.len()));
+        });
+        // Tiny cell: nearly everything folds.
+        let lo = vec![0.19; 5];
+        let hi = vec![0.21; 5];
+        group.bench_with_input(BenchmarkId::new("cell_0.02", n), &problem, |b, p| {
+            b.iter(|| black_box(formulation::reduce_against_box(p, &lo, &hi).pairs.len()));
+        });
+    }
+    group.finish();
+}
+
+fn verification(c: &mut Criterion) {
+    let problem = setups::nba_problem(2_000, 5, 6);
+    let w = vec![0.2; 5];
+    c.bench_function("verify_exact_n2000", |b| {
+        b.iter(|| black_box(rankhow_core::verify::verify(&problem, &w).unwrap()));
+    });
+    c.bench_function("evaluate_f64_n2000", |b| {
+        b.iter(|| black_box(problem.evaluate(&w)));
+    });
+}
+
+criterion_group!(
+    benches,
+    lp_simplex,
+    milp_small,
+    rankhow_exact,
+    symgd_cell,
+    reduction,
+    verification
+);
+criterion_main!(benches);

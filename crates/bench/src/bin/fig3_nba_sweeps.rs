@@ -1,0 +1,96 @@
+//! Figures 3b/3c/3d: NBA parameter sweeps — error per tuple while
+//! varying k, n, and m (Table II grids). AdaRank is omitted on NBA as in
+//! the paper (its error is off the chart — see Section VI-C).
+//!
+//! Paper shapes:
+//! - vs k (3b): error grows with k for everyone; RankHow lowest;
+//! - vs n (3c): RankHow/OR/Sampling stay flat (extra ⊥ tuples barely
+//!   matter); LinearRegression degrades fastest;
+//! - vs m (3d): more attributes → error falls; RankHow monotonically
+//!   non-increasing, reaching perfect rankings at large m.
+
+use rankhow_bench::params::table2;
+use rankhow_bench::report::{fmt_secs, print_series};
+use rankhow_bench::{methods::run_method, setups, Method, Scale};
+use std::time::Duration;
+
+fn methods(scale: Scale, rankhow_time: Duration) -> Vec<Method> {
+    vec![
+        Method::RankHow {
+            budget: scale.solver_budget(),
+        },
+        Method::OrdinalRegression,
+        Method::LinearRegression,
+        Method::Sampling {
+            budget: rankhow_time.max(Duration::from_millis(50)).min(scale.sampling_cap()),
+        },
+    ]
+}
+
+fn sweep(scale: Scale, title: &str, configs: &[(usize, usize, usize)], x_label: &str) {
+    let names = ["RankHow", "Ordinal Regression", "Linear Regression", "Sampling"];
+    let mut points = Vec::new();
+    for &(n, m, k) in configs {
+        let problem = setups::nba_problem(n, m, k);
+        // RankHow first: its time budgets Sampling (Section VI-C).
+        let rh = run_method(
+            &problem,
+            &Method::RankHow {
+                budget: scale.solver_budget(),
+            },
+        );
+        let mut row = vec![format!("{:.3}", rh.error_per_tuple)];
+        for method in &methods(scale, rh.time)[1..] {
+            let r = run_method(&problem, method);
+            row.push(format!("{:.3}", r.error_per_tuple));
+        }
+        row.push(fmt_secs(rh.time.as_secs_f64()));
+        let x = match x_label {
+            "k" => k,
+            "n" => n,
+            _ => m,
+        };
+        points.push((x.to_string(), row));
+        eprintln!("  {x_label}={x} done");
+    }
+    let mut headers: Vec<&str> = names.to_vec();
+    headers.push("RankHow time");
+    print_series(title, x_label, &headers, &points);
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 3b/3c/3d — NBA sweeps — scale: {}", scale.label());
+
+    // 3b: vary k (n, m at defaults).
+    let n = scale.nba_n();
+    let configs_k: Vec<(usize, usize, usize)> = table2::NBA_K
+        .iter()
+        .map(|&k| (n, table2::NBA_M_DEFAULT, k))
+        .collect();
+    sweep(scale, "Fig. 3b — error/tuple vs k (NBA)", &configs_k, "k");
+
+    // 3c: vary n.
+    let ns = match scale {
+        Scale::Quick => table2::NBA_N_QUICK,
+        Scale::Full => table2::NBA_N_FULL,
+    };
+    let configs_n: Vec<(usize, usize, usize)> = ns
+        .iter()
+        .map(|&n| (n, table2::NBA_M_DEFAULT, table2::NBA_K_DEFAULT))
+        .collect();
+    sweep(scale, "Fig. 3c — error/tuple vs n (NBA)", &configs_n, "n");
+
+    // 3d: vary m.
+    let configs_m: Vec<(usize, usize, usize)> = table2::NBA_M
+        .iter()
+        .map(|&m| (n, m, table2::NBA_K_DEFAULT))
+        .collect();
+    sweep(scale, "Fig. 3d — error/tuple vs m (NBA)", &configs_m, "m");
+
+    println!(
+        "\npaper shapes: (3b) error grows with k, RankHow lowest; \
+         (3c) flat in n except LinearRegression; (3d) error falls with m, \
+         RankHow monotone."
+    );
+}

@@ -1,0 +1,85 @@
+//! Figures 3m/3n/3o: generalizability — SYM-GD error with and without
+//! derived attributes (`A_i²`) as the hidden ranking function's exponent
+//! grows from 2 to 5, on the three synthetic distributions.
+//!
+//! Paper shape: with only the original attributes, error stays ≤ ~1.1
+//! per tuple; adding derived squares cuts it further at moderately
+//! higher time — on correlated data all the way to perfect rankings.
+
+use rankhow_bench::params::table2;
+use rankhow_bench::report::{fmt_secs, print_series};
+use rankhow_bench::{setups, Scale};
+use rankhow_core::{seeding, SymGd, SymGdConfig};
+use rankhow_data::synthetic::Distribution;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 3m/3n/3o — generalizability — scale: {}", scale.label());
+    let n = scale.synthetic_n();
+    let k = 10;
+    let replicas: u64 = scale.replicas();
+
+    for dist in Distribution::all() {
+        let mut points = Vec::new();
+        for &p in &table2::SYN_EXPONENTS {
+            let mut cells = Vec::new();
+            for derived in [false, true] {
+                let mut err_sum = 0.0;
+                let mut time_sum = 0.0;
+                for replica in 0..replicas {
+                    let problem = setups::synthetic_problem(
+                        dist,
+                        replica,
+                        n,
+                        table2::SYN_M,
+                        k,
+                        p,
+                        derived,
+                    );
+                    let seed = seeding::ordinal_seed(&problem);
+                    let start = std::time::Instant::now();
+                    let res = SymGd::with_config(SymGdConfig {
+                    cell_size: 0.01,
+                    adaptive: false,
+                    max_iterations: 12,
+                    cell_time_limit: Some(std::time::Duration::from_secs(3)),
+                    ..SymGdConfig::default()
+                })
+                    .solve(&problem, &seed)
+                    .expect("symgd");
+                    err_sum += res.error as f64 / k as f64;
+                    time_sum += start.elapsed().as_secs_f64();
+                }
+                cells.push(format!("{:.3}", err_sum / replicas as f64));
+                cells.push(fmt_secs(time_sum / replicas as f64));
+            }
+            points.push((p.to_string(), cells));
+            eprintln!("  {} p={p} done", dist.name());
+        }
+        print_series(
+            &format!(
+                "Fig. 3{} — {} data, ranking Σ A_i^p, n={}",
+                match dist {
+                    Distribution::Uniform => 'm',
+                    Distribution::Correlated => 'n',
+                    Distribution::AntiCorrelated => 'o',
+                },
+                dist.name(),
+                n
+            ),
+            "exponent p",
+            &[
+                "E w/o derived",
+                "T w/o derived",
+                "E w/ derived",
+                "T w/ derived",
+            ],
+            &points,
+        );
+    }
+    println!(
+        "\npaper shape: low error with original attributes; derived A_i² \
+         squares reduce it further (perfect on correlated data) at \
+         moderately higher time."
+    );
+}

@@ -1,0 +1,75 @@
+//! Run the complete evaluation suite (all tables and figures) at the
+//! selected scale, printing Table II first. Equivalent to invoking every
+//! per-figure binary in order.
+
+use rankhow_bench::report::{print_table, Table};
+use rankhow_bench::Scale;
+use std::process::Command;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# RankHow evaluation suite — scale: {}", scale.label());
+
+    // Table II: the parameter grid.
+    let mut t2 = Table::new(&["Parameter", "NBA", "CSRankings", "Synthetic"]);
+    t2.row(vec![
+        "k".into(),
+        "2,3,4,5,[6]".into(),
+        "5,[10],15,20,25".into(),
+        "5,[10],15,20,25".into(),
+    ]);
+    t2.row(vec![
+        "n".into(),
+        format!("…,{} (full: 22840)", scale.nba_n()),
+        "100..628".into(),
+        format!("{} (full: 1000000)", scale.synthetic_n()),
+    ]);
+    t2.row(vec![
+        "m".into(),
+        "4,[5],6,7,8".into(),
+        "5,[10],…,27".into(),
+        "5".into(),
+    ]);
+    t2.row(vec![
+        "distribution".into(),
+        "generator (real-world-like)".into(),
+        "generator (real-world-like)".into(),
+        "uniform, correlated, anti-correlated".into(),
+    ]);
+    t2.row(vec![
+        "given ranking".into(),
+        "MP*PER / MVP votes".into(),
+        "geometric mean".into(),
+        "ΣA_i^p, p ∈ 2..5".into(),
+    ]);
+    print_table("Table II — parameter settings ([x] = default)", &t2);
+
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let args: Vec<String> = if scale == Scale::Full {
+        vec!["--full".to_string()]
+    } else {
+        vec![]
+    };
+    for bin in [
+        "case_study_mvp",
+        "fig3a_big_picture",
+        "fig3_nba_sweeps",
+        "fig3_csr_sweeps",
+        "table3_numerical",
+        "fig3h_approx_quality",
+        "fig3i_cell_size",
+        "fig3jkl_scalability",
+        "fig3mno_generalizability",
+    ] {
+        println!("\n{}\n=== {bin} ===", "=".repeat(68));
+        let status = Command::new(bin_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("warning: {bin} exited with {status}");
+        }
+    }
+    println!("\nAll experiments complete.");
+}

@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every table and figure of the RankHow
+//! paper (Section VI). Each `src/bin/*` binary regenerates one
+//! table/figure; `run_all` drives the whole evaluation at a chosen scale.
+//!
+//! Scale policy (DESIGN.md): binaries default to laptop-scale parameters
+//! and accept `--full` for paper-scale runs. Every binary prints the
+//! scale it used so EXPERIMENTS.md can record it.
+
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod params;
+pub mod report;
+pub mod setups;
+
+pub use methods::{run_method, Method, MethodResult};
+pub use params::Scale;
+pub use report::{print_series, print_table, Table};

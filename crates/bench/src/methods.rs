@@ -1,0 +1,250 @@
+//! Unified method runner: every algorithm the paper compares, behind one
+//! interface, timed and evaluated identically.
+
+use rankhow_baselines::{
+    adarank::{self, AdaRankConfig},
+    linear_regression, ordinal_regression,
+    sampling::{self, SamplingConfig},
+    tree::{self, TreeConfig},
+    Instance,
+};
+use rankhow_core::{seeding, OptProblem, RankHow, SolverConfig, SymGd, SymGdConfig};
+use std::time::{Duration, Instant};
+
+/// Which algorithm to run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Method {
+    /// Exact RankHow (specialized branch-and-bound), with a time budget.
+    RankHow {
+        /// Solver time budget.
+        budget: Duration,
+    },
+    /// SYM-GD with a fixed cell size (Algorithm 1).
+    SymGd {
+        /// Fixed cell size `c`.
+        cell: f64,
+    },
+    /// SYM-GD adaptive with a total budget (Algorithm 2).
+    SymGdAdaptive {
+        /// Total wall-clock budget `t_total`.
+        budget: Duration,
+    },
+    /// Ordinal regression (the paper's OR, ε-gap variant).
+    OrdinalRegression,
+    /// Plain least squares on rank labels.
+    LinearRegression,
+    /// AdaRank boosting.
+    AdaRank,
+    /// Random simplex sampling under a budget.
+    Sampling {
+        /// Sampling time budget.
+        budget: Duration,
+    },
+    /// Arrangement-tree enumeration with safety limits.
+    Tree {
+        /// LP-check limit (0 = unlimited).
+        node_limit: usize,
+        /// Wall-clock limit.
+        budget: Duration,
+        /// Use the paper's ε1 gap (TREE+) instead of a hairline.
+        with_gap: bool,
+    },
+}
+
+impl Method {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::RankHow { .. } => "RankHow",
+            Method::SymGd { .. } => "Sym-GD",
+            Method::SymGdAdaptive { .. } => "Sym-GD (adaptive)",
+            Method::OrdinalRegression => "Ordinal Regression",
+            Method::LinearRegression => "Linear Regression",
+            Method::AdaRank => "AdaRank",
+            Method::Sampling { .. } => "Sampling",
+            Method::Tree { with_gap, .. } => {
+                if *with_gap {
+                    "Tree+eps1"
+                } else {
+                    "Tree"
+                }
+            }
+        }
+    }
+}
+
+/// Result of one method run.
+#[derive(Clone, Debug)]
+pub struct MethodResult {
+    /// Method display name.
+    pub name: &'static str,
+    /// Position error (Definition 3).
+    pub error: u64,
+    /// Error divided by k (the paper's per-tuple y-axis).
+    pub error_per_tuple: f64,
+    /// Wall-clock runtime.
+    pub time: Duration,
+    /// Whether the method proved optimality (exact methods only).
+    pub optimal: bool,
+    /// The fitted weights.
+    pub weights: Vec<f64>,
+}
+
+/// Run one method on one problem.
+pub fn run_method(problem: &OptProblem, method: &Method) -> MethodResult {
+    let k = problem.given.k().max(1);
+    let start = Instant::now();
+    let (error, optimal, weights) = match method {
+        Method::RankHow { budget } => {
+            let seed = seeding::ordinal_seed(problem);
+            let solver = RankHow::with_config(SolverConfig {
+                time_limit: Some(*budget),
+                warm_start: Some(seed),
+                ..SolverConfig::default()
+            });
+            match solver.solve(problem) {
+                Ok(sol) => (sol.error, sol.optimal, sol.weights),
+                Err(_) => (u64::MAX, false, vec![]),
+            }
+        }
+        Method::SymGd { cell } => {
+            let seed = seeding::ordinal_seed(problem);
+            let res = SymGd::with_config(SymGdConfig {
+                cell_size: *cell,
+                adaptive: false,
+                max_iterations: 25,
+                cell_time_limit: Some(Duration::from_secs(5)),
+                ..SymGdConfig::default()
+            })
+            .solve(problem, &seed)
+            .expect("symgd");
+            (res.error, false, res.weights)
+        }
+        Method::SymGdAdaptive { budget } => {
+            let seed = seeding::ordinal_seed(problem);
+            let res = SymGd::with_config(SymGdConfig::adaptive(*budget))
+                .solve(problem, &seed)
+                .expect("symgd");
+            (res.error, false, res.weights)
+        }
+        Method::OrdinalRegression => {
+            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let cfg = ordinal_regression::config_plus(problem.tol);
+            let f = ordinal_regression::fit(&inst, &cfg);
+            (f.error, false, f.weights)
+        }
+        Method::LinearRegression => {
+            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let f = linear_regression::fit(&inst, linear_regression::Variant::Default);
+            (f.error, false, f.weights)
+        }
+        Method::AdaRank => {
+            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let f = adarank::fit(&inst, &AdaRankConfig::default());
+            (f.error, false, f.weights)
+        }
+        Method::Sampling { budget } => {
+            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let res = sampling::fit(
+                &inst,
+                &SamplingConfig {
+                    budget: *budget,
+                    ..SamplingConfig::default()
+                },
+                None,
+            );
+            (res.fitted.error, false, res.fitted.weights)
+        }
+        Method::Tree {
+            node_limit,
+            budget,
+            with_gap,
+        } => {
+            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let cfg = if *with_gap {
+                TreeConfig {
+                    node_limit: *node_limit,
+                    time_limit: Some(*budget),
+                    ..TreeConfig::with_gap(problem.tol)
+                }
+            } else {
+                TreeConfig {
+                    node_limit: *node_limit,
+                    time_limit: Some(*budget),
+                    ..TreeConfig::default()
+                }
+            };
+            let res = tree::fit(&inst, &cfg);
+            match res.fitted {
+                Some(f) => (f.error, res.completed, f.weights),
+                None => (u64::MAX, false, vec![]),
+            }
+        }
+    };
+    let time = start.elapsed();
+    MethodResult {
+        name: method.name(),
+        error,
+        error_per_tuple: if error == u64::MAX {
+            f64::INFINITY
+        } else {
+            error as f64 / k as f64
+        },
+        time,
+        optimal,
+        weights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setups;
+
+    #[test]
+    fn all_methods_run_on_small_nba() {
+        let p = setups::nba_problem(120, 4, 3);
+        let methods = [
+            Method::RankHow {
+                budget: Duration::from_secs(10),
+            },
+            Method::SymGd { cell: 0.2 },
+            Method::OrdinalRegression,
+            Method::LinearRegression,
+            Method::AdaRank,
+            Method::Sampling {
+                budget: Duration::from_millis(100),
+            },
+        ];
+        let mut rankhow_err = None;
+        for m in &methods {
+            let r = run_method(&p, m);
+            assert!(r.error < u64::MAX, "{} failed", r.name);
+            assert_eq!(p.evaluate(&r.weights), r.error, "{} eval", r.name);
+            if matches!(m, Method::RankHow { .. }) {
+                rankhow_err = Some(r.error);
+            }
+        }
+        // RankHow must be at least as good as every heuristic.
+        let best = rankhow_err.unwrap();
+        for m in &methods[1..] {
+            let r = run_method(&p, m);
+            assert!(r.error >= best, "{} beat the exact solver", r.name);
+        }
+    }
+
+    #[test]
+    fn tree_respects_limits() {
+        let p = setups::nba_problem(60, 4, 3);
+        let r = run_method(
+            &p,
+            &Method::Tree {
+                node_limit: 50,
+                budget: Duration::from_secs(5),
+                with_gap: false,
+            },
+        );
+        // May or may not complete, but must return quickly and validly.
+        assert!(r.time < Duration::from_secs(10));
+    }
+}

@@ -1,0 +1,131 @@
+//! Experiment parameters (paper Table II) and run-scale selection.
+
+/// Run scale: the default keeps every binary laptop-fast; `--full`
+/// reproduces the paper's sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Reduced sizes (minutes for the whole suite).
+    Quick,
+    /// Paper sizes (NBA 22840 tuples, synthetic 10⁶, CSRankings 628).
+    Full,
+}
+
+impl Scale {
+    /// Parse from CLI args: `--full` selects [`Scale::Full`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// NBA dataset size.
+    pub fn nba_n(&self) -> usize {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Full => 22_840,
+        }
+    }
+
+    /// CSRankings dataset size.
+    pub fn csrankings_n(&self) -> usize {
+        628
+    }
+
+    /// Synthetic dataset size (Fig. 3j–o).
+    pub fn synthetic_n(&self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 1_000_000,
+        }
+    }
+
+    /// Replicas per synthetic distribution (the paper averages three).
+    pub fn replicas(&self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 3,
+        }
+    }
+
+    /// Per-solve wall-clock cap.
+    pub fn solver_budget(&self) -> std::time::Duration {
+        match self {
+            Scale::Quick => std::time::Duration::from_secs(15),
+            Scale::Full => std::time::Duration::from_secs(600),
+        }
+    }
+
+    /// Cap on the SAMPLING baseline's budget (the paper sets it equal to
+    /// RankHow's runtime; quick runs cap it to keep sweeps fast).
+    pub fn sampling_cap(&self) -> std::time::Duration {
+        match self {
+            Scale::Quick => std::time::Duration::from_secs(3),
+            Scale::Full => std::time::Duration::from_secs(600),
+        }
+    }
+
+    /// Human-readable label for report headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick (reduced sizes; pass --full for paper scale)",
+            Scale::Full => "full (paper scale)",
+        }
+    }
+}
+
+/// Table II parameter grids (defaults in the paper are bold; we mark
+/// them with the middle-ish entries used by each sweep binary).
+pub mod table2 {
+    /// NBA k sweep (Fig. 3b).
+    pub const NBA_K: [usize; 5] = [2, 3, 4, 5, 6];
+    /// NBA default k.
+    pub const NBA_K_DEFAULT: usize = 6;
+    /// NBA n sweep (Fig. 3c) at full scale.
+    pub const NBA_N_FULL: [usize; 5] = [5_000, 10_000, 15_000, 20_000, 22_840];
+    /// NBA n sweep at quick scale.
+    pub const NBA_N_QUICK: [usize; 5] = [400, 800, 1_200, 1_600, 2_000];
+    /// NBA m sweep (Fig. 3d).
+    pub const NBA_M: [usize; 5] = [4, 5, 6, 7, 8];
+    /// NBA default m.
+    pub const NBA_M_DEFAULT: usize = 5;
+
+    /// CSRankings k sweep (Fig. 3e).
+    pub const CSR_K: [usize; 5] = [5, 10, 15, 20, 25];
+    /// CSRankings default k.
+    pub const CSR_K_DEFAULT: usize = 10;
+    /// CSRankings n sweep (Fig. 3f).
+    pub const CSR_N: [usize; 7] = [100, 200, 300, 400, 500, 600, 628];
+    /// CSRankings m sweep (Fig. 3g).
+    pub const CSR_M: [usize; 6] = [5, 10, 15, 20, 25, 27];
+    /// CSRankings default m.
+    pub const CSR_M_DEFAULT: usize = 10;
+
+    /// Synthetic k sweep (Fig. 3j–l).
+    pub const SYN_K: [usize; 5] = [5, 10, 15, 20, 25];
+    /// Synthetic m.
+    pub const SYN_M: usize = 5;
+    /// Exponents for the generalizability sweep (Fig. 3m–o).
+    pub const SYN_EXPONENTS: [u32; 4] = [2, 3, 4, 5];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sizes_are_smaller() {
+        assert!(Scale::Quick.nba_n() < Scale::Full.nba_n());
+        assert!(Scale::Quick.synthetic_n() < Scale::Full.synthetic_n());
+        assert_eq!(Scale::Quick.csrankings_n(), 628);
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        assert_eq!(table2::NBA_K, [2, 3, 4, 5, 6]);
+        assert_eq!(table2::CSR_M.last(), Some(&27));
+        assert_eq!(table2::SYN_EXPONENTS, [2, 3, 4, 5]);
+        assert_eq!(table2::NBA_N_FULL.last(), Some(&22_840));
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain-text table/series emitters: the same rows the paper's tables
+//! show and the same (x, series...) points its figures plot.
+
+use std::io::Write;
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+}
+
+/// Print a [`Table`] with aligned columns (markdown-pipe style).
+pub fn print_table(title: &str, table: &Table) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut widths: Vec<usize> = table.headers.iter().map(|h| h.len()).collect();
+    for row in &table.rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let _ = writeln!(out, "\n## {title}\n");
+    let header: Vec<String> = table
+        .headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "| {} |", sep.join(" | "));
+    for row in &table.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        let _ = writeln!(out, "| {} |", cells.join(" | "));
+    }
+    let _ = out.flush();
+}
+
+/// Print an x-vs-many-series block (one figure panel): header row then
+/// one line per x value.
+pub fn print_series(title: &str, x_name: &str, series_names: &[&str], points: &[(String, Vec<String>)]) {
+    let mut headers = vec![x_name];
+    headers.extend_from_slice(series_names);
+    let mut t = Table::new(&headers);
+    for (x, ys) in points {
+        let mut row = vec![x.clone()];
+        row.extend(ys.iter().cloned());
+        t.row(row);
+    }
+    print_table(title, &t);
+}
+
+/// Format seconds with sensible precision.
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 0.001 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else if secs < 100.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{secs:.0}s")
+    }
+}
+
+/// Format an error-per-tuple value.
+pub fn fmt_ept(error: u64, k: usize) -> String {
+    format!("{:.3}", error as f64 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_enforced() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.0000005), "0.5µs");
+        assert_eq!(fmt_secs(0.5), "500.0ms");
+        assert_eq!(fmt_secs(2.0), "2.00s");
+        assert_eq!(fmt_secs(1000.0), "1000s");
+        assert_eq!(fmt_ept(6, 4), "1.500");
+    }
+}

@@ -1,0 +1,127 @@
+//! Canonical experiment setups: dataset + given ranking + tolerances per
+//! Section VI-A, built deterministically from fixed seeds.
+
+use rankhow_core::{OptProblem, Tolerances};
+use rankhow_data::{csrankings, nba, rankfns, synthetic, Dataset};
+use rankhow_ranking::GivenRanking;
+
+/// Master seeds so every binary regenerates identical data.
+pub const NBA_SEED: u64 = 20222023;
+/// Seed for the CSRankings-like generator.
+pub const CSR_SEED: u64 = 628;
+/// Base seed for the synthetic datasets (three per distribution).
+pub const SYN_SEED: u64 = 51;
+
+/// The NBA setup: dataset restricted to the first `m` ranking attributes
+/// and first `n` tuples, ranked by the hidden MP·PER score (Section
+/// VI-C), with the paper's NBA tolerances.
+pub fn nba_problem(n: usize, m: usize, k: usize) -> OptProblem {
+    let gen = nba::generate(n, NBA_SEED);
+    let attrs: Vec<usize> = (0..m).collect();
+    let data = gen.dataset.select_attrs(&attrs).min_max_normalized();
+    let given = gen.mp_per_ranking(k);
+    OptProblem::with_tolerances(data, given, Tolerances::paper_nba()).expect("valid setup")
+}
+
+/// The full NBA generation (for the MVP case study, which needs votes
+/// and all 8 attributes).
+pub fn nba_raw(n: usize) -> nba::NbaData {
+    nba::generate(n, NBA_SEED)
+}
+
+/// The CSRankings setup: first `n` institutions, first `m` areas, ranked
+/// by the geometric-mean default ranking.
+pub fn csrankings_problem(n: usize, m: usize, k: usize) -> OptProblem {
+    let gen = csrankings::generate(n, CSR_SEED);
+    let attrs: Vec<usize> = (0..m).collect();
+    let data = gen.dataset.select_attrs(&attrs).min_max_normalized();
+    let given = gen.default_ranking(k);
+    OptProblem::with_tolerances(data, given, Tolerances::paper_csrankings()).expect("valid setup")
+}
+
+/// One synthetic setup: distribution × replica (the paper averages over
+/// three replicas per distribution), ranked by `Σ A_i^p`.
+pub fn synthetic_problem(
+    dist: synthetic::Distribution,
+    replica: u64,
+    n: usize,
+    m: usize,
+    k: usize,
+    exponent: u32,
+    derived_squares: bool,
+) -> OptProblem {
+    let seed = SYN_SEED + replica * 1000 + dist as u64;
+    let base = synthetic::generate(dist, n, m, seed);
+    let given = rankfns::sum_pow_ranking(&base, exponent, k);
+    let data = if derived_squares {
+        base.with_squared_attrs()
+    } else {
+        base
+    };
+    OptProblem::with_tolerances(data, given, Tolerances::paper_synthetic()).expect("valid setup")
+}
+
+/// The Table III setup: a 10-tuple, 8-attribute NBA subset around the
+/// top of the MP·PER ranking (numerical-imprecision stress test).
+pub fn table3_subset() -> (Dataset, Vec<f64>) {
+    let gen = nba::generate(2_000, NBA_SEED);
+    let mut idx: Vec<usize> = (0..gen.mp_per.len()).collect();
+    idx.sort_by(|&a, &b| gen.mp_per[b].total_cmp(&gen.mp_per[a]));
+    idx.truncate(10);
+    idx.sort_unstable();
+    let data = gen.dataset.select_rows(&idx).min_max_normalized();
+    let scores: Vec<f64> = idx.iter().map(|&i| gen.mp_per[i]).collect();
+    (data, scores)
+}
+
+/// Given ranking over a Table III subset for a given `k`.
+pub fn table3_ranking(scores: &[f64], k: usize) -> GivenRanking {
+    GivenRanking::from_scores(scores, k, 0.0).expect("valid scores")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nba_setup_shapes() {
+        let p = nba_problem(300, 5, 6);
+        assert_eq!(p.n(), 300);
+        assert_eq!(p.m(), 5);
+        assert_eq!(p.given.k(), 6);
+        assert_eq!(p.tol, Tolerances::paper_nba());
+    }
+
+    #[test]
+    fn csr_setup_shapes() {
+        let p = csrankings_problem(100, 27, 10);
+        assert_eq!(p.n(), 100);
+        assert_eq!(p.m(), 27);
+        assert_eq!(p.given.k(), 10);
+    }
+
+    #[test]
+    fn synthetic_replicas_differ_but_are_deterministic() {
+        let a = synthetic_problem(synthetic::Distribution::Uniform, 0, 100, 5, 5, 3, false);
+        let b = synthetic_problem(synthetic::Distribution::Uniform, 0, 100, 5, 5, 3, false);
+        let c = synthetic_problem(synthetic::Distribution::Uniform, 1, 100, 5, 5, 3, false);
+        assert_eq!(a.data.rows(), b.data.rows());
+        assert_ne!(a.data.rows(), c.data.rows());
+    }
+
+    #[test]
+    fn derived_squares_double_m() {
+        let p = synthetic_problem(synthetic::Distribution::Correlated, 0, 50, 5, 5, 2, true);
+        assert_eq!(p.m(), 10);
+    }
+
+    #[test]
+    fn table3_subset_is_ten_by_eight() {
+        let (data, scores) = table3_subset();
+        assert_eq!(data.n(), 10);
+        assert_eq!(data.m(), 8);
+        assert_eq!(scores.len(), 10);
+        let r = table3_ranking(&scores, 10);
+        assert_eq!(r.k(), 10);
+    }
+}

@@ -1,0 +1,200 @@
+//! Constraint vocabulary beyond weight bounds (paper Example 1 and the
+//! Section I generalizations).
+//!
+//! Example 1 sketches several constraint families: pairwise orders
+//! ("Nikola Jokić must be ranked higher than Jayson Tatum"), pinned
+//! positions ("the number-1 player must be in position 1"), and rank
+//! windows (fitting positions 30–50 of a university ranking). These all
+//! reduce to machinery already in the system:
+//!
+//! - a pairwise order is a *data-induced weight constraint*
+//!   `(x_a − x_b)·w ≥ ε1`;
+//! - pinning a tuple to position 1 is the conjunction of pairwise orders
+//!   against every other ranked tuple;
+//! - a rank window is a re-based [`GivenRanking`] whose out-of-window
+//!   tuples become `⊥`;
+//! - alternative error measures (Kendall tau, top-weighted) evaluate any
+//!   fitted function via [`evaluate_measure`].
+
+use crate::{OptProblem, WeightConstraints};
+use rankhow_data::Dataset;
+use rankhow_ranking::{
+    error_by_measure, score_ranks, scores_f64, ErrorMeasure, GivenRanking, RankingError,
+};
+
+/// Add the pairwise order "tuple `above` must outscore tuple `below`"
+/// as a weight constraint: `Σ w_j (above.A_j − below.A_j) ≥ ε1`.
+pub fn require_order(
+    constraints: WeightConstraints,
+    data: &Dataset,
+    above: usize,
+    below: usize,
+    eps1: f64,
+) -> WeightConstraints {
+    let coefs: Vec<(usize, f64)> = (0..data.m())
+        .map(|j| (j, data.row(above)[j] - data.row(below)[j]))
+        .collect();
+    constraints.geq(coefs, eps1)
+}
+
+/// Pin `tuple` to position 1: it must outscore every other ranked tuple.
+pub fn require_first(
+    mut constraints: WeightConstraints,
+    problem: &OptProblem,
+    tuple: usize,
+) -> WeightConstraints {
+    for &other in problem.given.top_k() {
+        if other != tuple {
+            constraints =
+                require_order(constraints, &problem.data, tuple, other, problem.tol.eps1);
+        }
+    }
+    constraints
+}
+
+/// Build a rank-window ranking from full positions: tuples whose
+/// position lies in `[from, to]` are re-based to `1..=(to−from+1)`;
+/// everything else becomes `⊥`.
+///
+/// This is the "university ranked at position 50 wants a function fit to
+/// positions 30–50" use case. Tuples ranked above the window become `⊥`,
+/// i.e. their order relative to the window is not enforced — the window
+/// ranking asks only that the window tuples appear in their given
+/// relative order.
+pub fn window_ranking(
+    full_positions: &[u32],
+    from: u32,
+    to: u32,
+) -> Result<GivenRanking, RankingError> {
+    assert!(from >= 1 && from <= to, "invalid window");
+    let positions: Vec<Option<u32>> = full_positions
+        .iter()
+        .map(|&p| {
+            if p >= from && p <= to {
+                Some(p - from + 1)
+            } else {
+                None
+            }
+        })
+        .collect();
+    GivenRanking::from_positions(positions)
+}
+
+/// Evaluate a weight vector under an alternative error measure
+/// (Section II: "RankHow supports Kendall's Tau and other measures based
+/// on inversions, including variations that assign a greater penalty to
+/// errors higher in the ranking").
+pub fn evaluate_measure(problem: &OptProblem, weights: &[f64], measure: ErrorMeasure) -> u64 {
+    let scores = scores_f64(problem.data.rows(), weights);
+    let ranks = score_ranks(&scores, problem.tol.eps);
+    error_by_measure(measure, &problem.given, &ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RankHow;
+    use rankhow_ranking::Tolerances;
+
+    fn nba_toy() -> OptProblem {
+        // Four "players": 0 and 1 are close; the given ranking puts 1
+        // above 0.
+        let data = Dataset::from_rows(
+            vec!["PTS".into(), "AST".into()],
+            vec![
+                vec![30.0, 5.0],
+                vec![28.0, 9.0],
+                vec![20.0, 3.0],
+                vec![10.0, 10.0],
+            ],
+        )
+        .unwrap();
+        let given =
+            GivenRanking::from_positions(vec![Some(2), Some(1), Some(3), None]).unwrap();
+        // ε1 with a real margin: order constraints built from it must
+        // survive LP round-off (a 1e-12 margin would not).
+        OptProblem::with_tolerances(data, given, Tolerances::explicit(0.0, 1e-4, 0.0)).unwrap()
+    }
+
+    #[test]
+    fn pairwise_order_flips_solution() {
+        let base = nba_toy();
+        // Unconstrained: an assist-heavy function ranks tuple 1 first
+        // (error 0 exists: w = (0.2, 0.8): scores 10, 12.8, 6.4, 10 —
+        // hmm tuple 3 ties tuple 0; pick by solver).
+        let free = RankHow::new().solve(&base).unwrap();
+        assert_eq!(free.error, 0);
+        // Now require tuple 0 to be ranked above tuple 1 — contradicting
+        // the given ranking, so error must become positive.
+        let constrained = base
+            .clone()
+            .with_constraints(require_order(
+                WeightConstraints::none(),
+                &base.data,
+                0,
+                1,
+                base.tol.eps1,
+            ))
+            .unwrap();
+        let sol = RankHow::new().solve(&constrained).unwrap();
+        assert!(sol.error >= 1, "forcing the wrong order costs error");
+        // The returned function indeed scores tuple 0 above tuple 1.
+        let s0: f64 = sol
+            .weights
+            .iter()
+            .zip(base.data.row(0))
+            .map(|(w, a)| w * a)
+            .sum();
+        let s1: f64 = sol
+            .weights
+            .iter()
+            .zip(base.data.row(1))
+            .map(|(w, a)| w * a)
+            .sum();
+        assert!(s0 > s1);
+    }
+
+    #[test]
+    fn require_first_pins_the_top() {
+        let base = nba_toy();
+        let constrained = base
+            .clone()
+            .with_constraints(require_first(WeightConstraints::none(), &base, 1))
+            .unwrap();
+        let sol = RankHow::new().solve(&constrained).unwrap();
+        let scores = scores_f64(base.data.rows(), &sol.weights);
+        let ranks = score_ranks(&scores, base.tol.eps);
+        assert_eq!(ranks[1], 1, "tuple 1 pinned to position 1");
+    }
+
+    #[test]
+    fn window_rebasing() {
+        let full = [1u32, 2, 3, 4, 5, 6];
+        let w = window_ranking(&full, 3, 5).unwrap();
+        assert_eq!(
+            w.positions(),
+            &[None, None, Some(1), Some(2), Some(3), None]
+        );
+        assert_eq!(w.k(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window")]
+    fn window_bounds_validated() {
+        let _ = window_ranking(&[1, 2, 3], 3, 2);
+    }
+
+    #[test]
+    fn measures_diverge_on_top_heavy_mistakes() {
+        let p = nba_toy();
+        // A points-only function: scores 30, 28, 20, 10 → ranks
+        // 1,2,3,4 vs given [2,1,3,⊥]: both top tuples off by one.
+        let w = [1.0, 0.0];
+        let pos = evaluate_measure(&p, &w, ErrorMeasure::Position);
+        let tau = evaluate_measure(&p, &w, ErrorMeasure::KendallTau);
+        let top = evaluate_measure(&p, &w, ErrorMeasure::TopWeighted);
+        assert_eq!(pos, 2);
+        assert_eq!(tau, 1); // one inverted pair
+        assert!(top > pos, "top-weighted penalizes the #1 slot more");
+    }
+}

@@ -1,0 +1,536 @@
+//! Equation (2): the MILP formulation of OPT, and the box-reduction
+//! machinery that both the specialized solver and SYM-GD build on.
+//!
+//! Two central ideas from the paper live here:
+//!
+//! 1. **Indicator structure.** Every pair (other tuple `s`, ranked tuple
+//!    `r`) contributes one binary indicator `δ_sr` whose value is decided
+//!    by the sign of the linear form `Σ w_i (s.A_i − r.A_i)` against the
+//!    thresholds `ε1`/`ε2`. The rank of `r` is `1 + Σ_s δ_sr`.
+//!
+//! 2. **Constant folding over a box** (Section IV and V-B). Over any box
+//!    `[lo, hi] ⊆ [0,1]^m` of weight space (intersected with the simplex
+//!    `Σw = 1`), the extreme values of each pair's linear form are exact
+//!    fractional-knapsack optima computable in `O(m log m)`. Pairs whose
+//!    range clears `ε` on one side are constants — the SYM-GD speedup and
+//!    the Section V-B dominance pruning both fall out of this test (a
+//!    dominated pair's range is strictly positive over the whole simplex).
+
+use crate::{OptProblem, WeightConstraints};
+use rankhow_lp::{Op, Sense, VarId};
+use rankhow_milp::MilpProblem;
+
+/// An undecided indicator pair: tuple `s` versus ranked tuple at `slot`,
+/// with the precomputed difference vector `s.A − r.A`.
+#[derive(Clone, Debug)]
+pub struct PairH {
+    /// Index of the challenger tuple `s`.
+    pub s: usize,
+    /// Slot (into [`ReducedSystem::top`]) of the ranked tuple `r`.
+    pub slot: usize,
+    /// `diff_j = s.A_j − r.A_j`.
+    pub diff: Vec<f64>,
+}
+
+/// OPT after constant-folding every indicator that a weight box decides.
+#[derive(Clone, Debug)]
+pub struct ReducedSystem {
+    /// Ranked tuple ids, in slot order.
+    pub top: Vec<usize>,
+    /// Given position `π(r)` per slot.
+    pub target: Vec<u32>,
+    /// Per slot: challengers guaranteed to beat `r` anywhere in the box.
+    pub fixed_beats: Vec<u32>,
+    /// Per slot: number of undecided challengers.
+    pub undecided: Vec<u32>,
+    /// The undecided pairs.
+    pub pairs: Vec<PairH>,
+    /// The box the reduction was performed against.
+    pub box_lo: Vec<f64>,
+    /// Upper corner of the box.
+    pub box_hi: Vec<f64>,
+}
+
+/// Minimum of `c·w` over `{lo ≤ w ≤ hi, Σw = 1}` — fractional knapsack.
+/// Returns `None` if the box misses the simplex.
+pub fn box_simplex_min(c: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+    let m = c.len();
+    let base: f64 = lo.iter().sum();
+    let cap: f64 = hi.iter().sum();
+    if base > 1.0 + 1e-12 || cap < 1.0 - 1e-12 {
+        return None;
+    }
+    // Start at the lower corner, spend the remaining mass on the
+    // cheapest coordinates.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| c[a].total_cmp(&c[b]));
+    let mut remaining = 1.0 - base;
+    let mut value: f64 = c.iter().zip(lo).map(|(ci, li)| ci * li).sum();
+    for &j in &order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let room = (hi[j] - lo[j]).min(remaining);
+        value += c[j] * room;
+        remaining -= room;
+    }
+    Some(value)
+}
+
+/// Maximum of `c·w` over the same region.
+pub fn box_simplex_max(c: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+    let neg: Vec<f64> = c.iter().map(|x| -x).collect();
+    box_simplex_min(&neg, lo, hi).map(|v| -v)
+}
+
+/// Classification of one pair's linear form against a box.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PairClass {
+    /// `diff·w > ε` everywhere: the challenger always beats.
+    AlwaysBeats,
+    /// `diff·w ≤ ε` everywhere: never beats (tied or behind).
+    NeverBeats,
+    /// The box straddles the threshold: a live indicator.
+    Undecided,
+}
+
+/// Classify a difference vector against a box under tie tolerance `eps`.
+pub fn classify(diff: &[f64], lo: &[f64], hi: &[f64], eps: f64) -> PairClass {
+    let lo_val = box_simplex_min(diff, lo, hi);
+    let hi_val = box_simplex_max(diff, lo, hi);
+    match (lo_val, hi_val) {
+        (Some(l), Some(h)) => {
+            if l > eps {
+                PairClass::AlwaysBeats
+            } else if h <= eps {
+                PairClass::NeverBeats
+            } else {
+                PairClass::Undecided
+            }
+        }
+        // Empty box: caller should have checked; treat as undecided.
+        _ => PairClass::Undecided,
+    }
+}
+
+/// Build the reduced system for `problem` against a weight box.
+///
+/// Streams over all `k·(n−1)` pairs without materializing the decided
+/// ones, so it is safe at the paper's `n = 10⁶` scale: memory is
+/// `O(undecided)`.
+pub fn reduce_against_box(problem: &OptProblem, lo: &[f64], hi: &[f64]) -> ReducedSystem {
+    let rows = problem.data.rows();
+    let given = &problem.given;
+    let eps = problem.tol.eps;
+    let top: Vec<usize> = given.top_k().to_vec();
+    let target: Vec<u32> = top.iter().map(|&r| given.position(r).unwrap()).collect();
+    let mut fixed_beats = vec![0u32; top.len()];
+    let mut undecided = vec![0u32; top.len()];
+    let mut pairs = Vec::new();
+    let m = problem.m();
+    let mut diff = vec![0.0f64; m];
+    for (slot, &r) in top.iter().enumerate() {
+        let row_r = &rows[r];
+        for (s, row_s) in rows.iter().enumerate() {
+            if s == r {
+                continue;
+            }
+            for j in 0..m {
+                diff[j] = row_s[j] - row_r[j];
+            }
+            match classify(&diff, lo, hi, eps) {
+                PairClass::AlwaysBeats => fixed_beats[slot] += 1,
+                PairClass::NeverBeats => {}
+                PairClass::Undecided => {
+                    undecided[slot] += 1;
+                    pairs.push(PairH {
+                        s,
+                        slot,
+                        diff: diff.clone(),
+                    });
+                }
+            }
+        }
+    }
+    ReducedSystem {
+        top,
+        target,
+        fixed_beats,
+        undecided,
+        pairs,
+        box_lo: lo.to_vec(),
+        box_hi: hi.to_vec(),
+    }
+}
+
+/// Reduce against the whole simplex (`[0,1]^m` box) — the global solve.
+pub fn reduce_global(problem: &OptProblem) -> ReducedSystem {
+    let m = problem.m();
+    reduce_against_box(problem, &vec![0.0; m], &vec![1.0; m])
+}
+
+impl ReducedSystem {
+    /// Lower bound on the position error achievable anywhere in the box:
+    /// each slot's rank is confined to
+    /// `[fixed+1, fixed+undecided+1]`; error is at least the distance of
+    /// `π(r)` to that interval (Section IV-B).
+    pub fn error_lower_bound(&self) -> u64 {
+        self.top
+            .iter()
+            .enumerate()
+            .map(|(slot, _)| {
+                let min_rank = self.fixed_beats[slot] as i64 + 1;
+                let max_rank = min_rank + self.undecided[slot] as i64;
+                let pi = self.target[slot] as i64;
+                if pi < min_rank {
+                    (min_rank - pi) as u64
+                } else if pi > max_rank {
+                    (pi - max_rank) as u64
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Upper bound on achievable error (everything uncertain goes wrong).
+    pub fn error_upper_bound(&self) -> u64 {
+        self.top
+            .iter()
+            .enumerate()
+            .map(|(slot, _)| {
+                let min_rank = self.fixed_beats[slot] as i64 + 1;
+                let max_rank = min_rank + self.undecided[slot] as i64;
+                let pi = self.target[slot] as i64;
+                (pi - min_rank).abs().max((pi - max_rank).abs()) as u64
+            })
+            .sum()
+    }
+}
+
+/// Variable layout of the generated MILP (for solution extraction).
+#[derive(Clone, Debug)]
+pub struct MilpLayout {
+    /// Weight variables, one per attribute.
+    pub w: Vec<VarId>,
+    /// Indicator variables, parallel to [`ReducedSystem::pairs`].
+    pub delta: Vec<VarId>,
+    /// Error variables: one per ranked slot for the position measures,
+    /// one per strictly-ordered slot pair (inversion binaries) for
+    /// Kendall tau.
+    pub err: Vec<VarId>,
+}
+
+/// Build the literal Equation (2) MILP over a reduced system:
+///
+/// ```text
+/// min  Σ_r c_r·e_r
+/// s.t. P(w),  Σw = 1,  w ≥ 0
+///      δ_sr = 1 ⇒ diff·w ≥ ε1      (big-M encoded)
+///      δ_sr = 0 ⇒ diff·w ≤ ε2
+///      e_r ≥ ±(fixed_r + Σ_s δ_sr + 1 − π(r))
+/// ```
+///
+/// The objective follows [`OptProblem::objective`]: `c_r = 1` for
+/// position error (the paper's Equation (2)); `c_r = k − π(r) + 1` for
+/// the top-weighted variant; and for Kendall tau the `e_r` block is
+/// replaced by one binary `z_ab` per strictly-ordered ranked pair with
+/// `rank_a − rank_b ≤ M·z_ab` (given `π(a) < π(b)`), minimizing `Σ z` —
+/// the Section II "other error measures" generalization.
+pub fn build_milp(
+    problem: &OptProblem,
+    system: &ReducedSystem,
+) -> (MilpProblem, MilpLayout) {
+    use rankhow_ranking::ErrorMeasure;
+
+    let m = problem.m();
+    let mut milp = MilpProblem::new(Sense::Minimize);
+    let w: Vec<VarId> = (0..m)
+        .map(|j| milp.add_var(&format!("w{j}"), 0.0, 1.0, 0.0))
+        .collect();
+    let simplex: Vec<(VarId, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+    milp.add_constraint(&simplex, Op::Eq, 1.0);
+    apply_weight_constraints(&mut milp, &problem.constraints, &w);
+
+    let delta: Vec<VarId> = system
+        .pairs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| milp.add_binary(&format!("d{i}"), 0.0))
+        .collect();
+    for (pair, &d) in system.pairs.iter().zip(&delta) {
+        let terms: Vec<(VarId, f64)> = (0..m).map(|j| (w[j], pair.diff[j])).collect();
+        // |diff·w| ≤ max_j |diff_j| over the simplex: a tight big-M.
+        let reach = pair.diff.iter().fold(0.0f64, |a, d| a.max(d.abs()));
+        let big_m = reach + problem.tol.eps1.abs() + 1.0;
+        milp.add_indicator_ge(d, &terms, problem.tol.eps1, big_m);
+        milp.add_indicator_le(d, &terms, problem.tol.eps2, big_m);
+    }
+
+    let k = system.top.len();
+    let mut err = Vec::new();
+    match problem.objective {
+        ErrorMeasure::Position | ErrorMeasure::TopWeighted => {
+            for slot in 0..k {
+                let cost = match problem.objective {
+                    ErrorMeasure::TopWeighted => {
+                        (k as u64 - system.target[slot] as u64 + 1) as f64
+                    }
+                    _ => 1.0,
+                };
+                let e = milp.add_var(&format!("e{slot}"), 0.0, f64::INFINITY, cost);
+                err.push(e);
+                let base =
+                    system.fixed_beats[slot] as f64 + 1.0 - system.target[slot] as f64;
+                let mut up: Vec<(VarId, f64)> = vec![(e, 1.0)];
+                let mut down: Vec<(VarId, f64)> = vec![(e, 1.0)];
+                for (pair, &d) in system.pairs.iter().zip(&delta) {
+                    if pair.slot == slot {
+                        up.push((d, -1.0));
+                        down.push((d, 1.0));
+                    }
+                }
+                // e ≥ (base + Σδ)  and  e ≥ −(base + Σδ)
+                milp.add_constraint(&up, Op::Ge, base);
+                milp.add_constraint(&down, Op::Ge, -base);
+            }
+        }
+        ErrorMeasure::KendallTau => {
+            // rank_slot = fixed_slot + Σ_s δ_s,slot + 1. For a strictly-
+            // ordered pair (hi ranked above lo in π), an inversion means
+            // rank_hi > rank_lo; force z = 1 exactly then via
+            // rank_hi − rank_lo ≤ M·z (ranks are integral, so the strict
+            // inequality is "≥ 1" and z = 0 enforces rank_hi ≤ rank_lo).
+            let big_m = problem.n() as f64;
+            for a in 0..k {
+                for b in a + 1..k {
+                    let (pa, pb) = (system.target[a], system.target[b]);
+                    if pa == pb {
+                        continue;
+                    }
+                    let (hi, lo) = if pa < pb { (a, b) } else { (b, a) };
+                    let z = milp.add_binary(&format!("z{hi}_{lo}"), 1.0);
+                    err.push(z);
+                    // Σδ_·,hi − Σδ_·,lo − M·z ≤ fixed_lo − fixed_hi
+                    let mut terms: Vec<(VarId, f64)> = vec![(z, -big_m)];
+                    for (pair, &d) in system.pairs.iter().zip(&delta) {
+                        if pair.slot == hi {
+                            terms.push((d, 1.0));
+                        } else if pair.slot == lo {
+                            terms.push((d, -1.0));
+                        }
+                    }
+                    let rhs =
+                        system.fixed_beats[lo] as f64 - system.fixed_beats[hi] as f64;
+                    milp.add_constraint(&terms, Op::Le, rhs);
+                }
+            }
+        }
+    }
+
+    (milp, MilpLayout { w, delta, err })
+}
+
+fn apply_weight_constraints(milp: &mut MilpProblem, wc: &WeightConstraints, w: &[VarId]) {
+    for (coefs, rhs) in wc.rows() {
+        let terms: Vec<(VarId, f64)> = coefs.iter().map(|&(i, c)| (w[i], c)).collect();
+        milp.add_constraint(&terms, Op::Le, rhs);
+    }
+}
+
+/// The indicator hyperplanes of an instance (for geometry examples and
+/// Fig. 1/2 reproduction): `(s, r, diff)` per pair.
+pub fn indicator_hyperplanes(problem: &OptProblem) -> Vec<(usize, usize, Vec<f64>)> {
+    let rows = problem.data.rows();
+    let mut out = Vec::new();
+    for &r in problem.given.top_k() {
+        for s in 0..rows.len() {
+            if s == r {
+                continue;
+            }
+            let diff: Vec<f64> = rows[s]
+                .iter()
+                .zip(&rows[r])
+                .map(|(a, b)| a - b)
+                .collect();
+            out.push((s, r, diff));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_data::Dataset;
+    use rankhow_milp::MilpStatus;
+    use rankhow_ranking::GivenRanking;
+
+    fn example4_problem() -> OptProblem {
+        // Paper Example 4: r=(3,2,8), s=(4,1,15), t=(1,1,14), π = [1,2,⊥].
+        let data = Dataset::from_rows(
+            vec!["A1".into(), "A2".into(), "A3".into()],
+            vec![
+                vec![3.0, 2.0, 8.0],
+                vec![4.0, 1.0, 15.0],
+                vec![1.0, 1.0, 14.0],
+            ],
+        )
+        .unwrap();
+        let given = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+        OptProblem::new(data, given).unwrap()
+    }
+
+    #[test]
+    fn box_simplex_extremes_match_vertices() {
+        // Over the full simplex the extremes of c·w are min/max of c.
+        let c = [3.0, -1.0, 2.0];
+        let lo = [0.0; 3];
+        let hi = [1.0; 3];
+        assert_eq!(box_simplex_min(&c, &lo, &hi), Some(-1.0));
+        assert_eq!(box_simplex_max(&c, &lo, &hi), Some(3.0));
+    }
+
+    #[test]
+    fn box_simplex_respects_box() {
+        // w0 ∈ [0.5, 1.0] forces at least half the mass on coordinate 0.
+        let c = [1.0, 0.0];
+        let lo = [0.5, 0.0];
+        let hi = [1.0, 1.0];
+        assert_eq!(box_simplex_min(&c, &lo, &hi), Some(0.5));
+        assert_eq!(box_simplex_max(&c, &lo, &hi), Some(1.0));
+    }
+
+    #[test]
+    fn box_missing_simplex_is_none() {
+        // Box sums can't reach 1.
+        assert_eq!(box_simplex_min(&[1.0, 1.0], &[0.0, 0.0], &[0.3, 0.3]), None);
+        // Box lower corner already exceeds 1.
+        assert_eq!(box_simplex_min(&[1.0, 1.0], &[0.8, 0.8], &[1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn classification_three_ways() {
+        let lo = [0.0; 2];
+        let hi = [1.0; 2];
+        assert_eq!(classify(&[1.0, 2.0], &lo, &hi, 0.0), PairClass::AlwaysBeats);
+        assert_eq!(classify(&[-1.0, -0.5], &lo, &hi, 0.0), PairClass::NeverBeats);
+        assert_eq!(classify(&[1.0, -1.0], &lo, &hi, 0.0), PairClass::Undecided);
+        // Tolerance shifts the boundary.
+        assert_eq!(classify(&[0.4, 0.5], &lo, &hi, 0.6), PairClass::NeverBeats);
+    }
+
+    #[test]
+    fn global_reduction_subsumes_dominance() {
+        let problem = example4_problem();
+        let sys = reduce_global(&problem);
+        // s=(4,1,15) vs t=(1,1,14): s dominates-or-ties t on every
+        // attribute, so the pair (t beats s?) is never-beats and the
+        // reverse is... A2 ties (1 vs 1), so min over simplex of
+        // (s − t)·w = min(3, 0, 1) = 0, not > ε: stays undecided under
+        // strict classification. The pairs that survive must include all
+        // straddling ones.
+        for pair in &sys.pairs {
+            let l = box_simplex_min(&pair.diff, &sys.box_lo, &sys.box_hi).unwrap();
+            let h = box_simplex_max(&pair.diff, &sys.box_lo, &sys.box_hi).unwrap();
+            assert!(l <= problem.tol.eps && h > problem.tol.eps);
+        }
+    }
+
+    #[test]
+    fn tight_box_folds_everything() {
+        let problem = example4_problem();
+        // A tiny box around w = (0.05, 0.9, 0.05), where all three
+        // scores are well separated (2.35, 1.85, 1.65): every indicator
+        // becomes a constant, so no pairs remain. (The Example 5 star
+        // (0.1, 0.8, 0.1) would NOT fold: it scores r and s exactly
+        // equal, so their hyperplane passes through any cell around it.)
+        let center = [0.05, 0.9, 0.05];
+        let lo: Vec<f64> = center.iter().map(|c| c - 1e-6).collect();
+        let hi: Vec<f64> = center.iter().map(|c| c + 1e-6).collect();
+        let sys = reduce_against_box(&problem, &lo, &hi);
+        assert!(
+            sys.pairs.is_empty(),
+            "tiny cell must fold all indicators, kept {}",
+            sys.pairs.len()
+        );
+        // And the bound is exact there: lower == upper.
+        assert_eq!(sys.error_lower_bound(), sys.error_upper_bound());
+    }
+
+    #[test]
+    fn bounds_bracket_true_error() {
+        let problem = example4_problem();
+        let sys = reduce_global(&problem);
+        let lb = sys.error_lower_bound();
+        let ub = sys.error_upper_bound();
+        assert!(lb == 0, "a perfect function exists (Example 5)");
+        for w in [[0.1, 0.8, 0.1], [0.4, 0.4, 0.2], [1.0, 0.0, 0.0]] {
+            let e = problem.evaluate(&w);
+            assert!(e >= lb && e <= ub, "error {e} outside [{lb}, {ub}]");
+        }
+    }
+
+    #[test]
+    fn milp_solves_example4_to_zero() {
+        let problem = example4_problem();
+        let sys = reduce_global(&problem);
+        let (milp, layout) = build_milp(&problem, &sys);
+        let sol = milp.solve().unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!(sol.objective.abs() < 1e-6, "objective {}", sol.objective);
+        // Extract weights and verify with the Definition 2 evaluator.
+        let w: Vec<f64> = layout.w.iter().map(|&v| sol.x[v]).collect();
+        assert_eq!(problem.evaluate(&w), 0, "weights {w:?}");
+    }
+
+    #[test]
+    fn milp_respects_weight_constraints() {
+        let problem = example4_problem();
+        // Force w0 ≥ 0.3 — a perfect function should still exist or the
+        // solver degrade gracefully; either way w0 honors the bound.
+        let constrained = problem
+            .clone()
+            .with_constraints(WeightConstraints::none().min_weight(0, 0.3))
+            .unwrap();
+        let sys = reduce_global(&constrained);
+        let (milp, layout) = build_milp(&constrained, &sys);
+        let sol = milp.solve().unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        let w: Vec<f64> = layout.w.iter().map(|&v| sol.x[v]).collect();
+        assert!(w[0] >= 0.3 - 1e-6, "constraint honored: {w:?}");
+    }
+
+    #[test]
+    fn hyperplane_enumeration_matches_example4() {
+        let problem = example4_problem();
+        let planes = indicator_hyperplanes(&problem);
+        // k=2 ranked tuples × 2 others = 4 pairs.
+        assert_eq!(planes.len(), 4);
+        // δ_sr for r=tuple0, s=tuple1: diff = (1, −1, 7) — Example 4's
+        // "w1 − w2 + 7w3 > 0".
+        let d_sr = planes
+            .iter()
+            .find(|(s, r, _)| *s == 1 && *r == 0)
+            .unwrap();
+        assert_eq!(d_sr.2, vec![1.0, -1.0, 7.0]);
+        // δ_tr: diff = (−2, −1, 6).
+        let d_tr = planes
+            .iter()
+            .find(|(s, r, _)| *s == 2 && *r == 0)
+            .unwrap();
+        assert_eq!(d_tr.2, vec![-2.0, -1.0, 6.0]);
+    }
+
+    #[test]
+    fn streaming_reduction_counts_consistent() {
+        let problem = example4_problem();
+        let sys = reduce_global(&problem);
+        for slot in 0..sys.top.len() {
+            let live = sys.pairs.iter().filter(|p| p.slot == slot).count() as u32;
+            assert_eq!(live, sys.undecided[slot]);
+            // fixed + undecided + dropped = n − 1
+            assert!(sys.fixed_beats[slot] + sys.undecided[slot] <= (problem.n() - 1) as u32);
+        }
+    }
+}

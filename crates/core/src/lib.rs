@@ -1,0 +1,48 @@
+//! # RankHow core: exact OPT solving and symbolic gradient descent
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! - [`OptProblem`] — the OPT optimization problem (Definition 4): given a
+//!   relation, a ranking `π`, and linear weight constraints `P`, find the
+//!   simplex weight vector minimizing position-based error;
+//! - [`RankHow`] — the exact solver. The paper feeds Equation (2) to
+//!   Gurobi; here the same formulation is solved two ways: a *generic*
+//!   big-M MILP ([`formulation::build_milp`], solved by `rankhow-milp`)
+//!   and a *specialized* best-first branch-and-bound over indicator
+//!   hyperplanes ([`RankHow::solve`]) that supplies the holistic-solver
+//!   ingredients the paper credits for beating the PTIME TREE algorithm
+//!   (bounding via Section IV-B intervals, interior-point incumbents,
+//!   cross-branch pruning);
+//! - [`SymGd`] — symbolic gradient descent (Algorithms 1 and 2): exact
+//!   local optimization within a cell around a seed, indicator
+//!   constant-folding making each cell solve cheap, recentering until a
+//!   local optimum, adaptive cell growth;
+//! - [`SatSearch`] — the paper's Section III-A SMT alternative: binary
+//!   search over satisfiability probes of the same encoding;
+//! - [`seeding`] — the two seed strategies of Section IV-B;
+//! - [`verify`] — exact-arithmetic solution verification and the τ
+//!   binary-search heuristic of Section V-A;
+//! - [`extensions`] — Example 1's constraint vocabulary (pairwise orders,
+//!   fixed positions, rank windows);
+//! - alternative objectives ([`ErrorMeasure`]) — Kendall tau and the
+//!   top-weighted displacement variant, optimized exactly by the same
+//!   solvers (the Section II "other error measures" generalization).
+
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod formulation;
+mod positions;
+mod problem;
+mod satsearch;
+pub mod seeding;
+mod solver;
+mod symgd;
+pub mod verify;
+
+pub use positions::PositionConstraints;
+pub use problem::{OptProblem, ProblemError, WeightConstraints};
+pub use rankhow_ranking::{ErrorMeasure, Tolerances};
+pub use satsearch::{ProbeRecord, SatSearch, SatSearchConfig, SatSearchResult};
+pub use solver::{RankHow, SearchOrder, Solution, SolverConfig, SolverError, SolverStats};
+pub use symgd::{SymGd, SymGdConfig, SymGdResult, SymGdStep};

@@ -1,0 +1,164 @@
+//! Position-range constraints (Example 1's second constraint family).
+//!
+//! Unlike weight constraints (half-spaces in weight space), these
+//! constrain the *outcome*: the synthesized function's rank for selected
+//! tuples must fall in an allowed interval. Example 1 lists three
+//! instances: "no top-10 player should be placed more than 2 positions
+//! higher or lower", "the number-1 player must be in position 1", and
+//! "a player ranked i-th must be ranked in range ⌊0.9·i⌋ to ⌈1.1·i⌉".
+//!
+//! The MILP expresses these as linear constraints over the indicator
+//! variables (footnote 2 of the paper); the specialized solver enforces
+//! them by pruning nodes whose attainable-rank interval misses the
+//! allowed window and by rejecting incumbents that violate them.
+
+use rankhow_ranking::GivenRanking;
+use std::collections::BTreeMap;
+
+/// Snap values a hair away from an integer onto it (product round-off
+/// protection for the band arithmetic).
+fn round_guard(x: f64) -> f64 {
+    if (x - x.round()).abs() < 1e-9 {
+        x.round()
+    } else {
+        x
+    }
+}
+
+/// Allowed rank intervals per tuple index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PositionConstraints {
+    allowed: BTreeMap<usize, (u32, u32)>,
+}
+
+impl PositionConstraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        PositionConstraints::default()
+    }
+
+    /// Whether no constraints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.allowed.is_empty()
+    }
+
+    /// Number of constrained tuples.
+    pub fn len(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// Require tuple `t` to land exactly at rank `pos`
+    /// ("Nikola Jokić must be in position 1").
+    pub fn pin(mut self, tuple: usize, pos: u32) -> Self {
+        assert!(pos >= 1);
+        self.allowed.insert(tuple, (pos, pos));
+        self
+    }
+
+    /// Require tuple `t` to land in `[lo, hi]`.
+    pub fn range(mut self, tuple: usize, lo: u32, hi: u32) -> Self {
+        assert!(1 <= lo && lo <= hi, "invalid rank range");
+        self.allowed.insert(tuple, (lo, hi));
+        self
+    }
+
+    /// Every ranked tuple may move at most `d` positions from its given
+    /// position ("no top-10 player more than 2 positions off").
+    pub fn max_displacement(mut self, given: &GivenRanking, d: u32) -> Self {
+        for &t in given.top_k() {
+            let pi = given.position(t).unwrap();
+            self.allowed.insert(t, (pi.saturating_sub(d).max(1), pi + d));
+        }
+        self
+    }
+
+    /// Every ranked tuple must stay within a relative band
+    /// `[⌊lo_frac·π⌋, ⌈hi_frac·π⌉]` of its given position (Example 1's
+    /// `⌊0.9·i⌋..⌈1.1·i⌉`).
+    pub fn relative_band(mut self, given: &GivenRanking, lo_frac: f64, hi_frac: f64) -> Self {
+        assert!(lo_frac <= 1.0 && hi_frac >= 1.0, "band must contain π");
+        for &t in given.top_k() {
+            let pi = given.position(t).unwrap() as f64;
+            // Nudge before floor/ceil so 50·1.1 = 55.000000000000007
+            // still yields the mathematical ⌈55⌉ = 55.
+            let lo = round_guard(pi * lo_frac).floor().max(1.0) as u32;
+            let hi = round_guard(pi * hi_frac).ceil() as u32;
+            self.allowed.insert(t, (lo, hi));
+        }
+        self
+    }
+
+    /// Allowed interval of a tuple (None = unconstrained).
+    pub fn interval(&self, tuple: usize) -> Option<(u32, u32)> {
+        self.allowed.get(&tuple).copied()
+    }
+
+    /// Iterate `(tuple, (lo, hi))` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, (u32, u32))> + '_ {
+        self.allowed.iter().map(|(&t, &iv)| (t, iv))
+    }
+
+    /// Whether a realized rank assignment satisfies every constraint.
+    /// `rank_of(t)` must return the competition rank of tuple `t`.
+    pub fn satisfied(&self, mut rank_of: impl FnMut(usize) -> u32) -> bool {
+        self.allowed.iter().all(|(&t, &(lo, hi))| {
+            let r = rank_of(t);
+            lo <= r && r <= hi
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn given() -> GivenRanking {
+        GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), None]).unwrap()
+    }
+
+    #[test]
+    fn builder_forms() {
+        let pc = PositionConstraints::none()
+            .pin(0, 1)
+            .range(1, 1, 3);
+        assert_eq!(pc.len(), 2);
+        assert_eq!(pc.interval(0), Some((1, 1)));
+        assert_eq!(pc.interval(1), Some((1, 3)));
+        assert_eq!(pc.interval(2), None);
+    }
+
+    #[test]
+    fn max_displacement_windows() {
+        let pc = PositionConstraints::none().max_displacement(&given(), 2);
+        assert_eq!(pc.interval(0), Some((1, 3)));
+        assert_eq!(pc.interval(1), Some((1, 4)));
+        assert_eq!(pc.interval(2), Some((1, 5)));
+        assert_eq!(pc.interval(3), None, "⊥ tuples unconstrained");
+    }
+
+    #[test]
+    fn relative_band_windows() {
+        let g = GivenRanking::from_positions(
+            (1..=100).map(|p| Some(p as u32)).collect(),
+        )
+        .unwrap();
+        let pc = PositionConstraints::none().relative_band(&g, 0.9, 1.1);
+        // Tuple at position 50: [45, 55]; position 1: [1, 2] (ceil 1.1).
+        assert_eq!(pc.interval(49), Some((45, 55)));
+        assert_eq!(pc.interval(0), Some((1, 2)));
+    }
+
+    #[test]
+    fn satisfaction_check() {
+        let pc = PositionConstraints::none().pin(0, 1).range(1, 2, 3);
+        assert!(pc.satisfied(|t| if t == 0 { 1 } else { 2 }));
+        assert!(!pc.satisfied(|t| if t == 0 { 2 } else { 2 }));
+        assert!(!pc.satisfied(|t| if t == 0 { 1 } else { 4 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank range")]
+    fn range_validation() {
+        let _ = PositionConstraints::none().range(0, 3, 2);
+    }
+}

@@ -1,0 +1,456 @@
+//! Satisfiability binary search — the paper's SMT alternative.
+//!
+//! Section III-A: "SMT theorem provers like Z3 can be used if we convert
+//! the optimization problem to a series of satisfiability problems,
+//! performing binary search to find the smallest error value for which a
+//! satisfying assignment can be found." This module implements exactly
+//! that strategy over the Equation (2) encoding: each probe asks "is
+//! there a weight vector with objective ≤ E?" as a *feasibility* MILP
+//! (the objective expression becomes a constraint row), and a binary
+//! search on `E` converges to the certified optimum.
+//!
+//! The probe solver is the same branch-and-bound as the literal MILP
+//! path, configured with a relaxed optimality gap: a probe only needs
+//! *any* integral point under the bound, not the best one — this mirrors
+//! how an SMT solver answers SAT without optimizing. The search is exact
+//! over the ε1/ε2-certified space, like the direct MILP; it exists to
+//! quantify the paper's remark that holistic optimization beats a
+//! sequence of isolated satisfiability questions (see the ablation
+//! bench).
+
+use crate::formulation::{self, ReducedSystem};
+use crate::solver::SolverError;
+use crate::OptProblem;
+use rankhow_lp::Op;
+use rankhow_milp::{BnbConfig, MilpStatus};
+use rankhow_ranking::ErrorMeasure;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`SatSearch`].
+#[derive(Clone, Debug)]
+pub struct SatSearchConfig {
+    /// Per-probe branch-and-bound limits. The default uses a wide
+    /// optimality gap (0.99): probes answer "SAT/UNSAT", they do not
+    /// optimize.
+    pub probe: BnbConfig,
+    /// Wall-clock limit across all probes.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for SatSearchConfig {
+    fn default() -> Self {
+        SatSearchConfig {
+            probe: BnbConfig {
+                // All objectives are integral: any incumbent within 0.99
+                // of the bound already witnesses satisfiability.
+                absolute_gap: 0.99,
+                ..BnbConfig::default()
+            },
+            time_limit: None,
+        }
+    }
+}
+
+/// One probe of the binary search.
+#[derive(Clone, Debug)]
+pub struct ProbeRecord {
+    /// The error bound `E` asked about.
+    pub bound: u64,
+    /// Whether a satisfying weight vector was found.
+    pub sat: bool,
+    /// Branch-and-bound nodes the probe spent.
+    pub nodes: usize,
+    /// Elapsed time of the probe.
+    pub elapsed: Duration,
+}
+
+/// Result of a satisfiability binary search.
+#[derive(Clone, Debug)]
+pub struct SatSearchResult {
+    /// Best weight vector found.
+    pub weights: Vec<f64>,
+    /// Its objective value (same measure as [`OptProblem::objective`]).
+    pub error: u64,
+    /// Whether the search proved the certified optimum (false when a
+    /// limit interrupted it).
+    pub optimal: bool,
+    /// The probe trace, in execution order.
+    pub probes: Vec<ProbeRecord>,
+}
+
+/// The binary-search solver. See the module docs.
+///
+/// # Example
+/// ```
+/// use rankhow_core::{OptProblem, SatSearch};
+/// use rankhow_data::Dataset;
+/// use rankhow_ranking::GivenRanking;
+///
+/// // Example 4 of the paper: a perfect function exists, so the search
+/// // proves error 0.
+/// let data = Dataset::from_rows(
+///     vec!["A1".into(), "A2".into(), "A3".into()],
+///     vec![vec![3.0, 2.0, 8.0], vec![4.0, 1.0, 15.0], vec![1.0, 1.0, 14.0]],
+/// )
+/// .unwrap();
+/// let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+/// let problem = OptProblem::new(data, pi).unwrap();
+///
+/// let result = SatSearch::new().solve(&problem).unwrap();
+/// assert_eq!(result.error, 0);
+/// assert!(result.optimal);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SatSearch {
+    config: SatSearchConfig,
+}
+
+impl SatSearch {
+    /// Solver with default configuration.
+    pub fn new() -> Self {
+        SatSearch::default()
+    }
+
+    /// Solver with explicit configuration.
+    pub fn with_config(config: SatSearchConfig) -> Self {
+        SatSearch { config }
+    }
+
+    /// Find the smallest certified-feasible objective value by binary
+    /// search on satisfiability probes.
+    ///
+    /// Position windows ([`OptProblem::positions`]) are not encoded by
+    /// the generic Equation (2) MILP and therefore not supported here —
+    /// use [`crate::RankHow`] for those.
+    pub fn solve(&self, problem: &OptProblem) -> Result<SatSearchResult, SolverError> {
+        if !problem.positions.is_empty() {
+            return Err(SolverError::PositionsUnsupported);
+        }
+        let start = Instant::now();
+        let sys = formulation::reduce_global(problem);
+
+        // Initial incumbent: the uniform point if it satisfies P, else
+        // the Chebyshev center of the constraint region.
+        let m = problem.m();
+        let uniform = vec![1.0 / m as f64; m];
+        let seed = if problem.constraints.satisfied_by(&uniform) {
+            uniform
+        } else {
+            self.constraint_center(problem)?
+        };
+        let mut best_w = seed.clone();
+        let mut best_v = problem.objective_value(&seed);
+
+        // Search window: certified values live in [0, best_v].
+        let mut lo = 0u64;
+        let mut hi = best_v;
+        let mut probes = Vec::new();
+        let mut proved = true;
+
+        while lo < hi {
+            if let Some(tl) = self.config.time_limit {
+                if start.elapsed() >= tl {
+                    proved = false;
+                    break;
+                }
+            }
+            let mid = lo + (hi - lo) / 2;
+            let t0 = Instant::now();
+            let outcome = self.probe(problem, &sys, mid)?;
+            match outcome {
+                Probe::Sat { weights, nodes } => {
+                    let v = problem.objective_value(&weights);
+                    probes.push(ProbeRecord {
+                        bound: mid,
+                        sat: true,
+                        nodes,
+                        elapsed: t0.elapsed(),
+                    });
+                    if v < best_v {
+                        best_v = v;
+                        best_w = weights;
+                    }
+                    // The witness can land below the probe bound; use
+                    // the better of the two.
+                    hi = mid.min(best_v);
+                }
+                Probe::Unsat { nodes } => {
+                    probes.push(ProbeRecord {
+                        bound: mid,
+                        sat: false,
+                        nodes,
+                        elapsed: t0.elapsed(),
+                    });
+                    lo = mid + 1;
+                }
+                Probe::Limit { nodes } => {
+                    probes.push(ProbeRecord {
+                        bound: mid,
+                        sat: false,
+                        nodes,
+                        elapsed: t0.elapsed(),
+                    });
+                    proved = false;
+                    break;
+                }
+            }
+        }
+
+        Ok(SatSearchResult {
+            weights: best_w,
+            error: best_v,
+            optimal: proved,
+            probes,
+        })
+    }
+
+    /// One satisfiability probe: Equation (2) constraints plus
+    /// `objective expression ≤ bound`, solved as a wide-gap MILP.
+    fn probe(
+        &self,
+        problem: &OptProblem,
+        sys: &ReducedSystem,
+        bound: u64,
+    ) -> Result<Probe, SolverError> {
+        let (mut milp, layout) = formulation::build_milp(problem, sys);
+        let k = sys.top.len();
+        let coefs: Vec<(rankhow_lp::VarId, f64)> = match problem.objective {
+            ErrorMeasure::Position | ErrorMeasure::KendallTau => {
+                layout.err.iter().map(|&v| (v, 1.0)).collect()
+            }
+            ErrorMeasure::TopWeighted => layout
+                .err
+                .iter()
+                .enumerate()
+                .map(|(slot, &v)| (v, (k as u64 - sys.target[slot] as u64 + 1) as f64))
+                .collect(),
+        };
+        milp.add_constraint(&coefs, Op::Le, bound as f64 + 1e-6);
+        let sol = milp.solve_with(&self.config.probe).map_err(SolverError::Lp)?;
+        match sol.status {
+            MilpStatus::Optimal => Ok(Probe::Sat {
+                weights: layout.w.iter().map(|&v| sol.x[v]).collect(),
+                nodes: sol.stats.nodes_solved,
+            }),
+            MilpStatus::LimitReached if sol.has_incumbent => Ok(Probe::Sat {
+                weights: layout.w.iter().map(|&v| sol.x[v]).collect(),
+                nodes: sol.stats.nodes_solved,
+            }),
+            MilpStatus::Infeasible => Ok(Probe::Unsat {
+                nodes: sol.stats.nodes_solved,
+            }),
+            _ => Ok(Probe::Limit {
+                nodes: sol.stats.nodes_solved,
+            }),
+        }
+    }
+
+    /// A weight vector satisfying `P` (for the initial incumbent when
+    /// the uniform point violates a constraint).
+    fn constraint_center(&self, problem: &OptProblem) -> Result<Vec<f64>, SolverError> {
+        use rankhow_lp::{chebyshev_center, Problem as Lp, Sense};
+        let m = problem.m();
+        let mut lp = Lp::new(Sense::Minimize);
+        let w: Vec<_> = (0..m)
+            .map(|j| lp.add_var(&format!("w{j}"), 0.0, 1.0, 0.0))
+            .collect();
+        let simplex: Vec<_> = w.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&simplex, Op::Eq, 1.0);
+        problem.constraints.apply_to(&mut lp, &w);
+        match chebyshev_center(&lp) {
+            Ok(Some(c)) => Ok(c),
+            Ok(None) => Err(SolverError::Infeasible),
+            Err(e) => Err(SolverError::Lp(e)),
+        }
+    }
+}
+
+enum Probe {
+    Sat { weights: Vec<f64>, nodes: usize },
+    Unsat { nodes: usize },
+    Limit { nodes: usize },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RankHow, Tolerances, WeightConstraints};
+    use rankhow_data::Dataset;
+    use rankhow_ranking::GivenRanking;
+
+    fn problem_from(rows: Vec<Vec<f64>>, positions: Vec<Option<u32>>) -> OptProblem {
+        let m = rows[0].len();
+        let names = (0..m).map(|i| format!("A{i}")).collect();
+        let data = Dataset::from_rows(names, rows).unwrap();
+        let given = GivenRanking::from_positions(positions).unwrap();
+        OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0))
+            .unwrap()
+    }
+
+    #[test]
+    fn example4_reaches_zero() {
+        let p = problem_from(
+            vec![
+                vec![3.0, 2.0, 8.0],
+                vec![4.0, 1.0, 15.0],
+                vec![1.0, 1.0, 14.0],
+            ],
+            vec![Some(1), Some(2), None],
+        );
+        let res = SatSearch::new().solve(&p).unwrap();
+        assert_eq!(res.error, 0);
+        assert!(res.optimal);
+        assert_eq!(p.objective_value(&res.weights), 0);
+        // Zero is provable with a single SAT probe... or none, if the
+        // seed already achieves it.
+        assert!(res.probes.len() <= 2);
+    }
+
+    #[test]
+    fn forced_error_found_with_unsat_probes() {
+        // Identical ranked tuples: they always tie, optimum error is 1.
+        let p = problem_from(
+            vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]],
+            vec![Some(1), Some(2), None],
+        );
+        let res = SatSearch::new().solve(&p).unwrap();
+        assert_eq!(res.error, 1);
+        assert!(res.optimal);
+        // The search must have refuted E = 0.
+        assert!(res.probes.iter().any(|pr| pr.bound == 0 && !pr.sat));
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound() {
+        let p = problem_from(
+            vec![
+                vec![5.0, 1.0],
+                vec![4.0, 2.0],
+                vec![1.0, 5.0],
+                vec![2.0, 4.0],
+                vec![3.0, 3.0],
+            ],
+            vec![Some(1), Some(2), Some(3), None, None],
+        );
+        let bnb = RankHow::new().solve(&p).unwrap();
+        let sat = SatSearch::new().solve(&p).unwrap();
+        assert!(bnb.optimal && sat.optimal);
+        // Both prove the certified optimum; the B&B may additionally
+        // luck into a gap-band incumbent, never the reverse.
+        assert!(bnb.error <= sat.error, "bnb {} vs sat {}", bnb.error, sat.error);
+        if bnb.error < sat.error {
+            assert!(crate::verify::relies_on_gap_band(&p, &bnb.weights));
+        }
+    }
+
+    #[test]
+    fn honors_weight_constraints() {
+        let p = problem_from(
+            vec![
+                vec![3.0, 2.0, 8.0],
+                vec![4.0, 1.0, 15.0],
+                vec![1.0, 1.0, 14.0],
+            ],
+            vec![Some(1), Some(2), None],
+        )
+        .with_constraints(WeightConstraints::none().min_weight(0, 0.3))
+        .unwrap();
+        let res = SatSearch::new().solve(&p).unwrap();
+        assert!(res.weights[0] >= 0.3 - 1e-6, "weights {:?}", res.weights);
+        assert_eq!(res.error, p.objective_value(&res.weights));
+    }
+
+    #[test]
+    fn infeasible_constraints_detected() {
+        let p = problem_from(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![Some(1), Some(2)],
+        )
+        .with_constraints(
+            WeightConstraints::none()
+                .min_weight(0, 0.8)
+                .max_weight(0, 0.1),
+        )
+        .unwrap();
+        assert!(matches!(
+            SatSearch::new().solve(&p),
+            Err(SolverError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn position_windows_rejected() {
+        let p = problem_from(
+            vec![vec![2.0, 1.0], vec![1.0, 2.0], vec![0.0, 0.0]],
+            vec![Some(1), Some(2), None],
+        )
+        .with_positions(crate::PositionConstraints::none().pin(0, 1))
+        .unwrap();
+        assert!(matches!(
+            SatSearch::new().solve(&p),
+            Err(SolverError::PositionsUnsupported)
+        ));
+    }
+
+    #[test]
+    fn kendall_objective_supported() {
+        let p = problem_from(
+            vec![
+                vec![2.0, 1.0],
+                vec![1.0, 2.0],
+                vec![9.0, 9.0],
+                vec![8.0, 8.0],
+            ],
+            vec![Some(1), Some(2), None, None],
+        )
+        .with_objective(ErrorMeasure::KendallTau);
+        let res = SatSearch::new().solve(&p).unwrap();
+        assert_eq!(res.error, 0, "relative order of tuples 0,1 is free");
+        assert!(res.optimal);
+    }
+
+    #[test]
+    fn probe_trace_is_a_binary_search() {
+        let p = problem_from(
+            vec![
+                vec![5.0, 1.0],
+                vec![1.0, 5.0],
+                vec![4.0, 2.0],
+                vec![2.0, 4.0],
+            ],
+            vec![Some(4), Some(3), Some(2), Some(1)],
+        );
+        let res = SatSearch::new().solve(&p).unwrap();
+        assert!(res.optimal);
+        // Bounds must be strictly bracketing: every UNSAT bound is below
+        // the final error, every SAT bound at or above it.
+        for pr in &res.probes {
+            if pr.sat {
+                assert!(pr.bound >= res.error, "SAT at {} < final {}", pr.bound, res.error);
+            } else {
+                assert!(pr.bound < res.error, "UNSAT at {} ≥ final {}", pr.bound, res.error);
+            }
+        }
+    }
+
+    #[test]
+    fn time_limit_reports_not_optimal_or_finishes() {
+        let p = problem_from(
+            vec![
+                vec![5.0, 1.0],
+                vec![1.0, 5.0],
+                vec![4.0, 2.0],
+                vec![2.0, 4.0],
+            ],
+            vec![Some(4), Some(3), Some(2), Some(1)],
+        );
+        let cfg = SatSearchConfig {
+            time_limit: Some(Duration::from_nanos(1)),
+            ..SatSearchConfig::default()
+        };
+        let res = SatSearch::with_config(cfg).solve(&p).unwrap();
+        // With a 1 ns budget either the seed was already optimal (tiny
+        // instances) or the search stops unproved — both must be sound.
+        assert_eq!(res.error, p.objective_value(&res.weights));
+    }
+}

@@ -1,0 +1,158 @@
+//! Seed-point strategies for SYM-GD (paper Section IV-B).
+//!
+//! Two strategies, as in the paper:
+//! 1. a fast heuristic fit — ordinal regression (the default;
+//!    "especially ordinal regression often identified good weight
+//!    vectors that SYM-GD was able to improve") or linear regression;
+//! 2. a grid scan that lower-bounds the error of each cell via indicator
+//!    interval analysis and seeds at the most promising cell's center.
+
+use crate::formulation;
+use crate::OptProblem;
+use rankhow_baselines::ordinal_regression::{self, OrdinalConfig};
+use rankhow_baselines::{linear_regression, project_to_simplex, Instance};
+
+/// Ordinal-regression seed (the paper's default).
+pub fn ordinal_seed(problem: &OptProblem) -> Vec<f64> {
+    let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+    let cfg = OrdinalConfig {
+        gap: problem.tol.eps1,
+        tie_band: problem.tol.eps2.max(0.0),
+        ..OrdinalConfig::default()
+    };
+    let fitted = ordinal_regression::fit(&inst, &cfg);
+    project_to_simplex(&fitted.weights)
+}
+
+/// Linear-regression seed (weights projected onto the simplex).
+pub fn linear_regression_seed(problem: &OptProblem) -> Vec<f64> {
+    let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+    let fitted = linear_regression::fit(&inst, linear_regression::Variant::Default);
+    project_to_simplex(&fitted.weights)
+}
+
+/// Grid seed: split `[0,1]^m` into `cells_per_dim^m` cells, lower-bound
+/// each cell intersecting the simplex via
+/// [`formulation::reduce_against_box`], return the center of the cell
+/// with the smallest bound. Falls back to the uniform center when the
+/// grid would exceed `max_cells`.
+pub fn grid_seed(problem: &OptProblem, cells_per_dim: usize, max_cells: usize) -> Vec<f64> {
+    let m = problem.m();
+    assert!(cells_per_dim >= 1);
+    // Shrink the grid until it fits the cell budget.
+    let mut per_dim = cells_per_dim;
+    while per_dim > 1 && (per_dim as f64).powi(m as i32) > max_cells as f64 {
+        per_dim -= 1;
+    }
+    if per_dim <= 1 {
+        return vec![1.0 / m as f64; m];
+    }
+    let width = 1.0 / per_dim as f64;
+    let mut best: Option<(u64, Vec<f64>)> = None;
+    let mut idx = vec![0usize; m];
+    loop {
+        // Cell [idx·width, (idx+1)·width] per dimension.
+        let lo: Vec<f64> = idx.iter().map(|&i| i as f64 * width).collect();
+        let hi: Vec<f64> = idx.iter().map(|&i| (i + 1) as f64 * width).collect();
+        let lo_sum: f64 = lo.iter().sum();
+        let hi_sum: f64 = hi.iter().sum();
+        if lo_sum <= 1.0 && hi_sum >= 1.0 {
+            let sys = formulation::reduce_against_box(problem, &lo, &hi);
+            let bound = sys.error_lower_bound();
+            if best.as_ref().map_or(true, |(b, _)| bound < *b) {
+                let center: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| 0.5 * (l + h)).collect();
+                best = Some((bound, project_to_simplex(&center)));
+            }
+        }
+        // Advance the multi-index.
+        let mut d = 0;
+        loop {
+            if d == m {
+                return best
+                    .map(|(_, w)| w)
+                    .unwrap_or_else(|| vec![1.0 / m as f64; m]);
+            }
+            idx[d] += 1;
+            if idx[d] < per_dim {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_data::Dataset;
+    use rankhow_ranking::GivenRanking;
+
+    fn instance(hidden: &[f64]) -> OptProblem {
+        let m = hidden.len();
+        let n = 25;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| (((i * (11 + 5 * j)) % n) as f64) / n as f64)
+                    .collect()
+            })
+            .collect();
+        let scores: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(hidden).map(|(a, w)| a * w).sum())
+            .collect();
+        let data =
+            Dataset::from_rows((0..m).map(|j| format!("A{j}")).collect(), rows).unwrap();
+        let given = GivenRanking::from_scores(&scores, 6, 0.0).unwrap();
+        OptProblem::new(data, given).unwrap()
+    }
+
+    #[test]
+    fn ordinal_seed_is_simplex_point_with_low_error() {
+        let p = instance(&[0.7, 0.3]);
+        let seed = ordinal_seed(&p);
+        let sum: f64 = seed.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // OR recovers a linear ranking nearly exactly (it optimizes a
+        // score-based proxy, so a small position error is expected).
+        assert!(p.evaluate(&seed) <= 6, "error {}", p.evaluate(&seed));
+    }
+
+    #[test]
+    fn linreg_seed_is_simplex_point() {
+        let p = instance(&[0.5, 0.5]);
+        let seed = linear_regression_seed(&p);
+        let sum: f64 = seed.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(seed.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn grid_seed_prefers_good_cells() {
+        let p = instance(&[0.9, 0.1]);
+        let seed = grid_seed(&p, 5, 100);
+        // Grid bound should steer toward high w0: the chosen seed must
+        // be at least as good as the uniform center.
+        let uniform = vec![0.5, 0.5];
+        assert!(p.evaluate(&seed) <= p.evaluate(&uniform));
+    }
+
+    #[test]
+    fn grid_seed_budget_fallback() {
+        let p = instance(&[0.25, 0.25, 0.25, 0.25]);
+        // 10^4 cells > 10 budget → falls back to uniform center.
+        let seed = grid_seed(&p, 10, 10);
+        assert_eq!(seed, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn grid_seed_skips_cells_off_simplex() {
+        // With 2 dims and 4 cells/dim, only cells crossing Σw = 1
+        // qualify; result must still be a valid simplex point.
+        let p = instance(&[0.6, 0.4]);
+        let seed = grid_seed(&p, 4, 1000);
+        let sum: f64 = seed.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+}

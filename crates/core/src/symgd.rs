@@ -1,0 +1,345 @@
+//! Symbolic gradient descent (paper Section IV, Algorithms 1 and 2).
+//!
+//! SYM-GD is "gradient descent on steroids": instead of stepping along a
+//! gradient (the position-error landscape is piecewise constant — there
+//! is no useful gradient), it finds the *true optimum within a cell* of
+//! size `c` around the current point using the exact solver, then
+//! recenters the cell on that optimum and repeats until a fixpoint.
+//!
+//! Why cells make the exact solve cheap (Section IV-A): the smaller the
+//! cell, the fewer indicator hyperplanes intersect it; every
+//! non-intersecting hyperplane's indicator constant-folds away
+//! ([`crate::formulation::reduce_against_box`]), collapsing the MILP
+//! toward a pure LP. In the extreme a cell crossed by no hyperplane is a
+//! single arrangement cell with constant error.
+//!
+//! Algorithm 2 (adaptive) additionally doubles the cell whenever the
+//! inner loop stalls in a local optimum, trading time for the chance to
+//! escape — the paper uses it whenever a total timeout is given.
+
+use crate::solver::{RankHow, SolverError};
+use crate::OptProblem;
+use std::time::{Duration, Instant};
+
+/// SYM-GD configuration.
+#[derive(Clone, Debug)]
+pub struct SymGdConfig {
+    /// Cell edge length `c ∈ (0, 2)` (paper default experiments use
+    /// 0.1 for fixed-cell runs, 10⁻⁴ as the adaptive starting size).
+    pub cell_size: f64,
+    /// Algorithm 2: double the cell on stall instead of stopping.
+    pub adaptive: bool,
+    /// Total wall-clock budget `t_total` (Algorithm 2's outer loop; also
+    /// honored by Algorithm 1).
+    pub total_time: Option<Duration>,
+    /// Hard cap on recentering iterations.
+    pub max_iterations: usize,
+    /// Node limit per cell solve.
+    pub cell_node_limit: usize,
+    /// Time limit per cell solve.
+    pub cell_time_limit: Option<Duration>,
+}
+
+impl Default for SymGdConfig {
+    fn default() -> Self {
+        SymGdConfig {
+            cell_size: 0.1,
+            adaptive: false,
+            total_time: None,
+            max_iterations: 60,
+            cell_node_limit: 20_000,
+            // Bound each cell solve: the *last* iteration of Algorithm 1
+            // always runs to exhaustion (it must fail to improve before
+            // the loop stops), so an unbounded exact solve would burn
+            // the whole node budget proving local optimality.
+            cell_time_limit: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl SymGdConfig {
+    /// The paper's adaptive setup: starting cell 10⁻⁴, doubling, with a
+    /// total timeout.
+    pub fn adaptive(total_time: Duration) -> Self {
+        SymGdConfig {
+            cell_size: 1e-4,
+            adaptive: true,
+            total_time: Some(total_time),
+            ..SymGdConfig::default()
+        }
+    }
+}
+
+/// One recentering step of the trace.
+#[derive(Clone, Debug)]
+pub struct SymGdStep {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Error after the step.
+    pub error: u64,
+    /// Cell size used.
+    pub cell_size: f64,
+    /// Elapsed time since the run started.
+    pub elapsed: Duration,
+}
+
+/// Result of a SYM-GD run.
+#[derive(Clone, Debug)]
+pub struct SymGdResult {
+    /// Final weight vector.
+    pub weights: Vec<f64>,
+    /// Its position error.
+    pub error: u64,
+    /// Cell solves performed.
+    pub iterations: usize,
+    /// Times the adaptive loop doubled the cell.
+    pub cell_growths: usize,
+    /// Per-iteration trace.
+    pub trace: Vec<SymGdStep>,
+}
+
+/// The SYM-GD optimizer.
+///
+/// # Example
+/// ```
+/// use rankhow_core::{OptProblem, SymGd, SymGdConfig};
+/// use rankhow_data::Dataset;
+/// use rankhow_ranking::GivenRanking;
+///
+/// let data = Dataset::from_rows(
+///     vec!["A1".into(), "A2".into(), "A3".into()],
+///     vec![vec![3.0, 2.0, 8.0], vec![4.0, 1.0, 15.0], vec![1.0, 1.0, 14.0]],
+/// )
+/// .unwrap();
+/// let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+/// let problem = OptProblem::new(data, pi).unwrap();
+///
+/// // Start from the uniform point; a cell of size 0.5 is generous
+/// // enough to reach the zero-error region of Example 5 in one hop.
+/// let seed = vec![1.0 / 3.0; 3];
+/// let result = SymGd::with_config(SymGdConfig {
+///     cell_size: 0.5,
+///     ..SymGdConfig::default()
+/// })
+/// .solve(&problem, &seed)
+/// .unwrap();
+/// assert_eq!(result.error, 0);
+/// // The per-iteration trace is monotone non-increasing.
+/// assert!(result.trace.windows(2).all(|w| w[1].error <= w[0].error));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymGd {
+    config: SymGdConfig,
+}
+
+impl SymGd {
+    /// Optimizer with default configuration (Algorithm 1, cell 0.1).
+    pub fn new() -> Self {
+        SymGd::default()
+    }
+
+    /// Optimizer with explicit configuration.
+    pub fn with_config(config: SymGdConfig) -> Self {
+        SymGd { config }
+    }
+
+    /// Run from a seed point (see [`crate::seeding`] for strategies).
+    pub fn solve(&self, problem: &OptProblem, seed: &[f64]) -> Result<SymGdResult, SolverError> {
+        assert_eq!(seed.len(), problem.m(), "seed dimensionality");
+        let start = Instant::now();
+        let mut w: Vec<f64> = rankhow_baselines::project_to_simplex(seed);
+        // A seed violating position constraints starts from "no solution
+        // yet" — the first feasible cell optimum replaces it.
+        let mut err = problem.evaluate_constrained(&w).unwrap_or(u64::MAX);
+        let mut c = self.config.cell_size.clamp(1e-9, 2.0);
+        let mut iterations = 0usize;
+        let mut cell_growths = 0usize;
+        let mut trace = Vec::new();
+
+        'outer: loop {
+            // Inner loop: Algorithm 1 — recenter until no improvement.
+            loop {
+                if iterations >= self.config.max_iterations {
+                    break 'outer;
+                }
+                if let Some(tt) = self.config.total_time {
+                    if start.elapsed() >= tt {
+                        break 'outer;
+                    }
+                }
+                iterations += 1;
+                let (lo, hi) = cell_around(&w, c);
+                let solver = RankHow::for_cell(lo, hi, &self.config);
+                let sol = match solver.solve(problem) {
+                    Ok(s) => s,
+                    // Cell ∩ constraints empty: treat as a stall so the
+                    // adaptive loop can grow past it.
+                    Err(SolverError::Infeasible) => break,
+                    Err(e) => return Err(e),
+                };
+                trace.push(SymGdStep {
+                    iteration: iterations,
+                    error: sol.error.min(err),
+                    cell_size: c,
+                    elapsed: start.elapsed(),
+                });
+                if sol.error < err {
+                    err = sol.error;
+                    w = sol.weights;
+                    if err == 0 {
+                        break 'outer;
+                    }
+                } else {
+                    break; // fixpoint within this cell size
+                }
+            }
+            // Algorithm 2: grow the cell; Algorithm 1: stop.
+            if !self.config.adaptive {
+                break;
+            }
+            if c >= 2.0 {
+                break;
+            }
+            c = (c * 2.0).min(2.0);
+            cell_growths += 1;
+        }
+
+        if err == u64::MAX {
+            // Every visited cell was infeasible under the constraints.
+            return Err(SolverError::Infeasible);
+        }
+        Ok(SymGdResult {
+            weights: w,
+            error: err,
+            iterations,
+            cell_growths,
+            trace,
+        })
+    }
+}
+
+/// The cell of edge `c` around `w`, clipped to `[0, 1]^m`
+/// (`max(w_i − c/2, 0) ≤ w_i ≤ min(w_i + c/2, 1)` — Section IV-A).
+fn cell_around(w: &[f64], c: f64) -> (Vec<f64>, Vec<f64>) {
+    let lo = w.iter().map(|&x| (x - c / 2.0).max(0.0)).collect();
+    let hi = w.iter().map(|&x| (x + c / 2.0).min(1.0)).collect();
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_data::Dataset;
+    use rankhow_ranking::GivenRanking;
+
+    fn linear_instance(n: usize, hidden: &[f64], k: usize) -> OptProblem {
+        let m = hidden.len();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| (((i * (7 + 3 * j) + j) % n) as f64) / n as f64)
+                    .collect()
+            })
+            .collect();
+        let scores: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(hidden).map(|(a, w)| a * w).sum())
+            .collect();
+        let names = (0..m).map(|j| format!("A{j}")).collect();
+        let data = Dataset::from_rows(names, rows).unwrap();
+        let given = GivenRanking::from_scores(&scores, k, 0.0).unwrap();
+        OptProblem::new(data, given).unwrap()
+    }
+
+    #[test]
+    fn cell_clipping() {
+        let (lo, hi) = cell_around(&[0.05, 0.5, 0.98], 0.2);
+        let expect_lo = [0.0, 0.4, 0.88];
+        let expect_hi = [0.15, 0.6, 1.0];
+        for j in 0..3 {
+            assert!((lo[j] - expect_lo[j]).abs() < 1e-12, "{lo:?}");
+            assert!((hi[j] - expect_hi[j]).abs() < 1e-12, "{hi:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_monotone_nonincreasing() {
+        let p = linear_instance(30, &[0.6, 0.3, 0.1], 8);
+        let seed = vec![1.0 / 3.0; 3];
+        let res = SymGd::new().solve(&p, &seed).unwrap();
+        let mut prev = u64::MAX;
+        for step in &res.trace {
+            assert!(step.error <= prev, "monotone trace");
+            prev = step.error;
+        }
+        assert_eq!(res.error, prev.min(res.error));
+    }
+
+    #[test]
+    fn recovers_hidden_linear_function_near_seed() {
+        let p = linear_instance(24, &[0.55, 0.35, 0.1], 6);
+        // Seed near the hidden weights: small cells suffice.
+        let res = SymGd::new().solve(&p, &[0.5, 0.4, 0.1]).unwrap();
+        assert_eq!(res.error, 0, "weights {:?}", res.weights);
+    }
+
+    #[test]
+    fn adaptive_escapes_where_fixed_cell_stalls() {
+        let p = linear_instance(24, &[0.8, 0.15, 0.05], 6);
+        // Seed far from the hidden weights with a tiny cell.
+        let bad_seed = vec![0.05, 0.15, 0.8];
+        let fixed = SymGd::with_config(SymGdConfig {
+            cell_size: 0.02,
+            adaptive: false,
+            max_iterations: 12,
+            ..SymGdConfig::default()
+        })
+        .solve(&p, &bad_seed)
+        .unwrap();
+        let adaptive = SymGd::with_config(SymGdConfig {
+            cell_size: 0.02,
+            adaptive: true,
+            total_time: Some(Duration::from_secs(20)),
+            max_iterations: 40,
+            ..SymGdConfig::default()
+        })
+        .solve(&p, &bad_seed)
+        .unwrap();
+        assert!(adaptive.error <= fixed.error);
+        if fixed.error > 0 {
+            assert!(adaptive.cell_growths > 0, "adaptive must have grown");
+        }
+    }
+
+    #[test]
+    fn result_weights_live_on_simplex() {
+        let p = linear_instance(20, &[0.4, 0.6], 5);
+        let res = SymGd::new().solve(&p, &[0.9, 0.1]).unwrap();
+        let sum: f64 = res.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(res.weights.iter().all(|&x| x >= -1e-9));
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let p = linear_instance(30, &[0.5, 0.3, 0.2], 8);
+        let res = SymGd::with_config(SymGdConfig {
+            max_iterations: 3,
+            cell_size: 0.01,
+            adaptive: true,
+            total_time: Some(Duration::from_secs(60)),
+            ..SymGdConfig::default()
+        })
+        .solve(&p, &[1.0, 0.0, 0.0])
+        .unwrap();
+        assert!(res.iterations <= 3);
+    }
+
+    #[test]
+    fn seed_off_simplex_is_projected() {
+        let p = linear_instance(15, &[0.5, 0.5], 4);
+        let res = SymGd::new().solve(&p, &[3.0, -1.0]).unwrap();
+        let sum: f64 = res.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,318 @@
+//! Cross-validation of the alternative objectives (Section II: "our
+//! approach generalizes to other error measures") against an exact
+//! enumeration oracle.
+//!
+//! For `m = 2` the weight simplex is the segment `w = (t, 1−t)`, and
+//! every indicator flips at the single point where its score difference
+//! crosses the tie tolerance `ε`. Enumerating all crossing points and
+//! the midpoints between them therefore visits every cell of the
+//! ε-arrangement — an exhaustive oracle for *any* objective, entirely
+//! independent of the LP/MILP stack.
+
+use proptest::prelude::*;
+use rankhow_core::formulation::{build_milp, reduce_global};
+use rankhow_core::{ErrorMeasure, OptProblem, RankHow, Tolerances};
+use rankhow_data::Dataset;
+use rankhow_milp::MilpStatus;
+use rankhow_ranking::GivenRanking;
+
+/// All candidate weight vectors for the m = 2 oracle: indicator
+/// crossings, midpoints between consecutive crossings, and the simplex
+/// endpoints.
+fn m2_candidates(problem: &OptProblem) -> Vec<[f64; 2]> {
+    let rows = problem.data.rows();
+    let eps = problem.tol.eps;
+    let mut cuts = vec![0.0, 1.0];
+    for &r in problem.given.top_k() {
+        for (s, row_s) in rows.iter().enumerate() {
+            if s == r {
+                continue;
+            }
+            let d0 = row_s[0] - rows[r][0];
+            let d1 = row_s[1] - rows[r][1];
+            // diff(t) = t·d0 + (1−t)·d1 = ε  ⇒  t = (ε − d1)/(d0 − d1)
+            if (d0 - d1).abs() > 1e-300 {
+                let t = (eps - d1) / (d0 - d1);
+                if (0.0..=1.0).contains(&t) {
+                    cuts.push(t);
+                }
+                // The −ε crossing also flips the *reverse* pair when r
+                // and s are both ranked; cheap to include regardless.
+                let t2 = (-eps - d1) / (d0 - d1);
+                if (0.0..=1.0).contains(&t2) {
+                    cuts.push(t2);
+                }
+            }
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+    let mut candidates: Vec<[f64; 2]> = cuts.iter().map(|&t| [t, 1.0 - t]).collect();
+    for pair in cuts.windows(2) {
+        let mid = 0.5 * (pair[0] + pair[1]);
+        candidates.push([mid, 1.0 - mid]);
+    }
+    candidates
+}
+
+/// Exhaustive optimum of the configured objective over the m = 2 simplex.
+fn m2_optimum(problem: &OptProblem) -> (u64, [f64; 2]) {
+    let mut best = (u64::MAX, [0.5, 0.5]);
+    for w in m2_candidates(problem) {
+        let v = problem.objective_value(&w);
+        if v < best.0 {
+            best = (v, w);
+        }
+    }
+    best
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    rows: Vec<Vec<f64>>,
+    k: usize,
+    perm_seed: u64,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (4usize..7, 2usize..4, any::<u64>()).prop_flat_map(|(n, k, perm_seed)| {
+        let k = k.min(n - 1);
+        prop::collection::vec(prop::collection::vec(0.0..10.0f64, 2), n).prop_map(
+            move |rows| Instance {
+                rows,
+                k,
+                perm_seed,
+            },
+        )
+    })
+}
+
+fn build(inst: &Instance, measure: ErrorMeasure) -> Option<OptProblem> {
+    let n = inst.rows.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = inst.perm_seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut positions = vec![None; n];
+    for (pos, &idx) in order.iter().take(inst.k).enumerate() {
+        positions[idx] = Some(pos as u32 + 1);
+    }
+    let data = Dataset::from_rows(vec!["A0".into(), "A1".into()], inst.rows.clone()).ok()?;
+    let given = GivenRanking::from_positions(positions).ok()?;
+    Some(
+        OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0))
+            .ok()?
+            .with_objective(measure),
+    )
+}
+
+fn check_against_oracle(problem: &OptProblem) -> Result<(), TestCaseError> {
+    let sol = RankHow::new().solve(problem).unwrap();
+    let (oracle, oracle_w) = m2_optimum(problem);
+    // The oracle is the true Definition 4 optimum; the solver can never
+    // beat it, and may exceed it only when the optimum hides in the
+    // uncertified (ε2, ε1) band (Section V-A false negatives).
+    prop_assert!(
+        sol.error >= oracle,
+        "solver {} below exhaustive oracle {}",
+        sol.error,
+        oracle
+    );
+    if sol.error > oracle {
+        prop_assert!(
+            rankhow_core::verify::relies_on_gap_band(problem, &oracle_w),
+            "solver {} missed certified oracle optimum {} at {:?}",
+            sol.error,
+            oracle,
+            oracle_w
+        );
+    }
+    // The claim always verifies exactly.
+    prop_assert!(
+        rankhow_core::verify::verify_claim(problem, &sol.weights, sol.error),
+        "claimed {} failed exact verification",
+        sol.error
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn position_objective_matches_m2_oracle(inst in instance()) {
+        let Some(problem) = build(&inst, ErrorMeasure::Position) else { return Ok(()); };
+        check_against_oracle(&problem)?;
+    }
+
+    #[test]
+    fn kendall_objective_matches_m2_oracle(inst in instance()) {
+        let Some(problem) = build(&inst, ErrorMeasure::KendallTau) else { return Ok(()); };
+        check_against_oracle(&problem)?;
+    }
+
+    #[test]
+    fn top_weighted_objective_matches_m2_oracle(inst in instance()) {
+        let Some(problem) = build(&inst, ErrorMeasure::TopWeighted) else { return Ok(()); };
+        check_against_oracle(&problem)?;
+    }
+
+    #[test]
+    fn tau_optimum_never_exceeds_tau_of_position_optimum(inst in instance()) {
+        let Some(pos_p) = build(&inst, ErrorMeasure::Position) else { return Ok(()); };
+        let tau_p = pos_p.clone().with_objective(ErrorMeasure::KendallTau);
+        let pos_sol = RankHow::new().solve(&pos_p).unwrap();
+        let tau_sol = RankHow::new().solve(&tau_p).unwrap();
+        // Optimizing tau directly is at least as good (on tau) as
+        // optimizing position error and measuring tau afterwards.
+        prop_assert!(
+            tau_sol.error <= tau_p.objective_value(&pos_sol.weights),
+            "tau-direct {} worse than tau-via-position {}",
+            tau_sol.error,
+            tau_p.objective_value(&pos_sol.weights)
+        );
+    }
+
+    #[test]
+    fn generic_milp_agrees_on_kendall_tau(inst in instance()) {
+        let Some(problem) = build(&inst, ErrorMeasure::KendallTau) else { return Ok(()); };
+        let specialized = RankHow::new().solve(&problem).unwrap();
+        let sys = reduce_global(&problem);
+        let (milp, layout) = build_milp(&problem, &sys);
+        let generic = milp.solve().unwrap();
+        prop_assert_eq!(generic.status, MilpStatus::Optimal);
+        let w: Vec<f64> = layout.w.iter().map(|&v| generic.x[v]).collect();
+        let generic_tau = problem.objective_value(&w);
+        // The z-encoding's objective must match the verified tau of its
+        // own weights.
+        prop_assert!(
+            (generic.objective - generic_tau as f64).abs() < 1e-4,
+            "milp tau objective {} vs verified {}",
+            generic.objective,
+            generic_tau
+        );
+        // Same certified-space relationship as for position error.
+        prop_assert!(
+            specialized.error <= generic_tau,
+            "specialized tau {} worse than milp tau {}",
+            specialized.error,
+            generic_tau
+        );
+        if specialized.error < generic_tau {
+            prop_assert!(
+                rankhow_core::verify::relies_on_gap_band(&problem, &specialized.weights),
+                "specialized tau {} beat certified milp {} without witness",
+                specialized.error,
+                generic_tau
+            );
+        }
+    }
+}
+
+/// Kendall tau ignores absolute displacement: when unbeatable unranked
+/// tuples push every ranked tuple down, position error is forced high
+/// but tau can still reach 0 by preserving relative order.
+#[test]
+fn tau_reaches_zero_where_position_cannot() {
+    // Tuples 0 and 1 are ranked; tuples 2 and 3 dominate both on every
+    // attribute, so ranks of 0 and 1 are always ≥ 3.
+    let data = Dataset::from_rows(
+        vec!["a".into(), "b".into()],
+        vec![
+            vec![2.0, 1.0],
+            vec![1.0, 2.0],
+            vec![9.0, 9.0],
+            vec![8.0, 8.0],
+        ],
+    )
+    .unwrap();
+    let given = GivenRanking::from_positions(vec![Some(1), Some(2), None, None]).unwrap();
+    let pos_p = OptProblem::with_tolerances(
+        data,
+        given,
+        Tolerances::explicit(1e-4, 2e-4, 0.0),
+    )
+    .unwrap();
+    let tau_p = pos_p.clone().with_objective(ErrorMeasure::KendallTau);
+
+    let pos_sol = RankHow::new().solve(&pos_p).unwrap();
+    // Ranks of both ranked tuples are ≥ 3, so the error is at least
+    // |1−3| + |2−3| = 3 no matter the weights.
+    assert!(pos_sol.error >= 3, "both ranked tuples displaced");
+
+    let tau_sol = RankHow::new().solve(&tau_p).unwrap();
+    assert_eq!(tau_sol.error, 0, "relative order is preservable");
+    assert!(tau_sol.optimal);
+}
+
+/// The top-weighted measure penalizes a displacement of the #1 tuple
+/// `k` times harder than the #k tuple; the solver must prefer sparing
+/// the top when it cannot spare everyone.
+#[test]
+fn top_weighted_spares_the_top()  {
+    // π = [1, 2, 3]; tuple 3 (unranked) is built so that it must beat
+    // either tuple 0 or tuple 2 (its attributes straddle them), never
+    // neither. Displacing tuple 2 (weight 1) is cheaper than
+    // displacing tuple 0 (weight 3).
+    let data = Dataset::from_rows(
+        vec!["a".into(), "b".into()],
+        vec![
+            vec![9.0, 1.0],
+            vec![5.0, 5.0],
+            vec![1.0, 9.0],
+            vec![4.0, 10.0],
+        ],
+    )
+    .unwrap();
+    let given =
+        GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), None]).unwrap();
+    let p = OptProblem::with_tolerances(
+        data,
+        given,
+        Tolerances::explicit(1e-4, 2e-4, 0.0),
+    )
+    .unwrap()
+    .with_objective(ErrorMeasure::TopWeighted);
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert!(sol.optimal);
+    // Tuple 0 must stay at rank 1: any solution displacing it pays ≥ 3.
+    let scores = rankhow_ranking::scores_f64(p.data.rows(), &sol.weights);
+    assert_eq!(rankhow_ranking::rank_of_in(&scores, 0, p.tol.eps), 1);
+    assert_eq!(sol.error, p.objective_value(&sol.weights));
+}
+
+/// `objective_value` must agree with the standalone measure dispatch in
+/// the ranking crate for all three measures.
+#[test]
+fn objective_value_matches_measure_dispatch() {
+    let data = Dataset::from_rows(
+        vec!["a".into(), "b".into()],
+        vec![
+            vec![3.0, 1.0],
+            vec![2.0, 2.0],
+            vec![1.0, 3.0],
+            vec![0.5, 0.5],
+        ],
+    )
+    .unwrap();
+    let given =
+        GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), None]).unwrap();
+    let base = OptProblem::new(data, given).unwrap();
+    for measure in [
+        ErrorMeasure::Position,
+        ErrorMeasure::KendallTau,
+        ErrorMeasure::TopWeighted,
+    ] {
+        let p = base.clone().with_objective(measure);
+        for w in [[1.0, 0.0], [0.0, 1.0], [0.4, 0.6]] {
+            let direct = p.objective_value(&w);
+            let via_ext = rankhow_core::extensions::evaluate_measure(&p, &w, measure);
+            assert_eq!(direct, via_ext, "measure {measure:?}, w {w:?}");
+        }
+    }
+}

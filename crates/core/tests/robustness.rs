@@ -1,0 +1,232 @@
+//! Failure-injection and pathological-input tests: huge magnitudes,
+//! catastrophic cancellation, duplicate tuples, constant attributes,
+//! degenerate rankings — the solver must stay sound (verified claims or
+//! explicit errors), never silently wrong.
+
+use rankhow_core::{
+    verify, OptProblem, RankHow, SatSearch, SolverConfig, SymGd, SymGdConfig, Tolerances,
+};
+use rankhow_data::Dataset;
+use rankhow_ranking::GivenRanking;
+use std::time::Duration;
+
+fn problem(
+    rows: Vec<Vec<f64>>,
+    positions: Vec<Option<u32>>,
+    tol: Tolerances,
+) -> OptProblem {
+    let m = rows[0].len();
+    let names = (0..m).map(|i| format!("A{i}")).collect();
+    let data = Dataset::from_rows(names, rows).unwrap();
+    let given = GivenRanking::from_positions(positions).unwrap();
+    OptProblem::with_tolerances(data, given, tol).unwrap()
+}
+
+/// Magnitudes near 1e15: f64 *full-row* score sums round at the ±0.25
+/// level, large enough to flip comparisons against a small ε. With an
+/// ε well above that rounding noise and separations well away from the
+/// ε boundary, the returned claim still verifies exactly (the Section
+/// V-A mechanism under stress).
+#[test]
+fn huge_magnitudes_still_verify_with_adequate_gap() {
+    let p = problem(
+        vec![
+            vec![1e15, 30.0],
+            vec![1e15, 20.0],
+            vec![1e15, 10.0],
+            vec![9e14, 90.0],
+        ],
+        vec![Some(1), Some(2), Some(3), None],
+        // ε = 1 dominates the ~0.25 rounding of 1e15-scale sums; ε1 = 2
+        // keeps certified separations twice as far out.
+        Tolerances::explicit(1.0, 2.0, 0.0),
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert_eq!(sol.error, 0, "w = (0, 1) ranks the three perfectly");
+    assert!(
+        verify::verify_claim(&p, &sol.weights, sol.error),
+        "claim {} must survive exact verification",
+        sol.error
+    );
+}
+
+/// A constant (zero-information) attribute must not break anything:
+/// its weight is free mass that never separates tuples.
+#[test]
+fn constant_attribute_is_harmless() {
+    let p = problem(
+        vec![
+            vec![5.0, 7.0],
+            vec![3.0, 7.0],
+            vec![1.0, 7.0],
+        ],
+        vec![Some(1), Some(2), Some(3)],
+        Tolerances::explicit(1e-6, 2e-6, 0.0),
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert_eq!(sol.error, 0, "attribute 0 alone ranks perfectly");
+    assert!(verify::verify_claim(&p, &sol.weights, sol.error));
+}
+
+/// All attributes constant: every tuple ties everywhere; the optimum is
+/// fully determined by the tie semantics and must be proved, not hung.
+#[test]
+fn fully_degenerate_data_terminates() {
+    let p = problem(
+        vec![vec![1.0, 1.0]; 4],
+        vec![Some(1), Some(2), Some(3), None],
+        Tolerances::explicit(1e-6, 2e-6, 0.0),
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    // Everything ties at rank 1: error = |1−1| + |2−1| + |3−1| = 3.
+    assert_eq!(sol.error, 3);
+    assert!(sol.optimal);
+}
+
+/// Duplicate rows with *different* required positions force error ≥ 1
+/// for each duplicated pair; the solver must prove that flatly.
+#[test]
+fn duplicate_rows_forced_error_is_proved() {
+    let p = problem(
+        vec![
+            vec![4.0, 4.0],
+            vec![4.0, 4.0],
+            vec![2.0, 2.0],
+            vec![2.0, 2.0],
+        ],
+        vec![Some(1), Some(2), Some(3), Some(4)],
+        Tolerances::explicit(1e-6, 2e-6, 0.0),
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    // Pairs (0,1) and (2,3) each tie: ranks [1,1,3,3], error 0+1+0+1 = 2.
+    assert_eq!(sol.error, 2);
+    assert!(sol.optimal);
+    assert!(verify::verify_claim(&p, &sol.weights, sol.error));
+}
+
+/// k = n (no ⊥ tail) and k = 1 (only the winner) both work.
+#[test]
+fn extreme_k_values() {
+    let rows = vec![
+        vec![4.0, 1.0],
+        vec![3.0, 2.0],
+        vec![2.0, 3.0],
+        vec![1.0, 4.0],
+    ];
+    let full = problem(
+        rows.clone(),
+        vec![Some(1), Some(2), Some(3), Some(4)],
+        Tolerances::explicit(1e-6, 2e-6, 0.0),
+    );
+    let sol = RankHow::new().solve(&full).unwrap();
+    assert_eq!(sol.error, 0, "attribute 0 ranks all four");
+
+    let top1 = problem(
+        rows,
+        vec![None, None, None, Some(1)],
+        Tolerances::explicit(1e-6, 2e-6, 0.0),
+    );
+    let sol1 = RankHow::new().solve(&top1).unwrap();
+    assert_eq!(sol1.error, 0, "attribute 1 puts tuple 3 on top");
+}
+
+/// A one-attribute instance: the scoring function is unique (w = [1]);
+/// every solver must agree and the error is fixed by the data order.
+#[test]
+fn single_attribute_unique_function() {
+    let p = problem(
+        vec![vec![1.0], vec![3.0], vec![2.0]],
+        vec![Some(1), Some(2), Some(3)],
+        Tolerances::explicit(1e-6, 2e-6, 0.0),
+    );
+    // Scores [1, 3, 2] → ranks [3, 1, 2] vs π [1, 2, 3]: |1−3|+|2−1|+|3−2| = 4.
+    let bnb = RankHow::new().solve(&p).unwrap();
+    assert_eq!(bnb.error, 4);
+    assert!(bnb.optimal);
+    let sat = SatSearch::new().solve(&p).unwrap();
+    assert_eq!(sat.error, 4);
+}
+
+/// Node-limit exhaustion must degrade to `optimal = false` with a
+/// verified incumbent — not an error, not an unverified claim.
+#[test]
+fn node_limit_degrades_gracefully() {
+    // Anti-correlated-ish hard instance.
+    let rows: Vec<Vec<f64>> = (0..14)
+        .map(|i| {
+            let x = i as f64;
+            vec![x, 13.0 - x, (x * 7.0) % 13.0]
+        })
+        .collect();
+    let positions: Vec<Option<u32>> = (0..14)
+        .map(|i| if i < 6 { Some((11 - i) as u32 - 5) } else { None })
+        .collect();
+    let p = problem(rows, positions, Tolerances::explicit(1e-6, 2e-6, 0.0));
+    let sol = RankHow::with_config(SolverConfig {
+        node_limit: 3,
+        root_samples: 4,
+        ..SolverConfig::default()
+    })
+    .solve(&p)
+    .unwrap();
+    assert!(verify::verify_claim(&p, &sol.weights, sol.error));
+}
+
+/// SYM-GD from a hostile seed (a simplex corner) still produces a
+/// verified, seed-no-worse result on nasty data.
+#[test]
+fn symgd_from_corner_seed_is_sound() {
+    let p = problem(
+        vec![
+            vec![1e12, 2.0, 0.0],
+            vec![9e11, 8.0, 1.0],
+            vec![8e11, 1.0, 9.0],
+            vec![7e11, 5.0, 5.0],
+        ],
+        vec![Some(1), Some(2), Some(3), None],
+        Tolerances::explicit(1e-3, 2e-3, 0.0),
+    );
+    let seed = vec![1.0, 0.0, 0.0];
+    let seed_err = p.objective_value(&seed);
+    let res = SymGd::with_config(SymGdConfig {
+        cell_size: 0.25,
+        adaptive: true,
+        total_time: Some(Duration::from_secs(5)),
+        ..SymGdConfig::default()
+    })
+    .solve(&p, &seed)
+    .unwrap();
+    assert!(res.error <= seed_err);
+    assert_eq!(res.error, p.objective_value(&res.weights));
+}
+
+/// The τ search heuristic on data engineered to create false positives
+/// at tiny ε1: it must settle on a tolerance whose solution verifies.
+#[test]
+fn tau_search_recovers_from_false_positives() {
+    // Near-tied tuples at large magnitude: naive gaps misclassify.
+    let rows = vec![
+        vec![1e9 + 2.0, 1.0],
+        vec![1e9 + 1.0, 2.0],
+        vec![1e9, 3.0],
+    ];
+    let mut p = problem(
+        rows,
+        vec![Some(1), Some(2), Some(3)],
+        Tolerances::from_eps_tau(1e-3, 1e-4),
+    );
+    p.tol = Tolerances::from_eps_tau(1e-3, 1e-4);
+    let tau = verify::find_tau(
+        &p,
+        |probe| {
+            let sol = RankHow::new().solve(probe).ok()?;
+            Some((sol.weights, sol.error))
+        },
+        12,
+    );
+    // Whatever τ̂ it lands on, the resulting solve must verify.
+    let mut final_p = p.clone();
+    final_p.tol = Tolerances::from_eps_tau(p.tol.eps, tau);
+    let sol = RankHow::new().solve(&final_p).unwrap();
+    assert!(verify::verify_claim(&final_p, &sol.weights, sol.error));
+}

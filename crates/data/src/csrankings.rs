@@ -1,0 +1,131 @@
+//! CSRankings-like institution data.
+//!
+//! Substitution for the real CSRankings dataset (628 institutions × 27
+//! computer-science areas of publication counts). The generator keeps
+//! the properties the experiments exercise:
+//!
+//! - few tuples, **many attributes** (the m-sweep of Fig. 3g goes to 27);
+//! - heavy-tailed counts (a handful of institutions dominate);
+//! - correlated area strengths (strong schools are strong broadly, with
+//!   per-area specialization);
+//! - a **geometric-mean default ranking** — CSRankings ranks by the
+//!   geometric mean of adjusted per-area counts, which is a realistic
+//!   non-linear given ranking for OPT.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankhow_ranking::GivenRanking;
+
+/// The 27 CSRankings areas (used as attribute names).
+pub const AREAS: [&str; 27] = [
+    "AI", "Vision", "ML", "NLP", "Web+IR", "Arch", "Networks", "Security", "DB", "EDA", "HPC",
+    "Mobile", "Metrics", "OS", "PL", "SE", "Theory", "Crypto", "Logic", "Graphics", "HCI",
+    "Robotics", "Bio", "Viz", "ECom", "CompSci", "CSEd",
+];
+
+/// Generated CSRankings-like data.
+#[derive(Clone, Debug)]
+pub struct CsRankingsData {
+    /// One row per institution over the 27 area publication counts.
+    pub dataset: Dataset,
+    /// Hidden geometric-mean scores (the default-ranking source).
+    pub geo_mean: Vec<f64>,
+}
+
+impl CsRankingsData {
+    /// The default given ranking (top-`k` by geometric-mean score).
+    pub fn default_ranking(&self, k: usize) -> GivenRanking {
+        GivenRanking::from_scores(&self.geo_mean, k, 0.0).expect("valid scores")
+    }
+}
+
+/// Generate `n` institutions over all 27 areas.
+pub fn generate(n: usize, seed: u64) -> CsRankingsData {
+    assert!(n >= 1);
+    let m = AREAS.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Institution strength: Pareto-ish heavy tail.
+        let u: f64 = rng.gen_range(0.0001..1.0f64);
+        let strength = 3.0 / u.powf(0.65); // few very large values
+        // Area profile: gamma-like weights (specialization).
+        let mut profile: Vec<f64> = (0..m)
+            .map(|_| {
+                let g: f64 = rng.gen_range(0.0001..1.0f64);
+                -g.ln() // Exp(1) sample: sparse-ish profile
+            })
+            .collect();
+        let total: f64 = profile.iter().sum();
+        profile.iter_mut().for_each(|p| *p /= total);
+        let row: Vec<f64> = profile
+            .iter()
+            .map(|p| (strength * p * m as f64).round().max(0.0))
+            .collect();
+        rows.push(row);
+    }
+    let geo_mean = rows
+        .iter()
+        .map(|r| {
+            let log_sum: f64 = r.iter().map(|c| (c + 1.0).ln()).sum();
+            (log_sum / m as f64).exp()
+        })
+        .collect();
+    let names = AREAS.iter().map(|s| s.to_string()).collect();
+    CsRankingsData {
+        dataset: Dataset::from_rows(names, rows).expect("valid generated data"),
+        geo_mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let d = generate(628, 1);
+        assert_eq!(d.dataset.n(), 628);
+        assert_eq!(d.dataset.m(), 27);
+        assert_eq!(d.dataset.names()[8], "DB");
+    }
+
+    #[test]
+    fn counts_are_nonnegative_integers() {
+        let d = generate(200, 2);
+        for row in d.dataset.rows() {
+            for &v in row {
+                assert!(v >= 0.0 && v.fract() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let d = generate(628, 3);
+        let mut totals: Vec<f64> = d.dataset.rows().iter().map(|r| r.iter().sum()).collect();
+        totals.sort_by(|a, b| b.total_cmp(a));
+        let top10: f64 = totals[..10].iter().sum();
+        let all: f64 = totals.iter().sum();
+        // Top decile institutions should hold a disproportionate share.
+        assert!(top10 / all > 0.10, "top-10 share {}", top10 / all);
+    }
+
+    #[test]
+    fn geo_mean_ranking_valid_and_nontrivial() {
+        let d = generate(628, 4);
+        let r = d.default_ranking(25);
+        assert_eq!(r.k(), 25);
+        // The #1 institution by geo-mean must also be the argmax score.
+        let best = (0..d.geo_mean.len())
+            .max_by(|&a, &b| d.geo_mean[a].total_cmp(&d.geo_mean[b]))
+            .unwrap();
+        assert_eq!(r.position(best), Some(1));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(100, 7).dataset, generate(100, 7).dataset);
+    }
+}

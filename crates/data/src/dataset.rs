@@ -1,0 +1,397 @@
+//! The relation `R`: a rectangular table of named numeric attributes.
+
+use std::fmt;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors constructing or loading a [`Dataset`].
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Rows have differing arity.
+    Ragged {
+        /// First offending row index.
+        row: usize,
+        /// Expected arity (from the first row / header).
+        expected: usize,
+        /// Actual arity found.
+        got: usize,
+    },
+    /// A value is NaN or infinite.
+    NonFinite {
+        /// Row of the offending value.
+        row: usize,
+        /// Column of the offending value.
+        col: usize,
+    },
+    /// No attributes or no rows.
+    Empty,
+    /// CSV parse failure.
+    Parse {
+        /// 1-based line number in the CSV file.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Ragged { row, expected, got } => {
+                write!(f, "row {row} has {got} values, expected {expected}")
+            }
+            DatasetError::NonFinite { row, col } => {
+                write!(f, "non-finite value at row {row}, column {col}")
+            }
+            DatasetError::Empty => write!(f, "dataset must have at least one row and column"),
+            DatasetError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+/// A relation with `n` tuples over `m` named numeric ranking attributes.
+///
+/// Attribute semantics follow the paper: *larger is better* for every
+/// attribute (undesirable attributes are negated before loading —
+/// Section I: "the column is simply converted to negative values").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Build from attribute names and row-major values, validating shape
+    /// and finiteness.
+    pub fn from_rows(names: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Self, DatasetError> {
+        if names.is_empty() || rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let m = names.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != m {
+                return Err(DatasetError::Ragged {
+                    row: i,
+                    expected: m,
+                    got: row.len(),
+                });
+            }
+            for (j, v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(DatasetError::NonFinite { row: i, col: j });
+                }
+            }
+        }
+        Ok(Dataset { names, rows })
+    }
+
+    /// Number of tuples `n`.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of attributes `m`.
+    pub fn m(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Attribute names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of an attribute by name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// One row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// Project onto a subset of attributes (by index, in the given order).
+    pub fn select_attrs(&self, attrs: &[usize]) -> Dataset {
+        let names = attrs.iter().map(|&a| self.names[a].clone()).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| attrs.iter().map(|&a| r[a]).collect())
+            .collect();
+        Dataset { names, rows }
+    }
+
+    /// Keep only the first `n` tuples (the "varying n" experiments).
+    pub fn take_rows(&self, n: usize) -> Dataset {
+        Dataset {
+            names: self.names.clone(),
+            rows: self.rows[..n.min(self.rows.len())].to_vec(),
+        }
+    }
+
+    /// Keep the tuples at the given indices, in order.
+    pub fn select_rows(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            names: self.names.clone(),
+            rows: idx.iter().map(|&i| self.rows[i].clone()).collect(),
+        }
+    }
+
+    /// Min-max normalize every attribute to `[0, 1]` (constant columns
+    /// become all-zero). Keeps ranking semantics: normalization is a
+    /// positive affine map per attribute.
+    pub fn min_max_normalized(&self) -> Dataset {
+        let m = self.m();
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![f64::NEG_INFINITY; m];
+        for row in &self.rows {
+            for j in 0..m {
+                lo[j] = lo[j].min(row[j]);
+                hi[j] = hi[j].max(row[j]);
+            }
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        let span = hi[j] - lo[j];
+                        if span > 0.0 {
+                            (v - lo[j]) / span
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Dataset {
+            names: self.names.clone(),
+            rows,
+        }
+    }
+
+    /// Append squared copies `A_i²` of every attribute (Section VI-F:
+    /// derived attributes make linear functions express quadratics).
+    pub fn with_squared_attrs(&self) -> Dataset {
+        let mut names = self.names.clone();
+        names.extend(self.names.iter().map(|n| format!("{n}^2")));
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.extend(r.iter().map(|v| v * v));
+                row
+            })
+            .collect();
+        Dataset { names, rows }
+    }
+
+    /// Append an arbitrary derived attribute computed from each row.
+    pub fn with_derived(&self, name: &str, f: impl Fn(&[f64]) -> f64) -> Dataset {
+        let mut names = self.names.clone();
+        names.push(name.to_string());
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.push(f(r));
+                row
+            })
+            .collect();
+        Dataset { names, rows }
+    }
+
+    /// Write as CSV (header + rows).
+    pub fn to_csv(&self, path: &Path) -> Result<(), DatasetError> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(w, "{}", self.names.join(","))?;
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            writeln!(w, "{}", line.join(","))?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read from CSV (header + numeric rows).
+    pub fn from_csv(path: &Path) -> Result<Self, DatasetError> {
+        let file = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(file);
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .ok_or(DatasetError::Empty)?
+            .map_err(DatasetError::Io)?;
+        let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+        let mut rows = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            let line = line.map_err(DatasetError::Io)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: Result<Vec<f64>, _> = line
+                .split(',')
+                .map(|tok| tok.trim().parse::<f64>())
+                .collect();
+            match row {
+                Ok(r) => rows.push(r),
+                Err(e) => {
+                    return Err(DatasetError::Parse {
+                        line: lineno + 2,
+                        message: e.to_string(),
+                    })
+                }
+            }
+        }
+        Dataset::from_rows(names, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 15.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(matches!(
+            Dataset::from_rows(vec!["a".into()], vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(DatasetError::Ragged { row: 1, .. })
+        ));
+        assert!(matches!(
+            Dataset::from_rows(vec!["a".into()], vec![vec![f64::NAN]]),
+            Err(DatasetError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            Dataset::from_rows(vec![], vec![]),
+            Err(DatasetError::Empty)
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = small();
+        assert_eq!(d.n(), 3);
+        assert_eq!(d.m(), 2);
+        assert_eq!(d.attr_index("b"), Some(1));
+        assert_eq!(d.attr_index("z"), None);
+        assert_eq!(d.row(2), &[3.0, 15.0]);
+    }
+
+    #[test]
+    fn select_and_take() {
+        let d = small();
+        let p = d.select_attrs(&[1]);
+        assert_eq!(p.m(), 1);
+        assert_eq!(p.row(0), &[10.0]);
+        let t = d.take_rows(2);
+        assert_eq!(t.n(), 2);
+        let s = d.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 15.0]);
+        assert_eq!(s.row(1), &[1.0, 10.0]);
+    }
+
+    #[test]
+    fn normalization_to_unit_interval() {
+        let d = small().min_max_normalized();
+        assert_eq!(d.row(0), &[0.0, 0.0]);
+        assert_eq!(d.row(1), &[0.5, 1.0]);
+        assert_eq!(d.row(2), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalization_constant_column() {
+        let d = Dataset::from_rows(
+            vec!["c".into()],
+            vec![vec![7.0], vec![7.0]],
+        )
+        .unwrap()
+        .min_max_normalized();
+        assert_eq!(d.row(0), &[0.0]);
+        assert_eq!(d.row(1), &[0.0]);
+    }
+
+    #[test]
+    fn normalization_preserves_order() {
+        let d = small();
+        let n = d.min_max_normalized();
+        for j in 0..d.m() {
+            for i1 in 0..d.n() {
+                for i2 in 0..d.n() {
+                    let before = d.row(i1)[j].partial_cmp(&d.row(i2)[j]).unwrap();
+                    let after = n.row(i1)[j].partial_cmp(&n.row(i2)[j]).unwrap();
+                    assert_eq!(before, after);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn squared_attributes() {
+        let d = small().with_squared_attrs();
+        assert_eq!(d.m(), 4);
+        assert_eq!(d.names()[2], "a^2");
+        assert_eq!(d.row(1), &[2.0, 20.0, 4.0, 400.0]);
+    }
+
+    #[test]
+    fn derived_attribute() {
+        let d = small().with_derived("sum", |r| r.iter().sum());
+        assert_eq!(d.m(), 3);
+        assert_eq!(d.row(0)[2], 11.0);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let d = small();
+        let dir = std::env::temp_dir().join("rankhow_data_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        d.to_csv(&path).unwrap();
+        let back = Dataset::from_csv(&path).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_parse_error_reports_line() {
+        let dir = std::env::temp_dir().join("rankhow_data_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b\n1,2\nx,3\n").unwrap();
+        match Dataset::from_csv(&path) {
+            Err(DatasetError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

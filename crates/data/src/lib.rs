@@ -1,0 +1,29 @@
+//! Datasets for RankHow: the relation `R`, synthetic generators, and the
+//! ranking functions that produce "given" rankings.
+//!
+//! The paper evaluates on two real datasets (NBA player-seasons from
+//! basketball-reference.com, CSRankings institution/area publication
+//! counts) plus nine synthetic datasets (uniform / correlated /
+//! anti-correlated à la the skyline-operator paper). The real datasets
+//! are not redistributable, so this crate ships *statistically faithful
+//! simulacra* (see DESIGN.md §2 for the substitution argument):
+//!
+//! - [`nba::generate`] — player-season stats with realistic role-based
+//!   correlations, a hidden PER-like efficiency formula, minutes played,
+//!   and a simulated MVP voting panel (Example 1 / Section VI-B);
+//! - [`csrankings::generate`] — heavy-tailed publication counts over 27
+//!   areas with a geometric-mean default ranking;
+//! - [`synthetic`] — the three classic distributions at any `n`, `m`.
+//!
+//! [`Dataset`] is the shared table type: named `f64` columns, min-max
+//! normalization, derived-attribute augmentation (Section VI-F), CSV IO.
+
+#![warn(missing_docs)]
+
+pub mod csrankings;
+mod dataset;
+pub mod nba;
+pub mod rankfns;
+pub mod synthetic;
+
+pub use dataset::{Dataset, DatasetError};

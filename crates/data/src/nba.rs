@@ -1,0 +1,289 @@
+//! NBA-like player-season data with hidden ranking processes.
+//!
+//! Substitution for the real basketball-reference dataset (22,840 player
+//! seasons, 1979/80–2022/23). The generator reproduces the statistical
+//! structure the experiments depend on:
+//!
+//! - the **8 default ranking attributes** — PTS, REB, AST, STL, BLK, FG%,
+//!   3P%, FT% (per-game averages) — with role-driven correlations (bigs
+//!   rebound and block, guards assist and shoot threes, stars score);
+//! - a hidden **PER-like efficiency** formula over auxiliary attributes
+//!   (attempt counts) that are *not* among the ranking attributes, plus
+//!   minutes played (MP), so the `MP·PER` given ranking is realistically
+//!   non-linear and partially out-of-scope — exactly the paper's setup;
+//! - a simulated **MVP vote**: a 100-member panel ranks its noisy top-5
+//!   with 10/7/5/3/1 points; the given ranking is by total points among
+//!   players with ≥1 vote, ties included (Section VI-B: 13 players voted,
+//!   the last two tied).
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankhow_ranking::GivenRanking;
+
+/// The eight default ranking attributes, in paper order.
+pub const RANKING_ATTRS: [&str; 8] = ["PTS", "REB", "AST", "STL", "BLK", "FG%", "3P%", "FT%"];
+
+/// A generated NBA-like dataset plus its hidden ranking processes.
+#[derive(Clone, Debug)]
+pub struct NbaData {
+    /// The visible relation: one row per player-season over
+    /// [`RANKING_ATTRS`].
+    pub dataset: Dataset,
+    /// Hidden minutes-played per tuple.
+    pub minutes: Vec<f64>,
+    /// Hidden PER-like efficiency per tuple.
+    pub per: Vec<f64>,
+    /// Hidden `MP · PER` scores (the Section VI-C given-ranking source).
+    pub mp_per: Vec<f64>,
+}
+
+impl NbaData {
+    /// Given ranking by the hidden `MP · PER` score (top-`k`).
+    pub fn mp_per_ranking(&self, k: usize) -> GivenRanking {
+        GivenRanking::from_scores(&self.mp_per, k, 0.0).expect("valid scores")
+    }
+}
+
+/// Player archetypes driving attribute correlations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    Guard,
+    Wing,
+    Big,
+}
+
+/// Generate `n` player-season tuples.
+pub fn generate(n: usize, seed: u64) -> NbaData {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut minutes = Vec::with_capacity(n);
+    let mut per = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let role = match rng.gen_range(0..3) {
+            0 => Role::Guard,
+            1 => Role::Wing,
+            _ => Role::Big,
+        };
+        // Latent talent: right-skewed so stars are rare (power of a
+        // uniform gives a Beta-like shape).
+        let talent: f64 = rng.gen::<f64>().powf(2.0);
+        // Minutes follow talent: benchwarmers ~8 mpg, stars ~38.
+        let mp = (8.0 + 30.0 * talent + rng.gen_range(-4.0..4.0)).clamp(2.0, 42.0);
+        let usage = mp / 36.0;
+
+        let noise = |rng: &mut StdRng, s: f64| rng.gen_range(-s..s);
+        let (reb_base, ast_base, stl_base, blk_base, tp_base) = match role {
+            Role::Guard => (2.5, 6.0, 1.3, 0.2, 0.36),
+            Role::Wing => (5.0, 3.0, 1.0, 0.5, 0.35),
+            Role::Big => (9.0, 1.5, 0.7, 1.6, 0.20),
+        };
+        let pts = (4.0 + 24.0 * talent * usage + noise(&mut rng, 3.0)).max(0.0);
+        let reb = (reb_base * (0.5 + talent) * usage + noise(&mut rng, 1.0)).max(0.0);
+        let ast = (ast_base * (0.4 + talent) * usage + noise(&mut rng, 0.8)).max(0.0);
+        let stl = (stl_base * (0.5 + talent) * usage + noise(&mut rng, 0.3)).max(0.0);
+        let blk = (blk_base * (0.5 + talent) * usage + noise(&mut rng, 0.25)).max(0.0);
+        let fg = (0.42 + 0.08 * talent
+            + if role == Role::Big { 0.06 } else { 0.0 }
+            + noise(&mut rng, 0.03))
+        .clamp(0.30, 0.70);
+        let tp = (tp_base + 0.05 * talent + noise(&mut rng, 0.06)).clamp(0.0, 0.50);
+        let ft = (0.70 + 0.12 * talent - if role == Role::Big { 0.08 } else { 0.0 }
+            + noise(&mut rng, 0.05))
+        .clamp(0.40, 0.95);
+
+        // Hidden auxiliary attributes for the PER-like formula: shot
+        // volume implied by scoring.
+        let fga = pts / (2.0 * fg.max(0.05));
+        let fta = pts * 0.25 / ft.max(0.05);
+        // Linear-weights efficiency per minute, scaled like real PER
+        // (league average ≈ 15).
+        let u_per = pts + 0.7 * reb + 1.2 * ast + 2.2 * stl + 2.0 * blk
+            - 0.8 * fga * (1.0 - fg)
+            - 0.4 * fta * (1.0 - ft);
+        let per_val = (u_per / mp.max(1.0)) * 36.0 * 0.55 + rng.gen_range(-0.4..0.4);
+
+        rows.push(vec![pts, reb, ast, stl, blk, fg, tp, ft]);
+        minutes.push(mp);
+        per.push(per_val);
+    }
+
+    let mp_per: Vec<f64> = minutes.iter().zip(&per).map(|(m, p)| m * p).collect();
+    let names = RANKING_ATTRS.iter().map(|s| s.to_string()).collect();
+    NbaData {
+        dataset: Dataset::from_rows(names, rows).expect("valid generated data"),
+        minutes,
+        per,
+        mp_per,
+    }
+}
+
+/// Outcome of the MVP vote simulation.
+#[derive(Clone, Debug)]
+pub struct MvpVote {
+    /// Indices (into the full dataset) of players receiving ≥ 1 vote,
+    /// ordered by descending point total.
+    pub voted_players: Vec<usize>,
+    /// Total award points per voted player (parallel to `voted_players`).
+    pub points: Vec<u32>,
+    /// Given ranking over the *voted players subset* (competition ranks;
+    /// ties share a position).
+    pub ranking: GivenRanking,
+}
+
+/// Simulate the MVP panel vote (Example 1): `panel_size` voters each rank
+/// their perceived top-5 by `MP·PER` plus perception noise, awarding
+/// 10/7/5/3/1 points.
+pub fn mvp_vote(data: &NbaData, panel_size: usize, seed: u64) -> MvpVote {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.mp_per.len();
+    // Panelists only seriously consider the analytic top ~20.
+    let mut candidates: Vec<usize> = (0..n).collect();
+    candidates.sort_by(|&a, &b| data.mp_per[b].total_cmp(&data.mp_per[a]));
+    candidates.truncate(20.min(n));
+    // Perception noise large enough that ballots disagree: historically
+    // 10–15 players receive votes in a season.
+    let spread = {
+        let top = data.mp_per[candidates[0]];
+        let last = data.mp_per[*candidates.last().unwrap()];
+        ((top - last) / 3.0).max(1.0)
+    };
+
+    let mut points = vec![0u32; n];
+    let award = [10u32, 7, 5, 3, 1];
+    for _ in 0..panel_size {
+        let mut perceived: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|&i| (i, data.mp_per[i] + rng.gen_range(-spread..spread)))
+            .collect();
+        perceived.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (slot, &(player, _)) in perceived.iter().take(5).enumerate() {
+            points[player] += award[slot];
+        }
+    }
+
+    let mut voted_players: Vec<usize> = (0..n).filter(|&i| points[i] > 0).collect();
+    voted_players.sort_by(|&a, &b| points[b].cmp(&points[a]).then(a.cmp(&b)));
+    let totals: Vec<u32> = voted_players.iter().map(|&i| points[i]).collect();
+    // Competition ranking over the voted subset with exact point ties.
+    let scores: Vec<f64> = totals.iter().map(|&p| p as f64).collect();
+    let ranking =
+        GivenRanking::from_scores(&scores, scores.len(), 0.0).expect("votes form valid ranking");
+    MvpVote {
+        voted_players,
+        points: totals,
+        ranking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::pearson;
+
+    fn column(d: &Dataset, name: &str) -> Vec<f64> {
+        let j = d.attr_index(name).unwrap();
+        d.rows().iter().map(|r| r[j]).collect()
+    }
+
+    #[test]
+    fn shape_and_names() {
+        let d = generate(300, 1);
+        assert_eq!(d.dataset.n(), 300);
+        assert_eq!(d.dataset.m(), 8);
+        assert_eq!(d.dataset.names()[0], "PTS");
+        assert_eq!(d.minutes.len(), 300);
+        assert_eq!(d.mp_per.len(), 300);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(50, 9).dataset, generate(50, 9).dataset);
+    }
+
+    #[test]
+    fn attribute_ranges_plausible() {
+        let d = generate(2000, 2);
+        for row in d.dataset.rows() {
+            let (pts, reb, ast, fg, tp, ft) = (row[0], row[1], row[2], row[5], row[6], row[7]);
+            assert!((0.0..60.0).contains(&pts), "PTS {pts}");
+            assert!((0.0..25.0).contains(&reb), "REB {reb}");
+            assert!((0.0..20.0).contains(&ast), "AST {ast}");
+            assert!((0.30..=0.70).contains(&fg));
+            assert!((0.0..=0.50).contains(&tp));
+            assert!((0.40..=0.95).contains(&ft));
+        }
+    }
+
+    #[test]
+    fn scoring_correlates_with_mp_per() {
+        // One attribute should strongly correlate with the given ranking
+        // score — the property Section VI-C blames for AdaRank's failure.
+        let d = generate(3000, 3);
+        let pts = column(&d.dataset, "PTS");
+        let r = pearson(&pts, &d.mp_per);
+        assert!(r > 0.75, "PTS vs MP*PER corr = {r}");
+    }
+
+    #[test]
+    fn role_structure_visible() {
+        // REB and AST should be negatively correlated across the league
+        // (bigs vs guards), unlike PTS which everyone accumulates.
+        let d = generate(3000, 4);
+        let reb = column(&d.dataset, "REB");
+        let ast = column(&d.dataset, "AST");
+        let blk = column(&d.dataset, "BLK");
+        assert!(pearson(&reb, &blk) > 0.3, "bigs rebound and block");
+        assert!(
+            pearson(&reb, &ast) < pearson(&reb, &blk),
+            "REB-AST weaker than REB-BLK"
+        );
+    }
+
+    #[test]
+    fn mvp_vote_has_realistic_shape() {
+        let d = generate(2000, 5);
+        let vote = mvp_vote(&d, 100, 5);
+        // A typical vote concentrates on 8–25 players.
+        assert!(
+            (5..=25).contains(&vote.voted_players.len()),
+            "{} voted",
+            vote.voted_players.len()
+        );
+        // Points descending.
+        for w in vote.points.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Total points conserved: 100 voters × 26 points.
+        let sum: u32 = vote.points.iter().sum();
+        assert_eq!(sum, 100 * 26);
+        // Ranking is over exactly the voted subset.
+        assert_eq!(vote.ranking.len(), vote.voted_players.len());
+        assert_eq!(vote.ranking.position(0), Some(1));
+    }
+
+    #[test]
+    fn mvp_ranking_positions_follow_points() {
+        let d = generate(2000, 6);
+        let vote = mvp_vote(&d, 100, 7);
+        for i in 1..vote.points.len() {
+            let prev = vote.ranking.position(i - 1).unwrap();
+            let cur = vote.ranking.position(i).unwrap();
+            if vote.points[i - 1] == vote.points[i] {
+                assert_eq!(prev, cur, "equal points tie");
+            } else {
+                assert!(prev < cur);
+            }
+        }
+    }
+
+    #[test]
+    fn mp_per_ranking_valid() {
+        let d = generate(500, 8);
+        let r = d.mp_per_ranking(6);
+        assert_eq!(r.k(), 6);
+        assert_eq!(r.len(), 500);
+    }
+}

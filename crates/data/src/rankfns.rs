@@ -1,0 +1,86 @@
+//! Ranking-function library: the hidden functions that produce "given"
+//! rankings in the evaluation (Section VI-A, Table II).
+
+use crate::Dataset;
+use rankhow_ranking::GivenRanking;
+
+/// Score every tuple by `Σ_i A_i^p` (the paper's synthetic ranking
+/// functions use `p ∈ {2, 3, 4, 5}`).
+pub fn sum_pow_scores(data: &Dataset, p: u32) -> Vec<f64> {
+    data.rows()
+        .iter()
+        .map(|r| r.iter().map(|a| a.powi(p as i32)).sum())
+        .collect()
+}
+
+/// Score every tuple by a linear function (sanity baseline: OPT must then
+/// achieve error 0 with unconstrained weights).
+pub fn linear_scores(data: &Dataset, weights: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), data.m());
+    data.rows()
+        .iter()
+        .map(|r| r.iter().zip(weights).map(|(a, w)| a * w).sum())
+        .collect()
+}
+
+/// Given ranking from `Σ A_i^p` scores: top-`k` ranked, rest `⊥`.
+pub fn sum_pow_ranking(data: &Dataset, p: u32, k: usize) -> GivenRanking {
+    GivenRanking::from_scores(&sum_pow_scores(data, p), k, 0.0).expect("valid scores")
+}
+
+/// Given ranking from a linear function.
+pub fn linear_ranking(data: &Dataset, weights: &[f64], k: usize) -> GivenRanking {
+    GivenRanking::from_scores(&linear_scores(data, weights), k, 0.0).expect("valid scores")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, Distribution};
+
+    #[test]
+    fn sum_pow_matches_manual() {
+        let d = Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 0.5]],
+        )
+        .unwrap();
+        assert_eq!(sum_pow_scores(&d, 2), vec![5.0, 9.25]);
+        assert_eq!(sum_pow_scores(&d, 3), vec![9.0, 27.125]);
+    }
+
+    #[test]
+    fn linear_scores_match_dot() {
+        let d = Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 0.5]],
+        )
+        .unwrap();
+        assert_eq!(linear_scores(&d, &[0.5, 0.5]), vec![1.5, 1.75]);
+    }
+
+    #[test]
+    fn rankings_are_valid_for_all_exponents() {
+        let d = generate(Distribution::Uniform, 200, 5, 11);
+        for p in 2..=5 {
+            let r = sum_pow_ranking(&d, p, 10);
+            assert_eq!(r.k(), 10);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_changes_order() {
+        // A tuple with one large coordinate overtakes a balanced tuple as
+        // p grows: [0.8, 0.0] (p=2: 0.64) vs [0.6, 0.6] (p=2: 0.72), but
+        // at p=5: 0.328 vs 0.156.
+        let d = Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![vec![0.8, 0.0], vec![0.6, 0.6]],
+        )
+        .unwrap();
+        let s2 = sum_pow_scores(&d, 2);
+        let s5 = sum_pow_scores(&d, 5);
+        assert!(s2[1] > s2[0], "balanced wins at p=2");
+        assert!(s5[0] > s5[1], "spiky wins at p=5");
+    }
+}

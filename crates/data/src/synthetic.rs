@@ -1,0 +1,157 @@
+//! Synthetic data distributions (uniform / correlated / anti-correlated).
+//!
+//! These replicate the generators of Börzsönyi et al.'s skyline paper,
+//! which the RankHow evaluation cites as the pattern source for its nine
+//! 1M-tuple synthetic datasets (three per distribution). All generators
+//! are deterministic in their seed.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which correlation structure to generate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Distribution {
+    /// Attributes i.i.d. uniform on `[0, 1]`.
+    Uniform,
+    /// All attributes positively correlated with a shared latent value.
+    Correlated,
+    /// Half the attributes track the latent value, half track its
+    /// complement.
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// All three, in the paper's presentation order.
+    pub fn all() -> [Distribution; 3] {
+        [
+            Distribution::Uniform,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Correlated => "correlated",
+            Distribution::AntiCorrelated => "anti-correlated",
+        }
+    }
+}
+
+/// Generate `n` tuples over `m` attributes with the given distribution.
+pub fn generate(dist: Distribution, n: usize, m: usize, seed: u64) -> Dataset {
+    assert!(n >= 1 && m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names = (0..m).map(|i| format!("A{}", i + 1)).collect();
+    let rows = (0..n)
+        .map(|_| match dist {
+            Distribution::Uniform => (0..m).map(|_| rng.gen::<f64>()).collect(),
+            Distribution::Correlated => {
+                let latent: f64 = rng.gen();
+                (0..m)
+                    .map(|_| {
+                        let noise: f64 = rng.gen_range(-0.15..0.15);
+                        (latent + noise).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            }
+            Distribution::AntiCorrelated => {
+                let latent: f64 = rng.gen();
+                (0..m)
+                    .map(|j| {
+                        let base = if j < m / 2 { latent } else { 1.0 - latent };
+                        let noise: f64 = rng.gen_range(-0.15..0.15);
+                        (base + noise).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+    Dataset::from_rows(names, rows).expect("generator produces valid data")
+}
+
+/// Pearson correlation between two equally-long samples (test helper and
+/// generator-quality probe).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va * vb).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(d: &Dataset, j: usize) -> Vec<f64> {
+        d.rows().iter().map(|r| r[j]).collect()
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        for dist in Distribution::all() {
+            let d = generate(dist, 500, 5, 42);
+            assert_eq!(d.n(), 500);
+            assert_eq!(d.m(), 5);
+            for row in d.rows() {
+                assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(Distribution::Uniform, 100, 3, 7);
+        let b = generate(Distribution::Uniform, 100, 3, 7);
+        let c = generate(Distribution::Uniform, 100, 3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_is_roughly_uncorrelated() {
+        let d = generate(Distribution::Uniform, 4000, 2, 1);
+        let r = pearson(&column(&d, 0), &column(&d, 1));
+        assert!(r.abs() < 0.08, "uniform corr {r}");
+    }
+
+    #[test]
+    fn correlated_attributes_strongly_positive() {
+        let d = generate(Distribution::Correlated, 4000, 4, 2);
+        for j in 1..4 {
+            let r = pearson(&column(&d, 0), &column(&d, j));
+            assert!(r > 0.7, "corr A1-A{} = {r}", j + 1);
+        }
+    }
+
+    #[test]
+    fn anti_correlated_halves_oppose() {
+        let d = generate(Distribution::AntiCorrelated, 4000, 4, 3);
+        // Within the first half: positive; across halves: negative.
+        let same = pearson(&column(&d, 0), &column(&d, 1));
+        let cross = pearson(&column(&d, 0), &column(&d, 2));
+        assert!(same > 0.6, "same-half corr {same}");
+        assert!(cross < -0.6, "cross-half corr {cross}");
+    }
+
+    #[test]
+    fn pearson_degenerate_constant() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Dense linear algebra substrate.
+//!
+//! Provides exactly what the RankHow reproduction needs and nothing more:
+//! a row-major dense [`Matrix`], LU and Cholesky solves, ordinary least
+//! squares ([`lstsq`]) and Lawson–Hanson non-negative least squares
+//! ([`nnls`]). The least-squares routines back the LINEAR REGRESSION
+//! baseline (paper Section VI-A and Example 3, which uses both the default
+//! and the non-negative variant).
+
+#![warn(missing_docs)]
+
+mod matrix;
+mod solve;
+
+pub use matrix::Matrix;
+pub use solve::{lstsq, lu_solve, nnls, LinalgError};

@@ -1,0 +1,291 @@
+//! Linear solves and least squares.
+
+use crate::Matrix;
+use std::fmt;
+
+/// Errors from linear solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The system matrix is singular (or numerically so).
+    Singular,
+    /// Dimension mismatch between operands.
+    DimensionMismatch,
+    /// An iterative routine failed to converge.
+    NoConvergence,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "singular matrix"),
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+            LinalgError::NoConvergence => write!(f, "iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solve `A x = b` with partial-pivot Gaussian elimination.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_abs) = (col..n)
+            .map(|r| (r, m[(r, col)].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        if pivot_abs < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[(col, col)];
+        for r in col + 1..n {
+            let factor = m[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = m[(col, j)];
+                m[(r, j)] -= factor * v;
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in i + 1..n {
+            s -= m[(i, j)] * x[j];
+        }
+        x[i] = s / m[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: minimize `‖A x − y‖₂`.
+///
+/// Solved via the normal equations `AᵀA x = Aᵀ y`; on (near-)singular
+/// Gram matrices a tiny ridge term is added and the solve retried, which
+/// mirrors what scikit-learn's default pipeline effectively tolerates in
+/// the paper's LINEAR REGRESSION baseline.
+pub fn lstsq(a: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if y.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let gram = a.gram();
+    let rhs = a.t_matvec(y);
+    match lu_solve(&gram, &rhs) {
+        Ok(x) => Ok(x),
+        Err(LinalgError::Singular) => {
+            let mut ridged = gram;
+            let scale = (0..ridged.rows())
+                .map(|i| ridged[(i, i)].abs())
+                .fold(0.0f64, f64::max)
+                .max(1.0);
+            for i in 0..ridged.rows() {
+                ridged[(i, i)] += 1e-8 * scale;
+            }
+            lu_solve(&ridged, &rhs)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Lawson–Hanson non-negative least squares:
+/// minimize `‖A x − y‖₂` subject to `x ≥ 0`.
+pub fn nnls(a: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if y.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    let max_outer = 3 * n + 30;
+
+    for _ in 0..max_outer {
+        // Gradient of the active-set dual: w = Aᵀ(y − A x).
+        let resid: Vec<f64> = a
+            .matvec(&x)
+            .iter()
+            .zip(y)
+            .map(|(pred, obs)| obs - pred)
+            .collect();
+        let w = a.t_matvec(&resid);
+        // Pick the most violated active constraint.
+        let candidate = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&i, &j| w[i].total_cmp(&w[j]));
+        let Some(j_star) = candidate else { break };
+        if w[j_star] <= 1e-10 {
+            break; // KKT satisfied.
+        }
+        passive[j_star] = true;
+
+        // Inner loop: solve unconstrained on the passive set, trimming
+        // variables that would go negative.
+        loop {
+            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let z = solve_subproblem(a, y, &idx)?;
+            if z.iter().all(|&v| v > 0.0) {
+                for (slot, &v) in idx.iter().zip(&z) {
+                    x[*slot] = v;
+                }
+                break;
+            }
+            // Step toward z as far as feasibility allows.
+            let mut alpha = f64::INFINITY;
+            for (pos, &slot) in idx.iter().enumerate() {
+                if z[pos] <= 0.0 {
+                    let denom = x[slot] - z[pos];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[slot] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (pos, &slot) in idx.iter().enumerate() {
+                x[slot] += alpha * (z[pos] - x[slot]);
+                if x[slot] <= 1e-12 {
+                    x[slot] = 0.0;
+                    passive[slot] = false;
+                }
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// OLS restricted to the columns in `idx`.
+fn solve_subproblem(a: &Matrix, y: &[f64], idx: &[usize]) -> Result<Vec<f64>, LinalgError> {
+    let mut sub = Matrix::zeros(a.rows(), idx.len());
+    for r in 0..a.rows() {
+        for (c, &j) in idx.iter().enumerate() {
+            sub[(r, c)] = a[(r, j)];
+        }
+    }
+    lstsq(&sub, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        // 2x + y = 5; x + 3y = 10  -> x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = lu_solve(&a, &[5.0, 10.0]).unwrap();
+        assert!(close(&x, &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the initial pivot position.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert!(close(&x, &[3.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_fit() {
+        // y = 2*x1 - 3*x2, overdetermined but consistent.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ]);
+        let y: Vec<f64> = (0..4).map(|i| 2.0 * a[(i, 0)] - 3.0 * a[(i, 1)]).collect();
+        let x = lstsq(&a, &y).unwrap();
+        assert!(close(&x, &[2.0, -3.0], 1e-8));
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let y = [1.0, 2.0, 6.0];
+        let x = lstsq(&a, &y).unwrap();
+        // Mean minimizes squared error for the all-ones design.
+        assert!((x[0] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_handles_singular_with_ridge() {
+        // Duplicated column -> singular Gram; the ridge fallback must
+        // still return a finite solution with the right prediction.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        let x = lstsq(&a, &y).unwrap();
+        let pred = a.matvec(&x);
+        assert!(close(&pred, &y, 1e-4));
+    }
+
+    #[test]
+    fn nnls_matches_ols_when_interior() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = [2.0, 3.0, 5.0];
+        let x = nnls(&a, &y).unwrap();
+        assert!(close(&x, &[2.0, 3.0], 1e-8));
+    }
+
+    #[test]
+    fn nnls_clamps_negative_coefficients() {
+        // OLS solution would be [2, -3]; NNLS must zero the second.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ]);
+        let y: Vec<f64> = (0..4).map(|i| 2.0 * a[(i, 0)] - 3.0 * a[(i, 1)]).collect();
+        let x = nnls(&a, &y).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0));
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn nnls_zero_fit_when_all_negative_target() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let y = [-1.0, -2.0];
+        let x = nnls(&a, &y).unwrap();
+        assert_eq!(x, vec![0.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert_eq!(lu_solve(&a, &[1.0]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(lstsq(&a, &[1.0, 2.0]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(nnls(&a, &[1.0, 2.0]), Err(LinalgError::DimensionMismatch));
+    }
+}

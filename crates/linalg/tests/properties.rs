@@ -1,0 +1,204 @@
+//! Property tests for the dense linear-algebra substrate.
+//!
+//! The solvers are validated against algebraic identities rather than
+//! reference outputs: `A·lu_solve(A, b) = b` for well-conditioned `A`,
+//! normal-equation optimality for `lstsq`, KKT-style optimality for
+//! `nnls`, and structural identities for the matrix type.
+
+use proptest::prelude::*;
+use rankhow_linalg::{lstsq, lu_solve, nnls, Matrix};
+
+/// A diagonally-dominant square matrix: comfortably invertible, so
+/// round-trip identities hold to tight tolerances.
+fn dominant_square(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(prop::collection::vec(-1.0..1.0f64, n), n).prop_map(
+        move |mut rows| {
+            for (i, row) in rows.iter_mut().enumerate() {
+                let off: f64 = row.iter().map(|x| x.abs()).sum();
+                row[i] = off + 1.0; // strict dominance
+            }
+            Matrix::from_rows(&rows)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_round_trips(
+        (a, b) in (2usize..6).prop_flat_map(|n| {
+            (dominant_square(n), prop::collection::vec(-10.0..10.0f64, n))
+        }),
+    ) {
+        let x = lu_solve(&a, &b).unwrap();
+        let back = a.matvec(&x);
+        for (bi, yi) in b.iter().zip(&back) {
+            prop_assert!((bi - yi).abs() < 1e-8, "residual {}", (bi - yi).abs());
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        data in prop::collection::vec(-5.0..5.0f64, 25),
+    ) {
+        let m = Matrix::from_rows(
+            &(0..rows)
+                .map(|i| data[i * cols..(i + 1) * cols].to_vec())
+                .collect::<Vec<_>>(),
+        );
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(m.rows(), tt.rows());
+        prop_assert_eq!(m.cols(), tt.cols());
+        for i in 0..rows {
+            prop_assert_eq!(m.row(i), tt.row(i));
+        }
+    }
+
+    #[test]
+    fn matmul_agrees_with_matvec_columns(
+        n in 1usize..4,
+        data_a in prop::collection::vec(-3.0..3.0f64, 16),
+        data_b in prop::collection::vec(-3.0..3.0f64, 16),
+    ) {
+        let a = Matrix::from_rows(
+            &(0..n).map(|i| data_a[i * n..(i + 1) * n].to_vec()).collect::<Vec<_>>(),
+        );
+        let b = Matrix::from_rows(
+            &(0..n).map(|i| data_b[i * n..(i + 1) * n].to_vec()).collect::<Vec<_>>(),
+        );
+        let c = a.matmul(&b);
+        // Column j of A·B equals A · (column j of B).
+        for j in 0..n {
+            let col: Vec<f64> = (0..n).map(|i| b.row(i)[j]).collect();
+            let expect = a.matvec(&col);
+            for i in 0..n {
+                prop_assert!((c.row(i)[j] - expect[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(
+        rows in 2usize..6,
+        cols in 1usize..4,
+        data in prop::collection::vec(-4.0..4.0f64, 24),
+    ) {
+        let a = Matrix::from_rows(
+            &(0..rows).map(|i| data[i * cols..(i + 1) * cols].to_vec()).collect::<Vec<_>>(),
+        );
+        let g = a.gram();
+        prop_assert_eq!(g.rows(), cols);
+        prop_assert_eq!(g.cols(), cols);
+        for i in 0..cols {
+            // Diagonal of AᵀA is a column's squared norm: non-negative.
+            prop_assert!(g.row(i)[i] >= -1e-12);
+            for j in 0..cols {
+                prop_assert!((g.row(i)[j] - g.row(j)[i]).abs() < 1e-10, "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns(
+        rows in 3usize..7,
+        cols in 1usize..3,
+        data in prop::collection::vec(-4.0..4.0f64, 21),
+        y in prop::collection::vec(-4.0..4.0f64, 7),
+    ) {
+        prop_assume!(rows > cols);
+        let a = Matrix::from_rows(
+            &(0..rows).map(|i| data[i * cols..(i + 1) * cols].to_vec()).collect::<Vec<_>>(),
+        );
+        let y = &y[..rows];
+        let x = lstsq(&a, y).unwrap();
+        // Normal equations: Aᵀ(y − A x) ≈ 0 (allowing for the ridge
+        // jitter fallback on near-singular Gram matrices).
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = y.iter().zip(&ax).map(|(yi, ai)| yi - ai).collect();
+        let grad = a.t_matvec(&resid);
+        for g in grad {
+            prop_assert!(g.abs() < 1e-4, "normal-equation residual {g}");
+        }
+    }
+
+    #[test]
+    fn nnls_output_is_nonnegative_and_no_worse_than_zero(
+        rows in 3usize..7,
+        cols in 1usize..3,
+        data in prop::collection::vec(-4.0..4.0f64, 21),
+        y in prop::collection::vec(-4.0..4.0f64, 7),
+    ) {
+        prop_assume!(rows > cols);
+        let a = Matrix::from_rows(
+            &(0..rows).map(|i| data[i * cols..(i + 1) * cols].to_vec()).collect::<Vec<_>>(),
+        );
+        let y = &y[..rows];
+        let x = nnls(&a, y).unwrap();
+        for &xi in &x {
+            prop_assert!(xi >= -1e-10, "negative coefficient {xi}");
+        }
+        // Objective sanity: the fit is at least as good as x = 0.
+        let ax = a.matvec(&x);
+        let fit: f64 = y.iter().zip(&ax).map(|(yi, ai)| (yi - ai).powi(2)).sum();
+        let zero: f64 = y.iter().map(|yi| yi * yi).sum();
+        prop_assert!(fit <= zero + 1e-8, "fit {fit} worse than zero {zero}");
+    }
+
+    #[test]
+    fn nnls_matches_lstsq_when_unconstrained_solution_is_nonnegative(
+        scale in 0.5..3.0f64,
+        x0 in 0.1..2.0f64,
+        x1 in 0.1..2.0f64,
+    ) {
+        // Build y = A x* with x* > 0 and well-conditioned A: both
+        // solvers must recover x* (the constraint is inactive).
+        let a = Matrix::from_rows(&[
+            vec![scale, 0.2],
+            vec![0.1, scale],
+            vec![0.3, 0.4],
+        ]);
+        let x_star = [x0, x1];
+        let y = a.matvec(&x_star);
+        let free = lstsq(&a, &y).unwrap();
+        let constrained = nnls(&a, &y).unwrap();
+        for i in 0..2 {
+            prop_assert!((free[i] - x_star[i]).abs() < 1e-6);
+            prop_assert!((constrained[i] - x_star[i]).abs() < 1e-6);
+        }
+    }
+}
+
+/// `lu_solve` must reject singular systems rather than return garbage.
+#[test]
+fn singular_matrix_rejected() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+    assert!(lu_solve(&a, &[1.0, 1.0]).is_err());
+}
+
+/// NNLS clamps a genuinely negative unconstrained optimum to the
+/// boundary (the textbook "anti-correlated regressor" case).
+#[test]
+fn nnls_clamps_negative_direction() {
+    // y is the *negative* of the single column: best non-negative
+    // coefficient is 0.
+    let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+    let y = [-1.0, -2.0, -3.0];
+    let x = nnls(&a, &y).unwrap();
+    assert!(x[0].abs() < 1e-10, "got {}", x[0]);
+}
+
+/// Identity behaves as the multiplicative unit in both orders.
+#[test]
+fn identity_is_neutral() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+    let i = Matrix::identity(2);
+    let left = i.matmul(&a);
+    let right = a.matmul(&i);
+    for r in 0..2 {
+        assert_eq!(left.row(r), a.row(r));
+        assert_eq!(right.row(r), a.row(r));
+    }
+}

@@ -1,0 +1,189 @@
+//! Geometric helpers over LP feasible regions.
+//!
+//! The TREE baseline must *sample a weight vector from each arrangement
+//! cell* (paper Section VI-B notes it samples from partitions), and the
+//! RankHow branch-and-bound samples interior points as incumbent
+//! candidates. A point deep inside the cell is far more robust than a
+//! vertex returned by plain phase-1 simplex — vertices sit exactly on the
+//! indicator hyperplanes being branched on, where the indicator value is
+//! ambiguous. The Chebyshev center (center of the largest inscribed ball)
+//! is the canonical choice.
+
+use crate::model::{Op, Problem, Sense, Status};
+use crate::simplex::SolveError;
+
+/// Compute a Chebyshev-style interior point of the feasible region of
+/// `problem` (its objective is ignored; only constraints/bounds are used).
+///
+/// Equality constraints are kept as equalities (the ball is inscribed
+/// within the affine subspace they define — radius is measured only
+/// against inequality constraints and bounds). Returns `None` if the
+/// region is empty.
+pub fn chebyshev_center(problem: &Problem) -> Result<Option<Vec<f64>>, SolveError> {
+    let n = problem.num_vars();
+    let mut p = Problem::new(Sense::Maximize);
+    // Mirror the structural variables (bounds become inequality rows so
+    // that the radius also pushes away from the bounds).
+    for i in 0..n {
+        p.add_var(problem.var_name(i), f64::NEG_INFINITY, f64::INFINITY, 0.0);
+    }
+    let radius = p.add_var("__radius", 0.0, f64::INFINITY, 1.0);
+
+    // Bounds as ball-shifted inequalities: x_i − r ≥ lo, x_i + r ≤ hi.
+    for i in 0..n {
+        let (lo, hi) = problem.bounds(i);
+        if lo.is_finite() {
+            p.add_constraint(&[(i, 1.0), (radius, -1.0)], Op::Ge, lo);
+        }
+        if hi.is_finite() {
+            p.add_constraint(&[(i, 1.0), (radius, 1.0)], Op::Le, hi);
+        }
+    }
+    for c in constraints(problem) {
+        let norm: f64 = c.terms.iter().map(|&(_, cf)| cf * cf).sum::<f64>().sqrt();
+        let mut terms = c.terms.clone();
+        match c.op {
+            Op::Le => {
+                terms.push((radius, norm));
+                p.add_constraint(&terms, Op::Le, c.rhs);
+            }
+            Op::Ge => {
+                terms.push((radius, -norm));
+                p.add_constraint(&terms, Op::Ge, c.rhs);
+            }
+            Op::Eq => {
+                p.add_constraint(&terms, Op::Eq, c.rhs);
+            }
+        }
+    }
+    // Keep the radius bounded so a full-dimensional unbounded region does
+    // not make the LP unbounded.
+    p.add_constraint(&[(radius, 1.0)], Op::Le, 1e6);
+
+    let sol = p.solve()?;
+    match sol.status {
+        Status::Optimal => Ok(Some(sol.x[..n].to_vec())),
+        Status::Infeasible => Ok(None),
+        Status::Unbounded => Ok(None),
+    }
+}
+
+/// Tightest `[lo, hi]` interval of the linear form `Σ coef·x` over the
+/// feasible region, obtained by minimizing and maximizing it. Returns
+/// `None` if the region is empty.
+pub fn box_range(
+    problem: &Problem,
+    terms: &[(usize, f64)],
+) -> Result<Option<(f64, f64)>, SolveError> {
+    let mut lo_p = problem.clone();
+    for i in 0..lo_p.num_vars() {
+        lo_p.set_objective(i, 0.0);
+    }
+    let mut hi_p = lo_p.clone();
+    for &(v, c) in terms {
+        lo_p.set_objective(v, c);
+        hi_p.set_objective(v, c);
+    }
+    let lo_sol = with_sense(&lo_p, Sense::Minimize).solve()?;
+    if lo_sol.status == Status::Infeasible {
+        return Ok(None);
+    }
+    let hi_sol = with_sense(&hi_p, Sense::Maximize).solve()?;
+    let lo = match lo_sol.status {
+        Status::Optimal => lo_sol.objective,
+        _ => f64::NEG_INFINITY,
+    };
+    let hi = match hi_sol.status {
+        Status::Optimal => hi_sol.objective,
+        Status::Infeasible => return Ok(None),
+        Status::Unbounded => f64::INFINITY,
+    };
+    Ok(Some((lo, hi)))
+}
+
+fn with_sense(p: &Problem, sense: Sense) -> Problem {
+    let mut q = p.clone();
+    q.set_sense(sense);
+    q
+}
+
+impl Problem {
+    /// Change the optimization sense.
+    pub fn set_sense(&mut self, sense: Sense) {
+        self.sense = sense;
+    }
+}
+
+fn constraints(p: &Problem) -> &[crate::model::Constraint] {
+    &p.constraints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_of_unit_square() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var("x", 0.0, 1.0, 0.0);
+        p.add_var("y", 0.0, 1.0, 0.0);
+        let c = chebyshev_center(&p).unwrap().unwrap();
+        assert!((c[0] - 0.5).abs() < 1e-6, "{c:?}");
+        assert!((c[1] - 0.5).abs() < 1e-6, "{c:?}");
+    }
+
+    #[test]
+    fn center_respects_halfspace() {
+        // Unit square cut by x + y ≤ 1: the inscribed ball center of the
+        // triangle is at (1−1/√2, 1−1/√2) ≈ (0.2929, 0.2929).
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 0.0);
+        let y = p.add_var("y", 0.0, 1.0, 0.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Le, 1.0);
+        let c = chebyshev_center(&p).unwrap().unwrap();
+        let expect = 1.0 - 1.0 / 2f64.sqrt();
+        assert!((c[0] - expect).abs() < 1e-6, "{c:?}");
+        assert!((c[1] - expect).abs() < 1e-6, "{c:?}");
+    }
+
+    #[test]
+    fn center_on_simplex_equality() {
+        // Σw = 1 over 3 weights: center should be the barycenter-ish
+        // interior point, strictly inside every bound.
+        let mut p = Problem::new(Sense::Minimize);
+        let w: Vec<_> = (0..3).map(|i| p.add_var(&format!("w{i}"), 0.0, 1.0, 0.0)).collect();
+        p.add_constraint(&[(w[0], 1.0), (w[1], 1.0), (w[2], 1.0)], Op::Eq, 1.0);
+        let c = chebyshev_center(&p).unwrap().unwrap();
+        let sum: f64 = c.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        for v in &c {
+            assert!(*v > 0.05, "interior: {c:?}");
+        }
+    }
+
+    #[test]
+    fn center_empty_region_is_none() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 0.0);
+        p.add_constraint(&[(x, 1.0)], Op::Ge, 2.0);
+        assert!(chebyshev_center(&p).unwrap().is_none());
+    }
+
+    #[test]
+    fn box_range_of_linear_form() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 0.0);
+        let y = p.add_var("y", 0.0, 2.0, 0.0);
+        let (lo, hi) = box_range(&p, &[(x, 1.0), (y, 2.0)]).unwrap().unwrap();
+        assert!((lo - 0.0).abs() < 1e-9);
+        assert!((hi - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_range_empty() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 0.0);
+        p.add_constraint(&[(x, 1.0)], Op::Ge, 3.0);
+        assert!(box_range(&p, &[(x, 1.0)]).unwrap().is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! LP model builder types.
+
+use crate::simplex::{self, SolveError};
+
+/// Index of a variable within a [`Problem`].
+pub type VarId = usize;
+
+/// Optimization direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint relation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// One linear constraint `Σ coef·x {≤,≥,=} rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Sparse terms `(variable, coefficient)`.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relation.
+    pub op: Op,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Variable metadata.
+#[derive(Clone, Debug)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lo: f64,
+    pub hi: f64,
+    pub obj: f64,
+}
+
+/// Solver outcome classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Solution of an LP.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Outcome. `x` and `objective` are meaningful only for `Optimal`.
+    pub status: Status,
+    /// Values of the structural variables (indexed by [`VarId`]).
+    pub x: Vec<f64>,
+    /// Objective value `c·x` in the problem's own sense.
+    pub objective: f64,
+}
+
+/// A linear program under construction.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// New empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Add a variable with bounds `[lo, hi]` (either may be infinite) and
+    /// objective coefficient `obj`. Returns its [`VarId`].
+    pub fn add_var(&mut self, name: &str, lo: f64, hi: f64, obj: f64) -> VarId {
+        assert!(lo <= hi, "variable {name}: lo > hi ({lo} > {hi})");
+        assert!(!lo.is_nan() && !hi.is_nan(), "variable {name}: NaN bound");
+        self.vars.push(Variable {
+            name: name.to_string(),
+            lo,
+            hi,
+            obj,
+        });
+        self.vars.len() - 1
+    }
+
+    /// Add a constraint `Σ terms {op} rhs`.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], op: Op, rhs: f64) {
+        for &(v, c) in terms {
+            assert!(v < self.vars.len(), "constraint references unknown var");
+            assert!(c.is_finite(), "non-finite constraint coefficient");
+        }
+        assert!(rhs.is_finite(), "non-finite rhs");
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Change a variable's objective coefficient.
+    pub fn set_objective(&mut self, var: VarId, obj: f64) {
+        self.vars[var].obj = obj;
+    }
+
+    /// Change a variable's bounds (used by branch-and-bound to tighten).
+    pub fn set_bounds(&mut self, var: VarId, lo: f64, hi: f64) {
+        assert!(lo <= hi, "set_bounds: lo > hi");
+        self.vars[var].lo = lo;
+        self.vars[var].hi = hi;
+    }
+
+    /// Variable bounds `(lo, hi)`.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        (self.vars[var].lo, self.vars[var].hi)
+    }
+
+    /// Variable name.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var].name
+    }
+
+    /// Solve to optimality (or detect infeasible/unbounded).
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        simplex::solve(self, false)
+    }
+
+    /// Feasibility check only (phase 1). Cheaper than a full solve; the
+    /// returned solution carries *a* feasible point, not an optimal one.
+    pub fn solve_feasibility(&self) -> Result<Solution, SolveError> {
+        simplex::solve(self, true)
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, xi)| v.obj * xi)
+            .sum()
+    }
+
+    /// Maximum violation of constraints and bounds at `x` (0 = feasible).
+    pub fn violation_at(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for (v, &xi) in self.vars.iter().zip(x) {
+            worst = worst.max(v.lo - xi).max(xi - v.hi);
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, coef)| coef * x[v]).sum();
+            let viol = match c.op {
+                Op::Le => lhs - c.rhs,
+                Op::Ge => c.rhs - lhs,
+                Op::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_bookkeeping() {
+        let mut p = Problem::new(Sense::Minimize);
+        let a = p.add_var("a", 0.0, 1.0, 2.0);
+        let b = p.add_var("b", -1.0, f64::INFINITY, -1.0);
+        p.add_constraint(&[(a, 1.0), (b, 1.0)], Op::Eq, 1.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.bounds(a), (0.0, 1.0));
+        assert_eq!(p.var_name(b), "b");
+        assert_eq!(p.objective_at(&[1.0, 3.0]), -1.0);
+    }
+
+    #[test]
+    fn violation_reports_worst_breach() {
+        let mut p = Problem::new(Sense::Minimize);
+        let a = p.add_var("a", 0.0, 1.0, 0.0);
+        p.add_constraint(&[(a, 1.0)], Op::Ge, 0.5);
+        assert_eq!(p.violation_at(&[0.75]), 0.0);
+        assert!((p.violation_at(&[0.2]) - 0.3).abs() < 1e-12);
+        assert!((p.violation_at(&[1.4]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > hi")]
+    fn bad_bounds_panic() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var("bad", 1.0, 0.0, 0.0);
+    }
+}

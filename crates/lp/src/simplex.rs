@@ -1,0 +1,604 @@
+//! Two-phase dense primal simplex.
+//!
+//! Standard-form conversion: every structural variable is shifted/mirrored/
+//! split so the internal variables satisfy `x ≥ 0`; finite upper bounds
+//! become explicit rows; `≤` rows get slacks, `≥` rows surplus+artificial,
+//! `=` rows artificials. Phase 1 minimizes the artificial sum; phase 2 the
+//! (internally always minimized) objective.
+
+use crate::model::{Op, Problem, Sense, Solution, Status};
+
+/// Pivot tolerance: entries smaller than this are treated as zero.
+const TOL: f64 = 1e-9;
+/// Entering tolerance: reduced costs above `−ENTER_TOL` do not justify a
+/// pivot (looser than `TOL` to stop numerical churn near the optimum).
+const ENTER_TOL: f64 = 1e-8;
+/// Phase-1 objective above this value means infeasible.
+const FEAS_TOL: f64 = 1e-7;
+/// Iterations with no objective improvement before switching to Bland.
+const STALL_LIMIT: usize = 64;
+
+/// Hard solver failures (distinct from Infeasible/Unbounded outcomes,
+/// which are valid answers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// Exceeded the iteration budget — numerical trouble.
+    IterationLimit,
+    /// The model contains a variable with `lo = -inf, hi = -inf` etc.
+    InvalidModel(String),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// How a structural variable maps onto standard-form variables.
+#[derive(Clone, Copy, Debug)]
+enum VarMap {
+    /// `x = x'_idx + shift` (lower bound shifted to zero).
+    Shifted { idx: usize, shift: f64 },
+    /// `x = mirror − x'_idx` (only an upper bound exists).
+    Mirrored { idx: usize, mirror: f64 },
+    /// `x = x'_pos − x'_neg` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+struct Tableau {
+    /// `rows × (ncols + 1)`; last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    ncols: usize,
+    basis: Vec<usize>,
+    /// Index of the first artificial column (columns ≥ this are artificial).
+    first_artificial: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.ncols + 1) + c]
+    }
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.a[r * (self.ncols + 1) + self.ncols]
+    }
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * (self.ncols + 1) + c] = v;
+    }
+
+    /// Gauss-Jordan pivot at (row, col), updating a cost row alongside.
+    fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
+        let w = self.ncols + 1;
+        let pivot = self.at(row, col);
+        debug_assert!(pivot.abs() > TOL, "pivot too small");
+        let inv = 1.0 / pivot;
+        for j in 0..w {
+            self.a[row * w + j] *= inv;
+        }
+        // Clean the pivot column exactly.
+        self.set(row, col, 1.0);
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor.abs() <= TOL {
+                self.set(r, col, 0.0);
+                continue;
+            }
+            for j in 0..w {
+                let delta = factor * self.a[row * w + j];
+                self.a[r * w + j] -= delta;
+            }
+            self.set(r, col, 0.0);
+        }
+        let factor = cost[col];
+        if factor.abs() > 0.0 {
+            for j in 0..w {
+                cost[j] -= factor * self.a[row * w + j];
+            }
+            cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+/// Reduced-cost row for cost vector `c` (length ncols) under the current
+/// basis. Returned slice has length `ncols + 1`; the last entry is
+/// `−(current objective value)`.
+fn reduced_costs(t: &Tableau, c: &[f64]) -> Vec<f64> {
+    let w = t.ncols + 1;
+    let mut r = vec![0.0; w];
+    r[..t.ncols].copy_from_slice(c);
+    for row in 0..t.rows {
+        let cb = c[t.basis[row]];
+        if cb != 0.0 {
+            for j in 0..w {
+                r[j] -= cb * t.a[row * w + j];
+            }
+        }
+    }
+    r
+}
+
+enum PhaseOutcome {
+    Done,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Run simplex iterations until optimal for the given cost row.
+/// `eligible(col)` filters which columns may enter (used to ban
+/// artificials in phase 2).
+fn run_phase(t: &mut Tableau, cost: &mut [f64], eligible: impl Fn(usize) -> bool) -> PhaseOutcome {
+    let max_iter = 500 + 200 * (t.rows + t.ncols);
+    let mut stall = 0usize;
+    let mut last_obj = f64::INFINITY;
+    for _ in 0..max_iter {
+        let bland = stall >= STALL_LIMIT;
+        // Entering column.
+        let mut enter: Option<usize> = None;
+        let mut best = -ENTER_TOL;
+        for j in 0..t.ncols {
+            if !eligible(j) {
+                continue;
+            }
+            let rc = cost[j];
+            if bland {
+                if rc < -ENTER_TOL {
+                    enter = Some(j);
+                    break;
+                }
+            } else if rc < best {
+                best = rc;
+                enter = Some(j);
+            }
+        }
+        let Some(col) = enter else {
+            return PhaseOutcome::Done;
+        };
+        // Ratio test (leaving row). In Bland mode ties break by smallest
+        // basis index (termination guarantee); in Dantzig mode prefer
+        // the largest pivot element among ties (numerical stability).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..t.rows {
+            let arc = t.at(r, col);
+            if arc > TOL {
+                let ratio = t.rhs(r) / arc;
+                let better = if ratio < best_ratio - TOL {
+                    true
+                } else if ratio < best_ratio + TOL {
+                    match leave {
+                        None => true,
+                        Some(lr) => {
+                            if bland {
+                                t.basis[r] < t.basis[lr]
+                            } else {
+                                arc > t.at(lr, col)
+                            }
+                        }
+                    }
+                } else {
+                    false
+                };
+                if better {
+                    best_ratio = ratio.min(best_ratio);
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(row) = leave else {
+            return PhaseOutcome::Unbounded;
+        };
+        t.pivot(row, col, cost);
+        let obj = -cost[t.ncols];
+        if obj < last_obj - 1e-12 {
+            last_obj = obj;
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+    }
+    PhaseOutcome::IterationLimit
+}
+
+/// Solve `problem`; with `feasibility_only` stop after phase 1.
+pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solution, SolveError> {
+    // ---- 1. Map structural variables to standard-form variables. ----
+    let mut maps: Vec<VarMap> = Vec::with_capacity(problem.vars.len());
+    let mut n_std = 0usize;
+    // (std var, upper bound) rows to add.
+    let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+    for v in &problem.vars {
+        if v.lo.is_infinite() && v.lo > 0.0 || v.hi.is_infinite() && v.hi < 0.0 {
+            return Err(SolveError::InvalidModel(format!(
+                "variable {} has inverted infinite bounds",
+                v.name
+            )));
+        }
+        if v.lo.is_finite() {
+            let idx = n_std;
+            n_std += 1;
+            if v.hi.is_finite() {
+                ub_rows.push((idx, v.hi - v.lo));
+            }
+            maps.push(VarMap::Shifted { idx, shift: v.lo });
+        } else if v.hi.is_finite() {
+            let idx = n_std;
+            n_std += 1;
+            maps.push(VarMap::Mirrored { idx, mirror: v.hi });
+        } else {
+            let pos = n_std;
+            let neg = n_std + 1;
+            n_std += 2;
+            maps.push(VarMap::Split { pos, neg });
+        }
+    }
+
+    // ---- 2. Build rows in standard variables with b on the right. ----
+    // Each row: (dense coefs over n_std, op, rhs).
+    let mut rows: Vec<(Vec<f64>, Op, f64)> = Vec::new();
+    for c in &problem.constraints {
+        let mut coefs = vec![0.0; n_std];
+        let mut rhs = c.rhs;
+        for &(var, coef) in &c.terms {
+            match maps[var] {
+                VarMap::Shifted { idx, shift } => {
+                    coefs[idx] += coef;
+                    rhs -= coef * shift;
+                }
+                VarMap::Mirrored { idx, mirror } => {
+                    coefs[idx] -= coef;
+                    rhs -= coef * mirror;
+                }
+                VarMap::Split { pos, neg } => {
+                    coefs[pos] += coef;
+                    coefs[neg] -= coef;
+                }
+            }
+        }
+        rows.push((coefs, c.op, rhs));
+    }
+    for &(idx, ub) in &ub_rows {
+        let mut coefs = vec![0.0; n_std];
+        coefs[idx] = 1.0;
+        rows.push((coefs, Op::Le, ub));
+    }
+
+    // Row equilibration: scale each row by its max |coef| for stability.
+    for (coefs, _, rhs) in rows.iter_mut() {
+        let scale = coefs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+        if scale > 0.0 {
+            let inv = 1.0 / scale;
+            coefs.iter_mut().for_each(|c| *c *= inv);
+            *rhs *= inv;
+        }
+    }
+
+    // Normalize RHS ≥ 0.
+    for (coefs, op, rhs) in rows.iter_mut() {
+        if *rhs < 0.0 {
+            coefs.iter_mut().for_each(|c| *c = -*c);
+            *rhs = -*rhs;
+            *op = match *op {
+                Op::Le => Op::Ge,
+                Op::Ge => Op::Le,
+                Op::Eq => Op::Eq,
+            };
+        }
+    }
+
+    // ---- 3. Count slack/artificial columns and lay out the tableau. ----
+    let m = rows.len();
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for (_, op, _) in &rows {
+        match op {
+            Op::Le => n_slack += 1,
+            Op::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Op::Eq => n_art += 1,
+        }
+    }
+    let ncols = n_std + n_slack + n_art;
+    let w = ncols + 1;
+    let mut t = Tableau {
+        a: vec![0.0; m * w],
+        rows: m,
+        ncols,
+        basis: vec![0; m],
+        first_artificial: n_std + n_slack,
+    };
+    let mut slack_cursor = n_std;
+    let mut art_cursor = n_std + n_slack;
+    for (i, (coefs, op, rhs)) in rows.iter().enumerate() {
+        for (j, &cf) in coefs.iter().enumerate() {
+            t.set(i, j, cf);
+        }
+        t.set(i, ncols, *rhs);
+        match op {
+            Op::Le => {
+                t.set(i, slack_cursor, 1.0);
+                t.basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Op::Ge => {
+                t.set(i, slack_cursor, -1.0);
+                slack_cursor += 1;
+                t.set(i, art_cursor, 1.0);
+                t.basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Op::Eq => {
+                t.set(i, art_cursor, 1.0);
+                t.basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    // ---- 4. Phase 1: minimize artificial sum. ----
+    if n_art > 0 {
+        let mut c1 = vec![0.0; ncols];
+        for j in t.first_artificial..ncols {
+            c1[j] = 1.0;
+        }
+        let mut cost = reduced_costs(&t, &c1);
+        match run_phase(&mut t, &mut cost, |_| true) {
+            PhaseOutcome::Done => {}
+            // Phase 1 objective is bounded below by 0; unbounded = bug.
+            PhaseOutcome::Unbounded => return Err(SolveError::IterationLimit),
+            PhaseOutcome::IterationLimit => return Err(SolveError::IterationLimit),
+        }
+        let phase1_obj = -cost[ncols];
+        if phase1_obj > FEAS_TOL {
+            return Ok(Solution {
+                status: Status::Infeasible,
+                x: vec![0.0; problem.vars.len()],
+                objective: f64::NAN,
+            });
+        }
+        // Drive artificials out of the basis (they are all at value 0).
+        // Pick the largest-magnitude pivot for numerical stability.
+        for row in 0..t.rows {
+            if t.basis[row] >= t.first_artificial {
+                let col = (0..t.first_artificial)
+                    .filter(|&j| t.at(row, j).abs() > 1e-7)
+                    .max_by(|&a, &b| t.at(row, a).abs().total_cmp(&t.at(row, b).abs()));
+                if let Some(col) = col {
+                    let mut dummy = vec![0.0; w];
+                    t.pivot(row, col, &mut dummy);
+                }
+                // else: redundant row; harmless to keep (all-zero in
+                // non-artificial columns, rhs 0).
+            }
+        }
+    }
+
+    // ---- 5. Phase 2. ----
+    let mut c2 = vec![0.0; ncols];
+    let obj_sign = match problem.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    for (v, map) in problem.vars.iter().zip(&maps) {
+        match *map {
+            VarMap::Shifted { idx, .. } => c2[idx] += obj_sign * v.obj,
+            VarMap::Mirrored { idx, .. } => c2[idx] -= obj_sign * v.obj,
+            VarMap::Split { pos, neg } => {
+                c2[pos] += obj_sign * v.obj;
+                c2[neg] -= obj_sign * v.obj;
+            }
+        }
+    }
+    if !feasibility_only {
+        let first_art = t.first_artificial;
+        let banned_basic: Vec<bool> = (0..ncols).map(|j| j >= first_art).collect();
+        let mut cost = reduced_costs(&t, &c2);
+        match run_phase(&mut t, &mut cost, |j| !banned_basic[j]) {
+            PhaseOutcome::Done => {}
+            PhaseOutcome::Unbounded => {
+                return Ok(Solution {
+                    status: Status::Unbounded,
+                    x: vec![0.0; problem.vars.len()],
+                    objective: match problem.sense {
+                        Sense::Minimize => f64::NEG_INFINITY,
+                        Sense::Maximize => f64::INFINITY,
+                    },
+                });
+            }
+            PhaseOutcome::IterationLimit => return Err(SolveError::IterationLimit),
+        }
+    }
+
+    // ---- 6. Extract the solution. ----
+    let mut std_vals = vec![0.0; ncols];
+    for row in 0..t.rows {
+        std_vals[t.basis[row]] = t.rhs(row);
+    }
+    let x: Vec<f64> = problem
+        .vars
+        .iter()
+        .zip(&maps)
+        .map(|(v, map)| {
+            let raw = match *map {
+                VarMap::Shifted { idx, shift } => std_vals[idx] + shift,
+                VarMap::Mirrored { idx, mirror } => mirror - std_vals[idx],
+                VarMap::Split { pos, neg } => std_vals[pos] - std_vals[neg],
+            };
+            // Clamp tiny bound violations from roundoff.
+            raw.clamp(v.lo, v.hi)
+        })
+        .collect();
+    let objective = problem.objective_at(&x);
+    Ok(Solution {
+        status: Status::Optimal,
+        x,
+        objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Op, Problem, Sense, Status};
+
+    #[test]
+    fn textbook_maximization() {
+        // Dantzig's classic: max 3x+5y, x≤4, 2y≤12, 3x+2y≤18.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 5.0);
+        p.add_constraint(&[(x, 1.0)], Op::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Op::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Op::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_needs_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 4, x + 3y ≥ 6 → optimum at (3,1): 9.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Ge, 4.0);
+        p.add_constraint(&[(x, 1.0), (y, 3.0)], Op::Ge, 6.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 9.0).abs() < 1e-9, "obj {}", s.objective);
+        assert!(p.violation_at(&s.x) < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 3, x,y ∈ [0, 10] → (0, 1.5): 1.5.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        let y = p.add_var("y", 0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Op::Eq, 3.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Op::Ge, 2.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 0.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Op::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds_shifted() {
+        // min x s.t. x ≥ -5 → -5.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", -5.0, 5.0, 1.0);
+        let s = p.solve().unwrap();
+        assert!((s.x[x] + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_variables_split() {
+        // min |style| free var via x ≥ constraint: min y s.t. y ≥ x − 2,
+        // y ≥ 2 − x, x free → optimum y = 0 at x = 2.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(y, 1.0), (x, -1.0)], Op::Ge, -2.0);
+        p.add_constraint(&[(y, 1.0), (x, 1.0)], Op::Ge, 2.0);
+        let s = p.solve().unwrap();
+        assert!((s.objective).abs() < 1e-9);
+        assert!((s.x[x] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn upper_bounded_only_variable_mirrored() {
+        // max x s.t. x ≤ 7 (no lower bound) → 7.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", f64::NEG_INFINITY, 7.0, 1.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.x[x] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 0.75);
+        let y = p.add_var("y", 0.0, f64::INFINITY, -150.0);
+        let z = p.add_var("z", 0.0, f64::INFINITY, 0.02);
+        let u = p.add_var("u", 0.0, f64::INFINITY, -6.0);
+        p.add_constraint(&[(x, 0.25), (y, -60.0), (z, -0.04), (u, 9.0)], Op::Le, 0.0);
+        p.add_constraint(&[(x, 0.5), (y, -90.0), (z, -0.02), (u, 3.0)], Op::Le, 0.0);
+        p.add_constraint(&[(z, 1.0)], Op::Le, 1.0);
+        // Beale's cycling example — must terminate with optimum 0.05.
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 0.05).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn feasibility_only_returns_feasible_point() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Eq, 1.0);
+        p.add_constraint(&[(x, 1.0)], Op::Ge, 0.25);
+        let s = p.solve_feasibility().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(p.violation_at(&s.x) < 1e-8);
+    }
+
+    #[test]
+    fn fixed_variable_lo_equals_hi() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 2.0, 2.0, 1.0);
+        let y = p.add_var("y", 0.0, 3.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Le, 4.0);
+        let s = p.solve().unwrap();
+        assert!((s.x[x] - 2.0).abs() < 1e-9);
+        assert!((s.x[y] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplex_weight_problem() {
+        // The shape every RankHow LP has: weights on the simplex.
+        // min w1 s.t. Σw=1, w1 ≥ 0.1, w2 ≤ 0.3.
+        let mut p = Problem::new(Sense::Minimize);
+        let w1 = p.add_var("w1", 0.0, 1.0, 1.0);
+        let w2 = p.add_var("w2", 0.0, 1.0, 0.0);
+        let w3 = p.add_var("w3", 0.0, 1.0, 0.0);
+        p.add_constraint(&[(w1, 1.0), (w2, 1.0), (w3, 1.0)], Op::Eq, 1.0);
+        p.add_constraint(&[(w1, 1.0)], Op::Ge, 0.1);
+        p.add_constraint(&[(w2, 1.0)], Op::Le, 0.3);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.x[w1] - 0.1).abs() < 1e-9);
+        assert!(p.violation_at(&s.x) < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random LPs with a *known feasible point*, then check
+//! the solver-reported optimum (a) is feasible, (b) is at least as good as
+//! the known point and any other sampled feasible points. This catches
+//! wrong pivots, bad phase-1 transitions, and sign errors without needing
+//! an oracle solver.
+
+use proptest::prelude::*;
+use rankhow_lp::{Op, Problem, Sense, Status};
+
+/// A random LP built around a known interior point so it is feasible by
+/// construction: constraints are `a·x ≤ a·x0 + slack` with slack ≥ 0.
+#[derive(Debug, Clone)]
+struct FeasibleLp {
+    problem: Problem,
+    witness: Vec<f64>,
+}
+
+fn feasible_lp() -> impl Strategy<Value = FeasibleLp> {
+    (2usize..5, 1usize..6).prop_flat_map(|(nvars, nrows)| {
+        let point = prop::collection::vec(0.0..1.0f64, nvars);
+        let objs = prop::collection::vec(-2.0..2.0f64, nvars);
+        let rows = prop::collection::vec(
+            (
+                prop::collection::vec(-1.0..1.0f64, nvars),
+                0.01..1.0f64, // slack distance from the witness point
+            ),
+            nrows,
+        );
+        (point, objs, rows).prop_map(move |(x0, objs, rows)| {
+            let mut p = Problem::new(Sense::Minimize);
+            for (i, &c) in objs.iter().enumerate() {
+                p.add_var(&format!("x{i}"), 0.0, 1.0, c);
+            }
+            for (coefs, slack) in rows {
+                let lhs: f64 = coefs.iter().zip(&x0).map(|(a, b)| a * b).sum();
+                let terms: Vec<(usize, f64)> =
+                    coefs.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+                p.add_constraint(&terms, Op::Le, lhs + slack);
+            }
+            FeasibleLp {
+                problem: p,
+                witness: x0,
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimum_is_feasible_and_beats_witness(lp in feasible_lp()) {
+        let sol = lp.problem.solve().unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(lp.problem.violation_at(&sol.x) < 1e-6,
+            "violation {}", lp.problem.violation_at(&sol.x));
+        let witness_obj = lp.problem.objective_at(&lp.witness);
+        prop_assert!(sol.objective <= witness_obj + 1e-7,
+            "optimum {} worse than witness {}", sol.objective, witness_obj);
+    }
+
+    #[test]
+    fn optimum_beats_random_feasible_samples(lp in feasible_lp(), seeds in prop::collection::vec(0.0..1.0f64, 16)) {
+        let sol = lp.problem.solve().unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+        let n = lp.problem.num_vars();
+        // Points on the segment witness→corner stay feasible for ≤ rows
+        // only if they satisfy them; just filter by violation.
+        for chunk in seeds.chunks(n) {
+            if chunk.len() < n {
+                continue;
+            }
+            let cand: Vec<f64> = lp
+                .witness
+                .iter()
+                .zip(chunk)
+                .map(|(w, s)| (w * 0.5 + s * 0.5).clamp(0.0, 1.0))
+                .collect();
+            if lp.problem.violation_at(&cand) <= 0.0 {
+                let obj = lp.problem.objective_at(&cand);
+                prop_assert!(sol.objective <= obj + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_mode_agrees_with_full_solve(lp in feasible_lp()) {
+        let feas = lp.problem.solve_feasibility().unwrap();
+        prop_assert_eq!(feas.status, Status::Optimal);
+        prop_assert!(lp.problem.violation_at(&feas.x) < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected_when_contradictory(bound in 0.1..0.9f64) {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Op::Le, bound - 0.05);
+        p.add_constraint(&[(x, 1.0)], Op::Ge, bound + 0.05);
+        let s = p.solve().unwrap();
+        prop_assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn equality_simplex_weights_solve(n in 2usize..8) {
+        // min w_0 over the probability simplex: optimum 0.
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_var(&format!("w{i}"), 0.0, 1.0, if i == 0 { 1.0 } else { 0.0 }))
+            .collect();
+        let terms: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Op::Eq, 1.0);
+        let s = p.solve().unwrap();
+        prop_assert_eq!(s.status, Status::Optimal);
+        prop_assert!(s.objective.abs() < 1e-9);
+        let total: f64 = s.x.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,170 @@
+//! Geometric oracle for the simplex solver: for 2-variable LPs the
+//! optimum (when bounded) lies at an intersection of two active
+//! boundaries (constraint lines and/or box edges). Enumerating every
+//! such intersection and taking the best feasible one is an exact,
+//! solver-independent oracle.
+
+use proptest::prelude::*;
+use rankhow_lp::{Op, Problem, Sense, Status};
+
+#[derive(Debug, Clone)]
+struct Lp2 {
+    maximize: bool,
+    c: [f64; 2],
+    // rows: a·x + b·y ≤ rhs
+    rows: Vec<([f64; 2], f64)>,
+    hi: [f64; 2],
+}
+
+fn lp2() -> impl Strategy<Value = Lp2> {
+    (
+        any::<bool>(),
+        prop::array::uniform2(-3.0..3.0f64),
+        prop::collection::vec((prop::array::uniform2(-2.0..2.0f64), -1.0..4.0f64), 0..4),
+        prop::array::uniform2(0.5..5.0f64),
+    )
+        .prop_map(|(maximize, c, rows, hi)| Lp2 {
+            maximize,
+            c,
+            rows,
+            hi,
+        })
+}
+
+fn feasible(p: &Lp2, x: f64, y: f64) -> bool {
+    const T: f64 = 1e-7;
+    x >= -T
+        && y >= -T
+        && x <= p.hi[0] + T
+        && y <= p.hi[1] + T
+        && p
+            .rows
+            .iter()
+            .all(|([a, b], rhs)| a * x + b * y <= rhs + T)
+}
+
+/// All candidate vertices: pairwise intersections of boundary lines.
+fn vertices(p: &Lp2) -> Vec<(f64, f64)> {
+    // Boundary lines as a·x + b·y = c.
+    let mut lines: Vec<(f64, f64, f64)> = vec![
+        (1.0, 0.0, 0.0),       // x = 0
+        (0.0, 1.0, 0.0),       // y = 0
+        (1.0, 0.0, p.hi[0]),   // x = hi
+        (0.0, 1.0, p.hi[1]),   // y = hi
+    ];
+    lines.extend(p.rows.iter().map(|([a, b], rhs)| (*a, *b, *rhs)));
+    let mut out = Vec::new();
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            let (a1, b1, c1) = lines[i];
+            let (a2, b2, c2) = lines[j];
+            let det = a1 * b2 - a2 * b1;
+            if det.abs() < 1e-10 {
+                continue;
+            }
+            let x = (c1 * b2 - c2 * b1) / det;
+            let y = (a1 * c2 - a2 * c1) / det;
+            if feasible(p, x, y) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+fn oracle(p: &Lp2) -> Option<f64> {
+    let vs = vertices(p);
+    if vs.is_empty() {
+        return None; // infeasible (the box guarantees boundedness)
+    }
+    let vals = vs.iter().map(|&(x, y)| p.c[0] * x + p.c[1] * y);
+    Some(if p.maximize {
+        vals.fold(f64::NEG_INFINITY, f64::max)
+    } else {
+        vals.fold(f64::INFINITY, f64::min)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn two_var_lps_match_vertex_oracle(p in lp2()) {
+        let sense = if p.maximize { Sense::Maximize } else { Sense::Minimize };
+        let mut lp = Problem::new(sense);
+        let x = lp.add_var("x", 0.0, p.hi[0], p.c[0]);
+        let y = lp.add_var("y", 0.0, p.hi[1], p.c[1]);
+        for ([a, b], rhs) in &p.rows {
+            lp.add_constraint(&[(x, *a), (y, *b)], Op::Le, *rhs);
+        }
+        let sol = lp.solve().unwrap();
+        match oracle(&p) {
+            Some(best) => {
+                prop_assert_eq!(sol.status, Status::Optimal);
+                prop_assert!(
+                    (sol.objective - best).abs() < 1e-5,
+                    "simplex {} vs oracle {}",
+                    sol.objective,
+                    best
+                );
+                // The reported point must itself be feasible.
+                prop_assert!(feasible(&p, sol.x[x], sol.x[y]),
+                    "reported point infeasible: {:?}", (sol.x[x], sol.x[y]));
+            }
+            None => prop_assert_eq!(sol.status, Status::Infeasible),
+        }
+    }
+
+    /// Equality constraints: x + y = s with box bounds — the optimum is
+    /// computable in closed form.
+    #[test]
+    fn equality_constrained_closed_form(
+        s in 0.2..1.8f64,
+        c0 in -2.0..2.0f64,
+        c1 in -2.0..2.0f64,
+    ) {
+        let mut lp = Problem::new(Sense::Minimize);
+        let x = lp.add_var("x", 0.0, 1.0, c0);
+        let y = lp.add_var("y", 0.0, 1.0, c1);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Eq, s);
+        let sol = lp.solve().unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+        // Put as much mass as possible on the cheaper variable; the
+        // rest goes to the other (bounded by 1 each, total s).
+        let best = if c0 <= c1 {
+            let xv = s.min(1.0);
+            c0 * xv + c1 * (s - xv)
+        } else {
+            let yv = s.min(1.0);
+            c1 * yv + c0 * (s - yv)
+        };
+        prop_assert!((sol.objective - best).abs() < 1e-6,
+            "simplex {} vs closed form {}", sol.objective, best);
+    }
+
+    /// Ge constraints mirror Le under negation: solving both forms gives
+    /// identical optima.
+    #[test]
+    fn ge_le_negation_symmetry(
+        a in prop::array::uniform2(-2.0..2.0f64),
+        rhs in -1.0..2.0f64,
+        c in prop::array::uniform2(-2.0..2.0f64),
+    ) {
+        let mut le = Problem::new(Sense::Maximize);
+        let x1 = le.add_var("x", 0.0, 3.0, c[0]);
+        let y1 = le.add_var("y", 0.0, 3.0, c[1]);
+        le.add_constraint(&[(x1, a[0]), (y1, a[1])], Op::Le, rhs);
+
+        let mut ge = Problem::new(Sense::Maximize);
+        let x2 = ge.add_var("x", 0.0, 3.0, c[0]);
+        let y2 = ge.add_var("y", 0.0, 3.0, c[1]);
+        ge.add_constraint(&[(x2, -a[0]), (y2, -a[1])], Op::Ge, -rhs);
+
+        let s1 = le.solve().unwrap();
+        let s2 = ge.solve().unwrap();
+        prop_assert_eq!(s1.status, s2.status);
+        if s1.status == Status::Optimal {
+            prop_assert!((s1.objective - s2.objective).abs() < 1e-7);
+        }
+    }
+}

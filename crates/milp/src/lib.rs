@@ -1,0 +1,39 @@
+//! Mixed-integer linear programming by branch-and-bound.
+//!
+//! This crate plays the role Gurobi plays in the RankHow paper for the
+//! *literal* Equation (2) encoding: binary indicator variables linked to
+//! the weight vector through big-M indicator constraints. It is a generic
+//! MILP solver — the RankHow core additionally ships a solver specialized
+//! to OPT's geometry, and the two are cross-validated against each other
+//! in tests.
+//!
+//! Solver ingredients (the ones Section III-B credits for MILP beating the
+//! naive PTIME enumeration):
+//! - **best-first search** on the LP relaxation bound with depth-first
+//!   plunging to find incumbents early,
+//! - **incumbent rounding heuristic** at every node,
+//! - **global pruning**: any node whose relaxation bound cannot beat the
+//!   incumbent is discarded — this is the "use results from one part of
+//!   the search space to rule out others" behaviour,
+//! - most-fractional branching.
+//!
+//! # Example
+//! ```
+//! use rankhow_lp::{Op, Sense};
+//! use rankhow_milp::{MilpProblem, MilpStatus};
+//!
+//! // max x + y, x,y binary, x + y ≤ 1  → optimum 1.
+//! let mut m = MilpProblem::new(Sense::Maximize);
+//! let x = m.add_binary("x", 1.0);
+//! let y = m.add_binary("y", 1.0);
+//! m.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Le, 1.0);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.status, MilpStatus::Optimal);
+//! assert!((sol.objective - 1.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bnb;
+
+pub use bnb::{BnbConfig, BnbStats, MilpProblem, MilpSolution, MilpStatus};

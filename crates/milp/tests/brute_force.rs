@@ -1,0 +1,349 @@
+//! Brute-force cross-validation of the branch-and-bound MILP solver.
+//!
+//! Small random integer programs are solved twice: by the solver under
+//! test and by exhaustive enumeration of every integral assignment
+//! (with the continuous part, when present, optimized by a plain LP per
+//! assignment). The two must agree on feasibility and on the optimal
+//! objective — the solver shares no enumeration code with the oracle,
+//! so agreement over hundreds of random programs is strong evidence of
+//! correctness.
+
+use proptest::prelude::*;
+use rankhow_lp::{Op, Problem as Lp, Sense, Status};
+use rankhow_milp::{BnbConfig, MilpProblem, MilpStatus};
+
+/// A random pure-binary program: min/max `c·x` s.t. `A x ≤ b`.
+#[derive(Debug, Clone)]
+struct BinaryProgram {
+    maximize: bool,
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn binary_program() -> impl Strategy<Value = BinaryProgram> {
+    (2usize..7, 1usize..4, any::<bool>()).prop_flat_map(|(n, r, maximize)| {
+        let costs = prop::collection::vec(-5.0..5.0f64, n);
+        let rows = prop::collection::vec(
+            (prop::collection::vec(-3.0..3.0f64, n), -2.0..6.0f64),
+            r,
+        );
+        (costs, rows).prop_map(move |(costs, rows)| BinaryProgram {
+            maximize,
+            costs,
+            rows,
+        })
+    })
+}
+
+fn build(p: &BinaryProgram) -> MilpProblem {
+    let sense = if p.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let mut m = MilpProblem::new(sense);
+    let vars: Vec<_> = p
+        .costs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| m.add_binary(&format!("x{i}"), c))
+        .collect();
+    for (coefs, rhs) in &p.rows {
+        let terms: Vec<_> = vars.iter().copied().zip(coefs.iter().copied()).collect();
+        m.add_constraint(&terms, Op::Le, *rhs);
+    }
+    m
+}
+
+/// Exhaustive oracle over all 2^n assignments.
+fn brute_force(p: &BinaryProgram) -> Option<f64> {
+    let n = p.costs.len();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+        let feasible = p.rows.iter().all(|(coefs, rhs)| {
+            let lhs: f64 = coefs.iter().zip(&x).map(|(c, v)| c * v).sum();
+            lhs <= rhs + 1e-9
+        });
+        if !feasible {
+            continue;
+        }
+        let obj: f64 = p.costs.iter().zip(&x).map(|(c, v)| c * v).sum();
+        best = Some(match best {
+            None => obj,
+            Some(b) => {
+                if p.maximize {
+                    b.max(obj)
+                } else {
+                    b.min(obj)
+                }
+            }
+        });
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn binary_programs_match_brute_force(p in binary_program()) {
+        let milp = build(&p);
+        let sol = milp.solve().unwrap();
+        match brute_force(&p) {
+            Some(best) => {
+                prop_assert_eq!(sol.status, MilpStatus::Optimal);
+                prop_assert!(
+                    (sol.objective - best).abs() < 1e-6,
+                    "solver {} vs oracle {}",
+                    sol.objective,
+                    best
+                );
+                // The reported point must be integral and feasible.
+                for (i, &v) in sol.x.iter().enumerate() {
+                    prop_assert!(
+                        (v - v.round()).abs() < 1e-6,
+                        "x{i} = {v} not integral"
+                    );
+                }
+            }
+            None => prop_assert_eq!(sol.status, MilpStatus::Infeasible),
+        }
+    }
+
+    #[test]
+    fn mixed_programs_match_enumeration_plus_lp(
+        n_bin in 2usize..5,
+        costs in prop::collection::vec(-4.0..4.0f64, 5),
+        link in prop::collection::vec(-2.0..2.0f64, 4),
+        rhs in 0.0..4.0f64,
+        cont_cost in -3.0..3.0f64,
+    ) {
+        // min c·x + cont_cost·y  s.t.  link·x + y ≤ rhs,  y ∈ [0, 2].
+        let costs = &costs[..n_bin];
+        let link = &link[..n_bin];
+
+        let mut m = MilpProblem::new(Sense::Minimize);
+        let bins: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| m.add_binary(&format!("x{i}"), c))
+            .collect();
+        let y = m.add_var("y", 0.0, 2.0, cont_cost);
+        let mut terms: Vec<_> = bins.iter().copied().zip(link.iter().copied()).collect();
+        terms.push((y, 1.0));
+        m.add_constraint(&terms, Op::Le, rhs);
+        let sol = m.solve().unwrap();
+
+        // Oracle: enumerate binaries, solve the 1-variable LP by hand:
+        // y ∈ [0, min(2, rhs − link·x)], pick the end minimizing cost.
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n_bin) {
+            let x: Vec<f64> = (0..n_bin).map(|i| ((mask >> i) & 1) as f64).collect();
+            let slack: f64 = rhs - link.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+            let y_hi = slack.min(2.0);
+            if y_hi < -1e-9 {
+                continue; // infeasible even at y = 0
+            }
+            let y_hi = y_hi.max(0.0);
+            let base: f64 = costs.iter().zip(&x).map(|(c, v)| c * v).sum();
+            let y_best = if cont_cost < 0.0 { y_hi } else { 0.0 };
+            best = best.min(base + cont_cost * y_best);
+        }
+        if best.is_finite() {
+            prop_assert_eq!(sol.status, MilpStatus::Optimal);
+            prop_assert!(
+                (sol.objective - best).abs() < 1e-6,
+                "solver {} vs oracle {}",
+                sol.objective,
+                best
+            );
+        } else {
+            prop_assert_eq!(sol.status, MilpStatus::Infeasible);
+        }
+    }
+
+    #[test]
+    fn bounded_integers_match_enumeration(
+        lo in -3i64..1,
+        span in 1i64..5,
+        c1 in -3.0..3.0f64,
+        c2 in -3.0..3.0f64,
+        cap in 0.0..6.0f64,
+    ) {
+        // min c1·u + c2·v  s.t.  u + v ≤ cap,  u,v ∈ [lo, lo+span] ∩ ℤ.
+        let hi = lo + span;
+        let mut m = MilpProblem::new(Sense::Minimize);
+        let u = m.add_integer("u", lo as f64, hi as f64, c1);
+        let v = m.add_integer("v", lo as f64, hi as f64, c2);
+        m.add_constraint(&[(u, 1.0), (v, 1.0)], Op::Le, cap);
+        let sol = m.solve().unwrap();
+
+        let mut best = f64::INFINITY;
+        for uu in lo..=hi {
+            for vv in lo..=hi {
+                if (uu + vv) as f64 <= cap + 1e-9 {
+                    best = best.min(c1 * uu as f64 + c2 * vv as f64);
+                }
+            }
+        }
+        if best.is_finite() {
+            prop_assert_eq!(sol.status, MilpStatus::Optimal);
+            prop_assert!((sol.objective - best).abs() < 1e-6,
+                "solver {} vs oracle {}", sol.objective, best);
+        } else {
+            prop_assert_eq!(sol.status, MilpStatus::Infeasible);
+        }
+    }
+
+    #[test]
+    fn indicator_semantics_hold_at_optimum(
+        d0 in -4.0..4.0f64,
+        d1 in -4.0..4.0f64,
+        threshold in 0.1..1.0f64,
+    ) {
+        // One weight pair (w0, w1) on the simplex, one indicator δ with
+        // δ=1 ⇒ d·w ≥ t and δ=0 ⇒ d·w ≤ 0, objective max δ: the solver
+        // may set δ=1 iff some simplex point reaches the threshold.
+        let mut m = MilpProblem::new(Sense::Maximize);
+        let w0 = m.add_var("w0", 0.0, 1.0, 0.0);
+        let w1 = m.add_var("w1", 0.0, 1.0, 0.0);
+        let d = m.add_binary("d", 1.0);
+        m.add_constraint(&[(w0, 1.0), (w1, 1.0)], Op::Eq, 1.0);
+        let big_m = d0.abs().max(d1.abs()) + threshold + 1.0;
+        m.add_indicator_ge(d, &[(w0, d0), (w1, d1)], threshold, big_m);
+        m.add_indicator_le(d, &[(w0, d0), (w1, d1)], 0.0, big_m);
+        let sol = m.solve().unwrap();
+
+        // Over the simplex, d·w ranges over [min(d0,d1), max(d0,d1)].
+        // δ=1 is realizable iff the max reaches the threshold; δ=0 iff
+        // the min reaches 0. If *neither* holds (0 < d·w < t everywhere)
+        // the program is correctly infeasible — the geometric origin of
+        // the paper's (ε2, ε1) gap band.
+        let can_beat = d0.max(d1) >= threshold;
+        let can_miss = d0.min(d1) <= 0.0;
+        if !can_beat && !can_miss {
+            prop_assert_eq!(sol.status, MilpStatus::Infeasible);
+            return Ok(());
+        }
+        prop_assert_eq!(sol.status, MilpStatus::Optimal);
+        let delta = sol.x[d].round() as i64;
+        if can_beat {
+            prop_assert_eq!(delta, 1, "threshold reachable but δ = 0");
+            let dot = d0 * sol.x[w0] + d1 * sol.x[w1];
+            prop_assert!(dot >= threshold - 1e-6, "dot {dot} below {threshold}");
+        } else {
+            prop_assert_eq!(delta, 0);
+            let dot = d0 * sol.x[w0] + d1 * sol.x[w1];
+            prop_assert!(dot <= 1e-6, "δ=0 but dot {dot} > 0");
+        }
+    }
+}
+
+/// The LP relaxation of an integral-vertex polytope solves the MILP
+/// directly; the B&B must not branch at all in that case.
+#[test]
+fn integral_relaxation_short_circuits() {
+    // Assignment-style: x01 + x02 = 1 with binaries — the relaxation
+    // polytope has integral vertices.
+    let mut m = MilpProblem::new(Sense::Maximize);
+    let a = m.add_binary("a", 3.0);
+    let b = m.add_binary("b", 1.0);
+    m.add_constraint(&[(a, 1.0), (b, 1.0)], Op::Eq, 1.0);
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert!((sol.objective - 3.0).abs() < 1e-9);
+    assert_eq!(sol.stats.nodes_solved, 1, "no branching needed");
+}
+
+/// Wide absolute gap stops at the first incumbent good enough — the
+/// satisfiability-probe configuration used by the core's SatSearch.
+#[test]
+fn wide_gap_accepts_early_incumbent() {
+    let mut m = MilpProblem::new(Sense::Minimize);
+    // Feasibility-style: all costs zero; any integral point is optimal.
+    let x = m.add_binary("x", 0.0);
+    let y = m.add_binary("y", 0.0);
+    m.add_constraint(&[(x, 1.0), (y, 1.0)], Op::Ge, 1.0);
+    let sol = m
+        .solve_with(&BnbConfig {
+            absolute_gap: 0.99,
+            ..BnbConfig::default()
+        })
+        .unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert!(sol.has_incumbent);
+    assert!(sol.objective.abs() < 1e-9);
+}
+
+/// Cross-check a knapsack family against the textbook DP solution.
+#[test]
+fn knapsack_matches_dynamic_programming() {
+    let values = [6.0, 10.0, 12.0, 7.0, 3.0, 9.0];
+    let weights = [1.0, 2.0, 3.0, 2.0, 1.0, 3.0];
+    for cap in 0..=12 {
+        let mut m = MilpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_binary(&format!("x{i}"), v))
+            .collect();
+        let terms: Vec<_> = vars.iter().copied().zip(weights.iter().copied()).collect();
+        m.add_constraint(&terms, Op::Le, cap as f64);
+        let sol = m.solve().unwrap();
+
+        // 0/1 knapsack DP over integral weights.
+        let mut dp = vec![0.0f64; cap + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w as usize;
+            for c in (w..=cap).rev() {
+                dp[c] = dp[c].max(dp[c - w] + values[i]);
+            }
+        }
+        assert!(
+            (sol.objective - dp[cap]).abs() < 1e-9,
+            "cap {cap}: milp {} vs dp {}",
+            sol.objective,
+            dp[cap]
+        );
+    }
+}
+
+/// The relaxation accessor exposes the underlying LP, whose optimum
+/// bounds the integral optimum from the correct side.
+#[test]
+fn relaxation_bounds_integral_optimum() {
+    let mut m = MilpProblem::new(Sense::Maximize);
+    let x = m.add_binary("x", 5.0);
+    let y = m.add_binary("y", 4.0);
+    m.add_constraint(&[(x, 2.0), (y, 3.0)], Op::Le, 4.0);
+    let relaxed = m.relaxation().clone().solve().unwrap();
+    assert_eq!(relaxed.status, Status::Optimal);
+    let integral = m.solve().unwrap();
+    assert!(relaxed.objective >= integral.objective - 1e-9);
+    assert!((integral.objective - 5.0).abs() < 1e-9, "take x only");
+}
+
+/// An unconstrained maximize over binaries with positive costs hits the
+/// all-ones vertex without issues (no constraint rows at all).
+#[test]
+fn no_constraints_edge_case() {
+    let mut m = MilpProblem::new(Sense::Maximize);
+    let _x = m.add_binary("x", 2.0);
+    let _y = m.add_binary("y", 3.0);
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert!((sol.objective - 5.0).abs() < 1e-9);
+}
+
+/// Reference LP used by the mixed-program oracle is itself sane (guards
+/// the oracle, not the solver).
+#[test]
+fn oracle_lp_reference_sane() {
+    let mut lp = Lp::new(Sense::Minimize);
+    let y = lp.add_var("y", 0.0, 2.0, -1.0);
+    lp.add_constraint(&[(y, 1.0)], Op::Le, 1.5);
+    let sol = lp.solve().unwrap();
+    assert_eq!(sol.status, Status::Optimal);
+    assert!((sol.x[y] - 1.5).abs() < 1e-9);
+}

@@ -1,0 +1,169 @@
+//! Property tests: branch-and-bound must agree with brute-force
+//! enumeration over all 0/1 assignments on small random MILPs.
+
+use proptest::prelude::*;
+use rankhow_lp::{Op, Sense, Status};
+use rankhow_milp::{MilpProblem, MilpStatus};
+
+#[derive(Debug, Clone)]
+struct RandomBinaryMilp {
+    objs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // a·x ≤ b
+}
+
+fn random_milp() -> impl Strategy<Value = RandomBinaryMilp> {
+    (2usize..7, 1usize..5).prop_flat_map(|(n, m)| {
+        let objs = prop::collection::vec(-5.0..5.0f64, n);
+        let rows = prop::collection::vec(
+            (prop::collection::vec(-3.0..3.0f64, n), -2.0..6.0f64),
+            m,
+        );
+        (objs, rows).prop_map(|(objs, rows)| RandomBinaryMilp { objs, rows })
+    })
+}
+
+/// Brute-force the optimum over all binary assignments.
+fn brute_force(milp: &RandomBinaryMilp) -> Option<f64> {
+    let n = milp.objs.len();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+        let feasible = milp
+            .rows
+            .iter()
+            .all(|(a, b)| a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + 1e-9);
+        if feasible {
+            let obj: f64 = milp.objs.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+            best = Some(best.map_or(obj, |b: f64| b.max(obj)));
+        }
+    }
+    best
+}
+
+fn build(milp: &RandomBinaryMilp) -> MilpProblem {
+    let mut m = MilpProblem::new(Sense::Maximize);
+    let vars: Vec<_> = milp
+        .objs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| m.add_binary(&format!("b{i}"), c))
+        .collect();
+    for (a, b) in &milp.rows {
+        let terms: Vec<(usize, f64)> = vars.iter().zip(a).map(|(&v, &c)| (v, c)).collect();
+        m.add_constraint(&terms, Op::Le, *b);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bnb_matches_brute_force(milp in random_milp()) {
+        let truth = brute_force(&milp);
+        let sol = build(&milp).solve().unwrap();
+        match truth {
+            None => prop_assert_eq!(sol.status, MilpStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status, MilpStatus::Optimal);
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "bnb {} vs brute {}", sol.objective, best);
+            }
+        }
+    }
+
+    #[test]
+    fn bnb_solution_is_integral_and_feasible(milp in random_milp()) {
+        let m = build(&milp);
+        let sol = m.solve().unwrap();
+        if sol.status == MilpStatus::Optimal {
+            for &xi in &sol.x {
+                prop_assert!((xi - xi.round()).abs() < 1e-6);
+            }
+            prop_assert!(m.relaxation().violation_at(&sol.x) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn relaxation_bounds_milp(milp in random_milp()) {
+        // The LP relaxation value is always ≥ the MILP optimum (maximize).
+        let m = build(&milp);
+        let relax = m.relaxation().solve().unwrap();
+        let sol = m.solve().unwrap();
+        if sol.status == MilpStatus::Optimal && relax.status == Status::Optimal {
+            prop_assert!(relax.objective >= sol.objective - 1e-6);
+        }
+    }
+
+    #[test]
+    fn big_m_indicators_consistent(thresh in 0.2..0.8f64) {
+        // δ=1 ⇒ y ≥ thresh; δ=0 ⇒ y ≤ thresh/2. Force each side with the
+        // objective and check the implication holds.
+        for force_up in [true, false] {
+            let mut m = MilpProblem::new(Sense::Maximize);
+            let d = m.add_binary("d", if force_up { 1.0 } else { -1.0 });
+            let y = m.add_var("y", 0.0, 1.0, 0.001);
+            m.add_indicator_ge(d, &[(y, 1.0)], thresh, 2.0);
+            m.add_indicator_le(d, &[(y, 1.0)], thresh / 2.0, 2.0);
+            let s = m.solve().unwrap();
+            prop_assert_eq!(s.status, MilpStatus::Optimal);
+            let delta = s.x[d].round() as i32;
+            if delta == 1 {
+                prop_assert!(s.x[y] >= thresh - 1e-6);
+            } else {
+                prop_assert!(s.x[y] <= thresh / 2.0 + 1e-6);
+            }
+        }
+    }
+}
+
+/// Deterministic regression: a problem where plain rounding of the
+/// relaxation is infeasible, so the search must actually branch.
+#[test]
+fn branching_required_case() {
+    let mut m = MilpProblem::new(Sense::Maximize);
+    let a = m.add_binary("a", 1.0);
+    let b = m.add_binary("b", 1.0);
+    let c = m.add_binary("c", 1.0);
+    // Pairwise exclusions: at most one of the three.
+    m.add_constraint(&[(a, 1.0), (b, 1.0)], Op::Le, 1.0);
+    m.add_constraint(&[(b, 1.0), (c, 1.0)], Op::Le, 1.0);
+    m.add_constraint(&[(a, 1.0), (c, 1.0)], Op::Le, 1.0);
+    let s = m.solve().unwrap();
+    assert_eq!(s.status, MilpStatus::Optimal);
+    assert!((s.objective - 1.0).abs() < 1e-6);
+}
+
+/// Stats sanity on a nontrivial instance.
+#[test]
+fn stats_reflect_search() {
+    let mut m = MilpProblem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..10)
+        .map(|i| m.add_binary(&format!("b{i}"), (i as f64 * 7.0) % 5.0 + 1.0))
+        .collect();
+    let terms: Vec<(usize, f64)> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, 1.0 + (i as f64 * 3.0) % 4.0))
+        .collect();
+    m.add_constraint(&terms, Op::Le, 11.0);
+    let s = m.solve().unwrap();
+    assert_eq!(s.status, MilpStatus::Optimal);
+    assert!(s.stats.nodes_solved >= 1);
+
+    // Brute force the same knapsack.
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << 10) {
+        let (mut w, mut v) = (0.0, 0.0);
+        for i in 0..10 {
+            if (mask >> i) & 1 == 1 {
+                w += 1.0 + (i as f64 * 3.0) % 4.0;
+                v += (i as f64 * 7.0) % 5.0 + 1.0;
+            }
+        }
+        if w <= 11.0 {
+            best = best.max(v);
+        }
+    }
+    assert!((s.objective - best).abs() < 1e-6);
+}

@@ -1,0 +1,344 @@
+//! Signed arbitrary-precision integers (sign + magnitude over [`BigUint`]).
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero always has [`Sign::Zero`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// Arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Construct from sign and magnitude (normalizes zero).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude needs a sign");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Construct from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                mag: BigUint::from_u64(v as u64),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                mag: BigUint::from_u64(v.unsigned_abs()),
+            },
+        }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: Sign::Positive,
+                mag: BigUint::from_u64(v),
+            }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether this is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        if self.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: Sign::Positive,
+                mag: self.mag.clone(),
+            }
+        }
+    }
+
+    /// Greatest common divisor of magnitudes.
+    pub fn gcd(&self, other: &BigInt) -> BigUint {
+        self.mag.gcd(&other.mag)
+    }
+
+    /// Exact division of magnitudes (used for rational normalization).
+    /// Preserves this value's sign. Panics if the division is not exact.
+    pub fn div_exact_mag(&self, d: &BigUint) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let (q, r) = self.mag.divmod(d);
+        assert!(r.is_zero(), "div_exact_mag: not exact");
+        BigInt::from_sign_mag(self.sign, q)
+    }
+
+    /// Multiply by a power of two.
+    pub fn shl(&self, sh: u64) -> BigInt {
+        if self.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: self.sign,
+                mag: &self.mag << sh,
+            }
+        }
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            Sign::Zero => 0.0,
+            Sign::Positive => m,
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        match self.sign {
+            Sign::Zero => BigInt::zero(),
+            Sign::Positive => BigInt {
+                sign: Sign::Negative,
+                mag: self.mag.clone(),
+            },
+            Sign::Negative => BigInt {
+                sign: Sign::Positive,
+                mag: self.mag.clone(),
+            },
+        }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt {
+                sign: a,
+                mag: &self.mag + &rhs.mag,
+            },
+            _ => match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt {
+                    sign: self.sign,
+                    mag: &self.mag - &rhs.mag,
+                },
+                Ordering::Less => BigInt {
+                    sign: rhs.sign,
+                    mag: &rhs.mag - &self.mag,
+                },
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        BigInt {
+            sign,
+            mag: &self.mag * &rhs.mag,
+        }
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.mag.cmp(&other.mag),
+                Sign::Negative => other.mag.cmp(&self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> BigInt {
+        BigInt::from_i64(v)
+    }
+
+    #[test]
+    fn construction_normalizes_zero() {
+        assert!(i(0).is_zero());
+        assert_eq!(i(0).sign(), Sign::Zero);
+        assert_eq!(BigInt::from_sign_mag(Sign::Negative, BigUint::zero()), i(0));
+    }
+
+    #[test]
+    fn signed_addition_all_sign_combinations() {
+        for a in [-7i64, -1, 0, 1, 7, 100] {
+            for b in [-100i64, -7, -1, 0, 1, 7] {
+                assert_eq!(&i(a) + &i(b), i(a + b), "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_subtraction() {
+        for a in [-50i64, -3, 0, 3, 50] {
+            for b in [-50i64, -3, 0, 3, 50] {
+                assert_eq!(&i(a) - &i(b), i(a - b), "{a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_multiplication() {
+        for a in [-12i64, -1, 0, 1, 9] {
+            for b in [-4i64, 0, 3] {
+                assert_eq!(&i(a) * &i(b), i(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        for v in [-5i64, 0, 5] {
+            assert_eq!(-&(-&i(v)), i(v));
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i64() {
+        let vals = [-10i64, -1, 0, 1, 10];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(i(a).cmp(&i(b)), a.cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_includes_sign() {
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(i(42).to_string(), "42");
+        assert_eq!(i(0).to_string(), "0");
+    }
+
+    #[test]
+    fn div_exact_and_shl() {
+        let v = i(48);
+        assert_eq!(v.div_exact_mag(&BigUint::from_u64(16)), i(3));
+        assert_eq!(i(-48).div_exact_mag(&BigUint::from_u64(12)), i(-4));
+        assert_eq!(i(3).shl(4), i(48));
+        assert_eq!(i(-3).shl(1), i(-6));
+    }
+
+    #[test]
+    fn to_f64_signed() {
+        assert_eq!(i(-12345).to_f64(), -12345.0);
+        assert_eq!(i(0).to_f64(), 0.0);
+    }
+}

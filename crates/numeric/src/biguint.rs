@@ -1,0 +1,524 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u32` limbs with `u64` intermediates. The invariant is
+//! that the limb vector never has trailing zero limbs (so `0` is the empty
+//! vector), which makes comparison and normalization O(1) to check.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Shl, Shr, Sub};
+
+/// Arbitrary-precision unsigned integer (little-endian `u32` limbs).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Limbs, least significant first. No trailing zeros.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Whether the value is even. Zero counts as even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l % 2 == 0)
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Construct from raw little-endian limbs (normalizes trailing zeros).
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Convert to `u64`, or `None` if the value does not fit.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 32 + (32 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Bit at position `i` (little-endian).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 32) as usize;
+        let off = (i % 32) as u32;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * 32 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    fn add_assign(&mut self, other: &BigUint) {
+        let mut carry = 0u64;
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = self.limbs[i] as u64 + b + carry;
+            self.limbs[i] = sum as u32;
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Subtract `other` from `self`. Panics if `other > self` — callers in
+    /// this crate always order operands first.
+    fn sub_assign(&mut self, other: &BigUint) {
+        debug_assert!(*self >= *other, "BigUint subtraction underflow");
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut diff = self.limbs[i] as i64 - b - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            self.limbs[i] = diff as u32;
+        }
+        assert!(borrow == 0, "BigUint subtraction underflow");
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    fn mul_impl(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    fn shl_impl(&self, sh: u64) -> BigUint {
+        if self.is_zero() || sh == 0 {
+            return self.clone();
+        }
+        let limb_shift = (sh / 32) as usize;
+        let bit_shift = (sh % 32) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    fn shr_impl(&self, sh: u64) -> BigUint {
+        if sh == 0 {
+            return self.clone();
+        }
+        let limb_shift = (sh / 32) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (sh % 32) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push((src[i] >> bit_shift) | hi);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Quotient and remainder dividing by a nonzero `u32`.
+    pub fn divmod_u32(&self, d: u32) -> (BigUint, u32) {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u64;
+        let mut q = vec![0u32; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            q[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        (BigUint::from_limbs(q), rem as u32)
+    }
+
+    /// Full quotient and remainder (binary long division).
+    ///
+    /// Operands in this crate are at most a few hundred bits (products of
+    /// f64 mantissas), so the O(bits · limbs) cost is irrelevant; we trade
+    /// Knuth's algorithm D for obviously-correct code.
+    pub fn divmod(&self, d: &BigUint) -> (BigUint, BigUint) {
+        assert!(!d.is_zero(), "division by zero");
+        if self < d {
+            return (BigUint::zero(), self.clone());
+        }
+        let shift = self.bits() - d.bits();
+        let mut rem = self.clone();
+        let mut q = BigUint::zero();
+        for s in (0..=shift).rev() {
+            let cand = d.shl_impl(s);
+            if cand <= rem {
+                rem.sub_assign(&cand);
+                let mut bit = BigUint::one().shl_impl(s);
+                bit.add_assign(&q);
+                q = bit;
+            }
+        }
+        (q, rem)
+    }
+
+    /// Greatest common divisor (binary GCD: only shifts, compares, subs).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let za = a.trailing_zeros().unwrap();
+        let zb = b.trailing_zeros().unwrap();
+        let common = za.min(zb);
+        a = a.shr_impl(za);
+        b = b.shr_impl(zb);
+        loop {
+            debug_assert!(!a.is_even() && !b.is_even());
+            match a.cmp(&b) {
+                Ordering::Equal => break,
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
+            }
+            a.sub_assign(&b);
+            if a.is_zero() {
+                break;
+            }
+            a = a.shr_impl(a.trailing_zeros().unwrap());
+        }
+        b.shl_impl(common)
+    }
+
+    /// Approximate conversion to `f64` (round-to-nearest on the top bits).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.to_u64().unwrap() as f64;
+        }
+        // Take the top 64 bits and scale by the dropped exponent.
+        let shift = bits - 64;
+        let top = self.shr_impl(shift).to_u64().unwrap();
+        top as f64 * 2f64.powi(shift as i32)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// Panics if `rhs > self`.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.sub_assign(rhs);
+        out
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_impl(rhs)
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, sh: u64) -> BigUint {
+        self.shl_impl(sh)
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, sh: u64) -> BigUint {
+        self.shr_impl(sh)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod_u32(1_000_000_000);
+            digits.push(r);
+            cur = q;
+        }
+        write!(f, "{}", digits.pop().unwrap())?;
+        for d in digits.iter().rev() {
+            write!(f, "{d:09}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(&b(42) + &BigUint::zero(), b(42));
+        assert_eq!(&b(42) * &BigUint::one(), b(42));
+        assert_eq!(&b(42) * &BigUint::zero(), BigUint::zero());
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = b(u64::MAX);
+        let sum = &a + &BigUint::one();
+        assert_eq!(sum.bits(), 65);
+        assert_eq!(&sum - &BigUint::one(), a);
+    }
+
+    #[test]
+    fn sub_exact() {
+        assert_eq!(&b(1000) - &b(1), b(999));
+        assert_eq!(&b(1 << 33) - &b(1), b((1 << 33) - 1));
+        assert_eq!(&b(7) - &b(7), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &b(1) - &b(2);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0u64, 12345u64),
+            (1, u64::MAX),
+            (u32::MAX as u64, u32::MAX as u64),
+            (u64::MAX, u64::MAX),
+            (0x1234_5678_9abc_def0, 0xfedc_ba98_7654_3210),
+        ];
+        for (x, y) in cases {
+            let exact = x as u128 * y as u128;
+            let got = &b(x) * &b(y);
+            let want = &(&b((exact >> 64) as u64) << 64u64) + &b(exact as u64);
+            assert_eq!(got, want, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = b(0xdead_beef_cafe_f00d);
+        for sh in [0u64, 1, 31, 32, 33, 63, 64, 100] {
+            assert_eq!(&(&a << sh) >> sh, a, "shift {sh}");
+        }
+        assert_eq!(&b(0b1011) >> 2u64, b(0b10));
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(b(1).bits(), 1);
+        assert_eq!(b(255).bits(), 8);
+        assert_eq!(b(256).bits(), 9);
+        let big = &b(1) << 100u64;
+        assert_eq!(big.bits(), 101);
+        assert!(big.bit(100));
+        assert!(!big.bit(99));
+    }
+
+    #[test]
+    fn divmod_small() {
+        let (q, r) = b(1_000_000_007).divmod_u32(10);
+        assert_eq!(q, b(100_000_000));
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn divmod_full_matches_reconstruction() {
+        let cases = [
+            (b(100), b(7)),
+            (b(u64::MAX), b(3)),
+            (&b(u64::MAX) * &b(u64::MAX), b(0xffff_ffff)),
+            (&b(12345) * &b(67890), b(12345)),
+            (b(5), b(10)),
+        ];
+        for (n, d) in cases {
+            let (q, r) = n.divmod(&d);
+            assert!(r < d);
+            assert_eq!(&(&q * &d) + &r, n);
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(48).gcd(&b(64)), b(16));
+        // gcd of large powers of two: pure shift path.
+        let a = &b(1) << 100u64;
+        let c = &b(1) << 77u64;
+        assert_eq!(a.gcd(&c), c);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(b(2) > b(1));
+        assert!(&b(1) << 32u64 > b(u32::MAX as u64));
+        assert_eq!(b(7).cmp(&b(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(b(1234567890123456789).to_string(), "1234567890123456789");
+        let big = &b(10_000_000_000) * &b(10_000_000_000);
+        assert_eq!(big.to_string(), "100000000000000000000");
+    }
+
+    #[test]
+    fn to_f64_approximation() {
+        assert_eq!(b(0).to_f64(), 0.0);
+        assert_eq!(b(12345).to_f64(), 12345.0);
+        let big = &b(1) << 80u64;
+        let rel = (big.to_f64() - 2f64.powi(80)).abs() / 2f64.powi(80);
+        assert!(rel < 1e-15);
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(b(1).trailing_zeros(), Some(0));
+        assert_eq!(b(8).trailing_zeros(), Some(3));
+        assert_eq!((&b(1) << 70u64).trailing_zeros(), Some(70));
+    }
+}

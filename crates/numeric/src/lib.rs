@@ -1,0 +1,36 @@
+//! Exact arithmetic substrate for RankHow.
+//!
+//! The RankHow paper (Section V-A) requires verifying solver output with
+//! *precise* arithmetic — the Java implementation uses `BigDecimal`. This
+//! crate provides the Rust equivalent: arbitrary-precision integers
+//! ([`BigUint`], [`BigInt`]) and exact rationals ([`Rational`]) with a
+//! lossless conversion from `f64`.
+//!
+//! Every finite `f64` is exactly `± mantissa · 2^exponent`, so every score
+//! `f_W(r) = Σ w_i · r.A_i` computed over f64 inputs has an exact rational
+//! value. Comparing those exact values is how we detect the "false
+//! positives" of Table III: solutions the floating-point solver believes
+//! are optimal but whose induced ranking disagrees with the solver's own
+//! indicator values.
+//!
+//! # Example
+//! ```
+//! use rankhow_numeric::Rational;
+//!
+//! let a = Rational::from_f64(0.1).unwrap();
+//! let b = Rational::from_f64(0.2).unwrap();
+//! let c = Rational::from_f64(0.3).unwrap();
+//! // 0.1 + 0.2 != 0.3 in binary floating point, and exact arithmetic
+//! // faithfully reports that:
+//! assert!(&(&a + &b) != &c);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bigint;
+mod biguint;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use rational::Rational;

@@ -1,0 +1,490 @@
+//! Exact rational numbers with lossless `f64` conversion.
+//!
+//! This is the "precise arithmetic" of the paper's Section V-A: solution
+//! verification recomputes every score `f_W(r)` exactly and checks the
+//! solver's indicator values against exact comparisons.
+
+use crate::{BigInt, BigUint, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Exact rational `num / den`, always normalized: `den > 0`, gcd = 1,
+/// and zero is represented as `0 / 1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Rational {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Construct `n / d` from i64s. Panics if `d == 0`.
+    pub fn new(n: i64, d: i64) -> Self {
+        assert!(d != 0, "zero denominator");
+        let num = BigInt::from_i64(n);
+        let den = BigInt::from_i64(d);
+        Self::from_bigints(num, den)
+    }
+
+    /// Construct from big numerator and denominator (normalizes).
+    pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let sign = if num.is_negative() == den.is_negative() {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let g = num.magnitude().gcd(den.magnitude());
+        let n_mag = num.magnitude().divmod(&g).0;
+        let d_mag = den.magnitude().divmod(&g).0;
+        Rational {
+            num: BigInt::from_sign_mag(sign, n_mag),
+            den: d_mag,
+        }
+    }
+
+    /// Construct from an integer.
+    pub fn from_i64(v: i64) -> Self {
+        Rational {
+            num: BigInt::from_i64(v),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Exact conversion from a finite `f64`.
+    ///
+    /// Every finite double is `± m · 2^e` with integer mantissa `m < 2^53`,
+    /// so the conversion is lossless. Returns `None` for NaN or infinities.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Rational::zero());
+        }
+        let bits = v.to_bits();
+        let negative = bits >> 63 == 1;
+        let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+        let raw_frac = bits & ((1u64 << 52) - 1);
+        // Normal numbers have an implicit leading 1; subnormals do not.
+        let (mantissa, exp) = if raw_exp == 0 {
+            (raw_frac, -1074i64)
+        } else {
+            (raw_frac | (1u64 << 52), raw_exp - 1075)
+        };
+        let sign = if negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        let num = BigInt::from_sign_mag(sign, BigUint::from_u64(mantissa));
+        let r = if exp >= 0 {
+            Rational {
+                num: num.shl(exp as u64),
+                den: BigUint::one(),
+            }
+        } else {
+            let den = &BigUint::one() << (-exp) as u64;
+            Rational::from_bigints(num, BigInt::from_sign_mag(Sign::Positive, den))
+        };
+        Some(r)
+    }
+
+    /// Exact parse of a decimal string: `[-]ddd[.ddd][e[±]dd]`.
+    ///
+    /// Unlike [`Rational::from_f64`], which is faithful to the *binary*
+    /// value of a double, this is faithful to the decimal literal:
+    /// `from_decimal_str("0.1") == 1/10` exactly.
+    pub fn from_decimal_str(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        let (mantissa_str, exp10) = match s.find(['e', 'E']) {
+            Some(pos) => {
+                let exp: i64 = s[pos + 1..].parse().ok()?;
+                (&s[..pos], exp)
+            }
+            None => (s, 0i64),
+        };
+        let (negative, digits_str) = match mantissa_str.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, mantissa_str.strip_prefix('+').unwrap_or(mantissa_str)),
+        };
+        let (int_part, frac_part) = match digits_str.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (digits_str, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return None;
+        }
+        if !int_part.bytes().all(|b| b.is_ascii_digit())
+            || !frac_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return None;
+        }
+        // Value = digits(int ++ frac) · 10^(exp10 − |frac|).
+        let mut mag = BigUint::zero();
+        let ten = BigUint::from_u64(10);
+        for b in int_part.bytes().chain(frac_part.bytes()) {
+            mag = &(&mag * &ten) + &BigUint::from_u64((b - b'0') as u64);
+        }
+        let exponent = exp10 - frac_part.len() as i64;
+        let sign = if negative { Sign::Negative } else { Sign::Positive };
+        let num = BigInt::from_sign_mag(sign, mag);
+        let r = if exponent >= 0 {
+            let mut scale = BigInt::one();
+            for _ in 0..exponent {
+                scale = &scale * &BigInt::from_i64(10);
+            }
+            Rational::from_bigints(&num * &scale, BigInt::one())
+        } else {
+            let mut scale = BigInt::one();
+            for _ in 0..(-exponent) {
+                scale = &scale * &BigInt::from_i64(10);
+            }
+            Rational::from_bigints(num, scale)
+        };
+        Some(r)
+    }
+
+    /// Numerator (signed, normalized).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (positive, normalized).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether this is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        let sign = self.num.sign();
+        Rational {
+            num: BigInt::from_sign_mag(sign, self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// Approximate conversion back to `f64`.
+    ///
+    /// Computed as a correctly-scaled 64-bit quotient; accurate to within
+    /// a few ulps, which is ample for reporting (never for comparisons —
+    /// comparisons use [`Rational::cmp`]).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let n_bits = self.num.magnitude().bits() as i64;
+        let d_bits = self.den.bits() as i64;
+        // Scale numerator so that n / d lands near 2^63.
+        let shift = 63 - (n_bits - d_bits);
+        let (scaled, exp) = if shift >= 0 {
+            (self.num.magnitude() << shift as u64, -shift)
+        } else {
+            (self.num.magnitude() >> (-shift) as u64, -shift)
+        };
+        let (q, _) = scaled.divmod(&self.den);
+        // Split extreme exponents so the intermediate power of two does not
+        // overflow/underflow before the final (possibly subnormal) result.
+        let exp = exp as i32;
+        let half = exp / 2;
+        let approx = q.to_f64() * 2f64.powi(half) * 2f64.powi(exp - half);
+        if self.num.is_negative() {
+            -approx
+        } else {
+            approx
+        }
+    }
+
+    /// Exact dot product `Σ w_i · x_i` of two f64 slices.
+    ///
+    /// This is the workhorse of exact score verification: the scoring
+    /// function value `f_W(r)` computed without any rounding.
+    pub fn dot(w: &[f64], x: &[f64]) -> Option<Rational> {
+        assert_eq!(w.len(), x.len(), "dot: length mismatch");
+        let mut acc = Rational::zero();
+        for (&wi, &xi) in w.iter().zip(x) {
+            if wi == 0.0 || xi == 0.0 {
+                continue;
+            }
+            let a = Rational::from_f64(wi)?;
+            let b = Rational::from_f64(xi)?;
+            acc = &acc + &(&a * &b);
+        }
+        Some(acc)
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        // n1/d1 + n2/d2 = (n1 d2 + n2 d1) / (d1 d2), then normalize.
+        let d1 = BigInt::from_sign_mag(Sign::Positive, self.den.clone());
+        let d2 = BigInt::from_sign_mag(Sign::Positive, rhs.den.clone());
+        let num = &(&self.num * &d2) + &(&rhs.num * &d1);
+        let den = &d1 * &d2;
+        Rational::from_bigints(num, den)
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        let num = &self.num * &rhs.num;
+        let den = BigInt::from_sign_mag(Sign::Positive, &self.den * &rhs.den);
+        Rational::from_bigints(num, den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        self * &rhs.recip()
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  (b,d > 0)  <=>  a*d vs c*b
+        let d1 = BigInt::from_sign_mag(Sign::Positive, self.den.clone());
+        let d2 = BigInt::from_sign_mag(Sign::Positive, other.den.clone());
+        (&self.num * &d2).cmp(&(&other.num * &d1))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(6, 3).to_string(), "2");
+        assert_eq!(r(-1, 3).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(1, 2) / &r(1, 4), r(2, 1));
+        assert_eq!(&r(1, 2) + &(-&r(1, 2)), Rational::zero());
+        assert_eq!(&r(3, 7) * &r(3, 7).recip(), Rational::one());
+    }
+
+    #[test]
+    fn ordering_cross_multiplied() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < Rational::zero());
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn from_f64_exact_values() {
+        assert_eq!(Rational::from_f64(0.5).unwrap(), r(1, 2));
+        assert_eq!(Rational::from_f64(-0.25).unwrap(), r(-1, 4));
+        assert_eq!(Rational::from_f64(3.0).unwrap(), r(3, 1));
+        assert_eq!(Rational::from_f64(0.0).unwrap(), Rational::zero());
+        assert_eq!(Rational::from_f64(-0.0).unwrap(), Rational::zero());
+        // 0.1 is NOT exactly 1/10 in binary — the conversion is faithful
+        // to the f64, not to the decimal literal.
+        assert_ne!(Rational::from_f64(0.1).unwrap(), r(1, 10));
+    }
+
+    #[test]
+    fn from_f64_rejects_non_finite() {
+        assert!(Rational::from_f64(f64::NAN).is_none());
+        assert!(Rational::from_f64(f64::INFINITY).is_none());
+        assert!(Rational::from_f64(f64::NEG_INFINITY).is_none());
+    }
+
+    #[test]
+    fn from_f64_subnormal() {
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        let q = Rational::from_f64(tiny).unwrap();
+        assert!(q.is_positive());
+        // Exactly 2^-1074.
+        let expect = Rational::from_bigints(
+            BigInt::one(),
+            BigInt::from_sign_mag(Sign::Positive, &BigUint::one() << 1074u64),
+        );
+        assert_eq!(q, expect);
+    }
+
+    #[test]
+    fn to_f64_roundtrips() {
+        for v in [
+            0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -0.375,
+            12345.6789,
+            1e-30,
+            -9.9e20,
+            f64::MIN_POSITIVE,
+        ] {
+            let q = Rational::from_f64(v).unwrap();
+            let back = q.to_f64();
+            let err = (back - v).abs();
+            let tol = v.abs().max(f64::MIN_POSITIVE) * 1e-12;
+            assert!(err <= tol, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn classic_float_pitfall_is_detected() {
+        let a = Rational::from_f64(0.1).unwrap();
+        let b = Rational::from_f64(0.2).unwrap();
+        let c = Rational::from_f64(0.3).unwrap();
+        let sum = &a + &b;
+        assert!(sum > c, "0.1+0.2 exceeds 0.3 in f64 semantics");
+    }
+
+    #[test]
+    fn exact_dot_product() {
+        let w = [0.5, 0.25, 0.25];
+        let x = [4.0, 8.0, 0.0];
+        assert_eq!(Rational::dot(&w, &x).unwrap(), r(4, 1));
+        // Associativity-order independence: exact arithmetic has no
+        // cancellation error.
+        let w2 = [1e16, 1.0, -1e16];
+        let x2 = [1.0, 1.0, 1.0];
+        assert_eq!(Rational::dot(&w2, &x2).unwrap(), Rational::one());
+    }
+
+    #[test]
+    fn decimal_parsing_exact() {
+        assert_eq!(Rational::from_decimal_str("0.1").unwrap(), r(1, 10));
+        assert_eq!(Rational::from_decimal_str("-2.5").unwrap(), r(-5, 2));
+        assert_eq!(Rational::from_decimal_str("42").unwrap(), r(42, 1));
+        assert_eq!(Rational::from_decimal_str("+0.25").unwrap(), r(1, 4));
+        assert_eq!(Rational::from_decimal_str("1e3").unwrap(), r(1000, 1));
+        assert_eq!(Rational::from_decimal_str("1.5e-2").unwrap(), r(3, 200));
+        assert_eq!(Rational::from_decimal_str("0.000").unwrap(), Rational::zero());
+        assert_eq!(Rational::from_decimal_str(".5").unwrap(), r(1, 2));
+        assert_eq!(Rational::from_decimal_str("5.").unwrap(), r(5, 1));
+    }
+
+    #[test]
+    fn decimal_parsing_rejects_garbage() {
+        for bad in ["", ".", "1.2.3", "abc", "1e", "--1", "0x10", "1 2"] {
+            assert!(
+                Rational::from_decimal_str(bad).is_none(),
+                "{bad:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decimal_vs_binary_semantics() {
+        // The decimal 0.1 and the f64 0.1 are different rationals.
+        let dec = Rational::from_decimal_str("0.1").unwrap();
+        let bin = Rational::from_f64(0.1).unwrap();
+        assert_ne!(dec, bin);
+        // But they agree to within an ulp when projected to f64.
+        assert_eq!(dec.to_f64(), 0.1);
+    }
+
+    #[test]
+    fn abs_and_signs() {
+        assert_eq!(r(-3, 4).abs(), r(3, 4));
+        assert!(r(-3, 4).is_negative());
+        assert!(r(3, 4).is_positive());
+        assert!(!Rational::zero().is_positive());
+        assert!(!Rational::zero().is_negative());
+    }
+}

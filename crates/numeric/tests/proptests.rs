@@ -1,0 +1,124 @@
+//! Property-based tests for exact arithmetic.
+//!
+//! These pin down the algebraic laws the verification layer relies on:
+//! if any of these breaks, "exact" verification would silently lie.
+
+use proptest::prelude::*;
+use rankhow_numeric::{BigInt, BigUint, Rational};
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    // Finite, moderate-magnitude doubles, including negatives and zero.
+    prop_oneof![
+        Just(0.0),
+        -1e6..1e6f64,
+        (-60i32..60).prop_map(|e| 2f64.powi(e)),
+        (1u64..1 << 52, -40i32..40).prop_map(|(m, e)| m as f64 * 2f64.powi(e)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn biguint_add_commutes(a in 0u64..u64::MAX, c in 0u64..u64::MAX) {
+        let x = BigUint::from_u64(a);
+        let y = BigUint::from_u64(c);
+        prop_assert_eq!(&x + &y, &y + &x);
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in 0u64..u64::MAX, c in 0u64..u64::MAX) {
+        let exact = a as u128 * c as u128;
+        let got = &BigUint::from_u64(a) * &BigUint::from_u64(c);
+        let want = &(&BigUint::from_u64((exact >> 64) as u64) << 64u64)
+            + &BigUint::from_u64(exact as u64);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn biguint_divmod_reconstructs(n in 0u64..u64::MAX, d in 1u64..u64::MAX) {
+        let nn = BigUint::from_u64(n);
+        let dd = BigUint::from_u64(d);
+        let (q, r) = nn.divmod(&dd);
+        prop_assert!(r < dd);
+        prop_assert_eq!(&(&q * &dd) + &r, nn);
+    }
+
+    #[test]
+    fn biguint_gcd_divides_both(a in 1u64..u64::MAX, c in 1u64..u64::MAX) {
+        let x = BigUint::from_u64(a);
+        let y = BigUint::from_u64(c);
+        let g = x.gcd(&y);
+        prop_assert!(x.divmod(&g).1.is_zero());
+        prop_assert!(y.divmod(&g).1.is_zero());
+        prop_assert_eq!(BigUint::from_u64(gcd_u64(a, c)), g);
+    }
+
+    #[test]
+    fn bigint_ring_laws(a in -1_000_000i64..1_000_000, c in -1_000_000i64..1_000_000, e in -1000i64..1000) {
+        let (x, y, z) = (BigInt::from_i64(a), BigInt::from_i64(c), BigInt::from_i64(e));
+        // distributivity
+        prop_assert_eq!(&(&x + &y) * &z, &(&x * &z) + &(&y * &z));
+        // additive inverse
+        prop_assert!((&x + &(-&x)).is_zero());
+        // matches i64 semantics
+        prop_assert_eq!(&x + &y, BigInt::from_i64(a + c));
+        prop_assert_eq!(&x * &z, BigInt::from_i64(a * e));
+    }
+
+    #[test]
+    fn rational_f64_roundtrip_is_exact(v in small_f64()) {
+        let q = Rational::from_f64(v).unwrap();
+        // from_f64 is lossless: re-deriving the f64 through an exact
+        // comparison with another conversion must agree.
+        let q2 = Rational::from_f64(v).unwrap();
+        prop_assert_eq!(&q, &q2);
+        // to_f64 lands back on the original double for these magnitudes.
+        prop_assert_eq!(q.to_f64(), v);
+    }
+
+    #[test]
+    fn rational_field_laws(
+        (an, ad) in (-500i64..500, 1i64..500),
+        (bn, bd) in (-500i64..500, 1i64..500),
+        (cn, cd) in (-500i64..500, 1i64..500),
+    ) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a + &b) * &c, &(&a * &c) + &(&b * &c));
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+    }
+
+    #[test]
+    fn rational_order_is_total_and_matches_f64(x in small_f64(), y in small_f64()) {
+        let qx = Rational::from_f64(x).unwrap();
+        let qy = Rational::from_f64(y).unwrap();
+        // Exact order must agree with f64 order (f64 comparison of two
+        // exactly-representable values is itself exact).
+        prop_assert_eq!(qx.cmp(&qy), x.partial_cmp(&y).unwrap());
+    }
+
+    #[test]
+    fn rational_dot_matches_naive_exact(ws in prop::collection::vec(small_f64(), 1..6)) {
+        let xs: Vec<f64> = ws.iter().map(|w| w * 0.5 + 1.0).collect();
+        let dot = Rational::dot(&ws, &xs).unwrap();
+        let mut naive = Rational::zero();
+        for (w, x) in ws.iter().zip(&xs) {
+            let p = &Rational::from_f64(*w).unwrap() * &Rational::from_f64(*x).unwrap();
+            naive = &naive + &p;
+        }
+        prop_assert_eq!(dot, naive);
+    }
+}
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}

@@ -1,0 +1,173 @@
+//! Ranking error measures.
+//!
+//! [`position_error`] is the paper's Definition 3 and the objective of
+//! OPT. The Kendall-tau and weighted variants implement the Section I /
+//! Section II remark that RankHow "supports Kendall's Tau and other
+//! measures that are based on inversions, including variations that
+//! assign a greater penalty to errors higher in the ranking".
+
+use crate::GivenRanking;
+
+/// Which error measure an algorithm optimizes / reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ErrorMeasure {
+    /// Total position displacement over the top-k (Definition 3).
+    #[default]
+    Position,
+    /// Number of inverted top-k pairs (Kendall tau distance).
+    KendallTau,
+    /// Position displacement weighted by `k − π(r) + 1` (top-heavy).
+    TopWeighted,
+}
+
+/// Position-based error (Definition 3):
+/// `Σ_{r ∈ R_π(k)} |ρ(r) − π(r)|`, where `approx_ranks[i]` is `ρ` for
+/// tuple `i` (all tuples; only ranked ones contribute).
+pub fn position_error(given: &GivenRanking, approx_ranks: &[u32]) -> u64 {
+    assert_eq!(given.len(), approx_ranks.len(), "rank vector length");
+    given
+        .top_k()
+        .iter()
+        .map(|&i| {
+            let pi = given.position(i).unwrap() as i64;
+            let rho = approx_ranks[i] as i64;
+            (pi - rho).unsigned_abs()
+        })
+        .sum()
+}
+
+/// Position error with per-tuple importance weights `k − π(r) + 1`:
+/// a displacement at the very top costs `k`, at the bottom costs 1.
+pub fn position_error_weighted(given: &GivenRanking, approx_ranks: &[u32]) -> u64 {
+    assert_eq!(given.len(), approx_ranks.len(), "rank vector length");
+    let k = given.k() as u64;
+    given
+        .top_k()
+        .iter()
+        .map(|&i| {
+            let pi = given.position(i).unwrap() as i64;
+            let rho = approx_ranks[i] as i64;
+            let weight = k - (pi as u64) + 1;
+            weight * (pi - rho).unsigned_abs()
+        })
+        .sum()
+}
+
+/// Kendall tau distance restricted to ranked tuples: the number of pairs
+/// `(r, r')` with `π(r) < π(r')` but `ρ(r) ≥ ρ(r')` where the approx
+/// ranking inverts or merges a strictly-ordered given pair. Ties in the
+/// given ranking impose no order, so they never count.
+pub fn kendall_tau_distance(given: &GivenRanking, approx_ranks: &[u32]) -> u64 {
+    assert_eq!(given.len(), approx_ranks.len(), "rank vector length");
+    let top = given.top_k();
+    let mut inversions = 0u64;
+    for (a_idx, &a) in top.iter().enumerate() {
+        for &b in &top[a_idx + 1..] {
+            let pa = given.position(a).unwrap();
+            let pb = given.position(b).unwrap();
+            if pa == pb {
+                continue;
+            }
+            let (hi, lo) = if pa < pb { (a, b) } else { (b, a) };
+            if approx_ranks[hi] >= approx_ranks[lo] {
+                // Inverted or collapsed: the given strict order is lost.
+                if approx_ranks[hi] > approx_ranks[lo] {
+                    inversions += 1;
+                }
+            }
+        }
+    }
+    inversions
+}
+
+/// Dispatch on [`ErrorMeasure`].
+pub fn error_by_measure(
+    measure: ErrorMeasure,
+    given: &GivenRanking,
+    approx_ranks: &[u32],
+) -> u64 {
+    match measure {
+        ErrorMeasure::Position => position_error(given, approx_ranks),
+        ErrorMeasure::KendallTau => kendall_tau_distance(given, approx_ranks),
+        ErrorMeasure::TopWeighted => position_error_weighted(given, approx_ranks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(v: &[i64]) -> GivenRanking {
+        GivenRanking::from_positions(
+            v.iter()
+                .map(|&x| if x < 0 { None } else { Some(x as u32) })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_error_when_identical() {
+        let g = ranking(&[1, 2, 3, -1]);
+        assert_eq!(position_error(&g, &[1, 2, 3, 4]), 0);
+    }
+
+    #[test]
+    fn example2_prediction_vs_ranking() {
+        // Paper Example 2: labels [4,3,2,1]; the second model's scores
+        // [3,2,4,1] put r3 on top → rank vector [2,3,1,4]: total error 4.
+        let g = ranking(&[1, 2, 3, 4]);
+        let approx = crate::score_ranks(&[3.0, 2.0, 4.0, 1.0], 0.0);
+        assert_eq!(position_error(&g, &approx), 4);
+        // And the first model's scores [8,6,2,0] are a perfect ranking.
+        let perfect = crate::score_ranks(&[8.0, 6.0, 2.0, 0.0], 0.0);
+        assert_eq!(position_error(&g, &perfect), 0);
+    }
+
+    #[test]
+    fn bottom_tuples_do_not_contribute() {
+        let g = ranking(&[1, 2, -1, -1]);
+        // The ⊥ tuples land anywhere — error counts only ranked ones.
+        assert_eq!(position_error(&g, &[1, 2, 1, 1]), 0);
+        assert_eq!(position_error(&g, &[3, 4, 1, 2]), 4);
+    }
+
+    #[test]
+    fn weighted_error_top_heavy() {
+        let g = ranking(&[1, 2, 3]);
+        // Swap top two: displacement 1 each; weights 3 and 2 → 5.
+        assert_eq!(position_error_weighted(&g, &[2, 1, 3]), 5);
+        // Swap bottom two: weights 2 and 1 → 3.
+        assert_eq!(position_error_weighted(&g, &[1, 3, 2]), 3);
+        // Plain position error cannot tell these apart:
+        assert_eq!(position_error(&g, &[2, 1, 3]), position_error(&g, &[1, 3, 2]));
+    }
+
+    #[test]
+    fn kendall_counts_strict_inversions_only() {
+        let g = ranking(&[1, 2, 3]);
+        assert_eq!(kendall_tau_distance(&g, &[1, 2, 3]), 0);
+        assert_eq!(kendall_tau_distance(&g, &[3, 2, 1]), 3);
+        // Collapsing two tuples to the same rank is not a strict inversion.
+        assert_eq!(kendall_tau_distance(&g, &[1, 1, 2]), 0);
+    }
+
+    #[test]
+    fn kendall_ignores_given_ties() {
+        let g = ranking(&[1, 1, 3]);
+        // Tuples 0 and 1 are tied in π: any relative order is fine.
+        assert_eq!(kendall_tau_distance(&g, &[2, 1, 3]), 0);
+        assert_eq!(kendall_tau_distance(&g, &[1, 2, 3]), 0);
+        // But inverting tuple 2 above either of them counts.
+        assert_eq!(kendall_tau_distance(&g, &[2, 3, 1]), 2);
+    }
+
+    #[test]
+    fn measure_dispatch() {
+        let g = ranking(&[1, 2]);
+        let approx = [2u32, 1];
+        assert_eq!(error_by_measure(ErrorMeasure::Position, &g, &approx), 2);
+        assert_eq!(error_by_measure(ErrorMeasure::KendallTau, &g, &approx), 1);
+        assert_eq!(error_by_measure(ErrorMeasure::TopWeighted, &g, &approx), 3);
+    }
+}

@@ -1,0 +1,292 @@
+//! The given ranking `π` (paper Definition 1).
+
+use std::fmt;
+
+/// Validation failures for [`GivenRanking::from_positions`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankingError {
+    /// A ranked position lies outside `[1, k]`.
+    PositionOutOfRange {
+        /// Offending tuple index.
+        tuple: usize,
+        /// Its declared position.
+        position: u32,
+        /// Number of ranked tuples.
+        k: usize,
+    },
+    /// No tuple occupies position 1.
+    MissingPositionOne,
+    /// A position `p` has fewer than `p − 1` tuples ranked above it
+    /// ("excessive gap", e.g. `[1, 1, 4, 4]`).
+    ExcessiveGap {
+        /// The position with too few tuples ranked above it.
+        position: u32,
+    },
+    /// The ranking has no ranked tuple at all.
+    Empty,
+}
+
+impl fmt::Display for RankingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankingError::PositionOutOfRange { tuple, position, k } => {
+                write!(f, "tuple {tuple} has position {position} outside [1, {k}]")
+            }
+            RankingError::MissingPositionOne => write!(f, "no tuple is ranked at position 1"),
+            RankingError::ExcessiveGap { position } => {
+                write!(f, "excessive gap before position {position}")
+            }
+            RankingError::Empty => write!(f, "ranking has no ranked tuples"),
+        }
+    }
+}
+
+impl std::error::Error for RankingError {}
+
+/// A given ranking `π : R → [1, …, k, ⊥]` over tuples identified by index.
+///
+/// `positions[i] = Some(p)` means tuple `i` is ranked at position `p`;
+/// `None` is the paper's `⊥` (the tuple is known not to outrank any ranked
+/// tuple, but its exact order does not matter).
+///
+/// Ties are allowed: `[1, 1, 3, 3, ⊥]` is a valid ranking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GivenRanking {
+    positions: Vec<Option<u32>>,
+    k: usize,
+    top: Vec<usize>,
+}
+
+impl GivenRanking {
+    /// Build and validate a ranking from per-tuple positions.
+    ///
+    /// Checks every condition of Definition 1:
+    /// 1. `k = |{i : π(i) ≠ ⊥}| ≥ 1`,
+    /// 2. every ranked position lies in `[1, k]`,
+    /// 3. some tuple has position 1,
+    /// 4. a tuple at position `p` has at least `p − 1` tuples ranked
+    ///    strictly above it (no excessive gaps),
+    /// 5. (trivially by encoding) unranked tuples are `⊥`.
+    pub fn from_positions(positions: Vec<Option<u32>>) -> Result<Self, RankingError> {
+        let top: Vec<usize> = positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|_| i))
+            .collect();
+        let k = top.len();
+        if k == 0 {
+            return Err(RankingError::Empty);
+        }
+        for &i in &top {
+            let p = positions[i].unwrap();
+            if p < 1 || p as usize > k {
+                return Err(RankingError::PositionOutOfRange {
+                    tuple: i,
+                    position: p,
+                    k,
+                });
+            }
+        }
+        // Count tuples at each position to check conditions 3 and 4.
+        let mut count = vec![0usize; k + 1];
+        for &i in &top {
+            count[positions[i].unwrap() as usize] += 1;
+        }
+        if count[1] == 0 {
+            return Err(RankingError::MissingPositionOne);
+        }
+        let mut cumulative = 0usize;
+        for p in 1..=k {
+            if count[p] > 0 && cumulative < p - 1 {
+                return Err(RankingError::ExcessiveGap { position: p as u32 });
+            }
+            cumulative += count[p];
+        }
+        Ok(GivenRanking { positions, k, top })
+    }
+
+    /// Build from ground-truth scores: the `k` best-scoring tuples get
+    /// competition ranks (ties within `eps` share a rank), the rest `⊥`.
+    ///
+    /// This is how the evaluation section constructs "given" rankings from
+    /// hidden (often non-linear) ranking functions.
+    pub fn from_scores(scores: &[f64], k: usize, eps: f64) -> Result<Self, RankingError> {
+        assert!(k >= 1 && k <= scores.len(), "k out of range");
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        let mut positions = vec![None; scores.len()];
+        // Competition ranking among the selected top-k, computed against
+        // the selected set only so positions stay within [1, k].
+        for (slot, &idx) in order.iter().take(k).enumerate() {
+            let rank = order[..k]
+                .iter()
+                .filter(|&&j| scores[j] > scores[idx] + eps)
+                .count()
+                + 1;
+            let _ = slot;
+            positions[idx] = Some(rank as u32);
+        }
+        GivenRanking::from_positions(positions)
+    }
+
+    /// Number of tuples (ranked + `⊥`).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the ranking covers zero tuples (never true post-validation).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// `k`: the number of ranked tuples.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Position of tuple `i` (`None` = `⊥`).
+    pub fn position(&self, i: usize) -> Option<u32> {
+        self.positions[i]
+    }
+
+    /// Indices of the ranked tuples (the paper's `R_π(k)`), ascending.
+    pub fn top_k(&self) -> &[usize] {
+        &self.top
+    }
+
+    /// All positions (the raw `π` vector).
+    pub fn positions(&self) -> &[Option<u32>] {
+        &self.positions
+    }
+
+    /// Restrict to a prefix of the dataset: keep tuples `0..n`, which must
+    /// contain all ranked tuples. Used by the "varying n" experiments,
+    /// which add/remove only `⊥` tuples.
+    pub fn truncate(&self, n: usize) -> Result<Self, RankingError> {
+        assert!(
+            self.top.iter().all(|&i| i < n),
+            "truncation would drop ranked tuples"
+        );
+        GivenRanking::from_positions(self.positions[..n].to_vec())
+    }
+
+    /// Re-index the ranking onto a sub-dataset given by `keep` (tuple ids
+    /// into the original dataset). All ranked tuples must be kept.
+    pub fn project(&self, keep: &[usize]) -> Result<Self, RankingError> {
+        let positions: Vec<Option<u32>> = keep.iter().map(|&i| self.positions[i]).collect();
+        let kept_ranked = positions.iter().filter(|p| p.is_some()).count();
+        assert_eq!(
+            kept_ranked, self.k,
+            "projection must preserve all ranked tuples"
+        );
+        GivenRanking::from_positions(positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(v: &[i64]) -> Vec<Option<u32>> {
+        v.iter()
+            .map(|&x| if x < 0 { None } else { Some(x as u32) })
+            .collect()
+    }
+
+    #[test]
+    fn paper_examples_validity_matrix() {
+        // From Section II: valid [1,2,3,4,⊥,⊥] and [1,1,3,3,⊥,⊥];
+        // invalid [2,3,4,5,⊥,⊥] and [1,1,4,4,⊥,⊥].
+        assert!(GivenRanking::from_positions(pos(&[1, 2, 3, 4, -1, -1])).is_ok());
+        assert!(GivenRanking::from_positions(pos(&[1, 1, 3, 3, -1, -1])).is_ok());
+        assert_eq!(
+            GivenRanking::from_positions(pos(&[2, 3, 4, 5, -1, -1])),
+            Err(RankingError::PositionOutOfRange {
+                tuple: 3,
+                position: 5,
+                k: 4
+            })
+        );
+        assert_eq!(
+            GivenRanking::from_positions(pos(&[1, 1, 4, 4, -1, -1])),
+            Err(RankingError::ExcessiveGap { position: 4 })
+        );
+    }
+
+    #[test]
+    fn missing_position_one_rejected() {
+        assert_eq!(
+            GivenRanking::from_positions(pos(&[2, 2, -1])),
+            Err(RankingError::MissingPositionOne)
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            GivenRanking::from_positions(pos(&[-1, -1])),
+            Err(RankingError::Empty)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let r = GivenRanking::from_positions(pos(&[2, 1, -1, 2])).unwrap();
+        assert_eq!(r.k(), 3);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.position(0), Some(2));
+        assert_eq!(r.position(2), None);
+        assert_eq!(r.top_k(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn from_scores_no_ties() {
+        // scores: 10, 30, 20, 5 with k=3 → positions [3, 1, 2, ⊥].
+        let r = GivenRanking::from_scores(&[10.0, 30.0, 20.0, 5.0], 3, 0.0).unwrap();
+        assert_eq!(r.positions(), &[Some(3), Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn from_scores_with_ties() {
+        // Paper Definition 2 example: scores [9, 6, 6, 5] → ranks
+        // [1, 2, 2, 4]; with k = 4 all ranked.
+        let r = GivenRanking::from_scores(&[9.0, 6.0, 6.0, 5.0], 4, 0.0).unwrap();
+        assert_eq!(r.positions(), &[Some(1), Some(2), Some(2), Some(4)]);
+    }
+
+    #[test]
+    fn from_scores_eps_merges_near_ties() {
+        // Paper example: [2.2, 2.1, 2.0, 1.5] with ε = 0.3 → [1, 1, 1, 4].
+        let r = GivenRanking::from_scores(&[2.2, 2.1, 2.0, 1.5], 4, 0.3).unwrap();
+        assert_eq!(r.positions(), &[Some(1), Some(1), Some(1), Some(4)]);
+    }
+
+    #[test]
+    fn from_scores_boundary_tie_trimmed_deterministically() {
+        // Two tuples tied at the k-th position: lower index wins the slot.
+        let r = GivenRanking::from_scores(&[5.0, 3.0, 3.0], 2, 0.0).unwrap();
+        assert_eq!(r.positions(), &[Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn truncate_keeps_ranked() {
+        let r = GivenRanking::from_scores(&[5.0, 4.0, 3.0, 2.0, 1.0], 2, 0.0).unwrap();
+        let t = r.truncate(3).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.k(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop ranked")]
+    fn truncate_dropping_ranked_panics() {
+        let r = GivenRanking::from_scores(&[1.0, 2.0, 5.0], 2, 0.0).unwrap();
+        let _ = r.truncate(2); // tuple 2 is ranked #1 and would be dropped
+    }
+
+    #[test]
+    fn project_reindexes() {
+        let r = GivenRanking::from_scores(&[5.0, 1.0, 4.0, 0.5], 2, 0.0).unwrap();
+        let p = r.project(&[0, 2]).unwrap();
+        assert_eq!(p.positions(), &[Some(1), Some(2)]);
+    }
+}

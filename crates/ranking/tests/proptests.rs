@@ -1,0 +1,205 @@
+//! Property tests for the ranking domain model.
+
+use proptest::prelude::*;
+use rankhow_ranking::{
+    dominance_pairs, kendall_tau_distance, position_error, rank_of_in, score_ranks,
+    score_ranks_exact, scores_exact, scores_f64, GivenRanking,
+};
+use rankhow_numeric::Rational;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn from_scores_always_validates(scores in prop::collection::vec(-100.0..100.0f64, 1..30), k_frac in 0.0..1.0f64) {
+        let k = ((scores.len() as f64 * k_frac) as usize).clamp(1, scores.len());
+        let r = GivenRanking::from_scores(&scores, k, 0.0);
+        prop_assert!(r.is_ok(), "{r:?}");
+        let r = r.unwrap();
+        prop_assert_eq!(r.k(), k);
+    }
+
+    #[test]
+    fn score_ranks_fast_equals_naive(scores in prop::collection::vec(-10.0..10.0f64, 1..40), eps in 0.0..2.0f64) {
+        let fast = score_ranks(&scores, eps);
+        for (i, &rank) in fast.iter().enumerate() {
+            prop_assert_eq!(rank, rank_of_in(&scores, i, eps));
+        }
+    }
+
+    #[test]
+    fn ranks_are_valid_competition_ranks(scores in prop::collection::vec(-10.0..10.0f64, 1..30)) {
+        let ranks = score_ranks(&scores, 0.0);
+        let n = scores.len() as u32;
+        // Every rank in [1, n]; rank 1 exists; higher score → lower rank.
+        prop_assert!(ranks.iter().all(|&r| 1 <= r && r <= n));
+        prop_assert!(ranks.contains(&1));
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] > scores[j] {
+                    prop_assert!(ranks[i] <= ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn position_error_zero_iff_faithful(scores in prop::collection::vec(-100.0..100.0f64, 2..20)) {
+        // Ranking induced by the very same scores reproduces π exactly —
+        // unless boundary ties forced an arbitrary top-k trim.
+        let k = (scores.len() / 2).max(1);
+        let given = GivenRanking::from_scores(&scores, k, 0.0);
+        prop_assume!(given.is_ok());
+        let given = given.unwrap();
+        let ranks = score_ranks(&scores, 0.0);
+        // With all-distinct scores the error must be exactly zero.
+        let distinct = {
+            let mut s = scores.clone();
+            s.sort_by(|a, b| a.total_cmp(b));
+            s.windows(2).all(|w| w[0] != w[1])
+        };
+        if distinct {
+            prop_assert_eq!(position_error(&given, &ranks), 0);
+        }
+    }
+
+    #[test]
+    fn exact_and_f64_ranks_agree_on_separated_scores(
+        rows in prop::collection::vec(prop::collection::vec(0.0..100.0f64, 3), 2..15),
+        w0 in 0.01..1.0f64, w1 in 0.01..1.0f64, w2 in 0.01..1.0f64,
+    ) {
+        let total = w0 + w1 + w2;
+        let w = [w0 / total, w1 / total, w2 / total];
+        let f = scores_f64(&rows, &w);
+        // Only claim agreement when scores are far apart relative to
+        // f64 noise (the whole point of ε1/ε2 is the residual cases).
+        let mut sorted = f.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min_gap = sorted.windows(2).map(|p| p[1] - p[0]).fold(f64::INFINITY, f64::min);
+        prop_assume!(min_gap > 1e-6);
+        let e = scores_exact(&rows, &w).unwrap();
+        let subset: Vec<usize> = (0..rows.len()).collect();
+        let exact = score_ranks_exact(&e, &Rational::zero(), &subset);
+        let fast = score_ranks(&f, 0.0);
+        prop_assert_eq!(exact, fast);
+    }
+
+    #[test]
+    fn kendall_bounded_by_pairs(pairs in prop::collection::vec((-10.0..10.0f64, 0.0..1.0f64), 2..15)) {
+        let (scores, perm): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let k = scores.len();
+        let given = GivenRanking::from_scores(&scores, k, 0.0).unwrap();
+        let approx = score_ranks(&perm, 0.0);
+        let tau = kendall_tau_distance(&given, &approx);
+        let max_pairs = (k * (k - 1) / 2) as u64;
+        prop_assert!(tau <= max_pairs);
+    }
+
+    #[test]
+    fn dominance_pairs_are_sound(
+        rows in prop::collection::vec(prop::collection::vec(0.0..10.0f64, 2), 2..12),
+        w0 in 0.0..1.0f64,
+    ) {
+        let top: Vec<usize> = (0..rows.len().min(3)).collect();
+        let pairs = dominance_pairs(&rows, &top, 0.0);
+        let w = [w0, 1.0 - w0];
+        for p in &pairs {
+            let fs: f64 = w.iter().zip(&rows[p.dominator]).map(|(a, b)| a * b).sum();
+            let fr: f64 = w.iter().zip(&rows[p.dominatee]).map(|(a, b)| a * b).sum();
+            prop_assert!(fs >= fr, "dominator must never score below dominatee");
+        }
+    }
+
+    #[test]
+    fn truncate_preserves_positions(scores in prop::collection::vec(-5.0..5.0f64, 6..20)) {
+        let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
+        let max_ranked = given.top_k().iter().max().copied().unwrap();
+        let n = max_ranked + 1;
+        if n < scores.len() {
+            let t = given.truncate(n).unwrap();
+            for &i in t.top_k() {
+                prop_assert_eq!(t.position(i), given.position(i));
+            }
+        }
+    }
+
+    /// Any competition-ranked prefix is a valid Definition 1 ranking:
+    /// generate one by sorting random scores with random tie collapsing,
+    /// then check `from_positions` accepts it.
+    #[test]
+    fn generated_competition_rankings_validate(
+        scores in prop::collection::vec(0u32..6, 3..15),
+        k in 1usize..6,
+    ) {
+        let n = scores.len();
+        let k = k.min(n);
+        // Competition ranks of the integer scores (ties share a rank).
+        let ranks: Vec<u32> = (0..n)
+            .map(|i| 1 + scores.iter().filter(|&&s| s > scores[i]).count() as u32)
+            .collect();
+        let positions: Vec<Option<u32>> = ranks
+            .iter()
+            .map(|&r| if (r as usize) <= k { Some(r) } else { None })
+            .collect();
+        prop_assume!(positions.iter().any(|p| p.is_some()));
+        // The prefix keeps only positions ≤ k, which cannot create gaps.
+        let g = GivenRanking::from_positions(positions.clone());
+        prop_assert!(g.is_ok(), "rejected {positions:?}: {g:?}");
+        let g = g.unwrap();
+        prop_assert_eq!(g.k(), positions.iter().flatten().count());
+    }
+
+    /// Shifting every position up by one (so nothing is ranked 1) must
+    /// be rejected — Definition 1's "lowest integer position is 1".
+    #[test]
+    fn shifted_rankings_rejected(scores in prop::collection::vec(0.0..10.0f64, 3..10)) {
+        let given = GivenRanking::from_scores(&scores, 2, 0.0).unwrap();
+        let shifted: Vec<Option<u32>> = given
+            .positions()
+            .iter()
+            .map(|p| p.map(|x| x + 1))
+            .collect();
+        prop_assert!(GivenRanking::from_positions(shifted).is_err());
+    }
+
+    /// Doubling a position to create a hole (e.g. [1, 2] → [1, 4]) must
+    /// be rejected as an excessive gap whenever it exceeds k.
+    #[test]
+    fn hole_rankings_rejected(n in 3usize..10) {
+        // [1, 2, …, k] over the first k tuples, then punch a hole.
+        let k = n - 1;
+        let mut positions: Vec<Option<u32>> = (0..n)
+            .map(|i| if i < k { Some(i as u32 + 1) } else { None })
+            .collect();
+        positions[k - 1] = Some(k as u32 + 5); // beyond k: out of range / gap
+        prop_assert!(GivenRanking::from_positions(positions).is_err());
+    }
+
+    /// `project` keeps relative order and re-bases to a valid ranking.
+    /// Its contract requires retaining *every* ranked tuple; unranked
+    /// ones may be dropped freely.
+    #[test]
+    fn project_keeps_relative_order(scores in prop::collection::vec(0.0..10.0f64, 5..14)) {
+        let given = GivenRanking::from_scores(&scores, 4, 0.0).unwrap();
+        // All ranked tuples plus every other unranked one.
+        let keep: Vec<usize> = (0..scores.len())
+            .filter(|&i| given.position(i).is_some() || i % 2 == 0)
+            .collect();
+        if let Ok(p) = given.project(&keep) {
+            for (a_new, &a_old) in keep.iter().enumerate() {
+                for (b_new, &b_old) in keep.iter().enumerate() {
+                    if let (Some(pa), Some(pb)) = (given.position(a_old), given.position(b_old)) {
+                        if let (Some(qa), Some(qb)) = (p.position(a_new), p.position(b_new)) {
+                            if pa < pb {
+                                prop_assert!(qa < qb, "order flipped by projection");
+                            }
+                            if pa == pb {
+                                prop_assert!(qa == qb, "tie broken by projection");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Constraint exploration — the Example 1 workflow.
+//!
+//! ```text
+//! cargo run --release --example constraint_exploration
+//! ```
+//!
+//! The paper's core interaction loop: solve, inspect the weights, add a
+//! constraint encoding domain knowledge ("points must matter", "the MVP
+//! must stay #1", "player A above player B"), re-solve, repeat. Each
+//! step explores a different region of the weight simplex and reports
+//! how much ranking accuracy the constraint costs.
+
+use rankhow::core::extensions::{require_first, require_order};
+use rankhow::core::SolverError;
+use rankhow::prelude::*;
+use rankhow_data::nba;
+
+fn report(step: &str, problem: &OptProblem, result: Result<Solution, SolverError>) {
+    match result {
+        Ok(sol) => {
+            let names = problem.data.names();
+            let pretty: Vec<String> = sol
+                .weights
+                .iter()
+                .zip(names)
+                .filter(|(w, _)| **w > 1e-3)
+                .map(|(w, n)| format!("{w:.2}·{n}"))
+                .collect();
+            println!(
+                "{step:<28} error {:>2}  f(x) = {}",
+                sol.error,
+                pretty.join(" + ")
+            );
+        }
+        Err(SolverError::Infeasible) => {
+            println!("{step:<28} INFEASIBLE — the constraints contradict each other");
+        }
+        Err(e) => println!("{step:<28} failed: {e}"),
+    }
+}
+
+fn main() {
+    // A simulated NBA season: 200 player-seasons, the panel's MVP vote
+    // as the given ranking over the players that received votes.
+    let season = nba::generate(200, 7);
+    let vote = nba::mvp_vote(&season, 100, 11);
+    let full = season.dataset.select_rows(&vote.voted_players);
+    let attrs: Vec<usize> = ["PTS", "REB", "AST", "STL", "BLK"]
+        .iter()
+        .map(|n| full.attr_index(n).expect("known attribute"))
+        .collect();
+    let data = full.select_attrs(&attrs).min_max_normalized();
+    let problem = OptProblem::with_tolerances(data, vote.ranking.clone(), Tolerances::paper_nba())
+        .expect("valid problem");
+
+    println!("=== Example 1 constraint-exploration loop ===\n");
+
+    // Step 0: unconstrained optimum.
+    let free = RankHow::new().solve(&problem);
+    report("unconstrained", &problem, free);
+
+    // Step 1: "points scored should feature prominently" — w_PTS ≥ 0.1.
+    let pts_floor = problem
+        .clone()
+        .with_constraints(WeightConstraints::none().min_weight(0, 0.1))
+        .expect("attribute in range");
+    report("w_PTS ≥ 0.1", &pts_floor, RankHow::new().solve(&pts_floor));
+
+    // Step 2: bound the *sum* of the defensive skills (STL + BLK ≤ 0.3).
+    let defense_cap = problem
+        .clone()
+        .with_constraints(WeightConstraints::none().max_group(&[3, 4], 0.3))
+        .expect("attributes in range");
+    report(
+        "w_STL + w_BLK ≤ 0.3",
+        &defense_cap,
+        RankHow::new().solve(&defense_cap),
+    );
+
+    // Step 3: the #1 player of the vote must stay #1.
+    let number_one = problem
+        .given
+        .top_k()
+        .iter()
+        .copied()
+        .find(|&t| problem.given.position(t) == Some(1))
+        .expect("π has a #1");
+    let pinned = problem
+        .clone()
+        .with_constraints(require_first(
+            WeightConstraints::none(),
+            &problem,
+            number_one,
+        ))
+        .expect("valid constraints");
+    report("MVP pinned to #1", &pinned, RankHow::new().solve(&pinned));
+
+    // Step 4: a pairwise order — the #2 player must outscore the #3.
+    let by_pos = |p: u32| {
+        problem
+            .given
+            .top_k()
+            .iter()
+            .copied()
+            .find(|&t| problem.given.position(t) == Some(p))
+            .expect("position occupied")
+    };
+    let ordered = problem
+        .clone()
+        .with_constraints(require_order(
+            WeightConstraints::none(),
+            &problem.data,
+            by_pos(2),
+            by_pos(3),
+            problem.tol.eps1,
+        ))
+        .expect("valid constraints");
+    report("#2 above #3 enforced", &ordered, RankHow::new().solve(&ordered));
+
+    // Step 5: outcome constraints — nobody may move more than 2 ranks.
+    let banded = problem
+        .clone()
+        .with_positions(PositionConstraints::none().max_displacement(&problem.given, 2))
+        .expect("ranked tuples only");
+    report("±2 displacement band", &banded, RankHow::new().solve(&banded));
+
+    println!("\nEach row is one loop iteration: constrain → re-solve → compare.");
+}

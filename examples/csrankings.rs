@@ -1,0 +1,85 @@
+//! The CSRankings workflow: many attributes, rank windows, SYM-GD.
+//!
+//! ```text
+//! cargo run --release --example csrankings
+//! ```
+//!
+//! Explains a geometric-mean institution ranking with a linear function
+//! over 27 per-area publication counts, fits an interior rank window
+//! (positions 30–50 — the "university wanting to climb" use case), and
+//! compares the exact solver against SYM-GD.
+
+use rankhow::prelude::*;
+use rankhow_core::{extensions, seeding, SolverConfig, SymGdConfig};
+use rankhow_data::csrankings;
+use std::time::Duration;
+
+fn main() {
+    let gen = csrankings::generate(628, 628);
+    let data = gen.dataset.min_max_normalized();
+
+    // --- Top-10 fit with the exact solver ---
+    let given = gen.default_ranking(10);
+    let problem =
+        OptProblem::with_tolerances(data.clone(), given, Tolerances::paper_csrankings())
+            .expect("valid problem");
+    let exact = RankHow::with_config(SolverConfig {
+        time_limit: Some(Duration::from_secs(15)),
+        ..SolverConfig::default()
+    })
+    .solve(&problem)
+    .expect("solve");
+    println!(
+        "top-10 fit: error {} ({})",
+        exact.error,
+        if exact.optimal { "optimal" } else { "budget hit" }
+    );
+    let top_areas: Vec<(String, f64)> = problem
+        .data
+        .names()
+        .iter()
+        .zip(&exact.weights)
+        .filter(|(_, &w)| w > 0.02)
+        .map(|(n, &w)| (n.clone(), (w * 100.0).round() / 100.0))
+        .collect();
+    println!("areas carrying weight: {top_areas:?}");
+
+    // --- SYM-GD on the same instance ---
+    let seed = seeding::ordinal_seed(&problem);
+    let sym = SymGd::with_config(SymGdConfig {
+        cell_size: 0.05,
+        ..SymGdConfig::default()
+    })
+    .solve(&problem, &seed)
+    .expect("symgd");
+    println!(
+        "SYM-GD: error {} in {} cell solves (exact: {})",
+        sym.error, sym.iterations, exact.error
+    );
+
+    // --- Rank window: positions 30–50 of the full ranking ---
+    let full_positions: Vec<u32> = {
+        let ranks = score_ranks(&gen.geo_mean, 0.0);
+        // geo_mean is "bigger is better": score_ranks gives positions.
+        ranks
+    };
+    let window = extensions::window_ranking(&full_positions, 30, 50).expect("window");
+    println!(
+        "\nrank window 30–50 covers {} institutions",
+        window.k()
+    );
+    let wproblem = OptProblem::with_tolerances(data, window, Tolerances::paper_csrankings())
+        .expect("valid problem");
+    let wsol = RankHow::with_config(SolverConfig {
+        time_limit: Some(Duration::from_secs(15)),
+        ..SolverConfig::default()
+    })
+    .solve(&wproblem)
+    .expect("solve");
+    println!(
+        "window fit: error {} over k={} ({})",
+        wsol.error,
+        wproblem.given.k(),
+        if wsol.optimal { "optimal" } else { "budget hit" }
+    );
+}

@@ -1,0 +1,131 @@
+//! Example 1 from the paper: the NBA MVP workflow.
+//!
+//! ```text
+//! cargo run --release --example nba_mvp
+//! ```
+//!
+//! A simulated panel of 100 voters picks the MVP. RankHow explains the
+//! resulting ranking with a linear function over the eight basic stats,
+//! then explores alternatives under Example 1's constraints: a minimum
+//! weight on points scored, a bound on the defensive-skill group, and a
+//! pinned winner.
+
+use rankhow::prelude::*;
+use rankhow_core::{extensions, SolverConfig};
+use rankhow_data::nba;
+use std::time::Duration;
+
+fn main() {
+    // A league of 1500 player-seasons and an MVP vote.
+    let gen = nba::generate(1500, 7);
+    let vote = nba::mvp_vote(&gen, 100, 7);
+    println!(
+        "{} players received votes; totals {:?}",
+        vote.voted_players.len(),
+        vote.points
+    );
+
+    let data = gen
+        .dataset
+        .select_rows(&vote.voted_players)
+        .min_max_normalized();
+    let problem = OptProblem::with_tolerances(data, vote.ranking.clone(), Tolerances::paper_nba())
+        .expect("valid problem");
+
+    let budget = SolverConfig {
+        time_limit: Some(Duration::from_secs(10)),
+        ..SolverConfig::default()
+    };
+    let base = RankHow::with_config(budget.clone())
+        .solve(&problem)
+        .expect("solve");
+    println!(
+        "\nunconstrained: error {} — weights {:?}",
+        base.error,
+        named(&problem, &base.weights)
+    );
+
+    // Constraint 1 (Example 1): points must feature prominently.
+    let pts = problem.data.attr_index("PTS").unwrap();
+    let constrained = problem
+        .clone()
+        .with_constraints(WeightConstraints::none().min_weight(pts, 0.1))
+        .unwrap();
+    let sol = RankHow::with_config(budget.clone())
+        .solve(&constrained)
+        .expect("solve");
+    println!(
+        "\nwith w_PTS ≥ 0.1: error {} — weights {:?}",
+        sol.error,
+        named(&problem, &sol.weights)
+    );
+
+    // Constraint 2: bound the defensive group (STL + BLK + REB ≥ 0.2).
+    let defensive: Vec<usize> = ["REB", "STL", "BLK"]
+        .iter()
+        .map(|a| problem.data.attr_index(a).unwrap())
+        .collect();
+    let grouped = problem
+        .clone()
+        .with_constraints(WeightConstraints::none().min_group(&defensive, 0.2))
+        .unwrap();
+    let sol = RankHow::with_config(budget.clone())
+        .solve(&grouped)
+        .expect("solve");
+    println!(
+        "\nwith defensive group ≥ 0.2: error {} — weights {:?}",
+        sol.error,
+        named(&problem, &sol.weights)
+    );
+
+    // Constraint 3: the winner must be ranked first (score dominance
+    // version — a weight-space constraint).
+    let pinned = problem
+        .clone()
+        .with_constraints(extensions::require_first(
+            WeightConstraints::none(),
+            &problem,
+            0,
+        ))
+        .unwrap();
+    match RankHow::with_config(budget.clone()).solve(&pinned) {
+        Ok(sol) => {
+            let ranks = score_ranks(
+                &rankhow::ranking::scores_f64(pinned.data.rows(), &sol.weights),
+                pinned.tol.eps,
+            );
+            println!(
+                "\nwith the MVP pinned to #1: error {}, MVP rank {}",
+                sol.error, ranks[0]
+            );
+        }
+        Err(_) => println!("\nwith the MVP pinned to #1: infeasible"),
+    }
+
+    // Constraint 4 (Example 1's position windows): no voted player may
+    // move more than 2 positions from the panel's placement.
+    let banded = problem
+        .clone()
+        .with_positions(PositionConstraints::none().max_displacement(&problem.given, 2))
+        .unwrap();
+    match RankHow::with_config(budget).solve(&banded) {
+        Ok(sol) => println!(
+            "\nwith every player within ±2 positions: error {} — weights {:?}",
+            sol.error,
+            named(&problem, &sol.weights)
+        ),
+        Err(_) => println!("\nwith every player within ±2 positions: infeasible"),
+    }
+}
+
+/// Pretty-print weights with attribute names.
+fn named(problem: &OptProblem, w: &[f64]) -> Vec<(String, f64)> {
+    problem
+        .data
+        .names()
+        .iter()
+        .zip(w)
+        .filter(|(_, &v)| v > 1e-6)
+        .map(|(n, &v)| (n.clone(), (v * 1000.0).round() / 1000.0))
+        .collect()
+}

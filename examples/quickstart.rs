@@ -1,0 +1,40 @@
+//! Quickstart: synthesize a linear scoring function for a ranking.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! We generate a small dataset, rank it with a *hidden* weight vector,
+//! hand RankHow only the ranking, and watch it recover a function that
+//! reproduces the ranking exactly.
+
+use rankhow::prelude::*;
+use rankhow_data::{rankfns, synthetic};
+
+fn main() {
+    // 1. A dataset: 60 tuples, 4 attributes, uniform random.
+    let data = synthetic::generate(synthetic::Distribution::Uniform, 60, 4, 42);
+
+    // 2. A given ranking produced by a hidden linear function.
+    let hidden = [0.45, 0.25, 0.20, 0.10];
+    let given = rankfns::linear_ranking(&data, &hidden, 10);
+    println!("given top-10 tuples: {:?}", given.top_k());
+
+    // 3. Synthesize: RankHow sees only (data, ranking).
+    let problem = OptProblem::new(data, given).expect("valid problem");
+    let solution = RankHow::new().solve(&problem).expect("solve");
+
+    println!("synthesized weights: {:?}", solution.weights);
+    println!(
+        "position error: {} (optimal: {})",
+        solution.error, solution.optimal
+    );
+    assert_eq!(solution.error, 0, "a perfect linear function exists");
+
+    // 4. The solution is verified with exact rational arithmetic.
+    let report = rankhow::core::verify::verify(&problem, &solution.weights).unwrap();
+    println!(
+        "exact verification: error {} — consistent: {}",
+        report.exact_error, report.consistent
+    );
+}

@@ -1,0 +1,258 @@
+//! `rankhow` — command-line scoring-function synthesis.
+//!
+//! ```text
+//! rankhow <data.csv> [--ranking <ranking.csv>] [--k <K>] [--score-col <NAME>]
+//!         [--eps <E>] [--eps1 <E1>] [--eps2 <E2>]
+//!         [--min-weight <ATTR>=<LO>] [--max-weight <ATTR>=<HI>]
+//!         [--symgd <CELL>] [--budget <SECONDS>] [--measure position|kendall|topweighted]
+//! ```
+//!
+//! Input: a CSV of numeric attributes (header row). The given ranking
+//! comes either from `--ranking` (a one-column CSV of positions, one row
+//! per tuple, empty/0 = ⊥) or from `--score-col` + `--k` (rank the top-K
+//! by a score column, then drop that column from the attributes).
+//!
+//! `--measure` selects the objective the solver *optimizes* (not merely
+//! reports): Definition 3 position error, Kendall tau, or the
+//! top-weighted variant.
+//!
+//! Output: the synthesized weights, the objective value, and the exact
+//! verification verdict.
+
+use rankhow::core::{seeding, verify, SolverConfig, SymGd, SymGdConfig};
+use rankhow::prelude::*;
+use rankhow::ranking::ErrorMeasure;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    data: PathBuf,
+    ranking: Option<PathBuf>,
+    score_col: Option<String>,
+    k: usize,
+    eps: f64,
+    eps1: f64,
+    eps2: f64,
+    min_weights: Vec<(String, f64)>,
+    max_weights: Vec<(String, f64)>,
+    symgd_cell: Option<f64>,
+    budget: u64,
+    measure: ErrorMeasure,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rankhow <data.csv> [--ranking pos.csv | --score-col NAME] [--k K]\n\
+         \x20      [--eps E] [--eps1 E1] [--eps2 E2] [--min-weight A=L] [--max-weight A=H]\n\
+         \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        data: PathBuf::new(),
+        ranking: None,
+        score_col: None,
+        k: 10,
+        eps: 1e-6,
+        eps1: 1e-4,
+        eps2: 0.0,
+        min_weights: Vec::new(),
+        max_weights: Vec::new(),
+        symgd_cell: None,
+        budget: 30,
+        measure: ErrorMeasure::Position,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--ranking" => args.ranking = Some(PathBuf::from(next())),
+            "--score-col" => args.score_col = Some(next()),
+            "--k" => args.k = next().parse().unwrap_or_else(|_| usage()),
+            "--eps" => args.eps = next().parse().unwrap_or_else(|_| usage()),
+            "--eps1" => args.eps1 = next().parse().unwrap_or_else(|_| usage()),
+            "--eps2" => args.eps2 = next().parse().unwrap_or_else(|_| usage()),
+            "--budget" => args.budget = next().parse().unwrap_or_else(|_| usage()),
+            "--symgd" => args.symgd_cell = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--min-weight" | "--max-weight" => {
+                let spec = next();
+                let (attr, val) = spec.split_once('=').unwrap_or_else(|| usage());
+                let val: f64 = val.parse().unwrap_or_else(|_| usage());
+                if a == "--min-weight" {
+                    args.min_weights.push((attr.to_string(), val));
+                } else {
+                    args.max_weights.push((attr.to_string(), val));
+                }
+            }
+            "--measure" => {
+                args.measure = match next().as_str() {
+                    "position" => ErrorMeasure::Position,
+                    "kendall" => ErrorMeasure::KendallTau,
+                    "topweighted" => ErrorMeasure::TopWeighted,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 1 {
+        usage();
+    }
+    args.data = PathBuf::from(&positional[0]);
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut data = match Dataset::from_csv(&args.data) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", args.data.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Resolve the given ranking.
+    let given = if let Some(path) = &args.ranking {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let positions: Vec<Option<u32>> = text
+            .lines()
+            .skip(1) // header
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| match l.trim().parse::<u32>() {
+                Ok(0) | Err(_) => None,
+                Ok(p) => Some(p),
+            })
+            .collect();
+        match GivenRanking::from_positions(positions) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("invalid ranking: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(col) = &args.score_col {
+        let Some(idx) = data.attr_index(col) else {
+            eprintln!("no column named {col}");
+            return ExitCode::FAILURE;
+        };
+        let scores: Vec<f64> = data.rows().iter().map(|r| r[idx]).collect();
+        let keep: Vec<usize> = (0..data.m()).filter(|&j| j != idx).collect();
+        data = data.select_attrs(&keep);
+        match GivenRanking::from_scores(&scores, args.k.min(scores.len()), 0.0) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("invalid ranking: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("need --ranking or --score-col");
+        return ExitCode::FAILURE;
+    };
+
+    // Constraints.
+    let mut constraints = WeightConstraints::none();
+    for (attr, lo) in &args.min_weights {
+        let Some(idx) = data.attr_index(attr) else {
+            eprintln!("no column named {attr}");
+            return ExitCode::FAILURE;
+        };
+        constraints = constraints.min_weight(idx, *lo);
+    }
+    for (attr, hi) in &args.max_weights {
+        let Some(idx) = data.attr_index(attr) else {
+            eprintln!("no column named {attr}");
+            return ExitCode::FAILURE;
+        };
+        constraints = constraints.max_weight(idx, *hi);
+    }
+
+    let tol = Tolerances::explicit(args.eps, args.eps1, args.eps2);
+    let problem = match OptProblem::with_all(data, given, constraints, tol) {
+        Ok(p) => p.with_objective(args.measure),
+        Err(e) => {
+            eprintln!("invalid problem: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "instance: n={}, m={}, k={}",
+        problem.n(),
+        problem.m(),
+        problem.given.k()
+    );
+
+    // Solve.
+    let (weights, error, optimal) = if let Some(cell) = args.symgd_cell {
+        let seed = seeding::ordinal_seed(&problem);
+        match SymGd::with_config(SymGdConfig {
+            cell_size: cell,
+            adaptive: true,
+            total_time: Some(Duration::from_secs(args.budget)),
+            ..SymGdConfig::default()
+        })
+        .solve(&problem, &seed)
+        {
+            Ok(r) => (r.weights, r.error, false),
+            Err(e) => {
+                eprintln!("symgd failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let seed = seeding::ordinal_seed(&problem);
+        match rankhow::core::RankHow::with_config(SolverConfig {
+            time_limit: Some(Duration::from_secs(args.budget)),
+            warm_start: Some(seed),
+            ..SolverConfig::default()
+        })
+        .solve(&problem)
+        {
+            Ok(s) => (s.weights, s.error, s.optimal),
+            Err(e) => {
+                eprintln!("solve failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    // Report.
+    println!("weights:");
+    for (name, w) in problem.data.names().iter().zip(&weights) {
+        if *w > 1e-9 {
+            println!("  {name:<16} {w:.6}");
+        }
+    }
+    let label = match args.measure {
+        ErrorMeasure::Position => "position error",
+        ErrorMeasure::KendallTau => "kendall-tau error",
+        ErrorMeasure::TopWeighted => "top-weighted error",
+    };
+    println!("{label}: {error}{}", if optimal { " (proved optimal)" } else { "" });
+    if args.measure != ErrorMeasure::Position {
+        // Also report plain Definition 3 error for comparability.
+        println!("position error: {}", problem.evaluate(&weights));
+    }
+    match verify::verify(&problem, &weights) {
+        Some(rep) if rep.consistent => println!("exact verification: PASS"),
+        Some(rep) => println!(
+            "exact verification: MISMATCH (exact {}, f64 {})",
+            rep.exact_error, rep.f64_error
+        ),
+        None => println!("exact verification: skipped (non-finite input)"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,67 @@
+//! # RankHow — synthesizing linear scoring functions for rankings
+//!
+//! Facade crate re-exporting the whole workspace. This is the crate a
+//! downstream user depends on; the sub-crates can also be used directly.
+//!
+//! Reproduction of *"Synthesizing Scoring Functions for Rankings Using
+//! Symbolic Gradient Descent"* (Chen, Manolios, Riedewald — ICDE 2025).
+//!
+//! ## Quickstart
+//! ```
+//! use rankhow::prelude::*;
+//!
+//! // A tiny dataset: Example 4 of the paper.
+//! let data = Dataset::from_rows(
+//!     vec!["A1".into(), "A2".into(), "A3".into()],
+//!     vec![vec![3.0, 2.0, 8.0], vec![4.0, 1.0, 15.0], vec![1.0, 1.0, 14.0]],
+//! )
+//! .unwrap();
+//! // Given ranking π[r, s, t] = [1, 2, ⊥].
+//! let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+//!
+//! let problem = OptProblem::new(data, pi).unwrap();
+//! let solution = RankHow::new().solve(&problem).unwrap();
+//! assert_eq!(solution.error, 0); // a perfect linear function exists
+//! ```
+
+#![warn(missing_docs)]
+
+/// Paper-to-API notation map (Table I of the paper).
+///
+/// | Paper symbol | Meaning | In this crate |
+/// |---|---|---|
+/// | `R` | input dataset | [`data::Dataset`] |
+/// | `n = \|R\|` | number of tuples | [`data::Dataset::n`] |
+/// | `A_1..A_m` | ranking attributes | [`data::Dataset::names`] |
+/// | `f_W` | linear scoring function | weight vector `&[f64]` + [`ranking::scores_f64`] |
+/// | `W = (w_1..w_m)` | weight vector | [`core::Solution::weights`] |
+/// | `P` | weight predicate | [`core::WeightConstraints`] |
+/// | `π` | given ranking | [`ranking::GivenRanking`] |
+/// | `π(r)` | rank of `r` in `π` | [`ranking::GivenRanking::position`] |
+/// | `R_π(k)` | top-k tuples of `π` | [`ranking::GivenRanking::top_k`] |
+/// | `ρ_W` | score-based ranking | [`ranking::score_ranks`] |
+/// | `ρ_W(r)` | rank of `r` under `f_W` | [`ranking::rank_of_in`] |
+/// | `ε` | tie tolerance | [`core::Tolerances::eps`] |
+/// | `τ`, `τ⁺` | precision tolerance | [`core::Tolerances::tau`] / the `from_eps_tau` recipe |
+/// | `δ_sr` | pair indicator | [`core::formulation::PairH`] |
+/// | `ε_1`, `ε_2` | imprecision thresholds | [`core::Tolerances::eps1`] / [`core::Tolerances::eps2`] |
+pub mod notation {}
+
+pub use rankhow_baselines as baselines;
+pub use rankhow_core as core;
+pub use rankhow_data as data;
+pub use rankhow_linalg as linalg;
+pub use rankhow_lp as lp;
+pub use rankhow_milp as milp;
+pub use rankhow_numeric as numeric;
+pub use rankhow_ranking as ranking;
+
+/// Convenience re-exports of the types most programs need.
+pub mod prelude {
+    pub use rankhow_core::{
+        ErrorMeasure, OptProblem, PositionConstraints, RankHow, SatSearch, Solution, SymGd,
+        SymGdConfig, Tolerances, WeightConstraints,
+    };
+    pub use rankhow_data::Dataset;
+    pub use rankhow_ranking::{position_error, score_ranks, GivenRanking};
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the `rankhow` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_csv(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rankhow_cli_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 12-row dataset whose `score` column is a hidden linear function.
+fn data_csv() -> String {
+    let mut out = String::from("a,b,score\n");
+    for i in 0..12 {
+        let a = ((i * 7) % 12) as f64;
+        let b = ((i * 5) % 12) as f64;
+        let score = 0.7 * a + 0.3 * b;
+        out.push_str(&format!("{a},{b},{score}\n"));
+    }
+    out
+}
+
+#[test]
+fn solves_from_score_column() {
+    let dir = temp_dir("score");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([data.to_str().unwrap(), "--score-col", "score", "--k", "6", "--budget", "10"])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("position error: 0"), "{stdout}");
+    assert!(stdout.contains("exact verification: PASS"), "{stdout}");
+}
+
+#[test]
+fn solves_from_ranking_file() {
+    let dir = temp_dir("ranking");
+    // Attributes only (score column dropped manually here).
+    let mut data = String::from("a,b\n");
+    let mut ranking = String::from("position\n");
+    for i in 0..8 {
+        let a = (8 - i) as f64;
+        let b = i as f64;
+        data.push_str(&format!("{a},{b}\n"));
+        // Rank by `a` descending: tuple i has position i+1; bottom 3 ⊥.
+        if i < 5 {
+            ranking.push_str(&format!("{}\n", i + 1));
+        } else {
+            ranking.push_str("0\n");
+        }
+    }
+    let data = write_csv(&dir, "data.csv", &data);
+    let ranking = write_csv(&dir, "ranking.csv", &ranking);
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--ranking",
+            ranking.to_str().unwrap(),
+            "--budget",
+            "10",
+        ])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("position error: 0"), "{stdout}");
+}
+
+#[test]
+fn weight_constraints_respected() {
+    let dir = temp_dir("constraints");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "4",
+            "--min-weight",
+            "b=0.4",
+            "--budget",
+            "10",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Extract the reported weight of `b` and check the bound.
+    let b_line = stdout.lines().find(|l| l.trim_start().starts_with("b ")).expect("b row");
+    let w: f64 = b_line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(w >= 0.4 - 1e-6, "{stdout}");
+}
+
+#[test]
+fn symgd_mode_runs() {
+    let dir = temp_dir("symgd");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "6",
+            "--symgd",
+            "0.2",
+            "--budget",
+            "10",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("position error:"), "{stdout}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Missing file.
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args(["/nonexistent.csv", "--score-col", "x"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+
+    // Unknown column.
+    let dir = temp_dir("bad");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([data.to_str().unwrap(), "--score-col", "nope"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no column"));
+}
+
+#[test]
+fn measure_flag_optimizes_the_requested_objective() {
+    let dir = temp_dir("measure");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "6",
+            "--budget",
+            "10",
+            "--measure",
+            "kendall",
+        ])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // The hidden function is linear, so the tau optimum is 0, and the
+    // CLI reports the objective under its proper name plus the plain
+    // position error for comparability.
+    assert!(stdout.contains("kendall-tau error: 0"), "{stdout}");
+    assert!(stdout.contains("position error:"), "{stdout}");
+    assert!(stdout.contains("exact verification: PASS"), "{stdout}");
+}

@@ -1,0 +1,214 @@
+//! End-to-end integration tests spanning every crate: data generation →
+//! ranking → problem → solvers → verification, through the public
+//! facade API only.
+
+use rankhow::prelude::*;
+use rankhow::{baselines, core, data, ranking};
+use std::time::Duration;
+
+/// The full pipeline on NBA-like data: generate, rank by the hidden
+/// MP·PER function, solve exactly, verify, and beat every baseline.
+#[test]
+fn nba_pipeline_exact_beats_baselines() {
+    let gen = data::nba::generate(400, 11);
+    let attrs: Vec<usize> = (0..5).collect();
+    let table = gen.dataset.select_attrs(&attrs).min_max_normalized();
+    let given = gen.mp_per_ranking(4);
+    let problem =
+        OptProblem::with_tolerances(table, given, Tolerances::paper_nba()).unwrap();
+
+    let sol = core::RankHow::with_config(core::SolverConfig {
+        time_limit: Some(Duration::from_secs(20)),
+        ..core::SolverConfig::default()
+    })
+    .solve(&problem)
+    .unwrap();
+    assert_eq!(problem.evaluate(&sol.weights), sol.error);
+
+    // Exact verification accepts the solution (Section V-A contract).
+    assert!(core::verify::verify_claim(&problem, &sol.weights, sol.error));
+
+    // Baselines cannot beat it (when the solve was proved optimal).
+    if sol.optimal {
+        let inst = baselines::Instance::new(problem.data.rows(), &problem.given, problem.tol);
+        let lr = baselines::linear_regression::fit(
+            &inst,
+            baselines::linear_regression::Variant::Default,
+        );
+        let or = baselines::ordinal_regression::fit(
+            &inst,
+            &baselines::ordinal_regression::config_plus(problem.tol),
+        );
+        let ada = baselines::adarank::fit(&inst, &baselines::adarank::AdaRankConfig::default());
+        for (name, err) in [("LR", lr.error), ("OR", or.error), ("AdaRank", ada.error)] {
+            assert!(err >= sol.error, "{name} ({err}) beat optimal {}", sol.error);
+        }
+    }
+}
+
+/// SYM-GD with the ordinal seed lands within a small gap of the exact
+/// optimum and never below it.
+#[test]
+fn symgd_pipeline_respects_exact_optimum() {
+    let table = data::synthetic::generate(data::synthetic::Distribution::Uniform, 200, 4, 5);
+    let given = data::rankfns::sum_pow_ranking(&table, 2, 6);
+    let problem =
+        OptProblem::with_tolerances(table, given, Tolerances::paper_synthetic()).unwrap();
+
+    let exact = core::RankHow::with_config(core::SolverConfig {
+        time_limit: Some(Duration::from_secs(30)),
+        ..core::SolverConfig::default()
+    })
+    .solve(&problem)
+    .unwrap();
+    let seed = core::seeding::ordinal_seed(&problem);
+    let sym = core::SymGd::with_config(core::SymGdConfig {
+        cell_size: 0.1,
+        adaptive: true,
+        total_time: Some(Duration::from_secs(20)),
+        ..core::SymGdConfig::default()
+    })
+    .solve(&problem, &seed)
+    .unwrap();
+    if exact.optimal {
+        assert!(sym.error >= exact.error);
+    }
+    assert_eq!(problem.evaluate(&sym.weights), sym.error);
+}
+
+/// Constraint-exploration loop (Example 1): each added constraint keeps
+/// the solution valid and the error monotone non-decreasing.
+#[test]
+fn constraint_exploration_loop() {
+    let table = data::synthetic::generate(data::synthetic::Distribution::Correlated, 120, 4, 3);
+    let given = data::rankfns::sum_pow_ranking(&table, 3, 5);
+    let problem = OptProblem::with_tolerances(
+        table,
+        given,
+        Tolerances::explicit(1e-6, 1e-4, 0.0),
+    )
+    .unwrap();
+    let budget = core::SolverConfig {
+        time_limit: Some(Duration::from_secs(15)),
+        ..core::SolverConfig::default()
+    };
+    let base = core::RankHow::with_config(budget.clone())
+        .solve(&problem)
+        .unwrap();
+
+    let mut last_error = base.error;
+    for min_w0 in [0.3, 0.5, 0.7] {
+        let constrained = problem
+            .clone()
+            .with_constraints(WeightConstraints::none().min_weight(0, min_w0))
+            .unwrap();
+        let sol = core::RankHow::with_config(budget.clone())
+            .solve(&constrained)
+            .unwrap();
+        assert!(sol.weights[0] >= min_w0 - 1e-6);
+        if base.optimal && sol.optimal {
+            assert!(
+                sol.error >= base.error,
+                "tightening constraints cannot improve the optimum"
+            );
+        }
+        last_error = last_error.max(sol.error);
+    }
+}
+
+/// The facade's prelude quickstart (mirrors the README snippet).
+#[test]
+fn facade_quickstart() {
+    let table = Dataset::from_rows(
+        vec!["A1".into(), "A2".into(), "A3".into()],
+        vec![
+            vec![3.0, 2.0, 8.0],
+            vec![4.0, 1.0, 15.0],
+            vec![1.0, 1.0, 14.0],
+        ],
+    )
+    .unwrap();
+    let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+    let problem = OptProblem::new(table, pi).unwrap();
+    let solution = RankHow::new().solve(&problem).unwrap();
+    assert_eq!(solution.error, 0);
+
+    // Definition 2/3 helpers from the prelude.
+    let scores = ranking::scores_f64(problem.data.rows(), &solution.weights);
+    let ranks = score_ranks(&scores, 0.0);
+    assert_eq!(position_error(&problem.given, &ranks), 0);
+}
+
+/// CSV round-trip + solve: external data can be loaded and used.
+#[test]
+fn csv_roundtrip_pipeline() {
+    let dir = std::env::temp_dir().join("rankhow_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("table.csv");
+    let table = data::synthetic::generate(data::synthetic::Distribution::Uniform, 40, 3, 8);
+    table.to_csv(&path).unwrap();
+    let loaded = Dataset::from_csv(&path).unwrap();
+    assert_eq!(loaded.n(), 40);
+    let given = data::rankfns::linear_ranking(&loaded, &[0.5, 0.3, 0.2], 5);
+    let problem = OptProblem::new(loaded, given).unwrap();
+    let sol = RankHow::new().solve(&problem).unwrap();
+    assert_eq!(sol.error, 0, "linear ground truth is recoverable");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Tolerance machinery: the same instance solved with naive vs safe ε1
+/// must never produce an unverifiable claim in the safe configuration
+/// (Table III's acceptance criterion).
+#[test]
+fn tolerance_configurations_verify() {
+    let gen = data::nba::generate(300, 17);
+    let attrs: Vec<usize> = (0..8).collect();
+    let table = gen.dataset.select_attrs(&attrs).min_max_normalized();
+    let given = gen.mp_per_ranking(5);
+    for tol in [
+        Tolerances::paper_nba(),
+        Tolerances::explicit(5e-5, 1e-10, 0.0),
+    ] {
+        let problem =
+            OptProblem::with_tolerances(table.clone(), given.clone(), tol).unwrap();
+        let sol = core::RankHow::with_config(core::SolverConfig {
+            time_limit: Some(Duration::from_secs(15)),
+            ..core::SolverConfig::default()
+        })
+        .solve(&problem)
+        .unwrap();
+        let report = core::verify::verify(&problem, &sol.weights).unwrap();
+        if tol.eps1 > 1e-6 {
+            // Safe gap: claims must survive exact verification.
+            assert_eq!(report.exact_error, sol.error, "safe config false positive");
+        }
+        // Either way the f64 evaluator agrees with itself.
+        assert_eq!(problem.evaluate(&sol.weights), sol.error);
+    }
+}
+
+/// Kendall-tau and top-weighted measures through the extensions API.
+#[test]
+fn alternative_measures_pipeline() {
+    let table = data::synthetic::generate(data::synthetic::Distribution::Uniform, 60, 3, 21);
+    let given = data::rankfns::sum_pow_ranking(&table, 4, 8);
+    let problem = OptProblem::new(table, given).unwrap();
+    let sol = RankHow::new().solve(&problem).unwrap();
+    let tau = core::extensions::evaluate_measure(
+        &problem,
+        &sol.weights,
+        ranking::ErrorMeasure::KendallTau,
+    );
+    let topw = core::extensions::evaluate_measure(
+        &problem,
+        &sol.weights,
+        ranking::ErrorMeasure::TopWeighted,
+    );
+    // Consistency: zero position error forces zero tau and zero weighted.
+    if sol.error == 0 {
+        assert_eq!(tau, 0);
+        assert_eq!(topw, 0);
+    } else {
+        assert!(topw >= sol.error, "weights ≥ 1 inflate the weighted sum");
+    }
+}

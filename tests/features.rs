@@ -1,0 +1,208 @@
+//! Integration tests for the paper's Section I/II extensions, driven
+//! through the facade crate the way a downstream user would:
+//! alternative objectives, the satisfiability binary search, rank
+//! windows, and the constraint vocabulary — all composed together.
+
+use rankhow::core::extensions::{require_first, require_order, window_ranking};
+use rankhow::prelude::*;
+
+/// A small "league table": 8 teams, 3 attributes, given ranking produced
+/// by a hidden non-linear function (so the linear fit is imperfect and
+/// the objectives genuinely differ).
+fn league() -> (Dataset, GivenRanking) {
+    let rows = vec![
+        vec![22.0, 7.0, 3.0],
+        vec![19.0, 9.0, 5.0],
+        vec![17.0, 4.0, 9.0],
+        vec![15.0, 11.0, 2.0],
+        vec![12.0, 3.0, 11.0],
+        vec![9.0, 13.0, 6.0],
+        vec![7.0, 2.0, 13.0],
+        vec![4.0, 6.0, 8.0],
+    ];
+    // Hidden score: wins² + 2·draws + bonus³/10 — non-linear on purpose.
+    let mut scored: Vec<(usize, f64)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r[0] * r[0] + 2.0 * r[1] + f64::powi(r[2], 3) / 10.0))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut positions = vec![None; rows.len()];
+    for (rank, &(idx, _)) in scored.iter().take(6).enumerate() {
+        positions[idx] = Some(rank as u32 + 1);
+    }
+    let data = Dataset::from_rows(
+        vec!["wins".into(), "draws".into(), "bonus".into()],
+        rows,
+    )
+    .unwrap();
+    (data, GivenRanking::from_positions(positions).unwrap())
+}
+
+fn problem() -> OptProblem {
+    let (data, given) = league();
+    OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0)).unwrap()
+}
+
+#[test]
+fn all_three_objectives_solve_and_verify() {
+    let base = problem();
+    for measure in [
+        ErrorMeasure::Position,
+        ErrorMeasure::KendallTau,
+        ErrorMeasure::TopWeighted,
+    ] {
+        let p = base.clone().with_objective(measure);
+        let sol = RankHow::new().solve(&p).unwrap();
+        assert_eq!(
+            sol.error,
+            p.objective_value(&sol.weights),
+            "claim consistency for {measure:?}"
+        );
+        assert!(
+            rankhow::core::verify::verify_claim(&p, &sol.weights, sol.error),
+            "exact verification for {measure:?}"
+        );
+    }
+}
+
+#[test]
+fn satsearch_and_bnb_agree_through_facade() {
+    let p = problem();
+    let bnb = RankHow::new().solve(&p).unwrap();
+    let sat = SatSearch::new().solve(&p).unwrap();
+    assert!(bnb.optimal && sat.optimal);
+    assert!(bnb.error <= sat.error);
+    if bnb.error < sat.error {
+        assert!(rankhow::core::verify::relies_on_gap_band(&p, &bnb.weights));
+    }
+}
+
+#[test]
+fn symgd_improves_or_matches_its_seed_under_every_objective() {
+    let base = problem();
+    let m = base.m();
+    let seed = vec![1.0 / m as f64; m];
+    for measure in [
+        ErrorMeasure::Position,
+        ErrorMeasure::KendallTau,
+        ErrorMeasure::TopWeighted,
+    ] {
+        let p = base.clone().with_objective(measure);
+        let seed_value = p.objective_value(&seed);
+        let res = SymGd::with_config(SymGdConfig {
+            cell_size: 0.3,
+            max_iterations: 10,
+            ..SymGdConfig::default()
+        })
+        .solve(&p, &seed)
+        .unwrap();
+        assert!(
+            res.error <= seed_value,
+            "{measure:?}: symgd {} worse than its own seed {}",
+            res.error,
+            seed_value
+        );
+        assert_eq!(res.error, p.objective_value(&res.weights));
+    }
+}
+
+#[test]
+fn window_fit_ignores_tuples_outside_the_window() {
+    // Fit only positions 3–6 of the league ranking (the "university
+    // climbing the ranks" use case): tuples ranked 1–2 become ⊥.
+    let (data, given) = league();
+    let full: Vec<u32> = (0..data.n())
+        .map(|i| given.position(i).unwrap_or(u32::MAX))
+        .collect();
+    // Replace unranked sentinel by a position beyond the window.
+    let full: Vec<u32> = full.iter().map(|&p| if p == u32::MAX { 99 } else { p }).collect();
+    let windowed = window_ranking(&full, 3, 6).unwrap();
+    assert_eq!(windowed.k(), 4);
+    let p = OptProblem::with_tolerances(
+        data,
+        windowed,
+        Tolerances::explicit(1e-4, 2e-4, 0.0),
+    )
+    .unwrap();
+    let sol = RankHow::new().solve(&p).unwrap();
+    // The window problem is no harder than the full problem restricted
+    // to those tuples; its claim verifies like any other.
+    assert!(rankhow::core::verify::verify_claim(&p, &sol.weights, sol.error));
+}
+
+#[test]
+fn constraint_exploration_loop_composes_with_objectives() {
+    // Example 1's loop: solve free, then force an attribute floor, then
+    // pin the #1 team — each step under the Kendall tau objective.
+    let base = problem().with_objective(ErrorMeasure::KendallTau);
+    let free = RankHow::new().solve(&base).unwrap();
+
+    let floored = base
+        .clone()
+        .with_constraints(WeightConstraints::none().min_weight(0, 0.5))
+        .unwrap();
+    let floored_sol = RankHow::new().solve(&floored).unwrap();
+    assert!(floored_sol.weights[0] >= 0.5 - 1e-6);
+    assert!(floored_sol.error >= free.error, "constraints cannot help");
+
+    let top_team = base
+        .given
+        .top_k()
+        .iter()
+        .copied()
+        .find(|&t| base.given.position(t) == Some(1))
+        .unwrap();
+    let pinned = base
+        .clone()
+        .with_constraints(require_first(
+            WeightConstraints::none(),
+            &base,
+            top_team,
+        ))
+        .unwrap();
+    match RankHow::new().solve(&pinned) {
+        Ok(sol) => {
+            let scores = rankhow::ranking::scores_f64(pinned.data.rows(), &sol.weights);
+            assert_eq!(
+                rankhow::ranking::rank_of_in(&scores, top_team, pinned.tol.eps),
+                1
+            );
+        }
+        Err(rankhow::core::SolverError::Infeasible) => {} // legitimate
+        Err(e) => panic!("unexpected {e}"),
+    }
+}
+
+#[test]
+fn pairwise_order_constraint_respected_by_satsearch() {
+    let base = problem();
+    // Force tuple 1 above tuple 0 (whatever the given ranking says).
+    let constrained = base
+        .clone()
+        .with_constraints(require_order(
+            WeightConstraints::none(),
+            &base.data,
+            1,
+            0,
+            base.tol.eps1,
+        ))
+        .unwrap();
+    let sat = SatSearch::new().solve(&constrained).unwrap();
+    let scores = rankhow::ranking::scores_f64(constrained.data.rows(), &sat.weights);
+    assert!(
+        scores[1] > scores[0],
+        "order constraint violated: {} vs {}",
+        scores[1],
+        scores[0]
+    );
+}
+
+#[test]
+fn position_error_example2_through_facade() {
+    // Example 2: scores [3,2,4,1] on a 4-tuple identity ranking give a
+    // total rank-position error of 4.
+    let given = GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), Some(4)]).unwrap();
+    let ranks = score_ranks(&[3.0, 2.0, 4.0, 1.0], 0.0);
+    assert_eq!(position_error(&given, &ranks), 4);
+}
