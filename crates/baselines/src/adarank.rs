@@ -118,11 +118,7 @@ pub fn fit(inst: &Instance<'_>, cfg: &AdaRankConfig) -> Fitted {
 
         // Combined scores so far (normalized space) drive re-weighting.
         let combined: Vec<f64> = (0..inst.n())
-            .map(|i| {
-                (0..m)
-                    .map(|j| alpha[j] * weak_scores[j][i])
-                    .sum()
-            })
+            .map(|i| (0..m).map(|j| alpha[j] * weak_scores[j][i]).sum())
             .collect();
         let mut z = 0.0;
         for (slot, &r) in top.iter().enumerate() {
@@ -207,10 +203,7 @@ mod tests {
         let rows_a: Vec<Vec<f64>> = (0..12)
             .map(|i| vec![(i % 4) as f64, ((i * 5) % 12) as f64])
             .collect();
-        let rows_b: Vec<Vec<f64>> = rows_a
-            .iter()
-            .map(|r| vec![r[0] * 1000.0, r[1]])
-            .collect();
+        let rows_b: Vec<Vec<f64>> = rows_a.iter().map(|r| vec![r[0] * 1000.0, r[1]]).collect();
         let scores: Vec<f64> = rows_a.iter().map(|r| r[0] + r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 12, 0.0).unwrap();
         let ia = Instance::new(&rows_a, &given, Tolerances::exact());

@@ -103,8 +103,7 @@ mod tests {
 
     #[test]
     fn pair_enumeration_counts() {
-        let given =
-            GivenRanking::from_positions(vec![Some(1), Some(2), None, None]).unwrap();
+        let given = GivenRanking::from_positions(vec![Some(1), Some(2), None, None]).unwrap();
         let pairs = indicator_pairs(&given);
         // k·(n−1) = 2·3 = 6 pairs.
         assert_eq!(pairs.len(), 6);

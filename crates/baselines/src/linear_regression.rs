@@ -88,14 +88,8 @@ mod tests {
             vec![4.0, 10.0],
             vec![3.0, 100.0],
         ];
-        let given = GivenRanking::from_positions(vec![
-            Some(1),
-            Some(2),
-            Some(3),
-            Some(4),
-            Some(5),
-        ])
-        .unwrap();
+        let given = GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), Some(4), Some(5)])
+            .unwrap();
         (rows, given)
     }
 

@@ -253,12 +253,9 @@ mod tests {
     #[test]
     fn weights_live_on_simplex() {
         let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (8 - i) as f64]).collect();
-        let given = GivenRanking::from_scores(
-            &rows.iter().map(|r| r[0]).collect::<Vec<_>>(),
-            8,
-            0.0,
-        )
-        .unwrap();
+        let given =
+            GivenRanking::from_scores(&rows.iter().map(|r| r[0]).collect::<Vec<_>>(), 8, 0.0)
+                .unwrap();
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let f = fit(&inst, &OrdinalConfig::default());
         let sum: f64 = f.weights.iter().sum();
@@ -271,11 +268,22 @@ mod tests {
         // Two tied tuples: with ties enabled the band constraint exists;
         // disabled, the pair is skipped (original Srinivasan).
         let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]];
-        let given =
-            GivenRanking::from_positions(vec![Some(1), Some(1), Some(3)]).unwrap();
+        let given = GivenRanking::from_positions(vec![Some(1), Some(1), Some(3)]).unwrap();
         let inst = Instance::new(&rows, &given, Tolerances::exact());
-        let with_ties = fit(&inst, &OrdinalConfig { support_ties: true, ..Default::default() });
-        let without = fit(&inst, &OrdinalConfig { support_ties: false, ..Default::default() });
+        let with_ties = fit(
+            &inst,
+            &OrdinalConfig {
+                support_ties: true,
+                ..Default::default()
+            },
+        );
+        let without = fit(
+            &inst,
+            &OrdinalConfig {
+                support_ties: false,
+                ..Default::default()
+            },
+        );
         // Both must produce valid functions; the tie-aware one should
         // score the tied pair closer together.
         let closeness = |w: &[f64]| {

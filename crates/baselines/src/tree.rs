@@ -106,7 +106,9 @@ pub fn fit(inst: &Instance<'_>, cfg: &TreeConfig) -> TreeResult {
             }
         }
     }
-    let free_pairs: Vec<usize> = (0..all_pairs.len()).filter(|&i| fixed[i].is_none()).collect();
+    let free_pairs: Vec<usize> = (0..all_pairs.len())
+        .filter(|&i| fixed[i].is_none())
+        .collect();
 
     let mut best: Option<Fitted> = None;
     let mut lp_checks = 0usize;
@@ -129,8 +131,7 @@ pub fn fit(inst: &Instance<'_>, cfg: &TreeConfig) -> TreeResult {
         // returns *some* verified function. (Pure reporting aid — it
         // adds one LP per depth level and no pruning, so the
         // enumeration behaviour the paper measures is unchanged.)
-        if !assign.is_empty() && assign.len() > deepest_sampled && assign.len() < free_pairs.len()
-        {
+        if !assign.is_empty() && assign.len() > deepest_sampled && assign.len() < free_pairs.len() {
             deepest_sampled = assign.len();
             let region = region_lp(inst, m, &all_pairs, &free_pairs, &assign, cfg);
             if let Ok(Some(center)) = chebyshev_center(&region) {
@@ -263,9 +264,7 @@ mod tests {
     #[test]
     fn dominance_reduces_lp_checks() {
         // Strongly correlated data → many dominance pairs → smaller tree.
-        let rows: Vec<Vec<f64>> = (0..7)
-            .map(|i| vec![i as f64, i as f64 + 0.5])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64, i as f64 + 0.5]).collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0]).collect();
         let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
         let inst = Instance::new(&rows, &given, Tolerances::exact());
@@ -279,16 +278,19 @@ mod tests {
         );
         assert!(with.lp_checks < without.lp_checks);
         // Same answer either way.
-        assert_eq!(
-            with.fitted.unwrap().error,
-            without.fitted.unwrap().error
-        );
+        assert_eq!(with.fitted.unwrap().error, without.fitted.unwrap().error);
     }
 
     #[test]
     fn node_limit_aborts_cleanly() {
         let rows: Vec<Vec<f64>> = (0..8)
-            .map(|i| vec![((i * 3) % 8) as f64, ((i * 5) % 8) as f64, ((i * 7) % 8) as f64])
+            .map(|i| {
+                vec![
+                    ((i * 3) % 8) as f64,
+                    ((i * 5) % 8) as f64,
+                    ((i * 7) % 8) as f64,
+                ]
+            })
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0] + r[1] + r[2]).collect();
         let given = GivenRanking::from_scores(&scores, 4, 0.0).unwrap();

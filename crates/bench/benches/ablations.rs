@@ -70,8 +70,7 @@ fn dominance_prefilter(c: &mut Criterion) {
     c.bench_function("dominance_pairs_n5000", |b| {
         b.iter(|| {
             black_box(
-                dominance_pairs(problem.data.rows(), problem.given.top_k(), problem.tol.eps)
-                    .len(),
+                dominance_pairs(problem.data.rows(), problem.given.top_k(), problem.tol.eps).len(),
             )
         });
     });

@@ -8,17 +8,22 @@
 //! We reproduce the *shape*: RankHow solves the instance to proven
 //! optimality in seconds; TREE exhausts its budget without matching it.
 
-use rankhow_bench::report::{fmt_secs, print_table, Table};
-use rankhow_bench::{setups, Scale};
-use rankhow_core::{extensions, seeding, verify, OptProblem, RankHow, SolverConfig, Tolerances, WeightConstraints};
-use rankhow_data::nba;
 use rankhow_baselines::tree::{self, TreeConfig};
 use rankhow_baselines::Instance;
+use rankhow_bench::report::{fmt_secs, print_table, Table};
+use rankhow_bench::{setups, Scale};
+use rankhow_core::{
+    extensions, seeding, verify, OptProblem, RankHow, SolverConfig, Tolerances, WeightConstraints,
+};
+use rankhow_data::nba;
 use std::time::{Duration, Instant};
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# Case study: NBA MVP (Section VI-B) — scale: {}", scale.label());
+    println!(
+        "# Case study: NBA MVP (Section VI-B) — scale: {}",
+        scale.label()
+    );
 
     // Simulated MVP panel over a full league history.
     let gen = setups::nba_raw(scale.nba_n());
@@ -35,9 +40,8 @@ fn main() {
         .dataset
         .select_rows(&vote.voted_players)
         .min_max_normalized();
-    let problem =
-        OptProblem::with_tolerances(data, vote.ranking.clone(), Tolerances::paper_nba())
-            .expect("valid case study instance");
+    let problem = OptProblem::with_tolerances(data, vote.ranking.clone(), Tolerances::paper_nba())
+        .expect("valid case study instance");
 
     // --- RankHow ---
     let start = Instant::now();
@@ -54,7 +58,11 @@ fn main() {
     println!(
         "\nRankHow: error {} ({}), {} — verified: {}",
         sol.error,
-        if sol.optimal { "proved optimal" } else { "budget hit" },
+        if sol.optimal {
+            "proved optimal"
+        } else {
+            "budget hit"
+        },
         fmt_secs(rankhow_time.as_secs_f64()),
         report.consistent
     );
@@ -73,7 +81,12 @@ fn main() {
     });
     let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
     let mut table = Table::new(&[
-        "method", "error", "time", "completed", "lp checks", "vs RankHow time",
+        "method",
+        "error",
+        "time",
+        "completed",
+        "lp checks",
+        "vs RankHow time",
     ]);
     table.row(vec![
         "RankHow".into(),
@@ -110,7 +123,11 @@ fn main() {
         let ratio = res.elapsed.as_secs_f64() / rankhow_time.as_secs_f64().max(1e-9);
         table.row(vec![
             label.into(),
-            if res.completed { err } else { format!("≥? (best {err} at timeout)") },
+            if res.completed {
+                err
+            } else {
+                format!("≥? (best {err} at timeout)")
+            },
             fmt_secs(res.elapsed.as_secs_f64()),
             res.completed.to_string(),
             res.lp_checks.to_string(),

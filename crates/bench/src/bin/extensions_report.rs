@@ -123,18 +123,12 @@ fn gap_band_incidence() {
         for (pos, &idx) in order.iter().take(k).enumerate() {
             positions[idx] = Some(pos as u32 + 1);
         }
-        let data = Dataset::from_rows(
-            (0..3).map(|j| format!("A{j}")).collect(),
-            rows,
-        )
-        .expect("data");
+        let data =
+            Dataset::from_rows((0..3).map(|j| format!("A{j}")).collect(), rows).expect("data");
         let given = GivenRanking::from_positions(positions).expect("ranking");
-        let problem = OptProblem::with_tolerances(
-            data,
-            given,
-            Tolerances::explicit(1e-4, 2e-4, 0.0),
-        )
-        .expect("problem");
+        let problem =
+            OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0))
+                .expect("problem");
 
         let bnb = RankHow::new().solve(&problem).expect("bnb");
         let sys = reduce_global(&problem);
@@ -155,9 +149,21 @@ fn gap_band_incidence() {
         }
     }
     let mut table = Table::new(&["outcome", "count", "of"]);
-    table.row(vec!["agree with certified optimum".into(), ties.to_string(), trials.to_string()]);
-    table.row(vec!["beat it via the (ε2, ε1) band".into(), band_wins.to_string(), trials.to_string()]);
-    table.row(vec!["beat it WITHOUT a witness (must be 0)".into(), unwitnessed.to_string(), trials.to_string()]);
+    table.row(vec![
+        "agree with certified optimum".into(),
+        ties.to_string(),
+        trials.to_string(),
+    ]);
+    table.row(vec![
+        "beat it via the (ε2, ε1) band".into(),
+        band_wins.to_string(),
+        trials.to_string(),
+    ]);
+    table.row(vec![
+        "beat it WITHOUT a witness (must be 0)".into(),
+        unwitnessed.to_string(),
+        trials.to_string(),
+    ]);
     report::print_table(
         "Gap-band incidence over random small instances (EXPERIMENTS.md deviation 4)",
         &table,

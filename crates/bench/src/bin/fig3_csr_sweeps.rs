@@ -17,7 +17,10 @@ fn sweep(scale: Scale, title: &str, configs: &[(usize, usize, usize)], x_label: 
                 budget: scale.solver_budget(),
             },
         );
-        let sampling_budget = rh.time.max(Duration::from_millis(50)).min(scale.sampling_cap());
+        let sampling_budget = rh
+            .time
+            .max(Duration::from_millis(50))
+            .min(scale.sampling_cap());
         let rest = [
             Method::OrdinalRegression,
             Method::LinearRegression,
@@ -57,26 +60,44 @@ fn sweep(scale: Scale, title: &str, configs: &[(usize, usize, usize)], x_label: 
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# Fig. 3e/3f/3g — CSRankings sweeps — scale: {}", scale.label());
+    println!(
+        "# Fig. 3e/3f/3g — CSRankings sweeps — scale: {}",
+        scale.label()
+    );
     let n = scale.csrankings_n();
 
     let configs_k: Vec<(usize, usize, usize)> = table2::CSR_K
         .iter()
         .map(|&k| (n, table2::CSR_M_DEFAULT, k))
         .collect();
-    sweep(scale, "Fig. 3e — error/tuple vs k (CSRankings)", &configs_k, "k");
+    sweep(
+        scale,
+        "Fig. 3e — error/tuple vs k (CSRankings)",
+        &configs_k,
+        "k",
+    );
 
     let configs_n: Vec<(usize, usize, usize)> = table2::CSR_N
         .iter()
         .map(|&n| (n, table2::CSR_M_DEFAULT, table2::CSR_K_DEFAULT))
         .collect();
-    sweep(scale, "Fig. 3f — error/tuple vs n (CSRankings)", &configs_n, "n");
+    sweep(
+        scale,
+        "Fig. 3f — error/tuple vs n (CSRankings)",
+        &configs_n,
+        "n",
+    );
 
     let configs_m: Vec<(usize, usize, usize)> = table2::CSR_M
         .iter()
         .map(|&m| (n, m, table2::CSR_K_DEFAULT))
         .collect();
-    sweep(scale, "Fig. 3g — error/tuple vs m (CSRankings)", &configs_m, "m");
+    sweep(
+        scale,
+        "Fig. 3g — error/tuple vs m (CSRankings)",
+        &configs_m,
+        "m",
+    );
 
     println!(
         "\npaper shapes: same as NBA, with AdaRank trailing everywhere \

@@ -22,13 +22,20 @@ fn methods(scale: Scale, rankhow_time: Duration) -> Vec<Method> {
         Method::OrdinalRegression,
         Method::LinearRegression,
         Method::Sampling {
-            budget: rankhow_time.max(Duration::from_millis(50)).min(scale.sampling_cap()),
+            budget: rankhow_time
+                .max(Duration::from_millis(50))
+                .min(scale.sampling_cap()),
         },
     ]
 }
 
 fn sweep(scale: Scale, title: &str, configs: &[(usize, usize, usize)], x_label: &str) {
-    let names = ["RankHow", "Ordinal Regression", "Linear Regression", "Sampling"];
+    let names = [
+        "RankHow",
+        "Ordinal Regression",
+        "Linear Regression",
+        "Sampling",
+    ];
     let mut points = Vec::new();
     for &(n, m, k) in configs {
         let problem = setups::nba_problem(n, m, k);

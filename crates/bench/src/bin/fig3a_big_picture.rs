@@ -19,7 +19,9 @@ fn main() {
         problem.n(),
         problem.m(),
         problem.given.k(),
-        rankhow_core::formulation::reduce_global(&problem).pairs.len()
+        rankhow_core::formulation::reduce_global(&problem)
+            .pairs
+            .len()
     );
 
     let mut table = Table::new(&["method", "error", "error/tuple", "time", "optimal"]);

@@ -4,13 +4,15 @@
 //! (SYM-GD reaches near-optimal error in a fraction of the time).
 
 use rankhow_bench::params::table2;
-use rankhow_bench::report::{print_series, Table};
+use rankhow_bench::report::{print_series, print_table, Table};
 use rankhow_bench::{methods::run_method, setups, Method, Scale};
-use rankhow_bench::report::print_table;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# Fig. 3h — SYM-GD local vs global (NBA) — scale: {}", scale.label());
+    println!(
+        "# Fig. 3h — SYM-GD local vs global (NBA) — scale: {}",
+        scale.label()
+    );
     let n = scale.nba_n();
 
     // All configs from the 3b/3c/3d sweeps.
@@ -30,7 +32,12 @@ fn main() {
     }
 
     let mut table = Table::new(&[
-        "varying", "n", "m", "k", "time ratio (local/global)", "extra error/tuple",
+        "varying",
+        "n",
+        "m",
+        "k",
+        "time ratio (local/global)",
+        "extra error/tuple",
     ]);
     let mut corner = 0usize;
     for (vary, nn, m, k) in &configs {

@@ -9,7 +9,10 @@ use rankhow_core::{seeding, SymGd, SymGdConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# Fig. 3i — SYM-GD cell-size tradeoff — scale: {}", scale.label());
+    println!(
+        "# Fig. 3i — SYM-GD cell-size tradeoff — scale: {}",
+        scale.label()
+    );
     let problem = setups::nba_problem(scale.nba_n(), 8, 10);
     let seed = seeding::ordinal_seed(&problem);
     println!(

@@ -14,7 +14,10 @@ use rankhow_data::synthetic::Distribution;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# Fig. 3j/3k/3l — SYM-GD scalability — scale: {}", scale.label());
+    println!(
+        "# Fig. 3j/3k/3l — SYM-GD scalability — scale: {}",
+        scale.label()
+    );
     let n = scale.synthetic_n();
     let replicas: u64 = scale.replicas();
 

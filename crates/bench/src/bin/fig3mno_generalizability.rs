@@ -14,7 +14,10 @@ use rankhow_data::synthetic::Distribution;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("# Fig. 3m/3n/3o — generalizability — scale: {}", scale.label());
+    println!(
+        "# Fig. 3m/3n/3o — generalizability — scale: {}",
+        scale.label()
+    );
     let n = scale.synthetic_n();
     let k = 10;
     let replicas: u64 = scale.replicas();
@@ -27,24 +30,17 @@ fn main() {
                 let mut err_sum = 0.0;
                 let mut time_sum = 0.0;
                 for replica in 0..replicas {
-                    let problem = setups::synthetic_problem(
-                        dist,
-                        replica,
-                        n,
-                        table2::SYN_M,
-                        k,
-                        p,
-                        derived,
-                    );
+                    let problem =
+                        setups::synthetic_problem(dist, replica, n, table2::SYN_M, k, p, derived);
                     let seed = seeding::ordinal_seed(&problem);
                     let start = std::time::Instant::now();
                     let res = SymGd::with_config(SymGdConfig {
-                    cell_size: 0.01,
-                    adaptive: false,
-                    max_iterations: 12,
-                    cell_time_limit: Some(std::time::Duration::from_secs(3)),
-                    ..SymGdConfig::default()
-                })
+                        cell_size: 0.01,
+                        adaptive: false,
+                        max_iterations: 12,
+                        cell_time_limit: Some(std::time::Duration::from_secs(3)),
+                        ..SymGdConfig::default()
+                    })
                     .solve(&problem, &seed)
                     .expect("symgd");
                     err_sum += res.error as f64 / k as f64;

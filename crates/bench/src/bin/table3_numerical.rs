@@ -19,7 +19,12 @@ fn main() {
     let (data, scores) = setups::table3_subset();
 
     let mut table = Table::new(&[
-        "k", "RankHow+", "RankHow-", "OR+", "OR-", "claimed- (RankHow)",
+        "k",
+        "RankHow+",
+        "RankHow-",
+        "OR+",
+        "OR-",
+        "claimed- (RankHow)",
     ]);
     let mut plus_all_verified = true;
     let mut minus_any_fp = false;
@@ -72,10 +77,7 @@ fn main() {
         table.row(row);
         eprintln!("  k={k} done");
     }
-    print_table(
-        "true position error by configuration (Table III)",
-        &table,
-    );
+    print_table("true position error by configuration (Table III)", &table);
     println!("\n'+' rows use eps1 = 1e-4 (safe gap); '-' rows eps1 = 1e-10 (naive).");
     println!("all '+' solutions verified: {plus_all_verified}");
     println!("any '-' false positive (claimed < true): {minus_any_fp}");

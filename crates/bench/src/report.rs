@@ -61,7 +61,12 @@ pub fn print_table(title: &str, table: &Table) {
 
 /// Print an x-vs-many-series block (one figure panel): header row then
 /// one line per x value.
-pub fn print_series(title: &str, x_name: &str, series_names: &[&str], points: &[(String, Vec<String>)]) {
+pub fn print_series(
+    title: &str,
+    x_name: &str,
+    series_names: &[&str],
+    points: &[(String, Vec<String>)],
+) {
     let mut headers = vec![x_name];
     headers.extend_from_slice(series_names);
     let mut t = Table::new(&headers);

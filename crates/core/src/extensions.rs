@@ -45,8 +45,7 @@ pub fn require_first(
 ) -> WeightConstraints {
     for &other in problem.given.top_k() {
         if other != tuple {
-            constraints =
-                require_order(constraints, &problem.data, tuple, other, problem.tol.eps1);
+            constraints = require_order(constraints, &problem.data, tuple, other, problem.tol.eps1);
         }
     }
     constraints
@@ -109,8 +108,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let given =
-            GivenRanking::from_positions(vec![Some(2), Some(1), Some(3), None]).unwrap();
+        let given = GivenRanking::from_positions(vec![Some(2), Some(1), Some(3), None]).unwrap();
         // ε1 with a real margin: order constraints built from it must
         // survive LP round-off (a 1e-12 margin would not).
         OptProblem::with_tolerances(data, given, Tolerances::explicit(0.0, 1e-4, 0.0)).unwrap()

@@ -237,10 +237,7 @@ pub struct MilpLayout {
 /// replaced by one binary `z_ab` per strictly-ordered ranked pair with
 /// `rank_a − rank_b ≤ M·z_ab` (given `π(a) < π(b)`), minimizing `Σ z` —
 /// the Section II "other error measures" generalization.
-pub fn build_milp(
-    problem: &OptProblem,
-    system: &ReducedSystem,
-) -> (MilpProblem, MilpLayout) {
+pub fn build_milp(problem: &OptProblem, system: &ReducedSystem) -> (MilpProblem, MilpLayout) {
     use rankhow_ranking::ErrorMeasure;
 
     let m = problem.m();
@@ -273,15 +270,12 @@ pub fn build_milp(
         ErrorMeasure::Position | ErrorMeasure::TopWeighted => {
             for slot in 0..k {
                 let cost = match problem.objective {
-                    ErrorMeasure::TopWeighted => {
-                        (k as u64 - system.target[slot] as u64 + 1) as f64
-                    }
+                    ErrorMeasure::TopWeighted => (k as u64 - system.target[slot] as u64 + 1) as f64,
                     _ => 1.0,
                 };
                 let e = milp.add_var(&format!("e{slot}"), 0.0, f64::INFINITY, cost);
                 err.push(e);
-                let base =
-                    system.fixed_beats[slot] as f64 + 1.0 - system.target[slot] as f64;
+                let base = system.fixed_beats[slot] as f64 + 1.0 - system.target[slot] as f64;
                 let mut up: Vec<(VarId, f64)> = vec![(e, 1.0)];
                 let mut down: Vec<(VarId, f64)> = vec![(e, 1.0)];
                 for (pair, &d) in system.pairs.iter().zip(&delta) {
@@ -320,8 +314,7 @@ pub fn build_milp(
                             terms.push((d, -1.0));
                         }
                     }
-                    let rhs =
-                        system.fixed_beats[lo] as f64 - system.fixed_beats[hi] as f64;
+                    let rhs = system.fixed_beats[lo] as f64 - system.fixed_beats[hi] as f64;
                     milp.add_constraint(&terms, Op::Le, rhs);
                 }
             }
@@ -348,11 +341,7 @@ pub fn indicator_hyperplanes(problem: &OptProblem) -> Vec<(usize, usize, Vec<f64
             if s == r {
                 continue;
             }
-            let diff: Vec<f64> = rows[s]
-                .iter()
-                .zip(&rows[r])
-                .map(|(a, b)| a - b)
-                .collect();
+            let diff: Vec<f64> = rows[s].iter().zip(&rows[r]).map(|(a, b)| a - b).collect();
             out.push((s, r, diff));
         }
     }
@@ -414,7 +403,10 @@ mod tests {
         let lo = [0.0; 2];
         let hi = [1.0; 2];
         assert_eq!(classify(&[1.0, 2.0], &lo, &hi, 0.0), PairClass::AlwaysBeats);
-        assert_eq!(classify(&[-1.0, -0.5], &lo, &hi, 0.0), PairClass::NeverBeats);
+        assert_eq!(
+            classify(&[-1.0, -0.5], &lo, &hi, 0.0),
+            PairClass::NeverBeats
+        );
         assert_eq!(classify(&[1.0, -1.0], &lo, &hi, 0.0), PairClass::Undecided);
         // Tolerance shifts the boundary.
         assert_eq!(classify(&[0.4, 0.5], &lo, &hi, 0.6), PairClass::NeverBeats);
@@ -509,16 +501,10 @@ mod tests {
         assert_eq!(planes.len(), 4);
         // δ_sr for r=tuple0, s=tuple1: diff = (1, −1, 7) — Example 4's
         // "w1 − w2 + 7w3 > 0".
-        let d_sr = planes
-            .iter()
-            .find(|(s, r, _)| *s == 1 && *r == 0)
-            .unwrap();
+        let d_sr = planes.iter().find(|(s, r, _)| *s == 1 && *r == 0).unwrap();
         assert_eq!(d_sr.2, vec![1.0, -1.0, 7.0]);
         // δ_tr: diff = (−2, −1, 6).
-        let d_tr = planes
-            .iter()
-            .find(|(s, r, _)| *s == 2 && *r == 0)
-            .unwrap();
+        let d_tr = planes.iter().find(|(s, r, _)| *s == 2 && *r == 0).unwrap();
         assert_eq!(d_tr.2, vec![-2.0, -1.0, 6.0]);
     }
 

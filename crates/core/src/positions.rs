@@ -67,7 +67,8 @@ impl PositionConstraints {
     pub fn max_displacement(mut self, given: &GivenRanking, d: u32) -> Self {
         for &t in given.top_k() {
             let pi = given.position(t).unwrap();
-            self.allowed.insert(t, (pi.saturating_sub(d).max(1), pi + d));
+            self.allowed
+                .insert(t, (pi.saturating_sub(d).max(1), pi + d));
         }
         self
     }
@@ -118,9 +119,7 @@ mod tests {
 
     #[test]
     fn builder_forms() {
-        let pc = PositionConstraints::none()
-            .pin(0, 1)
-            .range(1, 1, 3);
+        let pc = PositionConstraints::none().pin(0, 1).range(1, 1, 3);
         assert_eq!(pc.len(), 2);
         assert_eq!(pc.interval(0), Some((1, 1)));
         assert_eq!(pc.interval(1), Some((1, 3)));
@@ -138,10 +137,7 @@ mod tests {
 
     #[test]
     fn relative_band_windows() {
-        let g = GivenRanking::from_positions(
-            (1..=100).map(|p| Some(p as u32)).collect(),
-        )
-        .unwrap();
+        let g = GivenRanking::from_positions((1..=100).map(|p| Some(p as u32)).collect()).unwrap();
         let pc = PositionConstraints::none().relative_band(&g, 0.9, 1.1);
         // Tuple at position 50: [45, 55]; position 1: [1, 2] (ceil 1.1).
         assert_eq!(pc.interval(49), Some((45, 55)));

@@ -36,7 +36,10 @@ impl fmt::Display for ProblemError {
                 write!(f, "dataset has {rows} rows but ranking covers {ranking}")
             }
             ProblemError::BadAttribute { index, m } => {
-                write!(f, "constraint references attribute {index}, dataset has {m}")
+                write!(
+                    f,
+                    "constraint references attribute {index}, dataset has {m}"
+                )
             }
             ProblemError::UnrankedPositionConstraint { tuple } => {
                 write!(f, "position constraint on unranked tuple {tuple}")
@@ -123,10 +126,8 @@ impl WeightConstraints {
     /// Add all rows to an LP whose first `m` variables are the weights.
     pub fn apply_to(&self, lp: &mut LpProblem, weight_vars: &[VarId]) {
         for (coefs, rhs) in &self.rows {
-            let terms: Vec<(VarId, f64)> = coefs
-                .iter()
-                .map(|&(i, c)| (weight_vars[i], c))
-                .collect();
+            let terms: Vec<(VarId, f64)> =
+                coefs.iter().map(|&(i, c)| (weight_vars[i], c)).collect();
             lp.add_constraint(&terms, Op::Le, *rhs);
         }
     }
@@ -240,9 +241,9 @@ impl OptProblem {
     pub fn evaluate_constrained(&self, weights: &[f64]) -> Option<u64> {
         if !self.positions.is_empty() {
             let scores = rankhow_ranking::scores_f64(self.data.rows(), weights);
-            let ok = self.positions.satisfied(|t| {
-                rankhow_ranking::rank_of_in(&scores, t, self.tol.eps)
-            });
+            let ok = self
+                .positions
+                .satisfied(|t| rankhow_ranking::rank_of_in(&scores, t, self.tol.eps));
             if !ok {
                 return None;
             }
@@ -252,7 +253,10 @@ impl OptProblem {
 
     /// Replace the constraint predicate (constraint-exploration loop of
     /// Example 1: solve, inspect, constrain, re-solve).
-    pub fn with_constraints(mut self, constraints: WeightConstraints) -> Result<Self, ProblemError> {
+    pub fn with_constraints(
+        mut self,
+        constraints: WeightConstraints,
+    ) -> Result<Self, ProblemError> {
         if let Some(max) = constraints.max_attr() {
             if max >= self.data.m() {
                 return Err(ProblemError::BadAttribute {

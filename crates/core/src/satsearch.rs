@@ -226,7 +226,9 @@ impl SatSearch {
                 .collect(),
         };
         milp.add_constraint(&coefs, Op::Le, bound as f64 + 1e-6);
-        let sol = milp.solve_with(&self.config.probe).map_err(SolverError::Lp)?;
+        let sol = milp
+            .solve_with(&self.config.probe)
+            .map_err(SolverError::Lp)?;
         match sol.status {
             MilpStatus::Optimal => Ok(Probe::Sat {
                 weights: layout.w.iter().map(|&v| sol.x[v]).collect(),
@@ -283,8 +285,7 @@ mod tests {
         let names = (0..m).map(|i| format!("A{i}")).collect();
         let data = Dataset::from_rows(names, rows).unwrap();
         let given = GivenRanking::from_positions(positions).unwrap();
-        OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0))
-            .unwrap()
+        OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0)).unwrap()
     }
 
     #[test]
@@ -337,7 +338,12 @@ mod tests {
         assert!(bnb.optimal && sat.optimal);
         // Both prove the certified optimum; the B&B may additionally
         // luck into a gap-band incumbent, never the reverse.
-        assert!(bnb.error <= sat.error, "bnb {} vs sat {}", bnb.error, sat.error);
+        assert!(
+            bnb.error <= sat.error,
+            "bnb {} vs sat {}",
+            bnb.error,
+            sat.error
+        );
         if bnb.error < sat.error {
             assert!(crate::verify::relies_on_gap_band(&p, &bnb.weights));
         }
@@ -362,16 +368,13 @@ mod tests {
 
     #[test]
     fn infeasible_constraints_detected() {
-        let p = problem_from(
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-            vec![Some(1), Some(2)],
-        )
-        .with_constraints(
-            WeightConstraints::none()
-                .min_weight(0, 0.8)
-                .max_weight(0, 0.1),
-        )
-        .unwrap();
+        let p = problem_from(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![Some(1), Some(2)])
+            .with_constraints(
+                WeightConstraints::none()
+                    .min_weight(0, 0.8)
+                    .max_weight(0, 0.1),
+            )
+            .unwrap();
         assert!(matches!(
             SatSearch::new().solve(&p),
             Err(SolverError::Infeasible)
@@ -426,9 +429,19 @@ mod tests {
         // the final error, every SAT bound at or above it.
         for pr in &res.probes {
             if pr.sat {
-                assert!(pr.bound >= res.error, "SAT at {} < final {}", pr.bound, res.error);
+                assert!(
+                    pr.bound >= res.error,
+                    "SAT at {} < final {}",
+                    pr.bound,
+                    res.error
+                );
             } else {
-                assert!(pr.bound < res.error, "UNSAT at {} ≥ final {}", pr.bound, res.error);
+                assert!(
+                    pr.bound < res.error,
+                    "UNSAT at {} ≥ final {}",
+                    pr.bound,
+                    res.error
+                );
             }
         }
     }

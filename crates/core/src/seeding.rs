@@ -102,8 +102,7 @@ mod tests {
             .iter()
             .map(|r| r.iter().zip(hidden).map(|(a, w)| a * w).sum())
             .collect();
-        let data =
-            Dataset::from_rows((0..m).map(|j| format!("A{j}")).collect(), rows).unwrap();
+        let data = Dataset::from_rows((0..m).map(|j| format!("A{j}")).collect(), rows).unwrap();
         let given = GivenRanking::from_scores(&scores, 6, 0.0).unwrap();
         OptProblem::new(data, given).unwrap()
     }

@@ -274,9 +274,7 @@ impl RankHow {
             };
             for _ in 0..self.config.root_samples {
                 // Dirichlet(1,…,1) point, projected into the box.
-                let mut w: Vec<f64> = (0..m)
-                    .map(|_| -(next().max(1e-12)).ln())
-                    .collect();
+                let mut w: Vec<f64> = (0..m).map(|_| -(next().max(1e-12)).ln()).collect();
                 let total: f64 = w.iter().sum();
                 for (j, x) in w.iter_mut().enumerate() {
                     *x = (*x / total).clamp(box_lo[j], box_hi[j]);
@@ -446,8 +444,7 @@ impl RankHow {
             for side in [true, false] {
                 let mut decisions = node.decisions.clone();
                 decisions.push((branch_idx as u32, side));
-                let child_region =
-                    self.region(problem, &sys, &box_lo, &box_hi, &decisions);
+                let child_region = self.region(problem, &sys, &box_lo, &box_hi, &decisions);
                 stats.lp_solves += 1;
                 // On an LP failure, keep the child: pruning is only an
                 // optimization and bounds remain sound.
@@ -531,9 +528,7 @@ impl RankHow {
             min_p.set_sense(Sense::Minimize);
             stats.lp_solves += 1;
             lo[j] = match min_p.solve() {
-                Ok(s) if s.status == Status::Optimal => {
-                    (s.objective - MARGIN).max(static_lo)
-                }
+                Ok(s) if s.status == Status::Optimal => (s.objective - MARGIN).max(static_lo),
                 Ok(s) if s.status == Status::Infeasible => return Ok(None),
                 // Unbounded impossible (w ∈ [0,1]); LP failure → fallback.
                 _ => static_lo,
@@ -545,9 +540,7 @@ impl RankHow {
             max_p.set_sense(Sense::Maximize);
             stats.lp_solves += 1;
             hi[j] = match max_p.solve() {
-                Ok(s) if s.status == Status::Optimal => {
-                    (s.objective + MARGIN).min(static_hi)
-                }
+                Ok(s) if s.status == Status::Optimal => (s.objective + MARGIN).min(static_hi),
                 Ok(s) if s.status == Status::Infeasible => return Ok(None),
                 _ => static_hi,
             };
@@ -589,11 +582,7 @@ pub(crate) fn error_of_ranks(sys: &ReducedSystem, ranks: &[u32]) -> u64 {
 /// Objective value of realized slot ranks under any supported measure.
 /// Agrees with `rankhow_ranking::error_by_measure` on the full rank
 /// vector by construction (the measures only read ranked tuples).
-pub(crate) fn objective_of_ranks(
-    sys: &ReducedSystem,
-    ranks: &[u32],
-    measure: ErrorMeasure,
-) -> u64 {
+pub(crate) fn objective_of_ranks(sys: &ReducedSystem, ranks: &[u32], measure: ErrorMeasure) -> u64 {
     match measure {
         ErrorMeasure::Position => error_of_ranks(sys, ranks),
         ErrorMeasure::TopWeighted => {
@@ -844,10 +833,7 @@ mod tests {
 
     #[test]
     fn infeasible_constraints_detected() {
-        let p = problem_from(
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-            vec![Some(1), Some(2)],
-        );
+        let p = problem_from(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![Some(1), Some(2)]);
         let p = p
             .with_constraints(
                 WeightConstraints::none()
@@ -1016,14 +1002,11 @@ mod tests {
         // unavoidable, but the band keeps each tuple within ±2.
         let banded = p
             .clone()
-            .with_positions(
-                crate::PositionConstraints::none().max_displacement(&p.given, 2),
-            )
+            .with_positions(crate::PositionConstraints::none().max_displacement(&p.given, 2))
             .unwrap();
         match RankHow::new().solve(&banded) {
             Ok(sol) => {
-                let scores =
-                    rankhow_ranking::scores_f64(banded.data.rows(), &sol.weights);
+                let scores = rankhow_ranking::scores_f64(banded.data.rows(), &sol.weights);
                 for &t in banded.given.top_k() {
                     let r = rankhow_ranking::rank_of_in(&scores, t, banded.tol.eps);
                     let pi = banded.given.position(t).unwrap();

@@ -179,8 +179,7 @@ mod tests {
             vec![vec![3.0, 1.0], vec![2.0, 2.0], vec![1.0, 3.0]],
         )
         .unwrap();
-        let given =
-            GivenRanking::from_positions(vec![Some(1), Some(2), Some(3)]).unwrap();
+        let given = GivenRanking::from_positions(vec![Some(1), Some(2), Some(3)]).unwrap();
         OptProblem::new(data, given).unwrap()
     }
 

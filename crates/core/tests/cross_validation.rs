@@ -28,13 +28,8 @@ struct SmallInstance {
 fn small_instance() -> impl Strategy<Value = SmallInstance> {
     (3usize..6, 2usize..4, 1usize..4, any::<u64>()).prop_flat_map(|(n, m, k, perm_seed)| {
         let k = k.min(n - 1);
-        prop::collection::vec(prop::collection::vec(0.0..10.0f64, m), n).prop_map(
-            move |rows| SmallInstance {
-                rows,
-                k,
-                perm_seed,
-            },
-        )
+        prop::collection::vec(prop::collection::vec(0.0..10.0f64, m), n)
+            .prop_map(move |rows| SmallInstance { rows, k, perm_seed })
     })
 }
 
@@ -47,7 +42,9 @@ fn build_problem(inst: &SmallInstance) -> Option<OptProblem> {
     let mut order: Vec<usize> = (0..n).collect();
     let mut state = inst.perm_seed | 1;
     for i in (1..n).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         order.swap(i, j);
     }
@@ -55,7 +52,8 @@ fn build_problem(inst: &SmallInstance) -> Option<OptProblem> {
     for (pos, &idx) in order.iter().take(inst.k).enumerate() {
         positions[idx] = Some(pos as u32 + 1);
     }
-    let data = Dataset::from_rows((0..m).map(|j| format!("A{j}")).collect(), inst.rows.clone()).ok()?;
+    let data =
+        Dataset::from_rows((0..m).map(|j| format!("A{j}")).collect(), inst.rows.clone()).ok()?;
     let given = GivenRanking::from_positions(positions).ok()?;
     // ε well above LP solver noise (the paper's own prescription —
     // Section V-A): optima that require score ties become robust,

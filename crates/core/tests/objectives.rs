@@ -77,13 +77,8 @@ struct Instance {
 fn instance() -> impl Strategy<Value = Instance> {
     (4usize..7, 2usize..4, any::<u64>()).prop_flat_map(|(n, k, perm_seed)| {
         let k = k.min(n - 1);
-        prop::collection::vec(prop::collection::vec(0.0..10.0f64, 2), n).prop_map(
-            move |rows| Instance {
-                rows,
-                k,
-                perm_seed,
-            },
-        )
+        prop::collection::vec(prop::collection::vec(0.0..10.0f64, 2), n)
+            .prop_map(move |rows| Instance { rows, k, perm_seed })
     })
 }
 
@@ -232,12 +227,8 @@ fn tau_reaches_zero_where_position_cannot() {
     )
     .unwrap();
     let given = GivenRanking::from_positions(vec![Some(1), Some(2), None, None]).unwrap();
-    let pos_p = OptProblem::with_tolerances(
-        data,
-        given,
-        Tolerances::explicit(1e-4, 2e-4, 0.0),
-    )
-    .unwrap();
+    let pos_p =
+        OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0)).unwrap();
     let tau_p = pos_p.clone().with_objective(ErrorMeasure::KendallTau);
 
     let pos_sol = RankHow::new().solve(&pos_p).unwrap();
@@ -254,7 +245,7 @@ fn tau_reaches_zero_where_position_cannot() {
 /// `k` times harder than the #k tuple; the solver must prefer sparing
 /// the top when it cannot spare everyone.
 #[test]
-fn top_weighted_spares_the_top()  {
+fn top_weighted_spares_the_top() {
     // π = [1, 2, 3]; tuple 3 (unranked) is built so that it must beat
     // either tuple 0 or tuple 2 (its attributes straddle them), never
     // neither. Displacing tuple 2 (weight 1) is cheaper than
@@ -269,15 +260,10 @@ fn top_weighted_spares_the_top()  {
         ],
     )
     .unwrap();
-    let given =
-        GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), None]).unwrap();
-    let p = OptProblem::with_tolerances(
-        data,
-        given,
-        Tolerances::explicit(1e-4, 2e-4, 0.0),
-    )
-    .unwrap()
-    .with_objective(ErrorMeasure::TopWeighted);
+    let given = GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), None]).unwrap();
+    let p = OptProblem::with_tolerances(data, given, Tolerances::explicit(1e-4, 2e-4, 0.0))
+        .unwrap()
+        .with_objective(ErrorMeasure::TopWeighted);
     let sol = RankHow::new().solve(&p).unwrap();
     assert!(sol.optimal);
     // Tuple 0 must stay at rank 1: any solution displacing it pays ≥ 3.
@@ -300,8 +286,7 @@ fn objective_value_matches_measure_dispatch() {
         ],
     )
     .unwrap();
-    let given =
-        GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), None]).unwrap();
+    let given = GivenRanking::from_positions(vec![Some(1), Some(2), Some(3), None]).unwrap();
     let base = OptProblem::new(data, given).unwrap();
     for measure in [
         ErrorMeasure::Position,

@@ -10,11 +10,7 @@ use rankhow_data::Dataset;
 use rankhow_ranking::GivenRanking;
 use std::time::Duration;
 
-fn problem(
-    rows: Vec<Vec<f64>>,
-    positions: Vec<Option<u32>>,
-    tol: Tolerances,
-) -> OptProblem {
+fn problem(rows: Vec<Vec<f64>>, positions: Vec<Option<u32>>, tol: Tolerances) -> OptProblem {
     let m = rows[0].len();
     let names = (0..m).map(|i| format!("A{i}")).collect();
     let data = Dataset::from_rows(names, rows).unwrap();
@@ -55,11 +51,7 @@ fn huge_magnitudes_still_verify_with_adequate_gap() {
 #[test]
 fn constant_attribute_is_harmless() {
     let p = problem(
-        vec![
-            vec![5.0, 7.0],
-            vec![3.0, 7.0],
-            vec![1.0, 7.0],
-        ],
+        vec![vec![5.0, 7.0], vec![3.0, 7.0], vec![1.0, 7.0]],
         vec![Some(1), Some(2), Some(3)],
         Tolerances::explicit(1e-6, 2e-6, 0.0),
     );
@@ -159,7 +151,13 @@ fn node_limit_degrades_gracefully() {
         })
         .collect();
     let positions: Vec<Option<u32>> = (0..14)
-        .map(|i| if i < 6 { Some((11 - i) as u32 - 5) } else { None })
+        .map(|i| {
+            if i < 6 {
+                Some((11 - i) as u32 - 5)
+            } else {
+                None
+            }
+        })
         .collect();
     let p = problem(rows, positions, Tolerances::explicit(1e-6, 2e-6, 0.0));
     let sol = RankHow::with_config(SolverConfig {
@@ -205,11 +203,7 @@ fn symgd_from_corner_seed_is_sound() {
 #[test]
 fn tau_search_recovers_from_false_positives() {
     // Near-tied tuples at large magnitude: naive gaps misclassify.
-    let rows = vec![
-        vec![1e9 + 2.0, 1.0],
-        vec![1e9 + 1.0, 2.0],
-        vec![1e9, 3.0],
-    ];
+    let rows = vec![vec![1e9 + 2.0, 1.0], vec![1e9 + 1.0, 2.0], vec![1e9, 3.0]];
     let mut p = problem(
         rows,
         vec![Some(1), Some(2), Some(3)],

@@ -50,6 +50,7 @@ pub fn generate(n: usize, seed: u64) -> CsRankingsData {
         // Institution strength: Pareto-ish heavy tail.
         let u: f64 = rng.gen_range(0.0001..1.0f64);
         let strength = 3.0 / u.powf(0.65); // few very large values
+
         // Area profile: gamma-like weights (specialization).
         let mut profile: Vec<f64> = (0..m)
             .map(|_| {

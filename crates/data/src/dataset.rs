@@ -330,12 +330,9 @@ mod tests {
 
     #[test]
     fn normalization_constant_column() {
-        let d = Dataset::from_rows(
-            vec!["c".into()],
-            vec![vec![7.0], vec![7.0]],
-        )
-        .unwrap()
-        .min_max_normalized();
+        let d = Dataset::from_rows(vec!["c".into()], vec![vec![7.0], vec![7.0]])
+            .unwrap()
+            .min_max_normalized();
         assert_eq!(d.row(0), &[0.0]);
         assert_eq!(d.row(1), &[0.0]);
     }

@@ -85,7 +85,8 @@ pub fn generate(n: usize, seed: u64) -> NbaData {
         let ast = (ast_base * (0.4 + talent) * usage + noise(&mut rng, 0.8)).max(0.0);
         let stl = (stl_base * (0.5 + talent) * usage + noise(&mut rng, 0.3)).max(0.0);
         let blk = (blk_base * (0.5 + talent) * usage + noise(&mut rng, 0.25)).max(0.0);
-        let fg = (0.42 + 0.08 * talent
+        let fg = (0.42
+            + 0.08 * talent
             + if role == Role::Big { 0.06 } else { 0.0 }
             + noise(&mut rng, 0.03))
         .clamp(0.30, 0.70);

@@ -1,0 +1,142 @@
+//! Property tests for the `Dataset` invariants: shape validation,
+//! finiteness, projection/selection consistency, normalization bounds,
+//! and the CSV round-trip.
+
+use proptest::prelude::*;
+use rankhow_data::{Dataset, DatasetError};
+
+/// Names + rectangular finite rows for a random small dataset.
+fn table() -> impl Strategy<Value = (Vec<String>, Vec<Vec<f64>>)> {
+    (1usize..5, 1usize..16).prop_flat_map(|(m, n)| {
+        let names: Vec<String> = (0..m).map(|j| format!("a{j}")).collect();
+        prop::collection::vec(prop::collection::vec(-1e6..1e6f64, m), n)
+            .prop_map(move |rows| (names.clone(), rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every rectangular finite table is accepted, and the accessors
+    /// reflect the construction inputs exactly.
+    #[test]
+    fn rectangular_tables_accepted((names, rows) in table()) {
+        let (m, n) = (names.len(), rows.len());
+        let d = Dataset::from_rows(names.clone(), rows.clone());
+        prop_assert!(d.is_ok(), "{d:?}");
+        let d = d.unwrap();
+        prop_assert_eq!(d.n(), n);
+        prop_assert_eq!(d.m(), m);
+        prop_assert_eq!(d.names(), &names[..]);
+        prop_assert_eq!(d.rows(), &rows[..]);
+    }
+
+    /// Changing any single row's arity must be rejected as `Ragged`,
+    /// pointing at the first offending row.
+    #[test]
+    fn ragged_rows_rejected(
+        (names, mut rows) in table(),
+        victim_frac in 0.0..1.0f64,
+        grow in any::<bool>(),
+    ) {
+        let m = names.len();
+        let victim = ((rows.len() as f64 * victim_frac) as usize).min(rows.len() - 1);
+        if grow {
+            rows[victim].push(0.0);
+        } else {
+            rows[victim].pop();
+        }
+        // Popping the only column of a 1-attribute row leaves an empty
+        // row, which is still a shape error.
+        let expected_first = rows.iter().position(|r| r.len() != m).unwrap();
+        match Dataset::from_rows(names, rows) {
+            Err(DatasetError::Ragged { row, expected, got }) => {
+                prop_assert_eq!(row, expected_first);
+                prop_assert_eq!(expected, m);
+                prop_assert_ne!(got, m);
+            }
+            other => return Err(TestCaseError::fail(format!("expected Ragged, got {other:?}"))),
+        }
+    }
+
+    /// Any non-finite cell is rejected with its exact coordinates.
+    #[test]
+    fn non_finite_rejected(
+        (names, mut rows) in table(),
+        ri_frac in 0.0..1.0f64,
+        cj_frac in 0.0..1.0f64,
+        poison_nan in any::<bool>(),
+    ) {
+        let ri = ((rows.len() as f64 * ri_frac) as usize).min(rows.len() - 1);
+        let cj = ((names.len() as f64 * cj_frac) as usize).min(names.len() - 1);
+        rows[ri][cj] = if poison_nan { f64::NAN } else { f64::INFINITY };
+        match Dataset::from_rows(names, rows) {
+            Err(DatasetError::NonFinite { row, col }) => {
+                prop_assert_eq!((row, col), (ri, cj));
+            }
+            other => return Err(TestCaseError::fail(format!("expected NonFinite, got {other:?}"))),
+        }
+    }
+
+    /// Min-max normalization stays inside [0, 1] and preserves the
+    /// per-attribute order of every pair of tuples.
+    #[test]
+    fn normalization_bounded_and_monotone((names, rows) in table()) {
+        let d = Dataset::from_rows(names, rows).unwrap();
+        let norm = d.min_max_normalized();
+        prop_assert_eq!(norm.n(), d.n());
+        prop_assert_eq!(norm.m(), d.m());
+        for row in norm.rows() {
+            for &v in row {
+                prop_assert!((0.0..=1.0).contains(&v), "normalized value {v} out of [0,1]");
+            }
+        }
+        for j in 0..d.m() {
+            for i1 in 0..d.n() {
+                for i2 in 0..d.n() {
+                    if d.row(i1)[j] < d.row(i2)[j] {
+                        prop_assert!(norm.row(i1)[j] <= norm.row(i2)[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `select_attrs` + `select_rows` commute with direct indexing.
+    #[test]
+    fn selection_matches_indexing(
+        (names, rows) in table(),
+        attr_frac in 0.0..1.0f64,
+        row_frac in 0.0..1.0f64,
+    ) {
+        let d = Dataset::from_rows(names, rows).unwrap();
+        let aj = ((d.m() as f64 * attr_frac) as usize).min(d.m() - 1);
+        let ri = ((d.n() as f64 * row_frac) as usize).min(d.n() - 1);
+        let picked = d.select_attrs(&[aj]).select_rows(&[ri]);
+        prop_assert_eq!(picked.n(), 1);
+        prop_assert_eq!(picked.m(), 1);
+        prop_assert_eq!(picked.row(0)[0], d.row(ri)[aj]);
+        let taken = d.take_rows(ri + 1);
+        prop_assert_eq!(taken.n(), ri + 1);
+        prop_assert_eq!(taken.row(ri), d.row(ri));
+    }
+
+    /// CSV write → read reproduces the same shape and near-identical
+    /// values (f64 `Display` round-trips exactly in Rust).
+    #[test]
+    fn csv_round_trip((names, rows) in table()) {
+        let d = Dataset::from_rows(names, rows).unwrap();
+        let dir = std::env::temp_dir().join("rankhow_data_proptests");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Unique file per process; cases run sequentially within a test.
+        let path = dir.join(format!("table_{}.csv", std::process::id()));
+        d.to_csv(&path).unwrap();
+        let back = Dataset::from_csv(&path);
+        std::fs::remove_file(&path).ok();
+        let back = match back {
+            Ok(b) => b,
+            Err(e) => return Err(TestCaseError::fail(format!("reload failed: {e}"))),
+        };
+        prop_assert_eq!(&back, &d);
+    }
+}

@@ -248,11 +248,7 @@ mod tests {
 
     #[test]
     fn nnls_matches_ols_when_interior() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         let y = [2.0, 3.0, 5.0];
         let x = nnls(&a, &y).unwrap();
         assert!(close(&x, &[2.0, 3.0], 1e-8));

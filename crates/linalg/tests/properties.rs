@@ -11,15 +11,13 @@ use rankhow_linalg::{lstsq, lu_solve, nnls, Matrix};
 /// A diagonally-dominant square matrix: comfortably invertible, so
 /// round-trip identities hold to tight tolerances.
 fn dominant_square(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(prop::collection::vec(-1.0..1.0f64, n), n).prop_map(
-        move |mut rows| {
-            for (i, row) in rows.iter_mut().enumerate() {
-                let off: f64 = row.iter().map(|x| x.abs()).sum();
-                row[i] = off + 1.0; // strict dominance
-            }
-            Matrix::from_rows(&rows)
-        },
-    )
+    prop::collection::vec(prop::collection::vec(-1.0..1.0f64, n), n).prop_map(move |mut rows| {
+        for (i, row) in rows.iter_mut().enumerate() {
+            let off: f64 = row.iter().map(|x| x.abs()).sum();
+            row[i] = off + 1.0; // strict dominance
+        }
+        Matrix::from_rows(&rows)
+    })
 }
 
 proptest! {

@@ -151,7 +151,9 @@ mod tests {
         // Σw = 1 over 3 weights: center should be the barycenter-ish
         // interior point, strictly inside every bound.
         let mut p = Problem::new(Sense::Minimize);
-        let w: Vec<_> = (0..3).map(|i| p.add_var(&format!("w{i}"), 0.0, 1.0, 0.0)).collect();
+        let w: Vec<_> = (0..3)
+            .map(|i| p.add_var(&format!("w{i}"), 0.0, 1.0, 0.0))
+            .collect();
         p.add_constraint(&[(w[0], 1.0), (w[1], 1.0), (w[2], 1.0)], Op::Eq, 1.0);
         let c = chebyshev_center(&p).unwrap().unwrap();
         let sum: f64 = c.iter().sum();

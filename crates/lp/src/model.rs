@@ -158,11 +158,7 @@ impl Problem {
 
     /// Evaluate the objective at a point.
     pub fn objective_at(&self, x: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, xi)| v.obj * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, xi)| v.obj * xi).sum()
     }
 
     /// Maximum violation of constraints and bounds at `x` (0 = feasible).

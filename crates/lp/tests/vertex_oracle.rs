@@ -37,20 +37,17 @@ fn feasible(p: &Lp2, x: f64, y: f64) -> bool {
         && y >= -T
         && x <= p.hi[0] + T
         && y <= p.hi[1] + T
-        && p
-            .rows
-            .iter()
-            .all(|([a, b], rhs)| a * x + b * y <= rhs + T)
+        && p.rows.iter().all(|([a, b], rhs)| a * x + b * y <= rhs + T)
 }
 
 /// All candidate vertices: pairwise intersections of boundary lines.
 fn vertices(p: &Lp2) -> Vec<(f64, f64)> {
     // Boundary lines as a·x + b·y = c.
     let mut lines: Vec<(f64, f64, f64)> = vec![
-        (1.0, 0.0, 0.0),       // x = 0
-        (0.0, 1.0, 0.0),       // y = 0
-        (1.0, 0.0, p.hi[0]),   // x = hi
-        (0.0, 1.0, p.hi[1]),   // y = hi
+        (1.0, 0.0, 0.0),     // x = 0
+        (0.0, 1.0, 0.0),     // y = 0
+        (1.0, 0.0, p.hi[0]), // x = hi
+        (0.0, 1.0, p.hi[1]), // y = hi
     ];
     lines.extend(p.rows.iter().map(|([a, b], rhs)| (*a, *b, *rhs)));
     let mut out = Vec::new();

@@ -295,7 +295,10 @@ impl Bnb<'_> {
             match frac_var {
                 None => {
                     // Integral solution: new incumbent.
-                    if incumbent.as_ref().map_or(true, |(_, inc)| internal_obj < *inc) {
+                    if incumbent
+                        .as_ref()
+                        .map_or(true, |(_, inc)| internal_obj < *inc)
+                    {
                         incumbent = Some((round_integers(self.milp, &relax.x), internal_obj));
                         self.stats.incumbents += 1;
                     }
@@ -515,7 +518,9 @@ mod tests {
     fn node_limit_reports_limit_status() {
         // A problem big enough not to finish in 1 node.
         let mut m = MilpProblem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..12).map(|i| m.add_binary(&format!("b{i}"), 1.0 + i as f64 * 0.1)).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(&format!("b{i}"), 1.0 + i as f64 * 0.1))
+            .collect();
         let terms: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(&terms, Op::Le, 6.5);
         let cfg = BnbConfig {
@@ -531,7 +536,9 @@ mod tests {
         // Exactly two of four binaries: maximize weighted sum.
         let mut m = MilpProblem::new(Sense::Maximize);
         let w = [4.0, 1.0, 3.0, 2.0];
-        let vars: Vec<_> = (0..4).map(|i| m.add_binary(&format!("b{i}"), w[i])).collect();
+        let vars: Vec<_> = (0..4)
+            .map(|i| m.add_binary(&format!("b{i}"), w[i]))
+            .collect();
         let terms: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(&terms, Op::Eq, 2.0);
         let s = m.solve().unwrap();

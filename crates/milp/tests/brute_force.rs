@@ -23,10 +23,7 @@ struct BinaryProgram {
 fn binary_program() -> impl Strategy<Value = BinaryProgram> {
     (2usize..7, 1usize..4, any::<bool>()).prop_flat_map(|(n, r, maximize)| {
         let costs = prop::collection::vec(-5.0..5.0f64, n);
-        let rows = prop::collection::vec(
-            (prop::collection::vec(-3.0..3.0f64, n), -2.0..6.0f64),
-            r,
-        );
+        let rows = prop::collection::vec((prop::collection::vec(-3.0..3.0f64, n), -2.0..6.0f64), r);
         (costs, rows).prop_map(move |(costs, rows)| BinaryProgram {
             maximize,
             costs,

@@ -14,10 +14,7 @@ struct RandomBinaryMilp {
 fn random_milp() -> impl Strategy<Value = RandomBinaryMilp> {
     (2usize..7, 1usize..5).prop_flat_map(|(n, m)| {
         let objs = prop::collection::vec(-5.0..5.0f64, n);
-        let rows = prop::collection::vec(
-            (prop::collection::vec(-3.0..3.0f64, n), -2.0..6.0f64),
-            m,
-        );
+        let rows = prop::collection::vec((prop::collection::vec(-3.0..3.0f64, n), -2.0..6.0f64), m);
         (objs, rows).prop_map(|(objs, rows)| RandomBinaryMilp { objs, rows })
     })
 }

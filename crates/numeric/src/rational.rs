@@ -128,7 +128,10 @@ impl Rational {
         };
         let (negative, digits_str) = match mantissa_str.strip_prefix('-') {
             Some(rest) => (true, rest),
-            None => (false, mantissa_str.strip_prefix('+').unwrap_or(mantissa_str)),
+            None => (
+                false,
+                mantissa_str.strip_prefix('+').unwrap_or(mantissa_str),
+            ),
         };
         let (int_part, frac_part) = match digits_str.split_once('.') {
             Some((i, f)) => (i, f),
@@ -149,7 +152,11 @@ impl Rational {
             mag = &(&mag * &ten) + &BigUint::from_u64((b - b'0') as u64);
         }
         let exponent = exp10 - frac_part.len() as i64;
-        let sign = if negative { Sign::Negative } else { Sign::Positive };
+        let sign = if negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
         let num = BigInt::from_sign_mag(sign, mag);
         let r = if exponent >= 0 {
             let mut scale = BigInt::one();
@@ -454,7 +461,10 @@ mod tests {
         assert_eq!(Rational::from_decimal_str("+0.25").unwrap(), r(1, 4));
         assert_eq!(Rational::from_decimal_str("1e3").unwrap(), r(1000, 1));
         assert_eq!(Rational::from_decimal_str("1.5e-2").unwrap(), r(3, 200));
-        assert_eq!(Rational::from_decimal_str("0.000").unwrap(), Rational::zero());
+        assert_eq!(
+            Rational::from_decimal_str("0.000").unwrap(),
+            Rational::zero()
+        );
         assert_eq!(Rational::from_decimal_str(".5").unwrap(), r(1, 2));
         assert_eq!(Rational::from_decimal_str("5.").unwrap(), r(5, 1));
     }

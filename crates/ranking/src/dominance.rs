@@ -82,8 +82,14 @@ mod tests {
         ];
         // Only tuple 1 is ranked: pairs restricted to (·, 1) and (1, ·).
         let pairs = dominance_pairs(&rows, &[1], 0.0);
-        assert!(pairs.contains(&DominancePair { dominator: 0, dominatee: 1 }));
-        assert!(pairs.contains(&DominancePair { dominator: 2, dominatee: 1 }));
+        assert!(pairs.contains(&DominancePair {
+            dominator: 0,
+            dominatee: 1
+        }));
+        assert!(pairs.contains(&DominancePair {
+            dominator: 2,
+            dominatee: 1
+        }));
         assert_eq!(pairs.len(), 2);
     }
 
@@ -93,7 +99,10 @@ mod tests {
         let pairs = dominance_pairs(&rows, &[0], 0.0);
         assert_eq!(
             pairs,
-            vec![DominancePair { dominator: 0, dominatee: 1 }]
+            vec![DominancePair {
+                dominator: 0,
+                dominatee: 1
+            }]
         );
     }
 

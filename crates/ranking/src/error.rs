@@ -81,11 +81,7 @@ pub fn kendall_tau_distance(given: &GivenRanking, approx_ranks: &[u32]) -> u64 {
 }
 
 /// Dispatch on [`ErrorMeasure`].
-pub fn error_by_measure(
-    measure: ErrorMeasure,
-    given: &GivenRanking,
-    approx_ranks: &[u32],
-) -> u64 {
+pub fn error_by_measure(measure: ErrorMeasure, given: &GivenRanking, approx_ranks: &[u32]) -> u64 {
     match measure {
         ErrorMeasure::Position => position_error(given, approx_ranks),
         ErrorMeasure::KendallTau => kendall_tau_distance(given, approx_ranks),
@@ -140,7 +136,10 @@ mod tests {
         // Swap bottom two: weights 2 and 1 → 3.
         assert_eq!(position_error_weighted(&g, &[1, 3, 2]), 3);
         // Plain position error cannot tell these apart:
-        assert_eq!(position_error(&g, &[2, 1, 3]), position_error(&g, &[1, 3, 2]));
+        assert_eq!(
+            position_error(&g, &[2, 1, 3]),
+            position_error(&g, &[1, 3, 2])
+        );
     }
 
     #[test]

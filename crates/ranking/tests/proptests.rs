@@ -1,11 +1,11 @@
 //! Property tests for the ranking domain model.
 
 use proptest::prelude::*;
+use rankhow_numeric::Rational;
 use rankhow_ranking::{
     dominance_pairs, kendall_tau_distance, position_error, rank_of_in, score_ranks,
     score_ranks_exact, scores_exact, scores_f64, GivenRanking,
 };
-use rankhow_numeric::Rational;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -173,6 +173,50 @@ proptest! {
             .collect();
         positions[k - 1] = Some(k as u32 + 5); // beyond k: out of range / gap
         prop_assert!(GivenRanking::from_positions(positions).is_err());
+    }
+
+    /// Positions round-trip: feeding a valid ranking's raw `π` vector
+    /// back through `from_positions` reconstructs the identical ranking
+    /// (same `k`, same top-k set, same positions).
+    #[test]
+    fn positions_round_trip(
+        scores in prop::collection::vec(-50.0..50.0f64, 2..25),
+        k in 1usize..10,
+        eps in 0.0..0.5f64,
+    ) {
+        let k = k.min(scores.len());
+        let given = GivenRanking::from_scores(&scores, k, eps);
+        prop_assume!(given.is_ok());
+        let given = given.unwrap();
+        let rebuilt = GivenRanking::from_positions(given.positions().to_vec());
+        prop_assert!(rebuilt.is_ok(), "round-trip rejected: {rebuilt:?}");
+        let rebuilt = rebuilt.unwrap();
+        prop_assert_eq!(&rebuilt, &given);
+        prop_assert_eq!(rebuilt.k(), given.k());
+        prop_assert_eq!(rebuilt.top_k(), given.top_k());
+    }
+
+    /// Top-k monotonicity: growing `k` in `from_scores` only ever adds
+    /// tuples to the ranked set — the smaller prefix is preserved, and
+    /// positions of tuples already ranked never change.
+    #[test]
+    fn top_k_monotone_in_k(
+        scores in prop::collection::vec(-50.0..50.0f64, 3..25),
+        k1 in 1usize..8,
+        extra in 1usize..8,
+    ) {
+        let k1 = k1.min(scores.len());
+        let k2 = (k1 + extra).min(scores.len());
+        let small = GivenRanking::from_scores(&scores, k1, 0.0).unwrap();
+        let large = GivenRanking::from_scores(&scores, k2, 0.0).unwrap();
+        prop_assert!(small.k() <= large.k());
+        for &i in small.top_k() {
+            prop_assert!(
+                large.top_k().contains(&i),
+                "tuple {i} ranked at k={k1} but dropped at k={k2}"
+            );
+            prop_assert_eq!(small.position(i), large.position(i));
+        }
     }
 
     /// `project` keeps relative order and re-bases to a valid ranking.

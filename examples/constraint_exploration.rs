@@ -115,14 +115,22 @@ fn main() {
             problem.tol.eps1,
         ))
         .expect("valid constraints");
-    report("#2 above #3 enforced", &ordered, RankHow::new().solve(&ordered));
+    report(
+        "#2 above #3 enforced",
+        &ordered,
+        RankHow::new().solve(&ordered),
+    );
 
     // Step 5: outcome constraints — nobody may move more than 2 ranks.
     let banded = problem
         .clone()
         .with_positions(PositionConstraints::none().max_displacement(&problem.given, 2))
         .expect("ranked tuples only");
-    report("±2 displacement band", &banded, RankHow::new().solve(&banded));
+    report(
+        "±2 displacement band",
+        &banded,
+        RankHow::new().solve(&banded),
+    );
 
     println!("\nEach row is one loop iteration: constrain → re-solve → compare.");
 }

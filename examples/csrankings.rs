@@ -20,9 +20,8 @@ fn main() {
 
     // --- Top-10 fit with the exact solver ---
     let given = gen.default_ranking(10);
-    let problem =
-        OptProblem::with_tolerances(data.clone(), given, Tolerances::paper_csrankings())
-            .expect("valid problem");
+    let problem = OptProblem::with_tolerances(data.clone(), given, Tolerances::paper_csrankings())
+        .expect("valid problem");
     let exact = RankHow::with_config(SolverConfig {
         time_limit: Some(Duration::from_secs(15)),
         ..SolverConfig::default()
@@ -32,7 +31,11 @@ fn main() {
     println!(
         "top-10 fit: error {} ({})",
         exact.error,
-        if exact.optimal { "optimal" } else { "budget hit" }
+        if exact.optimal {
+            "optimal"
+        } else {
+            "budget hit"
+        }
     );
     let top_areas: Vec<(String, f64)> = problem
         .data
@@ -64,10 +67,7 @@ fn main() {
         ranks
     };
     let window = extensions::window_ranking(&full_positions, 30, 50).expect("window");
-    println!(
-        "\nrank window 30–50 covers {} institutions",
-        window.k()
-    );
+    println!("\nrank window 30–50 covers {} institutions", window.k());
     let wproblem = OptProblem::with_tolerances(data, window, Tolerances::paper_csrankings())
         .expect("valid problem");
     let wsol = RankHow::with_config(SolverConfig {
@@ -80,6 +80,10 @@ fn main() {
         "window fit: error {} over k={} ({})",
         wsol.error,
         wproblem.given.k(),
-        if wsol.optimal { "optimal" } else { "budget hit" }
+        if wsol.optimal {
+            "optimal"
+        } else {
+            "budget hit"
+        }
     );
 }

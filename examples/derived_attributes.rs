@@ -22,8 +22,9 @@ fn main() {
     let given = rankfns::sum_pow_ranking(&base, 5, 15);
 
     // --- Original attributes only ---
-    let p1 = OptProblem::with_tolerances(base.clone(), given.clone(), Tolerances::paper_synthetic())
-        .expect("valid");
+    let p1 =
+        OptProblem::with_tolerances(base.clone(), given.clone(), Tolerances::paper_synthetic())
+            .expect("valid");
     let seed1 = seeding::ordinal_seed(&p1);
     let r1 = SymGd::with_config(SymGdConfig {
         cell_size: 0.02,

@@ -41,7 +41,10 @@ fn main() {
 
     // Where each indicator can still go (over the whole simplex):
     let sys = formulation::reduce_global(&problem);
-    println!("\nindicators still undecided over the simplex: {}", sys.pairs.len());
+    println!(
+        "\nindicators still undecided over the simplex: {}",
+        sys.pairs.len()
+    );
     for p in &sys.pairs {
         let lo = formulation::box_simplex_min(&p.diff, &sys.box_lo, &sys.box_hi).unwrap();
         let hi = formulation::box_simplex_max(&p.diff, &sys.box_lo, &sys.box_hi).unwrap();
@@ -69,8 +72,10 @@ fn main() {
         scores[0], scores[1], scores[2]
     );
     assert_eq!(sol.error, 0);
-    assert!(sol.weights[1] > sol.weights[0] && sol.weights[0] > sol.weights[2] || sol.weights[1] > 0.5,
-        "the zero-error region has large w2");
+    assert!(
+        sol.weights[1] > sol.weights[0] && sol.weights[0] > sol.weights[2] || sol.weights[1] > 0.5,
+        "the zero-error region has large w2"
+    );
 
     // Fig. 1's message: tie lines partition weight space. Show the error
     // at a few sample points on both sides of δ_sr's line.

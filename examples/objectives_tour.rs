@@ -22,12 +22,8 @@ fn main() {
     // structure becomes visible.
     let data = synthetic::generate(synthetic::Distribution::AntiCorrelated, 60, 4, 9);
     let given = rankfns::sum_pow_ranking(&data, 3, 8);
-    let problem = OptProblem::with_tolerances(
-        data,
-        given,
-        Tolerances::paper_synthetic(),
-    )
-    .expect("valid problem");
+    let problem = OptProblem::with_tolerances(data, given, Tolerances::paper_synthetic())
+        .expect("valid problem");
     let budget = SolverConfig {
         time_limit: Some(Duration::from_secs(15)),
         ..SolverConfig::default()
@@ -41,7 +37,9 @@ fn main() {
         ErrorMeasure::TopWeighted,
     ] {
         let p = problem.clone().with_objective(measure);
-        let sol = RankHow::with_config(budget.clone()).solve(&p).expect("solve");
+        let sol = RankHow::with_config(budget.clone())
+            .solve(&p)
+            .expect("solve");
         println!(
             "{measure:?}: objective value {} (optimal: {})",
             sol.error, sol.optimal
@@ -51,7 +49,10 @@ fn main() {
 
     // Cross-evaluate: each synthesized function under every measure.
     println!("\ncross-evaluation (rows: optimized-for; columns: measured-as)");
-    println!("{:<14} {:>10} {:>12} {:>13}", "", "position", "kendall_tau", "top_weighted");
+    println!(
+        "{:<14} {:>10} {:>12} {:>13}",
+        "", "position", "kendall_tau", "top_weighted"
+    );
     for (measure, sol) in &solutions {
         let row: Vec<u64> = [
             ErrorMeasure::Position,
@@ -59,7 +60,12 @@ fn main() {
             ErrorMeasure::TopWeighted,
         ]
         .iter()
-        .map(|&m| problem.clone().with_objective(m).objective_value(&sol.weights))
+        .map(|&m| {
+            problem
+                .clone()
+                .with_objective(m)
+                .objective_value(&sol.weights)
+        })
         .collect();
         println!(
             "{:<14} {:>10} {:>12} {:>13}",
@@ -87,10 +93,7 @@ fn main() {
             })
             .collect();
         rows.sort_unstable();
-        let disp: Vec<String> = rows
-            .iter()
-            .map(|(pi, rho)| format!("{pi}→{rho}"))
-            .collect();
+        let disp: Vec<String> = rows.iter().map(|(pi, rho)| format!("{pi}→{rho}")).collect();
         println!("  {measure:?}: {}", disp.join("  "));
     }
 
@@ -100,8 +103,8 @@ fn main() {
     // remark warns about).
     let small_data = synthetic::generate(synthetic::Distribution::AntiCorrelated, 25, 4, 10);
     let small_given = rankfns::sum_pow_ranking(&small_data, 3, 5);
-    let small = OptProblem::with_tolerances(small_data, small_given, problem.tol)
-        .expect("valid problem");
+    let small =
+        OptProblem::with_tolerances(small_data, small_given, problem.tol).expect("valid problem");
     let sat = SatSearch::with_config(rankhow::core::SatSearchConfig {
         time_limit: Some(Duration::from_secs(20)),
         ..Default::default()

@@ -241,7 +241,10 @@ fn main() -> ExitCode {
         ErrorMeasure::KendallTau => "kendall-tau error",
         ErrorMeasure::TopWeighted => "top-weighted error",
     };
-    println!("{label}: {error}{}", if optimal { " (proved optimal)" } else { "" });
+    println!(
+        "{label}: {error}{}",
+        if optimal { " (proved optimal)" } else { "" }
+    );
     if args.measure != ErrorMeasure::Position {
         // Also report plain Definition 3 error for comparability.
         println!("position error: {}", problem.evaluate(&weights));

@@ -33,11 +33,23 @@ fn solves_from_score_column() {
     let dir = temp_dir("score");
     let data = write_csv(&dir, "data.csv", &data_csv());
     let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
-        .args([data.to_str().unwrap(), "--score-col", "score", "--k", "6", "--budget", "10"])
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "6",
+            "--budget",
+            "10",
+        ])
         .output()
         .expect("run cli");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("position error: 0"), "{stdout}");
     assert!(stdout.contains("exact verification: PASS"), "{stdout}");
 }
@@ -72,7 +84,11 @@ fn solves_from_ranking_file() {
         .output()
         .expect("run cli");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("position error: 0"), "{stdout}");
 }
 
@@ -97,7 +113,10 @@ fn weight_constraints_respected() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     // Extract the reported weight of `b` and check the bound.
-    let b_line = stdout.lines().find(|l| l.trim_start().starts_with("b ")).expect("b row");
+    let b_line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("b "))
+        .expect("b row");
     let w: f64 = b_line.split_whitespace().last().unwrap().parse().unwrap();
     assert!(w >= 0.4 - 1e-6, "{stdout}");
 }
@@ -120,7 +139,11 @@ fn symgd_mode_runs() {
         ])
         .output()
         .expect("run cli");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("position error:"), "{stdout}");
 }
@@ -164,7 +187,11 @@ fn measure_flag_optimizes_the_requested_objective() {
         .output()
         .expect("run cli");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The hidden function is linear, so the tau optimum is 0, and the
     // CLI reports the objective under its proper name plus the plain
     // position error for comparability.

@@ -14,8 +14,7 @@ fn nba_pipeline_exact_beats_baselines() {
     let attrs: Vec<usize> = (0..5).collect();
     let table = gen.dataset.select_attrs(&attrs).min_max_normalized();
     let given = gen.mp_per_ranking(4);
-    let problem =
-        OptProblem::with_tolerances(table, given, Tolerances::paper_nba()).unwrap();
+    let problem = OptProblem::with_tolerances(table, given, Tolerances::paper_nba()).unwrap();
 
     let sol = core::RankHow::with_config(core::SolverConfig {
         time_limit: Some(Duration::from_secs(20)),
@@ -26,7 +25,11 @@ fn nba_pipeline_exact_beats_baselines() {
     assert_eq!(problem.evaluate(&sol.weights), sol.error);
 
     // Exact verification accepts the solution (Section V-A contract).
-    assert!(core::verify::verify_claim(&problem, &sol.weights, sol.error));
+    assert!(core::verify::verify_claim(
+        &problem,
+        &sol.weights,
+        sol.error
+    ));
 
     // Baselines cannot beat it (when the solve was proved optimal).
     if sol.optimal {
@@ -41,7 +44,11 @@ fn nba_pipeline_exact_beats_baselines() {
         );
         let ada = baselines::adarank::fit(&inst, &baselines::adarank::AdaRankConfig::default());
         for (name, err) in [("LR", lr.error), ("OR", or.error), ("AdaRank", ada.error)] {
-            assert!(err >= sol.error, "{name} ({err}) beat optimal {}", sol.error);
+            assert!(
+                err >= sol.error,
+                "{name} ({err}) beat optimal {}",
+                sol.error
+            );
         }
     }
 }
@@ -52,8 +59,7 @@ fn nba_pipeline_exact_beats_baselines() {
 fn symgd_pipeline_respects_exact_optimum() {
     let table = data::synthetic::generate(data::synthetic::Distribution::Uniform, 200, 4, 5);
     let given = data::rankfns::sum_pow_ranking(&table, 2, 6);
-    let problem =
-        OptProblem::with_tolerances(table, given, Tolerances::paper_synthetic()).unwrap();
+    let problem = OptProblem::with_tolerances(table, given, Tolerances::paper_synthetic()).unwrap();
 
     let exact = core::RankHow::with_config(core::SolverConfig {
         time_limit: Some(Duration::from_secs(30)),
@@ -82,12 +88,8 @@ fn symgd_pipeline_respects_exact_optimum() {
 fn constraint_exploration_loop() {
     let table = data::synthetic::generate(data::synthetic::Distribution::Correlated, 120, 4, 3);
     let given = data::rankfns::sum_pow_ranking(&table, 3, 5);
-    let problem = OptProblem::with_tolerances(
-        table,
-        given,
-        Tolerances::explicit(1e-6, 1e-4, 0.0),
-    )
-    .unwrap();
+    let problem =
+        OptProblem::with_tolerances(table, given, Tolerances::explicit(1e-6, 1e-4, 0.0)).unwrap();
     let budget = core::SolverConfig {
         time_limit: Some(Duration::from_secs(15)),
         ..core::SolverConfig::default()
@@ -169,8 +171,7 @@ fn tolerance_configurations_verify() {
         Tolerances::paper_nba(),
         Tolerances::explicit(5e-5, 1e-10, 0.0),
     ] {
-        let problem =
-            OptProblem::with_tolerances(table.clone(), given.clone(), tol).unwrap();
+        let problem = OptProblem::with_tolerances(table.clone(), given.clone(), tol).unwrap();
         let sol = core::RankHow::with_config(core::SolverConfig {
             time_limit: Some(Duration::from_secs(15)),
             ..core::SolverConfig::default()

@@ -31,11 +31,8 @@ fn league() -> (Dataset, GivenRanking) {
     for (rank, &(idx, _)) in scored.iter().take(6).enumerate() {
         positions[idx] = Some(rank as u32 + 1);
     }
-    let data = Dataset::from_rows(
-        vec!["wins".into(), "draws".into(), "bonus".into()],
-        rows,
-    )
-    .unwrap();
+    let data =
+        Dataset::from_rows(vec!["wins".into(), "draws".into(), "bonus".into()], rows).unwrap();
     (data, GivenRanking::from_positions(positions).unwrap())
 }
 
@@ -116,19 +113,22 @@ fn window_fit_ignores_tuples_outside_the_window() {
         .map(|i| given.position(i).unwrap_or(u32::MAX))
         .collect();
     // Replace unranked sentinel by a position beyond the window.
-    let full: Vec<u32> = full.iter().map(|&p| if p == u32::MAX { 99 } else { p }).collect();
+    let full: Vec<u32> = full
+        .iter()
+        .map(|&p| if p == u32::MAX { 99 } else { p })
+        .collect();
     let windowed = window_ranking(&full, 3, 6).unwrap();
     assert_eq!(windowed.k(), 4);
-    let p = OptProblem::with_tolerances(
-        data,
-        windowed,
-        Tolerances::explicit(1e-4, 2e-4, 0.0),
-    )
-    .unwrap();
+    let p =
+        OptProblem::with_tolerances(data, windowed, Tolerances::explicit(1e-4, 2e-4, 0.0)).unwrap();
     let sol = RankHow::new().solve(&p).unwrap();
     // The window problem is no harder than the full problem restricted
     // to those tuples; its claim verifies like any other.
-    assert!(rankhow::core::verify::verify_claim(&p, &sol.weights, sol.error));
+    assert!(rankhow::core::verify::verify_claim(
+        &p,
+        &sol.weights,
+        sol.error
+    ));
 }
 
 #[test]
@@ -155,11 +155,7 @@ fn constraint_exploration_loop_composes_with_objectives() {
         .unwrap();
     let pinned = base
         .clone()
-        .with_constraints(require_first(
-            WeightConstraints::none(),
-            &base,
-            top_team,
-        ))
+        .with_constraints(require_first(WeightConstraints::none(), &base, top_team))
         .unwrap();
     match RankHow::new().solve(&pinned) {
         Ok(sol) => {

@@ -1,0 +1,36 @@
+//! Fixed-size array strategies (`prop::array::uniformN`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[S::Value; N]` from one element strategy.
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),+ $(,)?) => {$(
+        /// Array strategy drawing every element from `element`.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )+};
+}
+
+uniform_fn! {
+    uniform1 => 1,
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform5 => 5,
+    uniform6 => 6,
+    uniform7 => 7,
+    uniform8 => 8,
+}

@@ -1,0 +1,132 @@
+//! The case loop behind the `proptest!` macro: configuration, the
+//! deterministic per-test RNG, and failure/rejection plumbing.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Runner configuration. Only the knobs this workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per test.
+    pub cases: u32,
+    /// Abort after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config that differs from the default only in the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property is false for this input: the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the input: draw another one.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the vendored [`StdRng`] so every
+/// strategy draws from one deterministic stream per test.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Seeded constructor; the seed is derived from the test name unless
+    /// `PROPTEST_RNG_SEED` overrides it.
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_RNG_SEED") {
+            Ok(s) => {
+                let base: u64 = s
+                    .parse()
+                    .unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED must be an integer, got {s:?}"));
+                let mut h = DefaultHasher::new();
+                name.hash(&mut h);
+                base ^ h.finish()
+            }
+            Err(_) => {
+                let mut h = DefaultHasher::new();
+                name.hash(&mut h);
+                h.finish()
+            }
+        };
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Drive one property test: draw inputs, run the body, panic on the
+/// first failing case with the offending input (no shrinking).
+pub fn run_proptest<S: Strategy>(
+    config: ProptestConfig,
+    name: &str,
+    strategy: S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::for_test(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let value = strategy.new_value(&mut rng);
+        let rendered = format!("{value:?}");
+        match body(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest {name} failed after {passed} passing case(s)\n\
+                     input: {rendered}\n{reason}"
+                );
+            }
+        }
+    }
+}
