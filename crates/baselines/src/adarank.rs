@@ -38,19 +38,11 @@ struct Scaling {
 }
 
 fn scaling(inst: &Instance<'_>) -> Scaling {
-    let m = inst.m();
-    let mut lo = vec![f64::INFINITY; m];
-    let mut hi = vec![f64::NEG_INFINITY; m];
-    for row in inst.rows {
-        for j in 0..m {
-            lo[j] = lo[j].min(row[j]);
-            hi[j] = hi[j].max(row[j]);
-        }
-    }
-    let span = lo
+    let ranges = inst.features.column_ranges();
+    let lo = ranges.iter().map(|&(l, _)| l).collect();
+    let span = ranges
         .iter()
-        .zip(&hi)
-        .map(|(l, h)| if h - l > 0.0 { h - l } else { 1.0 })
+        .map(|&(l, h)| if h - l > 0.0 { h - l } else { 1.0 })
         .collect();
     Scaling { lo, span }
 }
@@ -70,12 +62,14 @@ pub fn fit(inst: &Instance<'_>, cfg: &AdaRankConfig) -> Fitted {
     let k = top.len();
     let scale = scaling(inst);
 
-    // Normalized per-attribute score columns (weak rankers).
+    // Normalized per-attribute score columns (weak rankers) — each is a
+    // contiguous feature column shifted and scaled.
     let weak_scores: Vec<Vec<f64>> = (0..m)
         .map(|j| {
-            inst.rows
+            inst.features
+                .col(j)
                 .iter()
-                .map(|row| (row[j] - scale.lo[j]) / scale.span[j])
+                .map(|v| (v - scale.lo[j]) / scale.span[j])
                 .collect()
         })
         .collect();
@@ -157,6 +151,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0]).collect();
         let given = GivenRanking::from_scores(&scores, 20, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let f = fit(&inst, &AdaRankConfig::default());
         assert_eq!(f.error, 0);
@@ -174,6 +169,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0] + r[1] + r[2]).collect();
         let given = GivenRanking::from_scores(&scores, 6, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let f = fit(&inst, &AdaRankConfig::default());
         let sum: f64 = f.weights.iter().sum();
@@ -188,6 +184,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| 0.6 * r[0] + 0.4 * r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 10, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let short = fit(&inst, &AdaRankConfig { rounds: 2 });
         let long = fit(&inst, &AdaRankConfig { rounds: 25 });
@@ -206,7 +203,9 @@ mod tests {
         let rows_b: Vec<Vec<f64>> = rows_a.iter().map(|r| vec![r[0] * 1000.0, r[1]]).collect();
         let scores: Vec<f64> = rows_a.iter().map(|r| r[0] + r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 12, 0.0).unwrap();
+        let rows_a = rankhow_linalg::FeatureMatrix::from_rows(&rows_a);
         let ia = Instance::new(&rows_a, &given, Tolerances::exact());
+        let rows_b = rankhow_linalg::FeatureMatrix::from_rows(&rows_b);
         let ib = Instance::new(&rows_b, &given, Tolerances::exact());
         let fa = fit(&ia, &AdaRankConfig::default());
         let fb = fit(&ib, &AdaRankConfig::default());

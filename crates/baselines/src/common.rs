@@ -1,13 +1,14 @@
 //! Shared problem view and helpers for all baselines.
 
+use rankhow_linalg::FeatureMatrix;
 use rankhow_ranking::{evaluate_weights, GivenRanking, Tolerances};
 
-/// A borrowed view of one OPT instance: the relation, the given ranking,
-/// and the comparison tolerances.
+/// A borrowed view of one OPT instance: the columnar relation, the given
+/// ranking, and the comparison tolerances.
 #[derive(Clone, Copy, Debug)]
 pub struct Instance<'a> {
-    /// Tuple rows (each of length `m`).
-    pub rows: &'a [Vec<f64>],
+    /// The `n × m` feature store (column-major).
+    pub features: &'a FeatureMatrix,
     /// The given ranking `π`.
     pub given: &'a GivenRanking,
     /// Tie/precision tolerances.
@@ -16,25 +17,37 @@ pub struct Instance<'a> {
 
 impl<'a> Instance<'a> {
     /// Construct, validating shape.
-    pub fn new(rows: &'a [Vec<f64>], given: &'a GivenRanking, tol: Tolerances) -> Self {
-        assert_eq!(rows.len(), given.len(), "rows vs ranking length");
-        assert!(!rows.is_empty());
-        Instance { rows, given, tol }
+    pub fn new(features: &'a FeatureMatrix, given: &'a GivenRanking, tol: Tolerances) -> Self {
+        assert_eq!(features.n(), given.len(), "rows vs ranking length");
+        assert!(features.n() > 0);
+        Instance {
+            features,
+            given,
+            tol,
+        }
     }
 
     /// Number of tuples.
     pub fn n(&self) -> usize {
-        self.rows.len()
+        self.features.n()
     }
 
     /// Number of attributes.
     pub fn m(&self) -> usize {
-        self.rows[0].len()
+        self.features.m()
     }
 
     /// Position error (Definition 3) of a weight vector under `ε`.
     pub fn evaluate(&self, weights: &[f64]) -> u64 {
-        evaluate_weights(self.rows, self.given, weights, self.tol.eps)
+        evaluate_weights(self.features, self.given, weights, self.tol.eps)
+    }
+
+    /// Difference of rows `a` and `b` on attribute `j`
+    /// (`A_j[a] − A_j[b]` — one indicator-hyperplane coefficient).
+    #[inline]
+    pub fn attr_diff(&self, a: usize, b: usize, j: usize) -> f64 {
+        let col = self.features.col(j);
+        col[a] - col[b]
     }
 }
 
@@ -93,12 +106,13 @@ mod tests {
 
     #[test]
     fn instance_shape_checks() {
-        let rows = vec![vec![1.0], vec![2.0]];
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&[vec![1.0], vec![2.0]]);
         let given = GivenRanking::from_positions(vec![Some(1), None]).unwrap();
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         assert_eq!(inst.n(), 2);
         assert_eq!(inst.m(), 1);
         assert_eq!(inst.evaluate(&[1.0]), 1); // tuple 1 outscores tuple 0
+        assert_eq!(inst.attr_diff(1, 0, 0), 1.0);
     }
 
     #[test]

@@ -37,11 +37,14 @@ pub fn fit(inst: &Instance<'_>, variant: Variant) -> Fitted {
         Variant::Default => {
             // Design matrix with intercept column (the intercept does not
             // affect the induced ranking but improves the fit, matching
-            // library defaults).
+            // library defaults). Filled column-by-column straight from
+            // the feature store.
             let mut design = Matrix::zeros(inst.n(), m + 1);
-            for (i, row) in inst.rows.iter().enumerate() {
+            for i in 0..inst.n() {
                 design[(i, 0)] = 1.0;
-                for (j, &v) in row.iter().enumerate() {
+            }
+            for j in 0..m {
+                for (i, &v) in inst.features.col(j).iter().enumerate() {
                     design[(i, j + 1)] = v;
                 }
             }
@@ -55,10 +58,12 @@ pub fn fit(inst: &Instance<'_>, variant: Variant) -> Fitted {
             // the intercept stays free. NNLS constrains every column, so
             // the free intercept is encoded as a +1/−1 column pair.
             let mut design = Matrix::zeros(inst.n(), m + 2);
-            for (i, row) in inst.rows.iter().enumerate() {
+            for i in 0..inst.n() {
                 design[(i, 0)] = 1.0;
                 design[(i, 1)] = -1.0;
-                for (j, &v) in row.iter().enumerate() {
+            }
+            for j in 0..m {
+                for (i, &v) in inst.features.col(j).iter().enumerate() {
                     design[(i, j + 2)] = v;
                 }
             }
@@ -96,6 +101,7 @@ mod tests {
     #[test]
     fn example3_regression_fails_where_opt_succeeds() {
         let (rows, given) = example3();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let default = fit(&inst, Variant::Default);
         let nonneg = fit(&inst, Variant::NonNegative);
@@ -116,6 +122,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 12, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let f = fit(&inst, Variant::Default);
         // Linear labels are a monotone transform of a linear score only
@@ -127,6 +134,7 @@ mod tests {
     #[test]
     fn nonnegative_weights_are_nonnegative() {
         let (rows, given) = example3();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let f = fit(&inst, Variant::NonNegative);
         assert!(f.weights.iter().all(|&w| w >= 0.0));
@@ -136,6 +144,7 @@ mod tests {
     fn labels_match_definition() {
         let rows = vec![vec![0.0], vec![0.0], vec![0.0]];
         let given = GivenRanking::from_positions(vec![Some(2), Some(1), None]).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         assert_eq!(labels(&inst), vec![1.0, 2.0, 0.0]);
     }

@@ -118,16 +118,14 @@ fn fit_lp(inst: &Instance<'_>, cfg: &OrdinalConfig, pairs: &[Pair]) -> Option<Ve
         let slack = p.add_var(&format!("s{idx}"), 0.0, f64::INFINITY, 1.0);
         match *pair {
             Pair::Order(a, b) => {
-                let mut terms: Vec<(usize, f64)> = (0..m)
-                    .map(|j| (w[j], inst.rows[a][j] - inst.rows[b][j]))
-                    .collect();
+                let mut terms: Vec<(usize, f64)> =
+                    (0..m).map(|j| (w[j], inst.attr_diff(a, b, j))).collect();
                 terms.push((slack, 1.0));
                 p.add_constraint(&terms, Op::Ge, cfg.gap);
             }
             Pair::Tie(a, b) => {
-                let diff: Vec<(usize, f64)> = (0..m)
-                    .map(|j| (w[j], inst.rows[a][j] - inst.rows[b][j]))
-                    .collect();
+                let diff: Vec<(usize, f64)> =
+                    (0..m).map(|j| (w[j], inst.attr_diff(a, b, j))).collect();
                 let mut up = diff.clone();
                 up.push((slack, -1.0));
                 p.add_constraint(&up, Op::Le, cfg.tie_band);
@@ -160,25 +158,25 @@ fn fit_subgradient(inst: &Instance<'_>, cfg: &OrdinalConfig, pairs: &[Pair]) -> 
                 Pair::Order(a, b) => {
                     let mut diff_dot = 0.0;
                     for j in 0..m {
-                        diff_dot += w[j] * (inst.rows[a][j] - inst.rows[b][j]);
+                        diff_dot += w[j] * inst.attr_diff(a, b, j);
                     }
                     if diff_dot < cfg.gap {
                         loss += cfg.gap - diff_dot;
                         for j in 0..m {
-                            grad[j] -= inst.rows[a][j] - inst.rows[b][j];
+                            grad[j] -= inst.attr_diff(a, b, j);
                         }
                     }
                 }
                 Pair::Tie(a, b) => {
                     let mut diff_dot = 0.0;
                     for j in 0..m {
-                        diff_dot += w[j] * (inst.rows[a][j] - inst.rows[b][j]);
+                        diff_dot += w[j] * inst.attr_diff(a, b, j);
                     }
                     if diff_dot.abs() > cfg.tie_band {
                         loss += diff_dot.abs() - cfg.tie_band;
                         let sign = diff_dot.signum();
                         for j in 0..m {
-                            grad[j] += sign * (inst.rows[a][j] - inst.rows[b][j]);
+                            grad[j] += sign * inst.attr_diff(a, b, j);
                         }
                     }
                 }
@@ -245,6 +243,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| 0.7 * r[0] + 0.3 * r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 10, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let f = fit(&inst, &OrdinalConfig::default());
         assert_eq!(f.error, 0, "weights {:?}", f.weights);
@@ -256,6 +255,7 @@ mod tests {
         let given =
             GivenRanking::from_scores(&rows.iter().map(|r| r[0]).collect::<Vec<_>>(), 8, 0.0)
                 .unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let f = fit(&inst, &OrdinalConfig::default());
         let sum: f64 = f.weights.iter().sum();
@@ -269,6 +269,7 @@ mod tests {
         // disabled, the pair is skipped (original Srinivasan).
         let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]];
         let given = GivenRanking::from_positions(vec![Some(1), Some(1), Some(3)]).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let with_ties = fit(
             &inst,
@@ -287,8 +288,8 @@ mod tests {
         // Both must produce valid functions; the tie-aware one should
         // score the tied pair closer together.
         let closeness = |w: &[f64]| {
-            let f0 = w[0] * rows[0][0] + w[1] * rows[0][1];
-            let f1 = w[0] * rows[1][0] + w[1] * rows[1][1];
+            let f0 = w[0] * rows.get(0, 0) + w[1] * rows.get(0, 1);
+            let f1 = w[0] * rows.get(1, 0) + w[1] * rows.get(1, 1);
             (f0 - f1).abs()
         };
         assert!(closeness(&with_ties.weights) <= closeness(&without.weights) + 1e-9);
@@ -301,6 +302,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| 0.9 * r[0] + 0.1 * r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 60, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let cfg = OrdinalConfig {
             max_lp_pairs: 5, // force subgradient
@@ -324,6 +326,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0]).collect();
         let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let cfg = OrdinalConfig {
             bottom_anchors: 4,

@@ -124,6 +124,7 @@ mod tests {
     #[test]
     fn finds_easy_solutions() {
         let (rows, given) = instance_data();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let res = fit(
             &inst,
@@ -142,6 +143,7 @@ mod tests {
     #[test]
     fn trace_is_monotone_decreasing() {
         let (rows, given) = instance_data();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let res = fit(
             &inst,
@@ -161,6 +163,7 @@ mod tests {
     #[test]
     fn rejection_respects_constraints() {
         let (rows, given) = instance_data();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         // Require w0 ≥ 0.6: accepted best must satisfy it.
         let accept = |w: &[f64]| w[0] >= 0.6;
@@ -179,6 +182,7 @@ mod tests {
     #[test]
     fn sample_cap_respected() {
         let (rows, given) = instance_data();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let res = fit(
             &inst,

@@ -95,7 +95,7 @@ pub fn fit(inst: &Instance<'_>, cfg: &TreeConfig) -> TreeResult {
     // Dominance pre-filter: fixed indicator values removed from branching.
     let mut fixed: Vec<Option<bool>> = vec![None; all_pairs.len()];
     if cfg.use_dominance {
-        let dom = dominance_pairs(inst.rows, inst.given.top_k(), inst.tol.eps);
+        let dom = dominance_pairs(inst.features, inst.given.top_k(), inst.tol.eps);
         for d in &dom {
             for (idx, &(s, r)) in all_pairs.iter().enumerate() {
                 if s == d.dominator && r == d.dominatee {
@@ -207,9 +207,7 @@ fn region_lp(
     p.add_constraint(&simplex, Op::Eq, 1.0);
     for (depth, &side) in assign.iter().enumerate() {
         let (s, r) = all_pairs[free_pairs[depth]];
-        let terms: Vec<(usize, f64)> = (0..m)
-            .map(|j| (w[j], inst.rows[s][j] - inst.rows[r][j]))
-            .collect();
+        let terms: Vec<(usize, f64)> = (0..m).map(|j| (w[j], inst.attr_diff(s, r, j))).collect();
         if side {
             p.add_constraint(&terms, Op::Ge, cfg.eps1);
         } else {
@@ -238,6 +236,7 @@ mod tests {
     #[test]
     fn finds_perfect_function_on_example4() {
         let (rows, given) = example4();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let res = fit(&inst, &TreeConfig::default());
         let f = res.fitted.expect("tree finds a cell");
@@ -247,6 +246,7 @@ mod tests {
     #[test]
     fn enumerates_all_cells_on_tiny_instance() {
         let (rows, given) = example4();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let res = fit(
             &inst,
@@ -267,6 +267,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64, i as f64 + 0.5]).collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0]).collect();
         let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let with = fit(&inst, &TreeConfig::default());
         let without = fit(
@@ -294,6 +295,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0] + r[1] + r[2]).collect();
         let given = GivenRanking::from_scores(&scores, 4, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::exact());
         let res = fit(
             &inst,
@@ -314,6 +316,7 @@ mod tests {
             .collect();
         let scores: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&rows);
         let inst = Instance::new(&rows, &given, Tolerances::paper_nba());
         let naive = fit(&inst, &TreeConfig::default());
         let gapped = fit(&inst, &TreeConfig::with_gap(inst.tol));

@@ -70,7 +70,12 @@ fn dominance_prefilter(c: &mut Criterion) {
     c.bench_function("dominance_pairs_n5000", |b| {
         b.iter(|| {
             black_box(
-                dominance_pairs(problem.data.rows(), problem.given.top_k(), problem.tol.eps).len(),
+                dominance_pairs(
+                    problem.data.features(),
+                    problem.given.top_k(),
+                    problem.tol.eps,
+                )
+                .len(),
             )
         });
     });
@@ -82,7 +87,7 @@ fn tree_vs_rankhow(c: &mut Criterion) {
     // Small enough for TREE to complete (2 attributes keeps the
     // arrangement linear in the pair count).
     let problem = setups::nba_problem(25, 2, 2);
-    let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+    let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
     group.bench_function("rankhow", |b| {
         b.iter(|| black_box(RankHow::new().solve(&problem).unwrap().error));
     });

@@ -1,0 +1,103 @@
+//! Scaling benchmarks for the parallel branch-and-bound engine (thread
+//! sweep 1/2/4/8 over the synthetic workloads) and for the reusable
+//! [`SimplexWorkspace`] that backs its per-worker LP solves.
+//!
+//! Kept compiling by the CI `cargo bench --no-run` step; run with
+//! `cargo bench --bench solver_scaling`.
+//!
+//! Interpretation note: on a single-core container
+//! (`std::thread::available_parallelism() == 1`) the >1-thread rows
+//! measure pure coordination overhead — workers time-slice one CPU and
+//! speculatively expand nodes the sequential engine would have pruned
+//! after an earlier incumbent update. The sweep is meaningful on
+//! multi-core hardware, where per-worker LP workspaces and the
+//! work-stealing frontier let node expansions proceed concurrently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rankhow_bench::setups;
+use rankhow_core::{RankHow, SolverConfig};
+use rankhow_data::synthetic::Distribution;
+use rankhow_lp::{chebyshev_center, chebyshev_center_with, Op, Problem, Sense, SimplexWorkspace};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Thread sweep over the paper's synthetic distributions. The instances
+/// are sized so a single-thread solve takes long enough to measure but
+/// the whole sweep stays bench-friendly.
+fn thread_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+    let workloads = [
+        ("uniform_n300_k5", Distribution::Uniform, 300usize, 5usize),
+        ("anticorr_n120_k4", Distribution::AntiCorrelated, 120, 4),
+    ];
+    for (name, dist, n, k) in workloads {
+        let problem = setups::synthetic_problem(dist, 0, n, 4, k, 3, false);
+        for &threads in &[1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let sol = RankHow::with_config(SolverConfig {
+                        threads,
+                        // Anti-correlated trees are deep; cap each
+                        // solve so a full sweep stays bench-sized
+                        // (progress-at-timeout is the measurement).
+                        time_limit: Some(Duration::from_secs(5)),
+                        ..SolverConfig::default()
+                    })
+                    .solve(&problem)
+                    .unwrap();
+                    black_box((sol.error, sol.stats.nodes))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The canonical node-LP shape (simplex weights + decision half-spaces),
+/// as built thousands of times per solve.
+fn node_region(m: usize, cuts: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let w: Vec<_> = (0..m)
+        .map(|j| p.add_var(&format!("w{j}"), 0.0, 1.0, 0.0))
+        .collect();
+    let simplex: Vec<(usize, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+    p.add_constraint(&simplex, Op::Eq, 1.0);
+    for r in 0..cuts {
+        let terms: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, ((j + r) % 5) as f64 - 2.0))
+            .collect();
+        p.add_constraint(&terms, Op::Ge, 1e-4);
+    }
+    p
+}
+
+/// Standalone workspace benchmark: repeated Chebyshev-center solves with
+/// a reused tableau vs. a fresh allocation per call.
+fn simplex_workspace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_workspace");
+    for &(m, cuts) in &[(5usize, 8usize), (8, 16)] {
+        let region = node_region(m, cuts);
+        group.bench_with_input(
+            BenchmarkId::new("chebyshev_fresh", format!("m{m}_c{cuts}")),
+            &region,
+            |b, region| {
+                b.iter(|| black_box(chebyshev_center(region).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chebyshev_reused", format!("m{m}_c{cuts}")),
+            &region,
+            |b, region| {
+                let mut ws = SimplexWorkspace::new();
+                b.iter(|| black_box(chebyshev_center_with(region, &mut ws).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, thread_sweep, simplex_workspace);
+criterion_main!(benches);

@@ -49,6 +49,8 @@ fn main() {
     let sol = RankHow::with_config(SolverConfig {
         warm_start: Some(seed),
         time_limit: Some(scale.solver_budget()),
+        // Reproducible case-study output: schedule-independent weights.
+        threads: 1,
         ..SolverConfig::default()
     })
     .solve(&problem)
@@ -70,7 +72,7 @@ fn main() {
 
     // Score-based ranking positions of the voted players (the paper
     // prints this vector, e.g. [1, 3, 4, 4, 2, 6, ...]).
-    let scores = rankhow_ranking::scores_f64(problem.data.rows(), &sol.weights);
+    let scores = rankhow_ranking::scores_f64(problem.data.features(), &sol.weights);
     let ranks = rankhow_ranking::score_ranks(&scores, problem.tol.eps);
     println!("score-based ranking (by given position order): {ranks:?}");
 
@@ -79,7 +81,7 @@ fn main() {
         Scale::Quick => 15,
         Scale::Full => 120,
     });
-    let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+    let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
     let mut table = Table::new(&[
         "method",
         "error",
@@ -145,6 +147,7 @@ fn main() {
         .expect("valid constraint");
     let sol2 = RankHow::with_config(SolverConfig {
         time_limit: Some(scale.solver_budget()),
+        threads: 1,
         ..SolverConfig::default()
     })
     .solve(&constrained)
@@ -170,12 +173,13 @@ fn main() {
         .expect("valid constraint");
     match RankHow::with_config(SolverConfig {
         time_limit: Some(scale.solver_budget()),
+        threads: 1,
         ..SolverConfig::default()
     })
     .solve(&pinned)
     {
         Ok(sol3) => {
-            let scores = rankhow_ranking::scores_f64(pinned.data.rows(), &sol3.weights);
+            let scores = rankhow_ranking::scores_f64(pinned.data.features(), &sol3.weights);
             let ranks = rankhow_ranking::score_ranks(&scores, pinned.tol.eps);
             println!(
                 "with MVP pinned to #1: error {}, MVP rank {}",

@@ -45,6 +45,8 @@ fn objectives(scale: &Scale) {
         let t = Instant::now();
         let sol = RankHow::with_config(rankhow_core::SolverConfig {
             time_limit: Some(std::time::Duration::from_secs(15)),
+            // Reproducible report output: schedule-independent weights.
+            threads: 1,
             ..Default::default()
         })
         .solve(&p)

@@ -44,13 +44,15 @@ fn main() {
             let (weights, claimed) = if is_rankhow {
                 let sol = RankHow::with_config(SolverConfig {
                     time_limit: Some(std::time::Duration::from_secs(30)),
+                    // Table III is about numerics: keep runs reproducible.
+                    threads: 1,
                     ..SolverConfig::default()
                 })
                 .solve(&problem)
                 .expect("solve");
                 (sol.weights, sol.error)
             } else {
-                let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+                let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
                 let cfg = OrdinalConfig {
                     gap: tol.eps1,
                     tie_band: tol.eps2,

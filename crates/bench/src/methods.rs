@@ -100,6 +100,10 @@ pub fn run_method(problem: &OptProblem, method: &Method) -> MethodResult {
             let solver = RankHow::with_config(SolverConfig {
                 time_limit: Some(*budget),
                 warm_start: Some(seed),
+                // Figure/table reproductions must be bit-reproducible:
+                // one worker keeps the returned weight vector (not just
+                // the proved error) schedule-independent.
+                threads: 1,
                 ..SolverConfig::default()
             });
             match solver.solve(problem) {
@@ -128,23 +132,23 @@ pub fn run_method(problem: &OptProblem, method: &Method) -> MethodResult {
             (res.error, false, res.weights)
         }
         Method::OrdinalRegression => {
-            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
             let cfg = ordinal_regression::config_plus(problem.tol);
             let f = ordinal_regression::fit(&inst, &cfg);
             (f.error, false, f.weights)
         }
         Method::LinearRegression => {
-            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
             let f = linear_regression::fit(&inst, linear_regression::Variant::Default);
             (f.error, false, f.weights)
         }
         Method::AdaRank => {
-            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
             let f = adarank::fit(&inst, &AdaRankConfig::default());
             (f.error, false, f.weights)
         }
         Method::Sampling { budget } => {
-            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
             let res = sampling::fit(
                 &inst,
                 &SamplingConfig {
@@ -160,7 +164,7 @@ pub fn run_method(problem: &OptProblem, method: &Method) -> MethodResult {
             budget,
             with_gap,
         } => {
-            let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+            let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
             let cfg = if *with_gap {
                 TreeConfig {
                     node_limit: *node_limit,

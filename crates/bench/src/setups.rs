@@ -105,8 +105,8 @@ mod tests {
         let a = synthetic_problem(synthetic::Distribution::Uniform, 0, 100, 5, 5, 3, false);
         let b = synthetic_problem(synthetic::Distribution::Uniform, 0, 100, 5, 5, 3, false);
         let c = synthetic_problem(synthetic::Distribution::Uniform, 1, 100, 5, 5, 3, false);
-        assert_eq!(a.data.rows(), b.data.rows());
-        assert_ne!(a.data.rows(), c.data.rows());
+        assert_eq!(a.data.features(), b.data.features());
+        assert_ne!(a.data.features(), c.data.features());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Rank computation and sound error lower bounds over a reduced system
+//! (Section IV-B interval argument, generalized to every supported
+//! objective).
+
+use crate::formulation::ReducedSystem;
+use rankhow_ranking::ErrorMeasure;
+
+/// Realized competition ranks per slot for `w`, using the reduced
+/// system: constant-folded pairs are already in `fixed_beats`, so only
+/// live pairs need a dot product — one streaming pass over the flat
+/// difference store.
+///
+/// Test-only cross-check: the engine's incumbents are evaluated through
+/// `OptProblem::evaluate_constrained` (score-subtraction arithmetic);
+/// this pairwise-difference evaluation agrees on every instance whose
+/// score gaps clear f64 rounding, which `eval_in_system` asserts.
+#[cfg(test)]
+pub(crate) fn ranks_in_system(sys: &ReducedSystem, w: &[f64], eps: f64) -> Vec<u32> {
+    let mut beats: Vec<u32> = sys.fixed_beats.clone();
+    for (idx, pair) in sys.pairs.iter().enumerate() {
+        let dot: f64 = sys.diff(idx).iter().zip(w).map(|(d, wi)| d * wi).sum();
+        if dot > eps {
+            beats[pair.slot] += 1;
+        }
+    }
+    beats.iter_mut().for_each(|b| *b += 1);
+    beats
+}
+
+/// Position error of realized ranks against the targets.
+#[cfg(test)]
+pub(crate) fn error_of_ranks(sys: &ReducedSystem, ranks: &[u32]) -> u64 {
+    sys.target
+        .iter()
+        .zip(ranks)
+        .map(|(&pi, &r)| (pi as i64 - r as i64).unsigned_abs())
+        .sum()
+}
+
+/// Sound error lower bound from per-slot rank intervals
+/// `[beats+1, beats+1+open]`, for any supported objective.
+///
+/// - position / top-weighted: distance of `π(r)` to the interval,
+///   (weighted) summed per slot;
+/// - Kendall tau: a strictly-ordered slot pair is *certainly* inverted
+///   when the higher-ranked slot's minimum rank exceeds the lower slot's
+///   maximum rank — only such pairs count.
+pub(super) fn interval_bound(
+    sys: &ReducedSystem,
+    beats: &[u32],
+    open: &[u32],
+    measure: ErrorMeasure,
+) -> u64 {
+    match measure {
+        ErrorMeasure::Position => rank_interval_bound(sys, beats, open),
+        ErrorMeasure::TopWeighted => {
+            let k = sys.top.len() as u64;
+            sys.target
+                .iter()
+                .enumerate()
+                .map(|(slot, &pi)| {
+                    let min_rank = beats[slot] as i64 + 1;
+                    let max_rank = min_rank + open[slot] as i64;
+                    let pi_i = pi as i64;
+                    let gap = if pi_i < min_rank {
+                        (min_rank - pi_i) as u64
+                    } else if pi_i > max_rank {
+                        (pi_i - max_rank) as u64
+                    } else {
+                        0
+                    };
+                    (k - pi as u64 + 1) * gap
+                })
+                .sum()
+        }
+        ErrorMeasure::KendallTau => {
+            let mut certain = 0u64;
+            for a in 0..sys.target.len() {
+                for b in a + 1..sys.target.len() {
+                    let (pa, pb) = (sys.target[a], sys.target[b]);
+                    if pa == pb {
+                        continue;
+                    }
+                    let (hi, lo) = if pa < pb { (a, b) } else { (b, a) };
+                    let min_hi = beats[hi] as u64 + 1;
+                    let max_lo = beats[lo] as u64 + 1 + open[lo] as u64;
+                    if min_hi > max_lo {
+                        certain += 1;
+                    }
+                }
+            }
+            certain
+        }
+    }
+}
+
+/// Exact position error of `w` using the reduced system. Agrees with
+/// `OptProblem::evaluate` by construction.
+#[cfg(test)]
+pub(crate) fn eval_in_system(sys: &ReducedSystem, w: &[f64], eps: f64) -> u64 {
+    let ranks = ranks_in_system(sys, w, eps);
+    error_of_ranks(sys, &ranks)
+}
+
+fn rank_interval_bound(sys: &ReducedSystem, beats: &[u32], open: &[u32]) -> u64 {
+    sys.target
+        .iter()
+        .enumerate()
+        .map(|(slot, &pi)| {
+            let min_rank = beats[slot] as i64 + 1;
+            let max_rank = min_rank + open[slot] as i64;
+            let pi = pi as i64;
+            if pi < min_rank {
+                (min_rank - pi) as u64
+            } else if pi > max_rank {
+                (pi - max_rank) as u64
+            } else {
+                0
+            }
+        })
+        .sum()
+}

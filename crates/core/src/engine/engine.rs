@@ -1,0 +1,543 @@
+//! The search drivers: node expansion shared by the sequential and the
+//! parallel (work-stealing) engines.
+
+use super::bounds::interval_bound;
+use super::frontier::{LocalQueue, Node, WorkPool};
+use super::incumbent::SharedIncumbent;
+use super::{SearchOrder, Solution, SolverConfig, SolverError, SolverStats};
+use crate::formulation::{self, ReducedSystem};
+use crate::OptProblem;
+use rankhow_lp::{
+    chebyshev_center_with, Op, Problem as Lp, Sense, SimplexWorkspace, Status, VarId,
+};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-worker mutable state: reusable LP scratch (tableaus stop
+/// reallocating per node) plus classification buffers and local stats.
+struct WorkerScratch {
+    lp: SimplexWorkspace,
+    decided: Vec<Option<bool>>,
+    open: Vec<u32>,
+    beats: Vec<u32>,
+    stats: SolverStats,
+}
+
+impl WorkerScratch {
+    fn new(ctx: &SearchContext<'_>) -> Self {
+        WorkerScratch {
+            lp: SimplexWorkspace::new(),
+            decided: vec![None; ctx.sys.pairs.len()],
+            open: vec![0; ctx.sys.top.len()],
+            beats: vec![0; ctx.sys.top.len()],
+            stats: SolverStats::default(),
+        }
+    }
+}
+
+/// Immutable search state shared by every worker.
+struct SearchContext<'a> {
+    problem: &'a OptProblem,
+    config: &'a SolverConfig,
+    sys: ReducedSystem,
+    slot_bounds: Vec<Option<(u32, u32)>>,
+    has_position_constraints: bool,
+    box_lo: Vec<f64>,
+    box_hi: Vec<f64>,
+    start: Instant,
+}
+
+impl SearchContext<'_> {
+    /// A candidate becomes the incumbent only if it satisfies the
+    /// position windows; returns whether it improved the shared best.
+    ///
+    /// Evaluation goes through [`OptProblem::evaluate_constrained`] — the
+    /// same batched-score arithmetic as the public evaluator — so the
+    /// reported `Solution::error` is realized by `Solution::weights`
+    /// bit-for-bit. (A pairwise-difference evaluation over the reduced
+    /// system rounds differently at tie boundaries and can disagree with
+    /// `evaluate` by a rank on ε = 0 ties.)
+    fn try_incumbent(
+        &self,
+        w: &[f64],
+        incumbent: &SharedIncumbent,
+        stats: &mut SolverStats,
+    ) -> bool {
+        let Some(err) = self.problem.evaluate_constrained(w) else {
+            return false;
+        };
+        if incumbent.offer(err, w) {
+            stats.incumbents += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Build the node's weight-space LP region.
+    fn region(&self, decisions: &[(u32, bool)]) -> Lp {
+        let m = self.problem.m();
+        let mut lp = Lp::new(Sense::Minimize);
+        let w: Vec<VarId> = (0..m)
+            .map(|j| lp.add_var(&format!("w{j}"), self.box_lo[j], self.box_hi[j], 0.0))
+            .collect();
+        let simplex: Vec<(VarId, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&simplex, Op::Eq, 1.0);
+        self.problem.constraints.apply_to(&mut lp, &w);
+        for &(idx, side) in decisions {
+            let diff = self.sys.diff(idx as usize);
+            let terms: Vec<(VarId, f64)> = (0..m).map(|j| (w[j], diff[j])).collect();
+            if side {
+                lp.add_constraint(&terms, Op::Ge, self.problem.tol.eps1);
+            } else {
+                lp.add_constraint(&terms, Op::Le, self.problem.tol.eps2);
+            }
+        }
+        lp
+    }
+
+    /// Per-coordinate min/max over the region (2m small LPs, all on the
+    /// worker's reusable workspace and one shared probe clone). Returns
+    /// `None` when the region is empty.
+    fn tighten_box(
+        &self,
+        region: &Lp,
+        scratch: &mut WorkerScratch,
+    ) -> Result<Option<(Vec<f64>, Vec<f64>)>, SolverError> {
+        // Safety margin so LP round-off cannot make the box *tighter*
+        // than the true region (classification soundness depends on
+        // box ⊇ region).
+        const MARGIN: f64 = 1e-8;
+        let m = self.problem.m();
+        let mut lo = vec![0.0; m];
+        let mut hi = vec![1.0; m];
+        // Region variables carry zero objectives, so one clone serves
+        // all 2m probes by toggling a single coefficient.
+        let mut probe = region.clone();
+        for j in 0..m {
+            let (static_lo, static_hi) = region.bounds(j);
+            probe.set_objective(j, 1.0);
+            probe.set_sense(Sense::Minimize);
+            scratch.stats.lp_solves += 1;
+            lo[j] = match probe.solve_with(&mut scratch.lp) {
+                Ok(s) if s.status == Status::Optimal => (s.objective - MARGIN).max(static_lo),
+                Ok(s) if s.status == Status::Infeasible => return Ok(None),
+                // Unbounded impossible (w ∈ [0,1]); LP failure → fallback.
+                _ => static_lo,
+            };
+            probe.set_sense(Sense::Maximize);
+            scratch.stats.lp_solves += 1;
+            hi[j] = match probe.solve_with(&mut scratch.lp) {
+                Ok(s) if s.status == Status::Optimal => (s.objective + MARGIN).min(static_hi),
+                Ok(s) if s.status == Status::Infeasible => return Ok(None),
+                _ => static_hi,
+            };
+            probe.set_objective(j, 0.0);
+            // Numerical guard.
+            if lo[j] > hi[j] {
+                let mid = 0.5 * (lo[j] + hi[j]);
+                lo[j] = mid;
+                hi[j] = mid;
+            }
+        }
+        Ok(Some((lo, hi)))
+    }
+
+    /// Expand one node: tighten its box, classify the live pairs, prune
+    /// by interval bound and position windows, sample an incumbent, and
+    /// return the surviving children (empty for pruned nodes and leaves).
+    fn expand(
+        &self,
+        node: &Node,
+        incumbent: &SharedIncumbent,
+        scratch: &mut WorkerScratch,
+    ) -> Result<Vec<Node>, SolverError> {
+        // Tighten the node's weight box via per-coordinate LPs.
+        let region = self.region(&node.decisions);
+        let Some((nlo, nhi)) = self.tighten_box(&region, scratch)? else {
+            return Ok(Vec::new()); // region infeasible
+        };
+
+        // Classify undecided pairs against the tightened box.
+        scratch.decided.fill(None);
+        for &(idx, side) in &node.decisions {
+            scratch.decided[idx as usize] = Some(side);
+        }
+        scratch.beats.copy_from_slice(&self.sys.fixed_beats);
+        scratch.open.fill(0);
+        let eps = self.problem.tol.eps;
+        let mut branch_candidate: Option<(usize, f64)> = None;
+        for (idx, pair) in self.sys.pairs.iter().enumerate() {
+            match scratch.decided[idx] {
+                Some(true) => scratch.beats[pair.slot] += 1,
+                Some(false) => {}
+                None => {
+                    let diff = self.sys.diff(idx);
+                    let lo_v = formulation::box_simplex_min(diff, &nlo, &nhi);
+                    let hi_v = formulation::box_simplex_max(diff, &nlo, &nhi);
+                    let (Some(l), Some(h)) = (lo_v, hi_v) else {
+                        continue;
+                    };
+                    if l > eps {
+                        scratch.beats[pair.slot] += 1;
+                    } else if h <= eps {
+                        // never beats
+                    } else {
+                        scratch.open[pair.slot] += 1;
+                        // Most-ambiguous branching: largest two-sided
+                        // margin around the tie threshold.
+                        let straddle = (h - eps).min(eps - l);
+                        let score = straddle.min(h - l);
+                        if branch_candidate.map_or(true, |(_, s)| score > s) {
+                            branch_candidate = Some((idx, score));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Position windows: prune when a slot's attainable rank
+        // interval cannot meet its allowed window (interval computed
+        // over a superset of the region — sound).
+        if self.has_position_constraints {
+            let impossible = self.slot_bounds.iter().enumerate().any(|(slot, b)| {
+                b.is_some_and(|(lo, hi)| {
+                    let min_rank = scratch.beats[slot] + 1;
+                    let max_rank = min_rank + scratch.open[slot];
+                    max_rank < lo || min_rank > hi
+                })
+            });
+            if impossible {
+                return Ok(Vec::new());
+            }
+        }
+
+        // Node bound from rank intervals.
+        let bound = interval_bound(
+            &self.sys,
+            &scratch.beats,
+            &scratch.open,
+            self.problem.objective,
+        );
+        if bound >= incumbent.error() {
+            return Ok(Vec::new());
+        }
+
+        // Incumbent: the region's Chebyshev center (skipped on a
+        // numerically stuck LP — purely a heuristic).
+        if self.config.incumbent_sampling {
+            scratch.stats.lp_solves += 1;
+            if let Ok(Some(center)) = chebyshev_center_with(&region, &mut scratch.lp) {
+                if self.try_incumbent(&center, incumbent, &mut scratch.stats) {
+                    let best = incumbent.error();
+                    if best == 0 || bound >= best {
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+        }
+
+        let Some((branch_idx, _)) = branch_candidate else {
+            // Leaf: every pair decided or constant — bound is exact,
+            // and the center above already recorded it.
+            return Ok(Vec::new());
+        };
+
+        // Expand children, checking feasibility eagerly.
+        let mut children = Vec::with_capacity(2);
+        for side in [true, false] {
+            let mut decisions = node.decisions.clone();
+            decisions.push((branch_idx as u32, side));
+            let child_region = self.region(&decisions);
+            scratch.stats.lp_solves += 1;
+            // On an LP failure, keep the child: pruning is only an
+            // optimization and bounds remain sound.
+            let keep = match child_region.solve_feasibility_with(&mut scratch.lp) {
+                Ok(sol) => sol.status == Status::Optimal,
+                Err(_) => true,
+            };
+            if keep {
+                children.push(Node { decisions, bound });
+            }
+        }
+        Ok(children)
+    }
+
+    fn over_time_limit(&self) -> bool {
+        self.config
+            .time_limit
+            .is_some_and(|tl| self.start.elapsed() >= tl)
+    }
+}
+
+/// Solve OPT exactly (or to the configured limits).
+pub(super) fn solve(problem: &OptProblem, config: &SolverConfig) -> Result<Solution, SolverError> {
+    let start = Instant::now();
+    let m = problem.m();
+    let (box_lo, box_hi) = match &config.initial_box {
+        Some((lo, hi)) => (lo.clone(), hi.clone()),
+        None => (vec![0.0; m], vec![1.0; m]),
+    };
+
+    // Root constant-folding: stream over all k·(n−1) pairs once.
+    let sys = formulation::reduce_against_box(problem, &box_lo, &box_hi);
+
+    // Allowed rank windows per slot (Example 1 position constraints).
+    let slot_bounds: Vec<Option<(u32, u32)>> = sys
+        .top
+        .iter()
+        .map(|&t| problem.positions.interval(t))
+        .collect();
+    let ctx = SearchContext {
+        problem,
+        config,
+        has_position_constraints: slot_bounds.iter().any(|b| b.is_some()),
+        slot_bounds,
+        sys,
+        box_lo,
+        box_hi,
+        start,
+    };
+    let threads = config.threads.max(1);
+    let mut root_stats = SolverStats {
+        live_pairs: ctx.sys.pairs.len(),
+        threads,
+        ..SolverStats::default()
+    };
+    let mut scratch = WorkerScratch::new(&ctx);
+
+    // Root region feasibility + first incumbent. A numerically
+    // stuck Chebyshev LP falls back to a plain feasibility solve.
+    let root_region = ctx.region(&[]);
+    root_stats.lp_solves += 1;
+    let center = match chebyshev_center_with(&root_region, &mut scratch.lp) {
+        Ok(Some(c)) => c,
+        Ok(None) => return Err(SolverError::Infeasible),
+        Err(_) => {
+            root_stats.lp_solves += 1;
+            let sol = root_region.solve_feasibility_with(&mut scratch.lp)?;
+            if sol.status != Status::Optimal {
+                return Err(SolverError::Infeasible);
+            }
+            sol.x
+        }
+    };
+    let incumbent = SharedIncumbent::new(center.clone(), u64::MAX);
+    ctx.try_incumbent(&center, &incumbent, &mut root_stats);
+
+    if let Some(warm) = &config.warm_start {
+        if warm.len() == m
+            && problem.constraints.satisfied_by(warm)
+            && in_box(warm, &ctx.box_lo, &ctx.box_hi)
+        {
+            ctx.try_incumbent(warm, &incumbent, &mut root_stats);
+        }
+    }
+
+    // Start heuristic: deterministic random simplex points inside
+    // the box; good incumbents found here prune the tree everywhere.
+    if config.root_samples > 0 && incumbent.error() > 0 {
+        let mut state = 0x853c49e6748fea9bu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..config.root_samples {
+            // Dirichlet(1,…,1) point, projected into the box.
+            let mut w: Vec<f64> = (0..m).map(|_| -(next().max(1e-12)).ln()).collect();
+            let total: f64 = w.iter().sum();
+            for (j, x) in w.iter_mut().enumerate() {
+                *x = (*x / total).clamp(ctx.box_lo[j], ctx.box_hi[j]);
+            }
+            let resum: f64 = w.iter().sum();
+            if resum <= 0.0 {
+                continue;
+            }
+            // Re-normalize; box clipping can push the sum off 1.
+            let ok_after: bool = {
+                w.iter_mut().for_each(|x| *x /= resum);
+                in_box(&w, &ctx.box_lo, &ctx.box_hi)
+            };
+            if ok_after && problem.constraints.satisfied_by(&w) {
+                ctx.try_incumbent(&w, &incumbent, &mut root_stats);
+                if incumbent.error() == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Search.
+    let root = Node {
+        decisions: Vec::new(),
+        bound: interval_bound(
+            &ctx.sys,
+            &ctx.sys.fixed_beats,
+            &ctx.sys.undecided,
+            problem.objective,
+        ),
+    };
+    let proved = if incumbent.error() == 0 || root.bound >= incumbent.error() {
+        true
+    } else if threads <= 1 {
+        run_sequential(&ctx, root, &incumbent, &mut scratch)?
+    } else {
+        run_parallel(&ctx, root, &incumbent, threads, &mut root_stats)?
+    };
+    root_stats.merge(&scratch.stats);
+
+    root_stats.elapsed = start.elapsed();
+    let (best_err, best_w) = incumbent.into_best();
+    if best_err == u64::MAX {
+        // Only possible under position constraints: no sampled point
+        // satisfied the windows (and, if `proved`, none exists).
+        return Err(SolverError::Infeasible);
+    }
+    Ok(Solution {
+        weights: best_w,
+        error: best_err,
+        optimal: proved,
+        stats: root_stats,
+    })
+}
+
+/// Single-threaded driver: the classic loop, with the best-first
+/// early-termination proof (first pop whose bound reaches the incumbent
+/// proves optimality).
+fn run_sequential(
+    ctx: &SearchContext<'_>,
+    root: Node,
+    incumbent: &SharedIncumbent,
+    scratch: &mut WorkerScratch,
+) -> Result<bool, SolverError> {
+    let mut queue = LocalQueue::new(ctx.config.order);
+    queue.push(root);
+    loop {
+        let Some(node) = queue.pop() else {
+            return Ok(true);
+        };
+        if node.bound >= incumbent.error() {
+            if ctx.config.order == SearchOrder::BestFirst {
+                // Best-first: every remaining node is at least as bad.
+                return Ok(true);
+            }
+            continue;
+        }
+        if ctx.config.node_limit > 0 && scratch.stats.nodes >= ctx.config.node_limit {
+            return Ok(false);
+        }
+        if ctx.over_time_limit() {
+            return Ok(false);
+        }
+        scratch.stats.nodes += 1;
+        let children = ctx.expand(&node, incumbent, scratch)?;
+        if incumbent.error() == 0 {
+            return Ok(true);
+        }
+        for child in children {
+            queue.push(child);
+        }
+    }
+}
+
+/// Multi-threaded driver: per-worker frontiers with work-stealing
+/// handoff, a shared atomic incumbent, and exhaustion-based termination
+/// (pending count hits zero ⇒ every node was expanded or pruned ⇒
+/// optimality is proved).
+fn run_parallel(
+    ctx: &SearchContext<'_>,
+    root: Node,
+    incumbent: &SharedIncumbent,
+    threads: usize,
+    root_stats: &mut SolverStats,
+) -> Result<bool, SolverError> {
+    let pool = WorkPool::new(threads, ctx.config.order);
+    pool.push(0, root);
+    let stopped = AtomicBool::new(false); // a limit fired: no proof
+    let zero = AtomicBool::new(false); // error-0 incumbent: proof
+    let nodes_total = AtomicUsize::new(0);
+    let failure: Mutex<Option<SolverError>> = Mutex::new(None);
+
+    let worker_stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|wid| {
+                let pool = &pool;
+                let stopped = &stopped;
+                let zero = &zero;
+                let nodes_total = &nodes_total;
+                let failure = &failure;
+                scope.spawn(move || {
+                    let mut scratch = WorkerScratch::new(ctx);
+                    loop {
+                        if stopped.load(Ordering::SeqCst) || zero.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Some(node) = pool.pop(wid) else {
+                            if pool.pending() == 0 {
+                                break; // search space exhausted
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        if node.bound >= incumbent.error() {
+                            pool.finish_node();
+                            continue;
+                        }
+                        let limit = ctx.config.node_limit;
+                        if limit > 0 && nodes_total.fetch_add(1, Ordering::SeqCst) >= limit {
+                            stopped.store(true, Ordering::SeqCst);
+                            pool.finish_node();
+                            break;
+                        }
+                        if ctx.over_time_limit() {
+                            stopped.store(true, Ordering::SeqCst);
+                            pool.finish_node();
+                            break;
+                        }
+                        scratch.stats.nodes += 1;
+                        match ctx.expand(&node, incumbent, &mut scratch) {
+                            Ok(children) => {
+                                if incumbent.error() == 0 {
+                                    zero.store(true, Ordering::SeqCst);
+                                }
+                                for child in children {
+                                    pool.push(wid, child);
+                                }
+                            }
+                            Err(e) => {
+                                *failure.lock().unwrap() = Some(e);
+                                stopped.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        pool.finish_node();
+                    }
+                    scratch.stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    if let Some(e) = failure.into_inner().unwrap() {
+        return Err(e);
+    }
+    for s in &worker_stats {
+        root_stats.merge(s);
+    }
+    // Proof: an error-0 incumbent, or full exhaustion without any limit
+    // firing. (`pending == 0` also holds when `zero` raced ahead — both
+    // are valid proofs.)
+    Ok(zero.load(Ordering::SeqCst) || (!stopped.load(Ordering::SeqCst) && pool.pending() == 0))
+}
+
+pub(super) fn in_box(w: &[f64], lo: &[f64], hi: &[f64]) -> bool {
+    w.iter()
+        .zip(lo.iter().zip(hi))
+        .all(|(x, (l, h))| *x >= l - 1e-9 && *x <= h + 1e-9)
+}

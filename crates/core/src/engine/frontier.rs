@@ -1,0 +1,230 @@
+//! Search frontiers: node ordering, per-worker queues, and the
+//! work-stealing pool the parallel engine runs on.
+
+use super::SearchOrder;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrder};
+use std::sync::Mutex;
+
+/// One open subproblem: the indicator sides decided so far and the error
+/// lower bound inherited from its parent's classification.
+pub(super) struct Node {
+    /// `(pair index, side)` decisions along the path from the root.
+    pub decisions: Vec<(u32, bool)>,
+    /// Sound lower bound on any error attainable under these decisions.
+    pub bound: u64,
+}
+
+pub(super) struct HeapNode(pub Node);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound && self.0.decisions.len() == other.0.decisions.len()
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on bound; deeper nodes first among equals (plunge).
+        other
+            .0
+            .bound
+            .cmp(&self.0.bound)
+            .then_with(|| self.0.decisions.len().cmp(&other.0.decisions.len()))
+    }
+}
+
+/// A single worker's frontier: best-first (binary heap) or depth-first
+/// (stack), matching [`SearchOrder`].
+pub(super) enum LocalQueue {
+    Heap(BinaryHeap<HeapNode>),
+    Stack(Vec<Node>),
+}
+
+impl LocalQueue {
+    pub fn new(order: SearchOrder) -> Self {
+        match order {
+            SearchOrder::BestFirst => LocalQueue::Heap(BinaryHeap::new()),
+            SearchOrder::DepthFirst => LocalQueue::Stack(Vec::new()),
+        }
+    }
+
+    pub fn push(&mut self, node: Node) {
+        match self {
+            LocalQueue::Heap(h) => h.push(HeapNode(node)),
+            LocalQueue::Stack(s) => s.push(node),
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<Node> {
+        match self {
+            LocalQueue::Heap(h) => h.pop().map(|HeapNode(n)| n),
+            LocalQueue::Stack(s) => s.pop(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            LocalQueue::Heap(h) => h.len(),
+            LocalQueue::Stack(s) => s.len(),
+        }
+    }
+
+    /// Remove roughly half the queue (the half a thief takes). For the
+    /// heap this pops from the top, so the thief receives the *best*
+    /// bounds — handoff, not leftovers; the stack donates its oldest
+    /// (shallowest) nodes, the classic steal-from-the-bottom rule.
+    fn split_half(&mut self, out: &mut Vec<Node>) {
+        let take = self.len().div_ceil(2);
+        match self {
+            LocalQueue::Heap(h) => {
+                for _ in 0..take {
+                    if let Some(HeapNode(n)) = h.pop() {
+                        out.push(n);
+                    }
+                }
+            }
+            LocalQueue::Stack(s) => {
+                // Oldest nodes sit at the bottom of the stack.
+                out.extend(s.drain(..take));
+            }
+        }
+    }
+}
+
+/// Shared frontier pool: one mutex-guarded [`LocalQueue`] per worker and
+/// a global count of live nodes (queued + in flight) for termination
+/// detection.
+pub(super) struct WorkPool {
+    queues: Vec<Mutex<LocalQueue>>,
+    /// Nodes pushed but not yet fully processed. Zero ⇒ the search space
+    /// is exhausted and every worker may exit.
+    pending: AtomicUsize,
+}
+
+impl WorkPool {
+    pub fn new(workers: usize, order: SearchOrder) -> Self {
+        WorkPool {
+            queues: (0..workers)
+                .map(|_| Mutex::new(LocalQueue::new(order)))
+                .collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueue a node on `worker`'s own frontier.
+    pub fn push(&self, worker: usize, node: Node) {
+        self.pending.fetch_add(1, AtomicOrder::SeqCst);
+        self.queues[worker].lock().unwrap().push(node);
+    }
+
+    /// Dequeue for `worker`: own frontier first, then steal half of the
+    /// first non-empty victim's queue (handoff lands on the worker's own
+    /// frontier; one node is returned immediately).
+    pub fn pop(&self, worker: usize) -> Option<Node> {
+        if let Some(n) = self.queues[worker].lock().unwrap().pop() {
+            return Some(n);
+        }
+        let workers = self.queues.len();
+        let mut stolen: Vec<Node> = Vec::new();
+        for off in 1..workers {
+            let victim = (worker + off) % workers;
+            self.queues[victim].lock().unwrap().split_half(&mut stolen);
+            if !stolen.is_empty() {
+                break;
+            }
+        }
+        if stolen.is_empty() {
+            return None;
+        }
+        // Route the loot through the worker's own queue so the returned
+        // node respects the search order (best bound first on a heap).
+        let mut own = self.queues[worker].lock().unwrap();
+        for n in stolen {
+            own.push(n);
+        }
+        own.pop()
+    }
+
+    /// Mark one dequeued node as fully processed (its children, if any,
+    /// were already pushed).
+    pub fn finish_node(&self) {
+        self.pending.fetch_sub(1, AtomicOrder::SeqCst);
+    }
+
+    /// Live node count (queued + in flight).
+    pub fn pending(&self) -> usize {
+        self.pending.load(AtomicOrder::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(bound: u64, depth: usize) -> Node {
+        Node {
+            decisions: vec![(0, true); depth],
+            bound,
+        }
+    }
+
+    #[test]
+    fn heap_order_is_min_bound_then_depth() {
+        let mut q = LocalQueue::new(SearchOrder::BestFirst);
+        q.push(node(5, 0));
+        q.push(node(1, 0));
+        q.push(node(1, 3));
+        q.push(node(2, 1));
+        assert_eq!(q.pop().map(|n| (n.bound, n.decisions.len())), Some((1, 3)));
+        assert_eq!(q.pop().map(|n| (n.bound, n.decisions.len())), Some((1, 0)));
+        assert_eq!(q.pop().map(|n| n.bound), Some(2));
+        assert_eq!(q.pop().map(|n| n.bound), Some(5));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stack_order_is_lifo() {
+        let mut q = LocalQueue::new(SearchOrder::DepthFirst);
+        q.push(node(5, 0));
+        q.push(node(1, 1));
+        assert_eq!(q.pop().map(|n| n.bound), Some(1));
+        assert_eq!(q.pop().map(|n| n.bound), Some(5));
+    }
+
+    #[test]
+    fn stealing_hands_off_best_bounds() {
+        let pool = WorkPool::new(2, SearchOrder::BestFirst);
+        for b in [9u64, 3, 7, 1] {
+            pool.push(0, node(b, 0));
+        }
+        assert_eq!(pool.pending(), 4);
+        // Worker 1 owns nothing: it must steal — and receive the best
+        // bound from worker 0's heap.
+        let got = pool.pop(1).expect("steal succeeds");
+        assert_eq!(got.bound, 1);
+        // The other stolen node landed on worker 1's own queue.
+        let next = pool.pop(1).expect("handoff retained locally");
+        assert_eq!(next.bound, 3);
+        pool.finish_node();
+        pool.finish_node();
+        assert_eq!(pool.pending(), 2);
+    }
+
+    #[test]
+    fn pending_reaches_zero_on_exhaustion() {
+        let pool = WorkPool::new(3, SearchOrder::DepthFirst);
+        pool.push(1, node(0, 0));
+        let n = pool.pop(2).expect("steal across ring");
+        assert_eq!(n.bound, 0);
+        pool.finish_node();
+        assert_eq!(pool.pending(), 0);
+        assert!(pool.pop(0).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! The shared incumbent: best feasible solution found so far, readable
+//! lock-free from every worker's pruning test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Best `(error, weights)` pair across all workers. The error is
+/// mirrored in an atomic so the hot pruning path (`bound ≥ best`) never
+/// takes the lock; the mutex-guarded pair stays authoritative so a slow
+/// writer can never publish weights for a stale error.
+pub(super) struct SharedIncumbent {
+    best: Mutex<(u64, Vec<f64>)>,
+    err_cache: AtomicU64,
+}
+
+impl SharedIncumbent {
+    pub fn new(weights: Vec<f64>, error: u64) -> Self {
+        SharedIncumbent {
+            err_cache: AtomicU64::new(error),
+            best: Mutex::new((error, weights)),
+        }
+    }
+
+    /// Current best error (monotone non-increasing; may be one update
+    /// stale, which only ever makes pruning more conservative).
+    #[inline]
+    pub fn error(&self) -> u64 {
+        self.err_cache.load(Ordering::Acquire)
+    }
+
+    /// Offer a candidate; returns whether it became the new incumbent.
+    pub fn offer(&self, error: u64, weights: &[f64]) -> bool {
+        if error >= self.error() {
+            return false;
+        }
+        let mut best = self.best.lock().unwrap();
+        if error < best.0 {
+            best.0 = error;
+            best.1.clear();
+            best.1.extend_from_slice(weights);
+            self.err_cache.store(error, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Final `(error, weights)`.
+    pub fn into_best(self) -> (u64, Vec<f64>) {
+        self.best.into_inner().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offers_only_improve() {
+        let inc = SharedIncumbent::new(vec![0.5, 0.5], 10);
+        assert!(!inc.offer(10, &[0.0, 1.0]), "equal error rejected");
+        assert!(inc.offer(3, &[0.2, 0.8]));
+        assert_eq!(inc.error(), 3);
+        assert!(!inc.offer(5, &[0.9, 0.1]), "worse error rejected");
+        let (err, w) = inc.into_best();
+        assert_eq!(err, 3);
+        assert_eq!(w, vec![0.2, 0.8]);
+    }
+
+    #[test]
+    fn concurrent_offers_keep_the_minimum() {
+        let inc = std::sync::Arc::new(SharedIncumbent::new(vec![1.0], u64::MAX));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let inc = inc.clone();
+                scope.spawn(move || {
+                    for e in (t..200).step_by(8) {
+                        inc.offer(e, &[e as f64]);
+                    }
+                });
+            }
+        });
+        let inc = std::sync::Arc::into_inner(inc).unwrap();
+        let (err, w) = inc.into_best();
+        assert_eq!(err, 0);
+        assert_eq!(w, vec![0.0], "weights match the winning error");
+    }
+}

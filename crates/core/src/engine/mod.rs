@@ -1,0 +1,245 @@
+//! The RankHow exact solver: best-first branch-and-bound over indicator
+//! hyperplanes, sequential or multi-threaded.
+//!
+//! The paper hands Equation (2) to Gurobi and attributes the orders-of-
+//! magnitude advantage over the PTIME TREE algorithm to two things
+//! (Section III-B): the MILP solver reasons *holistically* about the
+//! whole program, and it passes information across branches (bounds,
+//! incumbents) instead of solving each arrangement cell in isolation.
+//! This engine supplies exactly those ingredients, specialized to OPT's
+//! geometry:
+//!
+//! - **search space**: nodes are partial side-assignments of indicator
+//!   hyperplanes, i.e. unions of arrangement cells — the same tree TREE
+//!   walks, but explored best-first instead of exhaustively;
+//! - **bounding** ([`bounds`]): per node, every undecided indicator is
+//!   classified against the node's weight box (Section IV-B interval
+//!   argument); each ranked tuple's attainable rank interval yields an
+//!   error lower bound; nodes that cannot beat the incumbent are pruned;
+//! - **incumbents** ([`incumbent`]): the Chebyshev center of each node's
+//!   region is evaluated exactly — a feasible solution whose error prunes
+//!   elsewhere, found long before any leaf is reached;
+//! - **optimality proof**: the search terminates with a proof when every
+//!   node has been expanded or pruned against the incumbent (with
+//!   best-first order and one thread, equivalently when the first popped
+//!   node cannot beat the incumbent).
+//!
+//! # Threading model
+//!
+//! [`SolverConfig::threads`] > 1 runs the same search on
+//! `std::thread::scope` workers: one frontier per worker with
+//! work-stealing handoff ([`frontier::WorkPool`]), a shared atomic
+//! incumbent every worker prunes against, and one reusable
+//! [`SimplexWorkspace`](rankhow_lp::SimplexWorkspace) per worker so the
+//! thousands of node LPs allocate nothing after warm-up. Pruning against
+//! the shared incumbent is sound in any interleaving (bounds are lower
+//! bounds regardless of who found the incumbent), so the parallel engine
+//! proves the same certified optimum the sequential one does — node and
+//! time limits aside, which remain best-effort in both.
+//!
+//! The engine optimizes Definition 4 directly (true position error under
+//! the tie tolerance `ε`); branching uses the `ε1`/`ε2` thresholds so
+//! every decided indicator is numerically trustworthy, exactly like the
+//! paper's MILP.
+
+mod bounds;
+#[allow(clippy::module_inception)]
+mod engine;
+mod frontier;
+mod incumbent;
+
+#[cfg(test)]
+pub(crate) use bounds::eval_in_system;
+
+use crate::{OptProblem, SymGdConfig};
+use rankhow_lp::SolveError;
+use std::time::Duration;
+
+/// Node exploration order (ablation: `BestFirst` is the "modern solver"
+/// behaviour; `DepthFirst` approximates naive backtracking).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchOrder {
+    /// Pop the node with the smallest error lower bound first.
+    #[default]
+    BestFirst,
+    /// LIFO plunging without global ordering.
+    DepthFirst,
+}
+
+/// Number of worker threads the engine uses by default: the machine's
+/// available parallelism (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Abort after expanding this many nodes (0 = unlimited).
+    pub node_limit: usize,
+    /// Wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Restrict the search to a weight box (SYM-GD cells).
+    pub initial_box: Option<(Vec<f64>, Vec<f64>)>,
+    /// Warm-start incumbent (e.g. an ordinal-regression seed).
+    pub warm_start: Option<Vec<f64>>,
+    /// Node exploration order.
+    pub order: SearchOrder,
+    /// Evaluate a Chebyshev-center incumbent at every node (disable for
+    /// the ablation bench).
+    pub incumbent_sampling: bool,
+    /// Random simplex points evaluated at the root as heuristic
+    /// incumbents (what commercial MILP solvers call a "start
+    /// heuristic"). Deterministic; 0 disables.
+    pub root_samples: usize,
+    /// Worker threads for the search ([`default_threads`] by default;
+    /// values ≤ 1 run the sequential engine).
+    ///
+    /// Reproducibility: the proved optimal **error** is identical at any
+    /// thread count, but with > 1 worker the returned **weight vector**
+    /// may differ run-to-run — scheduling decides which error-equal
+    /// incumbent is found first. Set `threads: 1` where bit-identical
+    /// output matters (the figure/table reproduction binaries do).
+    pub threads: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            node_limit: 500_000,
+            time_limit: None,
+            initial_box: None,
+            warm_start: None,
+            order: SearchOrder::BestFirst,
+            incumbent_sampling: true,
+            root_samples: 512,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// Search statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SolverStats {
+    /// Nodes expanded (summed across workers).
+    pub nodes: usize,
+    /// LP solves (feasibility + tightening + centers).
+    pub lp_solves: usize,
+    /// Incumbent improvements.
+    pub incumbents: usize,
+    /// Live indicator pairs after root constant-folding.
+    pub live_pairs: usize,
+    /// Worker threads the search actually ran with.
+    pub threads: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl SolverStats {
+    /// Fold a worker's counters into the totals.
+    fn merge(&mut self, other: &SolverStats) {
+        self.nodes += other.nodes;
+        self.lp_solves += other.lp_solves;
+        self.incumbents += other.incumbents;
+    }
+}
+
+/// A solved OPT instance.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The synthesized weight vector (on the simplex, constraints
+    /// satisfied).
+    pub weights: Vec<f64>,
+    /// Its objective value — Definition 3 position error for the default
+    /// [`ErrorMeasure::Position`](rankhow_ranking::ErrorMeasure), the
+    /// configured measure otherwise.
+    pub error: u64,
+    /// Whether optimality was proved (false when a node or time limit
+    /// was hit).
+    ///
+    /// The proof covers the ε1/ε2-**certified** weight space — the same
+    /// space the paper's Equation (2) MILP searches. Weight vectors with
+    /// a pair score difference strictly inside the `(ε2, ε1)` safety gap
+    /// are excluded from the proof, mirroring the false-negative caveat
+    /// of Section V-A (choosing τ̂ too large "eliminates the range …
+    /// from the solution space"). The *incumbent* itself may come from
+    /// that band (sampling evaluates true Definition 2 error), so the
+    /// reported solution can be strictly better than the certified
+    /// optimum; see [`crate::verify::gap_band_pairs`].
+    pub optimal: bool,
+    /// Search statistics.
+    pub stats: SolverStats,
+}
+
+/// Solver failures.
+#[derive(Debug)]
+pub enum SolverError {
+    /// The weight predicate (plus box) admits no weight vector.
+    Infeasible,
+    /// The underlying LP solver failed numerically.
+    Lp(SolveError),
+    /// The solver does not encode position-window constraints (only the
+    /// specialized [`RankHow`] branch-and-bound does).
+    PositionsUnsupported,
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "weight constraints are infeasible"),
+            SolverError::Lp(e) => write!(f, "lp failure: {e}"),
+            SolverError::PositionsUnsupported => {
+                write!(f, "position constraints are not supported by this solver")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<SolveError> for SolverError {
+    fn from(e: SolveError) -> Self {
+        SolverError::Lp(e)
+    }
+}
+
+/// The RankHow exact solver.
+#[derive(Clone, Debug, Default)]
+pub struct RankHow {
+    config: SolverConfig,
+}
+
+impl RankHow {
+    /// Solver with default configuration.
+    pub fn new() -> Self {
+        RankHow::default()
+    }
+
+    /// Solver with explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        RankHow { config }
+    }
+
+    /// Configuration used by [`crate::SymGd`] for cell-restricted solves.
+    pub(crate) fn for_cell(lo: Vec<f64>, hi: Vec<f64>, sym: &SymGdConfig) -> Self {
+        RankHow {
+            config: SolverConfig {
+                initial_box: Some((lo, hi)),
+                node_limit: sym.cell_node_limit,
+                time_limit: sym.cell_time_limit,
+                threads: sym.threads,
+                ..SolverConfig::default()
+            },
+        }
+    }
+
+    /// Solve OPT exactly (or to the configured limits).
+    pub fn solve(&self, problem: &OptProblem) -> Result<Solution, SolverError> {
+        engine::solve(problem, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,432 @@
+use super::engine::in_box;
+use super::*;
+use crate::formulation;
+use crate::WeightConstraints;
+use rankhow_data::Dataset;
+use rankhow_ranking::GivenRanking;
+
+fn problem_from(rows: Vec<Vec<f64>>, positions: Vec<Option<u32>>) -> OptProblem {
+    let m = rows[0].len();
+    let names = (0..m).map(|i| format!("A{i}")).collect();
+    let data = Dataset::from_rows(names, rows).unwrap();
+    let given = GivenRanking::from_positions(positions).unwrap();
+    OptProblem::new(data, given).unwrap()
+}
+
+#[test]
+fn example4_solved_to_zero() {
+    let p = problem_from(
+        vec![
+            vec![3.0, 2.0, 8.0],
+            vec![4.0, 1.0, 15.0],
+            vec![1.0, 1.0, 14.0],
+        ],
+        vec![Some(1), Some(2), None],
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert_eq!(sol.error, 0);
+    assert!(sol.optimal);
+    assert_eq!(p.evaluate(&sol.weights), 0);
+    let sum: f64 = sol.weights.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn example3_finds_perfect_function_where_regression_fails() {
+    // The 5-tuple dataset of Example 3: regression errs by 4,
+    // RankHow must reach 0.
+    let p = problem_from(
+        vec![
+            vec![1.0, 10000.0],
+            vec![2.0, 1000.0],
+            vec![5.0, 1.0],
+            vec![4.0, 10.0],
+            vec![3.0, 100.0],
+        ],
+        vec![Some(1), Some(2), Some(3), Some(4), Some(5)],
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert_eq!(sol.error, 0, "weights {:?}", sol.weights);
+    assert!(sol.optimal);
+}
+
+#[test]
+fn impossible_instance_gets_optimal_nonzero_error() {
+    // Two tuples with identical attributes but distinct required
+    // positions: no function can split them (they always tie), so
+    // the optimum is error 1 (both rank 1: |1−1| + |2−1|).
+    let p = problem_from(
+        vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]],
+        vec![Some(1), Some(2), None],
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert_eq!(sol.error, 1);
+    assert!(sol.optimal);
+}
+
+#[test]
+fn reversal_requires_error() {
+    // Ranking is the reverse of every attribute's order: tuple 0
+    // (all-smallest) must be first. Any simplex weight ranks tuple 0
+    // last among the three. Optimal error is forced.
+    let p = problem_from(
+        vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]],
+        vec![Some(1), Some(2), Some(3)],
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    // Scores are fully ordered: ranks become [3,2,1], error =
+    // |1−3| + |2−2| + |3−1| = 4. (Ties could do better only if
+    // allowed — with ε = 0 and distinct rows, ties need exact
+    // equality which weights can achieve: w s.t. both coords equal
+    // ... all rows are multiples: any w gives scores 0 < s1 < s2.)
+    assert_eq!(sol.error, 4);
+    assert!(sol.optimal);
+}
+
+#[test]
+fn weight_constraints_respected() {
+    let p = problem_from(
+        vec![
+            vec![3.0, 2.0, 8.0],
+            vec![4.0, 1.0, 15.0],
+            vec![1.0, 1.0, 14.0],
+        ],
+        vec![Some(1), Some(2), None],
+    );
+    // Example-1 style: force substantial weight on attribute 0.
+    let p = p
+        .with_constraints(WeightConstraints::none().min_weight(0, 0.3))
+        .unwrap();
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert!(sol.weights[0] >= 0.3 - 1e-6);
+    assert!(sol.optimal);
+    assert_eq!(p.evaluate(&sol.weights), sol.error);
+}
+
+#[test]
+fn infeasible_constraints_detected() {
+    let p = problem_from(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![Some(1), Some(2)]);
+    let p = p
+        .with_constraints(
+            WeightConstraints::none()
+                .min_weight(0, 0.8)
+                .max_weight(0, 0.1),
+        )
+        .unwrap();
+    assert!(matches!(
+        RankHow::new().solve(&p),
+        Err(SolverError::Infeasible)
+    ));
+}
+
+#[test]
+fn warm_start_adopted_when_feasible() {
+    let p = problem_from(
+        vec![
+            vec![3.0, 2.0, 8.0],
+            vec![4.0, 1.0, 15.0],
+            vec![1.0, 1.0, 14.0],
+        ],
+        vec![Some(1), Some(2), None],
+    );
+    // Example 5's star: small w1, large w2, tiny w3.
+    let cfg = SolverConfig {
+        warm_start: Some(vec![0.1, 0.85, 0.05]),
+        ..SolverConfig::default()
+    };
+    let sol = RankHow::with_config(cfg).solve(&p).unwrap();
+    assert_eq!(sol.error, 0);
+}
+
+#[test]
+fn depth_first_reaches_same_optimum() {
+    let p = problem_from(
+        vec![
+            vec![5.0, 1.0],
+            vec![4.0, 2.0],
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 3.0],
+        ],
+        vec![Some(1), Some(2), Some(3), None, None],
+    );
+    let best = RankHow::new().solve(&p).unwrap();
+    let dfs = RankHow::with_config(SolverConfig {
+        order: SearchOrder::DepthFirst,
+        ..SolverConfig::default()
+    })
+    .solve(&p)
+    .unwrap();
+    assert_eq!(best.error, dfs.error);
+    assert!(best.optimal && dfs.optimal);
+}
+
+#[test]
+fn single_and_multi_threaded_prove_same_error() {
+    let p = problem_from(
+        vec![
+            vec![5.0, 1.0, 2.0],
+            vec![4.0, 2.0, 1.0],
+            vec![1.0, 5.0, 3.0],
+            vec![2.0, 4.0, 5.0],
+            vec![3.0, 3.0, 4.0],
+        ],
+        vec![Some(1), Some(2), Some(3), None, None],
+    );
+    let seq = RankHow::with_config(SolverConfig {
+        threads: 1,
+        ..SolverConfig::default()
+    })
+    .solve(&p)
+    .unwrap();
+    for threads in [2usize, 4] {
+        let par = RankHow::with_config(SolverConfig {
+            threads,
+            ..SolverConfig::default()
+        })
+        .solve(&p)
+        .unwrap();
+        assert!(par.optimal, "{threads} threads must prove optimality");
+        assert_eq!(par.error, seq.error, "{threads} threads");
+        assert_eq!(p.evaluate(&par.weights), par.error);
+        assert_eq!(par.stats.threads, threads);
+    }
+}
+
+#[test]
+fn parallel_depth_first_agrees_too() {
+    let p = problem_from(
+        vec![
+            vec![5.0, 1.0],
+            vec![4.0, 2.0],
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 3.0],
+        ],
+        vec![Some(1), Some(2), Some(3), None, None],
+    );
+    let seq = RankHow::with_config(SolverConfig {
+        threads: 1,
+        ..SolverConfig::default()
+    })
+    .solve(&p)
+    .unwrap();
+    let par = RankHow::with_config(SolverConfig {
+        threads: 3,
+        order: SearchOrder::DepthFirst,
+        ..SolverConfig::default()
+    })
+    .solve(&p)
+    .unwrap();
+    assert!(par.optimal);
+    assert_eq!(par.error, seq.error);
+}
+
+#[test]
+fn parallel_respects_infeasible_constraints() {
+    let p = problem_from(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![Some(1), Some(2)]);
+    let p = p
+        .with_constraints(
+            WeightConstraints::none()
+                .min_weight(0, 0.8)
+                .max_weight(0, 0.1),
+        )
+        .unwrap();
+    let cfg = SolverConfig {
+        threads: 4,
+        ..SolverConfig::default()
+    };
+    assert!(matches!(
+        RankHow::with_config(cfg).solve(&p),
+        Err(SolverError::Infeasible)
+    ));
+}
+
+#[test]
+fn node_limit_yields_unproved_solution() {
+    // Anti-correlated data with many ranked tuples → deep tree; a tiny
+    // node limit must abort without an optimality claim but still
+    // return the best incumbent.
+    let rows: Vec<Vec<f64>> = (0..10)
+        .map(|i| vec![i as f64, (10 - i) as f64, ((i * 3) % 7) as f64])
+        .collect();
+    let scores: Vec<f64> = rows.iter().map(|r| r[0] * 0.4 + r[2]).collect();
+    let given = GivenRanking::from_scores(&scores, 6, 0.0).unwrap();
+    let names = vec!["a".into(), "b".into(), "c".into()];
+    let data = Dataset::from_rows(names, rows).unwrap();
+    let p = OptProblem::new(data, given).unwrap();
+    for threads in [1usize, 4] {
+        let sol = RankHow::with_config(SolverConfig {
+            node_limit: 1,
+            root_samples: 0,
+            incumbent_sampling: false,
+            threads,
+            ..SolverConfig::default()
+        })
+        .solve(&p)
+        .unwrap();
+        // With one node and no sampling, only the root center exists;
+        // optimality cannot have been proved unless the bound closed.
+        assert!(sol.error > 0 || !sol.optimal || sol.stats.nodes <= 1);
+    }
+}
+
+#[test]
+fn box_restriction_limits_search() {
+    let p = problem_from(
+        vec![
+            vec![3.0, 2.0, 8.0],
+            vec![4.0, 1.0, 15.0],
+            vec![1.0, 1.0, 14.0],
+        ],
+        vec![Some(1), Some(2), None],
+    );
+    // A box around the known-good region: still solves to 0.
+    let cfg = SolverConfig {
+        initial_box: Some((vec![0.0, 0.6, 0.0], vec![0.3, 1.0, 0.2])),
+        ..SolverConfig::default()
+    };
+    let sol = RankHow::with_config(cfg).solve(&p).unwrap();
+    assert_eq!(sol.error, 0);
+    assert!(in_box(&sol.weights, &[0.0, 0.6, 0.0], &[0.3, 1.0, 0.2]));
+    // A box far from it: error must be worse.
+    let cfg_bad = SolverConfig {
+        initial_box: Some((vec![0.8, 0.0, 0.0], vec![1.0, 0.1, 0.1])),
+        ..SolverConfig::default()
+    };
+    let sol_bad = RankHow::with_config(cfg_bad).solve(&p).unwrap();
+    assert!(sol_bad.error > 0);
+}
+
+#[test]
+fn eval_in_system_matches_problem_evaluate() {
+    let p = problem_from(
+        vec![
+            vec![2.0, 7.0, 1.0],
+            vec![6.0, 2.0, 3.0],
+            vec![4.0, 4.0, 4.0],
+            vec![1.0, 1.0, 9.0],
+        ],
+        vec![Some(1), Some(2), Some(3), None],
+    );
+    let sys = formulation::reduce_global(&p);
+    for w in [
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.3, 0.3, 0.4],
+        [0.5, 0.25, 0.25],
+    ] {
+        assert_eq!(
+            eval_in_system(&sys, &w, p.tol.eps),
+            p.evaluate(&w),
+            "w = {w:?}"
+        );
+    }
+}
+
+#[test]
+fn position_pin_enforced() {
+    // Unconstrained optimum ranks tuple 0 first (achievable with
+    // w0 > w1); pinning tuple 1 to position 1 forces a different
+    // region.
+    let p = problem_from(
+        vec![
+            vec![5.0, 1.0],
+            vec![1.0, 5.0],
+            vec![3.0, 3.0],
+            vec![0.5, 0.5],
+        ],
+        vec![Some(1), Some(3), Some(2), None],
+    );
+    let free = RankHow::new().solve(&p).unwrap();
+    assert_eq!(free.error, 0);
+    let pinned = p
+        .clone()
+        .with_positions(crate::PositionConstraints::none().pin(1, 1))
+        .unwrap();
+    let sol = RankHow::new().solve(&pinned).unwrap();
+    // Tuple 1 realized rank must be 1 even at an error cost.
+    let scores = rankhow_ranking::scores_f64(pinned.data.features(), &sol.weights);
+    assert_eq!(rankhow_ranking::rank_of_in(&scores, 1, pinned.tol.eps), 1);
+    assert!(sol.error >= free.error);
+}
+
+#[test]
+fn position_window_infeasible_detected() {
+    // Tuple 1 dominates tuple 0 everywhere, so tuple 0 can never be
+    // rank 1: pinning it must come back infeasible.
+    let p = problem_from(
+        vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![0.0, 0.0]],
+        vec![Some(1), Some(2), None],
+    );
+    let pinned = p
+        .with_positions(crate::PositionConstraints::none().pin(0, 1))
+        .unwrap();
+    assert!(matches!(
+        RankHow::new().solve(&pinned),
+        Err(SolverError::Infeasible)
+    ));
+}
+
+#[test]
+fn position_displacement_band() {
+    let p = problem_from(
+        vec![
+            vec![5.0, 1.0],
+            vec![4.0, 2.0],
+            vec![3.0, 3.0],
+            vec![2.0, 4.0],
+            vec![1.0, 5.0],
+        ],
+        vec![Some(5), Some(4), Some(3), Some(2), Some(1)],
+    );
+    // The given ranking reverses every attribute order — large error
+    // unavoidable, but the band keeps each tuple within ±2.
+    let banded = p
+        .clone()
+        .with_positions(crate::PositionConstraints::none().max_displacement(&p.given, 2))
+        .unwrap();
+    match RankHow::new().solve(&banded) {
+        Ok(sol) => {
+            let scores = rankhow_ranking::scores_f64(banded.data.features(), &sol.weights);
+            for &t in banded.given.top_k() {
+                let r = rankhow_ranking::rank_of_in(&scores, t, banded.tol.eps);
+                let pi = banded.given.position(t).unwrap();
+                assert!(
+                    (pi as i64 - r as i64).unsigned_abs() <= 2,
+                    "tuple {t}: rank {r} vs π {pi}"
+                );
+            }
+        }
+        Err(SolverError::Infeasible) => {} // also a valid proof
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+#[test]
+fn position_constraint_on_unranked_rejected() {
+    let p = problem_from(
+        vec![vec![1.0], vec![2.0], vec![3.0]],
+        vec![Some(1), Some(2), None],
+    );
+    assert!(p
+        .with_positions(crate::PositionConstraints::none().pin(2, 1))
+        .is_err());
+}
+
+#[test]
+fn stats_are_meaningful() {
+    let p = problem_from(
+        vec![
+            vec![5.0, 1.0],
+            vec![1.0, 5.0],
+            vec![4.0, 2.0],
+            vec![2.0, 4.0],
+        ],
+        vec![Some(1), Some(2), None, None],
+    );
+    let sol = RankHow::new().solve(&p).unwrap();
+    assert!(sol.stats.lp_solves >= 1);
+    assert!(sol.stats.incumbents >= 1);
+    assert!(sol.stats.threads >= 1);
+}

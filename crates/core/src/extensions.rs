@@ -32,7 +32,7 @@ pub fn require_order(
     eps1: f64,
 ) -> WeightConstraints {
     let coefs: Vec<(usize, f64)> = (0..data.m())
-        .map(|j| (j, data.row(above)[j] - data.row(below)[j]))
+        .map(|j| (j, data.value(above, j) - data.value(below, j)))
         .collect();
     constraints.geq(coefs, eps1)
 }
@@ -84,7 +84,7 @@ pub fn window_ranking(
 /// on inversions, including variations that assign a greater penalty to
 /// errors higher in the ranking").
 pub fn evaluate_measure(problem: &OptProblem, weights: &[f64], measure: ErrorMeasure) -> u64 {
-    let scores = scores_f64(problem.data.rows(), weights);
+    let scores = scores_f64(problem.data.features(), weights);
     let ranks = score_ranks(&scores, problem.tol.eps);
     error_by_measure(measure, &problem.given, &ranks)
 }
@@ -160,7 +160,7 @@ mod tests {
             .with_constraints(require_first(WeightConstraints::none(), &base, 1))
             .unwrap();
         let sol = RankHow::new().solve(&constrained).unwrap();
-        let scores = scores_f64(base.data.rows(), &sol.weights);
+        let scores = scores_f64(base.data.features(), &sol.weights);
         let ranks = score_ranks(&scores, base.tol.eps);
         assert_eq!(ranks[1], 1, "tuple 1 pinned to position 1");
     }

@@ -20,16 +20,16 @@ use crate::{OptProblem, WeightConstraints};
 use rankhow_lp::{Op, Sense, VarId};
 use rankhow_milp::MilpProblem;
 
-/// An undecided indicator pair: tuple `s` versus ranked tuple at `slot`,
-/// with the precomputed difference vector `s.A − r.A`.
-#[derive(Clone, Debug)]
+/// An undecided indicator pair: tuple `s` versus ranked tuple at `slot`.
+/// Its difference vector lives in the system's flat
+/// [`ReducedSystem::diff`] store (columnar-refactor: one contiguous
+/// allocation instead of one `Vec` per pair).
+#[derive(Clone, Copy, Debug)]
 pub struct PairH {
     /// Index of the challenger tuple `s`.
     pub s: usize,
     /// Slot (into [`ReducedSystem::top`]) of the ranked tuple `r`.
     pub slot: usize,
-    /// `diff_j = s.A_j − r.A_j`.
-    pub diff: Vec<f64>,
 }
 
 /// OPT after constant-folding every indicator that a weight box decides.
@@ -43,12 +43,26 @@ pub struct ReducedSystem {
     pub fixed_beats: Vec<u32>,
     /// Per slot: number of undecided challengers.
     pub undecided: Vec<u32>,
-    /// The undecided pairs.
+    /// The undecided pairs (difference vectors in [`ReducedSystem::diff`]).
     pub pairs: Vec<PairH>,
+    /// Flat difference storage: pair `i`'s `diff_j = s.A_j − r.A_j`
+    /// occupies `diffs[i·m .. (i+1)·m]`. Contiguous so the node-loop dot
+    /// products stream one allocation.
+    diffs: Vec<f64>,
+    /// Attribute count (row stride of `diffs`).
+    m: usize,
     /// The box the reduction was performed against.
     pub box_lo: Vec<f64>,
     /// Upper corner of the box.
     pub box_hi: Vec<f64>,
+}
+
+impl ReducedSystem {
+    /// Difference vector of pair `idx` (`s.A − r.A`, length `m`).
+    #[inline]
+    pub fn diff(&self, idx: usize) -> &[f64] {
+        &self.diffs[idx * self.m..(idx + 1) * self.m]
+    }
 }
 
 /// Minimum of `c·w` over `{lo ≤ w ≤ hi, Σw = 1}` — fractional knapsack.
@@ -119,7 +133,7 @@ pub fn classify(diff: &[f64], lo: &[f64], hi: &[f64], eps: f64) -> PairClass {
 /// ones, so it is safe at the paper's `n = 10⁶` scale: memory is
 /// `O(undecided)`.
 pub fn reduce_against_box(problem: &OptProblem, lo: &[f64], hi: &[f64]) -> ReducedSystem {
-    let rows = problem.data.rows();
+    let features = problem.data.features();
     let given = &problem.given;
     let eps = problem.tol.eps;
     let top: Vec<usize> = given.top_k().to_vec();
@@ -127,27 +141,36 @@ pub fn reduce_against_box(problem: &OptProblem, lo: &[f64], hi: &[f64]) -> Reduc
     let mut fixed_beats = vec![0u32; top.len()];
     let mut undecided = vec![0u32; top.len()];
     let mut pairs = Vec::new();
+    let mut diffs = Vec::new();
+    let n = problem.n();
     let m = problem.m();
-    let mut diff = vec![0.0f64; m];
+    // Challenger rows are processed in blocks: the batched kernel fills a
+    // block of difference vectors one *column* at a time (each source
+    // column read contiguously), then each diff is classified.
+    const BLOCK: usize = 128;
+    let mut block_ids: Vec<usize> = Vec::with_capacity(BLOCK);
+    let mut block_buf = vec![0.0f64; BLOCK * m];
     for (slot, &r) in top.iter().enumerate() {
-        let row_r = &rows[r];
-        for (s, row_s) in rows.iter().enumerate() {
-            if s == r {
-                continue;
+        let mut s = 0usize;
+        while s < n {
+            block_ids.clear();
+            while s < n && block_ids.len() < BLOCK {
+                if s != r {
+                    block_ids.push(s);
+                }
+                s += 1;
             }
-            for j in 0..m {
-                diff[j] = row_s[j] - row_r[j];
-            }
-            match classify(&diff, lo, hi, eps) {
-                PairClass::AlwaysBeats => fixed_beats[slot] += 1,
-                PairClass::NeverBeats => {}
-                PairClass::Undecided => {
-                    undecided[slot] += 1;
-                    pairs.push(PairH {
-                        s,
-                        slot,
-                        diff: diff.clone(),
-                    });
+            features.block_diffs_into(&block_ids, r, &mut block_buf);
+            for (b, &sid) in block_ids.iter().enumerate() {
+                let diff = &block_buf[b * m..(b + 1) * m];
+                match classify(diff, lo, hi, eps) {
+                    PairClass::AlwaysBeats => fixed_beats[slot] += 1,
+                    PairClass::NeverBeats => {}
+                    PairClass::Undecided => {
+                        undecided[slot] += 1;
+                        pairs.push(PairH { s: sid, slot });
+                        diffs.extend_from_slice(diff);
+                    }
                 }
             }
         }
@@ -158,6 +181,8 @@ pub fn reduce_against_box(problem: &OptProblem, lo: &[f64], hi: &[f64]) -> Reduc
         fixed_beats,
         undecided,
         pairs,
+        diffs,
+        m,
         box_lo: lo.to_vec(),
         box_hi: hi.to_vec(),
     }
@@ -255,10 +280,11 @@ pub fn build_milp(problem: &OptProblem, system: &ReducedSystem) -> (MilpProblem,
         .enumerate()
         .map(|(i, _)| milp.add_binary(&format!("d{i}"), 0.0))
         .collect();
-    for (pair, &d) in system.pairs.iter().zip(&delta) {
-        let terms: Vec<(VarId, f64)> = (0..m).map(|j| (w[j], pair.diff[j])).collect();
+    for (idx, &d) in delta.iter().enumerate() {
+        let diff = system.diff(idx);
+        let terms: Vec<(VarId, f64)> = (0..m).map(|j| (w[j], diff[j])).collect();
         // |diff·w| ≤ max_j |diff_j| over the simplex: a tight big-M.
-        let reach = pair.diff.iter().fold(0.0f64, |a, d| a.max(d.abs()));
+        let reach = diff.iter().fold(0.0f64, |a, d| a.max(d.abs()));
         let big_m = reach + problem.tol.eps1.abs() + 1.0;
         milp.add_indicator_ge(d, &terms, problem.tol.eps1, big_m);
         milp.add_indicator_le(d, &terms, problem.tol.eps2, big_m);
@@ -334,15 +360,16 @@ fn apply_weight_constraints(milp: &mut MilpProblem, wc: &WeightConstraints, w: &
 /// The indicator hyperplanes of an instance (for geometry examples and
 /// Fig. 1/2 reproduction): `(s, r, diff)` per pair.
 pub fn indicator_hyperplanes(problem: &OptProblem) -> Vec<(usize, usize, Vec<f64>)> {
-    let rows = problem.data.rows();
+    let features = problem.data.features();
     let mut out = Vec::new();
+    let mut diff = vec![0.0; features.m()];
     for &r in problem.given.top_k() {
-        for s in 0..rows.len() {
+        for s in 0..features.n() {
             if s == r {
                 continue;
             }
-            let diff: Vec<f64> = rows[s].iter().zip(&rows[r]).map(|(a, b)| a - b).collect();
-            out.push((s, r, diff));
+            features.row_diff_into(s, r, &mut diff);
+            out.push((s, r, diff.clone()));
         }
     }
     out
@@ -422,9 +449,9 @@ mod tests {
         // (s − t)·w = min(3, 0, 1) = 0, not > ε: stays undecided under
         // strict classification. The pairs that survive must include all
         // straddling ones.
-        for pair in &sys.pairs {
-            let l = box_simplex_min(&pair.diff, &sys.box_lo, &sys.box_hi).unwrap();
-            let h = box_simplex_max(&pair.diff, &sys.box_lo, &sys.box_hi).unwrap();
+        for idx in 0..sys.pairs.len() {
+            let l = box_simplex_min(sys.diff(idx), &sys.box_lo, &sys.box_hi).unwrap();
+            let h = box_simplex_max(sys.diff(idx), &sys.box_lo, &sys.box_hi).unwrap();
             assert!(l <= problem.tol.eps && h > problem.tol.eps);
         }
     }

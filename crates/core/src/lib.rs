@@ -30,19 +30,21 @@
 
 #![warn(missing_docs)]
 
+mod engine;
 pub mod extensions;
 pub mod formulation;
 mod positions;
 mod problem;
 mod satsearch;
 pub mod seeding;
-mod solver;
 mod symgd;
 pub mod verify;
 
+pub use engine::{
+    default_threads, RankHow, SearchOrder, Solution, SolverConfig, SolverError, SolverStats,
+};
 pub use positions::PositionConstraints;
 pub use problem::{OptProblem, ProblemError, WeightConstraints};
 pub use rankhow_ranking::{ErrorMeasure, Tolerances};
 pub use satsearch::{ProbeRecord, SatSearch, SatSearchConfig, SatSearchResult};
-pub use solver::{RankHow, SearchOrder, Solution, SolverConfig, SolverError, SolverStats};
 pub use symgd::{SymGd, SymGdConfig, SymGdResult, SymGdStep};

@@ -240,7 +240,7 @@ impl OptProblem {
     /// `None` otherwise.
     pub fn evaluate_constrained(&self, weights: &[f64]) -> Option<u64> {
         if !self.positions.is_empty() {
-            let scores = rankhow_ranking::scores_f64(self.data.rows(), weights);
+            let scores = rankhow_ranking::scores_f64(self.data.features(), weights);
             let ok = self
                 .positions
                 .satisfied(|t| rankhow_ranking::rank_of_in(&scores, t, self.tol.eps));
@@ -282,7 +282,7 @@ impl OptProblem {
     /// Position error of a weight vector (Definition 3 under `ε`),
     /// regardless of the configured [`OptProblem::objective`].
     pub fn evaluate(&self, weights: &[f64]) -> u64 {
-        rankhow_ranking::evaluate_weights(self.data.rows(), &self.given, weights, self.tol.eps)
+        rankhow_ranking::evaluate_weights(self.data.features(), &self.given, weights, self.tol.eps)
     }
 
     /// Value of the configured objective for a weight vector. Equals
@@ -292,7 +292,7 @@ impl OptProblem {
         if self.objective == ErrorMeasure::Position {
             return self.evaluate(weights);
         }
-        let scores = rankhow_ranking::scores_f64(self.data.rows(), weights);
+        let scores = rankhow_ranking::scores_f64(self.data.features(), weights);
         let ranks = rankhow_ranking::score_ranks(&scores, self.tol.eps);
         rankhow_ranking::error_by_measure(self.objective, &self.given, &ranks)
     }

@@ -18,8 +18,8 @@
 //! sequence of isolated satisfiability questions (see the ablation
 //! bench).
 
+use crate::engine::SolverError;
 use crate::formulation::{self, ReducedSystem};
-use crate::solver::SolverError;
 use crate::OptProblem;
 use rankhow_lp::Op;
 use rankhow_milp::{BnbConfig, MilpStatus};

@@ -14,7 +14,7 @@ use rankhow_baselines::{linear_regression, project_to_simplex, Instance};
 
 /// Ordinal-regression seed (the paper's default).
 pub fn ordinal_seed(problem: &OptProblem) -> Vec<f64> {
-    let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+    let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
     let cfg = OrdinalConfig {
         gap: problem.tol.eps1,
         tie_band: problem.tol.eps2.max(0.0),
@@ -26,7 +26,7 @@ pub fn ordinal_seed(problem: &OptProblem) -> Vec<f64> {
 
 /// Linear-regression seed (weights projected onto the simplex).
 pub fn linear_regression_seed(problem: &OptProblem) -> Vec<f64> {
-    let inst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+    let inst = Instance::new(problem.data.features(), &problem.given, problem.tol);
     let fitted = linear_regression::fit(&inst, linear_regression::Variant::Default);
     project_to_simplex(&fitted.weights)
 }

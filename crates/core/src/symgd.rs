@@ -17,7 +17,7 @@
 //! inner loop stalls in a local optimum, trading time for the chance to
 //! escape — the paper uses it whenever a total timeout is given.
 
-use crate::solver::{RankHow, SolverError};
+use crate::engine::{RankHow, SolverError};
 use crate::OptProblem;
 use std::time::{Duration, Instant};
 
@@ -38,6 +38,11 @@ pub struct SymGdConfig {
     pub cell_node_limit: usize,
     /// Time limit per cell solve.
     pub cell_time_limit: Option<Duration>,
+    /// Worker threads for each cell's branch-and-bound. Defaults to 1:
+    /// cell solves are small and SYM-GD's outer loop is sequential, so
+    /// oversubscribing every cell usually loses to the constant-folding
+    /// savings. Raise it for large cells / coarse grids.
+    pub threads: usize,
 }
 
 impl Default for SymGdConfig {
@@ -53,6 +58,7 @@ impl Default for SymGdConfig {
             // the loop stops), so an unbounded exact solve would burn
             // the whole node budget proving local optimality.
             cell_time_limit: Some(Duration::from_secs(10)),
+            threads: 1,
         }
     }
 }

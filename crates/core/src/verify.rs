@@ -25,7 +25,7 @@ pub struct VerificationReport {
 /// configured objective. Returns `None` when inputs are not finite
 /// (cannot happen for validated datasets).
 pub fn verify(problem: &OptProblem, weights: &[f64]) -> Option<VerificationReport> {
-    let exact_scores = scores_exact(problem.data.rows(), weights)?;
+    let exact_scores = scores_exact(problem.data.features(), weights)?;
     let eps = Rational::from_f64(problem.tol.eps)?;
     let top = problem.given.top_k();
     let exact_ranks = score_ranks_exact(&exact_scores, &eps, top);
@@ -73,18 +73,24 @@ pub fn verify_claim(problem: &OptProblem, weights: &[f64], claimed_error: u64) -
 ///
 /// Returns `(s, r, f(s) − f(r))` for each offending pair.
 pub fn gap_band_pairs(problem: &OptProblem, weights: &[f64]) -> Vec<(usize, usize, f64)> {
-    let rows = problem.data.rows();
+    let features = problem.data.features();
     let (e1, e2) = (problem.tol.eps1, problem.tol.eps2);
     let mut out = Vec::new();
+    let mut row_r = vec![0.0; features.m()];
+    let mut row_s = vec![0.0; features.m()];
     for &r in problem.given.top_k() {
-        let row_r = &rows[r];
-        for (s, row_s) in rows.iter().enumerate() {
+        features.copy_row_into(r, &mut row_r);
+        for s in 0..features.n() {
             if s == r {
                 continue;
             }
+            features.copy_row_into(s, &mut row_s);
+            // Pairwise-difference dot, matching the MILP's constraint
+            // form `Σ (s.A_j − r.A_j)·w_j` bit for bit (a score
+            // subtraction would round differently at the band edges).
             let diff: f64 = row_s
                 .iter()
-                .zip(row_r.iter())
+                .zip(&row_r)
                 .zip(weights)
                 .map(|((a, b), w)| (a - b) * w)
                 .sum();

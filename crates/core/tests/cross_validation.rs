@@ -103,7 +103,7 @@ proptest! {
     fn rankhow_matches_tree(inst in small_instance()) {
         let Some(problem) = build_problem(&inst) else { return Ok(()); };
         let specialized = RankHow::new().solve(&problem).unwrap();
-        let binst = Instance::new(problem.data.rows(), &problem.given, problem.tol);
+        let binst = Instance::new(problem.data.features(), &problem.given, problem.tol);
         let tree = tree::fit(&binst, &TreeConfig {
             node_limit: 0,
             use_dominance: true,
@@ -207,7 +207,7 @@ proptest! {
             Ok(sol) => {
                 // Every constrained tuple's realized rank stays inside
                 // its window, and the error is ≥ the unconstrained one.
-                let scores = rankhow_ranking::scores_f64(banded.data.rows(), &sol.weights);
+                let scores = rankhow_ranking::scores_f64(banded.data.features(), &sol.weights);
                 for &t in banded.given.top_k() {
                     let r = rankhow_ranking::rank_of_in(&scores, t, banded.tol.eps);
                     let pi = banded.given.position(t).unwrap();
@@ -266,7 +266,7 @@ fn tie_optimum_needs_positive_eps() {
     assert_eq!(sol.error, 1, "robust ε finds the tie optimum");
     assert!(sol.optimal);
     // TREE agrees under the same evaluation semantics.
-    let binst = Instance::new(robust.data.rows(), &robust.given, robust.tol);
+    let binst = Instance::new(robust.data.features(), &robust.given, robust.tol);
     let tree = tree::fit(
         &binst,
         &TreeConfig {

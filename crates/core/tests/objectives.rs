@@ -20,16 +20,17 @@ use rankhow_ranking::GivenRanking;
 /// crossings, midpoints between consecutive crossings, and the simplex
 /// endpoints.
 fn m2_candidates(problem: &OptProblem) -> Vec<[f64; 2]> {
-    let rows = problem.data.rows();
+    let features = problem.data.features();
+    let (col0, col1) = (features.col(0), features.col(1));
     let eps = problem.tol.eps;
     let mut cuts = vec![0.0, 1.0];
     for &r in problem.given.top_k() {
-        for (s, row_s) in rows.iter().enumerate() {
+        for s in 0..features.n() {
             if s == r {
                 continue;
             }
-            let d0 = row_s[0] - rows[r][0];
-            let d1 = row_s[1] - rows[r][1];
+            let d0 = col0[s] - col0[r];
+            let d1 = col1[s] - col1[r];
             // diff(t) = t·d0 + (1−t)·d1 = ε  ⇒  t = (ε − d1)/(d0 − d1)
             if (d0 - d1).abs() > 1e-300 {
                 let t = (eps - d1) / (d0 - d1);
@@ -267,7 +268,7 @@ fn top_weighted_spares_the_top() {
     let sol = RankHow::new().solve(&p).unwrap();
     assert!(sol.optimal);
     // Tuple 0 must stay at rank 1: any solution displacing it pays ≥ 3.
-    let scores = rankhow_ranking::scores_f64(p.data.rows(), &sol.weights);
+    let scores = rankhow_ranking::scores_f64(p.data.features(), &sol.weights);
     assert_eq!(rankhow_ranking::rank_of_in(&scores, 0, p.tol.eps), 1);
     assert_eq!(sol.error, p.objective_value(&sol.weights));
 }

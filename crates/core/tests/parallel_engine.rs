@@ -1,0 +1,148 @@
+//! Cross-validation of the parallel branch-and-bound engine against the
+//! sequential one.
+//!
+//! The parallel engine shares bounds, incumbents, and termination logic
+//! with the sequential driver but explores in a nondeterministic
+//! interleaving; these tests pin down what must NOT depend on that
+//! interleaving — the proved optimal error, exact-arithmetic
+//! verifiability of the returned weights, and feasibility outcomes.
+
+use proptest::prelude::*;
+use rankhow_core::{OptProblem, RankHow, SolverConfig, Tolerances};
+use rankhow_data::Dataset;
+use rankhow_ranking::GivenRanking;
+
+/// A random small OPT instance: integer-grid attributes (well-separated
+/// score differences) and a shuffled top-k given ranking.
+#[derive(Debug, Clone)]
+struct SmallInstance {
+    rows: Vec<Vec<f64>>,
+    k: usize,
+    perm_seed: u64,
+}
+
+fn small_instance() -> impl Strategy<Value = SmallInstance> {
+    (4usize..8, 2usize..4, any::<u64>()).prop_flat_map(|(n, m, perm_seed)| {
+        prop::collection::vec(prop::collection::vec((0u32..10).prop_map(f64::from), m), n).prop_map(
+            move |rows| SmallInstance {
+                rows,
+                k: 3.min(n - 1),
+                perm_seed,
+            },
+        )
+    })
+}
+
+fn build(inst: &SmallInstance) -> Option<OptProblem> {
+    let n = inst.rows.len();
+    // Deterministic Fisher–Yates from the seed: the ranked prefix is a
+    // random subset in random order, so most instances have nonzero
+    // optimal error (the interesting case for bound parity).
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = inst.perm_seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut positions = vec![None; n];
+    for (pos, &idx) in order.iter().take(inst.k).enumerate() {
+        positions[idx] = Some(pos as u32 + 1);
+    }
+    let names = (0..inst.rows[0].len()).map(|j| format!("A{j}")).collect();
+    let data = Dataset::from_rows(names, inst.rows.clone()).ok()?;
+    let given = GivenRanking::from_positions(positions).ok()?;
+    OptProblem::with_tolerances(data, given, Tolerances::exact()).ok()
+}
+
+fn solve_with_threads(problem: &OptProblem, threads: usize) -> (u64, Vec<f64>, bool) {
+    let sol = RankHow::with_config(SolverConfig {
+        threads,
+        ..SolverConfig::default()
+    })
+    .solve(problem)
+    .expect("feasible unconstrained instance");
+    (sol.error, sol.weights, sol.optimal)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// 1, 2, and 4 worker threads must prove the same optimal error, and
+    /// every returned weight vector must realize exactly the claimed
+    /// error under the Definition 2 evaluator. (Exact-rational
+    /// verification can legitimately disagree at ε = 0 — the Table III
+    /// false positives — so it is not asserted per instance.)
+    #[test]
+    fn thread_counts_agree_on_optimal_error(inst in small_instance()) {
+        let Some(problem) = build(&inst) else {
+            return Err(TestCaseError::reject("invalid ranking"));
+        };
+        let (seq_err, seq_w, seq_opt) = solve_with_threads(&problem, 1);
+        prop_assert!(seq_opt, "sequential search must close the tree");
+        prop_assert_eq!(
+            problem.evaluate(&seq_w), seq_err,
+            "sequential weights do not realize the claimed error"
+        );
+        for threads in [2usize, 4] {
+            let (err, w, opt) = solve_with_threads(&problem, threads);
+            prop_assert!(opt, "{threads}-thread search must close the tree");
+            prop_assert_eq!(
+                err, seq_err,
+                "{} threads disagree with sequential optimum", threads
+            );
+            prop_assert_eq!(
+                problem.evaluate(&w), err,
+                "{}-thread weights do not realize the claimed error", threads
+            );
+        }
+    }
+
+    /// Repeated runs at a fixed thread count agree: scheduling noise may
+    /// reorder the search but never change the proved optimum.
+    #[test]
+    fn fixed_thread_count_is_deterministic(inst in small_instance()) {
+        let Some(problem) = build(&inst) else {
+            return Err(TestCaseError::reject("invalid ranking"));
+        };
+        let (first_err, _, first_opt) = solve_with_threads(&problem, 4);
+        prop_assert!(first_opt);
+        for _ in 0..3 {
+            let (err, w, opt) = solve_with_threads(&problem, 4);
+            prop_assert!(opt);
+            prop_assert_eq!(err, first_err, "re-run changed the proved optimum");
+            prop_assert_eq!(problem.evaluate(&w), err);
+        }
+    }
+}
+
+/// Position-constrained instances: the parallel engine must agree with
+/// the sequential one on feasibility *and* on the constrained optimum.
+#[test]
+fn parallel_agrees_under_position_constraints() {
+    let data = Dataset::from_rows(
+        vec!["a".into(), "b".into()],
+        vec![
+            vec![5.0, 1.0],
+            vec![1.0, 5.0],
+            vec![3.0, 3.0],
+            vec![0.5, 0.5],
+        ],
+    )
+    .unwrap();
+    let given = GivenRanking::from_positions(vec![Some(1), Some(3), Some(2), None]).unwrap();
+    let problem = OptProblem::new(data, given).unwrap();
+    let pinned = problem
+        .with_positions(rankhow_core::PositionConstraints::none().pin(1, 1))
+        .unwrap();
+    let (seq_err, _, seq_opt) = solve_with_threads(&pinned, 1);
+    let (par_err, par_w, par_opt) = solve_with_threads(&pinned, 4);
+    assert!(seq_opt && par_opt);
+    assert_eq!(seq_err, par_err);
+    // The pinned tuple's realized rank must be honored by the parallel
+    // engine's incumbent filter too.
+    let scores = rankhow_ranking::scores_f64(pinned.data.features(), &par_w);
+    assert_eq!(rankhow_ranking::rank_of_in(&scores, 1, pinned.tol.eps), 1);
+}

@@ -95,8 +95,8 @@ mod tests {
     #[test]
     fn counts_are_nonnegative_integers() {
         let d = generate(200, 2);
-        for row in d.dataset.rows() {
-            for &v in row {
+        for j in 0..d.dataset.m() {
+            for &v in d.dataset.col(j) {
                 assert!(v >= 0.0 && v.fract() == 0.0);
             }
         }
@@ -105,7 +105,9 @@ mod tests {
     #[test]
     fn heavy_tail_present() {
         let d = generate(628, 3);
-        let mut totals: Vec<f64> = d.dataset.rows().iter().map(|r| r.iter().sum()).collect();
+        let mut totals: Vec<f64> = (0..d.dataset.n())
+            .map(|i| d.dataset.features().row_iter(i).sum())
+            .collect();
         totals.sort_by(|a, b| b.total_cmp(a));
         let top10: f64 = totals[..10].iter().sum();
         let all: f64 = totals.iter().sum();

@@ -1,5 +1,6 @@
 //! The relation `R`: a rectangular table of named numeric attributes.
 
+use rankhow_linalg::FeatureMatrix;
 use std::fmt;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
@@ -60,7 +61,9 @@ impl From<std::io::Error> for DatasetError {
     }
 }
 
-/// A relation with `n` tuples over `m` named numeric ranking attributes.
+/// A relation with `n` tuples over `m` named numeric ranking attributes,
+/// stored columnar ([`FeatureMatrix`]) so score sweeps and per-attribute
+/// statistics stream contiguous memory.
 ///
 /// Attribute semantics follow the paper: *larger is better* for every
 /// attribute (undesirable attributes are negated before loading —
@@ -68,12 +71,12 @@ impl From<std::io::Error> for DatasetError {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Dataset {
     names: Vec<String>,
-    rows: Vec<Vec<f64>>,
+    features: FeatureMatrix,
 }
 
 impl Dataset {
     /// Build from attribute names and row-major values, validating shape
-    /// and finiteness.
+    /// and finiteness. Storage is transposed to columnar.
     pub fn from_rows(names: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Self, DatasetError> {
         if names.is_empty() || rows.is_empty() {
             return Err(DatasetError::Empty);
@@ -93,17 +96,44 @@ impl Dataset {
                 }
             }
         }
-        Ok(Dataset { names, rows })
+        Ok(Dataset {
+            names,
+            features: FeatureMatrix::from_rows(&rows),
+        })
+    }
+
+    /// Build directly from columnar storage, validating shape and
+    /// finiteness.
+    pub fn from_features(
+        names: Vec<String>,
+        features: FeatureMatrix,
+    ) -> Result<Self, DatasetError> {
+        if names.is_empty() || features.n() == 0 {
+            return Err(DatasetError::Empty);
+        }
+        if names.len() != features.m() {
+            return Err(DatasetError::Ragged {
+                row: 0,
+                expected: names.len(),
+                got: features.m(),
+            });
+        }
+        for j in 0..features.m() {
+            if let Some(i) = features.col(j).iter().position(|v| !v.is_finite()) {
+                return Err(DatasetError::NonFinite { row: i, col: j });
+            }
+        }
+        Ok(Dataset { names, features })
     }
 
     /// Number of tuples `n`.
     pub fn n(&self) -> usize {
-        self.rows.len()
+        self.features.n()
     }
 
     /// Number of attributes `m`.
     pub fn m(&self) -> usize {
-        self.names.len()
+        self.features.m()
     }
 
     /// Attribute names.
@@ -116,32 +146,46 @@ impl Dataset {
         self.names.iter().position(|n| n == name)
     }
 
-    /// All rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// The columnar feature store — what every scoring and solver layer
+    /// consumes.
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.features
     }
 
-    /// One row.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.rows[i]
+    /// Attribute column `j` as a contiguous slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        self.features.col(j)
+    }
+
+    /// One value.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.features.get(i, j)
+    }
+
+    /// One row, gathered from the columns.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.features.row_vec(i)
+    }
+
+    /// All rows, row-major (export/interop path — prefer
+    /// [`Dataset::features`] for computation).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.features.to_rows()
     }
 
     /// Project onto a subset of attributes (by index, in the given order).
     pub fn select_attrs(&self, attrs: &[usize]) -> Dataset {
-        let names = attrs.iter().map(|&a| self.names[a].clone()).collect();
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| attrs.iter().map(|&a| r[a]).collect())
-            .collect();
-        Dataset { names, rows }
+        Dataset {
+            names: attrs.iter().map(|&a| self.names[a].clone()).collect(),
+            features: self.features.select_columns(attrs),
+        }
     }
 
     /// Keep only the first `n` tuples (the "varying n" experiments).
     pub fn take_rows(&self, n: usize) -> Dataset {
         Dataset {
             names: self.names.clone(),
-            rows: self.rows[..n.min(self.rows.len())].to_vec(),
+            features: self.features.take_rows(n),
         }
     }
 
@@ -149,7 +193,7 @@ impl Dataset {
     pub fn select_rows(&self, idx: &[usize]) -> Dataset {
         Dataset {
             names: self.names.clone(),
-            rows: idx.iter().map(|&i| self.rows[i].clone()).collect(),
+            features: self.features.select_rows(idx),
         }
     }
 
@@ -157,35 +201,9 @@ impl Dataset {
     /// become all-zero). Keeps ranking semantics: normalization is a
     /// positive affine map per attribute.
     pub fn min_max_normalized(&self) -> Dataset {
-        let m = self.m();
-        let mut lo = vec![f64::INFINITY; m];
-        let mut hi = vec![f64::NEG_INFINITY; m];
-        for row in &self.rows {
-            for j in 0..m {
-                lo[j] = lo[j].min(row[j]);
-                hi[j] = hi[j].max(row[j]);
-            }
-        }
-        let rows = self
-            .rows
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .map(|(j, &v)| {
-                        let span = hi[j] - lo[j];
-                        if span > 0.0 {
-                            (v - lo[j]) / span
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
         Dataset {
             names: self.names.clone(),
-            rows,
+            features: self.features.min_max_normalized(),
         }
     }
 
@@ -194,32 +212,27 @@ impl Dataset {
     pub fn with_squared_attrs(&self) -> Dataset {
         let mut names = self.names.clone();
         names.extend(self.names.iter().map(|n| format!("{n}^2")));
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| {
-                let mut row = r.clone();
-                row.extend(r.iter().map(|v| v * v));
-                row
-            })
-            .collect();
-        Dataset { names, rows }
+        let mut features = self.features.clone();
+        for j in 0..self.m() {
+            features.push_column(self.features.col(j).iter().map(|v| v * v).collect());
+        }
+        Dataset { names, features }
     }
 
     /// Append an arbitrary derived attribute computed from each row.
     pub fn with_derived(&self, name: &str, f: impl Fn(&[f64]) -> f64) -> Dataset {
         let mut names = self.names.clone();
         names.push(name.to_string());
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| {
-                let mut row = r.clone();
-                row.push(f(r));
-                row
+        let mut row = vec![0.0; self.m()];
+        let col = (0..self.n())
+            .map(|i| {
+                self.features.copy_row_into(i, &mut row);
+                f(&row)
             })
             .collect();
-        Dataset { names, rows }
+        let mut features = self.features.clone();
+        features.push_column(col);
+        Dataset { names, features }
     }
 
     /// Write as CSV (header + rows).
@@ -227,8 +240,8 @@ impl Dataset {
         let file = std::fs::File::create(path)?;
         let mut w = BufWriter::new(file);
         writeln!(w, "{}", self.names.join(","))?;
-        for row in &self.rows {
-            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        for i in 0..self.n() {
+            let line: Vec<String> = self.features.row_iter(i).map(|v| format!("{v}")).collect();
             writeln!(w, "{}", line.join(","))?;
         }
         w.flush()?;
@@ -298,6 +311,23 @@ mod tests {
     }
 
     #[test]
+    fn from_features_validates_like_from_rows() {
+        let fm = FeatureMatrix::from_columns(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let d = Dataset::from_features(vec!["a".into(), "b".into()], fm).unwrap();
+        assert_eq!(d.row(1), vec![2.0, 4.0]);
+        let bad = FeatureMatrix::from_columns(vec![vec![1.0, f64::NAN]]);
+        assert!(matches!(
+            Dataset::from_features(vec!["a".into()], bad),
+            Err(DatasetError::NonFinite { row: 1, col: 0 })
+        ));
+        let mismatched = FeatureMatrix::from_columns(vec![vec![1.0]]);
+        assert!(matches!(
+            Dataset::from_features(vec!["a".into(), "b".into()], mismatched),
+            Err(DatasetError::Ragged { .. })
+        ));
+    }
+
+    #[test]
     fn accessors() {
         let d = small();
         assert_eq!(d.n(), 3);
@@ -305,6 +335,19 @@ mod tests {
         assert_eq!(d.attr_index("b"), Some(1));
         assert_eq!(d.attr_index("z"), None);
         assert_eq!(d.row(2), &[3.0, 15.0]);
+        assert_eq!(d.col(1), &[10.0, 20.0, 15.0]);
+        assert_eq!(d.value(1, 0), 2.0);
+    }
+
+    #[test]
+    fn storage_is_columnar() {
+        let d = small();
+        assert_eq!(d.features().stride(), d.n());
+        assert_eq!(d.features().col(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(
+            d.to_rows(),
+            vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 15.0]]
+        );
     }
 
     #[test]
@@ -344,8 +387,8 @@ mod tests {
         for j in 0..d.m() {
             for i1 in 0..d.n() {
                 for i2 in 0..d.n() {
-                    let before = d.row(i1)[j].partial_cmp(&d.row(i2)[j]).unwrap();
-                    let after = n.row(i1)[j].partial_cmp(&n.row(i2)[j]).unwrap();
+                    let before = d.value(i1, j).partial_cmp(&d.value(i2, j)).unwrap();
+                    let after = n.value(i1, j).partial_cmp(&n.value(i2, j)).unwrap();
                     assert_eq!(before, after);
                 }
             }

@@ -186,7 +186,7 @@ mod tests {
 
     fn column(d: &Dataset, name: &str) -> Vec<f64> {
         let j = d.attr_index(name).unwrap();
-        d.rows().iter().map(|r| r[j]).collect()
+        d.col(j).to_vec()
     }
 
     #[test]
@@ -207,7 +207,8 @@ mod tests {
     #[test]
     fn attribute_ranges_plausible() {
         let d = generate(2000, 2);
-        for row in d.dataset.rows() {
+        for i in 0..d.dataset.n() {
+            let row = d.dataset.row(i);
             let (pts, reb, ast, fg, tp, ft) = (row[0], row[1], row[2], row[5], row[6], row[7]);
             assert!((0.0..60.0).contains(&pts), "PTS {pts}");
             assert!((0.0..25.0).contains(&reb), "REB {reb}");

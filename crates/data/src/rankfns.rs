@@ -7,20 +7,21 @@ use rankhow_ranking::GivenRanking;
 /// Score every tuple by `Σ_i A_i^p` (the paper's synthetic ranking
 /// functions use `p ∈ {2, 3, 4, 5}`).
 pub fn sum_pow_scores(data: &Dataset, p: u32) -> Vec<f64> {
-    data.rows()
-        .iter()
-        .map(|r| r.iter().map(|a| a.powi(p as i32)).sum())
-        .collect()
+    // Columnar accumulation: one contiguous pass per attribute.
+    let mut scores = vec![0.0; data.n()];
+    for j in 0..data.m() {
+        for (s, &a) in scores.iter_mut().zip(data.col(j)) {
+            *s += a.powi(p as i32);
+        }
+    }
+    scores
 }
 
 /// Score every tuple by a linear function (sanity baseline: OPT must then
 /// achieve error 0 with unconstrained weights).
 pub fn linear_scores(data: &Dataset, weights: &[f64]) -> Vec<f64> {
     assert_eq!(weights.len(), data.m());
-    data.rows()
-        .iter()
-        .map(|r| r.iter().zip(weights).map(|(a, w)| a * w).sum())
-        .collect()
+    data.features().scores(weights)
 }
 
 /// Given ranking from `Σ A_i^p` scores: top-`k` ranked, rest `⊥`.

@@ -100,7 +100,7 @@ mod tests {
     use super::*;
 
     fn column(d: &Dataset, j: usize) -> Vec<f64> {
-        d.rows().iter().map(|r| r[j]).collect()
+        d.col(j).to_vec()
     }
 
     #[test]
@@ -109,8 +109,8 @@ mod tests {
             let d = generate(dist, 500, 5, 42);
             assert_eq!(d.n(), 500);
             assert_eq!(d.m(), 5);
-            for row in d.rows() {
-                assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+            for j in 0..d.m() {
+                assert!(d.col(j).iter().all(|v| (0.0..=1.0).contains(v)));
             }
         }
     }

@@ -28,7 +28,7 @@ proptest! {
         prop_assert_eq!(d.n(), n);
         prop_assert_eq!(d.m(), m);
         prop_assert_eq!(d.names(), &names[..]);
-        prop_assert_eq!(d.rows(), &rows[..]);
+        prop_assert_eq!(d.to_rows(), rows);
     }
 
     /// Changing any single row's arity must be rejected as `Ragged`,
@@ -86,8 +86,8 @@ proptest! {
         let norm = d.min_max_normalized();
         prop_assert_eq!(norm.n(), d.n());
         prop_assert_eq!(norm.m(), d.m());
-        for row in norm.rows() {
-            for &v in row {
+        for j in 0..norm.m() {
+            for &v in norm.col(j) {
                 prop_assert!((0.0..=1.0).contains(&v), "normalized value {v} out of [0,1]");
             }
         }

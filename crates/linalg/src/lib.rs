@@ -1,16 +1,20 @@
 //! Dense linear algebra substrate.
 //!
 //! Provides exactly what the RankHow reproduction needs and nothing more:
-//! a row-major dense [`Matrix`], LU and Cholesky solves, ordinary least
-//! squares ([`lstsq`]) and Lawson–Hanson non-negative least squares
-//! ([`nnls`]). The least-squares routines back the LINEAR REGRESSION
-//! baseline (paper Section VI-A and Example 3, which uses both the default
-//! and the non-negative variant).
+//! a columnar [`FeatureMatrix`] (the SoA tuple store every scoring and
+//! search layer runs on, with batched dot-product kernels), a row-major
+//! dense [`Matrix`], LU and Cholesky solves, ordinary least squares
+//! ([`lstsq`]) and Lawson–Hanson non-negative least squares ([`nnls`]).
+//! The least-squares routines back the LINEAR REGRESSION baseline (paper
+//! Section VI-A and Example 3, which uses both the default and the
+//! non-negative variant).
 
 #![warn(missing_docs)]
 
+mod features;
 mod matrix;
 mod solve;
 
+pub use features::FeatureMatrix;
 pub use matrix::Matrix;
 pub use solve::{lstsq, lu_solve, nnls, LinalgError};

@@ -10,7 +10,7 @@
 //! is the canonical choice.
 
 use crate::model::{Op, Problem, Sense, Status};
-use crate::simplex::SolveError;
+use crate::simplex::{SimplexWorkspace, SolveError};
 
 /// Compute a Chebyshev-style interior point of the feasible region of
 /// `problem` (its objective is ignored; only constraints/bounds are used).
@@ -20,6 +20,16 @@ use crate::simplex::SolveError;
 /// against inequality constraints and bounds). Returns `None` if the
 /// region is empty.
 pub fn chebyshev_center(problem: &Problem) -> Result<Option<Vec<f64>>, SolveError> {
+    chebyshev_center_with(problem, &mut SimplexWorkspace::new())
+}
+
+/// [`chebyshev_center`] with caller-owned simplex scratch buffers (the
+/// incumbent-sampling path of the branch-and-bound engine calls this once
+/// per node).
+pub fn chebyshev_center_with(
+    problem: &Problem,
+    ws: &mut SimplexWorkspace,
+) -> Result<Option<Vec<f64>>, SolveError> {
     let n = problem.num_vars();
     let mut p = Problem::new(Sense::Maximize);
     // Mirror the structural variables (bounds become inequality rows so
@@ -60,7 +70,7 @@ pub fn chebyshev_center(problem: &Problem) -> Result<Option<Vec<f64>>, SolveErro
     // not make the LP unbounded.
     p.add_constraint(&[(radius, 1.0)], Op::Le, 1e6);
 
-    let sol = p.solve()?;
+    let sol = p.solve_with(ws)?;
     match sol.status {
         Status::Optimal => Ok(Some(sol.x[..n].to_vec())),
         Status::Infeasible => Ok(None),

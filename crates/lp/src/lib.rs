@@ -40,6 +40,6 @@ mod geometry;
 mod model;
 mod simplex;
 
-pub use geometry::{box_range, chebyshev_center};
+pub use geometry::{box_range, chebyshev_center, chebyshev_center_with};
 pub use model::{Constraint, Op, Problem, Sense, Solution, Status, VarId};
-pub use simplex::SolveError;
+pub use simplex::{SimplexWorkspace, SolveError};

@@ -1,6 +1,6 @@
 //! LP model builder types.
 
-use crate::simplex::{self, SolveError};
+use crate::simplex::{self, SimplexWorkspace, SolveError};
 
 /// Index of a variable within a [`Problem`].
 pub type VarId = usize;
@@ -147,13 +147,27 @@ impl Problem {
 
     /// Solve to optimality (or detect infeasible/unbounded).
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        simplex::solve(self, false)
+        simplex::solve(self, false, &mut SimplexWorkspace::new())
+    }
+
+    /// Like [`Problem::solve`], but reusing the caller's scratch buffers —
+    /// the allocation-free path for loops that solve many LPs.
+    pub fn solve_with(&self, ws: &mut SimplexWorkspace) -> Result<Solution, SolveError> {
+        simplex::solve(self, false, ws)
     }
 
     /// Feasibility check only (phase 1). Cheaper than a full solve; the
     /// returned solution carries *a* feasible point, not an optimal one.
     pub fn solve_feasibility(&self) -> Result<Solution, SolveError> {
-        simplex::solve(self, true)
+        simplex::solve(self, true, &mut SimplexWorkspace::new())
+    }
+
+    /// Like [`Problem::solve_feasibility`], with caller-owned buffers.
+    pub fn solve_feasibility_with(
+        &self,
+        ws: &mut SimplexWorkspace,
+    ) -> Result<Solution, SolveError> {
+        simplex::solve(self, true, ws)
     }
 
     /// Evaluate the objective at a point.

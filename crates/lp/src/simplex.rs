@@ -5,6 +5,11 @@
 //! become explicit rows; `≤` rows get slacks, `≥` rows surplus+artificial,
 //! `=` rows artificials. Phase 1 minimizes the artificial sum; phase 2 the
 //! (internally always minimized) objective.
+//!
+//! All scratch storage lives in a [`SimplexWorkspace`]: the branch-and-
+//! bound node loop solves thousands of near-identical LPs, and rebuilding
+//! the tableau in place (instead of allocating maps/rows/tableau/cost
+//! vectors per solve) keeps that loop allocation-free after warm-up.
 
 use crate::model::{Op, Problem, Sense, Solution, Status};
 
@@ -50,17 +55,45 @@ enum VarMap {
     Split { pos: usize, neg: usize },
 }
 
-struct Tableau {
+/// Reusable scratch buffers for [`Problem::solve_with`]. One workspace
+/// serves any sequence of problems (buffers are cleared and regrown as
+/// needed); it is `Send`, so parallel search engines keep one per worker.
+#[derive(Default)]
+pub struct SimplexWorkspace {
+    maps: Vec<VarMap>,
+    ub_rows: Vec<(usize, f64)>,
+    /// Flattened standard-form rows: `n_rows × n_std` coefficients.
+    row_coefs: Vec<f64>,
+    row_meta: Vec<(Op, f64)>,
+    /// Tableau storage: `n_rows × (ncols + 1)` (last column = RHS).
+    tableau: Vec<f64>,
+    basis: Vec<usize>,
+    /// Reduced-cost row (length `ncols + 1`).
+    cost: Vec<f64>,
+    /// Phase objective coefficients (length `ncols`).
+    obj: Vec<f64>,
+    /// Standard-variable values for extraction.
+    std_vals: Vec<f64>,
+}
+
+impl SimplexWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        SimplexWorkspace::default()
+    }
+}
+
+struct Tableau<'w> {
     /// `rows × (ncols + 1)`; last column is the RHS.
-    a: Vec<f64>,
+    a: &'w mut [f64],
     rows: usize,
     ncols: usize,
-    basis: Vec<usize>,
+    basis: &'w mut [usize],
     /// Index of the first artificial column (columns ≥ this are artificial).
     first_artificial: usize,
 }
 
-impl Tableau {
+impl Tableau<'_> {
     #[inline]
     fn at(&self, r: usize, c: usize) -> f64 {
         self.a[r * (self.ncols + 1) + c]
@@ -112,21 +145,21 @@ impl Tableau {
 }
 
 /// Reduced-cost row for cost vector `c` (length ncols) under the current
-/// basis. Returned slice has length `ncols + 1`; the last entry is
-/// `−(current objective value)`.
-fn reduced_costs(t: &Tableau, c: &[f64]) -> Vec<f64> {
+/// basis, written into `out` (resized to `ncols + 1`; the last entry is
+/// `−(current objective value)`).
+fn reduced_costs_into(t: &Tableau<'_>, c: &[f64], out: &mut Vec<f64>) {
     let w = t.ncols + 1;
-    let mut r = vec![0.0; w];
-    r[..t.ncols].copy_from_slice(c);
+    out.clear();
+    out.resize(w, 0.0);
+    out[..t.ncols].copy_from_slice(c);
     for row in 0..t.rows {
         let cb = c[t.basis[row]];
         if cb != 0.0 {
             for j in 0..w {
-                r[j] -= cb * t.a[row * w + j];
+                out[j] -= cb * t.a[row * w + j];
             }
         }
     }
-    r
 }
 
 enum PhaseOutcome {
@@ -138,7 +171,11 @@ enum PhaseOutcome {
 /// Run simplex iterations until optimal for the given cost row.
 /// `eligible(col)` filters which columns may enter (used to ban
 /// artificials in phase 2).
-fn run_phase(t: &mut Tableau, cost: &mut [f64], eligible: impl Fn(usize) -> bool) -> PhaseOutcome {
+fn run_phase(
+    t: &mut Tableau<'_>,
+    cost: &mut [f64],
+    eligible: impl Fn(usize) -> bool,
+) -> PhaseOutcome {
     let max_iter = 500 + 200 * (t.rows + t.ncols);
     let mut stall = 0usize;
     let mut last_obj = f64::INFINITY;
@@ -211,13 +248,17 @@ fn run_phase(t: &mut Tableau, cost: &mut [f64], eligible: impl Fn(usize) -> bool
     PhaseOutcome::IterationLimit
 }
 
-/// Solve `problem`; with `feasibility_only` stop after phase 1.
-pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solution, SolveError> {
+/// Solve `problem`; with `feasibility_only` stop after phase 1. All
+/// scratch storage comes from (and stays in) `ws`.
+pub(crate) fn solve(
+    problem: &Problem,
+    feasibility_only: bool,
+    ws: &mut SimplexWorkspace,
+) -> Result<Solution, SolveError> {
     // ---- 1. Map structural variables to standard-form variables. ----
-    let mut maps: Vec<VarMap> = Vec::with_capacity(problem.vars.len());
+    ws.maps.clear();
+    ws.ub_rows.clear();
     let mut n_std = 0usize;
-    // (std var, upper bound) rows to add.
-    let mut ub_rows: Vec<(usize, f64)> = Vec::new();
     for v in &problem.vars {
         if v.lo.is_infinite() && v.lo > 0.0 || v.hi.is_infinite() && v.hi < 0.0 {
             return Err(SolveError::InvalidModel(format!(
@@ -229,29 +270,32 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
             let idx = n_std;
             n_std += 1;
             if v.hi.is_finite() {
-                ub_rows.push((idx, v.hi - v.lo));
+                ws.ub_rows.push((idx, v.hi - v.lo));
             }
-            maps.push(VarMap::Shifted { idx, shift: v.lo });
+            ws.maps.push(VarMap::Shifted { idx, shift: v.lo });
         } else if v.hi.is_finite() {
             let idx = n_std;
             n_std += 1;
-            maps.push(VarMap::Mirrored { idx, mirror: v.hi });
+            ws.maps.push(VarMap::Mirrored { idx, mirror: v.hi });
         } else {
             let pos = n_std;
             let neg = n_std + 1;
             n_std += 2;
-            maps.push(VarMap::Split { pos, neg });
+            ws.maps.push(VarMap::Split { pos, neg });
         }
     }
 
     // ---- 2. Build rows in standard variables with b on the right. ----
-    // Each row: (dense coefs over n_std, op, rhs).
-    let mut rows: Vec<(Vec<f64>, Op, f64)> = Vec::new();
-    for c in &problem.constraints {
-        let mut coefs = vec![0.0; n_std];
+    // Flattened: row r occupies `row_coefs[r·n_std .. (r+1)·n_std]`.
+    let m = problem.constraints.len() + ws.ub_rows.len();
+    ws.row_coefs.clear();
+    ws.row_coefs.resize(m * n_std, 0.0);
+    ws.row_meta.clear();
+    for (r, c) in problem.constraints.iter().enumerate() {
+        let coefs = &mut ws.row_coefs[r * n_std..(r + 1) * n_std];
         let mut rhs = c.rhs;
         for &(var, coef) in &c.terms {
-            match maps[var] {
+            match ws.maps[var] {
                 VarMap::Shifted { idx, shift } => {
                     coefs[idx] += coef;
                     rhs -= coef * shift;
@@ -266,17 +310,18 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
                 }
             }
         }
-        rows.push((coefs, c.op, rhs));
+        ws.row_meta.push((c.op, rhs));
     }
-    for &(idx, ub) in &ub_rows {
-        let mut coefs = vec![0.0; n_std];
-        coefs[idx] = 1.0;
-        rows.push((coefs, Op::Le, ub));
+    for (u, &(idx, ub)) in ws.ub_rows.iter().enumerate() {
+        let r = problem.constraints.len() + u;
+        ws.row_coefs[r * n_std + idx] = 1.0;
+        ws.row_meta.push((Op::Le, ub));
     }
 
     // Row equilibration: scale each row by its max |coef| for stability.
-    for (coefs, _, rhs) in rows.iter_mut() {
-        let scale = coefs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    for (r, (_, rhs)) in ws.row_meta.iter_mut().enumerate() {
+        let coefs = &mut ws.row_coefs[r * n_std..(r + 1) * n_std];
+        let scale = coefs.iter().fold(0.0f64, |mx, c| mx.max(c.abs()));
         if scale > 0.0 {
             let inv = 1.0 / scale;
             coefs.iter_mut().for_each(|c| *c *= inv);
@@ -285,8 +330,9 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
     }
 
     // Normalize RHS ≥ 0.
-    for (coefs, op, rhs) in rows.iter_mut() {
+    for (r, (op, rhs)) in ws.row_meta.iter_mut().enumerate() {
         if *rhs < 0.0 {
+            let coefs = &mut ws.row_coefs[r * n_std..(r + 1) * n_std];
             coefs.iter_mut().for_each(|c| *c = -*c);
             *rhs = -*rhs;
             *op = match *op {
@@ -298,10 +344,9 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
     }
 
     // ---- 3. Count slack/artificial columns and lay out the tableau. ----
-    let m = rows.len();
     let mut n_slack = 0usize;
     let mut n_art = 0usize;
-    for (_, op, _) in &rows {
+    for (op, _) in &ws.row_meta {
         match op {
             Op::Le => n_slack += 1,
             Op::Ge => {
@@ -313,20 +358,25 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
     }
     let ncols = n_std + n_slack + n_art;
     let w = ncols + 1;
+    ws.tableau.clear();
+    ws.tableau.resize(m * w, 0.0);
+    ws.basis.clear();
+    ws.basis.resize(m, 0);
     let mut t = Tableau {
-        a: vec![0.0; m * w],
+        a: &mut ws.tableau,
         rows: m,
         ncols,
-        basis: vec![0; m],
+        basis: &mut ws.basis,
         first_artificial: n_std + n_slack,
     };
     let mut slack_cursor = n_std;
     let mut art_cursor = n_std + n_slack;
-    for (i, (coefs, op, rhs)) in rows.iter().enumerate() {
+    for (i, &(op, rhs)) in ws.row_meta.iter().enumerate() {
+        let coefs = &ws.row_coefs[i * n_std..(i + 1) * n_std];
         for (j, &cf) in coefs.iter().enumerate() {
             t.set(i, j, cf);
         }
-        t.set(i, ncols, *rhs);
+        t.set(i, ncols, rhs);
         match op {
             Op::Le => {
                 t.set(i, slack_cursor, 1.0);
@@ -350,18 +400,19 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
 
     // ---- 4. Phase 1: minimize artificial sum. ----
     if n_art > 0 {
-        let mut c1 = vec![0.0; ncols];
+        ws.obj.clear();
+        ws.obj.resize(ncols, 0.0);
         for j in t.first_artificial..ncols {
-            c1[j] = 1.0;
+            ws.obj[j] = 1.0;
         }
-        let mut cost = reduced_costs(&t, &c1);
-        match run_phase(&mut t, &mut cost, |_| true) {
+        reduced_costs_into(&t, &ws.obj, &mut ws.cost);
+        match run_phase(&mut t, &mut ws.cost, |_| true) {
             PhaseOutcome::Done => {}
             // Phase 1 objective is bounded below by 0; unbounded = bug.
             PhaseOutcome::Unbounded => return Err(SolveError::IterationLimit),
             PhaseOutcome::IterationLimit => return Err(SolveError::IterationLimit),
         }
-        let phase1_obj = -cost[ncols];
+        let phase1_obj = -ws.cost[ncols];
         if phase1_obj > FEAS_TOL {
             return Ok(Solution {
                 status: Status::Infeasible,
@@ -377,8 +428,9 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
                     .filter(|&j| t.at(row, j).abs() > 1e-7)
                     .max_by(|&a, &b| t.at(row, a).abs().total_cmp(&t.at(row, b).abs()));
                 if let Some(col) = col {
-                    let mut dummy = vec![0.0; w];
-                    t.pivot(row, col, &mut dummy);
+                    ws.obj.clear();
+                    ws.obj.resize(w, 0.0);
+                    t.pivot(row, col, &mut ws.obj);
                 }
                 // else: redundant row; harmless to keep (all-zero in
                 // non-artificial columns, rhs 0).
@@ -387,26 +439,26 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
     }
 
     // ---- 5. Phase 2. ----
-    let mut c2 = vec![0.0; ncols];
+    ws.obj.clear();
+    ws.obj.resize(ncols, 0.0);
     let obj_sign = match problem.sense {
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
     };
-    for (v, map) in problem.vars.iter().zip(&maps) {
+    for (v, map) in problem.vars.iter().zip(&ws.maps) {
         match *map {
-            VarMap::Shifted { idx, .. } => c2[idx] += obj_sign * v.obj,
-            VarMap::Mirrored { idx, .. } => c2[idx] -= obj_sign * v.obj,
+            VarMap::Shifted { idx, .. } => ws.obj[idx] += obj_sign * v.obj,
+            VarMap::Mirrored { idx, .. } => ws.obj[idx] -= obj_sign * v.obj,
             VarMap::Split { pos, neg } => {
-                c2[pos] += obj_sign * v.obj;
-                c2[neg] -= obj_sign * v.obj;
+                ws.obj[pos] += obj_sign * v.obj;
+                ws.obj[neg] -= obj_sign * v.obj;
             }
         }
     }
     if !feasibility_only {
         let first_art = t.first_artificial;
-        let banned_basic: Vec<bool> = (0..ncols).map(|j| j >= first_art).collect();
-        let mut cost = reduced_costs(&t, &c2);
-        match run_phase(&mut t, &mut cost, |j| !banned_basic[j]) {
+        reduced_costs_into(&t, &ws.obj, &mut ws.cost);
+        match run_phase(&mut t, &mut ws.cost, |j| j < first_art) {
             PhaseOutcome::Done => {}
             PhaseOutcome::Unbounded => {
                 return Ok(Solution {
@@ -423,19 +475,20 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
     }
 
     // ---- 6. Extract the solution. ----
-    let mut std_vals = vec![0.0; ncols];
+    ws.std_vals.clear();
+    ws.std_vals.resize(ncols, 0.0);
     for row in 0..t.rows {
-        std_vals[t.basis[row]] = t.rhs(row);
+        ws.std_vals[t.basis[row]] = t.rhs(row);
     }
     let x: Vec<f64> = problem
         .vars
         .iter()
-        .zip(&maps)
+        .zip(&ws.maps)
         .map(|(v, map)| {
             let raw = match *map {
-                VarMap::Shifted { idx, shift } => std_vals[idx] + shift,
-                VarMap::Mirrored { idx, mirror } => mirror - std_vals[idx],
-                VarMap::Split { pos, neg } => std_vals[pos] - std_vals[neg],
+                VarMap::Shifted { idx, shift } => ws.std_vals[idx] + shift,
+                VarMap::Mirrored { idx, mirror } => mirror - ws.std_vals[idx],
+                VarMap::Split { pos, neg } => ws.std_vals[pos] - ws.std_vals[neg],
             };
             // Clamp tiny bound violations from roundoff.
             raw.clamp(v.lo, v.hi)
@@ -451,6 +504,7 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
 
 #[cfg(test)]
 mod tests {
+    use super::SimplexWorkspace;
     use crate::model::{Op, Problem, Sense, Status};
 
     #[test]
@@ -600,5 +654,49 @@ mod tests {
         assert_eq!(s.status, Status::Optimal);
         assert!((s.x[w1] - 0.1).abs() < 1e-9);
         assert!(p.violation_at(&s.x) < 1e-9);
+    }
+
+    #[test]
+    fn shared_workspace_matches_fresh_solves() {
+        // One workspace across heterogeneous problems (different shapes,
+        // senses, and outcomes) must reproduce fresh-solve results bit
+        // for bit — buffers fully reinitialize between calls.
+        let mut ws = SimplexWorkspace::new();
+        for trial in 0..3 {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 5.0);
+            p.add_constraint(&[(x, 1.0)], Op::Le, 4.0 + trial as f64);
+            p.add_constraint(&[(y, 2.0)], Op::Le, 12.0);
+            p.add_constraint(&[(x, 3.0), (y, 2.0)], Op::Le, 18.0);
+            let fresh = p.solve().unwrap();
+            let reused = p.solve_with(&mut ws).unwrap();
+            assert_eq!(fresh.status, reused.status);
+            assert_eq!(fresh.x, reused.x);
+            assert_eq!(fresh.objective, reused.objective);
+
+            // Interleave a different shape: infeasible + equality + free.
+            let mut q = Problem::new(Sense::Minimize);
+            let a = q.add_var("a", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+            let b = q.add_var("b", 0.0, 1.0, 0.0);
+            q.add_constraint(&[(a, 1.0), (b, 1.0)], Op::Eq, 2.0);
+            q.add_constraint(&[(b, 1.0)], Op::Ge, 0.5);
+            let fresh = q.solve().unwrap();
+            let reused = q.solve_with(&mut ws).unwrap();
+            assert_eq!(fresh.status, reused.status);
+            assert_eq!(fresh.x, reused.x);
+        }
+    }
+
+    #[test]
+    fn workspace_feasibility_matches() {
+        let mut ws = SimplexWorkspace::new();
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Op::Ge, 2.0);
+        let fresh = p.solve_feasibility().unwrap();
+        let reused = p.solve_feasibility_with(&mut ws).unwrap();
+        assert_eq!(fresh.status, Status::Infeasible);
+        assert_eq!(fresh.status, reused.status);
     }
 }

@@ -13,6 +13,8 @@
 //! keeps the pruning exactly as strong as the paper's while remaining
 //! provably safe for tie semantics.
 
+use rankhow_linalg::FeatureMatrix;
+
 /// A resolved pair: `dominator` beats `dominatee` under every feasible
 /// weight vector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,20 +34,40 @@ pub fn dominates(s: &[f64], r: &[f64], margin: f64) -> bool {
 
 /// All dominance-resolved pairs `(s, r)` with `r` ranked (in `top_k`) and
 /// `s` any other tuple — exactly the pairs whose indicators appear in
-/// Equation (2). Runs in `O(k·n·m)` as the paper notes (Section V-B).
-pub fn dominance_pairs(rows: &[Vec<f64>], top_k: &[usize], margin: f64) -> Vec<DominancePair> {
+/// Equation (2). Runs in `O(k·n·m)` as the paper notes (Section V-B),
+/// sweeping each feature column contiguously: per ranked tuple, two flag
+/// vectors (`s` above `r` everywhere / `r` above `s` everywhere) are
+/// AND-refined one column at a time.
+pub fn dominance_pairs(
+    features: &FeatureMatrix,
+    top_k: &[usize],
+    margin: f64,
+) -> Vec<DominancePair> {
+    let n = features.n();
     let mut out = Vec::new();
+    let mut s_wins = vec![false; n];
+    let mut r_wins = vec![false; n];
     for &r in top_k {
-        for (s, row_s) in rows.iter().enumerate() {
+        s_wins.fill(true);
+        r_wins.fill(true);
+        for j in 0..features.m() {
+            let col = features.col(j);
+            let base = col[r];
+            for (s, &v) in col.iter().enumerate() {
+                s_wins[s] = s_wins[s] && v - base > margin;
+                r_wins[s] = r_wins[s] && base - v > margin;
+            }
+        }
+        for s in 0..n {
             if s == r {
                 continue;
             }
-            if dominates(row_s, &rows[r], margin) {
+            if s_wins[s] {
                 out.push(DominancePair {
                     dominator: s,
                     dominatee: r,
                 });
-            } else if dominates(&rows[r], row_s, margin) {
+            } else if r_wins[s] {
                 out.push(DominancePair {
                     dominator: r,
                     dominatee: s,
@@ -59,6 +81,10 @@ pub fn dominance_pairs(rows: &[Vec<f64>], top_k: &[usize], margin: f64) -> Vec<D
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fm(rows: &[Vec<f64>]) -> FeatureMatrix {
+        FeatureMatrix::from_rows(rows)
+    }
 
     #[test]
     fn strict_dominance() {
@@ -75,11 +101,11 @@ mod tests {
 
     #[test]
     fn pairs_cover_both_directions() {
-        let rows = vec![
+        let rows = fm(&[
             vec![5.0, 5.0], // 0: dominates everything
             vec![1.0, 1.0], // 1: dominated by 0 and 2
             vec![3.0, 3.0], // 2
-        ];
+        ]);
         // Only tuple 1 is ranked: pairs restricted to (·, 1) and (1, ·).
         let pairs = dominance_pairs(&rows, &[1], 0.0);
         assert!(pairs.contains(&DominancePair {
@@ -95,7 +121,7 @@ mod tests {
 
     #[test]
     fn ranked_tuple_as_dominator() {
-        let rows = vec![vec![5.0, 5.0], vec![1.0, 1.0]];
+        let rows = fm(&[vec![5.0, 5.0], vec![1.0, 1.0]]);
         let pairs = dominance_pairs(&rows, &[0], 0.0);
         assert_eq!(
             pairs,
@@ -108,8 +134,48 @@ mod tests {
 
     #[test]
     fn incomparable_tuples_produce_no_pairs() {
-        let rows = vec![vec![5.0, 1.0], vec![1.0, 5.0]];
+        let rows = fm(&[vec![5.0, 1.0], vec![1.0, 5.0]]);
         assert!(dominance_pairs(&rows, &[0, 1], 0.0).is_empty());
+    }
+
+    #[test]
+    fn columnar_sweep_matches_rowwise_definition() {
+        // Pseudo-random grid data: the columnar AND-refinement must agree
+        // with the direct per-pair `dominates` check in both directions.
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| {
+                vec![
+                    ((i * 7) % 13) as f64,
+                    ((i * 5) % 11) as f64,
+                    ((i * 3) % 7) as f64,
+                ]
+            })
+            .collect();
+        let features = fm(&rows);
+        let top = [0usize, 4, 9];
+        for margin in [0.0, 0.5] {
+            let fast = dominance_pairs(&features, &top, margin);
+            let mut slow = Vec::new();
+            for &r in &top {
+                for s in 0..rows.len() {
+                    if s == r {
+                        continue;
+                    }
+                    if dominates(&rows[s], &rows[r], margin) {
+                        slow.push(DominancePair {
+                            dominator: s,
+                            dominatee: r,
+                        });
+                    } else if dominates(&rows[r], &rows[s], margin) {
+                        slow.push(DominancePair {
+                            dominator: r,
+                            dominatee: s,
+                        });
+                    }
+                }
+            }
+            assert_eq!(fast, slow, "margin {margin}");
+        }
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //!   Definition 1;
 //! - [`score_ranks`] / [`score_ranks_exact`] — the score-based ranking
 //!   `ρ_W` of Definition 2, with the tie tolerance `ε`, in fast `f64` and
-//!   exact [`Rational`](rankhow_numeric::Rational) arithmetic;
+//!   exact [`Rational`](rankhow_numeric::Rational) arithmetic. Scoring
+//!   consumes the columnar
+//!   [`FeatureMatrix`](rankhow_linalg::FeatureMatrix) and runs batched
+//!   per-attribute kernels; every tie tolerance is validated by the one
+//!   [`checked_tie_eps`] constructor;
 //! - [`position_error`] — Definition 3, plus Kendall-tau and top-weighted
 //!   error variants the paper mentions as supported generalizations;
 //! - [`dominance_pairs`] — sound dominator/dominatee detection.
@@ -25,5 +29,7 @@ pub use error::{
     error_by_measure, kendall_tau_distance, position_error, position_error_weighted, ErrorMeasure,
 };
 pub use given::{GivenRanking, RankingError};
-pub use score::{rank_of_in, score_ranks, score_ranks_exact, scores_exact, scores_f64};
-pub use tolerances::{evaluate_weights, Tolerances};
+pub use score::{
+    rank_of_in, score_ranks, score_ranks_exact, scores_exact, scores_f64, scores_f64_into,
+};
+pub use tolerances::{checked_tie_eps, evaluate_weights, Tolerances};

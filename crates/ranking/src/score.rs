@@ -1,18 +1,33 @@
 //! Score-based rankings `ρ_W` (paper Definition 2).
 
+use crate::tolerances::checked_tie_eps;
+use rankhow_linalg::FeatureMatrix;
 use rankhow_numeric::Rational;
 
 /// Scores `f_W(r) = Σ w_i · r.A_i` for every row, in f64 arithmetic.
-pub fn scores_f64(rows: &[Vec<f64>], weights: &[f64]) -> Vec<f64> {
-    rows.iter()
-        .map(|r| r.iter().zip(weights).map(|(a, w)| a * w).sum())
-        .collect()
+///
+/// Runs the columnar batched kernel: one contiguous axpy pass per
+/// attribute ([`FeatureMatrix::scores_into`]).
+pub fn scores_f64(features: &FeatureMatrix, weights: &[f64]) -> Vec<f64> {
+    features.scores(weights)
+}
+
+/// Batched variant writing into a caller-provided buffer (length `n`) —
+/// the allocation-free path for tight solver loops.
+pub fn scores_f64_into(features: &FeatureMatrix, weights: &[f64], out: &mut [f64]) {
+    features.scores_into(weights, out);
 }
 
 /// Exact scores as rationals (lossless over the f64 inputs).
 /// Returns `None` if any input is NaN/infinite.
-pub fn scores_exact(rows: &[Vec<f64>], weights: &[f64]) -> Option<Vec<Rational>> {
-    rows.iter().map(|r| Rational::dot(weights, r)).collect()
+pub fn scores_exact(features: &FeatureMatrix, weights: &[f64]) -> Option<Vec<Rational>> {
+    let mut row = vec![0.0; features.m()];
+    (0..features.n())
+        .map(|i| {
+            features.copy_row_into(i, &mut row);
+            Rational::dot(weights, &row)
+        })
+        .collect()
 }
 
 /// Competition ranks under Definition 2 for every tuple:
@@ -21,7 +36,7 @@ pub fn scores_exact(rows: &[Vec<f64>], weights: &[f64]) -> Option<Vec<Rational>>
 /// O(n log n): sort scores descending, then binary-search the strict
 /// `> score + ε` boundary for each tuple.
 pub fn score_ranks(scores: &[f64], eps: f64) -> Vec<u32> {
-    assert!(eps >= 0.0, "tie tolerance must be non-negative");
+    let eps = checked_tie_eps(eps);
     let mut sorted: Vec<f64> = scores.to_vec();
     sorted.sort_by(|a, b| b.total_cmp(a)); // descending
     scores
@@ -40,6 +55,7 @@ pub fn score_ranks(scores: &[f64], eps: f64) -> Vec<u32> {
 /// Rank (Definition 2) of one tuple `r` among all tuples, given all
 /// scores. O(n) — useful when only a handful of ranks are needed.
 pub fn rank_of_in(scores: &[f64], r: usize, eps: f64) -> u32 {
+    let eps = checked_tie_eps(eps);
     let sr = scores[r];
     scores.iter().filter(|&&s| s - sr > eps).count() as u32 + 1
 }
@@ -50,6 +66,10 @@ pub fn rank_of_in(scores: &[f64], r: usize, eps: f64) -> u32 {
 /// This is the verification primitive of Section V-A: ranks computed
 /// here cannot be corrupted by floating-point imprecision.
 pub fn score_ranks_exact(scores: &[Rational], eps: &Rational, subset: &[usize]) -> Vec<u32> {
+    assert!(
+        *eps >= Rational::zero(),
+        "tie tolerance must be non-negative"
+    );
     subset
         .iter()
         .map(|&r| {
@@ -96,18 +116,21 @@ mod tests {
 
     #[test]
     fn scores_f64_dot_products() {
-        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let rows = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let s = scores_f64(&rows, &[0.5, 0.5]);
         assert_eq!(s, vec![1.5, 3.5]);
+        let mut buf = vec![0.0; 2];
+        scores_f64_into(&rows, &[0.5, 0.5], &mut buf);
+        assert_eq!(buf, s);
     }
 
     #[test]
     fn exact_ranks_match_f64_when_well_separated() {
-        let rows = vec![
+        let rows = FeatureMatrix::from_rows(&[
             vec![3.0, 2.0, 8.0],
             vec![4.0, 1.0, 15.0],
             vec![1.0, 1.0, 14.0],
-        ];
+        ]);
         let w = [0.1, 0.8, 0.1];
         let f = scores_f64(&rows, &w);
         let e = scores_exact(&rows, &w).unwrap();
@@ -121,7 +144,7 @@ mod tests {
     fn exact_ranks_catch_f64_blindspots() {
         // Two scores that collide in f64 but differ exactly: w·x with
         // catastrophic cancellation.
-        let rows = vec![vec![1e16, 1.0], vec![1e16, 2.0]];
+        let rows = FeatureMatrix::from_rows(&[vec![1e16, 1.0], vec![1e16, 2.0]]);
         // Weights chosen so f64 scores are equal (absorption) but exact
         // scores differ by 0.25.
         let w = [1.0, 0.25];
@@ -134,8 +157,21 @@ mod tests {
 
     #[test]
     fn subset_ranks_only_for_requested() {
-        let e = scores_exact(&[vec![1.0], vec![3.0], vec![2.0]], &[1.0]).unwrap();
+        let fm = FeatureMatrix::from_rows(&[vec![1.0], vec![3.0], vec![2.0]]);
+        let e = scores_exact(&fm, &[1.0]).unwrap();
         let got = score_ranks_exact(&e, &Rational::zero(), &[1]);
         assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tie tolerance")]
+    fn negative_eps_rejected_by_rank_of_in() {
+        rank_of_in(&[1.0, 2.0], 0, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tie tolerance")]
+    fn nan_eps_rejected_by_score_ranks() {
+        score_ranks(&[1.0, 2.0], f64::NAN);
     }
 }

@@ -12,6 +12,21 @@
 //!   and 1 simultaneously nor accept a solution that fails exact
 //!   verification.
 
+/// The single checked constructor for tie tolerances: every entry point
+/// that compares scores under Definition 2 — [`crate::score_ranks`],
+/// [`crate::rank_of_in`], [`evaluate_weights`], and the [`Tolerances`]
+/// builders — routes `ε` through this validation, so a negative or
+/// non-finite tolerance is rejected identically everywhere instead of
+/// silently producing nonsense ranks on some paths.
+#[inline]
+pub fn checked_tie_eps(eps: f64) -> f64 {
+    assert!(
+        eps.is_finite() && eps >= 0.0,
+        "tie tolerance must be finite and non-negative (got {eps})"
+    );
+    eps
+}
+
 /// Comparison tolerances for one OPT instance.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Tolerances {
@@ -29,7 +44,11 @@ impl Tolerances {
     /// Construct from `ε` and `τ` via the Lemma 2/3 recipe:
     /// `ε2 = ε − τ`, `ε1 = ε + τ⁺` where `τ⁺` is minimally above `τ`.
     pub fn from_eps_tau(eps: f64, tau: f64) -> Self {
-        assert!(eps >= 0.0 && tau >= 0.0, "tolerances must be non-negative");
+        let eps = checked_tie_eps(eps);
+        assert!(
+            tau.is_finite() && tau >= 0.0,
+            "tolerances must be non-negative"
+        );
         assert!(tau <= eps, "tau > eps would make eps2 negative");
         // τ⁺: the next representable step above τ at this magnitude,
         // bounded away from τ so the gap survives row scaling.
@@ -48,6 +67,7 @@ impl Tolerances {
 
     /// Explicit values (the experiments set these per dataset).
     pub fn explicit(eps: f64, eps1: f64, eps2: f64) -> Self {
+        let eps = checked_tie_eps(eps);
         assert!(eps1 > eps2, "need eps1 > eps2 (Lemma 2)");
         let tau = ((eps1 - eps2) / 2.0).max(0.0);
         Tolerances {
@@ -105,17 +125,18 @@ impl Tolerances {
 /// The one-stop evaluation used by every baseline and by incumbent
 /// checks in the exact solver.
 pub fn evaluate_weights(
-    rows: &[Vec<f64>],
+    features: &rankhow_linalg::FeatureMatrix,
     given: &crate::GivenRanking,
     weights: &[f64],
     eps: f64,
 ) -> u64 {
-    let scores = crate::scores_f64(rows, weights);
+    let eps = checked_tie_eps(eps);
+    let scores = crate::scores_f64(features, weights);
     // Only the ranks of the top-k tuples matter; computing just those is
     // O(k·n) instead of O(n log n) and avoids allocating the full vector
     // when k is small.
     let top = given.top_k();
-    if top.len() * 8 < rows.len() {
+    if top.len() * 8 < features.n() {
         top.iter()
             .map(|&i| {
                 let rho = crate::rank_of_in(&scores, i, eps) as i64;
@@ -179,7 +200,8 @@ mod tests {
         let scores: Vec<f64> = rows.iter().map(|r| r[0] + 2.0 * r[1]).collect();
         let given = GivenRanking::from_scores(&scores, 3, 0.0).unwrap();
         let w = [0.3, 0.7];
-        let fast = evaluate_weights(&rows, &given, &w, 0.0);
+        let features = rankhow_linalg::FeatureMatrix::from_rows(&rows);
+        let fast = evaluate_weights(&features, &given, &w, 0.0);
         // Force the full-vector path by projecting onto the top tuples +
         // enough padding that k·8 ≥ n.
         let keep: Vec<usize> = {
@@ -188,20 +210,48 @@ mod tests {
             v.sort_unstable();
             v
         };
-        let sub_rows: Vec<Vec<f64>> = keep.iter().map(|&i| rows[i].clone()).collect();
+        let sub_features = features.select_rows(&keep);
         let sub_given = given.project(&keep).unwrap();
-        let slow = evaluate_weights(&sub_rows, &sub_given, &w, 0.0);
+        let slow = evaluate_weights(&sub_features, &sub_given, &w, 0.0);
         assert_eq!(fast, slow, "both evaluation paths agree");
     }
 
     #[test]
     fn evaluate_weights_perfect_function_zero_error() {
-        let rows = vec![vec![3.0, 1.0], vec![2.0, 1.0], vec![1.0, 1.0]];
+        let rows = rankhow_linalg::FeatureMatrix::from_rows(&[
+            vec![3.0, 1.0],
+            vec![2.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
         let given = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
         assert_eq!(evaluate_weights(&rows, &given, &[1.0, 0.0], 0.0), 0);
         // Inverting weights ranks tuple 0 last among distinct scores? All
         // scores equal under [0,1] weights → everyone rank 1 → error =
         // |1-1| + |2-1| = 1.
         assert_eq!(evaluate_weights(&rows, &given, &[0.0, 1.0], 0.0), 1);
+    }
+
+    #[test]
+    fn checked_tie_eps_accepts_valid() {
+        assert_eq!(checked_tie_eps(0.0), 0.0);
+        assert_eq!(checked_tie_eps(5e-5), 5e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tie tolerance")]
+    fn checked_tie_eps_rejects_negative() {
+        checked_tie_eps(-1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "tie tolerance")]
+    fn checked_tie_eps_rejects_infinite() {
+        checked_tie_eps(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "tie tolerance")]
+    fn tolerances_constructors_share_the_check() {
+        Tolerances::explicit(-1.0, 1.0, 0.0);
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests for the ranking domain model.
 
 use proptest::prelude::*;
+use rankhow_linalg::FeatureMatrix;
 use rankhow_numeric::Rational;
 use rankhow_ranking::{
     dominance_pairs, kendall_tau_distance, position_error, rank_of_in, score_ranks,
@@ -70,14 +71,15 @@ proptest! {
     ) {
         let total = w0 + w1 + w2;
         let w = [w0 / total, w1 / total, w2 / total];
-        let f = scores_f64(&rows, &w);
+        let features = FeatureMatrix::from_rows(&rows);
+        let f = scores_f64(&features, &w);
         // Only claim agreement when scores are far apart relative to
         // f64 noise (the whole point of ε1/ε2 is the residual cases).
         let mut sorted = f.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let min_gap = sorted.windows(2).map(|p| p[1] - p[0]).fold(f64::INFINITY, f64::min);
         prop_assume!(min_gap > 1e-6);
-        let e = scores_exact(&rows, &w).unwrap();
+        let e = scores_exact(&features, &w).unwrap();
         let subset: Vec<usize> = (0..rows.len()).collect();
         let exact = score_ranks_exact(&e, &Rational::zero(), &subset);
         let fast = score_ranks(&f, 0.0);
@@ -101,7 +103,7 @@ proptest! {
         w0 in 0.0..1.0f64,
     ) {
         let top: Vec<usize> = (0..rows.len().min(3)).collect();
-        let pairs = dominance_pairs(&rows, &top, 0.0);
+        let pairs = dominance_pairs(&FeatureMatrix::from_rows(&rows), &top, 0.0);
         let w = [w0, 1.0 - w0];
         for p in &pairs {
             let fs: f64 = w.iter().zip(&rows[p.dominator]).map(|(a, b)| a * b).sum();

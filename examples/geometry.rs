@@ -45,9 +45,9 @@ fn main() {
         "\nindicators still undecided over the simplex: {}",
         sys.pairs.len()
     );
-    for p in &sys.pairs {
-        let lo = formulation::box_simplex_min(&p.diff, &sys.box_lo, &sys.box_hi).unwrap();
-        let hi = formulation::box_simplex_max(&p.diff, &sys.box_lo, &sys.box_hi).unwrap();
+    for (idx, p) in sys.pairs.iter().enumerate() {
+        let lo = formulation::box_simplex_min(sys.diff(idx), &sys.box_lo, &sys.box_hi).unwrap();
+        let hi = formulation::box_simplex_max(sys.diff(idx), &sys.box_lo, &sys.box_hi).unwrap();
         println!(
             "  δ_{}{}: score-difference range [{lo:.2}, {hi:.2}] — crosses 0",
             names[p.s], names[sys.top[p.slot]]
@@ -66,7 +66,7 @@ fn main() {
             .map(|w| (w * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
-    let scores = rankhow::ranking::scores_f64(problem.data.rows(), &sol.weights);
+    let scores = rankhow::ranking::scores_f64(problem.data.features(), &sol.weights);
     println!(
         "scores: r={:.3}, s={:.3}, t={:.3} → ranking [r, s, t] as required",
         scores[0], scores[1], scores[2]

@@ -91,7 +91,7 @@ fn main() {
     match RankHow::with_config(budget.clone()).solve(&pinned) {
         Ok(sol) => {
             let ranks = score_ranks(
-                &rankhow::ranking::scores_f64(pinned.data.rows(), &sol.weights),
+                &rankhow::ranking::scores_f64(pinned.data.features(), &sol.weights),
                 pinned.tol.eps,
             );
             println!(

@@ -80,7 +80,7 @@ fn main() {
     // toward the bottom of the top-k.
     println!("\nper-position displacement (π → ρ):");
     for (measure, sol) in &solutions {
-        let scores = rankhow::ranking::scores_f64(problem.data.rows(), &sol.weights);
+        let scores = rankhow::ranking::scores_f64(problem.data.features(), &sol.weights);
         let mut rows: Vec<(u32, u32)> = problem
             .given
             .top_k()

@@ -5,6 +5,7 @@
 //!         [--eps <E>] [--eps1 <E1>] [--eps2 <E2>]
 //!         [--min-weight <ATTR>=<LO>] [--max-weight <ATTR>=<HI>]
 //!         [--symgd <CELL>] [--budget <SECONDS>] [--measure position|kendall|topweighted]
+//!         [--threads <N>]
 //! ```
 //!
 //! Input: a CSV of numeric attributes (header row). The given ranking
@@ -39,13 +40,15 @@ struct Args {
     symgd_cell: Option<f64>,
     budget: u64,
     measure: ErrorMeasure,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: rankhow <data.csv> [--ranking pos.csv | --score-col NAME] [--k K]\n\
          \x20      [--eps E] [--eps1 E1] [--eps2 E2] [--min-weight A=L] [--max-weight A=H]\n\
-         \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]"
+         \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]\n\
+         \x20      [--threads N]"
     );
     std::process::exit(2)
 }
@@ -64,6 +67,7 @@ fn parse_args() -> Args {
         symgd_cell: None,
         budget: 30,
         measure: ErrorMeasure::Position,
+        threads: rankhow::core::default_threads(),
     };
     let mut it = std::env::args().skip(1);
     let mut positional = Vec::new();
@@ -77,6 +81,7 @@ fn parse_args() -> Args {
             "--eps1" => args.eps1 = next().parse().unwrap_or_else(|_| usage()),
             "--eps2" => args.eps2 = next().parse().unwrap_or_else(|_| usage()),
             "--budget" => args.budget = next().parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = next().parse().unwrap_or_else(|_| usage()),
             "--symgd" => args.symgd_cell = Some(next().parse().unwrap_or_else(|_| usage())),
             "--min-weight" | "--max-weight" => {
                 let spec = next();
@@ -148,7 +153,7 @@ fn main() -> ExitCode {
             eprintln!("no column named {col}");
             return ExitCode::FAILURE;
         };
-        let scores: Vec<f64> = data.rows().iter().map(|r| r[idx]).collect();
+        let scores: Vec<f64> = data.col(idx).to_vec();
         let keep: Vec<usize> = (0..data.m()).filter(|&j| j != idx).collect();
         data = data.select_attrs(&keep);
         match GivenRanking::from_scores(&scores, args.k.min(scores.len()), 0.0) {
@@ -202,6 +207,7 @@ fn main() -> ExitCode {
             cell_size: cell,
             adaptive: true,
             total_time: Some(Duration::from_secs(args.budget)),
+            threads: args.threads,
             ..SymGdConfig::default()
         })
         .solve(&problem, &seed)
@@ -217,6 +223,7 @@ fn main() -> ExitCode {
         match rankhow::core::RankHow::with_config(SolverConfig {
             time_limit: Some(Duration::from_secs(args.budget)),
             warm_start: Some(seed),
+            threads: args.threads,
             ..SolverConfig::default()
         })
         .solve(&problem)

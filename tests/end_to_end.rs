@@ -33,7 +33,7 @@ fn nba_pipeline_exact_beats_baselines() {
 
     // Baselines cannot beat it (when the solve was proved optimal).
     if sol.optimal {
-        let inst = baselines::Instance::new(problem.data.rows(), &problem.given, problem.tol);
+        let inst = baselines::Instance::new(problem.data.features(), &problem.given, problem.tol);
         let lr = baselines::linear_regression::fit(
             &inst,
             baselines::linear_regression::Variant::Default,
@@ -136,7 +136,7 @@ fn facade_quickstart() {
     assert_eq!(solution.error, 0);
 
     // Definition 2/3 helpers from the prelude.
-    let scores = ranking::scores_f64(problem.data.rows(), &solution.weights);
+    let scores = ranking::scores_f64(problem.data.features(), &solution.weights);
     let ranks = score_ranks(&scores, 0.0);
     assert_eq!(position_error(&problem.given, &ranks), 0);
 }

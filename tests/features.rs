@@ -159,7 +159,7 @@ fn constraint_exploration_loop_composes_with_objectives() {
         .unwrap();
     match RankHow::new().solve(&pinned) {
         Ok(sol) => {
-            let scores = rankhow::ranking::scores_f64(pinned.data.rows(), &sol.weights);
+            let scores = rankhow::ranking::scores_f64(pinned.data.features(), &sol.weights);
             assert_eq!(
                 rankhow::ranking::rank_of_in(&scores, top_team, pinned.tol.eps),
                 1
@@ -185,7 +185,7 @@ fn pairwise_order_constraint_respected_by_satsearch() {
         ))
         .unwrap();
     let sat = SatSearch::new().solve(&constrained).unwrap();
-    let scores = rankhow::ranking::scores_f64(constrained.data.rows(), &sat.weights);
+    let scores = rankhow::ranking::scores_f64(constrained.data.features(), &sat.weights);
     assert!(
         scores[1] > scores[0],
         "order constraint violated: {} vs {}",
