@@ -1,0 +1,133 @@
+//! Throughput of the job-based scheduler: a jobs × threads sweep over
+//! synthetic workloads, measuring how one shared worker pool multiplexes
+//! concurrent solve jobs (per-job frontiers, node-budget time slicing,
+//! per-worker LP workspace reuse across jobs).
+//!
+//! Kept compiling by the CI `cargo bench --no-run` step; run with
+//! `cargo bench --bench serve_throughput`.
+//!
+//! Interpretation note: on a single-core container the >1-thread rows
+//! measure pure coordination overhead (see `solver_scaling`); the sweep
+//! is meaningful on multi-core hardware, where the jobs-per-second rows
+//! show the amortization win of one long-lived pool over per-query
+//! pools.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rankhow_bench::setups;
+use rankhow_core::{OptProblem, SolverConfig};
+use rankhow_data::synthetic::Distribution;
+use rankhow_serve::Scheduler;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The batch of concurrent jobs: replicas of the uniform synthetic
+/// workload (distinct seeds so the searches differ).
+fn job_batch(jobs: usize) -> Vec<Arc<OptProblem>> {
+    (0..jobs)
+        .map(|replica| {
+            Arc::new(setups::synthetic_problem(
+                Distribution::Uniform,
+                replica as u64,
+                150,
+                4,
+                4,
+                3,
+                false,
+            ))
+        })
+        .collect()
+}
+
+/// Jobs × threads sweep: spawn all jobs on one scheduler, join all.
+fn scheduler_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for &jobs in &[1usize, 4, 8] {
+        let problems = job_batch(jobs);
+        for &threads in &[1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("jobs{jobs}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let scheduler = Scheduler::new(threads);
+                        let handles: Vec<_> = problems
+                            .iter()
+                            .map(|p| {
+                                scheduler.spawn_shared(
+                                    Arc::clone(p),
+                                    SolverConfig {
+                                        // Cap each job so the whole
+                                        // sweep stays bench-sized.
+                                        time_limit: Some(Duration::from_secs(5)),
+                                        ..SolverConfig::default()
+                                    },
+                                )
+                            })
+                            .collect();
+                        let errors: Vec<u64> = handles
+                            .into_iter()
+                            .map(|h| h.join().expect("feasible workload").error)
+                            .collect();
+                        black_box(errors)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The pool-reuse comparison the scheduler exists for: N sequential
+/// blocking solves (a fresh thread pool + LP workspaces per query)
+/// versus the same N queries multiplexed on one warm scheduler.
+fn pool_amortization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_amortization");
+    group.sample_size(10);
+    let problems = job_batch(4);
+    group.bench_function("sequential_blocking", |b| {
+        b.iter(|| {
+            let errors: Vec<u64> = problems
+                .iter()
+                .map(|p| {
+                    rankhow_core::RankHow::with_config(SolverConfig {
+                        threads: 2,
+                        time_limit: Some(Duration::from_secs(5)),
+                        ..SolverConfig::default()
+                    })
+                    .solve(p)
+                    .expect("feasible workload")
+                    .error
+                })
+                .collect();
+            black_box(errors)
+        });
+    });
+    group.bench_function("one_scheduler", |b| {
+        b.iter(|| {
+            let scheduler = Scheduler::new(2);
+            let handles: Vec<_> = problems
+                .iter()
+                .map(|p| {
+                    scheduler.spawn_shared(
+                        Arc::clone(p),
+                        SolverConfig {
+                            time_limit: Some(Duration::from_secs(5)),
+                            ..SolverConfig::default()
+                        },
+                    )
+                })
+                .collect();
+            let errors: Vec<u64> = handles
+                .into_iter()
+                .map(|h| h.join().expect("feasible workload").error)
+                .collect();
+            black_box(errors)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_sweep, pool_amortization);
+criterion_main!(benches);

@@ -1,54 +1,77 @@
-//! The search drivers: node expansion shared by the sequential and the
-//! parallel (work-stealing) engines.
+//! Node expansion (box tightening, pair classification, pruning,
+//! children) shared by every driver, plus the blocking `solve()` entry
+//! that drives a [`SolveJob`](super::job::SolveJob) to completion on the
+//! caller's threads.
 
 use super::bounds::interval_bound;
-use super::frontier::{LocalQueue, Node, WorkPool};
+use super::frontier::Node;
 use super::incumbent::SharedIncumbent;
-use super::{SearchOrder, Solution, SolverConfig, SolverError, SolverStats};
+use super::job::{SolveJob, StepOutcome};
+use super::{Solution, SolverConfig, SolverError, SolverStats};
 use crate::formulation::{self, ReducedSystem};
 use crate::OptProblem;
 use rankhow_lp::{
     chebyshev_center_with, Op, Problem as Lp, Sense, SimplexWorkspace, Status, VarId,
 };
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+
+/// Nodes a blocking driver expands per [`SolveJob::step`] slice. The
+/// slice length only bounds how often limits/cancellation are
+/// re-checked between node batches, so a large value keeps the blocking
+/// path's overhead negligible.
+const BLOCKING_SLICE: usize = 1024;
 
 /// Per-worker mutable state: reusable LP scratch (tableaus stop
 /// reallocating per node) plus classification buffers and local stats.
-struct WorkerScratch {
-    lp: SimplexWorkspace,
-    decided: Vec<Option<bool>>,
-    open: Vec<u32>,
-    beats: Vec<u32>,
-    stats: SolverStats,
+///
+/// One scratch outlives any number of jobs — [`SolveJob::step`] resizes
+/// the classification buffers to the job at hand while the
+/// [`SimplexWorkspace`] keeps its tableau allocation across jobs, which
+/// is what lets a long-lived scheduler worker hop between queries
+/// without ever re-allocating LP storage.
+#[derive(Default)]
+pub struct EngineScratch {
+    pub(super) lp: SimplexWorkspace,
+    pub(super) decided: Vec<Option<bool>>,
+    pub(super) open: Vec<u32>,
+    pub(super) beats: Vec<u32>,
+    pub(super) stats: SolverStats,
 }
 
-impl WorkerScratch {
-    fn new(ctx: &SearchContext<'_>) -> Self {
-        WorkerScratch {
-            lp: SimplexWorkspace::new(),
-            decided: vec![None; ctx.sys.pairs.len()],
-            open: vec![0; ctx.sys.top.len()],
-            beats: vec![0; ctx.sys.top.len()],
-            stats: SolverStats::default(),
-        }
+impl EngineScratch {
+    /// A fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+
+    /// Size the classification buffers for a job's reduced system
+    /// (no-op when already sized — the common case inside one job).
+    pub(super) fn prepare(&mut self, sys: &ReducedSystem) {
+        self.decided.resize(sys.pairs.len(), None);
+        self.open.resize(sys.top.len(), 0);
+        self.beats.resize(sys.top.len(), 0);
+    }
+
+    /// Move the locally accumulated stats out (for merging into a job).
+    pub(super) fn take_stats(&mut self) -> SolverStats {
+        std::mem::take(&mut self.stats)
     }
 }
 
-/// Immutable search state shared by every worker.
-struct SearchContext<'a> {
-    problem: &'a OptProblem,
-    config: &'a SolverConfig,
-    sys: ReducedSystem,
-    slot_bounds: Vec<Option<(u32, u32)>>,
-    has_position_constraints: bool,
-    box_lo: Vec<f64>,
-    box_hi: Vec<f64>,
-    start: Instant,
+/// Immutable per-step view of one job's search state. All mutable state
+/// lives in the job (frontier, incumbent, counters) or in the worker's
+/// [`EngineScratch`]; this struct only borrows, so any worker can form a
+/// view of any job at any time — the reentrancy the scheduler needs.
+pub(super) struct SearchView<'a> {
+    pub problem: &'a OptProblem,
+    pub config: &'a SolverConfig,
+    pub sys: &'a ReducedSystem,
+    pub slot_bounds: &'a [Option<(u32, u32)>],
+    pub has_position_constraints: bool,
+    pub box_lo: &'a [f64],
+    pub box_hi: &'a [f64],
 }
 
-impl SearchContext<'_> {
+impl SearchView<'_> {
     /// A candidate becomes the incumbent only if it satisfies the
     /// position windows; returns whether it improved the shared best.
     ///
@@ -58,7 +81,7 @@ impl SearchContext<'_> {
     /// bit-for-bit. (A pairwise-difference evaluation over the reduced
     /// system rounds differently at tie boundaries and can disagree with
     /// `evaluate` by a rank on ε = 0 ties.)
-    fn try_incumbent(
+    pub fn try_incumbent(
         &self,
         w: &[f64],
         incumbent: &SharedIncumbent,
@@ -76,7 +99,7 @@ impl SearchContext<'_> {
     }
 
     /// Build the node's weight-space LP region.
-    fn region(&self, decisions: &[(u32, bool)]) -> Lp {
+    pub fn region(&self, decisions: &[(u32, bool)]) -> Lp {
         let m = self.problem.m();
         let mut lp = Lp::new(Sense::Minimize);
         let w: Vec<VarId> = (0..m)
@@ -103,7 +126,7 @@ impl SearchContext<'_> {
     fn tighten_box(
         &self,
         region: &Lp,
-        scratch: &mut WorkerScratch,
+        scratch: &mut EngineScratch,
     ) -> Result<Option<(Vec<f64>, Vec<f64>)>, SolverError> {
         // Safety margin so LP round-off cannot make the box *tighter*
         // than the true region (classification soundness depends on
@@ -147,11 +170,11 @@ impl SearchContext<'_> {
     /// Expand one node: tighten its box, classify the live pairs, prune
     /// by interval bound and position windows, sample an incumbent, and
     /// return the surviving children (empty for pruned nodes and leaves).
-    fn expand(
+    pub fn expand(
         &self,
         node: &Node,
         incumbent: &SharedIncumbent,
-        scratch: &mut WorkerScratch,
+        scratch: &mut EngineScratch,
     ) -> Result<Vec<Node>, SolverError> {
         // Tighten the node's weight box via per-coordinate LPs.
         let region = self.region(&node.decisions);
@@ -215,7 +238,7 @@ impl SearchContext<'_> {
 
         // Node bound from rank intervals.
         let bound = interval_bound(
-            &self.sys,
+            self.sys,
             &scratch.beats,
             &scratch.open,
             self.problem.objective,
@@ -263,277 +286,39 @@ impl SearchContext<'_> {
         }
         Ok(children)
     }
-
-    fn over_time_limit(&self) -> bool {
-        self.config
-            .time_limit
-            .is_some_and(|tl| self.start.elapsed() >= tl)
-    }
 }
 
-/// Solve OPT exactly (or to the configured limits).
+/// Solve OPT exactly (or to the configured limits), blocking the caller.
+///
+/// This is a thin driver over the reentrant [`SolveJob`]: one job is
+/// created with `config.threads` frontier lanes and stepped to
+/// completion — on the calling thread for one lane, on a
+/// `std::thread::scope` pool otherwise. The scheduler in `rankhow-serve`
+/// drives the very same job API from its long-lived worker pool.
 pub(super) fn solve(problem: &OptProblem, config: &SolverConfig) -> Result<Solution, SolverError> {
-    let start = Instant::now();
-    let m = problem.m();
-    let (box_lo, box_hi) = match &config.initial_box {
-        Some((lo, hi)) => (lo.clone(), hi.clone()),
-        None => (vec![0.0; m], vec![1.0; m]),
-    };
-
-    // Root constant-folding: stream over all k·(n−1) pairs once.
-    let sys = formulation::reduce_against_box(problem, &box_lo, &box_hi);
-
-    // Allowed rank windows per slot (Example 1 position constraints).
-    let slot_bounds: Vec<Option<(u32, u32)>> = sys
-        .top
-        .iter()
-        .map(|&t| problem.positions.interval(t))
-        .collect();
-    let ctx = SearchContext {
-        problem,
-        config,
-        has_position_constraints: slot_bounds.iter().any(|b| b.is_some()),
-        slot_bounds,
-        sys,
-        box_lo,
-        box_hi,
-        start,
-    };
-    let threads = config.threads.max(1);
-    let mut root_stats = SolverStats {
-        live_pairs: ctx.sys.pairs.len(),
-        threads,
-        ..SolverStats::default()
-    };
-    let mut scratch = WorkerScratch::new(&ctx);
-
-    // Root region feasibility + first incumbent. A numerically
-    // stuck Chebyshev LP falls back to a plain feasibility solve.
-    let root_region = ctx.region(&[]);
-    root_stats.lp_solves += 1;
-    let center = match chebyshev_center_with(&root_region, &mut scratch.lp) {
-        Ok(Some(c)) => c,
-        Ok(None) => return Err(SolverError::Infeasible),
-        Err(_) => {
-            root_stats.lp_solves += 1;
-            let sol = root_region.solve_feasibility_with(&mut scratch.lp)?;
-            if sol.status != Status::Optimal {
-                return Err(SolverError::Infeasible);
-            }
-            sol.x
-        }
-    };
-    let incumbent = SharedIncumbent::new(center.clone(), u64::MAX);
-    ctx.try_incumbent(&center, &incumbent, &mut root_stats);
-
-    if let Some(warm) = &config.warm_start {
-        if warm.len() == m
-            && problem.constraints.satisfied_by(warm)
-            && in_box(warm, &ctx.box_lo, &ctx.box_hi)
-        {
-            ctx.try_incumbent(warm, &incumbent, &mut root_stats);
-        }
-    }
-
-    // Start heuristic: deterministic random simplex points inside
-    // the box; good incumbents found here prune the tree everywhere.
-    if config.root_samples > 0 && incumbent.error() > 0 {
-        let mut state = 0x853c49e6748fea9bu64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state >> 11) as f64 / (1u64 << 53) as f64
-        };
-        for _ in 0..config.root_samples {
-            // Dirichlet(1,…,1) point, projected into the box.
-            let mut w: Vec<f64> = (0..m).map(|_| -(next().max(1e-12)).ln()).collect();
-            let total: f64 = w.iter().sum();
-            for (j, x) in w.iter_mut().enumerate() {
-                *x = (*x / total).clamp(ctx.box_lo[j], ctx.box_hi[j]);
-            }
-            let resum: f64 = w.iter().sum();
-            if resum <= 0.0 {
-                continue;
-            }
-            // Re-normalize; box clipping can push the sum off 1.
-            let ok_after: bool = {
-                w.iter_mut().for_each(|x| *x /= resum);
-                in_box(&w, &ctx.box_lo, &ctx.box_hi)
-            };
-            if ok_after && problem.constraints.satisfied_by(&w) {
-                ctx.try_incumbent(&w, &incumbent, &mut root_stats);
-                if incumbent.error() == 0 {
-                    break;
-                }
-            }
-        }
-    }
-
-    // Search.
-    let root = Node {
-        decisions: Vec::new(),
-        bound: interval_bound(
-            &ctx.sys,
-            &ctx.sys.fixed_beats,
-            &ctx.sys.undecided,
-            problem.objective,
-        ),
-    };
-    let proved = if incumbent.error() == 0 || root.bound >= incumbent.error() {
-        true
-    } else if threads <= 1 {
-        run_sequential(&ctx, root, &incumbent, &mut scratch)?
+    let lanes = config.threads.max(1);
+    let job = SolveJob::new(problem, config.clone(), lanes);
+    if lanes <= 1 {
+        let mut scratch = EngineScratch::new();
+        while job.step(0, &mut scratch, BLOCKING_SLICE) != StepOutcome::Done {}
     } else {
-        run_parallel(&ctx, root, &incumbent, threads, &mut root_stats)?
-    };
-    root_stats.merge(&scratch.stats);
-
-    root_stats.elapsed = start.elapsed();
-    let (best_err, best_w) = incumbent.into_best();
-    if best_err == u64::MAX {
-        // Only possible under position constraints: no sampled point
-        // satisfied the windows (and, if `proved`, none exists).
-        return Err(SolverError::Infeasible);
-    }
-    Ok(Solution {
-        weights: best_w,
-        error: best_err,
-        optimal: proved,
-        stats: root_stats,
-    })
-}
-
-/// Single-threaded driver: the classic loop, with the best-first
-/// early-termination proof (first pop whose bound reaches the incumbent
-/// proves optimality).
-fn run_sequential(
-    ctx: &SearchContext<'_>,
-    root: Node,
-    incumbent: &SharedIncumbent,
-    scratch: &mut WorkerScratch,
-) -> Result<bool, SolverError> {
-    let mut queue = LocalQueue::new(ctx.config.order);
-    queue.push(root);
-    loop {
-        let Some(node) = queue.pop() else {
-            return Ok(true);
-        };
-        if node.bound >= incumbent.error() {
-            if ctx.config.order == SearchOrder::BestFirst {
-                // Best-first: every remaining node is at least as bad.
-                return Ok(true);
-            }
-            continue;
-        }
-        if ctx.config.node_limit > 0 && scratch.stats.nodes >= ctx.config.node_limit {
-            return Ok(false);
-        }
-        if ctx.over_time_limit() {
-            return Ok(false);
-        }
-        scratch.stats.nodes += 1;
-        let children = ctx.expand(&node, incumbent, scratch)?;
-        if incumbent.error() == 0 {
-            return Ok(true);
-        }
-        for child in children {
-            queue.push(child);
-        }
-    }
-}
-
-/// Multi-threaded driver: per-worker frontiers with work-stealing
-/// handoff, a shared atomic incumbent, and exhaustion-based termination
-/// (pending count hits zero ⇒ every node was expanded or pruned ⇒
-/// optimality is proved).
-fn run_parallel(
-    ctx: &SearchContext<'_>,
-    root: Node,
-    incumbent: &SharedIncumbent,
-    threads: usize,
-    root_stats: &mut SolverStats,
-) -> Result<bool, SolverError> {
-    let pool = WorkPool::new(threads, ctx.config.order);
-    pool.push(0, root);
-    let stopped = AtomicBool::new(false); // a limit fired: no proof
-    let zero = AtomicBool::new(false); // error-0 incumbent: proof
-    let nodes_total = AtomicUsize::new(0);
-    let failure: Mutex<Option<SolverError>> = Mutex::new(None);
-
-    let worker_stats = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|wid| {
-                let pool = &pool;
-                let stopped = &stopped;
-                let zero = &zero;
-                let nodes_total = &nodes_total;
-                let failure = &failure;
+        std::thread::scope(|scope| {
+            for lane in 0..lanes {
+                let job = &job;
                 scope.spawn(move || {
-                    let mut scratch = WorkerScratch::new(ctx);
+                    let mut scratch = EngineScratch::new();
                     loop {
-                        if stopped.load(Ordering::SeqCst) || zero.load(Ordering::SeqCst) {
-                            break;
+                        match job.step(lane, &mut scratch, BLOCKING_SLICE) {
+                            StepOutcome::Done => break,
+                            StepOutcome::Starved => std::thread::yield_now(),
+                            StepOutcome::Progress => {}
                         }
-                        let Some(node) = pool.pop(wid) else {
-                            if pool.pending() == 0 {
-                                break; // search space exhausted
-                            }
-                            std::thread::yield_now();
-                            continue;
-                        };
-                        if node.bound >= incumbent.error() {
-                            pool.finish_node();
-                            continue;
-                        }
-                        let limit = ctx.config.node_limit;
-                        if limit > 0 && nodes_total.fetch_add(1, Ordering::SeqCst) >= limit {
-                            stopped.store(true, Ordering::SeqCst);
-                            pool.finish_node();
-                            break;
-                        }
-                        if ctx.over_time_limit() {
-                            stopped.store(true, Ordering::SeqCst);
-                            pool.finish_node();
-                            break;
-                        }
-                        scratch.stats.nodes += 1;
-                        match ctx.expand(&node, incumbent, &mut scratch) {
-                            Ok(children) => {
-                                if incumbent.error() == 0 {
-                                    zero.store(true, Ordering::SeqCst);
-                                }
-                                for child in children {
-                                    pool.push(wid, child);
-                                }
-                            }
-                            Err(e) => {
-                                *failure.lock().unwrap() = Some(e);
-                                stopped.store(true, Ordering::SeqCst);
-                            }
-                        }
-                        pool.finish_node();
                     }
-                    scratch.stats
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
-            .collect::<Vec<_>>()
-    });
-
-    if let Some(e) = failure.into_inner().unwrap() {
-        return Err(e);
+                });
+            }
+        });
     }
-    for s in &worker_stats {
-        root_stats.merge(s);
-    }
-    // Proof: an error-0 incumbent, or full exhaustion without any limit
-    // firing. (`pending == 0` also holds when `zero` raced ahead — both
-    // are valid proofs.)
-    Ok(zero.load(Ordering::SeqCst) || (!stopped.load(Ordering::SeqCst) && pool.pending() == 0))
+    job.into_solution()
 }
 
 pub(super) fn in_box(w: &[f64], lo: &[f64], hi: &[f64]) -> bool {

@@ -76,6 +76,13 @@ impl LocalQueue {
         }
     }
 
+    fn clear(&mut self) {
+        match self {
+            LocalQueue::Heap(h) => h.clear(),
+            LocalQueue::Stack(s) => s.clear(),
+        }
+    }
+
     /// Remove roughly half the queue (the half a thief takes). For the
     /// heap this pops from the top, so the thief receives the *best*
     /// bounds — handoff, not leftovers; the stack donates its oldest
@@ -158,6 +165,20 @@ impl WorkPool {
         self.pending.fetch_sub(1, AtomicOrder::SeqCst);
     }
 
+    /// Discard every node queued on `lane`, decrementing the pending
+    /// count accordingly. Sound only when the caller knows none of the
+    /// lane's nodes can beat the incumbent — e.g. a best-first heap
+    /// right after popping a node whose bound already failed the prune
+    /// test (every remaining node's bound is at least as large).
+    pub fn discard_lane(&self, lane: usize) {
+        let mut queue = self.queues[lane].lock().unwrap();
+        let dropped = queue.len();
+        if dropped > 0 {
+            queue.clear();
+            self.pending.fetch_sub(dropped, AtomicOrder::SeqCst);
+        }
+    }
+
     /// Live node count (queued + in flight).
     pub fn pending(&self) -> usize {
         self.pending.load(AtomicOrder::SeqCst)
@@ -215,6 +236,23 @@ mod tests {
         pool.finish_node();
         pool.finish_node();
         assert_eq!(pool.pending(), 2);
+    }
+
+    #[test]
+    fn discard_lane_drops_queued_nodes_from_pending() {
+        let pool = WorkPool::new(2, SearchOrder::BestFirst);
+        for b in [9u64, 3, 7] {
+            pool.push(0, node(b, 0));
+        }
+        pool.push(1, node(1, 0));
+        let popped = pool.pop(0).expect("own queue non-empty");
+        assert_eq!(popped.bound, 3);
+        // Pretend the pop failed the prune test: the rest of lane 0's
+        // heap is at least as bad and can be dropped wholesale.
+        pool.discard_lane(0);
+        pool.finish_node();
+        assert_eq!(pool.pending(), 1, "lane 1 untouched");
+        assert_eq!(pool.pop(1).map(|n| n.bound), Some(1));
     }
 
     #[test]

@@ -49,6 +49,14 @@ impl SharedIncumbent {
     pub fn into_best(self) -> (u64, Vec<f64>) {
         self.best.into_inner().unwrap()
     }
+
+    /// Consistent `(error, weights)` snapshot — the anytime-incumbent
+    /// read used by `best_so_far` streaming. Taken under the lock, so
+    /// the weights always realize the returned error.
+    pub fn snapshot(&self) -> (u64, Vec<f64>) {
+        let best = self.best.lock().unwrap();
+        (best.0, best.1.clone())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,498 @@
+//! The reentrant per-job search state.
+//!
+//! A [`SolveJob`] owns *all* mutable state of one OPT solve — frontier,
+//! incumbent, counters, limits — behind interior mutability, so any
+//! number of workers can advance the same job concurrently through
+//! [`SolveJob::step`] and any thread can observe or cancel it. Three
+//! drivers share this one search loop:
+//!
+//! - the blocking [`RankHow::solve`](super::RankHow::solve) (one job,
+//!   stepped to completion on the caller's threads);
+//! - the `rankhow-serve` scheduler (many jobs interleaved over one
+//!   long-lived worker pool, node-budget time slicing per job);
+//! - tests that single-step the search deterministically.
+//!
+//! Cancellation and deadlines are cooperative and checked at node
+//! granularity: a stopped job keeps its best-so-far incumbent and
+//! reports a [`SolveStatus`] instead of an error.
+
+use super::bounds::interval_bound;
+use super::engine::{in_box, EngineScratch, SearchView};
+use super::frontier::{Node, WorkPool};
+use super::incumbent::SharedIncumbent;
+use super::{SearchOrder, Solution, SolveStatus, SolverConfig, SolverError, SolverStats};
+use crate::formulation::{self, ReducedSystem};
+use crate::OptProblem;
+use rankhow_lp::Status;
+use std::borrow::Borrow;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// What one [`SolveJob::step`] slice observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// Nodes were processed and the frontier may hold more work.
+    Progress,
+    /// Nothing poppable right now — another worker holds the job's
+    /// remaining in-flight nodes (or is initializing the root). Retry
+    /// shortly; the job is not finished.
+    Starved,
+    /// The job is finished: proved, limit-stopped, cancelled, or
+    /// failed. [`SolveJob::result`] is now available.
+    Done,
+}
+
+/// Root-derived immutable search state, built lazily by whichever
+/// worker steps the job first (so `spawn` never blocks on the
+/// `O(k·n)` reduction or the root heuristics).
+struct RootState {
+    sys: ReducedSystem,
+    slot_bounds: Vec<Option<(u32, u32)>>,
+    has_position_constraints: bool,
+}
+
+/// One in-flight OPT solve, safe to step from many workers at once.
+///
+/// Generic over how the problem is held: the blocking solver borrows
+/// (`P = &OptProblem`), the scheduler shares (`P = Arc<OptProblem>`).
+pub struct SolveJob<P: Borrow<OptProblem>> {
+    problem: P,
+    config: SolverConfig,
+    /// When the job was created (spawn time): the base of deadlines and
+    /// of `stats.elapsed`.
+    start: Instant,
+    /// When the first worker started stepping the job. `time_limit` is
+    /// charged against this, not `start`, so a scheduler job's queue
+    /// wait does not eat its solve budget (`--budget` means the same
+    /// thing in batch mode as in the blocking path).
+    solve_started: OnceLock<Instant>,
+    box_lo: Vec<f64>,
+    box_hi: Vec<f64>,
+    lanes: usize,
+    pool: WorkPool,
+    incumbent: SharedIncumbent,
+    root: OnceLock<RootState>,
+    /// Taken (CAS) by the worker that runs root initialization.
+    root_claim: AtomicBool,
+    /// Set once the root node is pushed (or the root already proves the
+    /// job); exhaustion may only be concluded after this.
+    root_done: AtomicBool,
+    /// Nodes charged against `config.node_limit` (expanded nodes only).
+    nodes: AtomicUsize,
+    /// Deadline in nanoseconds since `start` (0 = none).
+    deadline_nanos: AtomicU64,
+    cancelled: AtomicBool,
+    /// Terminal outcome; set exactly once.
+    outcome: OnceLock<Result<SolveStatus, SolverError>>,
+    stats: Mutex<SolverStats>,
+}
+
+impl<P: Borrow<OptProblem>> SolveJob<P> {
+    /// A new job over `lanes` frontier lanes (≥ 1). Cheap: the root
+    /// reduction and heuristics run inside the first [`SolveJob::step`].
+    ///
+    /// `config.threads` is *not* consulted here — the driver decides the
+    /// parallelism by choosing `lanes` and how many workers step.
+    pub fn new(problem: P, config: SolverConfig, lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let m = problem.borrow().m();
+        let (box_lo, box_hi) = match &config.initial_box {
+            Some((lo, hi)) => (lo.clone(), hi.clone()),
+            None => (vec![0.0; m], vec![1.0; m]),
+        };
+        let pool = WorkPool::new(lanes, config.order);
+        SolveJob {
+            problem,
+            config,
+            start: Instant::now(),
+            solve_started: OnceLock::new(),
+            box_lo,
+            box_hi,
+            lanes,
+            pool,
+            incumbent: SharedIncumbent::new(Vec::new(), u64::MAX),
+            root: OnceLock::new(),
+            root_claim: AtomicBool::new(false),
+            root_done: AtomicBool::new(false),
+            nodes: AtomicUsize::new(0),
+            deadline_nanos: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+            outcome: OnceLock::new(),
+            stats: Mutex::new(SolverStats {
+                threads: lanes,
+                ..SolverStats::default()
+            }),
+        }
+    }
+
+    /// Number of frontier lanes (a scheduler maps worker ids onto
+    /// lanes modulo this).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Request cooperative cancellation. The job stops at the next node
+    /// boundary and finishes with [`SolveStatus::Cancelled`], keeping
+    /// its best-so-far incumbent. Idempotent; a no-op once finished.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Set (or move) the job's deadline to `after` from now, checked at
+    /// node granularity; an expired job finishes with
+    /// [`SolveStatus::TimeLimit`] and its best-so-far incumbent.
+    ///
+    /// Deadlines are wall-clock — queue wait counts, as a serving
+    /// latency bound should. [`SolverConfig::time_limit`] by contrast
+    /// is a *solve* budget, charged only from the job's first step.
+    pub fn deadline(&self, after: Duration) {
+        let at = self.start.elapsed() + after;
+        let nanos = u64::try_from(at.as_nanos()).unwrap_or(u64::MAX).max(1);
+        self.deadline_nanos.store(nanos, Ordering::Release);
+    }
+
+    /// Whether a terminal outcome has been reached.
+    pub fn is_finished(&self) -> bool {
+        self.outcome.get().is_some()
+    }
+
+    /// Latest anytime incumbent `(error, weights)`; `None` before the
+    /// first feasible point is found. Monotone: later observations never
+    /// report a larger error.
+    pub fn best_so_far(&self) -> Option<(u64, Vec<f64>)> {
+        let (err, w) = self.incumbent.snapshot();
+        (err != u64::MAX).then_some((err, w))
+    }
+
+    /// Advance the job by at most `node_budget` frontier pops on `lane`
+    /// (the scheduler's fairness slice). Reentrant: distinct workers may
+    /// step distinct lanes of the same job concurrently.
+    pub fn step(
+        &self,
+        lane: usize,
+        scratch: &mut EngineScratch,
+        node_budget: usize,
+    ) -> StepOutcome {
+        if self.is_finished() {
+            return StepOutcome::Done;
+        }
+        // The solve clock starts when the first worker arrives, not at
+        // spawn: queued jobs keep their full time budget.
+        self.solve_started.get_or_init(Instant::now);
+        // A job cancelled before its root was ever built skips the
+        // (possibly expensive) root setup entirely.
+        if self.cancelled.load(Ordering::Acquire) && !self.root_done.load(Ordering::Acquire) {
+            self.finish(Ok(SolveStatus::Cancelled));
+            return StepOutcome::Done;
+        }
+        if !self.root_done.load(Ordering::Acquire) {
+            if self
+                .root_claim
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.init_root(scratch);
+                self.flush(scratch);
+                if self.is_finished() {
+                    return StepOutcome::Done;
+                }
+            } else {
+                // Another worker is initializing; nothing to do yet.
+                return StepOutcome::Starved;
+            }
+        }
+        let lane = lane % self.lanes;
+        let view = self.view();
+        scratch.prepare(view.sys);
+        let budget = node_budget.max(1);
+        let mut popped = 0usize;
+        let outcome = loop {
+            if self.is_finished() {
+                break StepOutcome::Done;
+            }
+            if popped >= budget {
+                break StepOutcome::Progress;
+            }
+            if self.cancelled.load(Ordering::Acquire) {
+                self.finish(Ok(SolveStatus::Cancelled));
+                break StepOutcome::Done;
+            }
+            if let Some(status) = self.time_exceeded() {
+                self.finish(Ok(status));
+                break StepOutcome::Done;
+            }
+            let Some(node) = self.pool.pop(lane) else {
+                if self.pool.pending() == 0 {
+                    // Every node expanded or soundly pruned: proof.
+                    self.finish(Ok(SolveStatus::Optimal));
+                    break StepOutcome::Done;
+                }
+                break StepOutcome::Starved;
+            };
+            popped += 1;
+            if node.bound >= self.incumbent.error() {
+                // Sound discard — and under best-first order everything
+                // left on this lane's heap is at least as bad.
+                if self.config.order == SearchOrder::BestFirst {
+                    self.pool.discard_lane(lane);
+                }
+                self.pool.finish_node();
+                continue;
+            }
+            let limit = self.config.node_limit;
+            if limit > 0 && self.nodes.fetch_add(1, Ordering::SeqCst) >= limit {
+                self.pool.finish_node();
+                self.finish(Ok(SolveStatus::NodeLimit));
+                break StepOutcome::Done;
+            }
+            scratch.stats.nodes += 1;
+            match view.expand(&node, &self.incumbent, scratch) {
+                Ok(children) => {
+                    if self.incumbent.error() == 0 {
+                        self.pool.finish_node();
+                        self.finish(Ok(SolveStatus::Optimal));
+                        break StepOutcome::Done;
+                    }
+                    for child in children {
+                        self.pool.push(lane, child);
+                    }
+                    self.pool.finish_node();
+                }
+                Err(e) => {
+                    self.pool.finish_node();
+                    self.finish(Err(e));
+                    break StepOutcome::Done;
+                }
+            }
+        };
+        self.flush(scratch);
+        outcome
+    }
+
+    /// The job's solution; callable any time after [`SolveJob::step`]
+    /// returned [`StepOutcome::Done`] (panics before that). A stopped
+    /// job (limit / deadline / cancel) reports its best-so-far incumbent
+    /// with the corresponding [`SolveStatus`]; if *no* feasible point
+    /// was found before it stopped, that is reported as
+    /// [`SolverError::Infeasible`], mirroring the blocking solver's
+    /// behaviour on exhausted limits.
+    pub fn result(&self) -> Result<Solution, SolverError> {
+        let outcome = self
+            .outcome
+            .get()
+            .expect("SolveJob::result called before the job finished")
+            .clone();
+        let (error, weights) = self.incumbent.snapshot();
+        self.package(outcome?, error, weights)
+    }
+
+    /// Consume the job into its solution (the blocking driver's exit —
+    /// avoids cloning the incumbent weights).
+    pub(super) fn into_solution(self) -> Result<Solution, SolverError> {
+        let outcome = self
+            .outcome
+            .get()
+            .expect("SolveJob::into_solution called before the job finished")
+            .clone();
+        let status = outcome?;
+        let stats = SolverStats {
+            jobs: 1,
+            ..self.stats.into_inner().unwrap()
+        };
+        let (error, weights) = self.incumbent.into_best();
+        if error == u64::MAX {
+            return Err(SolverError::Infeasible);
+        }
+        Ok(Solution {
+            weights,
+            error,
+            optimal: status == SolveStatus::Optimal,
+            status,
+            stats,
+        })
+    }
+
+    fn package(
+        &self,
+        status: SolveStatus,
+        error: u64,
+        weights: Vec<f64>,
+    ) -> Result<Solution, SolverError> {
+        if error == u64::MAX {
+            // No feasible point was ever sampled. With a proof this is a
+            // genuine infeasibility (only possible under position
+            // constraints); without one it mirrors the historical
+            // limit-exhausted behaviour.
+            return Err(SolverError::Infeasible);
+        }
+        let mut stats = self.stats.lock().unwrap().clone();
+        stats.jobs = 1;
+        Ok(Solution {
+            weights,
+            error,
+            optimal: status == SolveStatus::Optimal,
+            status,
+            stats,
+        })
+    }
+
+    /// Root setup: reduction, slot windows, root-region feasibility,
+    /// warm start, start heuristic, and the root node push. Runs once,
+    /// on whichever worker wins the claim.
+    fn init_root(&self, scratch: &mut EngineScratch) {
+        let problem = self.problem.borrow();
+        let sys = formulation::reduce_against_box(problem, &self.box_lo, &self.box_hi);
+        let slot_bounds: Vec<Option<(u32, u32)>> = sys
+            .top
+            .iter()
+            .map(|&t| problem.positions.interval(t))
+            .collect();
+        scratch.stats.live_pairs = sys.pairs.len();
+        let root = RootState {
+            has_position_constraints: slot_bounds.iter().any(|b| b.is_some()),
+            slot_bounds,
+            sys,
+        };
+        self.root.set(root).unwrap_or_else(|_| {
+            unreachable!("root initialization is claimed by exactly one worker")
+        });
+        let view = self.view();
+        scratch.prepare(view.sys);
+
+        // Root region feasibility + first incumbent. A numerically
+        // stuck Chebyshev LP falls back to a plain feasibility solve.
+        let root_region = view.region(&[]);
+        scratch.stats.lp_solves += 1;
+        let center = match rankhow_lp::chebyshev_center_with(&root_region, &mut scratch.lp) {
+            Ok(Some(c)) => c,
+            Ok(None) => {
+                self.finish(Err(SolverError::Infeasible));
+                return;
+            }
+            Err(_) => {
+                scratch.stats.lp_solves += 1;
+                match root_region.solve_feasibility_with(&mut scratch.lp) {
+                    Ok(sol) if sol.status == Status::Optimal => sol.x,
+                    Ok(_) => {
+                        self.finish(Err(SolverError::Infeasible));
+                        return;
+                    }
+                    Err(e) => {
+                        self.finish(Err(SolverError::Lp(e)));
+                        return;
+                    }
+                }
+            }
+        };
+        view.try_incumbent(&center, &self.incumbent, &mut scratch.stats);
+
+        if let Some(warm) = &self.config.warm_start {
+            if warm.len() == problem.m()
+                && problem.constraints.satisfied_by(warm)
+                && in_box(warm, &self.box_lo, &self.box_hi)
+            {
+                view.try_incumbent(warm, &self.incumbent, &mut scratch.stats);
+            }
+        }
+
+        // Start heuristic: deterministic random simplex points inside
+        // the box; good incumbents found here prune the tree everywhere.
+        if self.config.root_samples > 0 && self.incumbent.error() > 0 {
+            let m = problem.m();
+            let mut state = 0x853c49e6748fea9bu64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            for _ in 0..self.config.root_samples {
+                // Dirichlet(1,…,1) point, projected into the box.
+                let mut w: Vec<f64> = (0..m).map(|_| -(next().max(1e-12)).ln()).collect();
+                let total: f64 = w.iter().sum();
+                for (j, x) in w.iter_mut().enumerate() {
+                    *x = (*x / total).clamp(self.box_lo[j], self.box_hi[j]);
+                }
+                let resum: f64 = w.iter().sum();
+                if resum <= 0.0 {
+                    continue;
+                }
+                // Re-normalize; box clipping can push the sum off 1.
+                let ok_after: bool = {
+                    w.iter_mut().for_each(|x| *x /= resum);
+                    in_box(&w, &self.box_lo, &self.box_hi)
+                };
+                if ok_after && problem.constraints.satisfied_by(&w) {
+                    view.try_incumbent(&w, &self.incumbent, &mut scratch.stats);
+                    if self.incumbent.error() == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Root node — unless the root bound already closes the search.
+        let root_bound = interval_bound(
+            view.sys,
+            &view.sys.fixed_beats,
+            &view.sys.undecided,
+            problem.objective,
+        );
+        if self.incumbent.error() == 0 || root_bound >= self.incumbent.error() {
+            self.finish(Ok(SolveStatus::Optimal));
+        } else {
+            self.pool.push(
+                0,
+                Node {
+                    decisions: Vec::new(),
+                    bound: root_bound,
+                },
+            );
+        }
+        self.root_done.store(true, Ordering::Release);
+    }
+
+    fn view(&self) -> SearchView<'_> {
+        let root = self.root.get().expect("root state initialized");
+        SearchView {
+            problem: self.problem.borrow(),
+            config: &self.config,
+            sys: &root.sys,
+            slot_bounds: &root.slot_bounds,
+            has_position_constraints: root.has_position_constraints,
+            box_lo: &self.box_lo,
+            box_hi: &self.box_hi,
+        }
+    }
+
+    fn time_exceeded(&self) -> Option<SolveStatus> {
+        if let (Some(limit), Some(solve_start)) = (self.config.time_limit, self.solve_started.get())
+        {
+            if solve_start.elapsed() >= limit {
+                return Some(SolveStatus::TimeLimit);
+            }
+        }
+        let deadline = self.deadline_nanos.load(Ordering::Acquire);
+        if deadline != 0
+            && u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX) >= deadline
+        {
+            return Some(SolveStatus::TimeLimit);
+        }
+        None
+    }
+
+    /// Record the terminal outcome (first writer wins) and freeze the
+    /// job's elapsed time.
+    fn finish(&self, outcome: Result<SolveStatus, SolverError>) {
+        if self.outcome.set(outcome).is_ok() {
+            self.stats.lock().unwrap().elapsed = self.start.elapsed();
+        }
+    }
+
+    /// Merge the worker's slice-local counters into the job totals.
+    fn flush(&self, scratch: &mut EngineScratch) {
+        let delta = scratch.take_stats();
+        self.stats.lock().unwrap().merge(&delta);
+    }
+}

@@ -26,16 +26,23 @@
 //!
 //! # Threading model
 //!
-//! [`SolverConfig::threads`] > 1 runs the same search on
-//! `std::thread::scope` workers: one frontier per worker with
-//! work-stealing handoff ([`frontier::WorkPool`]), a shared atomic
-//! incumbent every worker prunes against, and one reusable
-//! [`SimplexWorkspace`](rankhow_lp::SimplexWorkspace) per worker so the
-//! thousands of node LPs allocate nothing after warm-up. Pruning against
-//! the shared incumbent is sound in any interleaving (bounds are lower
-//! bounds regardless of who found the incumbent), so the parallel engine
-//! proves the same certified optimum the sequential one does — node and
-//! time limits aside, which remain best-effort in both.
+//! All mutable search state lives in a reentrant per-job struct,
+//! [`SolveJob`]: per-lane frontiers with work-stealing handoff
+//! ([`frontier::WorkPool`]), a shared atomic incumbent every worker
+//! prunes against, and limit/cancellation/deadline flags checked at
+//! node granularity. Workers advance a job through [`SolveJob::step`]
+//! with their own [`EngineScratch`] (reusable
+//! [`SimplexWorkspace`](rankhow_lp::SimplexWorkspace) + classification
+//! buffers), so the thousands of node LPs allocate nothing after
+//! warm-up — and one scratch serves any sequence of jobs, which is what
+//! the `rankhow-serve` scheduler multiplexes many concurrent queries
+//! on. [`SolverConfig::threads`] > 1 makes the blocking
+//! [`RankHow::solve`] drive one job from that many `std::thread::scope`
+//! workers. Pruning against the shared incumbent is sound in any
+//! interleaving (bounds are lower bounds regardless of who found the
+//! incumbent), so the parallel engine proves the same certified optimum
+//! the sequential one does — node and time limits aside, which remain
+//! best-effort in both.
 //!
 //! The engine optimizes Definition 4 directly (true position error under
 //! the tie tolerance `ε`); branching uses the `ε1`/`ε2` thresholds so
@@ -47,11 +54,14 @@ mod bounds;
 mod engine;
 mod frontier;
 mod incumbent;
+mod job;
 
 #[cfg(test)]
 pub(crate) use bounds::eval_in_system;
+pub use engine::EngineScratch;
+pub use job::{SolveJob, StepOutcome};
 
-use crate::{OptProblem, SymGdConfig};
+use crate::OptProblem;
 use rankhow_lp::SolveError;
 use std::time::Duration;
 
@@ -79,7 +89,10 @@ pub fn default_threads() -> usize {
 pub struct SolverConfig {
     /// Abort after expanding this many nodes (0 = unlimited).
     pub node_limit: usize,
-    /// Wall-clock limit.
+    /// Solve-time limit, charged from the moment a worker first steps
+    /// the job (for scheduler jobs, queue wait is *not* counted — a
+    /// batch query gets the same budget semantics as a blocking solve;
+    /// use a job deadline for an end-to-end latency bound).
     pub time_limit: Option<Duration>,
     /// Restrict the search to a weight box (SYM-GD cells).
     pub initial_box: Option<(Vec<f64>, Vec<f64>)>,
@@ -131,18 +144,51 @@ pub struct SolverStats {
     pub incumbents: usize,
     /// Live indicator pairs after root constant-folding.
     pub live_pairs: usize,
-    /// Worker threads the search actually ran with.
+    /// Worker threads (blocking solve) or frontier lanes (scheduler
+    /// jobs) the search ran with.
     pub threads: usize,
+    /// Jobs these stats cover: 1 on a [`Solution`], the number of
+    /// completed jobs on a scheduler-level aggregate.
+    pub jobs: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
 
 impl SolverStats {
-    /// Fold a worker's counters into the totals.
-    fn merge(&mut self, other: &SolverStats) {
+    /// Fold another stats block into the totals: counters add up,
+    /// `threads` and `elapsed` keep their local values (they are
+    /// per-solve properties, not summable).
+    pub fn merge(&mut self, other: &SolverStats) {
         self.nodes += other.nodes;
         self.lp_solves += other.lp_solves;
         self.incumbents += other.incumbents;
+        self.live_pairs += other.live_pairs;
+        self.jobs += other.jobs;
+    }
+}
+
+/// How a job (or blocking solve) terminated. Everything except
+/// [`SolveStatus::Optimal`] means the returned solution is the
+/// best-so-far incumbent of a truncated search ("bounded"), not a
+/// proved optimum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveStatus {
+    /// Optimality proved: an error-0 incumbent was found, or the search
+    /// tree was exhausted (every node expanded or soundly pruned).
+    Optimal,
+    /// Stopped by [`SolverConfig::node_limit`].
+    NodeLimit,
+    /// Stopped by [`SolverConfig::time_limit`] or a job deadline.
+    TimeLimit,
+    /// Cooperatively cancelled (scheduler jobs only).
+    Cancelled,
+}
+
+impl SolveStatus {
+    /// Whether the solution is a budget-truncated best-so-far rather
+    /// than a proved optimum.
+    pub fn is_bounded(self) -> bool {
+        self != SolveStatus::Optimal
     }
 }
 
@@ -169,12 +215,17 @@ pub struct Solution {
     /// reported solution can be strictly better than the certified
     /// optimum; see [`crate::verify::gap_band_pairs`].
     pub optimal: bool,
+    /// How the search terminated — distinguishes a proved optimum from
+    /// the specific budget (node limit, time limit/deadline,
+    /// cancellation) that truncated it. `optimal` is equivalent to
+    /// `status == SolveStatus::Optimal`.
+    pub status: SolveStatus,
     /// Search statistics.
     pub stats: SolverStats,
 }
 
 /// Solver failures.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum SolverError {
     /// The weight predicate (plus box) admits no weight vector.
     Infeasible,
@@ -220,19 +271,6 @@ impl RankHow {
     /// Solver with explicit configuration.
     pub fn with_config(config: SolverConfig) -> Self {
         RankHow { config }
-    }
-
-    /// Configuration used by [`crate::SymGd`] for cell-restricted solves.
-    pub(crate) fn for_cell(lo: Vec<f64>, hi: Vec<f64>, sym: &SymGdConfig) -> Self {
-        RankHow {
-            config: SolverConfig {
-                initial_box: Some((lo, hi)),
-                node_limit: sym.cell_node_limit,
-                time_limit: sym.cell_time_limit,
-                threads: sym.threads,
-                ..SolverConfig::default()
-            },
-        }
     }
 
     /// Solve OPT exactly (or to the configured limits).

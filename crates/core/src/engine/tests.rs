@@ -414,6 +414,130 @@ fn position_constraint_on_unranked_rejected() {
         .is_err());
 }
 
+/// An anti-correlated instance whose tree is deep enough that the
+/// search survives a few single-node steps (used by the job-API tests).
+fn deep_problem() -> OptProblem {
+    let rows: Vec<Vec<f64>> = (0..10)
+        .map(|i| vec![i as f64, (10 - i) as f64, ((i * 3) % 7) as f64])
+        .collect();
+    let scores: Vec<f64> = rows.iter().map(|r| r[0] * 0.4 + r[2]).collect();
+    let given = GivenRanking::from_scores(&scores, 6, 0.0).unwrap();
+    let names = vec!["a".into(), "b".into(), "c".into()];
+    let data = Dataset::from_rows(names, rows).unwrap();
+    OptProblem::new(data, given).unwrap()
+}
+
+#[test]
+fn job_single_stepping_matches_blocking_solve() {
+    let p = problem_from(
+        vec![
+            vec![5.0, 1.0, 2.0],
+            vec![4.0, 2.0, 1.0],
+            vec![1.0, 5.0, 3.0],
+            vec![2.0, 4.0, 5.0],
+            vec![3.0, 3.0, 4.0],
+        ],
+        vec![Some(1), Some(2), Some(3), None, None],
+    );
+    let config = SolverConfig {
+        threads: 1,
+        ..SolverConfig::default()
+    };
+    let blocking = RankHow::with_config(config.clone()).solve(&p).unwrap();
+    // Drive the same search one node at a time through the job API.
+    let job = SolveJob::new(&p, config, 1);
+    let mut scratch = EngineScratch::new();
+    let mut steps = 0usize;
+    while job.step(0, &mut scratch, 1) != StepOutcome::Done {
+        steps += 1;
+        assert!(steps < 1_000_000, "job failed to terminate");
+    }
+    assert!(job.is_finished());
+    let sol = job.result().unwrap();
+    assert_eq!(sol.error, blocking.error, "stepped optimum diverged");
+    assert_eq!(sol.weights, blocking.weights, "single-lane determinism");
+    assert!(sol.optimal);
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_eq!(sol.stats.jobs, 1);
+}
+
+#[test]
+fn cancelled_job_keeps_best_so_far() {
+    let p = deep_problem();
+    let job = SolveJob::new(
+        &p,
+        SolverConfig {
+            root_samples: 0,
+            threads: 1,
+            ..SolverConfig::default()
+        },
+        1,
+    );
+    let mut scratch = EngineScratch::new();
+    // First slice runs root setup plus one node.
+    if job.step(0, &mut scratch, 1) == StepOutcome::Done {
+        // Degenerate: solved immediately — nothing left to cancel.
+        assert!(job.result().unwrap().optimal);
+        return;
+    }
+    let (observed_err, observed_w) = job.best_so_far().expect("root center incumbent");
+    assert_eq!(p.evaluate(&observed_w), observed_err);
+    job.cancel();
+    assert_eq!(job.step(0, &mut scratch, 1), StepOutcome::Done);
+    let sol = job.result().unwrap();
+    assert_eq!(sol.status, SolveStatus::Cancelled);
+    assert!(sol.status.is_bounded());
+    assert!(!sol.optimal);
+    assert!(
+        sol.error <= observed_err,
+        "final best-so-far regressed: {} > {}",
+        sol.error,
+        observed_err
+    );
+}
+
+#[test]
+fn expired_deadline_stops_job_with_time_limit_status() {
+    let p = deep_problem();
+    let job = SolveJob::new(
+        &p,
+        SolverConfig {
+            root_samples: 0,
+            threads: 1,
+            ..SolverConfig::default()
+        },
+        1,
+    );
+    job.deadline(std::time::Duration::ZERO);
+    let mut scratch = EngineScratch::new();
+    // Root setup still runs (it provides the best-so-far incumbent);
+    // the expired deadline is caught at the first node boundary.
+    while job.step(0, &mut scratch, 8) != StepOutcome::Done {}
+    let sol = job.result().unwrap();
+    assert_eq!(sol.status, SolveStatus::TimeLimit);
+    assert!(!sol.optimal);
+    assert_eq!(p.evaluate(&sol.weights), sol.error);
+}
+
+#[test]
+fn node_limit_surfaces_in_status() {
+    let p = deep_problem();
+    let sol = RankHow::with_config(SolverConfig {
+        node_limit: 1,
+        root_samples: 0,
+        incumbent_sampling: false,
+        threads: 1,
+        ..SolverConfig::default()
+    })
+    .solve(&p)
+    .unwrap();
+    if !sol.optimal {
+        assert_eq!(sol.status, SolveStatus::NodeLimit);
+    } else {
+        assert_eq!(sol.status, SolveStatus::Optimal);
+    }
+}
+
 #[test]
 fn stats_are_meaningful() {
     let p = problem_from(

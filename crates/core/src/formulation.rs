@@ -137,7 +137,19 @@ pub fn reduce_against_box(problem: &OptProblem, lo: &[f64], hi: &[f64]) -> Reduc
     let given = &problem.given;
     let eps = problem.tol.eps;
     let top: Vec<usize> = given.top_k().to_vec();
-    let target: Vec<u32> = top.iter().map(|&r| given.position(r).unwrap()).collect();
+    // Invariant carried by `GivenRanking`: `top_k()` enumerates exactly
+    // the tuples whose `position()` is `Some` (checked at construction),
+    // so this lookup cannot fail for a well-formed ranking. (Audit note:
+    // this is the only non-test unwrap/expect in this module; every
+    // other fallible path returns through `Option`/`Result`.)
+    let target: Vec<u32> = top
+        .iter()
+        .map(|&r| {
+            given
+                .position(r)
+                .expect("GivenRanking invariant: every top-k tuple has a position")
+        })
+        .collect();
     let mut fixed_beats = vec![0u32; top.len()];
     let mut undecided = vec![0u32; top.len()];
     let mut pairs = Vec::new();

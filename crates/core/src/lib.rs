@@ -41,10 +41,11 @@ mod symgd;
 pub mod verify;
 
 pub use engine::{
-    default_threads, RankHow, SearchOrder, Solution, SolverConfig, SolverError, SolverStats,
+    default_threads, EngineScratch, RankHow, SearchOrder, Solution, SolveJob, SolveStatus,
+    SolverConfig, SolverError, SolverStats, StepOutcome,
 };
 pub use positions::PositionConstraints;
 pub use problem::{OptProblem, ProblemError, WeightConstraints};
 pub use rankhow_ranking::{ErrorMeasure, Tolerances};
 pub use satsearch::{ProbeRecord, SatSearch, SatSearchConfig, SatSearchResult};
-pub use symgd::{SymGd, SymGdConfig, SymGdResult, SymGdStep};
+pub use symgd::{CellScheduler, SymGd, SymGdConfig, SymGdResult, SymGdStep};

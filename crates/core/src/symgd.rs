@@ -17,9 +17,28 @@
 //! inner loop stalls in a local optimum, trading time for the chance to
 //! escape — the paper uses it whenever a total timeout is given.
 
-use crate::engine::{RankHow, SolverError};
+use crate::engine::{RankHow, Solution, SolverConfig, SolverError};
 use crate::OptProblem;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Where SYM-GD submits its cell solves.
+///
+/// The outer loop of Algorithms 1 and 2 is a *chain of jobs*: each cell
+/// solve is an independent box-restricted OPT instance, warm-started
+/// from the previous cell's optimum. Implementors decide how those jobs
+/// run — `rankhow-serve`'s `Scheduler` multiplexes them over its shared
+/// worker pool (so several SYM-GD chains and ad-hoc queries can share
+/// one pool), while the built-in blocking path of [`SymGd::solve`] runs
+/// each cell inline on [`RankHow`].
+pub trait CellScheduler {
+    /// Solve one cell-restricted job to completion (blocking).
+    fn solve_cell(
+        &self,
+        problem: &Arc<OptProblem>,
+        config: SolverConfig,
+    ) -> Result<Solution, SolverError>;
+}
 
 /// SYM-GD configuration.
 #[derive(Clone, Debug)]
@@ -72,6 +91,21 @@ impl SymGdConfig {
             adaptive: true,
             total_time: Some(total_time),
             ..SymGdConfig::default()
+        }
+    }
+
+    /// Solver configuration for one cell solve: restricted to the cell
+    /// box, warm-started from the current center (i.e. the previous
+    /// cell's optimum — the job-chain handoff), with the per-cell
+    /// budgets applied.
+    pub fn cell_config(&self, lo: Vec<f64>, hi: Vec<f64>, warm: Vec<f64>) -> SolverConfig {
+        SolverConfig {
+            initial_box: Some((lo, hi)),
+            warm_start: Some(warm),
+            node_limit: self.cell_node_limit,
+            time_limit: self.cell_time_limit,
+            threads: self.threads,
+            ..SolverConfig::default()
         }
     }
 }
@@ -149,8 +183,43 @@ impl SymGd {
         SymGd { config }
     }
 
-    /// Run from a seed point (see [`crate::seeding`] for strategies).
+    /// Run from a seed point (see [`crate::seeding`] for strategies),
+    /// solving each cell inline on the blocking [`RankHow`] solver.
     pub fn solve(&self, problem: &OptProblem, seed: &[f64]) -> Result<SymGdResult, SolverError> {
+        self.drive(problem, seed, |config| {
+            RankHow::with_config(config).solve(problem)
+        })
+    }
+
+    /// Run from a seed point, submitting every cell solve as a job on a
+    /// caller-provided scheduler. Cells are chained: each is
+    /// warm-started from the previous optimum via
+    /// [`SolverConfig::warm_start`], and `problem` is shared with the
+    /// scheduler by `Arc` clone (no dataset copies per cell).
+    ///
+    /// With a single-worker scheduler this path is step-for-step
+    /// identical to [`SymGd::solve`] at `threads: 1` — same trace, same
+    /// weights — while a wider pool lets the cell jobs (and any other
+    /// concurrent queries) share its workers.
+    pub fn solve_on<S: CellScheduler>(
+        &self,
+        scheduler: &S,
+        problem: &Arc<OptProblem>,
+        seed: &[f64],
+    ) -> Result<SymGdResult, SolverError> {
+        self.drive(problem, seed, |config| {
+            scheduler.solve_cell(problem, config)
+        })
+    }
+
+    /// The recentering loop shared by the blocking and scheduler paths;
+    /// `solve_cell` runs one configured cell job to completion.
+    fn drive(
+        &self,
+        problem: &OptProblem,
+        seed: &[f64],
+        mut solve_cell: impl FnMut(SolverConfig) -> Result<Solution, SolverError>,
+    ) -> Result<SymGdResult, SolverError> {
         assert_eq!(seed.len(), problem.m(), "seed dimensionality");
         let start = Instant::now();
         let mut w: Vec<f64> = rankhow_baselines::project_to_simplex(seed);
@@ -175,8 +244,7 @@ impl SymGd {
                 }
                 iterations += 1;
                 let (lo, hi) = cell_around(&w, c);
-                let solver = RankHow::for_cell(lo, hi, &self.config);
-                let sol = match solver.solve(problem) {
+                let sol = match solve_cell(self.config.cell_config(lo, hi, w.clone())) {
                     Ok(s) => s,
                     // Cell ∩ constraints empty: treat as a stall so the
                     // adaptive loop can grow past it.

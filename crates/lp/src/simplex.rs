@@ -78,6 +78,12 @@ pub struct SimplexWorkspace {
 
 impl SimplexWorkspace {
     /// A fresh, empty workspace.
+    ///
+    /// One workspace outlives any sequence of differently shaped
+    /// problems: `solve_with` rebuilds all state from scratch on each
+    /// call, only the *capacity* persists. The scheduler's workers
+    /// exploit this by keeping one workspace per thread across *jobs*,
+    /// not just across the nodes of one search.
     pub fn new() -> Self {
         SimplexWorkspace::default()
     }
@@ -564,6 +570,54 @@ mod tests {
         p.add_constraint(&[(x, 1.0), (y, -1.0)], Op::Le, 1.0);
         let s = p.solve().unwrap();
         assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn one_workspace_serves_interleaved_heterogeneous_problems() {
+        // The scheduler keeps one workspace per worker for its whole
+        // life, hopping between jobs whose LPs differ in variable and
+        // constraint counts. Interleave three shapes repeatedly and
+        // check every answer matches a fresh-workspace solve
+        // bit-for-bit.
+        let mut problems: Vec<Problem> = Vec::new();
+        // Shape 1: 2 vars, 3 ≤-rows (needs no phase 1).
+        let mut a = Problem::new(Sense::Maximize);
+        let x = a.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = a.add_var("y", 0.0, f64::INFINITY, 5.0);
+        a.add_constraint(&[(x, 1.0)], Op::Le, 4.0);
+        a.add_constraint(&[(y, 2.0)], Op::Le, 12.0);
+        a.add_constraint(&[(x, 3.0), (y, 2.0)], Op::Le, 18.0);
+        problems.push(a);
+        // Shape 2: 4 bounded vars on a simplex row (the node-LP shape).
+        let mut b = Problem::new(Sense::Minimize);
+        let w: Vec<usize> = (0..4)
+            .map(|j| b.add_var(&format!("w{j}"), 0.0, 1.0, (j as f64) - 1.5))
+            .collect();
+        let row: Vec<(usize, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+        b.add_constraint(&row, Op::Eq, 1.0);
+        b.add_constraint(&[(w[0], 1.0), (w[2], -1.0)], Op::Ge, 0.1);
+        problems.push(b);
+        // Shape 3: 1 var, infeasible (exercises the phase-1 exit).
+        let mut c = Problem::new(Sense::Minimize);
+        let z = c.add_var("z", 0.0, 1.0, 1.0);
+        c.add_constraint(&[(z, 1.0)], Op::Ge, 2.0);
+        problems.push(c);
+
+        let fresh: Vec<_> = problems.iter().map(|p| p.solve().unwrap()).collect();
+        let mut ws = SimplexWorkspace::new();
+        for round in 0..3 {
+            for (p, baseline) in problems.iter().zip(&fresh) {
+                let got = p.solve_with(&mut ws).unwrap();
+                assert_eq!(got.status, baseline.status);
+                // Bitwise: non-optimal statuses report a NaN objective.
+                assert_eq!(
+                    got.objective.to_bits(),
+                    baseline.objective.to_bits(),
+                    "round {round}"
+                );
+                assert_eq!(got.x, baseline.x, "round {round}");
+            }
+        }
     }
 
     #[test]

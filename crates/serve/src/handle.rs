@@ -1,0 +1,103 @@
+//! The caller's view of one in-flight job.
+
+use crate::scheduler::JobEntry;
+use rankhow_core::{Solution, SolverError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Completion slot: the finalized result plus the condvar its joiner
+/// parks on.
+pub(crate) struct Completion {
+    slot: Mutex<Option<Result<Solution, SolverError>>>,
+    done: Condvar,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Self {
+        Completion {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Store the final result (first write wins) and wake joiners.
+    pub(crate) fn set(&self, result: Result<Solution, SolverError>) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<Solution, SolverError> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).unwrap();
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        self.slot.lock().unwrap().is_some()
+    }
+}
+
+/// Handle to a job spawned on a [`Scheduler`](crate::Scheduler).
+///
+/// The handle is an observer — dropping it does *not* cancel the job
+/// (the scheduler keeps solving; cancel explicitly if the answer is no
+/// longer wanted).
+pub struct SolveHandle {
+    entry: Arc<JobEntry>,
+}
+
+impl SolveHandle {
+    pub(crate) fn new(entry: Arc<JobEntry>) -> Self {
+        SolveHandle { entry }
+    }
+
+    /// Request cooperative cancellation. The job stops at the next node
+    /// boundary and completes with
+    /// [`SolveStatus::Cancelled`](rankhow_core::SolveStatus) carrying
+    /// its best-so-far incumbent (or
+    /// [`SolverError::Infeasible`] if none was ever found). Idempotent;
+    /// a no-op once the job finished.
+    pub fn cancel(&self) {
+        self.entry.job.cancel();
+    }
+
+    /// Set (or move) the job's deadline to `after` from now. Checked at
+    /// node granularity: once expired, the job completes with
+    /// [`SolveStatus::TimeLimit`](rankhow_core::SolveStatus) and its
+    /// best-so-far incumbent, overshooting by at most one fairness
+    /// slice per worker.
+    pub fn deadline(&self, after: Duration) {
+        self.entry.job.deadline(after);
+    }
+
+    /// The latest anytime incumbent `(error, weights)`, `None` before
+    /// the first feasible point. Monotone: successive observations
+    /// never report a larger error, and the final
+    /// [`Solution::error`](rankhow_core::Solution) is never worse than
+    /// any observation.
+    pub fn best_so_far(&self) -> Option<(u64, Vec<f64>)> {
+        self.entry.job.best_so_far()
+    }
+
+    /// Whether the final result is available ([`SolveHandle::join`]
+    /// would return without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.entry.completion.is_set()
+    }
+
+    /// Block until the job completes and return its solution. Bounded
+    /// jobs (cancelled / deadline / node limit) return `Ok` with the
+    /// corresponding [`SolveStatus`](rankhow_core::SolveStatus) — an
+    /// `Err` means infeasibility (or no feasible point before the job
+    /// was stopped) or an LP failure.
+    pub fn join(self) -> Result<Solution, SolverError> {
+        self.entry.completion.wait()
+    }
+}

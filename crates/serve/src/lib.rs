@@ -1,0 +1,59 @@
+//! # RankHow serving layer: one worker pool, many concurrent solves
+//!
+//! The blocking [`RankHow::solve`](rankhow_core::RankHow) is the wrong
+//! shape for serving: one query owns a whole thread pool until it
+//! finishes, with no way to cancel, bound, or observe it. This crate
+//! turns the engine's reentrant [`SolveJob`](rankhow_core::SolveJob)
+//! API into a service:
+//!
+//! - [`Scheduler`] owns a long-lived worker pool. [`Scheduler::spawn`]
+//!   enqueues an OPT instance as a *job* and returns immediately with a
+//!   [`SolveHandle`].
+//! - Workers advance jobs in round-robin **node-budget slices**
+//!   (fairness: no query can starve the others), stealing work from
+//!   each other's frontier lanes *within* a job, and co-stepping the
+//!   same job when the queue has fewer jobs than workers.
+//! - Each worker keeps one [`EngineScratch`](rankhow_core::EngineScratch)
+//!   — i.e. one reusable `rankhow_lp::SimplexWorkspace` tableau —
+//!   across *all* jobs it ever touches, so hopping between queries
+//!   allocates nothing in the LP layer.
+//! - [`SolveHandle::cancel`] and [`SolveHandle::deadline`] stop a job
+//!   cooperatively at node granularity; the job still completes with
+//!   its best-so-far incumbent and a bounded
+//!   [`SolveStatus`](rankhow_core::SolveStatus) instead of an error.
+//! - [`SolveHandle::best_so_far`] streams anytime incumbents while the
+//!   job runs.
+//!
+//! SYM-GD chains plug in through
+//! [`CellScheduler`](rankhow_core::CellScheduler): `SymGd::solve_on`
+//! submits each cell solve as a job here, warm-started from the
+//! previous cell's optimum.
+//!
+//! ```
+//! use rankhow_core::{OptProblem, SolverConfig};
+//! use rankhow_serve::Scheduler;
+//! use rankhow_data::Dataset;
+//! use rankhow_ranking::GivenRanking;
+//!
+//! let data = Dataset::from_rows(
+//!     vec!["A1".into(), "A2".into(), "A3".into()],
+//!     vec![vec![3.0, 2.0, 8.0], vec![4.0, 1.0, 15.0], vec![1.0, 1.0, 14.0]],
+//! )
+//! .unwrap();
+//! let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+//! let problem = OptProblem::new(data, pi).unwrap();
+//!
+//! let scheduler = Scheduler::new(2);
+//! let handle = scheduler.spawn(problem, SolverConfig::default());
+//! let solution = handle.join().unwrap();
+//! assert_eq!(solution.error, 0);
+//! assert!(solution.optimal);
+//! ```
+
+#![warn(missing_docs)]
+
+mod handle;
+mod scheduler;
+
+pub use handle::SolveHandle;
+pub use scheduler::Scheduler;

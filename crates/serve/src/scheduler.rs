@@ -1,0 +1,226 @@
+//! The scheduler: a long-lived worker pool multiplexing many
+//! [`SolveJob`]s with round-robin node-budget time slicing.
+
+use crate::handle::{Completion, SolveHandle};
+use rankhow_core::{
+    CellScheduler, EngineScratch, OptProblem, Solution, SolveJob, SolverConfig, SolverError,
+    SolverStats, StepOutcome,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Default fairness slice: nodes a worker expands on one job before
+/// rotating to the next queued job. Small enough that a heavy query
+/// cannot starve light ones, large enough to amortize the rotation.
+const DEFAULT_SLICE_NODES: usize = 64;
+
+/// One spawned job: the reentrant engine state plus completion plumbing.
+pub(crate) struct JobEntry {
+    pub(crate) job: SolveJob<Arc<OptProblem>>,
+    pub(crate) completion: Completion,
+    /// Taken (CAS) by the worker that packages the final result.
+    finalized: AtomicBool,
+}
+
+struct Shared {
+    /// Round-robin run queue. Invariant: every spawned, not-yet-
+    /// finalized-and-observed entry appears here exactly once; workers
+    /// re-enqueue an entry *before* stepping it, so idle workers can
+    /// co-step the same job.
+    queue: Mutex<VecDeque<Arc<JobEntry>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    threads: usize,
+    slice_nodes: usize,
+    jobs_spawned: AtomicU64,
+    /// Aggregate statistics over completed jobs (`jobs` counts them).
+    finished_stats: Mutex<SolverStats>,
+}
+
+/// A long-lived worker pool that interleaves node expansion across many
+/// concurrent solve jobs.
+///
+/// Fairness: each worker advances the front job of a shared round-robin
+/// queue by one node-budget slice, then rotates. A job with more lanes
+/// than active claimants is co-stepped by idle workers (work-stealing
+/// across its frontier lanes), so a lone heavy query still uses the
+/// whole pool.
+///
+/// Dropping the scheduler cancels every outstanding job cooperatively,
+/// finalizes it with its best-so-far incumbent, and joins the workers —
+/// outstanding [`SolveHandle::join`] calls return promptly.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// A pool of `threads` workers (≥ 1) with the default fairness
+    /// slice.
+    pub fn new(threads: usize) -> Self {
+        Scheduler::with_slice(threads, DEFAULT_SLICE_NODES)
+    }
+
+    /// A pool with an explicit fairness slice (nodes per job turn).
+    pub fn with_slice(threads: usize, slice_nodes: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads,
+            slice_nodes: slice_nodes.max(1),
+            jobs_spawned: AtomicU64::new(0),
+            finished_stats: Mutex::new(SolverStats::default()),
+        });
+        let workers = (0..threads)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rankhow-serve-{wid}"))
+                    .spawn(move || worker_loop(&shared, wid))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler { shared, workers }
+    }
+
+    /// Number of pool workers.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Total jobs ever spawned on this scheduler.
+    pub fn jobs_spawned(&self) -> u64 {
+        self.shared.jobs_spawned.load(Ordering::Acquire)
+    }
+
+    /// Aggregate statistics over *completed* jobs (`stats().jobs` is
+    /// their count; counters are summed across jobs).
+    pub fn stats(&self) -> SolverStats {
+        self.shared.finished_stats.lock().unwrap().clone()
+    }
+
+    /// Enqueue a solve job; returns immediately. The job runs with one
+    /// frontier lane per pool worker — `config.threads` is ignored here,
+    /// the pool decides the parallelism. Root setup (reduction, root
+    /// heuristics) happens on a worker, not on the calling thread; even
+    /// an infeasible instance surfaces through
+    /// [`SolveHandle::join`](crate::SolveHandle::join), never as a
+    /// spawn-time panic.
+    pub fn spawn(&self, problem: OptProblem, config: SolverConfig) -> SolveHandle {
+        self.spawn_shared(Arc::new(problem), config)
+    }
+
+    /// [`Scheduler::spawn`] without copying the problem — for callers
+    /// that submit many jobs over the same dataset (batch serving,
+    /// SYM-GD cell chains).
+    pub fn spawn_shared(&self, problem: Arc<OptProblem>, config: SolverConfig) -> SolveHandle {
+        let entry = Arc::new(JobEntry {
+            job: SolveJob::new(problem, config, self.shared.threads),
+            completion: Completion::new(),
+            finalized: AtomicBool::new(false),
+        });
+        self.shared.jobs_spawned.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.push_back(Arc::clone(&entry));
+        }
+        self.shared.available.notify_one();
+        SolveHandle::new(entry)
+    }
+}
+
+/// SYM-GD cell solves become scheduler jobs: the chain shares the
+/// pool with every other in-flight query, and each cell reuses the
+/// workers' warm LP workspaces.
+impl CellScheduler for Scheduler {
+    fn solve_cell(
+        &self,
+        problem: &Arc<OptProblem>,
+        config: SolverConfig,
+    ) -> Result<Solution, SolverError> {
+        self.spawn_shared(Arc::clone(problem), config).join()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            // Cancel everything still live so joiners unblock promptly;
+            // workers drain the queue, finalizing each job with its
+            // best-so-far incumbent.
+            let queue = self.shared.queue.lock().unwrap();
+            for entry in queue.iter() {
+                entry.job.cancel();
+            }
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, wid: usize) {
+    // One scratch for this worker's whole life: the SimplexWorkspace
+    // tableau allocation survives across every job it touches.
+    let mut scratch = EngineScratch::new();
+    loop {
+        let entry = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(entry) = queue.pop_front() {
+                    break Some(entry);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        let Some(entry) = entry else {
+            return; // shutdown, queue drained
+        };
+        if entry.job.is_finished() {
+            // Drop the queue's copy of a finished job (and make sure it
+            // was finalized, e.g. when `Done` raced between workers).
+            finalize(shared, &entry);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            entry.job.cancel();
+        }
+        // Re-enqueue *before* stepping: keeps the round-robin rotation
+        // going and lets idle workers co-step this job's other lanes.
+        {
+            let mut queue = shared.queue.lock().unwrap();
+            queue.push_back(Arc::clone(&entry));
+        }
+        shared.available.notify_one();
+        match entry.job.step(wid, &mut scratch, shared.slice_nodes) {
+            StepOutcome::Done => finalize(shared, &entry),
+            StepOutcome::Starved => std::thread::yield_now(),
+            StepOutcome::Progress => {}
+        }
+    }
+}
+
+/// Package a finished job's result exactly once and wake its joiner.
+fn finalize(shared: &Shared, entry: &JobEntry) {
+    if entry
+        .finalized
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_err()
+    {
+        return;
+    }
+    let result = entry.job.result();
+    if let Ok(solution) = &result {
+        shared.finished_stats.lock().unwrap().merge(&solution.stats);
+    }
+    entry.completion.set(result);
+}

@@ -1,0 +1,344 @@
+//! Cross-validation of the job-based scheduler against the blocking
+//! solver, plus the serving semantics the scheduler promises:
+//! concurrent-job optimum parity, monotone anytime incumbents under
+//! cancellation, prompt deadline expiry, and SYM-GD-on-scheduler
+//! equivalence.
+
+use proptest::prelude::*;
+use rankhow_core::{
+    OptProblem, RankHow, SolveStatus, SolverConfig, SymGd, SymGdConfig, Tolerances,
+    WeightConstraints,
+};
+use rankhow_data::Dataset;
+use rankhow_ranking::GivenRanking;
+use rankhow_serve::Scheduler;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A random small OPT instance: integer-grid attributes (well-separated
+/// score differences) and a shuffled top-k given ranking.
+#[derive(Debug, Clone)]
+struct SmallInstance {
+    rows: Vec<Vec<f64>>,
+    k: usize,
+    perm_seed: u64,
+}
+
+fn small_instance() -> impl Strategy<Value = SmallInstance> {
+    (4usize..8, 2usize..4, any::<u64>()).prop_flat_map(|(n, m, perm_seed)| {
+        prop::collection::vec(prop::collection::vec((0u32..10).prop_map(f64::from), m), n).prop_map(
+            move |rows| SmallInstance {
+                rows,
+                k: 3.min(n - 1),
+                perm_seed,
+            },
+        )
+    })
+}
+
+fn build(inst: &SmallInstance) -> Option<OptProblem> {
+    let n = inst.rows.len();
+    // Deterministic Fisher–Yates from the seed: the ranked prefix is a
+    // random subset in random order, so most instances have nonzero
+    // optimal error (the interesting case for parity).
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = inst.perm_seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut positions = vec![None; n];
+    for (pos, &idx) in order.iter().take(inst.k).enumerate() {
+        positions[idx] = Some(pos as u32 + 1);
+    }
+    let names = (0..inst.rows[0].len()).map(|j| format!("A{j}")).collect();
+    let data = Dataset::from_rows(names, inst.rows.clone()).ok()?;
+    let given = GivenRanking::from_positions(positions).ok()?;
+    OptProblem::with_tolerances(data, given, Tolerances::exact()).ok()
+}
+
+/// A deeper anti-correlated instance: the search tree survives many
+/// node slices, which the cancellation/deadline tests rely on.
+fn deep_problem(n: usize, k: usize, twist: u64) -> OptProblem {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                i as f64,
+                (n - i) as f64,
+                ((i as u64 * (3 + twist % 5)) % 7) as f64,
+            ]
+        })
+        .collect();
+    let scores: Vec<f64> = rows.iter().map(|r| r[0] * 0.4 + r[2]).collect();
+    let given = GivenRanking::from_scores(&scores, k, 0.0).unwrap();
+    let names = vec!["a".into(), "b".into(), "c".into()];
+    let data = Dataset::from_rows(names, rows).unwrap();
+    OptProblem::new(data, given).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// N ≥ 4 jobs solved concurrently on one scheduler prove exactly
+    /// the optimal errors N sequential `RankHow::solve` calls prove,
+    /// and every returned weight vector realizes its claimed error.
+    #[test]
+    fn concurrent_jobs_match_sequential_solves(insts in prop::collection::vec(small_instance(), 4..6)) {
+        let problems: Vec<OptProblem> = insts.iter().filter_map(build).collect();
+        if problems.len() < 4 {
+            return Err(TestCaseError::reject("invalid ranking"));
+        }
+        let sequential: Vec<u64> = problems
+            .iter()
+            .map(|p| {
+                let sol = RankHow::with_config(SolverConfig { threads: 1, ..SolverConfig::default() })
+                    .solve(p)
+                    .expect("feasible unconstrained instance");
+                assert!(sol.optimal);
+                sol.error
+            })
+            .collect();
+        let scheduler = Scheduler::new(4);
+        let handles: Vec<_> = problems
+            .iter()
+            .map(|p| scheduler.spawn(p.clone(), SolverConfig::default()))
+            .collect();
+        for ((handle, p), &seq_err) in handles.into_iter().zip(&problems).zip(&sequential) {
+            let sol = handle.join().expect("feasible unconstrained instance");
+            prop_assert!(sol.optimal, "scheduler job must close the tree");
+            prop_assert_eq!(sol.status, SolveStatus::Optimal);
+            prop_assert_eq!(sol.error, seq_err, "scheduler job diverged from sequential optimum");
+            prop_assert_eq!(p.evaluate(&sol.weights), sol.error, "weights do not realize the error");
+        }
+        let agg = scheduler.stats();
+        prop_assert_eq!(agg.jobs, problems.len(), "aggregate stats count completed jobs");
+    }
+
+    /// Cancelling a job mid-search yields a monotone best-so-far: every
+    /// later observation (including the final solution) is no worse
+    /// than any earlier `best_so_far()` observation.
+    #[test]
+    fn cancelled_job_is_monotone_no_worse_than_observations(twist in 0u64..40) {
+        let problem = deep_problem(11 + (twist % 3) as usize, 6, twist);
+        let scheduler = Scheduler::new(2);
+        // No start heuristic: keep the incumbent improving during the
+        // search so the observations are interesting.
+        let handle = scheduler.spawn(problem.clone(), SolverConfig {
+            root_samples: 0,
+            ..SolverConfig::default()
+        });
+        let mut observed: Vec<u64> = Vec::new();
+        for _ in 0..50 {
+            if let Some((err, w)) = handle.best_so_far() {
+                prop_assert_eq!(problem.evaluate(&w), err, "incumbent snapshot inconsistent");
+                if let Some(&last) = observed.last() {
+                    prop_assert!(err <= last, "best-so-far regressed: {} after {}", err, last);
+                }
+                observed.push(err);
+            }
+            if handle.is_finished() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        let sol = handle.join().expect("root incumbent exists");
+        prop_assert!(
+            sol.status == SolveStatus::Cancelled || sol.status == SolveStatus::Optimal,
+            "unexpected status {:?}", sol.status
+        );
+        if sol.status == SolveStatus::Cancelled {
+            prop_assert!(!sol.optimal);
+        }
+        for &err in &observed {
+            prop_assert!(sol.error <= err, "final {} worse than observed {}", sol.error, err);
+        }
+        prop_assert_eq!(problem.evaluate(&sol.weights), sol.error);
+    }
+
+    /// Deadline-expired jobs terminate promptly: the join returns well
+    /// within the test budget even though the full search would take
+    /// far longer, and the status records the truncation.
+    #[test]
+    fn deadline_expires_promptly(twist in 0u64..40) {
+        let problem = deep_problem(12, 7, twist);
+        let scheduler = Scheduler::new(2);
+        let handle = scheduler.spawn(problem.clone(), SolverConfig {
+            root_samples: 0,
+            ..SolverConfig::default()
+        });
+        handle.deadline(Duration::from_millis(30));
+        let t0 = Instant::now();
+        let sol = handle.join().expect("root incumbent exists");
+        // Generous CI bound: the node-granular check means overshoot is
+        // at most one slice per worker, far below a second.
+        prop_assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "deadline ignored: join took {:?}", t0.elapsed()
+        );
+        prop_assert!(
+            sol.status == SolveStatus::TimeLimit || sol.status == SolveStatus::Optimal,
+            "unexpected status {:?}", sol.status
+        );
+        prop_assert_eq!(sol.optimal, sol.status == SolveStatus::Optimal);
+        prop_assert_eq!(problem.evaluate(&sol.weights), sol.error);
+    }
+}
+
+#[test]
+fn infeasible_constraints_surface_through_join() {
+    let data = Dataset::from_rows(
+        vec!["a".into(), "b".into()],
+        vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+    )
+    .unwrap();
+    let given = GivenRanking::from_positions(vec![Some(1), Some(2)]).unwrap();
+    let problem = OptProblem::new(data, given)
+        .unwrap()
+        .with_constraints(
+            WeightConstraints::none()
+                .min_weight(0, 0.8)
+                .max_weight(0, 0.1),
+        )
+        .unwrap();
+    let scheduler = Scheduler::new(2);
+    let handle = scheduler.spawn(problem, SolverConfig::default());
+    assert!(matches!(
+        handle.join(),
+        Err(rankhow_core::SolverError::Infeasible)
+    ));
+}
+
+#[test]
+fn symgd_chain_on_scheduler_matches_blocking_path() {
+    // A hidden-linear-function instance (same shape as the SYM-GD unit
+    // tests): the scheduler path must be step-for-step identical to the
+    // blocking path when both run one worker.
+    let n = 24;
+    let hidden = [0.55, 0.35, 0.1];
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..3)
+                .map(|j| (((i * (7 + 3 * j) + j) % n) as f64) / n as f64)
+                .collect()
+        })
+        .collect();
+    let scores: Vec<f64> = rows
+        .iter()
+        .map(|r| r.iter().zip(hidden.iter()).map(|(a, w)| a * w).sum())
+        .collect();
+    let names = (0..3).map(|j| format!("A{j}")).collect();
+    let data = Dataset::from_rows(names, rows).unwrap();
+    let given = GivenRanking::from_scores(&scores, 6, 0.0).unwrap();
+    let problem = Arc::new(OptProblem::new(data, given).unwrap());
+    let seed = [0.5, 0.4, 0.1];
+
+    let config = SymGdConfig {
+        threads: 1,
+        ..SymGdConfig::default()
+    };
+    let blocking = SymGd::with_config(config.clone())
+        .solve(&problem, &seed)
+        .unwrap();
+    let scheduler = Scheduler::new(1);
+    let served = SymGd::with_config(config)
+        .solve_on(&scheduler, &problem, &seed)
+        .unwrap();
+    assert_eq!(served.error, blocking.error, "scheduler chain diverged");
+    assert_eq!(
+        served.weights, blocking.weights,
+        "single-worker determinism"
+    );
+    assert_eq!(served.iterations, blocking.iterations);
+    assert_eq!(scheduler.jobs_spawned() as usize, served.iterations);
+    assert_eq!(served.error, 0, "seeded near the hidden weights");
+}
+
+#[test]
+fn dropping_the_scheduler_cancels_outstanding_jobs() {
+    let problem = deep_problem(13, 7, 1);
+    let scheduler = Scheduler::new(1);
+    let handle = scheduler.spawn(
+        problem,
+        SolverConfig {
+            root_samples: 0,
+            ..SolverConfig::default()
+        },
+    );
+    drop(scheduler);
+    let t0 = Instant::now();
+    // Either the pool got far enough for a best-so-far incumbent
+    // (Cancelled/Optimal) or the job was stopped before its root setup
+    // (reported as Infeasible per the engine's no-incumbent rule);
+    // what matters is that join returns promptly instead of hanging.
+    match handle.join() {
+        Ok(sol) => assert!(
+            sol.status == SolveStatus::Cancelled || sol.status == SolveStatus::Optimal,
+            "unexpected status {:?}",
+            sol.status
+        ),
+        Err(rankhow_core::SolverError::Infeasible) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+    assert!(t0.elapsed() < Duration::from_secs(10));
+}
+
+#[test]
+fn best_so_far_streams_before_completion() {
+    let problem = deep_problem(12, 6, 3);
+    let scheduler = Scheduler::new(1);
+    let handle = scheduler.spawn(
+        problem.clone(),
+        SolverConfig {
+            root_samples: 0,
+            ..SolverConfig::default()
+        },
+    );
+    // The root center is offered as the first incumbent during root
+    // setup, so an observation must appear while (or before) the
+    // search runs.
+    let mut saw_incumbent = false;
+    for _ in 0..100_000 {
+        if let Some((err, w)) = handle.best_so_far() {
+            assert_eq!(problem.evaluate(&w), err);
+            saw_incumbent = true;
+            break;
+        }
+        if handle.is_finished() {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    // Don't run the deep search to exhaustion — the observation was the
+    // point; stop the job and check the stream's last value survives.
+    handle.cancel();
+    let sol = handle.join().unwrap();
+    assert!(
+        saw_incumbent || sol.optimal,
+        "no incumbent ever observed on a feasible instance"
+    );
+}
+
+#[test]
+fn node_limited_jobs_report_node_limit_status() {
+    let problem = deep_problem(12, 7, 5);
+    let scheduler = Scheduler::new(2);
+    let handle = scheduler.spawn(
+        problem.clone(),
+        SolverConfig {
+            node_limit: 3,
+            root_samples: 0,
+            incumbent_sampling: false,
+            ..SolverConfig::default()
+        },
+    );
+    let sol = handle.join().expect("root incumbent exists");
+    if !sol.optimal {
+        assert_eq!(sol.status, SolveStatus::NodeLimit);
+        assert!(sol.status.is_bounded());
+    }
+    assert_eq!(problem.evaluate(&sol.weights), sol.error);
+}

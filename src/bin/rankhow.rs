@@ -6,6 +6,7 @@
 //!         [--min-weight <ATTR>=<LO>] [--max-weight <ATTR>=<HI>]
 //!         [--symgd <CELL>] [--budget <SECONDS>] [--measure position|kendall|topweighted]
 //!         [--threads <N>]
+//! rankhow --batch <queries.txt> [--threads <N>]
 //! ```
 //!
 //! Input: a CSV of numeric attributes (header row). The given ranking
@@ -17,16 +18,28 @@
 //! reports): Definition 3 position error, Kendall tau, or the
 //! top-weighted variant.
 //!
+//! `--batch <file>` reads one query per line (same grammar as the
+//! single-query command line, whitespace-separated; `#` comments and
+//! blank lines skipped) and solves them **concurrently** on one
+//! `rankhow_serve::Scheduler` whose pool size is the top-level
+//! `--threads` (per-line `--threads` is ignored — the pool decides).
+//! Lines with `--symgd` run as warm-started cell-job chains on the same
+//! pool. Results print in line order; with `--threads 1` the output is
+//! deterministic.
+//!
 //! Output: the synthesized weights, the objective value, and the exact
 //! verification verdict.
 
-use rankhow::core::{seeding, verify, SolverConfig, SymGd, SymGdConfig};
+use rankhow::core::{seeding, verify, Solution, SolveStatus, SolverConfig, SymGd, SymGdConfig};
 use rankhow::prelude::*;
 use rankhow::ranking::ErrorMeasure;
+use rankhow::serve::Scheduler;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+#[derive(Clone)]
 struct Args {
     data: PathBuf,
     ranking: Option<PathBuf>,
@@ -41,6 +54,7 @@ struct Args {
     budget: u64,
     measure: ErrorMeasure,
     threads: usize,
+    batch: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -48,12 +62,16 @@ fn usage() -> ! {
         "usage: rankhow <data.csv> [--ranking pos.csv | --score-col NAME] [--k K]\n\
          \x20      [--eps E] [--eps1 E1] [--eps2 E2] [--min-weight A=L] [--max-weight A=H]\n\
          \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]\n\
-         \x20      [--threads N]"
+         \x20      [--threads N]\n\
+         \x20      rankhow --batch queries.txt [--threads N]"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> Args {
+/// Parse one command line (the process arguments, or one `--batch`
+/// line). Any malformed flag or value is an `Err` — the caller decides
+/// how to report it (both paths exit with code 2).
+fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
     let mut args = Args {
         data: PathBuf::new(),
         ranking: None,
@@ -68,25 +86,57 @@ fn parse_args() -> Args {
         budget: 30,
         measure: ErrorMeasure::Position,
         threads: rankhow::core::default_threads(),
+        batch: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = tokens.iter();
     let mut positional = Vec::new();
     while let Some(a) = it.next() {
-        let mut next = || it.next().unwrap_or_else(|| usage());
+        let mut next = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse_f64 = |flag: &str, v: String| {
+            v.parse::<f64>()
+                .map_err(|_| format!("{flag}: not a number: {v}"))
+        };
         match a.as_str() {
-            "--ranking" => args.ranking = Some(PathBuf::from(next())),
-            "--score-col" => args.score_col = Some(next()),
-            "--k" => args.k = next().parse().unwrap_or_else(|_| usage()),
-            "--eps" => args.eps = next().parse().unwrap_or_else(|_| usage()),
-            "--eps1" => args.eps1 = next().parse().unwrap_or_else(|_| usage()),
-            "--eps2" => args.eps2 = next().parse().unwrap_or_else(|_| usage()),
-            "--budget" => args.budget = next().parse().unwrap_or_else(|_| usage()),
-            "--threads" => args.threads = next().parse().unwrap_or_else(|_| usage()),
-            "--symgd" => args.symgd_cell = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--ranking" => args.ranking = Some(PathBuf::from(next("--ranking")?)),
+            "--score-col" => args.score_col = Some(next("--score-col")?),
+            "--k" => {
+                let v = next("--k")?;
+                args.k = v.parse().map_err(|_| format!("--k: not a count: {v}"))?;
+            }
+            "--eps" => args.eps = parse_f64("--eps", next("--eps")?)?,
+            "--eps1" => args.eps1 = parse_f64("--eps1", next("--eps1")?)?,
+            "--eps2" => args.eps2 = parse_f64("--eps2", next("--eps2")?)?,
+            "--budget" => {
+                let v = next("--budget")?;
+                args.budget = v
+                    .parse()
+                    .map_err(|_| format!("--budget: not a number of seconds: {v}"))?;
+            }
+            "--threads" => {
+                let v = next("--threads")?;
+                args.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a count: {v}"))?;
+            }
+            "--symgd" => {
+                args.symgd_cell = Some(parse_f64("--symgd", next("--symgd")?)?);
+            }
+            "--batch" => {
+                if !allow_batch {
+                    return Err("--batch cannot appear inside a batch file".into());
+                }
+                args.batch = Some(PathBuf::from(next("--batch")?));
+            }
             "--min-weight" | "--max-weight" => {
-                let spec = next();
-                let (attr, val) = spec.split_once('=').unwrap_or_else(|| usage());
-                let val: f64 = val.parse().unwrap_or_else(|_| usage());
+                let spec = next(a)?;
+                let (attr, val) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("{a}: expected ATTR=VALUE, got {spec}"))?;
+                let val = parse_f64(a, val.to_string())?;
                 if a == "--min-weight" {
                     args.min_weights.push((attr.to_string(), val));
                 } else {
@@ -94,44 +144,42 @@ fn parse_args() -> Args {
                 }
             }
             "--measure" => {
-                args.measure = match next().as_str() {
+                args.measure = match next("--measure")?.as_str() {
                     "position" => ErrorMeasure::Position,
                     "kendall" => ErrorMeasure::KendallTau,
                     "topweighted" => ErrorMeasure::TopWeighted,
-                    _ => usage(),
+                    other => return Err(format!("--measure: unknown measure: {other}")),
                 }
             }
-            "--help" | "-h" => usage(),
-            other if other.starts_with("--") => usage(),
+            "--help" | "-h" => return Err("help requested".into()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
             other => positional.push(other.to_string()),
         }
     }
+    if args.batch.is_some() {
+        if !positional.is_empty() {
+            return Err("--batch takes queries from the file, not the command line".into());
+        }
+        return Ok(args);
+    }
     if positional.len() != 1 {
-        usage();
+        return Err("expected exactly one <data.csv> argument".into());
     }
     args.data = PathBuf::from(&positional[0]);
-    args
+    Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let mut data = match Dataset::from_csv(&args.data) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error reading {}: {e}", args.data.display());
-            return ExitCode::FAILURE;
-        }
-    };
+/// Build the `OptProblem` a parsed query describes.
+fn build_problem(args: &Args) -> Result<OptProblem, String> {
+    let mut data = Dataset::from_csv(&args.data)
+        .map_err(|e| format!("error reading {}: {e}", args.data.display()))?;
 
     // Resolve the given ranking.
     let given = if let Some(path) = &args.ranking {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error reading {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("error reading {}: {e}", path.display()))?;
         let positions: Vec<Option<u32>> = text
             .lines()
             .skip(1) // header
@@ -141,55 +189,87 @@ fn main() -> ExitCode {
                 Ok(p) => Some(p),
             })
             .collect();
-        match GivenRanking::from_positions(positions) {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("invalid ranking: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        GivenRanking::from_positions(positions).map_err(|e| format!("invalid ranking: {e}"))?
     } else if let Some(col) = &args.score_col {
-        let Some(idx) = data.attr_index(col) else {
-            eprintln!("no column named {col}");
-            return ExitCode::FAILURE;
-        };
+        let idx = data
+            .attr_index(col)
+            .ok_or_else(|| format!("no column named {col}"))?;
         let scores: Vec<f64> = data.col(idx).to_vec();
         let keep: Vec<usize> = (0..data.m()).filter(|&j| j != idx).collect();
         data = data.select_attrs(&keep);
-        match GivenRanking::from_scores(&scores, args.k.min(scores.len()), 0.0) {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("invalid ranking: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        GivenRanking::from_scores(&scores, args.k.min(scores.len()), 0.0)
+            .map_err(|e| format!("invalid ranking: {e}"))?
     } else {
-        eprintln!("need --ranking or --score-col");
-        return ExitCode::FAILURE;
+        return Err("need --ranking or --score-col".into());
     };
 
     // Constraints.
     let mut constraints = WeightConstraints::none();
     for (attr, lo) in &args.min_weights {
-        let Some(idx) = data.attr_index(attr) else {
-            eprintln!("no column named {attr}");
-            return ExitCode::FAILURE;
-        };
+        let idx = data
+            .attr_index(attr)
+            .ok_or_else(|| format!("no column named {attr}"))?;
         constraints = constraints.min_weight(idx, *lo);
     }
     for (attr, hi) in &args.max_weights {
-        let Some(idx) = data.attr_index(attr) else {
-            eprintln!("no column named {attr}");
-            return ExitCode::FAILURE;
-        };
+        let idx = data
+            .attr_index(attr)
+            .ok_or_else(|| format!("no column named {attr}"))?;
         constraints = constraints.max_weight(idx, *hi);
     }
 
     let tol = Tolerances::explicit(args.eps, args.eps1, args.eps2);
-    let problem = match OptProblem::with_all(data, given, constraints, tol) {
-        Ok(p) => p.with_objective(args.measure),
-        Err(e) => {
-            eprintln!("invalid problem: {e}");
+    OptProblem::with_all(data, given, constraints, tol)
+        .map(|p| p.with_objective(args.measure))
+        .map_err(|e| format!("invalid problem: {e}"))
+}
+
+/// Print the per-query report (weights, objective, verification).
+fn report(problem: &OptProblem, args: &Args, weights: &[f64], error: u64, optimal: bool) {
+    println!("weights:");
+    for (name, w) in problem.data.names().iter().zip(weights) {
+        if *w > 1e-9 {
+            println!("  {name:<16} {w:.6}");
+        }
+    }
+    let label = match args.measure {
+        ErrorMeasure::Position => "position error",
+        ErrorMeasure::KendallTau => "kendall-tau error",
+        ErrorMeasure::TopWeighted => "top-weighted error",
+    };
+    println!(
+        "{label}: {error}{}",
+        if optimal { " (proved optimal)" } else { "" }
+    );
+    if args.measure != ErrorMeasure::Position {
+        // Also report plain Definition 3 error for comparability.
+        println!("position error: {}", problem.evaluate(weights));
+    }
+    match verify::verify(problem, weights) {
+        Some(rep) if rep.consistent => println!("exact verification: PASS"),
+        Some(rep) => println!(
+            "exact verification: MISMATCH (exact {}, f64 {})",
+            rep.exact_error, rep.f64_error
+        ),
+        None => println!("exact verification: skipped (non-finite input)"),
+    }
+}
+
+fn status_label(status: SolveStatus) -> &'static str {
+    match status {
+        SolveStatus::Optimal => "optimal",
+        SolveStatus::NodeLimit => "node-limit",
+        SolveStatus::TimeLimit => "time-limit",
+        SolveStatus::Cancelled => "cancelled",
+    }
+}
+
+/// One query solved on the caller's thread (the classic CLI path).
+fn run_single(args: &Args) -> ExitCode {
+    let problem = match build_problem(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
@@ -220,7 +300,7 @@ fn main() -> ExitCode {
         }
     } else {
         let seed = seeding::ordinal_seed(&problem);
-        match rankhow::core::RankHow::with_config(SolverConfig {
+        match RankHow::with_config(SolverConfig {
             time_limit: Some(Duration::from_secs(args.budget)),
             warm_start: Some(seed),
             threads: args.threads,
@@ -235,34 +315,170 @@ fn main() -> ExitCode {
             }
         }
     };
+    report(&problem, args, &weights, error, optimal);
+    ExitCode::SUCCESS
+}
 
-    // Report.
-    println!("weights:");
-    for (name, w) in problem.data.names().iter().zip(&weights) {
-        if *w > 1e-9 {
-            println!("  {name:<16} {w:.6}");
+/// The outcome of one batch query, kept until all lines are printed in
+/// submission order.
+enum BatchOutcome {
+    Direct(Solution),
+    SymGd(rankhow::core::SymGdResult),
+    Failed(String),
+}
+
+/// Many queries multiplexed over one scheduler pool.
+fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(batch_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", batch_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parse and build every query up front: a malformed line is a usage
+    // error (exit 2) before any solving starts.
+    let mut queries: Vec<(Args, Arc<OptProblem>)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        let query = match parse_tokens(&tokens, false) {
+            Ok(q) => q,
+            Err(msg) => {
+                eprintln!("{}:{}: {msg}", batch_path.display(), lineno + 1);
+                std::process::exit(2);
+            }
+        };
+        match build_problem(&query) {
+            Ok(p) => queries.push((query, Arc::new(p))),
+            Err(msg) => {
+                eprintln!("{}:{}: {msg}", batch_path.display(), lineno + 1);
+                return ExitCode::FAILURE;
+            }
         }
     }
-    let label = match args.measure {
-        ErrorMeasure::Position => "position error",
-        ErrorMeasure::KendallTau => "kendall-tau error",
-        ErrorMeasure::TopWeighted => "top-weighted error",
-    };
-    println!(
-        "{label}: {error}{}",
-        if optimal { " (proved optimal)" } else { "" }
-    );
-    if args.measure != ErrorMeasure::Position {
-        // Also report plain Definition 3 error for comparability.
-        println!("position error: {}", problem.evaluate(&weights));
+    if queries.is_empty() {
+        eprintln!("{}: no queries", batch_path.display());
+        return ExitCode::FAILURE;
     }
-    match verify::verify(&problem, &weights) {
-        Some(rep) if rep.consistent => println!("exact verification: PASS"),
-        Some(rep) => println!(
-            "exact verification: MISMATCH (exact {}, f64 {})",
-            rep.exact_error, rep.f64_error
-        ),
-        None => println!("exact verification: skipped (non-finite input)"),
+
+    let scheduler = Scheduler::new(args.threads.max(1));
+    eprintln!(
+        "batch: {} queries on {} worker(s)",
+        queries.len(),
+        scheduler.threads()
+    );
+
+    // Spawn every direct query as a concurrent job. SYM-GD queries run
+    // as concurrent cell-job chains too: a chain is sequential by
+    // nature (each cell warm-starts from the previous optimum), so each
+    // gets a lightweight driver thread while all the actual solving —
+    // cells and direct jobs alike — multiplexes on the one pool.
+    let mut handles: Vec<Option<SolveHandle>> = Vec::with_capacity(queries.len());
+    for (query, problem) in &queries {
+        if query.symgd_cell.is_some() {
+            handles.push(None);
+            continue;
+        }
+        let seed = seeding::ordinal_seed(problem);
+        let config = SolverConfig {
+            time_limit: Some(Duration::from_secs(query.budget)),
+            warm_start: Some(seed),
+            ..SolverConfig::default()
+        };
+        handles.push(Some(scheduler.spawn_shared(Arc::clone(problem), config)));
+    }
+    let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(queries.len());
+    outcomes.resize_with(queries.len(), || None);
+    let sym_outcomes: Vec<(usize, BatchOutcome)> = std::thread::scope(|scope| {
+        let drivers: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (query, problem))| {
+                let cell = query.symgd_cell?;
+                let scheduler = &scheduler;
+                let budget = query.budget;
+                Some(scope.spawn(move || {
+                    let seed = seeding::ordinal_seed(problem);
+                    let run = SymGd::with_config(SymGdConfig {
+                        cell_size: cell,
+                        adaptive: true,
+                        total_time: Some(Duration::from_secs(budget)),
+                        ..SymGdConfig::default()
+                    })
+                    .solve_on(scheduler, problem, &seed);
+                    let outcome = match run {
+                        Ok(r) => BatchOutcome::SymGd(r),
+                        Err(e) => BatchOutcome::Failed(format!("symgd failed: {e}")),
+                    };
+                    (i, outcome)
+                }))
+            })
+            .collect();
+        drivers
+            .into_iter()
+            .map(|d| d.join().expect("symgd driver thread panicked"))
+            .collect()
+    });
+    for (i, outcome) in sym_outcomes {
+        outcomes[i] = Some(outcome);
+    }
+    for (i, handle) in handles.into_iter().enumerate() {
+        let Some(handle) = handle else { continue };
+        outcomes[i] = Some(match handle.join() {
+            Ok(sol) => BatchOutcome::Direct(sol),
+            Err(e) => BatchOutcome::Failed(format!("solve failed: {e}")),
+        });
+    }
+
+    // Report in submission order.
+    let mut failures = 0usize;
+    let total = queries.len();
+    for (i, ((query, problem), outcome)) in queries.iter().zip(&outcomes).enumerate() {
+        println!(
+            "=== query {}/{}: {} ===",
+            i + 1,
+            total,
+            query.data.display()
+        );
+        match outcome.as_ref().expect("every query has an outcome") {
+            BatchOutcome::Direct(sol) => {
+                report(problem, query, &sol.weights, sol.error, sol.optimal);
+                println!("status: {}", status_label(sol.status));
+            }
+            BatchOutcome::SymGd(r) => {
+                report(problem, query, &r.weights, r.error, false);
+                println!("status: symgd ({} cell jobs)", r.iterations);
+            }
+            BatchOutcome::Failed(msg) => {
+                println!("status: failed ({msg})");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{total} queries failed");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_tokens(&tokens, true) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help requested" {
+                eprintln!("error: {msg}");
+            }
+            usage();
+        }
+    };
+    match &args.batch {
+        Some(batch) => run_batch(&args, batch),
+        None => run_single(&args),
+    }
 }

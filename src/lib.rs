@@ -55,13 +55,15 @@ pub use rankhow_lp as lp;
 pub use rankhow_milp as milp;
 pub use rankhow_numeric as numeric;
 pub use rankhow_ranking as ranking;
+pub use rankhow_serve as serve;
 
 /// Convenience re-exports of the types most programs need.
 pub mod prelude {
     pub use rankhow_core::{
-        ErrorMeasure, OptProblem, PositionConstraints, RankHow, SatSearch, Solution, SymGd,
-        SymGdConfig, Tolerances, WeightConstraints,
+        CellScheduler, ErrorMeasure, OptProblem, PositionConstraints, RankHow, SatSearch, Solution,
+        SolveStatus, SymGd, SymGdConfig, Tolerances, WeightConstraints,
     };
     pub use rankhow_data::Dataset;
     pub use rankhow_ranking::{position_error, score_ranks, GivenRanking};
+    pub use rankhow_serve::{Scheduler, SolveHandle};
 }

@@ -149,6 +149,149 @@ fn symgd_mode_runs() {
 }
 
 #[test]
+fn batch_mode_solves_multiple_queries_on_one_scheduler() {
+    let dir = temp_dir("batch");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    // Second query: same hidden function over a permuted row subset.
+    let mut data2 = String::from("a,b,score\n");
+    for i in 0..10 {
+        let a = ((i * 3) % 10) as f64;
+        let b = ((i * 7) % 10) as f64;
+        let score = 0.6 * a + 0.4 * b;
+        data2.push_str(&format!("{a},{b},{score}\n"));
+    }
+    let data2 = write_csv(&dir, "data2.csv", &data2);
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "# two concurrent queries, one pool\n\
+             {} --score-col score --k 6 --budget 10\n\
+             \n\
+             {} --score-col score --k 5 --budget 10\n",
+            data.to_str().unwrap(),
+            data2.to_str().unwrap()
+        ),
+    );
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_rankhow"))
+            .args(["--batch", batch.to_str().unwrap(), "--threads", "1"])
+            .output()
+            .expect("run cli")
+    };
+    let out = run();
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("=== query 1/2:"), "{stdout}");
+    assert!(stdout.contains("=== query 2/2:"), "{stdout}");
+    assert_eq!(
+        stdout.matches("position error: 0 (proved optimal)").count(),
+        2,
+        "{stdout}"
+    );
+    assert_eq!(stdout.matches("status: optimal").count(), 2, "{stdout}");
+    assert_eq!(
+        stdout.matches("exact verification: PASS").count(),
+        2,
+        "{stdout}"
+    );
+    // threads=1 batch output is deterministic: a re-run is bit-identical.
+    let again = run();
+    assert!(again.status.success());
+    assert_eq!(
+        stdout,
+        String::from_utf8_lossy(&again.stdout),
+        "threads=1 batch output must be deterministic"
+    );
+}
+
+#[test]
+fn batch_mode_runs_symgd_chains_on_the_pool() {
+    let dir = temp_dir("batch_symgd");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "{d} --score-col score --k 6 --budget 10\n\
+             {d} --score-col score --k 6 --symgd 0.2 --budget 10\n",
+            d = data.to_str().unwrap()
+        ),
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args(["--batch", batch.to_str().unwrap(), "--threads", "1"])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("status: optimal"), "{stdout}");
+    assert!(stdout.contains("status: symgd ("), "{stdout}");
+}
+
+#[test]
+fn batch_mode_rejects_malformed_lines_with_usage_exit() {
+    let dir = temp_dir("batch_bad");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "{} --score-col score --bogus-flag\n",
+            data.to_str().unwrap()
+        ),
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args(["--batch", batch.to_str().unwrap()])
+        .output()
+        .expect("run cli");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn malformed_flags_exit_with_usage_code() {
+    let dir = temp_dir("badflag");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    // Unknown flag.
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([data.to_str().unwrap(), "--score-col", "score", "--bogus"])
+        .output()
+        .expect("run cli");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+    // Non-numeric value for a numeric flag.
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "many",
+        ])
+        .output()
+        .expect("run cli");
+    assert_eq!(out.status.code(), Some(2));
+    // Flag at the end with its value missing.
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([data.to_str().unwrap(), "--score-col"])
+        .output()
+        .expect("run cli");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Missing file.
     let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
