@@ -1,0 +1,154 @@
+//! Throughput of the sharded router: a pools × queue-cap sweep over
+//! synthetic workloads, measuring how placement, admission control, and
+//! multi-pool fan-out affect batch completion time relative to a single
+//! scheduler pool.
+//!
+//! Kept compiling by the CI `cargo bench --no-run` step; run with
+//! `cargo bench --bench router_throughput`.
+//!
+//! Interpretation note: on a single-core container every pool shares
+//! the one core, so multi-pool rows measure routing/coordination
+//! overhead only (see `solver_scaling`); the sweep is meaningful on
+//! multi-core hardware, where pools map onto disjoint core sets and
+//! the rows show the sharding win. The queue-cap rows use blocking
+//! backpressure so every configuration completes the same work — a
+//! shedding run would do less work at smaller caps and the times would
+//! not be comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rankhow_bench::setups;
+use rankhow_core::{OptProblem, SolverConfig};
+use rankhow_data::synthetic::Distribution;
+use rankhow_router::{Placement, Router, RouterConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The batch of concurrent jobs: replicas of the uniform synthetic
+/// workload (distinct seeds so the searches — and their query-hash
+/// fingerprints — differ).
+fn job_batch(jobs: usize) -> Vec<Arc<OptProblem>> {
+    (0..jobs)
+        .map(|replica| {
+            Arc::new(setups::synthetic_problem(
+                Distribution::Uniform,
+                replica as u64,
+                150,
+                4,
+                4,
+                3,
+                false,
+            ))
+        })
+        .collect()
+}
+
+fn job_config() -> SolverConfig {
+    SolverConfig {
+        // Cap each job so the whole sweep stays bench-sized.
+        time_limit: Some(Duration::from_secs(5)),
+        ..SolverConfig::default()
+    }
+}
+
+/// Route a batch through a router and join everything.
+fn run_batch(router: &Router, problems: &[Arc<OptProblem>]) -> Vec<u64> {
+    let handles: Vec<_> = problems
+        .iter()
+        .map(|p| router.spawn_shared(Arc::clone(p), job_config()))
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("feasible workload").error)
+        .collect()
+}
+
+/// Pools sweep under both placement policies: 8 jobs over 1 / 2 / 4
+/// pools (2 workers each), unbounded queues.
+fn pools_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_throughput");
+    group.sample_size(10);
+    let problems = job_batch(8);
+    for placement in [Placement::QueryHash, Placement::LeastLoaded] {
+        for &pools in &[1usize, 2, 4] {
+            let label = match placement {
+                Placement::QueryHash => "hash",
+                Placement::LeastLoaded => "least_loaded",
+            };
+            group.bench_with_input(BenchmarkId::new(label, pools), &pools, |b, &pools| {
+                b.iter(|| {
+                    let router = Router::new(RouterConfig {
+                        pools,
+                        threads_per_pool: 2,
+                        placement,
+                        ..RouterConfig::default()
+                    });
+                    black_box(run_batch(&router, &problems))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Queue-cap sweep with blocking backpressure: same 8 jobs, same 2×2
+/// pool shape, progressively tighter admission — measures what bounding
+/// the run queue costs when nothing is shed.
+fn queue_cap_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_admission");
+    group.sample_size(10);
+    let problems = job_batch(8);
+    for &cap in &[0usize, 8, 4, 1] {
+        group.bench_with_input(BenchmarkId::new("queue_cap", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let router = Router::new(RouterConfig {
+                    pools: 2,
+                    threads_per_pool: 2,
+                    queue_cap: cap,
+                    backpressure: true,
+                    placement: Placement::LeastLoaded,
+                    ..RouterConfig::default()
+                });
+                black_box(run_batch(&router, &problems))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The layering comparison: one scheduler pool of 4 workers versus a
+/// router of 2×2 — the direct cost of the extra routing layer on a
+/// fixed worker budget.
+fn router_vs_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_layering");
+    group.sample_size(10);
+    let problems = job_batch(4);
+    group.bench_function("one_scheduler_4w", |b| {
+        b.iter(|| {
+            let scheduler = rankhow_serve::Scheduler::new(4);
+            let handles: Vec<_> = problems
+                .iter()
+                .map(|p| scheduler.spawn_shared(Arc::clone(p), job_config()))
+                .collect();
+            let errors: Vec<u64> = handles
+                .into_iter()
+                .map(|h| h.join().expect("feasible workload").error)
+                .collect();
+            black_box(errors)
+        });
+    });
+    group.bench_function("router_2x2", |b| {
+        b.iter(|| {
+            let router = Router::new(RouterConfig {
+                pools: 2,
+                threads_per_pool: 2,
+                ..RouterConfig::default()
+            });
+            black_box(run_batch(&router, &problems))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pools_sweep, queue_cap_sweep, router_vs_scheduler);
+criterion_main!(benches);

@@ -157,6 +157,15 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         self.outcome.get().is_some()
     }
 
+    /// Whether any worker has ever stepped this job. An un-started job
+    /// has no root state (the reduction and root heuristics run inside
+    /// the first [`SolveJob::step`]), which is what makes migrating a
+    /// queued job between scheduler pools free: there is no per-pool
+    /// search state to hand over.
+    pub fn is_started(&self) -> bool {
+        self.solve_started.get().is_some()
+    }
+
     /// Latest anytime incumbent `(error, weights)`; `None` before the
     /// first feasible point is found. Monotone: later observations never
     /// report a larger error.

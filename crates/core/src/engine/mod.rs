@@ -182,6 +182,11 @@ pub enum SolveStatus {
     TimeLimit,
     /// Cooperatively cancelled (scheduler jobs only).
     Cancelled,
+    /// Shed by admission control before any work was done (router-level
+    /// load shedding: the target run queue was at capacity). A rejected
+    /// solution carries *no* incumbent — see [`Solution::rejected`] —
+    /// and the query can simply be resubmitted.
+    Rejected,
 }
 
 impl SolveStatus {
@@ -222,6 +227,24 @@ pub struct Solution {
     pub status: SolveStatus,
     /// Search statistics.
     pub stats: SolverStats,
+}
+
+impl Solution {
+    /// The solution of a query shed by admission control
+    /// ([`SolveStatus::Rejected`]): no search ever ran, so there is no
+    /// incumbent. `weights` is empty and `error` is the `u64::MAX`
+    /// "no incumbent" sentinel (the same value the engine uses
+    /// internally before the first feasible point) — check
+    /// [`Solution::status`] before interpreting either field.
+    pub fn rejected() -> Solution {
+        Solution {
+            weights: Vec::new(),
+            error: u64::MAX,
+            optimal: false,
+            status: SolveStatus::Rejected,
+            stats: SolverStats::default(),
+        }
+    }
 }
 
 /// Solver failures.

@@ -539,6 +539,37 @@ fn node_limit_surfaces_in_status() {
 }
 
 #[test]
+fn rejected_solutions_are_bounded_and_carry_no_incumbent() {
+    let sol = Solution::rejected();
+    assert_eq!(sol.status, SolveStatus::Rejected);
+    assert!(sol.status.is_bounded());
+    assert!(!sol.optimal);
+    assert!(sol.weights.is_empty());
+    assert_eq!(sol.error, u64::MAX, "the no-incumbent sentinel");
+    assert_eq!(sol.stats.jobs, 0, "no search ever ran");
+}
+
+#[test]
+fn is_started_flips_on_the_first_step() {
+    let p = deep_problem();
+    let job = SolveJob::new(
+        &p,
+        SolverConfig {
+            root_samples: 0,
+            threads: 1,
+            ..SolverConfig::default()
+        },
+        1,
+    );
+    // The migration invariant: before any step there is no root state,
+    // so a queued job can move between pools freely.
+    assert!(!job.is_started());
+    let mut scratch = EngineScratch::new();
+    job.step(0, &mut scratch, 1);
+    assert!(job.is_started());
+}
+
+#[test]
 fn stats_are_meaningful() {
     let p = problem_from(
         vec![

@@ -1,0 +1,69 @@
+//! Router configuration: pool shape, placement policy, admission caps.
+
+use rankhow_serve::DEFAULT_SLICE_NODES;
+
+/// How the router picks a pool for a new query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Placement {
+    /// Deterministic hash of the query (dataset feature bits + given
+    /// ranking) modulo the pool count. The same query always lands on
+    /// the same pool — cache/workspace affinity, and the whole routing
+    /// decision is reproducible run-to-run. A SYM-GD chain's cells all
+    /// share one fingerprint, so a chain stays on one pool.
+    #[default]
+    QueryHash,
+    /// The pool with the lowest load score (run-queue depth plus
+    /// in-flight jobs, see
+    /// [`PoolLoad::score`](rankhow_serve::PoolLoad::score)) at spawn
+    /// time; ties break to the lowest pool index.
+    LeastLoaded,
+}
+
+/// Configuration of a [`Router`](crate::Router).
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Number of independent scheduler pools (≥ 1). One pool makes the
+    /// router a thin wrapper over a single
+    /// [`Scheduler`](rankhow_serve::Scheduler).
+    pub pools: usize,
+    /// Worker threads per pool (≥ 1).
+    pub threads_per_pool: usize,
+    /// Fairness slice (nodes per job turn) for every pool.
+    pub slice_nodes: usize,
+    /// Per-pool admission cap: a pool refusing to own more than this
+    /// many live jobs sheds (or delays, under
+    /// [`RouterConfig::backpressure`]) further spawns placed on it.
+    /// `0` = unbounded.
+    pub queue_cap: usize,
+    /// Global high-water mark across all pools: once the router-wide
+    /// live-job count reaches it, every new spawn is shed (or delayed)
+    /// regardless of per-pool headroom. `0` = no global mark.
+    pub global_cap: usize,
+    /// Placement policy for new queries.
+    pub placement: Placement,
+    /// What happens to an over-capacity spawn: `false` (default) sheds
+    /// it — the returned handle completes immediately with
+    /// [`SolveStatus::Rejected`](rankhow_core::SolveStatus) and no
+    /// incumbent; `true` blocks the spawning thread until the placed
+    /// pool has capacity again.
+    pub backpressure: bool,
+    /// Run an automatic rebalancing load tick every this many
+    /// admissions (see [`Router::rebalance`](crate::Router::rebalance)).
+    /// `0` disables automatic ticks — rebalancing is then explicit.
+    pub rebalance_every: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            pools: 1,
+            threads_per_pool: rankhow_core::default_threads(),
+            slice_nodes: DEFAULT_SLICE_NODES,
+            queue_cap: 0,
+            global_cap: 0,
+            placement: Placement::QueryHash,
+            backpressure: false,
+            rebalance_every: 64,
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # RankHow sharded serving: scheduler pools behind a load-aware router
+//!
+//! One [`Scheduler`](rankhow_serve::Scheduler) multiplexes many queries
+//! over one worker pool — the right shape for one NUMA node or one
+//! machine. Serving heavy multi-user traffic needs the next layer up:
+//! several independent pools, a placement decision per query, shedding
+//! when the run queues saturate, and rebalancing when load skews. That
+//! layer is this crate:
+//!
+//! ```text
+//!                          Router
+//!         placement ─ admission ─ rebalancing ─ stats
+//!        ┌──────────────┬──────────────┬──────────────┐
+//!    Scheduler      Scheduler      Scheduler        … P pools
+//!    (workers)      (workers)      (workers)
+//!        │              │              │
+//!     SolveJob       SolveJob       SolveJob         … reentrant jobs
+//! ```
+//!
+//! - [`Router::spawn`] keeps the scheduler's `spawn -> SolveHandle`
+//!   surface; [`RouterConfig`] picks the shape (pool count, workers per
+//!   pool, caps, policy).
+//! - [`Placement::QueryHash`] pins a query (and every cell of its
+//!   SYM-GD chain) to a deterministic pool;
+//!   [`Placement::LeastLoaded`] routes to the pool with the smallest
+//!   run-queue-plus-in-flight score.
+//! - Admission control bounds each pool's outstanding jobs — queued
+//!   plus in-flight ([`RouterConfig::queue_cap`]) — under a global
+//!   high-water mark on the same quantity
+//!   ([`RouterConfig::global_cap`]). Over-capacity spawns *complete* —
+//!   immediately, with
+//!   [`SolveStatus::Rejected`](rankhow_core::SolveStatus) and no
+//!   incumbent — or block when [`RouterConfig::backpressure`] is set.
+//!   The serving surface never panics or errors on load.
+//! - [`Router::rebalance`] migrates not-yet-started jobs from the
+//!   deepest run queue to the shallowest. The engine invariant that
+//!   makes this free: an un-stepped
+//!   [`SolveJob`](rankhow_core::SolveJob) has no root state, so only
+//!   the queue entry moves.
+//! - [`Router::stats`] aggregates per-pool
+//!   [`SolverStats`](rankhow_core::SolverStats), queue depths, and the
+//!   admission/rejection/migration counters into a [`RouterStats`]
+//!   snapshot.
+//!
+//! Routed solves are bit-identical to single-scheduler solves: the
+//! router decides *where* a job runs, never *how* — with one worker per
+//! pool, every placement policy returns exactly the errors one
+//! scheduler would.
+//!
+//! ```
+//! use rankhow_core::{OptProblem, SolverConfig};
+//! use rankhow_router::{Router, RouterConfig};
+//! use rankhow_data::Dataset;
+//! use rankhow_ranking::GivenRanking;
+//!
+//! let data = Dataset::from_rows(
+//!     vec!["A1".into(), "A2".into(), "A3".into()],
+//!     vec![vec![3.0, 2.0, 8.0], vec![4.0, 1.0, 15.0], vec![1.0, 1.0, 14.0]],
+//! )
+//! .unwrap();
+//! let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+//! let problem = OptProblem::new(data, pi).unwrap();
+//!
+//! let router = Router::new(RouterConfig {
+//!     pools: 2,
+//!     threads_per_pool: 1,
+//!     ..RouterConfig::default()
+//! });
+//! let handle = router.spawn(problem, SolverConfig::default());
+//! let solution = handle.join().unwrap();
+//! assert_eq!(solution.error, 0);
+//! assert!(solution.optimal);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod router;
+mod stats;
+
+pub use config::{Placement, RouterConfig};
+pub use router::Router;
+pub use stats::{PoolSnapshot, RouterStats};

@@ -1,0 +1,294 @@
+//! The router: P scheduler pools behind one `spawn` surface.
+
+use crate::config::{Placement, RouterConfig};
+use crate::stats::{PoolSnapshot, RouterStats};
+use rankhow_core::{CellScheduler, OptProblem, Solution, SolverConfig, SolverError, SolverStats};
+use rankhow_serve::{Scheduler, SolveHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a backpressured spawner parks on a pool's capacity condvar
+/// before rechecking admission (a completion on *another* pool does not
+/// wake it, so the wait must time out and re-poll).
+const BACKPRESSURE_POLL: Duration = Duration::from_millis(2);
+
+/// A load-aware router over `P` independent [`Scheduler`] pools.
+///
+/// The router keeps the scheduler's serving surface —
+/// `spawn -> SolveHandle` — and adds the missing multi-pool layer:
+///
+/// - **placement** ([`Placement`]): deterministic query-hash or
+///   least-loaded pool selection;
+/// - **admission control**: a per-pool run-queue cap and a global
+///   high-water mark. Over-capacity spawns *complete* immediately with
+///   [`SolveStatus::Rejected`](rankhow_core::SolveStatus) (no panic, no
+///   error, no incumbent) — or block until capacity when
+///   [`RouterConfig::backpressure`] is set;
+/// - **rebalancing** ([`Router::rebalance`]): on a load tick,
+///   not-yet-started jobs migrate from the deepest run queue to the
+///   shallowest. Un-started jobs have no root state, so a migration
+///   moves nothing but the queue entry;
+/// - **observability** ([`Router::stats`]): per-pool and aggregate
+///   engine statistics plus admission/rejection/migration counters.
+///
+/// Dropping the router drops every pool: outstanding jobs are cancelled
+/// cooperatively and their joiners unblock with best-so-far results.
+pub struct Router {
+    pools: Vec<Scheduler>,
+    config: RouterConfig,
+    admissions: AtomicU64,
+    rejections: AtomicU64,
+    migrations: AtomicU64,
+    /// Admissions since the last automatic rebalancing tick.
+    tick: AtomicU64,
+}
+
+impl Router {
+    /// A router over `config.pools` fresh scheduler pools.
+    pub fn new(config: RouterConfig) -> Self {
+        let pools = config.pools.max(1);
+        let threads = config.threads_per_pool.max(1);
+        let slice = config.slice_nodes.max(1);
+        Router {
+            pools: (0..pools)
+                .map(|_| Scheduler::with_slice(threads, slice))
+                .collect(),
+            config: RouterConfig {
+                pools,
+                threads_per_pool: threads,
+                slice_nodes: slice,
+                ..config
+            },
+            admissions: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pools.
+    pub fn pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The (normalized) configuration the router runs with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Route one query. Same contract as
+    /// [`Scheduler::spawn`](rankhow_serve::Scheduler::spawn): returns
+    /// immediately with a handle; root setup happens on a pool worker.
+    /// Over-capacity spawns resolve through the handle with
+    /// [`SolveStatus::Rejected`](rankhow_core::SolveStatus) (or are
+    /// delayed under [`RouterConfig::backpressure`]) — the surface
+    /// never panics or errors on load.
+    pub fn spawn(&self, problem: OptProblem, config: SolverConfig) -> SolveHandle {
+        self.spawn_shared(Arc::new(problem), config)
+    }
+
+    /// [`Router::spawn`] without copying the problem.
+    pub fn spawn_shared(&self, problem: Arc<OptProblem>, config: SolverConfig) -> SolveHandle {
+        self.submit(problem, config, self.config.backpressure)
+    }
+
+    fn submit(
+        &self,
+        mut problem: Arc<OptProblem>,
+        mut config: SolverConfig,
+        backpressure: bool,
+    ) -> SolveHandle {
+        // Query-hash placement is a function of the problem alone —
+        // hash once, not per retry (the fingerprint walks the whole
+        // feature matrix). Least-loaded placement is recomputed on
+        // every retry instead: a blocked spawner re-routes to whichever
+        // pool drained first rather than camping on its original choice.
+        let pinned = match self.config.placement {
+            Placement::QueryHash => Some(self.place(&problem)),
+            Placement::LeastLoaded => None,
+        };
+        loop {
+            let pool = pinned.unwrap_or_else(|| self.place(&problem));
+            if self.over_high_water() {
+                if !backpressure {
+                    self.rejections.fetch_add(1, Ordering::AcqRel);
+                    return SolveHandle::rejected();
+                }
+                self.park(pool);
+                continue;
+            }
+            match self.pools[pool].try_spawn_shared(problem, config, self.config.queue_cap) {
+                Ok(handle) => {
+                    self.admissions.fetch_add(1, Ordering::AcqRel);
+                    self.auto_tick();
+                    return handle;
+                }
+                Err(refused) => {
+                    problem = refused.problem;
+                    config = refused.config;
+                    if !backpressure {
+                        self.rejections.fetch_add(1, Ordering::AcqRel);
+                        return SolveHandle::rejected();
+                    }
+                    self.park(pool);
+                }
+            }
+        }
+    }
+
+    /// Bounded wait for a backpressured spawner: park on the placed
+    /// pool's capacity condvar until one of *its* jobs completes (any
+    /// completion lowers both the pool count and the global count), or
+    /// plain-sleep one poll interval when the placed pool is idle and
+    /// only the global mark binds — a completion on another pool cannot
+    /// wake the condvar, and without the sleep the retry loop would
+    /// busy-spin.
+    fn park(&self, pool: usize) {
+        let live = self.pools[pool].live_jobs();
+        if live > 0 {
+            self.pools[pool].wait_capacity(live, BACKPRESSURE_POLL);
+        } else {
+            std::thread::sleep(BACKPRESSURE_POLL);
+        }
+    }
+
+    /// Which pool a query lands on under the configured placement.
+    /// Exposed so callers (and tests) can predict routing.
+    pub fn place(&self, problem: &OptProblem) -> usize {
+        match self.config.placement {
+            Placement::QueryHash => (fingerprint(problem) % self.pools.len() as u64) as usize,
+            Placement::LeastLoaded => self
+                .pools
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| (p.load().score(), *i))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Whether the router-wide live-job count has reached the global
+    /// high-water mark. Approximate under concurrent spawners — the
+    /// mark is a shedding threshold, not an exact semaphore.
+    fn over_high_water(&self) -> bool {
+        let mark = self.config.global_cap;
+        mark > 0 && self.pools.iter().map(Scheduler::live_jobs).sum::<usize>() >= mark
+    }
+
+    /// One rebalancing load tick: repeatedly migrate the youngest
+    /// not-yet-started job from the deepest run queue to the shallowest
+    /// until the depths differ by at most one (or nothing migratable
+    /// remains). Returns the number of jobs moved. Safe to call
+    /// concurrently with spawns and with itself; migration never
+    /// changes a job's result — an un-started job has no root state,
+    /// and lane ids map onto any pool size.
+    pub fn rebalance(&self) -> usize {
+        if self.pools.len() < 2 {
+            return 0;
+        }
+        let mut moved = 0usize;
+        loop {
+            let depths: Vec<usize> = self.pools.iter().map(|p| p.load().queued).collect();
+            let (deepest, &max_depth) = depths
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, &d)| (d, usize::MAX - i))
+                .expect("at least two pools");
+            let (shallowest, &min_depth) = depths
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, &d)| (d, *i))
+                .expect("at least two pools");
+            if max_depth <= min_depth + 1 {
+                break;
+            }
+            // The snapshot can go stale between load() and take; a miss
+            // just ends the tick.
+            let Some(job) = self.pools[deepest].take_unstarted() else {
+                break;
+            };
+            self.pools[shallowest].adopt(job);
+            moved += 1;
+        }
+        if moved > 0 {
+            self.migrations.fetch_add(moved as u64, Ordering::AcqRel);
+        }
+        moved
+    }
+
+    fn auto_tick(&self) {
+        let every = self.config.rebalance_every;
+        if every > 0 && (self.tick.fetch_add(1, Ordering::AcqRel) + 1).is_multiple_of(every) {
+            self.rebalance();
+        }
+    }
+
+    /// A point-in-time observability snapshot: per-pool engine stats
+    /// and loads, the merged aggregate, and the admission counters.
+    pub fn stats(&self) -> RouterStats {
+        let pools: Vec<PoolSnapshot> = self
+            .pools
+            .iter()
+            .map(|p| PoolSnapshot {
+                solver: p.stats(),
+                load: p.load(),
+                spawned: p.jobs_spawned(),
+            })
+            .collect();
+        let mut solver = SolverStats::default();
+        for pool in &pools {
+            solver.merge(&pool.solver);
+        }
+        RouterStats {
+            pools,
+            solver,
+            admissions: self.admissions.load(Ordering::Acquire),
+            rejections: self.rejections.load(Ordering::Acquire),
+            migrations: self.migrations.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// SYM-GD chains route through the same pools. Cell solves are
+/// *continuations* of an already-admitted query, not new external
+/// traffic, so they always use backpressure: a full queue delays the
+/// chain instead of shedding it mid-flight (a rejected cell would
+/// corrupt the chain's warm-start sequence). Query-hash placement keeps
+/// every cell of one chain on one pool — the chain's warm LP
+/// workspaces stay hot.
+impl CellScheduler for Router {
+    fn solve_cell(
+        &self,
+        problem: &Arc<OptProblem>,
+        config: SolverConfig,
+    ) -> Result<Solution, SolverError> {
+        self.submit(Arc::clone(problem), config, true).join()
+    }
+}
+
+/// Deterministic query fingerprint: FNV-1a over the instance shape, the
+/// given ranking, and every feature's bit pattern. Stable across runs
+/// and processes (no pointer or RandomState input), so query-hash
+/// placement is reproducible. Cost is one pass over the feature matrix
+/// — noise next to the thousands of LP solves a query triggers.
+fn fingerprint(problem: &OptProblem) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |hash: &mut u64, v: u64| {
+        for byte in v.to_le_bytes() {
+            *hash = (*hash ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    };
+    mix(&mut hash, problem.n() as u64);
+    mix(&mut hash, problem.m() as u64);
+    for position in problem.given.positions() {
+        mix(&mut hash, position.map_or(u64::MAX, u64::from));
+    }
+    for j in 0..problem.m() {
+        for &value in problem.data.col(j) {
+            mix(&mut hash, value.to_bits());
+        }
+    }
+    hash
+}

@@ -1,0 +1,55 @@
+//! Router observability: per-pool and aggregate serving statistics.
+
+use rankhow_core::SolverStats;
+use rankhow_serve::PoolLoad;
+
+/// One pool's slice of a [`RouterStats`] snapshot.
+#[derive(Clone, Debug)]
+pub struct PoolSnapshot {
+    /// Aggregate engine statistics over the pool's *completed* jobs
+    /// (`solver.jobs` counts them).
+    pub solver: SolverStats,
+    /// The pool's load at snapshot time: run-queue depth, in-flight
+    /// jobs, worker count.
+    pub load: PoolLoad,
+    /// Jobs ever spawned directly on this pool (adopted migrants count
+    /// on their origin pool).
+    pub spawned: u64,
+}
+
+/// A point-in-time snapshot of the whole router (see
+/// [`Router::stats`](crate::Router::stats)). Pools run concurrently, so
+/// the per-pool rows are each internally consistent but the snapshot as
+/// a whole is advisory — the numbers feed dashboards and placement
+/// debugging, not control flow.
+#[derive(Clone, Debug)]
+pub struct RouterStats {
+    /// One row per pool, in pool-index order.
+    pub pools: Vec<PoolSnapshot>,
+    /// Engine statistics merged across every pool's completed jobs.
+    pub solver: SolverStats,
+    /// Spawns admitted to some pool (including delayed-then-admitted
+    /// backpressure spawns and internal cell-chain jobs).
+    pub admissions: u64,
+    /// Spawns shed by admission control
+    /// ([`SolveStatus::Rejected`](rankhow_core::SolveStatus)).
+    pub rejections: u64,
+    /// Queued jobs migrated between pools by rebalancing load ticks.
+    pub migrations: u64,
+}
+
+impl RouterStats {
+    /// Total live jobs across all pools at snapshot time (the quantity
+    /// the global high-water mark bounds).
+    pub fn live_jobs(&self) -> usize {
+        self.pools
+            .iter()
+            .map(|p| p.load.queued + p.load.in_flight)
+            .sum()
+    }
+
+    /// Total run-queue depth (not-yet-started jobs) across pools.
+    pub fn queued_jobs(&self) -> usize {
+        self.pools.iter().map(|p| p.load.queued).sum()
+    }
+}

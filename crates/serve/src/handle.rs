@@ -1,6 +1,7 @@
 //! The caller's view of one in-flight job.
 
 use crate::scheduler::JobEntry;
+use crate::sync;
 use rankhow_core::{Solution, SolverError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -22,7 +23,7 @@ impl Completion {
 
     /// Store the final result (first write wins) and wake joiners.
     pub(crate) fn set(&self, result: Result<Solution, SolverError>) {
-        let mut slot = self.slot.lock().unwrap();
+        let mut slot = sync::lock(&self.slot);
         if slot.is_none() {
             *slot = Some(result);
             self.done.notify_all();
@@ -30,18 +31,25 @@ impl Completion {
     }
 
     fn wait(&self) -> Result<Solution, SolverError> {
-        let mut slot = self.slot.lock().unwrap();
+        let mut slot = sync::lock(&self.slot);
         loop {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
-            slot = self.done.wait(slot).unwrap();
+            slot = sync::wait(&self.done, slot);
         }
     }
 
     fn is_set(&self) -> bool {
-        self.slot.lock().unwrap().is_some()
+        sync::lock(&self.slot).is_some()
     }
+}
+
+/// What a [`SolveHandle`] observes: a live scheduler job, or a query
+/// that admission control shed before it ever became one.
+enum Inner {
+    Job(Arc<JobEntry>),
+    Rejected,
 }
 
 /// Handle to a job spawned on a [`Scheduler`](crate::Scheduler).
@@ -50,12 +58,27 @@ impl Completion {
 /// (the scheduler keeps solving; cancel explicitly if the answer is no
 /// longer wanted).
 pub struct SolveHandle {
-    entry: Arc<JobEntry>,
+    inner: Inner,
 }
 
 impl SolveHandle {
     pub(crate) fn new(entry: Arc<JobEntry>) -> Self {
-        SolveHandle { entry }
+        SolveHandle {
+            inner: Inner::Job(entry),
+        }
+    }
+
+    /// An already-completed handle for a query shed by admission
+    /// control: [`SolveHandle::join`] returns
+    /// [`Solution::rejected`](rankhow_core::Solution::rejected)
+    /// immediately, [`SolveHandle::best_so_far`] is always `None`, and
+    /// cancel/deadline are no-ops. This is the shape `rankhow-router`
+    /// hands back for over-capacity spawns, keeping the spawn surface
+    /// uniform: callers always get a handle, never an error or a panic.
+    pub fn rejected() -> Self {
+        SolveHandle {
+            inner: Inner::Rejected,
+        }
     }
 
     /// Request cooperative cancellation. The job stops at the next node
@@ -65,7 +88,9 @@ impl SolveHandle {
     /// [`SolverError::Infeasible`] if none was ever found). Idempotent;
     /// a no-op once the job finished.
     pub fn cancel(&self) {
-        self.entry.job.cancel();
+        if let Inner::Job(entry) = &self.inner {
+            entry.job.cancel();
+        }
     }
 
     /// Set (or move) the job's deadline to `after` from now. Checked at
@@ -74,30 +99,42 @@ impl SolveHandle {
     /// best-so-far incumbent, overshooting by at most one fairness
     /// slice per worker.
     pub fn deadline(&self, after: Duration) {
-        self.entry.job.deadline(after);
+        if let Inner::Job(entry) = &self.inner {
+            entry.job.deadline(after);
+        }
     }
 
     /// The latest anytime incumbent `(error, weights)`, `None` before
     /// the first feasible point. Monotone: successive observations
     /// never report a larger error, and the final
     /// [`Solution::error`](rankhow_core::Solution) is never worse than
-    /// any observation.
+    /// any observation. A rejected handle never has one.
     pub fn best_so_far(&self) -> Option<(u64, Vec<f64>)> {
-        self.entry.job.best_so_far()
+        match &self.inner {
+            Inner::Job(entry) => entry.job.best_so_far(),
+            Inner::Rejected => None,
+        }
     }
 
     /// Whether the final result is available ([`SolveHandle::join`]
     /// would return without blocking).
     pub fn is_finished(&self) -> bool {
-        self.entry.completion.is_set()
+        match &self.inner {
+            Inner::Job(entry) => entry.completion.is_set(),
+            Inner::Rejected => true,
+        }
     }
 
     /// Block until the job completes and return its solution. Bounded
-    /// jobs (cancelled / deadline / node limit) return `Ok` with the
-    /// corresponding [`SolveStatus`](rankhow_core::SolveStatus) — an
+    /// jobs (cancelled / deadline / node limit / admission-rejected)
+    /// return `Ok` with the corresponding
+    /// [`SolveStatus`](rankhow_core::SolveStatus) — an
     /// `Err` means infeasibility (or no feasible point before the job
     /// was stopped) or an LP failure.
     pub fn join(self) -> Result<Solution, SolverError> {
-        self.entry.completion.wait()
+        match self.inner {
+            Inner::Job(entry) => entry.completion.wait(),
+            Inner::Rejected => Ok(Solution::rejected()),
+        }
     }
 }

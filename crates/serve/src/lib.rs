@@ -29,6 +29,25 @@
 //! submits each cell solve as a job here, warm-started from the
 //! previous cell's optimum.
 //!
+//! For multi-pool serving, the scheduler also exposes the primitives
+//! the `rankhow-router` layer shards over:
+//!
+//! - [`Scheduler::load`] — a [`PoolLoad`] snapshot (run-queue depth +
+//!   in-flight jobs) for least-loaded placement;
+//! - [`Scheduler::try_spawn_shared`] — spawn with an admission cap,
+//!   handing a [`RejectedSpawn`] back instead of enqueueing when the
+//!   pool is full, and [`Scheduler::wait_capacity`] for backpressure;
+//! - [`Scheduler::take_unstarted`] / [`Scheduler::adopt`] — migrate a
+//!   [`QueuedJob`] between pools; un-started jobs have no root state,
+//!   so rebalancing moves only the entry itself;
+//! - [`SolveHandle::rejected`] — the pre-completed handle a shed query
+//!   resolves to
+//!   ([`SolveStatus::Rejected`](rankhow_core::SolveStatus)).
+//!
+//! All internal locks go through a poison-tolerant helper: a worker
+//! that panics mid-step cannot wedge other handles' `join` /
+//! `best_so_far` or the run queue itself.
+//!
 //! ```
 //! use rankhow_core::{OptProblem, SolverConfig};
 //! use rankhow_serve::Scheduler;
@@ -54,6 +73,7 @@
 
 mod handle;
 mod scheduler;
+mod sync;
 
 pub use handle::SolveHandle;
-pub use scheduler::Scheduler;
+pub use scheduler::{PoolLoad, QueuedJob, RejectedSpawn, Scheduler, DEFAULT_SLICE_NODES};

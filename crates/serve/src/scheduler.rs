@@ -2,19 +2,21 @@
 //! [`SolveJob`]s with round-robin node-budget time slicing.
 
 use crate::handle::{Completion, SolveHandle};
+use crate::sync;
 use rankhow_core::{
     CellScheduler, EngineScratch, OptProblem, Solution, SolveJob, SolverConfig, SolverError,
     SolverStats, StepOutcome,
 };
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Default fairness slice: nodes a worker expands on one job before
 /// rotating to the next queued job. Small enough that a heavy query
 /// cannot starve light ones, large enough to amortize the rotation.
-const DEFAULT_SLICE_NODES: usize = 64;
+pub const DEFAULT_SLICE_NODES: usize = 64;
 
 /// One spawned job: the reentrant engine state plus completion plumbing.
 pub(crate) struct JobEntry {
@@ -22,6 +24,18 @@ pub(crate) struct JobEntry {
     pub(crate) completion: Completion,
     /// Taken (CAS) by the worker that packages the final result.
     finalized: AtomicBool,
+    /// Workers currently holding this entry between popping it and
+    /// finishing their slice (the entry is re-enqueued *before* being
+    /// stepped, so it can sit in the queue while also claimed).
+    /// [`Scheduler::take_unstarted`] only migrates unclaimed entries,
+    /// which guarantees no worker of the source pool is (or ever will
+    /// be) stepping a migrated job.
+    claims: AtomicUsize,
+    /// Taken (CAS) by the first worker about to step this job, moving
+    /// it from the owning pool's `queued` count to its in-flight count
+    /// exactly once — keeps [`Scheduler::load`] O(1) instead of a
+    /// queue scan on the placement hot path.
+    started_accounted: AtomicBool,
 }
 
 struct Shared {
@@ -31,12 +45,87 @@ struct Shared {
     /// co-step the same job.
     queue: Mutex<VecDeque<Arc<JobEntry>>>,
     available: Condvar,
+    /// Notified (under the queue lock) whenever `live` decreases —
+    /// admission backpressure parks here.
+    capacity: Condvar,
     shutdown: AtomicBool,
     threads: usize,
     slice_nodes: usize,
     jobs_spawned: AtomicU64,
+    /// Jobs this pool currently owns: spawned or adopted, not yet
+    /// finalized, not migrated away. Written under the queue lock
+    /// (spawn/adopt/take) or immediately before a `capacity` notify
+    /// under that lock (finalize), so admission checks are atomic.
+    live: AtomicUsize,
+    /// Of `live`, the jobs no worker has begun stepping (the migratable
+    /// run-queue depth): +1 at spawn/adopt, −1 at `take_unstarted` and
+    /// at each entry's `started_accounted` transition.
+    queued: AtomicUsize,
     /// Aggregate statistics over completed jobs (`jobs` counts them).
     finished_stats: Mutex<SolverStats>,
+}
+
+/// A load snapshot of one scheduler pool (see [`Scheduler::load`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PoolLoad {
+    /// Run-queue depth: spawned jobs no worker has started stepping.
+    /// These are exactly the jobs [`Scheduler::take_unstarted`] can
+    /// migrate to another pool.
+    pub queued: usize,
+    /// Jobs the pool's workers are actively advancing. Each occupies up
+    /// to all of the pool's frontier lanes (idle workers co-step).
+    pub in_flight: usize,
+    /// Pool worker count.
+    pub workers: usize,
+}
+
+impl PoolLoad {
+    /// Scalar placement score: run-queue depth plus in-flight jobs
+    /// (each in-flight job occupies frontier lanes until it finishes).
+    /// Lower is less loaded.
+    pub fn score(&self) -> usize {
+        self.queued + self.in_flight
+    }
+}
+
+/// A spawn refused by admission control: the pool already owned its
+/// cap's worth of live (queued + in-flight) jobs. Carries the
+/// submitted problem and config back to the caller, which can shed the query ([`SolveHandle::rejected`]), retry
+/// another pool, or wait for capacity ([`Scheduler::wait_capacity`]).
+pub struct RejectedSpawn {
+    /// The submitted problem, returned unchanged.
+    pub problem: Arc<OptProblem>,
+    /// The submitted solver configuration, returned unchanged.
+    pub config: SolverConfig,
+}
+
+/// A not-yet-started job removed from one scheduler's run queue by
+/// [`Scheduler::take_unstarted`], in transit to another pool's
+/// [`Scheduler::adopt`]. Un-started jobs have no root state (the
+/// reduction and root heuristics run inside the first step), so the
+/// move is free: no search state crosses pools.
+///
+/// Dropping a `QueuedJob` without adopting it sheds the job: its
+/// [`SolveHandle`] completes immediately with
+/// [`SolveStatus::Rejected`](rankhow_core::SolveStatus) and no
+/// incumbent, so the submitter never hangs.
+pub struct QueuedJob {
+    entry: Option<Arc<JobEntry>>,
+}
+
+impl Drop for QueuedJob {
+    fn drop(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            entry.job.cancel();
+            if entry
+                .finalized
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                entry.completion.set(Ok(Solution::rejected()));
+            }
+        }
+    }
 }
 
 /// A long-lived worker pool that interleaves node expansion across many
@@ -69,10 +158,13 @@ impl Scheduler {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            capacity: Condvar::new(),
             shutdown: AtomicBool::new(false),
             threads,
             slice_nodes: slice_nodes.max(1),
             jobs_spawned: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
             finished_stats: Mutex::new(SolverStats::default()),
         });
         let workers = (0..threads)
@@ -92,15 +184,38 @@ impl Scheduler {
         self.shared.threads
     }
 
-    /// Total jobs ever spawned on this scheduler.
+    /// Total jobs ever spawned on this scheduler (adopted jobs count on
+    /// their origin pool, not here).
     pub fn jobs_spawned(&self) -> u64 {
         self.shared.jobs_spawned.load(Ordering::Acquire)
+    }
+
+    /// Jobs this pool currently owns: spawned or adopted, not yet
+    /// completed. This is the quantity admission caps bound.
+    pub fn live_jobs(&self) -> usize {
+        self.shared.live.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the pool's load: run-queue depth (jobs no worker
+    /// has started) and in-flight jobs. O(1) — two counter reads, no
+    /// queue lock — so placement can call it on every spawn. The two
+    /// counters are read without a common critical section; concurrent
+    /// workers may shift a job between them mid-read — placement
+    /// decisions treat the snapshot as a heuristic.
+    pub fn load(&self) -> PoolLoad {
+        let queued = self.shared.queued.load(Ordering::Acquire);
+        let live = self.shared.live.load(Ordering::Acquire);
+        PoolLoad {
+            queued,
+            in_flight: live.saturating_sub(queued),
+            workers: self.shared.threads,
+        }
     }
 
     /// Aggregate statistics over *completed* jobs (`stats().jobs` is
     /// their count; counters are summed across jobs).
     pub fn stats(&self) -> SolverStats {
-        self.shared.finished_stats.lock().unwrap().clone()
+        sync::lock(&self.shared.finished_stats).clone()
     }
 
     /// Enqueue a solve job; returns immediately. The job runs with one
@@ -118,18 +233,105 @@ impl Scheduler {
     /// that submit many jobs over the same dataset (batch serving,
     /// SYM-GD cell chains).
     pub fn spawn_shared(&self, problem: Arc<OptProblem>, config: SolverConfig) -> SolveHandle {
-        let entry = Arc::new(JobEntry {
-            job: SolveJob::new(problem, config, self.shared.threads),
-            completion: Completion::new(),
-            finalized: AtomicBool::new(false),
-        });
-        self.shared.jobs_spawned.fetch_add(1, Ordering::AcqRel);
-        {
-            let mut queue = self.shared.queue.lock().unwrap();
+        match self.try_spawn_shared(problem, config, 0) {
+            Ok(handle) => handle,
+            Err(_) => unreachable!("cap 0 admits unconditionally"),
+        }
+    }
+
+    /// [`Scheduler::spawn_shared`] with admission control: the spawn is
+    /// refused (and the inputs handed back) when the pool already owns
+    /// `queue_cap` live jobs. `queue_cap == 0` means unbounded — the
+    /// spawn always succeeds. The capacity check and the enqueue are
+    /// one atomic step under the queue lock, so concurrent spawners
+    /// cannot overshoot the cap.
+    pub fn try_spawn_shared(
+        &self,
+        problem: Arc<OptProblem>,
+        config: SolverConfig,
+        queue_cap: usize,
+    ) -> Result<SolveHandle, Box<RejectedSpawn>> {
+        let entry = {
+            let queue_lock = &self.shared.queue;
+            let mut queue = sync::lock(queue_lock);
+            if queue_cap > 0 && self.shared.live.load(Ordering::Acquire) >= queue_cap {
+                return Err(Box::new(RejectedSpawn { problem, config }));
+            }
+            let entry = Arc::new(JobEntry {
+                job: SolveJob::new(problem, config, self.shared.threads),
+                completion: Completion::new(),
+                finalized: AtomicBool::new(false),
+                claims: AtomicUsize::new(0),
+                started_accounted: AtomicBool::new(false),
+            });
+            self.shared.jobs_spawned.fetch_add(1, Ordering::AcqRel);
+            self.shared.live.fetch_add(1, Ordering::AcqRel);
+            self.shared.queued.fetch_add(1, Ordering::AcqRel);
             queue.push_back(Arc::clone(&entry));
+            entry
+        };
+        self.shared.available.notify_one();
+        Ok(SolveHandle::new(entry))
+    }
+
+    /// Block until the pool owns fewer than `below` live jobs (i.e. a
+    /// [`Scheduler::try_spawn_shared`] with `queue_cap == below` would
+    /// be admitted right now) or `timeout` elapses. Returns whether
+    /// capacity was observed. `below == 0` (unbounded) returns `true`
+    /// immediately. The admission itself can still race another
+    /// spawner — callers loop `wait_capacity` + `try_spawn_shared`.
+    pub fn wait_capacity(&self, below: usize, timeout: Duration) -> bool {
+        if below == 0 {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut queue = sync::lock(&self.shared.queue);
+        while self.shared.live.load(Ordering::Acquire) >= below {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timed_out) =
+                sync::wait_timeout(&self.shared.capacity, queue, deadline - now);
+            queue = guard;
+        }
+        true
+    }
+
+    /// Remove the most recently queued job *no worker has started* from
+    /// the run queue — the router's rebalancing hook. Un-started jobs
+    /// have no root state, so nothing but the entry itself moves.
+    /// Returns `None` when every queued job is already being stepped
+    /// (or the queue is empty). Taking from the back preserves FIFO
+    /// fairness for the jobs that stay.
+    pub fn take_unstarted(&self) -> Option<QueuedJob> {
+        let mut queue = sync::lock(&self.shared.queue);
+        let idx = queue.iter().rposition(|e| {
+            !e.job.is_started() && !e.job.is_finished() && e.claims.load(Ordering::Acquire) == 0
+        })?;
+        let entry = queue.remove(idx).expect("index from rposition");
+        self.shared.live.fetch_sub(1, Ordering::AcqRel);
+        // An entry passing the predicate was never popped by a worker
+        // (claims == 0 and never stepped), so it still counts as queued.
+        self.shared.queued.fetch_sub(1, Ordering::AcqRel);
+        // The vacated slot is capacity for a new admission.
+        self.shared.capacity.notify_all();
+        Some(QueuedJob { entry: Some(entry) })
+    }
+
+    /// Adopt a job migrated from another pool: it joins the back of the
+    /// run queue and counts against this pool's live jobs from now on.
+    /// The job keeps its origin lane count; worker ids map onto lanes
+    /// modulo, so pools of any size can adopt it.
+    pub fn adopt(&self, mut job: QueuedJob) {
+        let entry = job.entry.take().expect("taken only by adopt or Drop");
+        {
+            let mut queue = sync::lock(&self.shared.queue);
+            self.shared.live.fetch_add(1, Ordering::AcqRel);
+            self.shared.queued.fetch_add(1, Ordering::AcqRel);
+            queue.push_back(entry);
         }
         self.shared.available.notify_one();
-        SolveHandle::new(entry)
     }
 }
 
@@ -153,7 +355,7 @@ impl Drop for Scheduler {
             // Cancel everything still live so joiners unblock promptly;
             // workers drain the queue, finalizing each job with its
             // best-so-far incumbent.
-            let queue = self.shared.queue.lock().unwrap();
+            let queue = sync::lock(&self.shared.queue);
             for entry in queue.iter() {
                 entry.job.cancel();
             }
@@ -171,15 +373,20 @@ fn worker_loop(shared: &Shared, wid: usize) {
     let mut scratch = EngineScratch::new();
     loop {
         let entry = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = sync::lock(&shared.queue);
             loop {
                 if let Some(entry) = queue.pop_front() {
+                    // Claimed while the queue lock is held: from here to
+                    // the end of the slice, `take_unstarted` skips this
+                    // job, so a migrated job can never be concurrently
+                    // stepped (or finalized) by this pool.
+                    entry.claims.fetch_add(1, Ordering::AcqRel);
                     break Some(entry);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                queue = shared.available.wait(queue).unwrap();
+                queue = sync::wait(&shared.available, queue);
             }
         };
         let Some(entry) = entry else {
@@ -189,6 +396,7 @@ fn worker_loop(shared: &Shared, wid: usize) {
             // Drop the queue's copy of a finished job (and make sure it
             // was finalized, e.g. when `Done` raced between workers).
             finalize(shared, &entry);
+            entry.claims.fetch_sub(1, Ordering::AcqRel);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -197,19 +405,30 @@ fn worker_loop(shared: &Shared, wid: usize) {
         // Re-enqueue *before* stepping: keeps the round-robin rotation
         // going and lets idle workers co-step this job's other lanes.
         {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = sync::lock(&shared.queue);
             queue.push_back(Arc::clone(&entry));
         }
         shared.available.notify_one();
+        // First worker to commit to stepping this job moves it from the
+        // run-queue count to in-flight, exactly once.
+        if entry
+            .started_accounted
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            shared.queued.fetch_sub(1, Ordering::AcqRel);
+        }
         match entry.job.step(wid, &mut scratch, shared.slice_nodes) {
             StepOutcome::Done => finalize(shared, &entry),
             StepOutcome::Starved => std::thread::yield_now(),
             StepOutcome::Progress => {}
         }
+        entry.claims.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
-/// Package a finished job's result exactly once and wake its joiner.
+/// Package a finished job's result exactly once, release its admission
+/// slot, and wake its joiner.
 fn finalize(shared: &Shared, entry: &JobEntry) {
     if entry
         .finalized
@@ -220,7 +439,15 @@ fn finalize(shared: &Shared, entry: &JobEntry) {
     }
     let result = entry.job.result();
     if let Ok(solution) = &result {
-        shared.finished_stats.lock().unwrap().merge(&solution.stats);
+        sync::lock(&shared.finished_stats).merge(&solution.stats);
     }
     entry.completion.set(result);
+    // Release the job's admission slot under the queue lock so a
+    // `wait_capacity` parked on the capacity condvar cannot miss the
+    // wakeup between its predicate check and its wait.
+    {
+        let _queue = sync::lock(&shared.queue);
+        shared.live.fetch_sub(1, Ordering::AcqRel);
+        shared.capacity.notify_all();
+    }
 }

@@ -1,0 +1,64 @@
+//! Poison-tolerant locking for the serving layer.
+//!
+//! A worker that panics while holding a lock poisons it; the default
+//! `.lock().unwrap()` then re-raises that panic in *every* other thread
+//! touching the same mutex — one crashed worker would wedge every
+//! handle's `join`/`best_so_far` and the scheduler's own run queue.
+//! The data these locks protect (the job queue, completion slots,
+//! aggregate counters) stays structurally valid across a mid-operation
+//! panic — every critical section either fully applies or leaves a
+//! still-consistent container — so the serving layer recovers the guard
+//! and keeps the other queries alive instead of cascading the panic.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Lock `mutex`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`], recovering a poisoned guard.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`], recovering a poisoned guard. The `bool`
+/// is whether the wait timed out (spurious wakeups return `false`; the
+/// caller rechecks its predicate either way).
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((guard, timeout)) => (guard, timeout.timed_out()),
+        Err(poisoned) => {
+            let (guard, timeout) = poisoned.into_inner();
+            (guard, timeout.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_survives_poisoning() {
+        let shared = Arc::new(Mutex::new(7usize));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(shared.is_poisoned(), "panic while locked must poison");
+        // The helper recovers the guard where `.lock().unwrap()` would
+        // propagate the worker's panic into this thread.
+        assert_eq!(*lock(&shared), 7);
+        *lock(&shared) = 8;
+        assert_eq!(*lock(&shared), 8);
+    }
+}

@@ -4,61 +4,18 @@
 //! cancellation, prompt deadline expiry, and SYM-GD-on-scheduler
 //! equivalence.
 
+mod support;
+
 use proptest::prelude::*;
 use rankhow_core::{
-    OptProblem, RankHow, SolveStatus, SolverConfig, SymGd, SymGdConfig, Tolerances,
-    WeightConstraints,
+    OptProblem, RankHow, SolveStatus, SolverConfig, SymGd, SymGdConfig, WeightConstraints,
 };
 use rankhow_data::Dataset;
 use rankhow_ranking::GivenRanking;
 use rankhow_serve::Scheduler;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// A random small OPT instance: integer-grid attributes (well-separated
-/// score differences) and a shuffled top-k given ranking.
-#[derive(Debug, Clone)]
-struct SmallInstance {
-    rows: Vec<Vec<f64>>,
-    k: usize,
-    perm_seed: u64,
-}
-
-fn small_instance() -> impl Strategy<Value = SmallInstance> {
-    (4usize..8, 2usize..4, any::<u64>()).prop_flat_map(|(n, m, perm_seed)| {
-        prop::collection::vec(prop::collection::vec((0u32..10).prop_map(f64::from), m), n).prop_map(
-            move |rows| SmallInstance {
-                rows,
-                k: 3.min(n - 1),
-                perm_seed,
-            },
-        )
-    })
-}
-
-fn build(inst: &SmallInstance) -> Option<OptProblem> {
-    let n = inst.rows.len();
-    // Deterministic Fisher–Yates from the seed: the ranked prefix is a
-    // random subset in random order, so most instances have nonzero
-    // optimal error (the interesting case for parity).
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut state = inst.perm_seed | 1;
-    for i in (1..n).rev() {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let j = (state >> 33) as usize % (i + 1);
-        order.swap(i, j);
-    }
-    let mut positions = vec![None; n];
-    for (pos, &idx) in order.iter().take(inst.k).enumerate() {
-        positions[idx] = Some(pos as u32 + 1);
-    }
-    let names = (0..inst.rows[0].len()).map(|j| format!("A{j}")).collect();
-    let data = Dataset::from_rows(names, inst.rows.clone()).ok()?;
-    let given = GivenRanking::from_positions(positions).ok()?;
-    OptProblem::with_tolerances(data, given, Tolerances::exact()).ok()
-}
+use support::{blocker_config, blocker_problem, build, light_problem, small_instance};
 
 /// A deeper anti-correlated instance: the search tree survives many
 /// node slices, which the cancellation/deadline tests rely on.
@@ -186,6 +143,99 @@ proptest! {
         prop_assert_eq!(sol.optimal, sol.status == SolveStatus::Optimal);
         prop_assert_eq!(problem.evaluate(&sol.weights), sol.error);
     }
+}
+
+#[test]
+fn try_spawn_respects_the_cap_and_hands_the_inputs_back() {
+    let scheduler = Scheduler::new(1);
+    let problem = Arc::new(blocker_problem(12, 6, 0));
+    let occupant = scheduler.spawn_shared(Arc::clone(&problem), blocker_config());
+    assert_eq!(scheduler.live_jobs(), 1);
+    // Cap 1 is reached: the spawn is refused and the submitted problem
+    // comes back unchanged (same allocation, not a copy).
+    let refused = scheduler
+        .try_spawn_shared(Arc::clone(&problem), SolverConfig::default(), 1)
+        .err()
+        .expect("cap reached");
+    assert!(Arc::ptr_eq(&refused.problem, &problem));
+    assert_eq!(scheduler.live_jobs(), 1, "refused spawns are not enqueued");
+    // Cap 0 = unbounded: the same spawn is admitted.
+    let second = scheduler
+        .try_spawn_shared(refused.problem, refused.config, 0)
+        .ok()
+        .expect("cap 0 admits unconditionally");
+    assert_eq!(scheduler.live_jobs(), 2);
+    occupant.cancel();
+    second.cancel();
+}
+
+#[test]
+fn rejected_handles_complete_immediately_without_incumbent() {
+    let handle = rankhow_serve::SolveHandle::rejected();
+    assert!(handle.is_finished());
+    assert!(handle.best_so_far().is_none());
+    handle.cancel(); // no-op
+    handle.deadline(Duration::from_millis(1)); // no-op
+    let sol = handle.join().expect("rejection is a status, not an error");
+    assert_eq!(sol.status, SolveStatus::Rejected);
+    assert!(sol.status.is_bounded());
+    assert!(!sol.optimal);
+    assert!(sol.weights.is_empty());
+    assert_eq!(sol.error, u64::MAX);
+}
+
+#[test]
+fn unstarted_jobs_migrate_between_pools() {
+    let source = Scheduler::new(1);
+    let target = Scheduler::new(2);
+    let problem = Arc::new(blocker_problem(12, 6, 0));
+    // A light query that solves in milliseconds once a worker reaches it.
+    let light = Arc::new(light_problem());
+    // The lone worker parks in the blocker's root setup; three more
+    // spawns stay unstarted in the source run queue.
+    let blocker = source.spawn_shared(Arc::clone(&problem), blocker_config());
+    let waiters: Vec<_> = (0..3)
+        .map(|_| source.spawn_shared(Arc::clone(&light), SolverConfig::default()))
+        .collect();
+    assert_eq!(source.live_jobs(), 4);
+    let load = source.load();
+    assert_eq!(load.workers, 1);
+    assert!(
+        load.queued >= 3,
+        "waiters must be unstarted while the blocker roots, queued {}",
+        load.queued
+    );
+    // Migrate one: live accounting follows the job to its new pool,
+    // and the job keeps working — its handle resolves through `target`.
+    let migrated = source.take_unstarted().expect("unstarted job available");
+    assert_eq!(source.live_jobs(), 3);
+    target.adopt(migrated);
+    assert_eq!(target.live_jobs(), 1);
+    blocker.cancel();
+    for handle in waiters {
+        let sol = handle.join().expect("feasible instance");
+        assert!(sol.optimal, "migration must not change results");
+    }
+    assert_eq!(
+        target.stats().jobs,
+        1,
+        "the adopted job completed on the target pool"
+    );
+    assert_eq!(target.jobs_spawned(), 0, "adoption is not a spawn");
+}
+
+#[test]
+fn dropping_a_taken_job_sheds_it_instead_of_hanging_its_joiner() {
+    let scheduler = Scheduler::new(1);
+    let problem = Arc::new(blocker_problem(12, 6, 0));
+    let blocker = scheduler.spawn_shared(Arc::clone(&problem), blocker_config());
+    let waiter = scheduler.spawn_shared(Arc::clone(&problem), SolverConfig::default());
+    let taken = scheduler.take_unstarted().expect("waiter is unstarted");
+    drop(taken); // never adopted anywhere
+    let sol = waiter.join().expect("shed, not an error");
+    assert_eq!(sol.status, SolveStatus::Rejected);
+    assert!(sol.weights.is_empty());
+    blocker.cancel();
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! Test-instance helpers shared between the serve and router
+//! integration suites (the router crate includes this file via
+//! `#[path]`, so there is exactly one copy of each technique).
+
+use proptest::prelude::*;
+use rankhow_core::{OptProblem, SolverConfig, Tolerances};
+use rankhow_data::Dataset;
+use rankhow_ranking::GivenRanking;
+
+/// A random small OPT instance: integer-grid attributes (well-separated
+/// score differences) and a shuffled top-k given ranking.
+#[derive(Debug, Clone)]
+pub struct SmallInstance {
+    pub rows: Vec<Vec<f64>>,
+    pub k: usize,
+    pub perm_seed: u64,
+}
+
+pub fn small_instance() -> impl Strategy<Value = SmallInstance> {
+    (4usize..8, 2usize..4, any::<u64>()).prop_flat_map(|(n, m, perm_seed)| {
+        prop::collection::vec(prop::collection::vec((0u32..10).prop_map(f64::from), m), n).prop_map(
+            move |rows| SmallInstance {
+                rows,
+                k: 3.min(n - 1),
+                perm_seed,
+            },
+        )
+    })
+}
+
+/// Build the OPT problem a [`SmallInstance`] describes. Deterministic
+/// Fisher–Yates from the seed: the ranked prefix is a random subset in
+/// random order, so most instances have nonzero optimal error (the
+/// interesting case for parity testing).
+pub fn build(inst: &SmallInstance) -> Option<OptProblem> {
+    let n = inst.rows.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = inst.perm_seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut positions = vec![None; n];
+    for (pos, &idx) in order.iter().take(inst.k).enumerate() {
+        positions[idx] = Some(pos as u32 + 1);
+    }
+    let names = (0..inst.rows[0].len()).map(|j| format!("A{j}")).collect();
+    let data = Dataset::from_rows(names, inst.rows.clone()).ok()?;
+    let given = GivenRanking::from_positions(positions).ok()?;
+    OptProblem::with_tolerances(data, given, Tolerances::exact()).ok()
+}
+
+/// An instance whose given ranking violates a dominance pair (tuple 0
+/// dominates tuple 1 on every attribute but is ranked *below* it), so
+/// no weight vector reaches error 0: the root start heuristic can never
+/// exit early, and the huge `root_samples` count in [`blocker_config`]
+/// keeps the first stepping worker busy in root setup for a long,
+/// controllable time while later spawns sit unstarted in the run queue.
+/// The other rows are anti-correlated so the remaining search tree is
+/// deep too.
+pub fn blocker_problem(n: usize, k: usize, twist: u64) -> OptProblem {
+    let mut rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                i as f64,
+                (n - i) as f64,
+                ((i as u64 * (3 + twist % 5)) % 7) as f64,
+            ]
+        })
+        .collect();
+    rows[0] = vec![9.0, 9.0, 9.0];
+    rows[1] = vec![1.0, 1.0, 1.0];
+    let mut positions = vec![None; n];
+    positions[1] = Some(1);
+    positions[0] = Some(2);
+    for (offset, idx) in (2..n).take(k.saturating_sub(2)).enumerate() {
+        positions[idx] = Some(offset as u32 + 3);
+    }
+    let names = vec!["a".into(), "b".into(), "c".into()];
+    let data = Dataset::from_rows(names, rows).unwrap();
+    let given = GivenRanking::from_positions(positions).unwrap();
+    OptProblem::new(data, given).unwrap()
+}
+
+/// Config that parks the first stepping worker in root setup (pairs
+/// with [`blocker_problem`], where the sampling loop cannot exit
+/// early).
+pub fn blocker_config() -> SolverConfig {
+    SolverConfig {
+        root_samples: 400_000,
+        ..SolverConfig::default()
+    }
+}
+
+/// A 3-row instance with a consistent given ranking: solves to a
+/// proved error-0 optimum in milliseconds once a worker reaches it —
+/// the counterpart of [`blocker_problem`] for tests that need jobs to
+/// *finish*.
+pub fn light_problem() -> OptProblem {
+    let data = Dataset::from_rows(
+        vec!["a".into(), "b".into()],
+        vec![vec![3.0, 1.0], vec![2.0, 2.0], vec![1.0, 3.0]],
+    )
+    .unwrap();
+    let given = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+    OptProblem::new(data, given).unwrap()
+}

@@ -6,7 +6,7 @@
 //!         [--min-weight <ATTR>=<LO>] [--max-weight <ATTR>=<HI>]
 //!         [--symgd <CELL>] [--budget <SECONDS>] [--measure position|kendall|topweighted]
 //!         [--threads <N>]
-//! rankhow --batch <queries.txt> [--threads <N>]
+//! rankhow --batch <queries.txt> [--threads <N>] [--pools <P>] [--queue-cap <N>]
 //! ```
 //!
 //! Input: a CSV of numeric attributes (header row). The given ranking
@@ -18,14 +18,18 @@
 //! reports): Definition 3 position error, Kendall tau, or the
 //! top-weighted variant.
 //!
-//! `--batch <file>` reads one query per line (same grammar as the
+//! `--batch <file>` streams one query per line (same grammar as the
 //! single-query command line, whitespace-separated; `#` comments and
-//! blank lines skipped) and solves them **concurrently** on one
-//! `rankhow_serve::Scheduler` whose pool size is the top-level
-//! `--threads` (per-line `--threads` is ignored — the pool decides).
-//! Lines with `--symgd` run as warm-started cell-job chains on the same
-//! pool. Results print in line order; with `--threads 1` the output is
-//! deterministic.
+//! blank lines skipped; malformed lines are reported with their 1-based
+//! line number) and solves them **concurrently** on a
+//! `rankhow_router::Router` of `--pools` scheduler pools with
+//! `--threads` workers each (per-line `--threads` is ignored — the
+//! pools decide). `--queue-cap` bounds each pool's outstanding jobs
+//! (queued + in-flight): over-capacity queries are shed with status
+//! `rejected` instead of queueing without bound. Both flags apply to
+//! `--batch` only. Lines with `--symgd` run as warm-started cell-job
+//! chains routed through the same pools. Results print in line order;
+//! with `--threads 1` the output is deterministic for any `--pools`.
 //!
 //! Output: the synthesized weights, the objective value, and the exact
 //! verification verdict.
@@ -33,7 +37,8 @@
 use rankhow::core::{seeding, verify, Solution, SolveStatus, SolverConfig, SymGd, SymGdConfig};
 use rankhow::prelude::*;
 use rankhow::ranking::ErrorMeasure;
-use rankhow::serve::Scheduler;
+use rankhow::router::{Router, RouterConfig};
+use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -54,6 +59,8 @@ struct Args {
     budget: u64,
     measure: ErrorMeasure,
     threads: usize,
+    pools: usize,
+    queue_cap: usize,
     batch: Option<PathBuf>,
 }
 
@@ -63,7 +70,7 @@ fn usage() -> ! {
          \x20      [--eps E] [--eps1 E1] [--eps2 E2] [--min-weight A=L] [--max-weight A=H]\n\
          \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]\n\
          \x20      [--threads N]\n\
-         \x20      rankhow --batch queries.txt [--threads N]"
+         \x20      rankhow --batch queries.txt [--threads N] [--pools P] [--queue-cap N]"
     );
     std::process::exit(2)
 }
@@ -86,6 +93,8 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
         budget: 30,
         measure: ErrorMeasure::Position,
         threads: rankhow::core::default_threads(),
+        pools: 1,
+        queue_cap: 0,
         batch: None,
     };
     let mut it = tokens.iter();
@@ -121,6 +130,18 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
                 args.threads = v
                     .parse()
                     .map_err(|_| format!("--threads: not a count: {v}"))?;
+            }
+            "--pools" => {
+                let v = next("--pools")?;
+                args.pools = v
+                    .parse()
+                    .map_err(|_| format!("--pools: not a count: {v}"))?;
+            }
+            "--queue-cap" => {
+                let v = next("--queue-cap")?;
+                args.queue_cap = v
+                    .parse()
+                    .map_err(|_| format!("--queue-cap: not a count: {v}"))?;
             }
             "--symgd" => {
                 args.symgd_cell = Some(parse_f64("--symgd", next("--symgd")?)?);
@@ -163,6 +184,14 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
             return Err("--batch takes queries from the file, not the command line".into());
         }
         return Ok(args);
+    }
+    // Router-level flags shape the --batch serving topology; accepting
+    // them silently on a single query would fake admission control.
+    if args.pools != 1 {
+        return Err("--pools only applies to --batch".into());
+    }
+    if args.queue_cap != 0 {
+        return Err("--queue-cap only applies to --batch".into());
     }
     if positional.len() != 1 {
         return Err("expected exactly one <data.csv> argument".into());
@@ -261,6 +290,7 @@ fn status_label(status: SolveStatus) -> &'static str {
         SolveStatus::NodeLimit => "node-limit",
         SolveStatus::TimeLimit => "time-limit",
         SolveStatus::Cancelled => "cancelled",
+        SolveStatus::Rejected => "rejected",
     }
 }
 
@@ -327,19 +357,29 @@ enum BatchOutcome {
     Failed(String),
 }
 
-/// Many queries multiplexed over one scheduler pool.
+/// Many queries multiplexed over a router of scheduler pools.
 fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
-    let text = match std::fs::read_to_string(batch_path) {
-        Ok(t) => t,
+    let file = match std::fs::File::open(batch_path) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("error reading {}: {e}", batch_path.display());
             return ExitCode::FAILURE;
         }
     };
-    // Parse and build every query up front: a malformed line is a usage
-    // error (exit 2) before any solving starts.
+    // Stream the query file line by line — the *text* held at any time
+    // is one line, not the whole file (the built problems still
+    // accumulate: every query solves concurrently). A malformed line is
+    // a usage error (exit 2, reported with its 1-based line number)
+    // before any solving starts.
     let mut queries: Vec<(Args, Arc<OptProblem>)> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("{}:{}: read error: {e}", batch_path.display(), lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -365,18 +405,29 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let scheduler = Scheduler::new(args.threads.max(1));
+    let router = Router::new(RouterConfig {
+        pools: args.pools.max(1),
+        threads_per_pool: args.threads.max(1),
+        queue_cap: args.queue_cap,
+        ..RouterConfig::default()
+    });
     eprintln!(
-        "batch: {} queries on {} worker(s)",
+        "batch: {} queries on {} pool(s) x {} worker(s){}",
         queries.len(),
-        scheduler.threads()
+        router.pools(),
+        args.threads.max(1),
+        if args.queue_cap > 0 {
+            format!(", queue cap {}", args.queue_cap)
+        } else {
+            String::new()
+        }
     );
 
-    // Spawn every direct query as a concurrent job. SYM-GD queries run
+    // Route every direct query as a concurrent job. SYM-GD queries run
     // as concurrent cell-job chains too: a chain is sequential by
     // nature (each cell warm-starts from the previous optimum), so each
     // gets a lightweight driver thread while all the actual solving —
-    // cells and direct jobs alike — multiplexes on the one pool.
+    // cells and direct jobs alike — multiplexes on the router's pools.
     let mut handles: Vec<Option<SolveHandle>> = Vec::with_capacity(queries.len());
     for (query, problem) in &queries {
         if query.symgd_cell.is_some() {
@@ -389,7 +440,7 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
             warm_start: Some(seed),
             ..SolverConfig::default()
         };
-        handles.push(Some(scheduler.spawn_shared(Arc::clone(problem), config)));
+        handles.push(Some(router.spawn_shared(Arc::clone(problem), config)));
     }
     let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(queries.len());
     outcomes.resize_with(queries.len(), || None);
@@ -399,7 +450,7 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
             .enumerate()
             .filter_map(|(i, (query, problem))| {
                 let cell = query.symgd_cell?;
-                let scheduler = &scheduler;
+                let router = &router;
                 let budget = query.budget;
                 Some(scope.spawn(move || {
                     let seed = seeding::ordinal_seed(problem);
@@ -409,7 +460,7 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
                         total_time: Some(Duration::from_secs(budget)),
                         ..SymGdConfig::default()
                     })
-                    .solve_on(scheduler, problem, &seed);
+                    .solve_on(router, problem, &seed);
                     let outcome = match run {
                         Ok(r) => BatchOutcome::SymGd(r),
                         Err(e) => BatchOutcome::Failed(format!("symgd failed: {e}")),
@@ -445,6 +496,12 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
             query.data.display()
         );
         match outcome.as_ref().expect("every query has an outcome") {
+            BatchOutcome::Direct(sol) if sol.status == SolveStatus::Rejected => {
+                // A shed query has no incumbent to report: the run
+                // queue was at --queue-cap when it arrived.
+                println!("status: rejected (pool at capacity; re-submit)");
+                failures += 1;
+            }
             BatchOutcome::Direct(sol) => {
                 report(problem, query, &sol.weights, sol.error, sol.optimal);
                 println!("status: {}", status_label(sol.status));
@@ -459,6 +516,11 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
             }
         }
     }
+    let stats = router.stats();
+    eprintln!(
+        "router: {} admitted, {} rejected, {} migrated",
+        stats.admissions, stats.rejections, stats.migrations
+    );
     if failures > 0 {
         eprintln!("{failures}/{total} queries failed");
         return ExitCode::FAILURE;

@@ -55,6 +55,7 @@ pub use rankhow_lp as lp;
 pub use rankhow_milp as milp;
 pub use rankhow_numeric as numeric;
 pub use rankhow_ranking as ranking;
+pub use rankhow_router as router;
 pub use rankhow_serve as serve;
 
 /// Convenience re-exports of the types most programs need.
@@ -65,5 +66,6 @@ pub mod prelude {
     };
     pub use rankhow_data::Dataset;
     pub use rankhow_ranking::{position_error, score_ranks, GivenRanking};
+    pub use rankhow_router::{Placement, Router, RouterConfig, RouterStats};
     pub use rankhow_serve::{Scheduler, SolveHandle};
 }

@@ -237,6 +237,95 @@ fn batch_mode_runs_symgd_chains_on_the_pool() {
 }
 
 #[test]
+fn batch_mode_routes_over_multiple_pools_deterministically() {
+    let dir = temp_dir("batch_pools");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let mut data2 = String::from("a,b,score\n");
+    for i in 0..10 {
+        let a = ((i * 3) % 10) as f64;
+        let b = ((i * 7) % 10) as f64;
+        let score = 0.6 * a + 0.4 * b;
+        data2.push_str(&format!("{a},{b},{score}\n"));
+    }
+    let data2 = write_csv(&dir, "data2.csv", &data2);
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "{} --score-col score --k 6 --budget 10\n\
+             {} --score-col score --k 5 --budget 10\n",
+            data.to_str().unwrap(),
+            data2.to_str().unwrap()
+        ),
+    );
+    // Two pools, one worker each: routed solves must be bit-identical
+    // to the single-pool run, and re-runs bit-identical to each other.
+    let run = |pools: &str| {
+        Command::new(env!("CARGO_BIN_EXE_rankhow"))
+            .args([
+                "--batch",
+                batch.to_str().unwrap(),
+                "--threads",
+                "1",
+                "--pools",
+                pools,
+            ])
+            .output()
+            .expect("run cli")
+    };
+    let sharded = run("2");
+    assert!(
+        sharded.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&sharded.stdout).to_string();
+    assert_eq!(stdout.matches("status: optimal").count(), 2, "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&sharded.stderr).contains("2 pool(s)"),
+        "stderr: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let again = run("2");
+    assert_eq!(
+        stdout,
+        String::from_utf8_lossy(&again.stdout),
+        "threads=1 output must be deterministic for any pool count"
+    );
+    let single = run("1");
+    assert_eq!(
+        stdout,
+        String::from_utf8_lossy(&single.stdout),
+        "routing must not change results"
+    );
+}
+
+#[test]
+fn batch_mode_reports_the_malformed_line_number() {
+    let dir = temp_dir("batch_lineno");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "# comment line\n\
+             {d} --score-col score --k 6\n\
+             {d} --score-col score --bogus-flag\n",
+            d = data.to_str().unwrap()
+        ),
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args(["--batch", batch.to_str().unwrap()])
+        .output()
+        .expect("run cli");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // 1-based: the bad flag sits on line 3 (after the comment line).
+    assert!(stderr.contains("queries.txt:3:"), "stderr: {stderr}");
+    assert!(stderr.contains("unknown flag"), "stderr: {stderr}");
+}
+
+#[test]
 fn batch_mode_rejects_malformed_lines_with_usage_exit() {
     let dir = temp_dir("batch_bad");
     let data = write_csv(&dir, "data.csv", &data_csv());
@@ -289,6 +378,27 @@ fn malformed_flags_exit_with_usage_code() {
         .output()
         .expect("run cli");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn router_flags_require_batch_mode() {
+    // --pools / --queue-cap shape the --batch serving topology; on a
+    // single query they must be refused, not silently ignored.
+    let dir = temp_dir("router_flags");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    for flag in [["--pools", "2"], ["--queue-cap", "4"]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+            .args([data.to_str().unwrap(), "--score-col", "score"])
+            .args(flag)
+            .output()
+            .expect("run cli");
+        assert_eq!(out.status.code(), Some(2), "{flag:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("only applies to --batch"),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
 }
 
 #[test]
