@@ -5,6 +5,12 @@
 //! Kept compiling by the CI `cargo bench --no-run` step; run with
 //! `cargo bench --bench solver_scaling`.
 //!
+//! `cargo bench --bench solver_scaling -- --json BENCH_PR5.json`
+//! skips the criterion loop and instead emits a machine-readable
+//! perf-trajectory report — nodes/sec, LPs/sec, pivots, and the LP
+//! warm-hit rate per workload, warm vs cold — so successive PRs can
+//! diff solver throughput without parsing bench prose.
+//!
 //! Interpretation note: on a single-core container
 //! (`std::thread::available_parallelism() == 1`) the >1-thread rows
 //! measure pure coordination overhead — workers time-slice one CPU and
@@ -13,7 +19,7 @@
 //! multi-core hardware, where per-worker LP workspaces and the
 //! work-stealing frontier let node expansions proceed concurrently.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rankhow_bench::setups;
 use rankhow_core::{RankHow, SolverConfig};
 use rankhow_data::synthetic::Distribution;
@@ -99,5 +105,88 @@ fn simplex_workspace(c: &mut Criterion) {
     group.finish();
 }
 
+/// One measured row of the `--json` report: a bounded solve of a named
+/// workload with LP warm-starting on or off.
+fn json_row(name: &str, problem: &rankhow_core::OptProblem, warm_lp: bool) -> String {
+    let start = std::time::Instant::now();
+    let sol = RankHow::with_config(SolverConfig {
+        threads: 1,
+        warm_lp,
+        node_limit: 3_000,
+        time_limit: Some(Duration::from_secs(10)),
+        ..SolverConfig::default()
+    })
+    .solve(problem)
+    .unwrap();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let s = &sol.stats;
+    let starts = (s.lp_warm_starts + s.lp_cold_starts).max(1);
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"mode\":\"{}\",\"error\":{},\"optimal\":{},",
+            "\"nodes\":{},\"lp_solves\":{},\"lp_pivots\":{},",
+            "\"nodes_per_sec\":{:.1},\"lps_per_sec\":{:.1},",
+            "\"warm_hit_rate\":{:.4},\"elapsed_sec\":{:.6}}}"
+        ),
+        name,
+        if warm_lp { "warm" } else { "cold" },
+        sol.error,
+        sol.optimal,
+        s.nodes,
+        s.lp_solves,
+        s.lp_pivots,
+        s.nodes as f64 / secs,
+        s.lp_solves as f64 / secs,
+        s.lp_warm_starts as f64 / starts as f64,
+        secs,
+    )
+}
+
+/// Emit the machine-readable perf report (see the module docs).
+fn json_report(path: &std::path::Path) {
+    let workloads = [
+        ("uniform_n300_k5", Distribution::Uniform, 300usize, 5usize),
+        ("anticorr_n120_k4", Distribution::AntiCorrelated, 120, 4),
+        ("uniform_n600_k8", Distribution::Uniform, 600, 8),
+    ];
+    let mut rows = Vec::new();
+    for (name, dist, n, k) in workloads {
+        let problem = setups::synthetic_problem(dist, 0, n, 4, k, 3, false);
+        for warm in [true, false] {
+            rows.push(json_row(name, &problem, warm));
+        }
+    }
+    let body = format!(
+        "{{\"bench\":\"solver_scaling\",\"pr\":5,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
+        rows.join(",\n  ")
+    );
+    std::fs::write(path, &body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {} ({} rows)", path.display(), 2 * workloads.len());
+}
+
 criterion_group!(benches, thread_sweep, simplex_workspace);
-criterion_main!(benches);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--json needs a path (e.g. --json BENCH_PR5.json)"));
+        // Cargo runs bench binaries with crates/bench as CWD; anchor
+        // relative paths at the workspace root so the documented
+        // command refreshes the committed repo-root BENCH_PR5.json.
+        let path = std::path::Path::new(path);
+        let anchored;
+        let path = if path.is_absolute() {
+            path
+        } else {
+            anchored = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(path);
+            anchored.as_path()
+        };
+        json_report(path);
+        return;
+    }
+    benches();
+}

@@ -58,19 +58,7 @@ pub(super) fn interval_bound(
             sys.target
                 .iter()
                 .enumerate()
-                .map(|(slot, &pi)| {
-                    let min_rank = beats[slot] as i64 + 1;
-                    let max_rank = min_rank + open[slot] as i64;
-                    let pi_i = pi as i64;
-                    let gap = if pi_i < min_rank {
-                        (min_rank - pi_i) as u64
-                    } else if pi_i > max_rank {
-                        (pi_i - max_rank) as u64
-                    } else {
-                        0
-                    };
-                    (k - pi as u64 + 1) * gap
-                })
+                .map(|(slot, &pi)| (k - pi as u64 + 1) * slot_gap(beats[slot], open[slot], pi))
                 .sum()
         }
         ErrorMeasure::KendallTau => {
@@ -102,21 +90,27 @@ pub(crate) fn eval_in_system(sys: &ReducedSystem, w: &[f64], eps: f64) -> u64 {
     error_of_ranks(sys, &ranks)
 }
 
+/// Distance of the target position `pi` to the slot's attainable rank
+/// interval `[beats + 1, beats + 1 + open]` — the shared per-slot gap
+/// both the plain and the top-weighted interval bounds are built from.
+#[inline]
+fn slot_gap(beats: u32, open: u32, pi: u32) -> u64 {
+    let min_rank = beats as i64 + 1;
+    let max_rank = min_rank + open as i64;
+    let pi = pi as i64;
+    if pi < min_rank {
+        (min_rank - pi) as u64
+    } else if pi > max_rank {
+        (pi - max_rank) as u64
+    } else {
+        0
+    }
+}
+
 fn rank_interval_bound(sys: &ReducedSystem, beats: &[u32], open: &[u32]) -> u64 {
     sys.target
         .iter()
         .enumerate()
-        .map(|(slot, &pi)| {
-            let min_rank = beats[slot] as i64 + 1;
-            let max_rank = min_rank + open[slot] as i64;
-            let pi = pi as i64;
-            if pi < min_rank {
-                (min_rank - pi) as u64
-            } else if pi > max_rank {
-                (pi - max_rank) as u64
-            } else {
-                0
-            }
-        })
+        .map(|(slot, &pi)| slot_gap(beats[slot], open[slot], pi))
         .sum()
 }

@@ -11,8 +11,10 @@ use super::{Solution, SolverConfig, SolverError, SolverStats};
 use crate::formulation::{self, ReducedSystem};
 use crate::OptProblem;
 use rankhow_lp::{
-    chebyshev_center_with, Op, Problem as Lp, Sense, SimplexWorkspace, Status, VarId,
+    chebyshev_center_with, BasisSnapshot, IncrementalLp, LoadStatus, Op, Problem as Lp, Sense,
+    SimplexWorkspace, Status, VarId,
 };
+use std::sync::Arc;
 
 /// Nodes a blocking driver expands per [`SolveJob::step`] slice. The
 /// slice length only bounds how often limits/cancellation are
@@ -25,16 +27,23 @@ const BLOCKING_SLICE: usize = 1024;
 ///
 /// One scratch outlives any number of jobs — [`SolveJob::step`] resizes
 /// the classification buffers to the job at hand while the
-/// [`SimplexWorkspace`] keeps its tableau allocation across jobs, which
-/// is what lets a long-lived scheduler worker hop between queries
-/// without ever re-allocating LP storage.
+/// [`SimplexWorkspace`] and the incremental-LP workspace keep their
+/// tableau allocations across jobs, which is what lets a long-lived
+/// scheduler worker hop between queries without ever re-allocating LP
+/// storage. The incremental workspace is also the worker's *basis
+/// cache*: a stolen node's snapshot re-installs onto it, so warm starts
+/// survive work-stealing and scheduler time-slicing.
 #[derive(Default)]
 pub struct EngineScratch {
     pub(super) lp: SimplexWorkspace,
+    pub(super) inc: IncrementalLp,
     pub(super) decided: Vec<Option<bool>>,
     pub(super) open: Vec<u32>,
     pub(super) beats: Vec<u32>,
     pub(super) stats: SolverStats,
+    /// Pivot totals already flushed into a job's stats (both LP
+    /// workspaces count monotonically; this is the high-water mark).
+    pivots_flushed: u64,
 }
 
 impl EngineScratch {
@@ -51,10 +60,26 @@ impl EngineScratch {
         self.beats.resize(sys.top.len(), 0);
     }
 
-    /// Move the locally accumulated stats out (for merging into a job).
+    /// Move the locally accumulated stats out (for merging into a job),
+    /// folding in the LP pivots performed since the last flush.
     pub(super) fn take_stats(&mut self) -> SolverStats {
+        let total = self.lp.pivots() + self.inc.pivots();
+        self.stats.lp_pivots += total - self.pivots_flushed;
+        self.pivots_flushed = total;
         std::mem::take(&mut self.stats)
     }
+}
+
+/// What one box-tightening probe LP reported (shared by the warm and
+/// cold tightening paths).
+enum Probe {
+    /// Optimal objective value.
+    Value(f64),
+    /// The region is empty — only the cold path can observe this (a
+    /// warm load has already established feasibility).
+    Infeasible,
+    /// Numerically stuck or unbounded: fall back to the static bound.
+    Stuck,
 }
 
 /// Immutable per-step view of one job's search state. All mutable state
@@ -120,14 +145,27 @@ impl SearchView<'_> {
         lp
     }
 
-    /// Per-coordinate min/max over the region (2m small LPs, all on the
-    /// worker's reusable workspace and one shared probe clone). Returns
-    /// `None` when the region is empty.
-    fn tighten_box(
+    /// What one box-tightening probe reported.
+    fn probe_outcome(result: Result<rankhow_lp::Solution, rankhow_lp::SolveError>) -> Probe {
+        match result {
+            Ok(s) if s.status == Status::Optimal => Probe::Value(s.objective),
+            Ok(s) if s.status == Status::Infeasible => Probe::Infeasible,
+            // Unbounded impossible (w ∈ [0,1]); LP failure → fallback.
+            _ => Probe::Stuck,
+        }
+    }
+
+    /// Per-coordinate min/max over the region (2m small LPs); `probe`
+    /// supplies the per-objective solver, so the warm and cold paths
+    /// share one loop — and one copy of the safety margin and numerical
+    /// guards the parity suite depends on. Returns `None` when the
+    /// region is empty.
+    fn tighten_box_with(
         &self,
         region: &Lp,
         scratch: &mut EngineScratch,
-    ) -> Result<Option<(Vec<f64>, Vec<f64>)>, SolverError> {
+        mut probe: impl FnMut(&mut EngineScratch, usize, Sense) -> Probe,
+    ) -> Option<(Vec<f64>, Vec<f64>)> {
         // Safety margin so LP round-off cannot make the box *tighter*
         // than the true region (classification soundness depends on
         // box ⊇ region).
@@ -135,28 +173,20 @@ impl SearchView<'_> {
         let m = self.problem.m();
         let mut lo = vec![0.0; m];
         let mut hi = vec![1.0; m];
-        // Region variables carry zero objectives, so one clone serves
-        // all 2m probes by toggling a single coefficient.
-        let mut probe = region.clone();
         for j in 0..m {
             let (static_lo, static_hi) = region.bounds(j);
-            probe.set_objective(j, 1.0);
-            probe.set_sense(Sense::Minimize);
             scratch.stats.lp_solves += 1;
-            lo[j] = match probe.solve_with(&mut scratch.lp) {
-                Ok(s) if s.status == Status::Optimal => (s.objective - MARGIN).max(static_lo),
-                Ok(s) if s.status == Status::Infeasible => return Ok(None),
-                // Unbounded impossible (w ∈ [0,1]); LP failure → fallback.
-                _ => static_lo,
+            lo[j] = match probe(scratch, j, Sense::Minimize) {
+                Probe::Value(v) => (v - MARGIN).max(static_lo),
+                Probe::Infeasible => return None,
+                Probe::Stuck => static_lo,
             };
-            probe.set_sense(Sense::Maximize);
             scratch.stats.lp_solves += 1;
-            hi[j] = match probe.solve_with(&mut scratch.lp) {
-                Ok(s) if s.status == Status::Optimal => (s.objective + MARGIN).min(static_hi),
-                Ok(s) if s.status == Status::Infeasible => return Ok(None),
-                _ => static_hi,
+            hi[j] = match probe(scratch, j, Sense::Maximize) {
+                Probe::Value(v) => (v + MARGIN).min(static_hi),
+                Probe::Infeasible => return None,
+                Probe::Stuck => static_hi,
             };
-            probe.set_objective(j, 0.0);
             // Numerical guard.
             if lo[j] > hi[j] {
                 let mid = 0.5 * (lo[j] + hi[j]);
@@ -164,7 +194,38 @@ impl SearchView<'_> {
                 hi[j] = mid;
             }
         }
-        Ok(Some((lo, hi)))
+        Some((lo, hi))
+    }
+
+    /// Cold tightening: every probe re-solves the region from an empty
+    /// basis (one shared clone toggles a single objective coefficient).
+    fn tighten_box(
+        &self,
+        region: &Lp,
+        scratch: &mut EngineScratch,
+    ) -> Option<(Vec<f64>, Vec<f64>)> {
+        let mut lp = region.clone();
+        self.tighten_box_with(region, scratch, |scratch, j, sense| {
+            lp.set_objective(j, 1.0);
+            lp.set_sense(sense);
+            let out = Self::probe_outcome(lp.solve_with(&mut scratch.lp));
+            if sense == Sense::Maximize {
+                lp.set_objective(j, 0.0);
+            }
+            out
+        })
+    }
+
+    /// Warm tightening: the region is already loaded (and feasible) in
+    /// `scratch.inc`, so each probe is an objective swap + primal phase
+    /// 2 from the previous optimal basis — no standard-form rebuild, no
+    /// phase 1. A numerically stuck probe falls back to the static
+    /// bounds, exactly like the cold path.
+    fn tighten_box_warm(&self, region: &Lp, scratch: &mut EngineScratch) -> (Vec<f64>, Vec<f64>) {
+        self.tighten_box_with(region, scratch, |scratch, j, sense| {
+            Self::probe_outcome(scratch.inc.solve_objective(&[(j, 1.0)], sense))
+        })
+        .expect("a warm-loaded region is feasible (load established it)")
     }
 
     /// Expand one node: tighten its box, classify the live pairs, prune
@@ -176,10 +237,53 @@ impl SearchView<'_> {
         incumbent: &SharedIncumbent,
         scratch: &mut EngineScratch,
     ) -> Result<Vec<Node>, SolverError> {
-        // Tighten the node's weight box via per-coordinate LPs.
         let region = self.region(&node.decisions);
-        let Some((nlo, nhi)) = self.tighten_box(&region, scratch)? else {
-            return Ok(Vec::new()); // region infeasible
+        // Warm LP path: load the region into the worker's incremental
+        // workspace once — from the node's parent-basis snapshot when it
+        // carries one — then drive all probes and child checks from that
+        // tableau. A failed load (numerical trouble) silently degrades
+        // this node to cold per-LP solves; answers never depend on it.
+        let mut inc_ready = false;
+        if self.config.warm_lp {
+            // The load is itself an LP solve (snapshot install + dual
+            // restore, or a cold phase 1 on fallback) — count it, so
+            // warm-mode lp_solves reflects the work actually done.
+            scratch.stats.lp_solves += 1;
+            match scratch.inc.load(&region, node.basis.as_deref()) {
+                Ok(LoadStatus::Infeasible { warm }) => {
+                    // The load still ran (and pruned the node): account
+                    // it, so every expanded node counts exactly one LP
+                    // start — the invariant the parity proptest pins.
+                    if warm {
+                        scratch.stats.lp_warm_starts += 1;
+                    } else {
+                        scratch.stats.lp_cold_starts += 1;
+                    }
+                    return Ok(Vec::new());
+                }
+                Ok(LoadStatus::Feasible { warm }) => {
+                    inc_ready = true;
+                    if warm {
+                        scratch.stats.lp_warm_starts += 1;
+                    } else {
+                        scratch.stats.lp_cold_starts += 1;
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        if !inc_ready {
+            scratch.stats.lp_cold_starts += 1;
+        }
+
+        // Tighten the node's weight box via per-coordinate LPs.
+        let (nlo, nhi) = if inc_ready {
+            self.tighten_box_warm(&region, scratch)
+        } else {
+            match self.tighten_box(&region, scratch) {
+                Some(b) => b,
+                None => return Ok(Vec::new()), // region infeasible
+            }
         };
 
         // Classify undecided pairs against the tightened box.
@@ -267,21 +371,54 @@ impl SearchView<'_> {
             return Ok(Vec::new());
         };
 
-        // Expand children, checking feasibility eagerly.
+        // Expand children, checking feasibility eagerly. Warm: append
+        // the one new pair-sign row to the already-loaded tableau and
+        // restore feasibility by dual simplex from the current basis
+        // (then pop it for the sibling). Cold: rebuild the child region
+        // and run two-phase from scratch.
+        let child_basis: Option<Arc<BasisSnapshot>> =
+            inc_ready.then(|| Arc::new(scratch.inc.snapshot()));
+        let m = self.problem.m();
+        // Both sides push the same row coefficients; only (op, rhs)
+        // differ, so build the terms once.
+        let branch_terms: Vec<(VarId, f64)> = if inc_ready {
+            let diff = self.sys.diff(branch_idx);
+            (0..m).map(|j| (j, diff[j])).collect()
+        } else {
+            Vec::new()
+        };
         let mut children = Vec::with_capacity(2);
         for side in [true, false] {
             let mut decisions = node.decisions.clone();
             decisions.push((branch_idx as u32, side));
-            let child_region = self.region(&decisions);
             scratch.stats.lp_solves += 1;
             // On an LP failure, keep the child: pruning is only an
             // optimization and bounds remain sound.
-            let keep = match child_region.solve_feasibility_with(&mut scratch.lp) {
-                Ok(sol) => sol.status == Status::Optimal,
-                Err(_) => true,
+            let keep = if inc_ready {
+                let (op, rhs) = if side {
+                    (Op::Ge, self.problem.tol.eps1)
+                } else {
+                    (Op::Le, self.problem.tol.eps2)
+                };
+                let pushed = scratch.inc.push_row(&branch_terms, op, rhs);
+                scratch.inc.pop_row();
+                match pushed {
+                    Ok(status) => status == Status::Optimal,
+                    Err(_) => true,
+                }
+            } else {
+                let child_region = self.region(&decisions);
+                match child_region.solve_feasibility_with(&mut scratch.lp) {
+                    Ok(sol) => sol.status == Status::Optimal,
+                    Err(_) => true,
+                }
             };
             if keep {
-                children.push(Node { decisions, bound });
+                children.push(Node {
+                    decisions,
+                    bound,
+                    basis: child_basis.clone(),
+                });
             }
         }
         Ok(children)

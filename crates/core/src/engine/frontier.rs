@@ -2,10 +2,11 @@
 //! work-stealing pool the parallel engine runs on.
 
 use super::SearchOrder;
+use rankhow_lp::BasisSnapshot;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrder};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One open subproblem: the indicator sides decided so far and the error
 /// lower bound inherited from its parent's classification.
@@ -14,6 +15,14 @@ pub(super) struct Node {
     pub decisions: Vec<(u32, bool)>,
     /// Sound lower bound on any error attainable under these decisions.
     pub bound: u64,
+    /// The parent region's optimal LP basis, in layout-independent
+    /// terms — a *handle*, not a tableau: whichever worker expands this
+    /// node (after work-stealing or scheduler time-slicing, possibly on
+    /// another thread's scratch) rebuilds the cheap raw tableau locally
+    /// and re-installs these basis columns, skipping LP phase 1. `None`
+    /// at the root and when warm-starting is disabled; both children of
+    /// one expansion share the snapshot (hence the `Arc`).
+    pub basis: Option<Arc<BasisSnapshot>>,
 }
 
 pub(super) struct HeapNode(pub Node);
@@ -193,6 +202,7 @@ mod tests {
         Node {
             decisions: vec![(0, true); depth],
             bound,
+            basis: None,
         }
     }
 

@@ -456,6 +456,7 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                 Node {
                     decisions: Vec::new(),
                     bound: root_bound,
+                    basis: None,
                 },
             );
         }

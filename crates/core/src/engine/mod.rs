@@ -107,6 +107,14 @@ pub struct SolverConfig {
     /// incumbents (what commercial MILP solvers call a "start
     /// heuristic"). Deterministic; 0 disables.
     pub root_samples: usize,
+    /// Warm-start the node LPs ([`rankhow_lp::IncrementalLp`]): build
+    /// each region's tableau once, objective-swap through the `2m`
+    /// box-tightening probes, check children by dual-simplex row
+    /// addition, and seed child regions from a parent basis snapshot.
+    /// `false` is the escape hatch that re-solves every LP from an
+    /// empty basis (the pre-warm-start behaviour) — the parity test
+    /// suite pins that both modes prove identical optimal errors.
+    pub warm_lp: bool,
     /// Worker threads for the search ([`default_threads`] by default;
     /// values ≤ 1 run the sequential engine).
     ///
@@ -128,6 +136,7 @@ impl Default for SolverConfig {
             order: SearchOrder::BestFirst,
             incumbent_sampling: true,
             root_samples: 512,
+            warm_lp: true,
             threads: default_threads(),
         }
     }
@@ -138,8 +147,20 @@ impl Default for SolverConfig {
 pub struct SolverStats {
     /// Nodes expanded (summed across workers).
     pub nodes: usize,
-    /// LP solves (feasibility + tightening + centers).
+    /// LP solves (feasibility + tightening + centers + warm-mode
+    /// region loads).
     pub lp_solves: usize,
+    /// Node regions whose LP state was warm-started from a parent basis
+    /// snapshot (phase 1 skipped entirely).
+    pub lp_warm_starts: usize,
+    /// Node regions built from an empty basis (the root, snapshot
+    /// install fallbacks, and every region when
+    /// [`SolverConfig::warm_lp`] is off).
+    pub lp_cold_starts: usize,
+    /// Simplex pivots performed across all LP work (the
+    /// hardware-independent measure of LP effort warm-starting is
+    /// meant to shrink).
+    pub lp_pivots: u64,
     /// Incumbent improvements.
     pub incumbents: usize,
     /// Live indicator pairs after root constant-folding.
@@ -161,6 +182,9 @@ impl SolverStats {
     pub fn merge(&mut self, other: &SolverStats) {
         self.nodes += other.nodes;
         self.lp_solves += other.lp_solves;
+        self.lp_warm_starts += other.lp_warm_starts;
+        self.lp_cold_starts += other.lp_cold_starts;
+        self.lp_pivots += other.lp_pivots;
         self.incumbents += other.incumbents;
         self.live_pairs += other.live_pairs;
         self.jobs += other.jobs;

@@ -1,0 +1,180 @@
+//! Warm-started LP parity: the incremental LP layer (objective swaps,
+//! dual-simplex row additions, basis snapshots) must change how much
+//! *work* the engine does, never what it *proves*.
+//!
+//! `SolverConfig::warm_lp: false` is the escape hatch that re-solves
+//! every node LP from an empty basis; these proptests pin that the two
+//! modes prove bit-identical optimal errors across thread counts, and a
+//! deterministic release-grade test asserts the warm mode's whole point:
+//! strictly fewer simplex pivots for the same proved optimum.
+
+use proptest::prelude::*;
+use rankhow_core::{OptProblem, RankHow, SolverConfig, Tolerances};
+use rankhow_data::Dataset;
+use rankhow_ranking::GivenRanking;
+
+/// A random small OPT instance: integer-grid attributes (well-separated
+/// score differences) and a shuffled top-k given ranking.
+#[derive(Debug, Clone)]
+struct SmallInstance {
+    rows: Vec<Vec<f64>>,
+    k: usize,
+    perm_seed: u64,
+}
+
+fn small_instance() -> impl Strategy<Value = SmallInstance> {
+    (4usize..8, 2usize..4, any::<u64>()).prop_flat_map(|(n, m, perm_seed)| {
+        prop::collection::vec(prop::collection::vec((0u32..10).prop_map(f64::from), m), n).prop_map(
+            move |rows| SmallInstance {
+                rows,
+                k: 3.min(n - 1),
+                perm_seed,
+            },
+        )
+    })
+}
+
+fn build(inst: &SmallInstance) -> Option<OptProblem> {
+    let n = inst.rows.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = inst.perm_seed | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut positions = vec![None; n];
+    for (pos, &idx) in order.iter().take(inst.k).enumerate() {
+        positions[idx] = Some(pos as u32 + 1);
+    }
+    let names = (0..inst.rows[0].len()).map(|j| format!("A{j}")).collect();
+    let data = Dataset::from_rows(names, inst.rows.clone()).ok()?;
+    let given = GivenRanking::from_positions(positions).ok()?;
+    OptProblem::with_tolerances(data, given, Tolerances::exact()).ok()
+}
+
+fn solve(problem: &OptProblem, warm_lp: bool, threads: usize) -> rankhow_core::Solution {
+    RankHow::with_config(SolverConfig {
+        threads,
+        warm_lp,
+        ..SolverConfig::default()
+    })
+    .solve(problem)
+    .expect("feasible unconstrained instance")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Warm and cold engines prove bit-identical optimal errors across
+    /// thread counts {1, 2, 4}, and every returned weight vector
+    /// realizes its claimed error under the Definition 2 evaluator.
+    #[test]
+    fn warm_and_cold_prove_identical_optima(inst in small_instance()) {
+        let Some(problem) = build(&inst) else {
+            return Err(TestCaseError::reject("invalid ranking"));
+        };
+        let cold = solve(&problem, false, 1);
+        prop_assert!(cold.optimal, "cold search must close the tree");
+        prop_assert_eq!(problem.evaluate(&cold.weights), cold.error);
+        for threads in [1usize, 2, 4] {
+            let warm = solve(&problem, true, threads);
+            prop_assert!(warm.optimal, "warm {threads}-thread search must close the tree");
+            prop_assert_eq!(
+                warm.error, cold.error,
+                "warm ({} threads) disagrees with cold optimum", threads
+            );
+            prop_assert_eq!(problem.evaluate(&warm.weights), warm.error);
+            prop_assert!(
+                warm.stats.lp_warm_starts + warm.stats.lp_cold_starts >= warm.stats.nodes,
+                "every expanded node accounts one LP start"
+            );
+        }
+        // The escape hatch really is cold: no snapshot ever installs.
+        let cold4 = solve(&problem, false, 4);
+        prop_assert_eq!(cold4.stats.lp_warm_starts, 0, "cold mode must not warm-start");
+        prop_assert_eq!(cold4.error, cold.error);
+    }
+
+    /// Warm-starting performs at most as many simplex pivots as cold on
+    /// the same instance at one thread (usually far fewer — the strict
+    /// assertion lives in the deterministic test below, this one guards
+    /// the whole random family against regressions).
+    #[test]
+    fn warm_never_pivots_more_than_cold_sequentially(inst in small_instance()) {
+        let Some(problem) = build(&inst) else {
+            return Err(TestCaseError::reject("invalid ranking"));
+        };
+        let cold = solve(&problem, false, 1);
+        let warm = solve(&problem, true, 1);
+        prop_assert_eq!(warm.error, cold.error);
+        // Identical trees are not guaranteed (boxes may differ in the
+        // last ulp), so compare per-LP effort: pivots per LP solve.
+        let warm_rate = warm.stats.lp_pivots as f64 / warm.stats.lp_solves.max(1) as f64;
+        let cold_rate = cold.stats.lp_pivots as f64 / cold.stats.lp_solves.max(1) as f64;
+        prop_assert!(
+            warm_rate <= cold_rate + 1e-9,
+            "warm pivots/LP {} exceeds cold {}", warm_rate, cold_rate
+        );
+    }
+}
+
+/// The acceptance-criteria pin, on fixed instances (deterministic in
+/// release *and* debug): warm probes/children perform strictly fewer
+/// simplex pivots than cold for the same proved optimum, and snapshots
+/// actually install (`lp_warm_starts > 0`).
+#[test]
+fn warm_start_strictly_reduces_pivots_on_fixed_instances() {
+    let fixtures: [(&[&[f64]], usize, u64); 2] = [
+        (
+            &[
+                &[1.0, 5.0, 2.0],
+                &[8.0, 6.0, 1.0],
+                &[7.0, 1.0, 4.0],
+                &[0.0, 8.0, 3.0],
+                &[5.0, 2.0, 9.0],
+                &[3.0, 3.0, 3.0],
+            ],
+            3,
+            0x5eed,
+        ),
+        (
+            &[
+                &[9.0, 5.0],
+                &[7.0, 7.0],
+                &[6.0, 4.0],
+                &[2.0, 2.0],
+                &[3.0, 0.0],
+                &[6.0, 5.0],
+                &[1.0, 8.0],
+            ],
+            3,
+            42,
+        ),
+    ];
+    for (rows, k, seed) in fixtures {
+        let inst = SmallInstance {
+            rows: rows.iter().map(|r| r.to_vec()).collect(),
+            k,
+            perm_seed: seed,
+        };
+        let problem = build(&inst).expect("fixture builds");
+        let cold = solve(&problem, false, 1);
+        let warm = solve(&problem, true, 1);
+        assert!(cold.optimal && warm.optimal);
+        assert_eq!(warm.error, cold.error, "seed {seed}: optima diverge");
+        assert!(
+            warm.stats.lp_warm_starts > 0,
+            "seed {seed}: no basis snapshot ever installed"
+        );
+        assert_eq!(cold.stats.lp_warm_starts, 0);
+        assert!(
+            warm.stats.lp_pivots < cold.stats.lp_pivots,
+            "seed {seed}: warm pivots {} not strictly below cold {}",
+            warm.stats.lp_pivots,
+            cold.stats.lp_pivots
+        );
+    }
+}

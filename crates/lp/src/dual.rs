@@ -1,0 +1,119 @@
+//! Dual simplex: restore primal feasibility of a basis that is already
+//! dual feasible.
+//!
+//! The incremental layer lands here after appending a constraint row to
+//! an optimal (or at least feasible) tableau: the new row's slack may be
+//! basic at a negative value, but the cost row still prices every
+//! nonbasic column at ≥ 0. Dual simplex pivots the negative-RHS rows out
+//! one at a time — typically one or two pivots for a single added
+//! pair-sign constraint, versus a full two-phase solve from scratch.
+//!
+//! With a zero cost row (the feasibility-only case) every column is
+//! dual-degenerate and the ratio test reduces to "largest pivot
+//! magnitude", which is also the numerically preferred choice.
+
+use crate::simplex::{Tableau, FEAS_TOL, STALL_LIMIT, TOL};
+
+/// Outcome of a dual-simplex feasibility restore.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum DualOutcome {
+    /// Every RHS is ≥ −[`TOL`]: the basis is primal feasible (and still
+    /// optimal for the cost row the caller maintained).
+    Feasible,
+    /// Some row has a negative RHS and no negative entry in any
+    /// non-artificial column: the system (with artificials pinned to
+    /// zero) is infeasible.
+    Infeasible,
+    /// Exceeded the iteration budget — numerical trouble; the tableau
+    /// is left in a valid but unfinished state.
+    IterationLimit,
+}
+
+/// Run dual-simplex pivots until primal feasible (RHS ≥ 0) or provably
+/// infeasible. `cost` must be a dual-feasible reduced-cost row for the
+/// current basis (all entries ≥ 0 up to tolerance; a zero row always
+/// qualifies) and is updated alongside the pivots.
+///
+/// Optimality caveat: with a *zero* cost row (every current caller),
+/// `Feasible` means the basis is also optimal for it — trivially, all
+/// reduced costs stay 0. With a nonzero cost row the anti-cycling Bland
+/// fallback enters the smallest-index column *without* the dual ratio
+/// test, so dual feasibility (hence optimality) may be lost on stalled
+/// instances; callers needing a priced restore must re-run primal phase
+/// 2 afterwards.
+pub(crate) fn dual_restore(t: &mut Tableau<'_>, cost: &mut [f64]) -> DualOutcome {
+    let max_iter = 500 + 200 * (t.rows + t.ncols);
+    let mut stall = 0usize;
+    let mut last_worst = f64::NEG_INFINITY;
+    for _ in 0..max_iter {
+        // Leaving row: most negative RHS.
+        let mut leave: Option<usize> = None;
+        let mut worst = -TOL;
+        for r in 0..t.rows {
+            let rhs = t.rhs(r);
+            if rhs < worst {
+                worst = rhs;
+                leave = Some(r);
+            }
+        }
+        let Some(row) = leave else {
+            return DualOutcome::Feasible;
+        };
+        let bland = stall >= STALL_LIMIT;
+        // Entering column: among non-artificial columns with a negative
+        // entry in the leaving row, minimize the dual ratio
+        // `cost[j] / −a_rj` (keeps the cost row dual feasible); ties
+        // break to the largest |a_rj| for stability. In Bland mode take
+        // the smallest eligible index (anti-cycling).
+        let mut enter: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for j in 0..t.first_artificial {
+            let a = t.at(row, j);
+            if a >= -TOL {
+                continue;
+            }
+            if bland {
+                enter = Some(j);
+                break;
+            }
+            let ratio = cost[j].max(0.0) / -a;
+            let better = if ratio < best_ratio - TOL {
+                true
+            } else if ratio < best_ratio + TOL {
+                match enter {
+                    None => true,
+                    Some(e) => a.abs() > t.at(row, e).abs(),
+                }
+            } else {
+                false
+            };
+            if better {
+                best_ratio = ratio.min(best_ratio);
+                enter = Some(j);
+            }
+        }
+        let Some(col) = enter else {
+            // No eligible negative entry: the row reads
+            // `Σ (≥0)·(≥0) = rhs < 0` over the artificial-free space.
+            // Declare infeasible only past the same [`FEAS_TOL`]
+            // leniency the cold phase-1 exit uses — a region whose only
+            // points sit exactly on a boundary hyperplane (the ε = 0
+            // tie slivers branch-and-bound must not lose) may converge
+            // to an RHS a few ulps below zero.
+            return if worst >= -FEAS_TOL {
+                DualOutcome::Feasible
+            } else {
+                DualOutcome::Infeasible
+            };
+        };
+        t.pivot(row, col, cost);
+        // Progress = the most negative RHS moved toward zero.
+        if worst > last_worst + 1e-12 {
+            last_worst = worst;
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+    }
+    DualOutcome::IterationLimit
+}

@@ -36,10 +36,13 @@
 
 #![warn(missing_docs)]
 
+mod dual;
 mod geometry;
+mod incremental;
 mod model;
 mod simplex;
 
 pub use geometry::{box_range, chebyshev_center, chebyshev_center_with};
+pub use incremental::{BasisSnapshot, IncrementalLp, LoadStatus};
 pub use model::{Constraint, Op, Problem, Sense, Solution, Status, VarId};
 pub use simplex::{SimplexWorkspace, SolveError};

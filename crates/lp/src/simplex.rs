@@ -14,14 +14,14 @@
 use crate::model::{Op, Problem, Sense, Solution, Status};
 
 /// Pivot tolerance: entries smaller than this are treated as zero.
-const TOL: f64 = 1e-9;
+pub(crate) const TOL: f64 = 1e-9;
 /// Entering tolerance: reduced costs above `−ENTER_TOL` do not justify a
 /// pivot (looser than `TOL` to stop numerical churn near the optimum).
 const ENTER_TOL: f64 = 1e-8;
 /// Phase-1 objective above this value means infeasible.
-const FEAS_TOL: f64 = 1e-7;
+pub(crate) const FEAS_TOL: f64 = 1e-7;
 /// Iterations with no objective improvement before switching to Bland.
-const STALL_LIMIT: usize = 64;
+pub(crate) const STALL_LIMIT: usize = 64;
 
 /// Hard solver failures (distinct from Infeasible/Unbounded outcomes,
 /// which are valid answers).
@@ -46,7 +46,7 @@ impl std::error::Error for SolveError {}
 
 /// How a structural variable maps onto standard-form variables.
 #[derive(Clone, Copy, Debug)]
-enum VarMap {
+pub(crate) enum VarMap {
     /// `x = x'_idx + shift` (lower bound shifted to zero).
     Shifted { idx: usize, shift: f64 },
     /// `x = mirror − x'_idx` (only an upper bound exists).
@@ -55,25 +55,83 @@ enum VarMap {
     Split { pos: usize, neg: usize },
 }
 
+/// Marker for "this row has no slack/artificial column".
+pub(crate) const NO_COL: usize = usize::MAX;
+
+/// Scatter a sparse linear form over structural variables into
+/// standard-form columns (`out[col] ± sign·coef` per [`VarMap`]),
+/// folding the Shifted/Mirrored offsets into `rhs` term by term — the
+/// one copy of the variable-mapping arithmetic shared by the cold row
+/// builder and the incremental layer's row pushes and objective swaps
+/// (warm ≡ cold depends on these staying identical, down to the
+/// per-term rounding order).
+pub(crate) fn scatter_terms(
+    maps: &[VarMap],
+    terms: &[(usize, f64)],
+    sign: f64,
+    out: &mut [f64],
+    rhs: &mut f64,
+) {
+    for &(var, coef) in terms {
+        match maps[var] {
+            VarMap::Shifted { idx, shift } => {
+                out[idx] += sign * coef;
+                *rhs -= coef * shift;
+            }
+            VarMap::Mirrored { idx, mirror } => {
+                out[idx] -= sign * coef;
+                *rhs -= coef * mirror;
+            }
+            VarMap::Split { pos, neg } => {
+                out[pos] += sign * coef;
+                out[neg] -= sign * coef;
+            }
+        }
+    }
+}
+
+/// Shape of one standard-form build (see [`build_standard`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StdForm {
+    /// Standard (shifted/mirrored/split) structural variables.
+    pub n_std: usize,
+    /// Tableau rows: model constraints first, then upper-bound rows.
+    pub rows: usize,
+    /// Total columns excluding the RHS.
+    pub ncols: usize,
+    /// Columns ≥ this index are artificial.
+    pub first_artificial: usize,
+    /// Number of artificial columns.
+    pub n_art: usize,
+}
+
 /// Reusable scratch buffers for [`Problem::solve_with`]. One workspace
 /// serves any sequence of problems (buffers are cleared and regrown as
 /// needed); it is `Send`, so parallel search engines keep one per worker.
 #[derive(Default)]
 pub struct SimplexWorkspace {
-    maps: Vec<VarMap>,
-    ub_rows: Vec<(usize, f64)>,
+    pub(crate) maps: Vec<VarMap>,
+    pub(crate) ub_rows: Vec<(usize, f64)>,
     /// Flattened standard-form rows: `n_rows × n_std` coefficients.
     row_coefs: Vec<f64>,
     row_meta: Vec<(Op, f64)>,
     /// Tableau storage: `n_rows × (ncols + 1)` (last column = RHS).
-    tableau: Vec<f64>,
-    basis: Vec<usize>,
+    pub(crate) tableau: Vec<f64>,
+    pub(crate) basis: Vec<usize>,
     /// Reduced-cost row (length `ncols + 1`).
-    cost: Vec<f64>,
+    pub(crate) cost: Vec<f64>,
     /// Phase objective coefficients (length `ncols`).
-    obj: Vec<f64>,
+    pub(crate) obj: Vec<f64>,
     /// Standard-variable values for extraction.
-    std_vals: Vec<f64>,
+    pub(crate) std_vals: Vec<f64>,
+    /// Per row: its slack/surplus column ([`NO_COL`] for `=` rows).
+    pub(crate) row_slack: Vec<usize>,
+    /// Per row: its artificial column ([`NO_COL`] for `≤` rows).
+    pub(crate) row_art: Vec<usize>,
+    /// Monotone count of Gauss-Jordan pivots performed on this
+    /// workspace's tableau (simplex iterations + basis installs) — the
+    /// LP-work meter behind `SolverStats::lp_pivots`.
+    pub(crate) pivots: u64,
 }
 
 impl SimplexWorkspace {
@@ -87,34 +145,44 @@ impl SimplexWorkspace {
     pub fn new() -> Self {
         SimplexWorkspace::default()
     }
+
+    /// Total Gauss-Jordan pivots ever performed through this workspace.
+    /// Monotone; never reset. Comparing the counter around a batch of
+    /// solves measures the simplex work they cost.
+    pub fn pivots(&self) -> u64 {
+        self.pivots
+    }
 }
 
-struct Tableau<'w> {
+pub(crate) struct Tableau<'w> {
     /// `rows × (ncols + 1)`; last column is the RHS.
-    a: &'w mut [f64],
-    rows: usize,
-    ncols: usize,
-    basis: &'w mut [usize],
+    pub(crate) a: &'w mut [f64],
+    pub(crate) rows: usize,
+    pub(crate) ncols: usize,
+    pub(crate) basis: &'w mut [usize],
     /// Index of the first artificial column (columns ≥ this are artificial).
-    first_artificial: usize,
+    pub(crate) first_artificial: usize,
+    /// Pivot counter (accumulates into the owning workspace).
+    pub(crate) pivots: &'w mut u64,
 }
 
 impl Tableau<'_> {
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
+    pub(crate) fn at(&self, r: usize, c: usize) -> f64 {
         self.a[r * (self.ncols + 1) + c]
     }
     #[inline]
-    fn rhs(&self, r: usize) -> f64 {
+    pub(crate) fn rhs(&self, r: usize) -> f64 {
         self.a[r * (self.ncols + 1) + self.ncols]
     }
     #[inline]
-    fn set(&mut self, r: usize, c: usize, v: f64) {
+    pub(crate) fn set(&mut self, r: usize, c: usize, v: f64) {
         self.a[r * (self.ncols + 1) + c] = v;
     }
 
     /// Gauss-Jordan pivot at (row, col), updating a cost row alongside.
-    fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
+    pub(crate) fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
+        *self.pivots += 1;
         let w = self.ncols + 1;
         let pivot = self.at(row, col);
         debug_assert!(pivot.abs() > TOL, "pivot too small");
@@ -153,7 +221,7 @@ impl Tableau<'_> {
 /// Reduced-cost row for cost vector `c` (length ncols) under the current
 /// basis, written into `out` (resized to `ncols + 1`; the last entry is
 /// `−(current objective value)`).
-fn reduced_costs_into(t: &Tableau<'_>, c: &[f64], out: &mut Vec<f64>) {
+pub(crate) fn reduced_costs_into(t: &Tableau<'_>, c: &[f64], out: &mut Vec<f64>) {
     let w = t.ncols + 1;
     out.clear();
     out.resize(w, 0.0);
@@ -168,7 +236,7 @@ fn reduced_costs_into(t: &Tableau<'_>, c: &[f64], out: &mut Vec<f64>) {
     }
 }
 
-enum PhaseOutcome {
+pub(crate) enum PhaseOutcome {
     Done,
     Unbounded,
     IterationLimit,
@@ -177,7 +245,7 @@ enum PhaseOutcome {
 /// Run simplex iterations until optimal for the given cost row.
 /// `eligible(col)` filters which columns may enter (used to ban
 /// artificials in phase 2).
-fn run_phase(
+pub(crate) fn run_phase(
     t: &mut Tableau<'_>,
     cost: &mut [f64],
     eligible: impl Fn(usize) -> bool,
@@ -254,13 +322,15 @@ fn run_phase(
     PhaseOutcome::IterationLimit
 }
 
-/// Solve `problem`; with `feasibility_only` stop after phase 1. All
-/// scratch storage comes from (and stays in) `ws`.
-pub(crate) fn solve(
+/// Build the standard-form tableau for `problem` into `ws` and return
+/// its shape. On return the tableau holds the raw rows with the initial
+/// slack/artificial basis (`ws.basis`), and `ws.row_slack`/`ws.row_art`
+/// record each row's slack and artificial columns — the layout tables
+/// the incremental layer's basis snapshots are expressed against.
+pub(crate) fn build_standard(
     problem: &Problem,
-    feasibility_only: bool,
     ws: &mut SimplexWorkspace,
-) -> Result<Solution, SolveError> {
+) -> Result<StdForm, SolveError> {
     // ---- 1. Map structural variables to standard-form variables. ----
     ws.maps.clear();
     ws.ub_rows.clear();
@@ -300,22 +370,7 @@ pub(crate) fn solve(
     for (r, c) in problem.constraints.iter().enumerate() {
         let coefs = &mut ws.row_coefs[r * n_std..(r + 1) * n_std];
         let mut rhs = c.rhs;
-        for &(var, coef) in &c.terms {
-            match ws.maps[var] {
-                VarMap::Shifted { idx, shift } => {
-                    coefs[idx] += coef;
-                    rhs -= coef * shift;
-                }
-                VarMap::Mirrored { idx, mirror } => {
-                    coefs[idx] -= coef;
-                    rhs -= coef * mirror;
-                }
-                VarMap::Split { pos, neg } => {
-                    coefs[pos] += coef;
-                    coefs[neg] -= coef;
-                }
-            }
-        }
+        scatter_terms(&ws.maps, &c.terms, 1.0, coefs, &mut rhs);
         ws.row_meta.push((c.op, rhs));
     }
     for (u, &(idx, ub)) in ws.ub_rows.iter().enumerate() {
@@ -368,12 +423,17 @@ pub(crate) fn solve(
     ws.tableau.resize(m * w, 0.0);
     ws.basis.clear();
     ws.basis.resize(m, 0);
+    ws.row_slack.clear();
+    ws.row_slack.resize(m, NO_COL);
+    ws.row_art.clear();
+    ws.row_art.resize(m, NO_COL);
     let mut t = Tableau {
         a: &mut ws.tableau,
         rows: m,
         ncols,
         basis: &mut ws.basis,
         first_artificial: n_std + n_slack,
+        pivots: &mut ws.pivots,
     };
     let mut slack_cursor = n_std;
     let mut art_cursor = n_std + n_slack;
@@ -387,62 +447,113 @@ pub(crate) fn solve(
             Op::Le => {
                 t.set(i, slack_cursor, 1.0);
                 t.basis[i] = slack_cursor;
+                ws.row_slack[i] = slack_cursor;
                 slack_cursor += 1;
             }
             Op::Ge => {
                 t.set(i, slack_cursor, -1.0);
+                ws.row_slack[i] = slack_cursor;
                 slack_cursor += 1;
                 t.set(i, art_cursor, 1.0);
                 t.basis[i] = art_cursor;
+                ws.row_art[i] = art_cursor;
                 art_cursor += 1;
             }
             Op::Eq => {
                 t.set(i, art_cursor, 1.0);
                 t.basis[i] = art_cursor;
+                ws.row_art[i] = art_cursor;
                 art_cursor += 1;
             }
         }
     }
+    Ok(StdForm {
+        n_std,
+        rows: m,
+        ncols,
+        first_artificial: n_std + n_slack,
+        n_art,
+    })
+}
 
-    // ---- 4. Phase 1: minimize artificial sum. ----
-    if n_art > 0 {
-        ws.obj.clear();
-        ws.obj.resize(ncols, 0.0);
-        for j in t.first_artificial..ncols {
-            ws.obj[j] = 1.0;
-        }
-        reduced_costs_into(&t, &ws.obj, &mut ws.cost);
-        match run_phase(&mut t, &mut ws.cost, |_| true) {
-            PhaseOutcome::Done => {}
-            // Phase 1 objective is bounded below by 0; unbounded = bug.
-            PhaseOutcome::Unbounded => return Err(SolveError::IterationLimit),
-            PhaseOutcome::IterationLimit => return Err(SolveError::IterationLimit),
-        }
-        let phase1_obj = -ws.cost[ncols];
-        if phase1_obj > FEAS_TOL {
-            return Ok(Solution {
-                status: Status::Infeasible,
-                x: vec![0.0; problem.vars.len()],
-                objective: f64::NAN,
-            });
-        }
-        // Drive artificials out of the basis (they are all at value 0).
-        // Pick the largest-magnitude pivot for numerical stability.
-        for row in 0..t.rows {
-            if t.basis[row] >= t.first_artificial {
-                let col = (0..t.first_artificial)
-                    .filter(|&j| t.at(row, j).abs() > 1e-7)
-                    .max_by(|&a, &b| t.at(row, a).abs().total_cmp(&t.at(row, b).abs()));
-                if let Some(col) = col {
-                    ws.obj.clear();
-                    ws.obj.resize(w, 0.0);
-                    t.pivot(row, col, &mut ws.obj);
-                }
-                // else: redundant row; harmless to keep (all-zero in
-                // non-artificial columns, rhs 0).
+/// Phase 1 over a freshly built tableau: minimize the artificial sum,
+/// then drive residual artificials out of the basis. Returns whether a
+/// feasible basis was reached (`false` = the problem is infeasible).
+pub(crate) fn phase1(ws: &mut SimplexWorkspace, form: StdForm) -> Result<bool, SolveError> {
+    if form.n_art == 0 {
+        return Ok(true);
+    }
+    let ncols = form.ncols;
+    let w = ncols + 1;
+    let mut t = Tableau {
+        a: &mut ws.tableau,
+        rows: form.rows,
+        ncols,
+        basis: &mut ws.basis,
+        first_artificial: form.first_artificial,
+        pivots: &mut ws.pivots,
+    };
+    ws.obj.clear();
+    ws.obj.resize(ncols, 0.0);
+    for j in t.first_artificial..ncols {
+        ws.obj[j] = 1.0;
+    }
+    reduced_costs_into(&t, &ws.obj, &mut ws.cost);
+    match run_phase(&mut t, &mut ws.cost, |_| true) {
+        PhaseOutcome::Done => {}
+        // Phase 1 objective is bounded below by 0; unbounded = bug.
+        PhaseOutcome::Unbounded => return Err(SolveError::IterationLimit),
+        PhaseOutcome::IterationLimit => return Err(SolveError::IterationLimit),
+    }
+    let phase1_obj = -ws.cost[ncols];
+    if phase1_obj > FEAS_TOL {
+        return Ok(false);
+    }
+    // Drive artificials out of the basis (they are all at value 0).
+    // Pick the largest-magnitude pivot for numerical stability.
+    for row in 0..t.rows {
+        if t.basis[row] >= t.first_artificial {
+            let col = (0..t.first_artificial)
+                .filter(|&j| t.at(row, j).abs() > 1e-7)
+                .max_by(|&a, &b| t.at(row, a).abs().total_cmp(&t.at(row, b).abs()));
+            if let Some(col) = col {
+                ws.obj.clear();
+                ws.obj.resize(w, 0.0);
+                t.pivot(row, col, &mut ws.obj);
             }
+            // else: redundant row; harmless to keep (all-zero in
+            // non-artificial columns, rhs 0).
         }
     }
+    Ok(true)
+}
+
+/// Solve `problem`; with `feasibility_only` stop after phase 1. All
+/// scratch storage comes from (and stays in) `ws`.
+pub(crate) fn solve(
+    problem: &Problem,
+    feasibility_only: bool,
+    ws: &mut SimplexWorkspace,
+) -> Result<Solution, SolveError> {
+    let form = build_standard(problem, ws)?;
+    let ncols = form.ncols;
+
+    // ---- 4. Phase 1: minimize artificial sum. ----
+    if !phase1(ws, form)? {
+        return Ok(Solution {
+            status: Status::Infeasible,
+            x: vec![0.0; problem.vars.len()],
+            objective: f64::NAN,
+        });
+    }
+    let mut t = Tableau {
+        a: &mut ws.tableau,
+        rows: form.rows,
+        ncols,
+        basis: &mut ws.basis,
+        first_artificial: form.first_artificial,
+        pivots: &mut ws.pivots,
+    };
 
     // ---- 5. Phase 2. ----
     ws.obj.clear();
@@ -481,31 +592,45 @@ pub(crate) fn solve(
     }
 
     // ---- 6. Extract the solution. ----
-    ws.std_vals.clear();
-    ws.std_vals.resize(ncols, 0.0);
-    for row in 0..t.rows {
-        ws.std_vals[t.basis[row]] = t.rhs(row);
-    }
-    let x: Vec<f64> = problem
-        .vars
-        .iter()
-        .zip(&ws.maps)
-        .map(|(v, map)| {
-            let raw = match *map {
-                VarMap::Shifted { idx, shift } => ws.std_vals[idx] + shift,
-                VarMap::Mirrored { idx, mirror } => mirror - ws.std_vals[idx],
-                VarMap::Split { pos, neg } => ws.std_vals[pos] - ws.std_vals[neg],
-            };
-            // Clamp tiny bound violations from roundoff.
-            raw.clamp(v.lo, v.hi)
-        })
-        .collect();
+    let x = extract_x(ws, form.rows, ncols, problem.vars.len(), |v| {
+        (problem.vars[v].lo, problem.vars[v].hi)
+    });
     let objective = problem.objective_at(&x);
     Ok(Solution {
         status: Status::Optimal,
         x,
         objective,
     })
+}
+
+/// Read the structural-variable values out of the tableau's current
+/// basis: basic values land in `ws.std_vals`, the [`VarMap`]s un-map
+/// them, and tiny roundoff bound violations are clamped away. One
+/// helper shared by the cold solve and the incremental layer, so warm
+/// and cold extraction can never drift apart.
+pub(crate) fn extract_x(
+    ws: &mut SimplexWorkspace,
+    rows: usize,
+    ncols: usize,
+    nvars: usize,
+    bounds: impl Fn(usize) -> (f64, f64),
+) -> Vec<f64> {
+    ws.std_vals.clear();
+    ws.std_vals.resize(ncols, 0.0);
+    for row in 0..rows {
+        ws.std_vals[ws.basis[row]] = ws.tableau[row * (ncols + 1) + ncols];
+    }
+    (0..nvars)
+        .map(|v| {
+            let raw = match ws.maps[v] {
+                VarMap::Shifted { idx, shift } => ws.std_vals[idx] + shift,
+                VarMap::Mirrored { idx, mirror } => mirror - ws.std_vals[idx],
+                VarMap::Split { pos, neg } => ws.std_vals[pos] - ws.std_vals[neg],
+            };
+            let (lo, hi) = bounds(v);
+            raw.clamp(lo, hi)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -369,7 +369,11 @@ impl Drop for Scheduler {
 
 fn worker_loop(shared: &Shared, wid: usize) {
     // One scratch for this worker's whole life: the SimplexWorkspace
-    // tableau allocation survives across every job it touches.
+    // tableau allocation survives across every job it touches, and the
+    // incremental-LP workspace doubles as the worker's basis cache — a
+    // node popped here after time-slicing (or stolen from another
+    // lane) re-installs its parent-basis snapshot onto this scratch,
+    // so LP warm starts survive the scheduler's job rotation.
     let mut scratch = EngineScratch::new();
     loop {
         let entry = {

@@ -61,6 +61,7 @@ struct Args {
     threads: usize,
     pools: usize,
     queue_cap: usize,
+    stats: bool,
     batch: Option<PathBuf>,
 }
 
@@ -69,8 +70,8 @@ fn usage() -> ! {
         "usage: rankhow <data.csv> [--ranking pos.csv | --score-col NAME] [--k K]\n\
          \x20      [--eps E] [--eps1 E1] [--eps2 E2] [--min-weight A=L] [--max-weight A=H]\n\
          \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]\n\
-         \x20      [--threads N]\n\
-         \x20      rankhow --batch queries.txt [--threads N] [--pools P] [--queue-cap N]"
+         \x20      [--threads N] [--stats]\n\
+         \x20      rankhow --batch queries.txt [--threads N] [--pools P] [--queue-cap N] [--stats]"
     );
     std::process::exit(2)
 }
@@ -95,6 +96,7 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
         threads: rankhow::core::default_threads(),
         pools: 1,
         queue_cap: 0,
+        stats: false,
         batch: None,
     };
     let mut it = tokens.iter();
@@ -143,6 +145,7 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--queue-cap: not a count: {v}"))?;
             }
+            "--stats" => args.stats = true,
             "--symgd" => {
                 args.symgd_cell = Some(parse_f64("--symgd", next("--symgd")?)?);
             }
@@ -284,6 +287,34 @@ fn report(problem: &OptProblem, args: &Args, weights: &[f64], error: u64, optima
     }
 }
 
+/// Print the search/LP telemetry a solve accumulated (`--stats`). The
+/// warm/cold split and the pivot counter are the LP warm-starting
+/// observability: `lp warm` regions re-installed a parent basis and
+/// skipped phase 1, `pivots` is the hardware-independent LP-work meter.
+fn report_stats(stats: &rankhow::core::SolverStats) {
+    // `elapsed` is a per-solve property that `SolverStats::merge`
+    // deliberately does not sum, so multi-job aggregates (the --batch
+    // path) carry none — omit the clause rather than print "0ns".
+    let elapsed = if stats.elapsed.is_zero() {
+        String::new()
+    } else {
+        format!(" in {:.3?}", stats.elapsed)
+    };
+    eprintln!(
+        "stats: {} nodes, {} lp solves ({} warm / {} cold starts, {} pivots), \
+         {} incumbents, {} live pairs, {} job(s){}",
+        stats.nodes,
+        stats.lp_solves,
+        stats.lp_warm_starts,
+        stats.lp_cold_starts,
+        stats.lp_pivots,
+        stats.incumbents,
+        stats.live_pairs,
+        stats.jobs.max(1),
+        elapsed
+    );
+}
+
 fn status_label(status: SolveStatus) -> &'static str {
     match status {
         SolveStatus::Optimal => "optimal",
@@ -322,7 +353,15 @@ fn run_single(args: &Args) -> ExitCode {
         })
         .solve(&problem, &seed)
         {
-            Ok(r) => (r.weights, r.error, false),
+            Ok(r) => {
+                if args.stats {
+                    eprintln!(
+                        "stats: symgd {} cell jobs, {} cell growths",
+                        r.iterations, r.cell_growths
+                    );
+                }
+                (r.weights, r.error, false)
+            }
             Err(e) => {
                 eprintln!("symgd failed: {e}");
                 return ExitCode::FAILURE;
@@ -338,7 +377,12 @@ fn run_single(args: &Args) -> ExitCode {
         })
         .solve(&problem)
         {
-            Ok(s) => (s.weights, s.error, s.optimal),
+            Ok(s) => {
+                if args.stats {
+                    report_stats(&s.stats);
+                }
+                (s.weights, s.error, s.optimal)
+            }
             Err(e) => {
                 eprintln!("solve failed: {e}");
                 return ExitCode::FAILURE;
@@ -521,6 +565,10 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
         "router: {} admitted, {} rejected, {} migrated",
         stats.admissions, stats.rejections, stats.migrations
     );
+    if args.stats {
+        // Aggregate over every completed job across all pools.
+        report_stats(&stats.solver);
+    }
     if failures > 0 {
         eprintln!("{failures}/{total} queries failed");
         return ExitCode::FAILURE;

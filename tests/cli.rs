@@ -452,3 +452,79 @@ fn measure_flag_optimizes_the_requested_objective() {
     assert!(stdout.contains("position error:"), "{stdout}");
     assert!(stdout.contains("exact verification: PASS"), "{stdout}");
 }
+
+#[test]
+fn stats_flag_prints_lp_telemetry() {
+    let dir = temp_dir("stats");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "6",
+            "--budget",
+            "10",
+            "--stats",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The telemetry line carries the LP warm-starting counters.
+    assert!(stderr.contains("stats:"), "{stderr}");
+    assert!(stderr.contains("warm /"), "{stderr}");
+    assert!(stderr.contains("pivots"), "{stderr}");
+
+    // Without the flag, no telemetry is printed.
+    let quiet = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "6",
+            "--budget",
+            "10",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(quiet.status.success());
+    let stderr = String::from_utf8_lossy(&quiet.stderr);
+    assert!(!stderr.contains("stats:"), "{stderr}");
+}
+
+#[test]
+fn stats_flag_prints_batch_aggregate() {
+    let dir = temp_dir("stats_batch");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let queries = format!(
+        "{d} --score-col score --k 6 --budget 10\n{d} --score-col score --k 4 --budget 10\n",
+        d = data.to_str().unwrap()
+    );
+    let batch = write_csv(&dir, "queries.txt", &queries);
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            "--batch",
+            batch.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--stats",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("router:"), "{stderr}");
+    assert!(stderr.contains("stats:"), "{stderr}");
+    assert!(stderr.contains("2 job(s)"), "{stderr}");
+}
