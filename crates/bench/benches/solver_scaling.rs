@@ -5,11 +5,13 @@
 //! Kept compiling by the CI `cargo bench --no-run` step; run with
 //! `cargo bench --bench solver_scaling`.
 //!
-//! `cargo bench --bench solver_scaling -- --json BENCH_PR5.json`
+//! `cargo bench --bench solver_scaling -- --json BENCH_PR6.json`
 //! skips the criterion loop and instead emits a machine-readable
-//! perf-trajectory report — nodes/sec, LPs/sec, pivots, and the LP
-//! warm-hit rate per workload, warm vs cold — so successive PRs can
-//! diff solver throughput without parsing bench prose.
+//! perf-trajectory report — nodes/sec, LPs/sec, pivots, probe-skip
+//! counters, and the LP warm-hit rate per workload, in three modes
+//! (`prop` = warm + decided-pair bound propagation, `warm` = warm
+//! only, `cold` = escape hatch) — so successive PRs can diff solver
+//! throughput without parsing bench prose.
 //!
 //! Interpretation note: on a single-core container
 //! (`std::thread::available_parallelism() == 1`) the >1-thread rows
@@ -106,12 +108,22 @@ fn simplex_workspace(c: &mut Criterion) {
 }
 
 /// One measured row of the `--json` report: a bounded solve of a named
-/// workload with LP warm-starting on or off.
-fn json_row(name: &str, problem: &rankhow_core::OptProblem, warm_lp: bool) -> String {
+/// workload in one of three modes — `prop` (warm LPs + decided-pair
+/// bound propagation, the default engine), `warm` (warm LPs, no
+/// propagation — the PR-5 configuration), or `cold` (the
+/// everything-off escape hatch).
+fn json_row(name: &str, problem: &rankhow_core::OptProblem, mode: &str) -> String {
+    let (warm_lp, propagate) = match mode {
+        "prop" => (true, true),
+        "warm" => (true, false),
+        "cold" => (false, false),
+        other => panic!("unknown bench mode {other}"),
+    };
     let start = std::time::Instant::now();
     let sol = RankHow::with_config(SolverConfig {
         threads: 1,
         warm_lp,
+        propagate,
         node_limit: 3_000,
         time_limit: Some(Duration::from_secs(10)),
         ..SolverConfig::default()
@@ -125,16 +137,20 @@ fn json_row(name: &str, problem: &rankhow_core::OptProblem, warm_lp: bool) -> St
         concat!(
             "{{\"workload\":\"{}\",\"mode\":\"{}\",\"error\":{},\"optimal\":{},",
             "\"nodes\":{},\"lp_solves\":{},\"lp_pivots\":{},",
+            "\"probes_skipped\":{},\"coords_skipped\":{},\"lps_per_node\":{:.2},",
             "\"nodes_per_sec\":{:.1},\"lps_per_sec\":{:.1},",
             "\"warm_hit_rate\":{:.4},\"elapsed_sec\":{:.6}}}"
         ),
         name,
-        if warm_lp { "warm" } else { "cold" },
+        mode,
         sol.error,
         sol.optimal,
         s.nodes,
         s.lp_solves,
         s.lp_pivots,
+        s.probes_skipped,
+        s.coords_skipped,
+        s.lp_solves as f64 / s.nodes.max(1) as f64,
         s.nodes as f64 / secs,
         s.lp_solves as f64 / secs,
         s.lp_warm_starts as f64 / starts as f64,
@@ -149,19 +165,24 @@ fn json_report(path: &std::path::Path) {
         ("anticorr_n120_k4", Distribution::AntiCorrelated, 120, 4),
         ("uniform_n600_k8", Distribution::Uniform, 600, 8),
     ];
+    let modes = ["prop", "warm", "cold"];
     let mut rows = Vec::new();
     for (name, dist, n, k) in workloads {
         let problem = setups::synthetic_problem(dist, 0, n, 4, k, 3, false);
-        for warm in [true, false] {
-            rows.push(json_row(name, &problem, warm));
+        for mode in modes {
+            rows.push(json_row(name, &problem, mode));
         }
     }
     let body = format!(
-        "{{\"bench\":\"solver_scaling\",\"pr\":5,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"solver_scaling\",\"pr\":6,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
         rows.join(",\n  ")
     );
     std::fs::write(path, &body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-    println!("wrote {} ({} rows)", path.display(), 2 * workloads.len());
+    println!(
+        "wrote {} ({} rows)",
+        path.display(),
+        modes.len() * workloads.len()
+    );
 }
 
 criterion_group!(benches, thread_sweep, simplex_workspace);
@@ -171,10 +192,10 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--json") {
         let path = args
             .get(i + 1)
-            .unwrap_or_else(|| panic!("--json needs a path (e.g. --json BENCH_PR5.json)"));
+            .unwrap_or_else(|| panic!("--json needs a path (e.g. --json BENCH_PR6.json)"));
         // Cargo runs bench binaries with crates/bench as CWD; anchor
         // relative paths at the workspace root so the documented
-        // command refreshes the committed repo-root BENCH_PR5.json.
+        // command refreshes the committed repo-root BENCH_PR6.json.
         let path = std::path::Path::new(path);
         let anchored;
         let path = if path.is_absolute() {

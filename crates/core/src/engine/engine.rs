@@ -4,7 +4,7 @@
 //! caller's threads.
 
 use super::bounds::interval_bound;
-use super::frontier::Node;
+use super::frontier::{DecidedPairs, Node, Propagated};
 use super::incumbent::SharedIncumbent;
 use super::job::{SolveJob, StepOutcome};
 use super::{Solution, SolverConfig, SolverError, SolverStats};
@@ -72,14 +72,101 @@ impl EngineScratch {
 
 /// What one box-tightening probe LP reported (shared by the warm and
 /// cold tightening paths).
-enum Probe {
-    /// Optimal objective value.
-    Value(f64),
+pub(super) enum Probe {
+    /// Optimal objective value and the optimizer point (the witness
+    /// bound propagation hands to the children).
+    Value(f64, Vec<f64>),
     /// The region is empty — only the cold path can observe this (a
     /// warm load has already established feasibility).
     Infeasible,
     /// Numerically stuck or unbounded: fall back to the static bound.
     Stuck,
+}
+
+/// Safety margin so LP round-off cannot make the tightened box *tighter*
+/// than the true region (classification soundness depends on
+/// box ⊇ region).
+const MARGIN: f64 = 1e-8;
+
+/// Slack a parent probe witness must clear the one new branch
+/// constraint by before its bound is propagated instead of re-probed.
+/// Propagation is sound at any margin (the parent bound relaxes the
+/// child's); the margin only guards against reusing a witness whose
+/// feasibility is within LP noise of the boundary.
+const WITNESS_MARGIN: f64 = 1e-7;
+
+/// Slack a known region point must satisfy a child's branch constraint
+/// by before the child is declared feasible *without* an LP. Unlike
+/// probe skipping this certificate replaces an accept/reject decision,
+/// so the margin sits well above the simplex feasibility tolerance
+/// (1e-7): a point this deep inside the half-space stays feasible under
+/// any representable LP wiggle, and the skip provably keeps the same
+/// child the LP would have kept.
+const CHILD_CERT_MARGIN: f64 = 1e-5;
+
+/// Resolve a min-probe outcome into the final lower bound for one
+/// coordinate; `None` means the region is empty. A [`Probe::Stuck`]
+/// fallback always resets to the **static** region bound — never a
+/// parent-carried or previously tightened value, which would be stale
+/// for this node's region and could tighten the box below its true
+/// extent (the bound-propagation audit pins this with a direct test).
+pub(super) fn resolve_probe_lo(p: &Probe, static_lo: f64) -> Option<f64> {
+    match p {
+        Probe::Value(v, _) => Some((v - MARGIN).max(static_lo)),
+        Probe::Infeasible => None,
+        Probe::Stuck => Some(static_lo),
+    }
+}
+
+/// Max-probe counterpart of [`resolve_probe_lo`].
+pub(super) fn resolve_probe_hi(p: &Probe, static_hi: f64) -> Option<f64> {
+    match p {
+        Probe::Value(v, _) => Some((v + MARGIN).min(static_hi)),
+        Probe::Infeasible => None,
+        Probe::Stuck => Some(static_hi),
+    }
+}
+
+/// Whether `w` satisfies a pair-sign constraint (`side` ⇒ the score
+/// difference must clear `eps1` from above, else stay below `eps2`)
+/// with `margin` to spare.
+pub(super) fn side_holds(
+    diff: &[f64],
+    w: &[f64],
+    side: bool,
+    eps1: f64,
+    eps2: f64,
+    margin: f64,
+) -> bool {
+    let dot: f64 = diff.iter().zip(w).map(|(d, x)| d * x).sum();
+    if side {
+        dot >= eps1 + margin
+    } else {
+        dot <= eps2 - margin
+    }
+}
+
+/// A tightened node box plus the per-coordinate probe optimizers that
+/// justify it (the witnesses propagated to the children).
+pub(super) struct Tightened {
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+    /// Flat `2m × m`: rows `0..m` are min-probe argmins, rows `m..2m`
+    /// max-probe argmaxes.
+    pub wit: Vec<f64>,
+    /// Which witness rows are valid (a skipped-with-stale-witness or
+    /// stuck probe leaves its row invalid).
+    pub wit_ok: Vec<bool>,
+}
+
+/// The bound-propagation inputs for one expansion: the parent's
+/// [`Propagated`] facts plus the single branch constraint that
+/// separates this node's region from the parent's (the node's last
+/// decision — the only row the parent's probes did not see).
+struct Inherit<'a> {
+    prop: &'a Propagated,
+    diff: &'a [f64],
+    side: bool,
 }
 
 /// Immutable per-step view of one job's search state. All mutable state
@@ -110,11 +197,23 @@ impl SearchView<'_> {
         &self,
         w: &[f64],
         incumbent: &SharedIncumbent,
+        certified: &SharedIncumbent,
         stats: &mut SolverStats,
     ) -> bool {
         let Some(err) = self.problem.evaluate_constrained(w) else {
             return false;
         };
+        // Track the best *certified* incumbent separately: a sampled
+        // point may sit in the (ε2, ε1) gap band the optimality proof
+        // excludes, and which band point wins is interleaving-dependent.
+        // A certified point, by contrast, is covered by *every*
+        // exhaustive search of the instance, so its error cross-validates
+        // independent solves (see `Solution::certified_error`). The band
+        // check is only run on improvements, so its cost is bounded by
+        // the number of distinct error decreases.
+        if err < certified.error() && !crate::verify::relies_on_gap_band(self.problem, w) {
+            certified.offer(err, w);
+        }
         if incumbent.offer(err, w) {
             stats.incumbents += 1;
             true
@@ -148,70 +247,135 @@ impl SearchView<'_> {
     /// What one box-tightening probe reported.
     fn probe_outcome(result: Result<rankhow_lp::Solution, rankhow_lp::SolveError>) -> Probe {
         match result {
-            Ok(s) if s.status == Status::Optimal => Probe::Value(s.objective),
+            Ok(s) if s.status == Status::Optimal => Probe::Value(s.objective, s.x),
             Ok(s) if s.status == Status::Infeasible => Probe::Infeasible,
             // Unbounded impossible (w ∈ [0,1]); LP failure → fallback.
             _ => Probe::Stuck,
         }
     }
 
-    /// Per-coordinate min/max over the region (2m small LPs); `probe`
-    /// supplies the per-objective solver, so the warm and cold paths
-    /// share one loop — and one copy of the safety margin and numerical
-    /// guards the parity suite depends on. Returns `None` when the
-    /// region is empty.
+    /// Per-coordinate min/max over the region (up to 2m small LPs);
+    /// `probe` supplies the per-objective solver, so the warm and cold
+    /// paths share one loop — and one copy of the safety margin and
+    /// numerical guards the parity suite depends on. Returns `None`
+    /// when the region is empty.
+    ///
+    /// With `inherit` present (bound propagation), a probe is skipped —
+    /// and the parent's bound reused — when the parent's witness
+    /// optimizer still satisfies the one new branch constraint (then the
+    /// parent bound is *exact* for this node: the witness stays feasible
+    /// and optimal), or when no new decision touches the coordinate
+    /// (then the parent bound is a sound relaxation). Skips never count
+    /// as `lp_solves`; they count as `probes_skipped`.
     fn tighten_box_with(
         &self,
         region: &Lp,
         scratch: &mut EngineScratch,
+        inherit: Option<&Inherit<'_>>,
         mut probe: impl FnMut(&mut EngineScratch, usize, Sense) -> Probe,
-    ) -> Option<(Vec<f64>, Vec<f64>)> {
-        // Safety margin so LP round-off cannot make the box *tighter*
-        // than the true region (classification soundness depends on
-        // box ⊇ region).
-        const MARGIN: f64 = 1e-8;
+    ) -> Option<Tightened> {
         let m = self.problem.m();
-        let mut lo = vec![0.0; m];
-        let mut hi = vec![1.0; m];
+        let eps1 = self.problem.tol.eps1;
+        let eps2 = self.problem.tol.eps2;
+        let mut t = Tightened {
+            lo: vec![0.0; m],
+            hi: vec![1.0; m],
+            wit: vec![0.0; 2 * m * m],
+            wit_ok: vec![false; 2 * m],
+        };
         for j in 0..m {
             let (static_lo, static_hi) = region.bounds(j);
-            scratch.stats.lp_solves += 1;
-            lo[j] = match probe(scratch, j, Sense::Minimize) {
-                Probe::Value(v) => (v - MARGIN).max(static_lo),
-                Probe::Infeasible => return None,
-                Probe::Stuck => static_lo,
-            };
-            scratch.stats.lp_solves += 1;
-            hi[j] = match probe(scratch, j, Sense::Maximize) {
-                Probe::Value(v) => (v + MARGIN).min(static_hi),
-                Probe::Infeasible => return None,
-                Probe::Stuck => static_hi,
-            };
+            // `changed` is all-ones when m > 64, so wide instances never
+            // take the untouched-coordinate shortcut.
+            let untouched =
+                inherit.is_some_and(|inh| j < 64 && inh.prop.changed & (1u64 << j) == 0);
+            let mut coord_skips = 0usize;
+            for (slot, sense) in [(j, Sense::Minimize), (m + j, Sense::Maximize)] {
+                // Witness rule: the parent's probe optimizer still
+                // satisfies the new constraint ⇒ the parent bound is
+                // exact here, and the witness itself propagates onward.
+                let witness_alive = inherit.is_some_and(|inh| {
+                    inh.prop.wit_ok[slot]
+                        && side_holds(
+                            inh.diff,
+                            &inh.prop.wit[slot * m..(slot + 1) * m],
+                            inh.side,
+                            eps1,
+                            eps2,
+                            WITNESS_MARGIN,
+                        )
+                });
+                if witness_alive || untouched {
+                    let inh = inherit.unwrap();
+                    let bound = if slot < m {
+                        inh.prop.lo[j]
+                    } else {
+                        inh.prop.hi[j]
+                    };
+                    if slot < m {
+                        t.lo[j] = bound;
+                    } else {
+                        t.hi[j] = bound;
+                    }
+                    if witness_alive {
+                        t.wit[slot * m..(slot + 1) * m]
+                            .copy_from_slice(&inh.prop.wit[slot * m..(slot + 1) * m]);
+                        t.wit_ok[slot] = true;
+                    }
+                    scratch.stats.probes_skipped += 1;
+                    coord_skips += 1;
+                    continue;
+                }
+                scratch.stats.lp_solves += 1;
+                let p = probe(scratch, j, sense);
+                let resolved = if slot < m {
+                    resolve_probe_lo(&p, static_lo)
+                } else {
+                    resolve_probe_hi(&p, static_hi)
+                };
+                let Some(bound) = resolved else {
+                    return None; // region infeasible (cold path only)
+                };
+                if slot < m {
+                    t.lo[j] = bound;
+                } else {
+                    t.hi[j] = bound;
+                }
+                if let Probe::Value(_, x) = p {
+                    t.wit[slot * m..(slot + 1) * m].copy_from_slice(&x);
+                    t.wit_ok[slot] = true;
+                }
+            }
+            if coord_skips == 2 {
+                scratch.stats.coords_skipped += 1;
+            }
             // Numerical guard.
-            if lo[j] > hi[j] {
-                let mid = 0.5 * (lo[j] + hi[j]);
-                lo[j] = mid;
-                hi[j] = mid;
+            if t.lo[j] > t.hi[j] {
+                let mid = 0.5 * (t.lo[j] + t.hi[j]);
+                t.lo[j] = mid;
+                t.hi[j] = mid;
             }
         }
-        Some((lo, hi))
+        Some(t)
     }
 
     /// Cold tightening: every probe re-solves the region from an empty
     /// basis (one shared clone toggles a single objective coefficient).
+    /// The coefficient is reset after *every* probe — propagation may
+    /// skip either direction of a pair, so the closure cannot rely on
+    /// min/max probes arriving in lockstep to clean up after itself.
     fn tighten_box(
         &self,
         region: &Lp,
         scratch: &mut EngineScratch,
-    ) -> Option<(Vec<f64>, Vec<f64>)> {
+        inherit: Option<&Inherit<'_>>,
+    ) -> Option<Tightened> {
         let mut lp = region.clone();
-        self.tighten_box_with(region, scratch, |scratch, j, sense| {
+        self.tighten_box_with(region, scratch, inherit, |scratch, j, sense| {
             lp.set_objective(j, 1.0);
             lp.set_sense(sense);
             let out = Self::probe_outcome(lp.solve_with(&mut scratch.lp));
-            if sense == Sense::Maximize {
-                lp.set_objective(j, 0.0);
-            }
+            lp.set_objective(j, 0.0);
             out
         })
     }
@@ -221,8 +385,13 @@ impl SearchView<'_> {
     /// 2 from the previous optimal basis — no standard-form rebuild, no
     /// phase 1. A numerically stuck probe falls back to the static
     /// bounds, exactly like the cold path.
-    fn tighten_box_warm(&self, region: &Lp, scratch: &mut EngineScratch) -> (Vec<f64>, Vec<f64>) {
-        self.tighten_box_with(region, scratch, |scratch, j, sense| {
+    fn tighten_box_warm(
+        &self,
+        region: &Lp,
+        scratch: &mut EngineScratch,
+        inherit: Option<&Inherit<'_>>,
+    ) -> Tightened {
+        self.tighten_box_with(region, scratch, inherit, |scratch, j, sense| {
             Self::probe_outcome(scratch.inc.solve_objective(&[(j, 1.0)], sense))
         })
         .expect("a warm-loaded region is feasible (load established it)")
@@ -235,9 +404,25 @@ impl SearchView<'_> {
         &self,
         node: &Node,
         incumbent: &SharedIncumbent,
+        certified: &SharedIncumbent,
         scratch: &mut EngineScratch,
     ) -> Result<Vec<Node>, SolverError> {
         let region = self.region(&node.decisions);
+        let m = self.problem.m();
+        // Bound-propagation inputs: the parent's facts apply to this
+        // node's strictly smaller region; the one constraint those facts
+        // have not seen is the node's last (branch) decision.
+        let inherit: Option<Inherit<'_>> = if self.config.propagate {
+            node.prop.as_deref().and_then(|prop| {
+                node.decisions.last().map(|&(idx, side)| Inherit {
+                    prop,
+                    diff: self.sys.diff(idx as usize),
+                    side,
+                })
+            })
+        } else {
+            None
+        };
         // Warm LP path: load the region into the worker's incremental
         // workspace once — from the node's parent-basis snapshot when it
         // carries one — then drive all probes and child checks from that
@@ -276,40 +461,56 @@ impl SearchView<'_> {
             scratch.stats.lp_cold_starts += 1;
         }
 
-        // Tighten the node's weight box via per-coordinate LPs.
-        let (nlo, nhi) = if inc_ready {
-            self.tighten_box_warm(&region, scratch)
+        // Tighten the node's weight box via per-coordinate LPs (minus
+        // whatever probes bound propagation answers from parent facts).
+        let tightened = if inc_ready {
+            self.tighten_box_warm(&region, scratch, inherit.as_ref())
         } else {
-            match self.tighten_box(&region, scratch) {
+            match self.tighten_box(&region, scratch, inherit.as_ref()) {
                 Some(b) => b,
                 None => return Ok(Vec::new()), // region infeasible
             }
         };
 
-        // Classify undecided pairs against the tightened box.
+        // Classify undecided pairs against the tightened box. Pairs the
+        // ancestors already classified are seeded from the propagated
+        // bitset — decisions are monotone down the tree (each decision
+        // holds over an ancestor box that contains this node's region),
+        // so a decided pair never re-enters `undecided` and pays no
+        // classification work here. Newly decided pairs are recorded for
+        // the children's bitset.
         scratch.decided.fill(None);
+        if let Some(inh) = &inherit {
+            for idx in 0..self.sys.pairs.len() {
+                scratch.decided[idx] = inh.prop.decided.get(idx);
+            }
+        }
         for &(idx, side) in &node.decisions {
             scratch.decided[idx as usize] = Some(side);
         }
         scratch.beats.copy_from_slice(&self.sys.fixed_beats);
         scratch.open.fill(0);
         let eps = self.problem.tol.eps;
+        let (nlo, nhi) = (&tightened.lo, &tightened.hi);
         let mut branch_candidate: Option<(usize, f64)> = None;
+        let mut newly_decided: Vec<(usize, bool)> = Vec::new();
         for (idx, pair) in self.sys.pairs.iter().enumerate() {
             match scratch.decided[idx] {
                 Some(true) => scratch.beats[pair.slot] += 1,
                 Some(false) => {}
                 None => {
                     let diff = self.sys.diff(idx);
-                    let lo_v = formulation::box_simplex_min(diff, &nlo, &nhi);
-                    let hi_v = formulation::box_simplex_max(diff, &nlo, &nhi);
+                    let lo_v = formulation::box_simplex_min(diff, nlo, nhi);
+                    let hi_v = formulation::box_simplex_max(diff, nlo, nhi);
                     let (Some(l), Some(h)) = (lo_v, hi_v) else {
                         continue;
                     };
                     if l > eps {
                         scratch.beats[pair.slot] += 1;
+                        newly_decided.push((idx, true));
                     } else if h <= eps {
                         // never beats
+                        newly_decided.push((idx, false));
                     } else {
                         scratch.open[pair.slot] += 1;
                         // Most-ambiguous branching: largest two-sided
@@ -352,16 +553,20 @@ impl SearchView<'_> {
         }
 
         // Incumbent: the region's Chebyshev center (skipped on a
-        // numerically stuck LP — purely a heuristic).
+        // numerically stuck LP — purely a heuristic). The point is kept
+        // around: it doubles as a feasibility certificate for whichever
+        // child's branch constraint it satisfies.
+        let mut center_point: Option<Vec<f64>> = None;
         if self.config.incumbent_sampling {
             scratch.stats.lp_solves += 1;
             if let Ok(Some(center)) = chebyshev_center_with(&region, &mut scratch.lp) {
-                if self.try_incumbent(&center, incumbent, &mut scratch.stats) {
+                if self.try_incumbent(&center, incumbent, certified, &mut scratch.stats) {
                     let best = incumbent.error();
                     if best == 0 || bound >= best {
                         return Ok(Vec::new());
                     }
                 }
+                center_point = Some(center);
             }
         }
 
@@ -371,35 +576,88 @@ impl SearchView<'_> {
             return Ok(Vec::new());
         };
 
+        // Facts the children inherit: this expansion's tightened box and
+        // witnesses, the (monotone) decided-pair bitset grown by this
+        // node's classification, and the branch row's changed-coordinates
+        // mask. One Arc shared by both siblings, like the basis snapshot.
+        let branch_diff = self.sys.diff(branch_idx);
+        let child_prop: Option<Arc<Propagated>> = if self.config.propagate {
+            let changed = if m <= 64 {
+                branch_diff
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| **d != 0.0)
+                    .fold(0u64, |mask, (j, _)| mask | (1 << j))
+            } else {
+                u64::MAX
+            };
+            let mut decided = match &inherit {
+                Some(inh) => inh.prop.decided.clone(),
+                None => DecidedPairs::new(self.sys.pairs.len()),
+            };
+            for &(idx, side) in &newly_decided {
+                decided.set(idx, side);
+            }
+            Some(Arc::new(Propagated {
+                lo: tightened.lo,
+                hi: tightened.hi,
+                wit: tightened.wit,
+                wit_ok: tightened.wit_ok,
+                decided,
+                changed,
+            }))
+        } else {
+            None
+        };
+
         // Expand children, checking feasibility eagerly. Warm: append
         // the one new pair-sign row to the already-loaded tableau and
         // restore feasibility by dual simplex from the current basis
         // (then pop it for the sibling). Cold: rebuild the child region
-        // and run two-phase from scratch.
+        // and run two-phase from scratch. Propagation first tries to
+        // certify the child feasible from a point already in hand (a
+        // probe witness or the Chebyshev center deep enough inside the
+        // branch half-space) — then no LP runs at all.
         let child_basis: Option<Arc<BasisSnapshot>> =
             inc_ready.then(|| Arc::new(scratch.inc.snapshot()));
-        let m = self.problem.m();
         // Both sides push the same row coefficients; only (op, rhs)
         // differ, so build the terms once.
         let branch_terms: Vec<(VarId, f64)> = if inc_ready {
-            let diff = self.sys.diff(branch_idx);
-            (0..m).map(|j| (j, diff[j])).collect()
+            (0..m).map(|j| (j, branch_diff[j])).collect()
         } else {
             Vec::new()
         };
+        let eps1 = self.problem.tol.eps1;
+        let eps2 = self.problem.tol.eps2;
         let mut children = Vec::with_capacity(2);
         for side in [true, false] {
             let mut decisions = node.decisions.clone();
             decisions.push((branch_idx as u32, side));
-            scratch.stats.lp_solves += 1;
+            let feasibility_certified = child_prop.as_deref().is_some_and(|p| {
+                let center_ok = center_point.as_deref().is_some_and(|c| {
+                    side_holds(branch_diff, c, side, eps1, eps2, CHILD_CERT_MARGIN)
+                });
+                center_ok
+                    || (0..2 * m).any(|slot| {
+                        p.wit_ok[slot]
+                            && side_holds(
+                                branch_diff,
+                                &p.wit[slot * m..(slot + 1) * m],
+                                side,
+                                eps1,
+                                eps2,
+                                CHILD_CERT_MARGIN,
+                            )
+                    })
+            });
             // On an LP failure, keep the child: pruning is only an
             // optimization and bounds remain sound.
-            let keep = if inc_ready {
-                let (op, rhs) = if side {
-                    (Op::Ge, self.problem.tol.eps1)
-                } else {
-                    (Op::Le, self.problem.tol.eps2)
-                };
+            let keep = if feasibility_certified {
+                scratch.stats.probes_skipped += 1;
+                true
+            } else if inc_ready {
+                scratch.stats.lp_solves += 1;
+                let (op, rhs) = if side { (Op::Ge, eps1) } else { (Op::Le, eps2) };
                 let pushed = scratch.inc.push_row(&branch_terms, op, rhs);
                 scratch.inc.pop_row();
                 match pushed {
@@ -407,6 +665,7 @@ impl SearchView<'_> {
                     Err(_) => true,
                 }
             } else {
+                scratch.stats.lp_solves += 1;
                 let child_region = self.region(&decisions);
                 match child_region.solve_feasibility_with(&mut scratch.lp) {
                     Ok(sol) => sol.status == Status::Optimal,
@@ -418,6 +677,7 @@ impl SearchView<'_> {
                     decisions,
                     bound,
                     basis: child_basis.clone(),
+                    prop: child_prop.clone(),
                 });
             }
         }

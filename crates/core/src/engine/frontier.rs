@@ -8,6 +8,100 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrder};
 use std::sync::{Arc, Mutex};
 
+/// Pairs permanently decided by ancestor *classifications* (box
+/// interval arguments), as a packed bitset: one `decided` bit and one
+/// `side` bit per live pair. Decisions are monotone down the tree —
+/// a child region is a subset of its parent's, so a pair whose score
+/// difference cleared ε over an ancestor box can never re-enter
+/// `undecided` in any descendant. The set-only API makes that invariant
+/// structural: bits are only ever added, never cleared.
+///
+/// Branch decisions (the path in `Node::decisions`) are *not* recorded
+/// here — the bitset is shared by both children of one expansion, and
+/// the branch side is exactly what differs between them.
+#[derive(Clone)]
+pub(super) struct DecidedPairs {
+    decided: Vec<u64>,
+    side: Vec<u64>,
+}
+
+impl DecidedPairs {
+    pub fn new(pairs: usize) -> Self {
+        let words = pairs.div_ceil(64);
+        DecidedPairs {
+            decided: vec![0; words],
+            side: vec![0; words],
+        }
+    }
+
+    /// Record a pair as permanently decided. A pair may be re-set only
+    /// with the same side (decisions are monotone).
+    pub fn set(&mut self, idx: usize, side: bool) {
+        debug_assert!(
+            self.get(idx).map_or(true, |s| s == side),
+            "decided pair flipped side"
+        );
+        self.decided[idx / 64] |= 1 << (idx % 64);
+        if side {
+            self.side[idx / 64] |= 1 << (idx % 64);
+        }
+    }
+
+    /// `Some(side)` when the pair is decided, `None` otherwise.
+    pub fn get(&self, idx: usize) -> Option<bool> {
+        let (w, b) = (idx / 64, 1u64 << (idx % 64));
+        (self.decided[w] & b != 0).then(|| self.side[w] & b != 0)
+    }
+
+    /// Number of decided pairs.
+    #[cfg(test)]
+    pub fn count(&self) -> usize {
+        self.decided.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every decision in `other` is present here with the same
+    /// side (the monotonicity the engine tests pin).
+    #[cfg(test)]
+    pub fn contains_all(&self, other: &DecidedPairs) -> bool {
+        self.decided
+            .iter()
+            .zip(&self.side)
+            .zip(other.decided.iter().zip(&other.side))
+            .all(|((d, s), (od, os))| od & !d == 0 && (s ^ os) & od == 0)
+    }
+}
+
+/// Facts one expansion proved that every descendant may reuse — the
+/// bound-propagation payload. Like the basis snapshot it rides the
+/// [`Node`] behind an `Arc` shared by both children, so the facts
+/// survive work-stealing and scheduler time-slicing: whichever worker
+/// expands the child (on whatever thread's scratch) reads them from the
+/// node itself, not from any per-worker cache.
+pub(super) struct Propagated {
+    /// The expansion's tightened box — a superset of every descendant's
+    /// region, which is what makes the decided bitset permanently sound.
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+    /// Per-coordinate probe optimizers, flat `2·m·m`: row `j` of the
+    /// first block is the argmin point of the min-`w_j` probe, row `j`
+    /// of the second block the argmax of the max probe. A child whose
+    /// one new branch constraint is still satisfied by the witness can
+    /// reuse the parent's bound exactly — the probe LP is skipped.
+    pub wit: Vec<f64>,
+    /// Validity flags for the `2m` witnesses (false after a skipped or
+    /// numerically stuck probe whose optimizer is unknown).
+    pub wit_ok: Vec<bool>,
+    /// Pairs classification decided at this expansion or inherited.
+    pub decided: DecidedPairs,
+    /// Changed-coordinates mask of the branch constraint both children
+    /// add: bit `j` set ⇔ the branch pair's score difference touches
+    /// coordinate `j`. A clear bit lets the child skip coordinate `j`'s
+    /// re-tightening outright (the new row cannot bind on it any harder
+    /// than the parent's probes already did, and the parent bound stays
+    /// a sound relaxation). All-ones when `m > 64`.
+    pub changed: u64,
+}
+
 /// One open subproblem: the indicator sides decided so far and the error
 /// lower bound inherited from its parent's classification.
 pub(super) struct Node {
@@ -23,6 +117,11 @@ pub(super) struct Node {
     /// at the root and when warm-starting is disabled; both children of
     /// one expansion share the snapshot (hence the `Arc`).
     pub basis: Option<Arc<BasisSnapshot>>,
+    /// Bound-propagation facts from the parent expansion (box,
+    /// witnesses, decided-pair bitset, changed-coordinates mask).
+    /// `None` at the root and when `SolverConfig::propagate` is off;
+    /// shared by both siblings like the basis snapshot.
+    pub prop: Option<Arc<Propagated>>,
 }
 
 pub(super) struct HeapNode(pub Node);
@@ -203,7 +302,35 @@ mod tests {
             decisions: vec![(0, true); depth],
             bound,
             basis: None,
+            prop: None,
         }
+    }
+
+    #[test]
+    fn decided_pairs_bitset_is_monotone_and_word_spanning() {
+        let mut a = DecidedPairs::new(130);
+        a.set(0, true);
+        a.set(63, false);
+        a.set(64, true);
+        a.set(129, false);
+        assert_eq!(a.get(0), Some(true));
+        assert_eq!(a.get(63), Some(false));
+        assert_eq!(a.get(64), Some(true));
+        assert_eq!(a.get(129), Some(false));
+        assert_eq!(a.get(1), None);
+        assert_eq!(a.count(), 4);
+        // Re-setting with the same side is idempotent.
+        a.set(64, true);
+        assert_eq!(a.count(), 4);
+        // A child set grown from `a` contains all of `a`.
+        let mut b = a.clone();
+        b.set(100, true);
+        assert!(b.contains_all(&a));
+        assert!(!a.contains_all(&b));
+        // A disjoint set with a flipped side is not contained.
+        let mut c = DecidedPairs::new(130);
+        c.set(63, true);
+        assert!(!b.contains_all(&c));
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub struct SolveJob<P: Borrow<OptProblem>> {
     lanes: usize,
     pool: WorkPool,
     incumbent: SharedIncumbent,
+    /// Best incumbent whose weights avoid the (ε2, ε1) gap band — the
+    /// part of the sampled space the optimality proof actually covers.
+    /// Tracked separately because band incumbents are
+    /// interleaving-dependent while certified ones cross-validate any
+    /// exhaustive search of the instance (see
+    /// [`Solution::certified_error`]).
+    certified: SharedIncumbent,
     root: OnceLock<RootState>,
     /// Taken (CAS) by the worker that runs root initialization.
     root_claim: AtomicBool,
@@ -112,6 +119,7 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
             lanes,
             pool,
             incumbent: SharedIncumbent::new(Vec::new(), u64::MAX),
+            certified: SharedIncumbent::new(Vec::new(), u64::MAX),
             root: OnceLock::new(),
             root_claim: AtomicBool::new(false),
             root_done: AtomicBool::new(false),
@@ -256,7 +264,7 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                 break StepOutcome::Done;
             }
             scratch.stats.nodes += 1;
-            match view.expand(&node, &self.incumbent, scratch) {
+            match view.expand(&node, &self.incumbent, &self.certified, scratch) {
                 Ok(children) => {
                     if self.incumbent.error() == 0 {
                         self.pool.finish_node();
@@ -293,7 +301,8 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
             .expect("SolveJob::result called before the job finished")
             .clone();
         let (error, weights) = self.incumbent.snapshot();
-        self.package(outcome?, error, weights)
+        let (certified_error, certified_weights) = self.certified.snapshot();
+        self.package(outcome?, error, weights, certified_error, certified_weights)
     }
 
     /// Consume the job into its solution (the blocking driver's exit —
@@ -313,11 +322,16 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         if error == u64::MAX {
             return Err(SolverError::Infeasible);
         }
+        let (certified_error, certified_weights) = self.certified.into_best();
+        let certified = !crate::verify::relies_on_gap_band(self.problem.borrow(), &weights);
         Ok(Solution {
             weights,
             error,
             optimal: status == SolveStatus::Optimal,
             status,
+            certified,
+            certified_error,
+            certified_weights,
             stats,
         })
     }
@@ -327,6 +341,8 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         status: SolveStatus,
         error: u64,
         weights: Vec<f64>,
+        certified_error: u64,
+        certified_weights: Vec<f64>,
     ) -> Result<Solution, SolverError> {
         if error == u64::MAX {
             // No feasible point was ever sampled. With a proof this is a
@@ -337,11 +353,15 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         }
         let mut stats = self.stats.lock().unwrap().clone();
         stats.jobs = 1;
+        let certified = !crate::verify::relies_on_gap_band(self.problem.borrow(), &weights);
         Ok(Solution {
             weights,
             error,
             optimal: status == SolveStatus::Optimal,
             status,
+            certified,
+            certified_error,
+            certified_weights,
             stats,
         })
     }
@@ -394,14 +414,19 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                 }
             }
         };
-        view.try_incumbent(&center, &self.incumbent, &mut scratch.stats);
+        view.try_incumbent(
+            &center,
+            &self.incumbent,
+            &self.certified,
+            &mut scratch.stats,
+        );
 
         if let Some(warm) = &self.config.warm_start {
             if warm.len() == problem.m()
                 && problem.constraints.satisfied_by(warm)
                 && in_box(warm, &self.box_lo, &self.box_hi)
             {
-                view.try_incumbent(warm, &self.incumbent, &mut scratch.stats);
+                view.try_incumbent(warm, &self.incumbent, &self.certified, &mut scratch.stats);
             }
         }
 
@@ -433,7 +458,7 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                     in_box(&w, &self.box_lo, &self.box_hi)
                 };
                 if ok_after && problem.constraints.satisfied_by(&w) {
-                    view.try_incumbent(&w, &self.incumbent, &mut scratch.stats);
+                    view.try_incumbent(&w, &self.incumbent, &self.certified, &mut scratch.stats);
                     if self.incumbent.error() == 0 {
                         break;
                     }
@@ -457,13 +482,14 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                     decisions: Vec::new(),
                     bound: root_bound,
                     basis: None,
+                    prop: None,
                 },
             );
         }
         self.root_done.store(true, Ordering::Release);
     }
 
-    fn view(&self) -> SearchView<'_> {
+    pub(super) fn view(&self) -> SearchView<'_> {
         let root = self.root.get().expect("root state initialized");
         SearchView {
             problem: self.problem.borrow(),

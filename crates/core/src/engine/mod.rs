@@ -115,6 +115,19 @@ pub struct SolverConfig {
     /// empty basis (the pre-warm-start behaviour) — the parity test
     /// suite pins that both modes prove identical optimal errors.
     pub warm_lp: bool,
+    /// Propagate decided-pair and box facts from parent to children
+    /// ([`frontier`]'s per-node payload, riding the `Node` like the
+    /// basis snapshot): a pair classified as decided never pays another
+    /// `box_simplex` classification in any descendant, and a tightening
+    /// probe whose parent optimizer still satisfies the one new branch
+    /// constraint — or whose coordinate no new decision touches — is
+    /// skipped outright (`SolverStats::probes_skipped`). Decisions are
+    /// monotone down the tree (child region ⊆ parent region), so
+    /// propagated facts stay sound across work-stealing and scheduler
+    /// time-slicing. `false` is the escape hatch that re-derives every
+    /// fact per node (the pre-propagation behaviour); the parity suite
+    /// pins that both modes prove identical optimal errors.
+    pub propagate: bool,
     /// Worker threads for the search ([`default_threads`] by default;
     /// values ≤ 1 run the sequential engine).
     ///
@@ -137,6 +150,7 @@ impl Default for SolverConfig {
             incumbent_sampling: true,
             root_samples: 512,
             warm_lp: true,
+            propagate: true,
             threads: default_threads(),
         }
     }
@@ -161,6 +175,17 @@ pub struct SolverStats {
     /// hardware-independent measure of LP effort warm-starting is
     /// meant to shrink).
     pub lp_pivots: u64,
+    /// Probe/child LPs skipped by decided-pair bound propagation
+    /// ([`SolverConfig::propagate`]): tightening probes answered by a
+    /// still-feasible parent witness or an untouched coordinate, and
+    /// child feasibility checks certified by a known interior point.
+    /// Each skip is one LP that warm-starting alone would still have
+    /// paid for.
+    pub probes_skipped: usize,
+    /// Coordinates whose *entire* re-tightening (both the min and the
+    /// max probe) was skipped at some node — the per-coordinate view of
+    /// `probes_skipped`.
+    pub coords_skipped: usize,
     /// Incumbent improvements.
     pub incumbents: usize,
     /// Live indicator pairs after root constant-folding.
@@ -185,6 +210,8 @@ impl SolverStats {
         self.lp_warm_starts += other.lp_warm_starts;
         self.lp_cold_starts += other.lp_cold_starts;
         self.lp_pivots += other.lp_pivots;
+        self.probes_skipped += other.probes_skipped;
+        self.coords_skipped += other.coords_skipped;
         self.incumbents += other.incumbents;
         self.live_pairs += other.live_pairs;
         self.jobs += other.jobs;
@@ -249,6 +276,25 @@ pub struct Solution {
     /// cancellation) that truncated it. `optimal` is equivalent to
     /// `status == SolveStatus::Optimal`.
     pub status: SolveStatus,
+    /// Whether `weights` itself lies in the certified space — no pair
+    /// score difference strictly inside the `(ε2, ε1)` gap band
+    /// ([`crate::verify::relies_on_gap_band`]). When `true` and `optimal`
+    /// is set, `error` *is* the certified optimum; when `false`, the
+    /// sampled incumbent beat every certified point the proof covers.
+    pub certified: bool,
+    /// Error of the best **certified** incumbent the search sampled
+    /// (`u64::MAX` when every sampled point relied on the gap band).
+    /// Always ≥ `error`; together they bracket the certified-space
+    /// optimum of a proved solve: `error ≤ certified optimum ≤
+    /// certified_error`. Two exhaustive searches of the same instance
+    /// may report different `error`s (band incumbents are
+    /// interleaving-dependent) but each one's `error` is a lower bound
+    /// on the *other*'s `certified_error` — the cross-check the serve
+    /// suite pins instead of exact equality.
+    pub certified_error: u64,
+    /// The certified incumbent realizing `certified_error` (empty when
+    /// none was found).
+    pub certified_weights: Vec<f64>,
     /// Search statistics.
     pub stats: SolverStats,
 }
@@ -266,6 +312,9 @@ impl Solution {
             error: u64::MAX,
             optimal: false,
             status: SolveStatus::Rejected,
+            certified: false,
+            certified_error: u64::MAX,
+            certified_weights: Vec::new(),
             stats: SolverStats::default(),
         }
     }

@@ -570,6 +570,184 @@ fn is_started_flips_on_the_first_step() {
 }
 
 #[test]
+fn stuck_probe_fallback_resets_to_static_bounds() {
+    use super::engine::{resolve_probe_hi, resolve_probe_lo, Probe};
+    // A stuck (unbounded / numerically failed) probe must reset its
+    // coordinate to the *static* region bound. The resolvers
+    // deliberately cannot be handed a parent-carried or previously
+    // tightened value: bound propagation reuses parent bounds only
+    // through the witness / untouched-coordinate rules, never as a
+    // stuck-probe fallback, so no stale per-coordinate state can
+    // survive an LP failure.
+    assert_eq!(resolve_probe_lo(&Probe::Stuck, 0.25), Some(0.25));
+    assert_eq!(resolve_probe_hi(&Probe::Stuck, 0.75), Some(0.75));
+    // An infeasible probe empties the region.
+    assert!(resolve_probe_lo(&Probe::Infeasible, 0.0).is_none());
+    assert!(resolve_probe_hi(&Probe::Infeasible, 1.0).is_none());
+    // Probe values are safety-margined outward and clamped to the
+    // static bounds (the box may only relax, never tighten, past them).
+    let v = resolve_probe_lo(&Probe::Value(0.5, Vec::new()), 0.0).unwrap();
+    assert!(v < 0.5 && v > 0.49);
+    let v = resolve_probe_hi(&Probe::Value(0.5, Vec::new()), 1.0).unwrap();
+    assert!(v > 0.5 && v < 0.51);
+    assert_eq!(
+        resolve_probe_lo(&Probe::Value(-1.0, Vec::new()), 0.0),
+        Some(0.0)
+    );
+    assert_eq!(
+        resolve_probe_hi(&Probe::Value(2.0, Vec::new()), 1.0),
+        Some(1.0)
+    );
+}
+
+/// An anti-correlated instance (no weighting ranks it perfectly) that
+/// forces the search to branch for a while — propagation needs real
+/// parent→child expansions to have anything to skip.
+fn branching_problem() -> OptProblem {
+    let rows: Vec<Vec<f64>> = (0..9)
+        .map(|i| vec![f64::from(i), f64::from(8 - i), f64::from((i * 5) % 7)])
+        .collect();
+    let positions = (0..9)
+        .map(|i| match i {
+            3 => Some(1),
+            7 => Some(2),
+            _ => None,
+        })
+        .collect();
+    problem_from(rows, positions)
+}
+
+#[test]
+fn propagation_skips_probe_lps_and_preserves_the_optimum() {
+    let p = branching_problem();
+    let solve = |propagate: bool| {
+        RankHow::with_config(SolverConfig {
+            propagate,
+            threads: 1,
+            ..SolverConfig::default()
+        })
+        .solve(&p)
+        .unwrap()
+    };
+    let on = solve(true);
+    let off = solve(false);
+    assert!(on.optimal && off.optimal);
+    assert_eq!(on.error, off.error, "propagation changed the optimum");
+    assert_eq!(off.stats.probes_skipped, 0, "escape hatch must not skip");
+    assert!(on.stats.probes_skipped > 0, "no probe was ever skipped");
+    assert!(on.stats.lp_solves < off.stats.lp_solves);
+    // Strictly fewer LP solves *per node* (cross-multiplied to stay in
+    // integers): skips must outpace any change in node count.
+    assert!(
+        on.stats.lp_solves * off.stats.nodes < off.stats.lp_solves * on.stats.nodes,
+        "lp/node did not drop: on {}/{} vs off {}/{}",
+        on.stats.lp_solves,
+        on.stats.nodes,
+        off.stats.lp_solves,
+        off.stats.nodes
+    );
+}
+
+#[test]
+fn decided_pairs_never_reenter_undecided() {
+    use super::frontier::Node;
+    use super::incumbent::SharedIncumbent;
+
+    let p = branching_problem();
+    let config = SolverConfig {
+        threads: 1,
+        root_samples: 0,
+        ..SolverConfig::default()
+    };
+    let job = SolveJob::new(&p, config, 1);
+    let mut scratch = EngineScratch::new();
+    // One step builds the root state the view borrows.
+    job.step(0, &mut scratch, 1);
+    if job.is_finished() {
+        return; // degenerate: nothing left to walk
+    }
+    let view = job.view();
+    scratch.prepare(view.sys);
+    // Fresh incumbents keep pruning weak so the walk actually descends.
+    let incumbent = SharedIncumbent::new(Vec::new(), u64::MAX);
+    let certified = SharedIncumbent::new(Vec::new(), u64::MAX);
+    let mut frontier = vec![Node {
+        decisions: Vec::new(),
+        bound: 0,
+        basis: None,
+        prop: None,
+    }];
+    let mut expanded = 0usize;
+    let mut compared = 0usize;
+    while let Some(node) = frontier.pop() {
+        if expanded >= 200 {
+            break;
+        }
+        expanded += 1;
+        let children = view
+            .expand(&node, &incumbent, &certified, &mut scratch)
+            .unwrap();
+        for child in children {
+            let cp = child
+                .prop
+                .as_deref()
+                .expect("propagation on: every child carries facts");
+            if let Some(pp) = node.prop.as_deref() {
+                // The monotonicity invariant: every pair the parent had
+                // decided is still decided — same side — in the child.
+                assert!(
+                    cp.decided.contains_all(&pp.decided),
+                    "a decided pair re-entered undecided"
+                );
+                assert!(cp.decided.count() >= pp.decided.count());
+                compared += 1;
+            }
+            // The bitset never contradicts a path decision.
+            for &(idx, side) in &child.decisions {
+                if let Some(bit) = cp.decided.get(idx as usize) {
+                    assert_eq!(bit, side, "bitset side contradicts the path");
+                }
+            }
+            frontier.push(child);
+        }
+    }
+    assert!(
+        compared > 0,
+        "walk must compare at least one parent/child bitset pair"
+    );
+}
+
+#[test]
+fn certified_incumbent_brackets_the_sampled_optimum() {
+    let p = branching_problem();
+    let sol = RankHow::with_config(SolverConfig {
+        threads: 1,
+        ..SolverConfig::default()
+    })
+    .solve(&p)
+    .unwrap();
+    assert!(sol.certified_error >= sol.error);
+    if sol.certified_error != u64::MAX {
+        assert_eq!(
+            p.evaluate(&sol.certified_weights),
+            sol.certified_error,
+            "certified incumbent must realize its error"
+        );
+        assert!(
+            !crate::verify::relies_on_gap_band(&p, &sol.certified_weights),
+            "certified incumbent must avoid the gap band"
+        );
+    }
+    if sol.certified {
+        assert!(
+            !crate::verify::relies_on_gap_band(&p, &sol.weights),
+            "certified flag must match the final weights"
+        );
+        assert_eq!(sol.certified_error, sol.error);
+    }
+}
+
+#[test]
 fn stats_are_meaningful() {
     let p = problem_from(
         vec![

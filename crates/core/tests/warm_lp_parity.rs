@@ -55,10 +55,16 @@ fn build(inst: &SmallInstance) -> Option<OptProblem> {
     OptProblem::with_tolerances(data, given, Tolerances::exact()).ok()
 }
 
-fn solve(problem: &OptProblem, warm_lp: bool, threads: usize) -> rankhow_core::Solution {
+fn solve(
+    problem: &OptProblem,
+    warm_lp: bool,
+    propagate: bool,
+    threads: usize,
+) -> rankhow_core::Solution {
     RankHow::with_config(SolverConfig {
         threads,
         warm_lp,
+        propagate,
         ..SolverConfig::default()
     })
     .solve(problem)
@@ -68,32 +74,47 @@ fn solve(problem: &OptProblem, warm_lp: bool, threads: usize) -> rankhow_core::S
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Warm and cold engines prove bit-identical optimal errors across
-    /// thread counts {1, 2, 4}, and every returned weight vector
-    /// realizes its claimed error under the Definition 2 evaluator.
+    /// Cold, warm, and warm-with-propagation engines prove bit-identical
+    /// optimal errors across thread counts {1, 2, 4}, and every returned
+    /// weight vector realizes its claimed error under the Definition 2
+    /// evaluator. This is the three-way parity pin for decided-pair
+    /// bound propagation: skipping a probe must never change what the
+    /// search proves, only how many LPs it pays for the proof.
     #[test]
-    fn warm_and_cold_prove_identical_optima(inst in small_instance()) {
+    fn warm_cold_and_propagated_prove_identical_optima(inst in small_instance()) {
         let Some(problem) = build(&inst) else {
             return Err(TestCaseError::reject("invalid ranking"));
         };
-        let cold = solve(&problem, false, 1);
+        let cold = solve(&problem, false, false, 1);
         prop_assert!(cold.optimal, "cold search must close the tree");
         prop_assert_eq!(problem.evaluate(&cold.weights), cold.error);
         for threads in [1usize, 2, 4] {
-            let warm = solve(&problem, true, threads);
-            prop_assert!(warm.optimal, "warm {threads}-thread search must close the tree");
-            prop_assert_eq!(
-                warm.error, cold.error,
-                "warm ({} threads) disagrees with cold optimum", threads
-            );
-            prop_assert_eq!(problem.evaluate(&warm.weights), warm.error);
-            prop_assert!(
-                warm.stats.lp_warm_starts + warm.stats.lp_cold_starts >= warm.stats.nodes,
-                "every expanded node accounts one LP start"
-            );
+            for propagate in [false, true] {
+                let mode = if propagate { "propagated" } else { "warm" };
+                let warm = solve(&problem, true, propagate, threads);
+                prop_assert!(
+                    warm.optimal,
+                    "{mode} {threads}-thread search must close the tree"
+                );
+                prop_assert_eq!(
+                    warm.error, cold.error,
+                    "{} ({} threads) disagrees with cold optimum", mode, threads
+                );
+                prop_assert_eq!(problem.evaluate(&warm.weights), warm.error);
+                prop_assert!(
+                    warm.stats.lp_warm_starts + warm.stats.lp_cold_starts >= warm.stats.nodes,
+                    "every expanded node accounts one LP start"
+                );
+                if !propagate {
+                    prop_assert_eq!(
+                        warm.stats.probes_skipped, 0,
+                        "escape hatch must not skip probes"
+                    );
+                }
+            }
         }
         // The escape hatch really is cold: no snapshot ever installs.
-        let cold4 = solve(&problem, false, 4);
+        let cold4 = solve(&problem, false, false, 4);
         prop_assert_eq!(cold4.stats.lp_warm_starts, 0, "cold mode must not warm-start");
         prop_assert_eq!(cold4.error, cold.error);
     }
@@ -107,8 +128,8 @@ proptest! {
         let Some(problem) = build(&inst) else {
             return Err(TestCaseError::reject("invalid ranking"));
         };
-        let cold = solve(&problem, false, 1);
-        let warm = solve(&problem, true, 1);
+        let cold = solve(&problem, false, false, 1);
+        let warm = solve(&problem, true, false, 1);
         prop_assert_eq!(warm.error, cold.error);
         // Identical trees are not guaranteed (boxes may differ in the
         // last ulp), so compare per-LP effort: pivots per LP solve.
@@ -161,8 +182,8 @@ fn warm_start_strictly_reduces_pivots_on_fixed_instances() {
             perm_seed: seed,
         };
         let problem = build(&inst).expect("fixture builds");
-        let cold = solve(&problem, false, 1);
-        let warm = solve(&problem, true, 1);
+        let cold = solve(&problem, false, false, 1);
+        let warm = solve(&problem, true, false, 1);
         assert!(cold.optimal && warm.optimal);
         assert_eq!(warm.error, cold.error, "seed {seed}: optima diverge");
         assert!(
@@ -177,4 +198,42 @@ fn warm_start_strictly_reduces_pivots_on_fixed_instances() {
             cold.stats.lp_pivots
         );
     }
+}
+
+/// The PR-6 acceptance pin, on a fixed branching instance: decided-pair
+/// bound propagation proves the same optimum while paying strictly
+/// fewer probe LPs per node than plain warm-starting (cross-multiplied
+/// to stay in integers), with the skip counters populated.
+#[test]
+fn propagation_strictly_reduces_probe_lps_on_fixed_instance() {
+    // Anti-correlated attributes force the search to branch deep enough
+    // that parents hand real bound facts to their children (a couple of
+    // hundred nodes), while staying fast in debug builds.
+    let rows: Vec<Vec<f64>> = (0..9)
+        .map(|i| vec![f64::from(i), f64::from(8 - i), f64::from((i * 5) % 7)])
+        .collect();
+    let mut positions: Vec<Option<u32>> = vec![None; 9];
+    positions[3] = Some(1);
+    positions[7] = Some(2);
+    let names = (0..3).map(|j| format!("A{j}")).collect();
+    let data = Dataset::from_rows(names, rows).expect("fixture rows");
+    let given = GivenRanking::from_positions(positions).expect("fixture ranking");
+    let problem = OptProblem::new(data, given).expect("fixture builds");
+    let warm = solve(&problem, true, false, 1);
+    let prop = solve(&problem, true, true, 1);
+    assert!(warm.optimal && prop.optimal);
+    assert_eq!(prop.error, warm.error, "propagation changed the optimum");
+    assert_eq!(warm.stats.probes_skipped, 0);
+    assert!(
+        prop.stats.probes_skipped > 0,
+        "propagation never skipped a probe"
+    );
+    assert!(
+        prop.stats.lp_solves * warm.stats.nodes < warm.stats.lp_solves * prop.stats.nodes,
+        "lp/node did not drop: prop {}/{} vs warm {}/{}",
+        prop.stats.lp_solves,
+        prop.stats.nodes,
+        warm.stats.lp_solves,
+        warm.stats.nodes
+    );
 }

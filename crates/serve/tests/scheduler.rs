@@ -39,23 +39,35 @@ fn deep_problem(n: usize, k: usize, twist: u64) -> OptProblem {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// N ≥ 4 jobs solved concurrently on one scheduler prove exactly
-    /// the optimal errors N sequential `RankHow::solve` calls prove,
+    /// N ≥ 4 jobs solved concurrently on one scheduler prove the same
+    /// *certified* optimum N sequential `RankHow::solve` calls prove,
     /// and every returned weight vector realizes its claimed error.
+    ///
+    /// Exact error equality is deliberately NOT asserted: the instances
+    /// are built with `Tolerances::exact()`, whose (ε2, ε1) = (0, 1e-12)
+    /// gap band is excluded from every optimality proof. Two searches
+    /// may legitimately return different errors when one's incumbent
+    /// sits inside that band (roughly 1% of jobs did, which made the
+    /// old `sol.error == seq_err` assertion flaky). What both searches
+    /// DO prove is a bracket on the certified optimum C* — the best
+    /// error over weight vectors avoiding the band:
+    /// `error ≤ C* ≤ certified_error`. The brackets must therefore
+    /// overlap in both directions, and when both final answers are
+    /// themselves certified they pin C* exactly and must agree.
     #[test]
     fn concurrent_jobs_match_sequential_solves(insts in prop::collection::vec(small_instance(), 4..6)) {
         let problems: Vec<OptProblem> = insts.iter().filter_map(build).collect();
         if problems.len() < 4 {
             return Err(TestCaseError::reject("invalid ranking"));
         }
-        let sequential: Vec<u64> = problems
+        let sequential: Vec<rankhow_core::Solution> = problems
             .iter()
             .map(|p| {
                 let sol = RankHow::with_config(SolverConfig { threads: 1, ..SolverConfig::default() })
                     .solve(p)
                     .expect("feasible unconstrained instance");
                 assert!(sol.optimal);
-                sol.error
+                sol
             })
             .collect();
         let scheduler = Scheduler::new(4);
@@ -63,12 +75,43 @@ proptest! {
             .iter()
             .map(|p| scheduler.spawn(p.clone(), SolverConfig::default()))
             .collect();
-        for ((handle, p), &seq_err) in handles.into_iter().zip(&problems).zip(&sequential) {
+        for ((handle, p), seq) in handles.into_iter().zip(&problems).zip(&sequential) {
             let sol = handle.join().expect("feasible unconstrained instance");
             prop_assert!(sol.optimal, "scheduler job must close the tree");
             prop_assert_eq!(sol.status, SolveStatus::Optimal);
-            prop_assert_eq!(sol.error, seq_err, "scheduler job diverged from sequential optimum");
             prop_assert_eq!(p.evaluate(&sol.weights), sol.error, "weights do not realize the error");
+            // Each search brackets the certified optimum C*:
+            // its error is a lower bound, its certified incumbent an
+            // upper bound. Cross-check the brackets pairwise.
+            prop_assert!(sol.error <= sol.certified_error);
+            prop_assert!(seq.error <= seq.certified_error);
+            prop_assert!(
+                sol.error <= seq.certified_error,
+                "scheduler lower bound {} exceeds sequential certified bound {}",
+                sol.error, seq.certified_error
+            );
+            prop_assert!(
+                seq.error <= sol.certified_error,
+                "sequential lower bound {} exceeds scheduler certified bound {}",
+                seq.error, sol.certified_error
+            );
+            if sol.certified_error != u64::MAX {
+                prop_assert_eq!(
+                    p.evaluate(&sol.certified_weights), sol.certified_error,
+                    "certified incumbent does not realize its error"
+                );
+                prop_assert!(
+                    !rankhow_core::verify::relies_on_gap_band(p, &sol.certified_weights),
+                    "certified incumbent relies on the gap band"
+                );
+            }
+            if sol.certified && seq.certified {
+                // Both answers avoid the band, so both equal C* exactly.
+                prop_assert_eq!(
+                    sol.error, seq.error,
+                    "certified optima diverged between scheduler and sequential"
+                );
+            }
         }
         let agg = scheduler.stats();
         prop_assert_eq!(agg.jobs, problems.len(), "aggregate stats count completed jobs");

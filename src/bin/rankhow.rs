@@ -302,12 +302,15 @@ fn report_stats(stats: &rankhow::core::SolverStats) {
     };
     eprintln!(
         "stats: {} nodes, {} lp solves ({} warm / {} cold starts, {} pivots), \
+         {} probes skipped ({} whole coords), \
          {} incumbents, {} live pairs, {} job(s){}",
         stats.nodes,
         stats.lp_solves,
         stats.lp_warm_starts,
         stats.lp_cold_starts,
         stats.lp_pivots,
+        stats.probes_skipped,
+        stats.coords_skipped,
         stats.incumbents,
         stats.live_pairs,
         stats.jobs.max(1),
