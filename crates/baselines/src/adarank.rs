@@ -38,7 +38,8 @@ struct Scaling {
 }
 
 fn scaling(inst: &Instance<'_>) -> Scaling {
-    let ranges = inst.features.column_ranges();
+    let mut ranges = Vec::new();
+    inst.features.column_ranges_into(&mut ranges);
     let lo = ranges.iter().map(|&(l, _)| l).collect();
     let span = ranges
         .iter()

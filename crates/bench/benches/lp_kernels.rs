@@ -1,0 +1,110 @@
+//! Microbenchmarks for the PR-7 batched arithmetic floor: the chunked
+//! pivot-row sweep at the bottom of every simplex iteration, and the
+//! batched multi-objective probe re-pricing against per-probe objective
+//! swaps on the canonical node-LP shape.
+//!
+//! Kept compiling by the CI `cargo bench --no-run` step; run with
+//! `cargo bench --bench lp_kernels`. Build with
+//! `--features scalar-kernels` to measure the scalar reference loops
+//! the chunked kernels replaced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rankhow_lp::{IncrementalLp, Op, ProbeOutcome, Problem, Sense};
+use std::hint::black_box;
+
+/// The row lengths a solver tableau actually has: small node LPs up to
+/// the widest regions the scaling workloads build.
+const ROW_LENS: [usize; 3] = [24, 96, 384];
+
+/// Pivot-row sweep: `y += a·x` over one tableau row, the single hottest
+/// loop in the solver (every Gauss-Jordan pivot runs it once per row).
+/// Benchmarked through the public kernel entry so the `scalar-kernels`
+/// feature swaps the implementation underneath.
+fn pivot_row_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_kernels/axpy_row");
+    for &len in &ROW_LENS {
+        let x: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &x, |b, x| {
+            let mut y: Vec<f64> = (0..len).map(|i| (i as f64).cos()).collect();
+            b.iter(|| {
+                rankhow_linalg::kernels::axpy(&mut y, -1.25, x);
+                black_box(y[len / 2])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The node-LP shape: weights on the simplex plus decision half-spaces.
+fn node_region(m: usize, cuts: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let w: Vec<_> = (0..m)
+        .map(|j| p.add_var(&format!("w{j}"), 0.0, 1.0, 0.0))
+        .collect();
+    let simplex: Vec<(usize, f64)> = w.iter().map(|&v| (v, 1.0)).collect();
+    p.add_constraint(&simplex, Op::Eq, 1.0);
+    for r in 0..cuts {
+        let terms: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, ((j + r) % 5) as f64 - 2.0))
+            .collect();
+        p.add_constraint(&terms, Op::Ge, 1e-4);
+    }
+    p
+}
+
+/// The `2m` box-tightening probes of one node, solved two ways:
+/// `per_probe` runs one objective swap (full reduced-cost rebuild +
+/// phase 2 + its own extraction) per probe; `batched` runs all of them
+/// in one `solve_objectives` sweep (support-row pricing, in-place
+/// phase 2, shared extractions).
+fn probe_repricing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_kernels/probe_repricing");
+    for &(m, cuts) in &[(5usize, 8usize), (8, 16)] {
+        let region = node_region(m, cuts);
+        let probes: Vec<(usize, Sense)> = (0..m)
+            .flat_map(|j| [(j, Sense::Minimize), (j, Sense::Maximize)])
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("per_probe", format!("m{m}_c{cuts}")),
+            &region,
+            |b, region| {
+                let mut inc = IncrementalLp::new();
+                b.iter(|| {
+                    inc.load(region, None).unwrap();
+                    let mut acc = 0.0;
+                    for &(j, sense) in &probes {
+                        acc += inc.solve_objective(&[(j, 1.0)], sense).unwrap().objective;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", format!("m{m}_c{cuts}")),
+            &region,
+            |b, region| {
+                let mut inc = IncrementalLp::new();
+                let mut out = Vec::new();
+                let mut wits = Vec::new();
+                b.iter(|| {
+                    inc.load(region, None).unwrap();
+                    inc.solve_objectives(&probes, &mut out, &mut wits);
+                    let mut acc = 0.0;
+                    for outcome in &out {
+                        acc += match *outcome {
+                            ProbeOutcome::Solved { value, .. } => value,
+                            ProbeOutcome::Failed => 0.0,
+                        };
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pivot_row_sweep, probe_repricing);
+criterion_main!(benches);

@@ -5,12 +5,13 @@
 //! Kept compiling by the CI `cargo bench --no-run` step; run with
 //! `cargo bench --bench solver_scaling`.
 //!
-//! `cargo bench --bench solver_scaling -- --json BENCH_PR6.json`
+//! `cargo bench --bench solver_scaling -- --json BENCH_PR7.json`
 //! skips the criterion loop and instead emits a machine-readable
-//! perf-trajectory report — nodes/sec, LPs/sec, pivots, probe-skip
-//! counters, and the LP warm-hit rate per workload, in three modes
-//! (`prop` = warm + decided-pair bound propagation, `warm` = warm
-//! only, `cold` = escape hatch) — so successive PRs can diff solver
+//! perf-trajectory report — nodes/sec, LPs/sec, pivots, probe-skip and
+//! probe-batch counters, and the LP warm-hit rate per workload, in four
+//! modes (`kern` = warm + propagation + batched probe re-pricing,
+//! `prop` = warm + decided-pair bound propagation, `warm` = warm only,
+//! `cold` = escape hatch) — so successive PRs can diff solver
 //! throughput without parsing bench prose.
 //!
 //! Interpretation note: on a single-core container
@@ -107,16 +108,18 @@ fn simplex_workspace(c: &mut Criterion) {
     group.finish();
 }
 
-/// One measured row of the `--json` report: a bounded solve of a named
-/// workload in one of three modes — `prop` (warm LPs + decided-pair
-/// bound propagation, the default engine), `warm` (warm LPs, no
-/// propagation — the PR-5 configuration), or `cold` (the
-/// everything-off escape hatch).
-fn json_row(name: &str, problem: &rankhow_core::OptProblem, mode: &str) -> String {
-    let (warm_lp, propagate) = match mode {
-        "prop" => (true, true),
-        "warm" => (true, false),
-        "cold" => (false, false),
+/// One timed solve of a workload in one of four modes — `kern` (warm
+/// LPs + propagation + batched probe re-pricing, the default engine),
+/// `prop` (warm LPs + decided-pair bound propagation, per-probe
+/// objective swaps — the PR-6 configuration), `warm` (warm LPs only —
+/// the PR-5 configuration), or `cold` (the everything-off escape
+/// hatch).
+fn timed_solve(problem: &rankhow_core::OptProblem, mode: &str) -> (f64, rankhow_core::Solution) {
+    let (warm_lp, propagate, batched_kernels) = match mode {
+        "kern" => (true, true, true),
+        "prop" => (true, true, false),
+        "warm" => (true, false, false),
+        "cold" => (false, false, false),
         other => panic!("unknown bench mode {other}"),
     };
     let start = std::time::Instant::now();
@@ -124,20 +127,26 @@ fn json_row(name: &str, problem: &rankhow_core::OptProblem, mode: &str) -> Strin
         threads: 1,
         warm_lp,
         propagate,
+        batched_kernels,
         node_limit: 3_000,
         time_limit: Some(Duration::from_secs(10)),
         ..SolverConfig::default()
     })
     .solve(problem)
     .unwrap();
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (start.elapsed().as_secs_f64().max(1e-9), sol)
+}
+
+/// Format one report row from a mode's fastest observed solve.
+fn json_row(name: &str, mode: &str, secs: f64, sol: &rankhow_core::Solution) -> String {
     let s = &sol.stats;
     let starts = (s.lp_warm_starts + s.lp_cold_starts).max(1);
     format!(
         concat!(
             "{{\"workload\":\"{}\",\"mode\":\"{}\",\"error\":{},\"optimal\":{},",
             "\"nodes\":{},\"lp_solves\":{},\"lp_pivots\":{},",
-            "\"probes_skipped\":{},\"coords_skipped\":{},\"lps_per_node\":{:.2},",
+            "\"probes_skipped\":{},\"coords_skipped\":{},",
+            "\"probes_batched\":{},\"batched_sweeps\":{},\"lps_per_node\":{:.2},",
             "\"nodes_per_sec\":{:.1},\"lps_per_sec\":{:.1},",
             "\"warm_hit_rate\":{:.4},\"elapsed_sec\":{:.6}}}"
         ),
@@ -150,6 +159,8 @@ fn json_row(name: &str, problem: &rankhow_core::OptProblem, mode: &str) -> Strin
         s.lp_pivots,
         s.probes_skipped,
         s.coords_skipped,
+        s.probe_objectives_batched,
+        s.batched_sweeps,
         s.lp_solves as f64 / s.nodes.max(1) as f64,
         s.nodes as f64 / secs,
         s.lp_solves as f64 / secs,
@@ -165,16 +176,33 @@ fn json_report(path: &std::path::Path) {
         ("anticorr_n120_k4", Distribution::AntiCorrelated, 120, 4),
         ("uniform_n600_k8", Distribution::Uniform, 600, 8),
     ];
-    let modes = ["prop", "warm", "cold"];
+    let modes = ["kern", "prop", "warm", "cold"];
     let mut rows = Vec::new();
     for (name, dist, n, k) in workloads {
         let problem = setups::synthetic_problem(dist, 0, n, 4, k, 3, false);
-        for mode in modes {
-            rows.push(json_row(name, &problem, mode));
+        // The solves are deterministic at threads=1, so the stats
+        // columns are fixed per mode and only the wall-clock varies.
+        // Interleave the modes round-robin and keep each mode's fastest
+        // observed solve: CPU-frequency and scheduler drift then hits
+        // every mode equally instead of biasing whichever row ran in a
+        // slow stretch (the smallest workload finishes in < 100 ms,
+        // where a single measurement would drown mode differences).
+        let mut best: Vec<Option<(f64, rankhow_core::Solution)>> = vec![None; modes.len()];
+        for _round in 0..5 {
+            for (i, mode) in modes.iter().enumerate() {
+                let (secs, sol) = timed_solve(&problem, mode);
+                if best[i].as_ref().map_or(true, |(b, _)| secs < *b) {
+                    best[i] = Some((secs, sol));
+                }
+            }
+        }
+        for (i, mode) in modes.iter().enumerate() {
+            let (secs, sol) = best[i].take().expect("measured above");
+            rows.push(json_row(name, mode, secs, &sol));
         }
     }
     let body = format!(
-        "{{\"bench\":\"solver_scaling\",\"pr\":6,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"solver_scaling\",\"pr\":7,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
         rows.join(",\n  ")
     );
     std::fs::write(path, &body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));

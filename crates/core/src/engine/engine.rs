@@ -10,9 +10,10 @@ use super::job::{SolveJob, StepOutcome};
 use super::{Solution, SolverConfig, SolverError, SolverStats};
 use crate::formulation::{self, ReducedSystem};
 use crate::OptProblem;
+use rankhow_linalg::kernels;
 use rankhow_lp::{
-    chebyshev_center_with, BasisSnapshot, IncrementalLp, LoadStatus, Op, Problem as Lp, Sense,
-    SimplexWorkspace, Status, VarId,
+    chebyshev_center_with, BasisSnapshot, IncrementalLp, LoadStatus, Op, ProbeOutcome,
+    Problem as Lp, Sense, SimplexWorkspace, Status, VarId,
 };
 use std::sync::Arc;
 
@@ -138,7 +139,10 @@ pub(super) fn side_holds(
     eps2: f64,
     margin: f64,
 ) -> bool {
-    let dot: f64 = diff.iter().zip(w).map(|(d, x)| d * x).sum();
+    // Chunked dot: reassociates the sum (a few ulps vs the sequential
+    // fold), safe here because every caller demands a margin ≥ 1e-7 —
+    // far above dot-product roundoff on unit-box inputs.
+    let dot = kernels::dot(diff, w);
     if side {
         dot >= eps1 + margin
     } else {
@@ -397,6 +401,129 @@ impl SearchView<'_> {
         .expect("a warm-loaded region is feasible (load established it)")
     }
 
+    /// Batched warm tightening ([`SolverConfig::batched_kernels`]):
+    /// apply the same skip rules in the same slot order as
+    /// [`SearchView::tighten_box_with`], then solve every surviving
+    /// probe in **one** [`IncrementalLp::solve_objectives`] sweep. The
+    /// sweep visits probes in slot order against the evolving basis —
+    /// the same pivots, bounds, and witnesses as the per-probe path,
+    /// bit for bit — but prices each probe from its ≤ 2 support rows
+    /// instead of a full reduced-cost rebuild and shares one optimizer
+    /// extraction across consecutive settled probes. Swept probes still
+    /// count as `lp_solves` — they are the same objective solves, just
+    /// cheaper — plus `probe_objectives_batched`; a failed probe maps
+    /// to [`Probe::Stuck`] exactly like the per-probe path's
+    /// non-optimal statuses do.
+    fn tighten_box_batched(
+        &self,
+        region: &Lp,
+        scratch: &mut EngineScratch,
+        inherit: Option<&Inherit<'_>>,
+    ) -> Tightened {
+        let m = self.problem.m();
+        let eps1 = self.problem.tol.eps1;
+        let eps2 = self.problem.tol.eps2;
+        let mut t = Tightened {
+            lo: vec![0.0; m],
+            hi: vec![1.0; m],
+            wit: vec![0.0; 2 * m * m],
+            wit_ok: vec![false; 2 * m],
+        };
+        // Phase A: skip rules (witness / untouched coordinate), same
+        // order and accounting as the sequential path; survivors queue.
+        let mut probes: Vec<(usize, Sense)> = Vec::with_capacity(2 * m);
+        let mut probe_slots: Vec<usize> = Vec::with_capacity(2 * m);
+        let mut coord_skips = vec![0u8; m];
+        for j in 0..m {
+            let untouched =
+                inherit.is_some_and(|inh| j < 64 && inh.prop.changed & (1u64 << j) == 0);
+            for (slot, sense) in [(j, Sense::Minimize), (m + j, Sense::Maximize)] {
+                let witness_alive = inherit.is_some_and(|inh| {
+                    inh.prop.wit_ok[slot]
+                        && side_holds(
+                            inh.diff,
+                            &inh.prop.wit[slot * m..(slot + 1) * m],
+                            inh.side,
+                            eps1,
+                            eps2,
+                            WITNESS_MARGIN,
+                        )
+                });
+                if witness_alive || untouched {
+                    let inh = inherit.unwrap();
+                    if slot < m {
+                        t.lo[j] = inh.prop.lo[j];
+                    } else {
+                        t.hi[j] = inh.prop.hi[j];
+                    }
+                    if witness_alive {
+                        t.wit[slot * m..(slot + 1) * m]
+                            .copy_from_slice(&inh.prop.wit[slot * m..(slot + 1) * m]);
+                        t.wit_ok[slot] = true;
+                    }
+                    scratch.stats.probes_skipped += 1;
+                    coord_skips[j] += 1;
+                    continue;
+                }
+                scratch.stats.lp_solves += 1;
+                probes.push((j, sense));
+                probe_slots.push(slot);
+            }
+        }
+        // Phase B: one sweep solves all survivors.
+        let mut outcomes: Vec<ProbeOutcome> = Vec::new();
+        let mut witnesses: Vec<Vec<f64>> = Vec::new();
+        if !probes.is_empty() {
+            scratch.stats.batched_sweeps += 1;
+            scratch
+                .inc
+                .solve_objectives(&probes, &mut outcomes, &mut witnesses);
+        }
+        // Phase C: resolve in slot order.
+        for (k, &slot) in probe_slots.iter().enumerate() {
+            let (j, _) = probes[k];
+            let p = match outcomes[k] {
+                ProbeOutcome::Solved { value, witness } => {
+                    scratch.stats.probe_objectives_batched += 1;
+                    Probe::Value(value, witnesses[witness].clone())
+                }
+                // The sweep failed this probe under exactly the
+                // conditions `solve_objective` reports a non-optimal
+                // status — which `probe_outcome` maps to `Stuck`.
+                ProbeOutcome::Failed => Probe::Stuck,
+            };
+            let (static_lo, static_hi) = region.bounds(j);
+            let resolved = if slot < m {
+                resolve_probe_lo(&p, static_lo)
+            } else {
+                resolve_probe_hi(&p, static_hi)
+            };
+            let bound = resolved.expect("a warm-loaded region is feasible (load established it)");
+            if slot < m {
+                t.lo[j] = bound;
+            } else {
+                t.hi[j] = bound;
+            }
+            if let Probe::Value(_, x) = p {
+                t.wit[slot * m..(slot + 1) * m].copy_from_slice(&x);
+                t.wit_ok[slot] = true;
+            }
+        }
+        // Per-coordinate accounting and the numerical guard, identical
+        // to the sequential path's per-j epilogue.
+        for j in 0..m {
+            if coord_skips[j] == 2 {
+                scratch.stats.coords_skipped += 1;
+            }
+            if t.lo[j] > t.hi[j] {
+                let mid = 0.5 * (t.lo[j] + t.hi[j]);
+                t.lo[j] = mid;
+                t.hi[j] = mid;
+            }
+        }
+        t
+    }
+
     /// Expand one node: tighten its box, classify the live pairs, prune
     /// by interval bound and position windows, sample an incumbent, and
     /// return the surviving children (empty for pruned nodes and leaves).
@@ -463,7 +590,9 @@ impl SearchView<'_> {
 
         // Tighten the node's weight box via per-coordinate LPs (minus
         // whatever probes bound propagation answers from parent facts).
-        let tightened = if inc_ready {
+        let tightened = if inc_ready && self.config.batched_kernels {
+            self.tighten_box_batched(&region, scratch, inherit.as_ref())
+        } else if inc_ready {
             self.tighten_box_warm(&region, scratch, inherit.as_ref())
         } else {
             match self.tighten_box(&region, scratch, inherit.as_ref()) {

@@ -128,6 +128,18 @@ pub struct SolverConfig {
     /// fact per node (the pre-propagation behaviour); the parity suite
     /// pins that both modes prove identical optimal errors.
     pub propagate: bool,
+    /// Batch the `2m` box-tightening probe objectives per node: one
+    /// [`rankhow_lp::IncrementalLp::solve_objectives`] sweep re-prices
+    /// every surviving probe against the loaded basis (≤ 2 chunked
+    /// row-axpys per probe instead of a full reduced-cost rebuild);
+    /// probes the basis already optimizes settle with zero pivots and
+    /// share one extraction, only the rest pay an individual phase-2
+    /// run. Requires [`SolverConfig::warm_lp`] (the cold path has no
+    /// shared tableau to sweep). `false` is the runtime escape hatch
+    /// that restores strictly per-probe objective swaps; the
+    /// compile-time `scalar-kernels` feature is the other hatch,
+    /// swapping the chunked kernels themselves for scalar loops.
+    pub batched_kernels: bool,
     /// Worker threads for the search ([`default_threads`] by default;
     /// values ≤ 1 run the sequential engine).
     ///
@@ -151,6 +163,7 @@ impl Default for SolverConfig {
             root_samples: 512,
             warm_lp: true,
             propagate: true,
+            batched_kernels: true,
             threads: default_threads(),
         }
     }
@@ -186,6 +199,15 @@ pub struct SolverStats {
     /// max probe) was skipped at some node — the per-coordinate view of
     /// `probes_skipped`.
     pub coords_skipped: usize,
+    /// Batched probe re-pricing sweeps run
+    /// ([`SolverConfig::batched_kernels`]): one per node whose warm
+    /// tightening had at least one probe survive the skip rules.
+    pub batched_sweeps: usize,
+    /// Probe objectives answered by a batch sweep — support-row pricing
+    /// instead of a full reduced-cost rebuild, shared optimizer
+    /// extraction across settled runs (each still counts in
+    /// `lp_solves`: it is the same objective solve, done cheaper).
+    pub probe_objectives_batched: usize,
     /// Incumbent improvements.
     pub incumbents: usize,
     /// Live indicator pairs after root constant-folding.
@@ -212,6 +234,8 @@ impl SolverStats {
         self.lp_pivots += other.lp_pivots;
         self.probes_skipped += other.probes_skipped;
         self.coords_skipped += other.coords_skipped;
+        self.batched_sweeps += other.batched_sweeps;
+        self.probe_objectives_batched += other.probe_objectives_batched;
         self.incumbents += other.incumbents;
         self.live_pairs += other.live_pairs;
         self.jobs += other.jobs;

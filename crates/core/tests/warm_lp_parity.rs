@@ -61,10 +61,21 @@ fn solve(
     propagate: bool,
     threads: usize,
 ) -> rankhow_core::Solution {
+    solve_b(problem, warm_lp, propagate, true, threads)
+}
+
+fn solve_b(
+    problem: &OptProblem,
+    warm_lp: bool,
+    propagate: bool,
+    batched_kernels: bool,
+    threads: usize,
+) -> rankhow_core::Solution {
     RankHow::with_config(SolverConfig {
         threads,
         warm_lp,
         propagate,
+        batched_kernels,
         ..SolverConfig::default()
     })
     .solve(problem)
@@ -117,6 +128,51 @@ proptest! {
         let cold4 = solve(&problem, false, false, 4);
         prop_assert_eq!(cold4.stats.lp_warm_starts, 0, "cold mode must not warm-start");
         prop_assert_eq!(cold4.error, cold.error);
+    }
+
+    /// The PR-7 three-way pin: the batched probe re-pricing sweep
+    /// (`batched_kernels: true`, the default), the per-probe warm path
+    /// (the runtime escape hatch), and the cold engine prove
+    /// bit-identical optimal errors across thread counts {1, 2, 4}. The
+    /// compile-time escape hatch is the third leg: CI re-runs this very
+    /// test under `--features scalar-kernels`, so scalar and chunked
+    /// kernels are pinned against the same family of instances.
+    #[test]
+    fn batched_and_per_probe_warm_prove_identical_optima(inst in small_instance()) {
+        let Some(problem) = build(&inst) else {
+            return Err(TestCaseError::reject("invalid ranking"));
+        };
+        let cold = solve_b(&problem, false, false, false, 1);
+        prop_assert!(cold.optimal, "cold search must close the tree");
+        for threads in [1usize, 2, 4] {
+            let batched = solve_b(&problem, true, true, true, threads);
+            let per_probe = solve_b(&problem, true, true, false, threads);
+            prop_assert!(batched.optimal && per_probe.optimal);
+            prop_assert_eq!(
+                batched.error, cold.error,
+                "batched ({} threads) disagrees with cold optimum", threads
+            );
+            prop_assert_eq!(
+                per_probe.error, cold.error,
+                "per-probe ({} threads) disagrees with cold optimum", threads
+            );
+            prop_assert_eq!(problem.evaluate(&batched.weights), batched.error);
+            prop_assert_eq!(problem.evaluate(&per_probe.weights), per_probe.error);
+            // The sweep really runs when enabled (a warm-loaded node's
+            // tightening sweeps unless every probe was skipped — the
+            // root's never are) and never when off. A search settled by
+            // a root heuristic expands no node and thus sweeps nothing.
+            prop_assert!(
+                batched.stats.nodes == 0 || batched.stats.batched_sweeps > 0,
+                "batched mode expanded {} nodes but never swept ({} threads)",
+                batched.stats.nodes, threads
+            );
+            prop_assert_eq!(
+                per_probe.stats.batched_sweeps, 0,
+                "escape hatch must not sweep"
+            );
+            prop_assert_eq!(per_probe.stats.probe_objectives_batched, 0);
+        }
     }
 
     /// Warm-starting performs at most as many simplex pivots as cold on

@@ -8,6 +8,7 @@
 //! strided gathers over row objects. Row access is still available
 //! (strided), but the hot paths are the columnar kernels below.
 
+use crate::kernels;
 use std::fmt;
 
 /// A dense `n × m` feature matrix stored column-major: column `j`
@@ -130,8 +131,10 @@ impl FeatureMatrix {
     }
 
     /// Batched score kernel: `out[i] = Σ_j weights[j] · A_j[i]` for every
-    /// tuple, as `m` contiguous axpy passes. Zero weights are skipped, so
-    /// sparse weight vectors cost only their support.
+    /// tuple, as `m` contiguous chunked [`kernels::axpy`] passes. Zero
+    /// weights are skipped, so sparse weight vectors cost only their
+    /// support. Bit-identical to the scalar accumulation (axpy is an
+    /// elementwise kernel — see the `kernels` exactness contract).
     pub fn scores_into(&self, weights: &[f64], out: &mut [f64]) {
         assert_eq!(weights.len(), self.m, "weight arity");
         assert_eq!(out.len(), self.n, "score buffer length");
@@ -140,10 +143,7 @@ impl FeatureMatrix {
             if w == 0.0 {
                 continue;
             }
-            let col = self.col(j);
-            for (o, &a) in out.iter_mut().zip(col) {
-                *o += w * a;
-            }
+            kernels::axpy(out, w, self.col(j));
         }
     }
 
@@ -170,11 +170,32 @@ impl FeatureMatrix {
     /// column at a time so each source column is read contiguously once.
     pub fn block_diffs_into(&self, block: &[usize], r: usize, out: &mut [f64]) {
         assert!(out.len() >= block.len() * self.m, "diff block size");
-        for j in 0..self.m {
+        let m = self.m;
+        for j in 0..m {
             let col = self.col(j);
             let base = col[r];
-            for (b, &s) in block.iter().enumerate() {
-                out[b * self.m + j] = col[s] - base;
+            // 4-lane chunked gather/subtract/scatter with a scalar tail
+            // (elementwise — bit-identical to the scalar loop). The
+            // gather indices come from `block`; the subtraction is the
+            // lane-parallel part.
+            let mut bc = block.chunks_exact(kernels::LANES);
+            let mut b = 0usize;
+            for ss in &mut bc {
+                let d = [
+                    col[ss[0]] - base,
+                    col[ss[1]] - base,
+                    col[ss[2]] - base,
+                    col[ss[3]] - base,
+                ];
+                out[b * m + j] = d[0];
+                out[(b + 1) * m + j] = d[1];
+                out[(b + 2) * m + j] = d[2];
+                out[(b + 3) * m + j] = d[3];
+                b += kernels::LANES;
+            }
+            for &s in bc.remainder() {
+                out[b * m + j] = col[s] - base;
+                b += 1;
             }
         }
     }
@@ -230,26 +251,32 @@ impl FeatureMatrix {
         self.m += 1;
     }
 
-    /// Per-column `(min, max)` spans in one contiguous pass each.
+    /// Per-column `(min, max)` spans written into `out` (cleared and
+    /// refilled; the buffer's capacity is reused across calls, so a
+    /// caller that sweeps ranges repeatedly pays no per-call
+    /// allocation). One contiguous chunked [`kernels::min_max`] pass
+    /// per column.
+    pub fn column_ranges_into(&self, out: &mut Vec<(f64, f64)>) {
+        out.clear();
+        out.reserve(self.m);
+        for j in 0..self.m {
+            out.push(kernels::min_max(self.col(j)));
+        }
+    }
+
+    /// Per-column `(min, max)` spans as a fresh vector (allocating
+    /// convenience wrapper over [`FeatureMatrix::column_ranges_into`]).
     pub fn column_ranges(&self) -> Vec<(f64, f64)> {
-        (0..self.m)
-            .map(|j| {
-                let col = self.col(j);
-                let mut lo = f64::INFINITY;
-                let mut hi = f64::NEG_INFINITY;
-                for &v in col {
-                    lo = lo.min(v);
-                    hi = hi.max(v);
-                }
-                (lo, hi)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.column_ranges_into(&mut out);
+        out
     }
 
     /// Min-max normalize every column to `[0, 1]` (constant columns
     /// become all-zero).
     pub fn min_max_normalized(&self) -> FeatureMatrix {
-        let ranges = self.column_ranges();
+        let mut ranges = Vec::new();
+        self.column_ranges_into(&mut ranges);
         let mut out = self.clone();
         for (j, (lo, hi)) in ranges.into_iter().enumerate() {
             let span = hi - lo;
@@ -376,6 +403,18 @@ mod tests {
         let n = f.min_max_normalized();
         assert_eq!(n.col(0), &[0.0, 0.5, 1.0]);
         assert_eq!(n.col(1), &[0.0, 0.0, 0.0]); // constant column
+    }
+
+    #[test]
+    fn column_ranges_into_reuses_the_buffer_and_matches() {
+        let f = sample();
+        let mut buf = vec![(9.9, 9.9); 16]; // stale content must be cleared
+        f.column_ranges_into(&mut buf);
+        assert_eq!(buf, f.column_ranges());
+        assert_eq!(buf, vec![(1.0, 10.0), (2.0, 11.0), (3.0, 12.0)]);
+        // A second call refills in place (same answer, no stale tail).
+        f.column_ranges_into(&mut buf);
+        assert_eq!(buf.len(), f.m());
     }
 
     #[test]

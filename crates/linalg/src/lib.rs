@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 mod features;
+pub mod kernels;
 mod matrix;
 mod solve;
 

@@ -13,6 +13,7 @@
 //! magnitude", which is also the numerically preferred choice.
 
 use crate::simplex::{self, PhaseOutcome, Tableau, FEAS_TOL, STALL_LIMIT, TOL};
+use rankhow_linalg::kernels;
 
 /// Outcome of a dual-simplex feasibility restore.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,16 +51,27 @@ pub(crate) fn dual_restore(t: &mut Tableau<'_>, cost: &mut [f64]) -> DualOutcome
     let max_iter = 500 + 200 * (t.rows + t.ncols);
     let mut stall = 0usize;
     let mut last_worst = f64::NEG_INFINITY;
+    let w = t.ncols + 1;
     for _ in 0..max_iter {
-        // Leaving row: most negative RHS.
+        // Leaving row: most negative RHS. The RHS column is strided, so
+        // the chunked scan gathers 4 entries at a time and folds them in
+        // row order — first-wins on exact ties, like the scalar sweep.
         let mut leave: Option<usize> = None;
         let mut worst = -TOL;
-        for r in 0..t.rows {
-            let rhs = t.rhs(r);
-            if rhs < worst {
-                worst = rhs;
-                leave = Some(r);
+        let mut r = 0usize;
+        while r < t.rows {
+            let lanes = (t.rows - r).min(kernels::LANES);
+            let mut rhs = [0.0f64; kernels::LANES];
+            for l in 0..lanes {
+                rhs[l] = t.a[(r + l) * w + t.ncols];
             }
+            for (l, &v) in rhs.iter().enumerate().take(lanes) {
+                if v < worst {
+                    worst = v;
+                    leave = Some(r + l);
+                }
+            }
+            r += lanes;
         }
         let Some(row) = leave else {
             return finish_feasible(t, cost);
@@ -69,34 +81,50 @@ pub(crate) fn dual_restore(t: &mut Tableau<'_>, cost: &mut [f64]) -> DualOutcome
         // entry in the leaving row, minimize the dual ratio
         // `cost[j] / −a_rj` (keeps the cost row dual feasible); ties
         // break to the largest |a_rj| for stability. In Bland mode take
-        // the smallest eligible index (anti-cycling).
-        let mut enter: Option<usize> = None;
-        let mut best_ratio = f64::INFINITY;
-        for j in 0..t.first_artificial {
-            let a = t.at(row, j);
-            if a >= -TOL {
-                continue;
-            }
-            if bland {
-                enter = Some(j);
-                break;
-            }
-            let ratio = cost[j].max(0.0) / -a;
-            let better = if ratio < best_ratio - TOL {
-                true
-            } else if ratio < best_ratio + TOL {
-                match enter {
-                    None => true,
-                    Some(e) => a.abs() > t.at(row, e).abs(),
+        // the smallest eligible index (anti-cycling). The leaving row is
+        // contiguous: Bland reduces to [`kernels::first_below`], and the
+        // Dantzig scan batches the speculative ratio divides 4 lanes at
+        // a time (ineligible lanes discarded) before folding candidates
+        // in column order under the exact scalar tie-break rules — the
+        // leader's `|a|` rides along so ties never re-read the tableau.
+        let lrow = &t.a[row * w..row * w + t.first_artificial];
+        let mut enter: Option<(usize, f64)> = None;
+        if bland {
+            enter = kernels::first_below(lrow, -TOL).map(|j| (j, lrow[j].abs()));
+        } else {
+            let mut best_ratio = f64::INFINITY;
+            let mut j = 0usize;
+            while j < lrow.len() {
+                let lanes = (lrow.len() - j).min(kernels::LANES);
+                let mut ratios = [0.0f64; kernels::LANES];
+                for l in 0..lanes {
+                    ratios[l] = cost[j + l].max(0.0) / -lrow[j + l];
                 }
-            } else {
-                false
-            };
-            if better {
-                best_ratio = ratio.min(best_ratio);
-                enter = Some(j);
+                for l in 0..lanes {
+                    let a = lrow[j + l];
+                    if a >= -TOL {
+                        continue;
+                    }
+                    let ratio = ratios[l];
+                    let better = if ratio < best_ratio - TOL {
+                        true
+                    } else if ratio < best_ratio + TOL {
+                        match enter {
+                            None => true,
+                            Some((_, eabs)) => a.abs() > eabs,
+                        }
+                    } else {
+                        false
+                    };
+                    if better {
+                        best_ratio = ratio.min(best_ratio);
+                        enter = Some((j + l, a.abs()));
+                    }
+                }
+                j += lanes;
             }
         }
+        let enter = enter.map(|(j, _)| j);
         let Some(col) = enter else {
             // No eligible negative entry: the row reads
             // `Σ (≥0)·(≥0) = rhs < 0` over the artificial-free space.
@@ -135,7 +163,7 @@ fn finish_feasible(t: &mut Tableau<'_>, cost: &mut [f64]) -> DualOutcome {
     if (0..first_art).all(|j| cost[j] >= -TOL) {
         return DualOutcome::Feasible;
     }
-    match simplex::run_phase(t, cost, |j| j < first_art) {
+    match simplex::run_phase(t, cost, first_art) {
         PhaseOutcome::Done => DualOutcome::Feasible,
         // The callers' regions are bounded, so either failure mode means
         // numerical trouble: degrade to the retry path rather than

@@ -12,12 +12,13 @@
 //! vectors per solve) keeps that loop allocation-free after warm-up.
 
 use crate::model::{Op, Problem, Sense, Solution, Status};
+use rankhow_linalg::kernels;
 
 /// Pivot tolerance: entries smaller than this are treated as zero.
 pub(crate) const TOL: f64 = 1e-9;
 /// Entering tolerance: reduced costs above `−ENTER_TOL` do not justify a
 /// pivot (looser than `TOL` to stop numerical churn near the optimum).
-const ENTER_TOL: f64 = 1e-8;
+pub(crate) const ENTER_TOL: f64 = 1e-8;
 /// Phase-1 objective above this value means infeasible.
 pub(crate) const FEAS_TOL: f64 = 1e-7;
 /// Iterations with no objective improvement before switching to Bland.
@@ -181,15 +182,19 @@ impl Tableau<'_> {
     }
 
     /// Gauss-Jordan pivot at (row, col), updating a cost row alongside.
+    ///
+    /// The row sweeps run through the chunked [`kernels`]: `y −= f·p`
+    /// is computed as `y += (−f)·p`, which IEEE 754 guarantees bitwise
+    /// identical (subtraction is addition of the negation, and negating
+    /// a product only flips its sign bit), so the vectorized pivot
+    /// produces the exact tableau the scalar loop did.
     pub(crate) fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
         *self.pivots += 1;
         let w = self.ncols + 1;
         let pivot = self.at(row, col);
         debug_assert!(pivot.abs() > TOL, "pivot too small");
         let inv = 1.0 / pivot;
-        for j in 0..w {
-            self.a[row * w + j] *= inv;
-        }
+        kernels::scale(&mut self.a[row * w..(row + 1) * w], inv);
         // Clean the pivot column exactly.
         self.set(row, col, 1.0);
         for r in 0..self.rows {
@@ -201,17 +206,20 @@ impl Tableau<'_> {
                 self.set(r, col, 0.0);
                 continue;
             }
-            for j in 0..w {
-                let delta = factor * self.a[row * w + j];
-                self.a[r * w + j] -= delta;
-            }
+            // Borrow the pivot row and target row disjointly.
+            let (prow, trow) = if row < r {
+                let (lo, hi) = self.a.split_at_mut(r * w);
+                (&lo[row * w..(row + 1) * w], &mut hi[..w])
+            } else {
+                let (lo, hi) = self.a.split_at_mut(row * w);
+                (&hi[..w], &mut lo[r * w..(r + 1) * w])
+            };
+            kernels::axpy(trow, -factor, prow);
             self.set(r, col, 0.0);
         }
         let factor = cost[col];
         if factor.abs() > 0.0 {
-            for j in 0..w {
-                cost[j] -= factor * self.a[row * w + j];
-            }
+            kernels::axpy(cost, -factor, &self.a[row * w..(row + 1) * w]);
             cost[col] = 0.0;
         }
         self.basis[row] = col;
@@ -229,9 +237,9 @@ pub(crate) fn reduced_costs_into(t: &Tableau<'_>, c: &[f64], out: &mut Vec<f64>)
     for row in 0..t.rows {
         let cb = c[t.basis[row]];
         if cb != 0.0 {
-            for j in 0..w {
-                out[j] -= cb * t.a[row * w + j];
-            }
+            // `out −= cb·row` as `out += (−cb)·row`: bitwise identical
+            // (see [`Tableau::pivot`]).
+            kernels::axpy(out, -cb, &t.a[row * w..(row + 1) * w]);
         }
     }
 }
@@ -242,59 +250,70 @@ pub(crate) enum PhaseOutcome {
     IterationLimit,
 }
 
-/// Run simplex iterations until optimal for the given cost row.
-/// `eligible(col)` filters which columns may enter (used to ban
-/// artificials in phase 2).
-pub(crate) fn run_phase(
-    t: &mut Tableau<'_>,
-    cost: &mut [f64],
-    eligible: impl Fn(usize) -> bool,
-) -> PhaseOutcome {
+/// Run simplex iterations until optimal for the given cost row. Columns
+/// `< limit` may enter (both callers' eligibility sets are prefixes:
+/// every column in phase 1, the non-artificial columns in phase 2), so
+/// the entering scans run as chunked kernels over `cost[..limit]`.
+///
+/// Pivot selection is bit-for-bit the historical scalar scan:
+/// [`kernels::argmin_first`] keeps the lowest-index minimum exactly like
+/// the strict `rc < best` sweep did, [`kernels::first_below`] is Bland's
+/// rule verbatim, and the ratio test batches only the *arithmetic*
+/// (4 strided column entries and their speculative divides per chunk,
+/// ineligible lanes discarded) while folding candidates in row order
+/// under the original tolerance-band tie-breaks.
+pub(crate) fn run_phase(t: &mut Tableau<'_>, cost: &mut [f64], limit: usize) -> PhaseOutcome {
     let max_iter = 500 + 200 * (t.rows + t.ncols);
     let mut stall = 0usize;
     let mut last_obj = f64::INFINITY;
+    let w = t.ncols + 1;
     for _ in 0..max_iter {
         let bland = stall >= STALL_LIMIT;
         // Entering column.
-        let mut enter: Option<usize> = None;
-        let mut best = -ENTER_TOL;
-        for j in 0..t.ncols {
-            if !eligible(j) {
-                continue;
+        let enter = if bland {
+            kernels::first_below(&cost[..limit], -ENTER_TOL)
+        } else {
+            match kernels::argmin_first(&cost[..limit]) {
+                Some((j, rc)) if rc < -ENTER_TOL => Some(j),
+                _ => None,
             }
-            let rc = cost[j];
-            if bland {
-                if rc < -ENTER_TOL {
-                    enter = Some(j);
-                    break;
-                }
-            } else if rc < best {
-                best = rc;
-                enter = Some(j);
-            }
-        }
+        };
         let Some(col) = enter else {
             return PhaseOutcome::Done;
         };
         // Ratio test (leaving row). In Bland mode ties break by smallest
         // basis index (termination guarantee); in Dantzig mode prefer
         // the largest pivot element among ties (numerical stability).
-        let mut leave: Option<usize> = None;
+        // The leader's column entry rides along in `leave` so the tie
+        // comparison never re-reads the tableau.
+        let mut leave: Option<(usize, f64)> = None;
         let mut best_ratio = f64::INFINITY;
-        for r in 0..t.rows {
-            let arc = t.at(r, col);
-            if arc > TOL {
-                let ratio = t.rhs(r) / arc;
+        let mut r = 0usize;
+        while r < t.rows {
+            let lanes = (t.rows - r).min(kernels::LANES);
+            let mut arcs = [0.0f64; kernels::LANES];
+            let mut ratios = [0.0f64; kernels::LANES];
+            for l in 0..lanes {
+                let arc = t.a[(r + l) * w + col];
+                arcs[l] = arc;
+                ratios[l] = t.a[(r + l) * w + t.ncols] / arc;
+            }
+            for l in 0..lanes {
+                let arc = arcs[l];
+                if arc <= TOL {
+                    continue;
+                }
+                let ratio = ratios[l];
                 let better = if ratio < best_ratio - TOL {
                     true
                 } else if ratio < best_ratio + TOL {
                     match leave {
                         None => true,
-                        Some(lr) => {
+                        Some((lr, larc)) => {
                             if bland {
-                                t.basis[r] < t.basis[lr]
+                                t.basis[r + l] < t.basis[lr]
                             } else {
-                                arc > t.at(lr, col)
+                                arc > larc
                             }
                         }
                     }
@@ -303,11 +322,12 @@ pub(crate) fn run_phase(
                 };
                 if better {
                     best_ratio = ratio.min(best_ratio);
-                    leave = Some(r);
+                    leave = Some((r + l, arc));
                 }
             }
+            r += lanes;
         }
-        let Some(row) = leave else {
+        let Some((row, _)) = leave else {
             return PhaseOutcome::Unbounded;
         };
         t.pivot(row, col, cost);
@@ -499,7 +519,7 @@ pub(crate) fn phase1(ws: &mut SimplexWorkspace, form: StdForm) -> Result<bool, S
         ws.obj[j] = 1.0;
     }
     reduced_costs_into(&t, &ws.obj, &mut ws.cost);
-    match run_phase(&mut t, &mut ws.cost, |_| true) {
+    match run_phase(&mut t, &mut ws.cost, ncols) {
         PhaseOutcome::Done => {}
         // Phase 1 objective is bounded below by 0; unbounded = bug.
         PhaseOutcome::Unbounded => return Err(SolveError::IterationLimit),
@@ -575,7 +595,7 @@ pub(crate) fn solve(
     if !feasibility_only {
         let first_art = t.first_artificial;
         reduced_costs_into(&t, &ws.obj, &mut ws.cost);
-        match run_phase(&mut t, &mut ws.cost, |j| j < first_art) {
+        match run_phase(&mut t, &mut ws.cost, first_art) {
             PhaseOutcome::Done => {}
             PhaseOutcome::Unbounded => {
                 return Ok(Solution {

@@ -303,6 +303,7 @@ fn report_stats(stats: &rankhow::core::SolverStats) {
     eprintln!(
         "stats: {} nodes, {} lp solves ({} warm / {} cold starts, {} pivots), \
          {} probes skipped ({} whole coords), \
+         {} probes batched ({} sweeps), \
          {} incumbents, {} live pairs, {} job(s){}",
         stats.nodes,
         stats.lp_solves,
@@ -311,6 +312,8 @@ fn report_stats(stats: &rankhow::core::SolverStats) {
         stats.lp_pivots,
         stats.probes_skipped,
         stats.coords_skipped,
+        stats.probe_objectives_batched,
+        stats.batched_sweeps,
         stats.incumbents,
         stats.live_pairs,
         stats.jobs.max(1),
