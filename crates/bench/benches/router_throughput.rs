@@ -116,6 +116,46 @@ fn queue_cap_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Repeated-query serving: a duplicate-heavy stream (half the queries
+/// repeat an earlier one) joined sequentially — the order real repeat
+/// traffic arrives in — with the cross-query solution cache on vs off.
+/// The cached rows answer every repeat with a stored solution (zero
+/// nodes, zero LPs); the uncached rows re-solve each one.
+fn repeated_query_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_cache");
+    group.sample_size(10);
+    let distinct = job_batch(4);
+    let stream: Vec<Arc<OptProblem>> = [0usize, 1, 0, 2, 1, 3, 2, 0]
+        .iter()
+        .map(|&i| Arc::clone(&distinct[i]))
+        .collect();
+    for cache in [true, false] {
+        let label = if cache { "cache_on" } else { "cache_off" };
+        group.bench_function(format!("repeat_p50_{label}"), |b| {
+            b.iter(|| {
+                let router = Router::new(RouterConfig {
+                    pools: 1,
+                    threads_per_pool: 1,
+                    cache,
+                    ..RouterConfig::default()
+                });
+                let errors: Vec<u64> = stream
+                    .iter()
+                    .map(|p| {
+                        router
+                            .spawn_shared(Arc::clone(p), job_config())
+                            .join()
+                            .expect("feasible workload")
+                            .error
+                    })
+                    .collect();
+                black_box(errors)
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The layering comparison: one scheduler pool of 4 workers versus a
 /// router of 2×2 — the direct cost of the extra routing layer on a
 /// fixed worker budget.
@@ -150,5 +190,11 @@ fn router_vs_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pools_sweep, queue_cap_sweep, router_vs_scheduler);
+criterion_group!(
+    benches,
+    pools_sweep,
+    queue_cap_sweep,
+    repeated_query_sweep,
+    router_vs_scheduler
+);
 criterion_main!(benches);

@@ -5,14 +5,19 @@
 //! Kept compiling by the CI `cargo bench --no-run` step; run with
 //! `cargo bench --bench solver_scaling`.
 //!
-//! `cargo bench --bench solver_scaling -- --json BENCH_PR7.json`
+//! `cargo bench --bench solver_scaling -- --json BENCH_PR8.json`
 //! skips the criterion loop and instead emits a machine-readable
 //! perf-trajectory report — nodes/sec, LPs/sec, pivots, probe-skip and
 //! probe-batch counters, and the LP warm-hit rate per workload, in four
 //! modes (`kern` = warm + propagation + batched probe re-pricing,
 //! `prop` = warm + decided-pair bound propagation, `warm` = warm only,
 //! `cold` = escape hatch) — so successive PRs can diff solver
-//! throughput without parsing bench prose.
+//! throughput without parsing bench prose. The report also carries
+//! repeated-query *serving* rows: duplicate-heavy and
+//! constraint-variant streams submitted sequentially through a router,
+//! comparing the cross-query solution cache (`cache` mode, hit/miss/
+//! eviction counters included) against cold per-query serving (`kern`
+//! mode).
 //!
 //! Interpretation note: on a single-core container
 //! (`std::thread::available_parallelism() == 1`) the >1-thread rows
@@ -24,10 +29,12 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rankhow_bench::setups;
-use rankhow_core::{RankHow, SolverConfig};
+use rankhow_core::{OptProblem, RankHow, SolverConfig, WeightConstraints};
 use rankhow_data::synthetic::Distribution;
 use rankhow_lp::{chebyshev_center, chebyshev_center_with, Op, Problem, Sense, SimplexWorkspace};
+use rankhow_router::{Router, RouterConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Thread sweep over the paper's synthetic distributions. The instances
@@ -169,6 +176,135 @@ fn json_row(name: &str, mode: &str, secs: f64, sol: &rankhow_core::Solution) -> 
     )
 }
 
+/// One serving pass: a query stream submitted sequentially (submit,
+/// join, next — the realistic order for repeated traffic: a duplicate
+/// arrives after its first solve completed) through a 1-pool × 1-worker
+/// router, with the cross-query cache on (`cache` mode) or off (`kern`
+/// mode — the PR-7 serving configuration).
+fn timed_serve(queries: &[Arc<OptProblem>], mode: &str) -> (f64, rankhow_router::RouterStats) {
+    let cache = match mode {
+        "cache" => true,
+        "kern" => false,
+        other => panic!("unknown serving mode {other}"),
+    };
+    let router = Router::new(RouterConfig {
+        pools: 1,
+        threads_per_pool: 1,
+        cache,
+        ..RouterConfig::default()
+    });
+    let start = std::time::Instant::now();
+    for query in queries {
+        let sol = router
+            .spawn_shared(
+                Arc::clone(query),
+                SolverConfig {
+                    time_limit: Some(Duration::from_secs(10)),
+                    ..SolverConfig::default()
+                },
+            )
+            .join()
+            .expect("feasible workload");
+        black_box(sol.error);
+    }
+    (start.elapsed().as_secs_f64().max(1e-9), router.stats())
+}
+
+/// Format one serving-report row.
+fn serve_row(
+    name: &str,
+    mode: &str,
+    repeat_p: f64,
+    queries: usize,
+    secs: f64,
+    stats: &rankhow_router::RouterStats,
+) -> String {
+    let s = &stats.solver;
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"mode\":\"{}\",\"repeat_p\":{:.2},",
+            "\"queries\":{},\"queries_per_sec\":{:.1},",
+            "\"cache_exact_hits\":{},\"cache_near_hits\":{},",
+            "\"cache_misses\":{},\"cache_evictions\":{},",
+            "\"nodes\":{},\"lp_solves\":{},\"lp_pivots\":{},\"elapsed_sec\":{:.6}}}"
+        ),
+        name,
+        mode,
+        repeat_p,
+        queries,
+        queries as f64 / secs,
+        stats.cache.exact_hits,
+        stats.cache.near_hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        s.nodes,
+        s.lp_solves,
+        s.lp_pivots,
+        secs,
+    )
+}
+
+/// Repeated-query serving rows: an exact-duplicate stream (half the
+/// queries repeat an earlier one) and a near-variant stream (same
+/// instance under a sweep of weight-constraint bounds), each served in
+/// `cache` and `kern` mode. Best-of-3, modes interleaved, mirroring the
+/// engine rows.
+fn serving_rows() -> Vec<String> {
+    let distinct: Vec<Arc<OptProblem>> = (0..4)
+        .map(|seed| {
+            Arc::new(setups::synthetic_problem(
+                Distribution::Uniform,
+                seed,
+                300,
+                4,
+                5,
+                3,
+                false,
+            ))
+        })
+        .collect();
+    // Half the stream repeats an already-seen query (repeat_p = 0.5).
+    let repeated: Vec<Arc<OptProblem>> = [0usize, 1, 0, 2, 1, 3, 2, 0]
+        .iter()
+        .map(|&i| Arc::clone(&distinct[i]))
+        .collect();
+    // Same instance, five progressively tighter constraint regions:
+    // every query after the first is a near hit for the cache.
+    let base = &distinct[0];
+    let variants: Vec<Arc<OptProblem>> = std::iter::once(Arc::clone(base))
+        .chain([0.9f64, 0.8, 0.7, 0.6].iter().map(|&bound| {
+            Arc::new(
+                (**base)
+                    .clone()
+                    .with_constraints(WeightConstraints::none().max_weight(0, bound))
+                    .expect("nonempty constrained region"),
+            )
+        }))
+        .collect();
+    let streams: [(&str, f64, &[Arc<OptProblem>]); 2] = [
+        ("repeat_uniform_n300_k5", 0.5, &repeated),
+        ("nearvar_uniform_n300_k5", 0.8, &variants),
+    ];
+    let modes = ["cache", "kern"];
+    let mut rows = Vec::new();
+    for (name, repeat_p, queries) in streams {
+        let mut best: Vec<Option<(f64, rankhow_router::RouterStats)>> = vec![None; modes.len()];
+        for _round in 0..3 {
+            for (i, mode) in modes.iter().enumerate() {
+                let (secs, stats) = timed_serve(queries, mode);
+                if best[i].as_ref().map_or(true, |(b, _)| secs < *b) {
+                    best[i] = Some((secs, stats));
+                }
+            }
+        }
+        for (i, mode) in modes.iter().enumerate() {
+            let (secs, stats) = best[i].take().expect("measured above");
+            rows.push(serve_row(name, mode, repeat_p, queries.len(), secs, &stats));
+        }
+    }
+    rows
+}
+
 /// Emit the machine-readable perf report (see the module docs).
 fn json_report(path: &std::path::Path) {
     let workloads = [
@@ -201,16 +337,14 @@ fn json_report(path: &std::path::Path) {
             rows.push(json_row(name, mode, secs, &sol));
         }
     }
+    rows.extend(serving_rows());
+    let total = rows.len();
     let body = format!(
-        "{{\"bench\":\"solver_scaling\",\"pr\":7,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"solver_scaling\",\"pr\":8,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
         rows.join(",\n  ")
     );
     std::fs::write(path, &body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-    println!(
-        "wrote {} ({} rows)",
-        path.display(),
-        modes.len() * workloads.len()
-    );
+    println!("wrote {} ({} rows)", path.display(), total);
 }
 
 criterion_group!(benches, thread_sweep, simplex_workspace);

@@ -163,14 +163,29 @@ pub(super) struct Tightened {
     pub wit_ok: Vec<bool>,
 }
 
-/// The bound-propagation inputs for one expansion: the parent's
-/// [`Propagated`] facts plus the single branch constraint that
-/// separates this node's region from the parent's (the node's last
-/// decision — the only row the parent's probes did not see).
+/// How a node's inherited facts are separated from the region they were
+/// proved over — the re-validation a witness must pass before its bound
+/// is reused.
+enum InheritGate<'a> {
+    /// The ordinary within-tree case: the facts come from the parent
+    /// expansion, and the one row they have not seen is the node's last
+    /// branch decision. A witness survives iff it satisfies that row.
+    Branch { diff: &'a [f64], side: bool },
+    /// A root node carrying cross-query facts
+    /// ([`super::RootSeed`]): the facts come from a *containing* cached
+    /// region, and the rows they have not seen are this instance's own
+    /// box bounds and weight constraints. A witness survives iff it lies
+    /// in the new root region outright — then the cached probe optimum
+    /// is attained inside the new region and the bound is exact.
+    Root,
+}
+
+/// The bound-propagation inputs for one expansion: the inherited
+/// [`Propagated`] facts plus the gate separating their region from this
+/// node's.
 struct Inherit<'a> {
     prop: &'a Propagated,
-    diff: &'a [f64],
-    side: bool,
+    gate: InheritGate<'a>,
 }
 
 /// Immutable per-step view of one job's search state. All mutable state
@@ -223,6 +238,32 @@ impl SearchView<'_> {
             true
         } else {
             false
+        }
+    }
+
+    /// Witness rule, shared by the sequential and batched tightening
+    /// paths: whether inherited witness row `slot` is still feasible for
+    /// this node's region under the inherit gate — branch nodes check
+    /// the one new branch row, cross-query root nodes check membership
+    /// in the new root region (box + weight constraints). A live witness
+    /// makes the inherited bound exact for this region.
+    fn witness_alive(&self, inh: &Inherit<'_>, slot: usize, m: usize) -> bool {
+        if !inh.prop.wit_ok[slot] {
+            return false;
+        }
+        let w = &inh.prop.wit[slot * m..(slot + 1) * m];
+        match inh.gate {
+            InheritGate::Branch { diff, side } => side_holds(
+                diff,
+                w,
+                side,
+                self.problem.tol.eps1,
+                self.problem.tol.eps2,
+                WITNESS_MARGIN,
+            ),
+            InheritGate::Root => {
+                in_box(w, self.box_lo, self.box_hi) && self.problem.constraints.satisfied_by(w)
+            }
         }
     }
 
@@ -279,8 +320,6 @@ impl SearchView<'_> {
         mut probe: impl FnMut(&mut EngineScratch, usize, Sense) -> Probe,
     ) -> Option<Tightened> {
         let m = self.problem.m();
-        let eps1 = self.problem.tol.eps1;
-        let eps2 = self.problem.tol.eps2;
         let mut t = Tightened {
             lo: vec![0.0; m],
             hi: vec![1.0; m],
@@ -295,20 +334,10 @@ impl SearchView<'_> {
                 inherit.is_some_and(|inh| j < 64 && inh.prop.changed & (1u64 << j) == 0);
             let mut coord_skips = 0usize;
             for (slot, sense) in [(j, Sense::Minimize), (m + j, Sense::Maximize)] {
-                // Witness rule: the parent's probe optimizer still
-                // satisfies the new constraint ⇒ the parent bound is
-                // exact here, and the witness itself propagates onward.
-                let witness_alive = inherit.is_some_and(|inh| {
-                    inh.prop.wit_ok[slot]
-                        && side_holds(
-                            inh.diff,
-                            &inh.prop.wit[slot * m..(slot + 1) * m],
-                            inh.side,
-                            eps1,
-                            eps2,
-                            WITNESS_MARGIN,
-                        )
-                });
+                // Witness rule: the inherited probe optimizer is still
+                // feasible here ⇒ the inherited bound is exact, and the
+                // witness itself propagates onward.
+                let witness_alive = inherit.is_some_and(|inh| self.witness_alive(inh, slot, m));
                 if witness_alive || untouched {
                     let inh = inherit.unwrap();
                     let bound = if slot < m {
@@ -421,8 +450,6 @@ impl SearchView<'_> {
         inherit: Option<&Inherit<'_>>,
     ) -> Tightened {
         let m = self.problem.m();
-        let eps1 = self.problem.tol.eps1;
-        let eps2 = self.problem.tol.eps2;
         let mut t = Tightened {
             lo: vec![0.0; m],
             hi: vec![1.0; m],
@@ -438,17 +465,7 @@ impl SearchView<'_> {
             let untouched =
                 inherit.is_some_and(|inh| j < 64 && inh.prop.changed & (1u64 << j) == 0);
             for (slot, sense) in [(j, Sense::Minimize), (m + j, Sense::Maximize)] {
-                let witness_alive = inherit.is_some_and(|inh| {
-                    inh.prop.wit_ok[slot]
-                        && side_holds(
-                            inh.diff,
-                            &inh.prop.wit[slot * m..(slot + 1) * m],
-                            inh.side,
-                            eps1,
-                            eps2,
-                            WITNESS_MARGIN,
-                        )
-                });
+                let witness_alive = inherit.is_some_and(|inh| self.witness_alive(inh, slot, m));
                 if witness_alive || untouched {
                     let inh = inherit.unwrap();
                     if slot < m {
@@ -536,16 +553,21 @@ impl SearchView<'_> {
     ) -> Result<Vec<Node>, SolverError> {
         let region = self.region(&node.decisions);
         let m = self.problem.m();
-        // Bound-propagation inputs: the parent's facts apply to this
-        // node's strictly smaller region; the one constraint those facts
-        // have not seen is the node's last (branch) decision.
+        // Bound-propagation inputs: the inherited facts apply to this
+        // node's (sub)region under the matching gate. A branch node's
+        // facts come from its parent, separated by the node's last
+        // decision; a *root* node carrying facts got them from a
+        // cross-query seed whose cached region contains this root.
         let inherit: Option<Inherit<'_>> = if self.config.propagate {
-            node.prop.as_deref().and_then(|prop| {
-                node.decisions.last().map(|&(idx, side)| Inherit {
-                    prop,
-                    diff: self.sys.diff(idx as usize),
-                    side,
-                })
+            node.prop.as_deref().map(|prop| {
+                let gate = match node.decisions.last() {
+                    Some(&(idx, side)) => InheritGate::Branch {
+                        diff: self.sys.diff(idx as usize),
+                        side,
+                    },
+                    None => InheritGate::Root,
+                };
+                Inherit { prop, gate }
             })
         } else {
             None

@@ -18,15 +18,18 @@
 
 use super::bounds::interval_bound;
 use super::engine::{in_box, EngineScratch, SearchView};
-use super::frontier::{Node, WorkPool};
+use super::frontier::{DecidedPairs, Node, Propagated, WorkPool};
 use super::incumbent::SharedIncumbent;
-use super::{SearchOrder, Solution, SolveStatus, SolverConfig, SolverError, SolverStats};
+use super::{
+    RootArtifacts, SearchOrder, Solution, SolveStatus, SolverConfig, SolverError, SolverStats,
+};
 use crate::formulation::{self, ReducedSystem};
 use crate::OptProblem;
-use rankhow_lp::Status;
+use rankhow_lp::{BasisSnapshot, Status};
 use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// What one [`SolveJob::step`] slice observed.
@@ -50,6 +53,14 @@ struct RootState {
     sys: ReducedSystem,
     slot_bounds: Vec<Option<(u32, u32)>>,
     has_position_constraints: bool,
+}
+
+/// What the root expansion produced for the root node's children — the
+/// payload a cross-query cache stores so a later near-identical solve
+/// can start from it ([`RootArtifacts`]).
+struct RootCapture {
+    basis: Option<Arc<BasisSnapshot>>,
+    prop: Option<Arc<Propagated>>,
 }
 
 /// One in-flight OPT solve, safe to step from many workers at once.
@@ -80,6 +91,10 @@ pub struct SolveJob<P: Borrow<OptProblem>> {
     /// [`Solution::certified_error`]).
     certified: SharedIncumbent,
     root: OnceLock<RootState>,
+    /// Facts the root expansion handed its children, kept for
+    /// [`SolveJob::root_artifacts`]. Set by whichever worker expands the
+    /// root node; stays empty when the root is pruned before expanding.
+    root_capture: OnceLock<RootCapture>,
     /// Taken (CAS) by the worker that runs root initialization.
     root_claim: AtomicBool,
     /// Set once the root node is pushed (or the root already proves the
@@ -121,6 +136,7 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
             incumbent: SharedIncumbent::new(Vec::new(), u64::MAX),
             certified: SharedIncumbent::new(Vec::new(), u64::MAX),
             root: OnceLock::new(),
+            root_capture: OnceLock::new(),
             root_claim: AtomicBool::new(false),
             root_done: AtomicBool::new(false),
             nodes: AtomicUsize::new(0),
@@ -270,6 +286,17 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                         self.pool.finish_node();
                         self.finish(Ok(SolveStatus::Optimal));
                         break StepOutcome::Done;
+                    }
+                    // Root expansion: keep the facts it handed the
+                    // children (both siblings share the Arcs) so the
+                    // cross-query cache can re-seed a later solve.
+                    if node.decisions.is_empty() {
+                        if let Some(first) = children.first() {
+                            let _ = self.root_capture.set(RootCapture {
+                                basis: first.basis.clone(),
+                                prop: first.prop.clone(),
+                            });
+                        }
                     }
                     for child in children {
                         self.pool.push(lane, child);
@@ -430,6 +457,36 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
             }
         }
 
+        // Cross-query root seed ([`SolverConfig::root_seed`], a cache
+        // near hit). Cached incumbents pass the exact warm-start gate
+        // above; cached artifacts are installed only after re-proving
+        // the containment they require — a failed proof silently
+        // degrades to a cold root, never to an unsound one.
+        let mut seeded_basis: Option<Arc<BasisSnapshot>> = None;
+        let mut seeded_prop: Option<Arc<Propagated>> = None;
+        if let Some(seed) = &self.config.root_seed {
+            scratch.stats.cache_near_hits += 1;
+            for w in &seed.incumbents {
+                if w.len() == problem.m()
+                    && problem.constraints.satisfied_by(w)
+                    && in_box(w, &self.box_lo, &self.box_hi)
+                {
+                    view.try_incumbent(w, &self.incumbent, &self.certified, &mut scratch.stats);
+                }
+            }
+            if let Some(art) = &seed.artifacts {
+                if self.config.warm_lp {
+                    // A basis snapshot is always safe to offer: the load
+                    // installs it onto the *new* region's tableau and
+                    // dual-restores (or falls back cold on mismatch).
+                    seeded_basis = art.basis.clone();
+                }
+                if self.config.propagate && self.region_within_cached(art) {
+                    seeded_prop = Some(Arc::new(self.translate_artifacts(art)));
+                }
+            }
+        }
+
         // Start heuristic: deterministic random simplex points inside
         // the box; good incumbents found here prune the tree everywhere.
         if self.config.root_samples > 0 && self.incumbent.error() > 0 {
@@ -481,12 +538,168 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                 Node {
                     decisions: Vec::new(),
                     bound: root_bound,
-                    basis: None,
-                    prop: None,
+                    basis: seeded_basis,
+                    prop: seeded_prop,
                 },
             );
         }
         self.root_done.store(true, Ordering::Release);
+    }
+
+    /// Containment proof for cross-query artifacts: is this job's root
+    /// region provably a subset of the cached region
+    /// `simplex ∩ [region_lo, region_hi] ∩ constraints` the artifacts
+    /// were derived over? Checks (1) per-coordinate containment of the
+    /// initial boxes and (2) that every cached constraint row is
+    /// dominated over an over-approximation of the new region — the new
+    /// box tightened by the single-variable rows of the *new*
+    /// constraints, maximized by [`formulation::box_simplex_max`]. Any
+    /// failure rejects all facts; only `false` negatives are possible.
+    fn region_within_cached(&self, art: &RootArtifacts) -> bool {
+        let problem = self.problem.borrow();
+        let m = problem.m();
+        if art.m != m
+            || art.region_lo.len() != m
+            || art.region_hi.len() != m
+            || art.lo.len() != m
+            || art.hi.len() != m
+            || art.wit_ok.len() != 2 * m
+            || art.wit.len() != 2 * m * m
+        {
+            return false;
+        }
+        const TOL: f64 = 1e-12;
+        let boxed = self
+            .box_lo
+            .iter()
+            .zip(&art.region_lo)
+            .all(|(new, cached)| *new >= *cached - TOL)
+            && self
+                .box_hi
+                .iter()
+                .zip(&art.region_hi)
+                .all(|(new, cached)| *new <= *cached + TOL);
+        if !boxed {
+            return false;
+        }
+        // Implied per-coordinate bounds of the new region: the initial
+        // box tightened by the new single-variable constraint rows
+        // (c·w_j ≤ rhs). Multi-variable rows are ignored — that only
+        // *loosens* the over-approximation, keeping the check sound.
+        let mut lo = self.box_lo.clone();
+        let mut hi = self.box_hi.clone();
+        for (coefs, rhs) in problem.constraints.rows() {
+            if let [(j, c)] = coefs {
+                if *c > 0.0 {
+                    hi[*j] = hi[*j].min(rhs / c);
+                } else if *c < 0.0 {
+                    lo[*j] = lo[*j].max(rhs / c);
+                }
+            }
+        }
+        if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+            // Empty implied box: the root feasibility LP will reject the
+            // job anyway; claim nothing.
+            return false;
+        }
+        let mut dense = vec![0.0; m];
+        for (coefs, rhs) in art.constraints.rows() {
+            dense.iter_mut().for_each(|d| *d = 0.0);
+            if coefs.iter().any(|&(j, _)| j >= m) {
+                return false;
+            }
+            for &(j, c) in coefs {
+                dense[j] = c;
+            }
+            match formulation::box_simplex_max(&dense, &lo, &hi) {
+                Some(v) if v <= rhs + 1e-9 => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Turn proven-sound cached artifacts into this job's root
+    /// [`Propagated`] payload: bounds and witnesses carry over verbatim
+    /// (the expansion re-gates each witness against the new region —
+    /// [`InheritGate::Root`](super::engine)), identity-keyed decided
+    /// pairs are translated into this reduction's pair indices (pairs
+    /// this reduction folded away are simply dropped), and the
+    /// changed-coordinates mask is saturated — many rows may differ
+    /// between the regions, so the untouched shortcut must not fire.
+    fn translate_artifacts(&self, art: &RootArtifacts) -> Propagated {
+        let root = self.root.get().expect("root state initialized");
+        let mut decided = DecidedPairs::new(root.sys.pairs.len());
+        if !art.decided.is_empty() {
+            let index: HashMap<(usize, usize), usize> = root
+                .sys
+                .pairs
+                .iter()
+                .enumerate()
+                .map(|(idx, p)| ((p.s, p.slot), idx))
+                .collect();
+            for &(s, slot, side) in &art.decided {
+                if let Some(&idx) = index.get(&(s, slot)) {
+                    decided.set(idx, side);
+                }
+            }
+        }
+        Propagated {
+            lo: art.lo.clone(),
+            hi: art.hi.clone(),
+            wit: art.wit.clone(),
+            wit_ok: art.wit_ok.clone(),
+            decided,
+            changed: u64::MAX,
+        }
+    }
+
+    /// The root facts this job can hand a cross-query cache: what its
+    /// root expansion gave the root's children, re-keyed by pair
+    /// identity. `None` until the root node has been expanded (and
+    /// forever for jobs pruned or cancelled before that).
+    pub fn root_artifacts(&self) -> Option<RootArtifacts> {
+        let capture = self.root_capture.get()?;
+        let root = self.root.get()?;
+        let problem = self.problem.borrow();
+        let m = problem.m();
+        let (lo, hi, wit, wit_ok, decided) = match capture.prop.as_deref() {
+            Some(p) => (
+                p.lo.clone(),
+                p.hi.clone(),
+                p.wit.clone(),
+                p.wit_ok.clone(),
+                root.sys
+                    .pairs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, pair)| {
+                        p.decided.get(idx).map(|side| (pair.s, pair.slot, side))
+                    })
+                    .collect(),
+            ),
+            // Propagation off: still worth caching the basis; the box
+            // "facts" are just the initial box with no witnesses.
+            None => (
+                self.box_lo.clone(),
+                self.box_hi.clone(),
+                vec![0.0; 2 * m * m],
+                vec![false; 2 * m],
+                Vec::new(),
+            ),
+        };
+        Some(RootArtifacts {
+            m,
+            constraints: problem.constraints.clone(),
+            region_lo: self.box_lo.clone(),
+            region_hi: self.box_hi.clone(),
+            lo,
+            hi,
+            wit,
+            wit_ok,
+            decided,
+            basis: capture.basis.clone(),
+        })
     }
 
     pub(super) fn view(&self) -> SearchView<'_> {

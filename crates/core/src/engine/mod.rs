@@ -61,8 +61,10 @@ pub(crate) use bounds::eval_in_system;
 pub use engine::EngineScratch;
 pub use job::{SolveJob, StepOutcome};
 
+use crate::problem::WeightConstraints;
 use crate::OptProblem;
-use rankhow_lp::SolveError;
+use rankhow_lp::{BasisSnapshot, SolveError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Node exploration order (ablation: `BestFirst` is the "modern solver"
@@ -140,6 +142,15 @@ pub struct SolverConfig {
     /// compile-time `scalar-kernels` feature is the other hatch,
     /// swapping the chunked kernels themselves for scalar loops.
     pub batched_kernels: bool,
+    /// Root seed from a cross-query solution cache ([`RootSeed`]): prior
+    /// solutions of a *containing* instance offered as incumbents, plus
+    /// optionally that solve's root artifacts (basis snapshot +
+    /// propagated facts). Incumbents are validated exactly like
+    /// [`SolverConfig::warm_start`]; artifacts are adopted only after
+    /// the engine re-proves the containment they require (see
+    /// [`RootArtifacts`]), so an unsound seed degrades to a plain cold
+    /// root rather than an unsound search.
+    pub root_seed: Option<Arc<RootSeed>>,
     /// Worker threads for the search ([`default_threads`] by default;
     /// values ≤ 1 run the sequential engine).
     ///
@@ -164,6 +175,7 @@ impl Default for SolverConfig {
             warm_lp: true,
             propagate: true,
             batched_kernels: true,
+            root_seed: None,
             threads: default_threads(),
         }
     }
@@ -210,6 +222,21 @@ pub struct SolverStats {
     pub probe_objectives_batched: usize,
     /// Incumbent improvements.
     pub incumbents: usize,
+    /// Queries answered entirely from a cross-query solution cache —
+    /// the stored [`Solution`] was returned without running any search
+    /// (router-level counter; an exact-hit solution carries `1` here and
+    /// zero nodes/LPs).
+    pub cache_exact_hits: usize,
+    /// Solves whose root was seeded from a cached near-identical query
+    /// ([`SolverConfig::root_seed`]): the cached incumbent(s) were
+    /// offered at node 0 and any sound cached artifacts installed.
+    pub cache_near_hits: usize,
+    /// Cache lookups that found neither an exact nor a near entry
+    /// (router-level counter).
+    pub cache_misses: usize,
+    /// Cache entries evicted by the LRU capacity policy (router-level
+    /// counter).
+    pub cache_evictions: usize,
     /// Live indicator pairs after root constant-folding.
     pub live_pairs: usize,
     /// Worker threads (blocking solve) or frontier lanes (scheduler
@@ -237,9 +264,79 @@ impl SolverStats {
         self.batched_sweeps += other.batched_sweeps;
         self.probe_objectives_batched += other.probe_objectives_batched;
         self.incumbents += other.incumbents;
+        self.cache_exact_hits += other.cache_exact_hits;
+        self.cache_near_hits += other.cache_near_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
         self.live_pairs += other.live_pairs;
         self.jobs += other.jobs;
     }
+}
+
+/// What a cross-query cache hands a near-hit solve to start from
+/// ([`SolverConfig::root_seed`]). Everything here is *advisory*: the
+/// engine re-validates each piece against the new instance before use,
+/// so a stale or mismatched seed can cost nothing worse than a cold
+/// root.
+#[derive(Clone, Debug)]
+pub struct RootSeed {
+    /// Candidate warm incumbents — typically the cached solution's
+    /// `weights` and `certified_weights`. Each is accepted only if it
+    /// has the right dimension, satisfies the new instance's weight
+    /// constraints, and lies in the new root box (the same gate as
+    /// [`SolverConfig::warm_start`]).
+    pub incumbents: Vec<Vec<f64>>,
+    /// Root artifacts of the cached solve, reusable only when the new
+    /// root region is provably contained in the cached one.
+    pub artifacts: Option<Arc<RootArtifacts>>,
+}
+
+/// Facts captured at one solve's root expansion, packaged for reuse by a
+/// later solve of a *near-identical* instance (same data, given ranking,
+/// tolerances, objective, and position windows; different weight
+/// constraints or initial box).
+///
+/// Soundness contract: the tightened box, probe witnesses, and decided
+/// pairs all hold over the cached root region `R_cached` (simplex ∩
+/// `region_lo..region_hi` ∩ `constraints`). A new solve may install them
+/// only after proving its own root region is a subset of `R_cached` —
+/// the engine checks per-coordinate box containment plus that every
+/// cached constraint row is dominated over (an over-approximation of)
+/// the new region. Witness rows are additionally re-gated at expansion
+/// time against the *new* region (box + constraints), and the
+/// changed-coordinates mask is force-saturated, disabling the untouched
+/// shortcut — many rows may differ between the regions, not one.
+#[derive(Clone, Debug)]
+pub struct RootArtifacts {
+    /// Weight dimension of the cached instance.
+    pub m: usize,
+    /// The cached instance's weight constraints (defining `R_cached`
+    /// together with `region_lo`/`region_hi`).
+    pub constraints: WeightConstraints,
+    /// The cached solve's initial weight box.
+    pub region_lo: Vec<f64>,
+    /// See [`RootArtifacts::region_lo`].
+    pub region_hi: Vec<f64>,
+    /// Root-tightened box (superset of `R_cached`).
+    pub lo: Vec<f64>,
+    /// See [`RootArtifacts::lo`].
+    pub hi: Vec<f64>,
+    /// Flat `2m × m` probe optimizers, as in the engine's propagated
+    /// facts: rows `0..m` are min-probe argmins, rows `m..2m` max-probe
+    /// argmaxes.
+    pub wit: Vec<f64>,
+    /// Validity flags for the `2m` witness rows.
+    pub wit_ok: Vec<bool>,
+    /// Pairs the cached root classification decided, stored by identity
+    /// `(tuple, slot, side)` rather than reduced-system index — pair
+    /// indices are a property of one reduction, identities are not.
+    pub decided: Vec<(usize, usize, bool)>,
+    /// The cached root expansion's optimal LP basis. Always sound to
+    /// offer: [`rankhow_lp::IncrementalLp::load`] installs it onto the
+    /// *new* region's tableau and restores feasibility by dual simplex
+    /// (the push-row delta machinery), falling back to a cold phase 1 on
+    /// any mismatch.
+    pub basis: Option<Arc<BasisSnapshot>>,
 }
 
 /// How a job (or blocking solve) terminated. Everything except

@@ -41,8 +41,8 @@ mod symgd;
 pub mod verify;
 
 pub use engine::{
-    default_threads, EngineScratch, RankHow, SearchOrder, Solution, SolveJob, SolveStatus,
-    SolverConfig, SolverError, SolverStats, StepOutcome,
+    default_threads, EngineScratch, RankHow, RootArtifacts, RootSeed, SearchOrder, Solution,
+    SolveJob, SolveStatus, SolverConfig, SolverError, SolverStats, StepOutcome,
 };
 pub use positions::PositionConstraints;
 pub use problem::{OptProblem, ProblemError, WeightConstraints};

@@ -1,0 +1,354 @@
+//! The cross-query solution cache: exact-hit returns and near-hit root
+//! warm starts in front of the router's pools.
+//!
+//! Ranking traffic is heavily repetitive — the same "why is X ranked
+//! above Y" query recurs with identical or near-identical instances —
+//! so the router consults this cache on every eligible spawn:
+//!
+//! - an **exact hit** (equal [`QueryKey::full`], verified structurally)
+//!   returns the stored [`Solution`] without touching a pool — zero
+//!   nodes, zero LPs, the handle completes immediately;
+//! - a **near hit** (equal [`QueryKey::shape`], different constraints)
+//!   seeds the new job's root with the cached incumbents and, when the
+//!   engine can prove the cached region contains the new one, the
+//!   cached basis snapshot and propagated root facts
+//!   ([`rankhow_core::RootSeed`]);
+//! - a **miss** runs cold and, if it completes [`SolveStatus::Optimal`],
+//!   is inserted for the next query.
+//!
+//! Policy: bounded capacity, sharded LRU — entries shard by
+//! `shape % shards` (one shard per pool by default), so exact and near
+//! candidates co-locate and concurrent lookups on different shards never
+//! serialize. Entries are only ever inserted from `Optimal` completions
+//! and invalidated when a re-solve of the same query ends non-`Optimal`.
+
+use crate::key::{same_constraints, same_shape, QueryKey};
+use rankhow_core::{OptProblem, RootArtifacts, Solution, SolveStatus, SolverStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A point-in-time snapshot of the cache counters (part of
+/// [`RouterStats`](crate::RouterStats)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered with a stored solution (no pool touched).
+    pub exact_hits: u64,
+    /// Lookups answered with a root warm-start seed.
+    pub near_hits: u64,
+    /// Lookups that found neither.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity policy.
+    pub evictions: u64,
+    /// Entries ever inserted (replacements of an existing key do not
+    /// count).
+    pub insertions: u64,
+    /// Entries resident at snapshot time.
+    pub entries: usize,
+}
+
+/// What one lookup produced.
+pub(crate) enum Lookup {
+    /// Verified exact hit: the stored solution, re-stamped with
+    /// exact-hit stats (zero nodes/LPs, `cache_exact_hits == 1`).
+    Exact(Solution),
+    /// Verified shape match with different constraints: seed material
+    /// for the new job's root.
+    Near {
+        /// Cached solution weights (plus certified weights when they
+        /// differ) to offer as root incumbents.
+        incumbents: Vec<Vec<f64>>,
+        /// The cached solve's root artifacts, if captured.
+        artifacts: Option<Arc<RootArtifacts>>,
+    },
+    /// Nothing usable cached.
+    Miss,
+}
+
+struct Entry {
+    full: u64,
+    shape: u64,
+    problem: Arc<OptProblem>,
+    solution: Solution,
+    artifacts: Option<Arc<RootArtifacts>>,
+    /// Recency stamp from the cache clock (higher = more recent).
+    last_used: u64,
+}
+
+/// The sharded LRU solution cache (see the module docs). Shared between
+/// the router's spawn path and the per-job completion hooks via `Arc`.
+pub(crate) struct SolutionCache {
+    shards: Vec<Mutex<Vec<Entry>>>,
+    /// Per-shard capacity: `cache_cap` split evenly (rounded up).
+    shard_cap: usize,
+    /// Monotone recency clock; one tick per lookup or insert.
+    clock: AtomicU64,
+    exact_hits: AtomicU64,
+    near_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// A cache of at most `cap` entries over `shards` shards (both
+    /// clamped to ≥ 1).
+    pub fn new(cap: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        SolutionCache {
+            shard_cap: cap.max(1).div_ceil(shards),
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            clock: AtomicU64::new(0),
+            exact_hits: AtomicU64::new(0),
+            near_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, shape: u64) -> usize {
+        (shape % self.shards.len() as u64) as usize
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Consult the cache for one admitted query. Exact hits verify full
+    /// structural equality behind the hash; near hits verify shape
+    /// equality and pick the most recently used same-shape entry.
+    pub fn lookup(&self, key: &QueryKey, problem: &OptProblem) -> Lookup {
+        let stamp = self.tick();
+        let mut shard = self.shards[self.shard_of(key.shape)].lock().unwrap();
+        if let Some(entry) = shard.iter_mut().find(|e| {
+            e.full == key.full
+                && same_shape(&e.problem, problem)
+                && same_constraints(&e.problem, problem)
+        }) {
+            entry.last_used = stamp;
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            let mut solution = entry.solution.clone();
+            // The returned stats describe *this* serving decision, not
+            // the original search: one job, answered from cache, zero
+            // nodes and LPs.
+            solution.stats = SolverStats {
+                jobs: 1,
+                cache_exact_hits: 1,
+                ..SolverStats::default()
+            };
+            return Lookup::Exact(solution);
+        }
+        if let Some(entry) = shard
+            .iter_mut()
+            .filter(|e| e.shape == key.shape && same_shape(&e.problem, problem))
+            .max_by_key(|e| e.last_used)
+        {
+            entry.last_used = stamp;
+            self.near_hits.fetch_add(1, Ordering::Relaxed);
+            let mut incumbents = vec![entry.solution.weights.clone()];
+            let certified = &entry.solution.certified_weights;
+            if !certified.is_empty() && certified != &entry.solution.weights {
+                incumbents.push(certified.clone());
+            }
+            return Lookup::Near {
+                incumbents,
+                artifacts: entry.artifacts.clone(),
+            };
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Lookup::Miss
+    }
+
+    /// Record one completed solve. Only proved-optimal solutions enter
+    /// the cache; any other status *invalidates* a stale entry under the
+    /// same key (the cached claim "this is the optimum" no longer has a
+    /// witness — e.g. the entry was adopted from a run that has since
+    /// been contradicted by a cancelled re-solve is impossible, but a
+    /// bounded re-solve must not leave the old entry pinned as LRU-hot).
+    pub fn record(
+        &self,
+        key: &QueryKey,
+        problem: &Arc<OptProblem>,
+        solution: &Solution,
+        artifacts: Option<Arc<RootArtifacts>>,
+    ) {
+        if solution.status != SolveStatus::Optimal {
+            self.invalidate(key);
+            return;
+        }
+        let stamp = self.tick();
+        let mut shard = self.shards[self.shard_of(key.shape)].lock().unwrap();
+        if let Some(entry) = shard.iter_mut().find(|e| e.full == key.full) {
+            entry.problem = Arc::clone(problem);
+            entry.solution = solution.clone();
+            entry.artifacts = artifacts;
+            entry.last_used = stamp;
+            return;
+        }
+        shard.push(Entry {
+            full: key.full,
+            shape: key.shape,
+            problem: Arc::clone(problem),
+            solution: solution.clone(),
+            artifacts,
+            last_used: stamp,
+        });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while shard.len() > self.shard_cap {
+            let victim = shard
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("shard over capacity is non-empty");
+            shard.swap_remove(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop the entry under `key`, if any (non-`Optimal` completion).
+    pub fn invalidate(&self, key: &QueryKey) {
+        let mut shard = self.shards[self.shard_of(key.shape)].lock().unwrap();
+        if let Some(idx) = shard.iter().position(|e| e.full == key.full) {
+            shard.swap_remove(idx);
+        }
+    }
+
+    /// Resident entry count across shards.
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            near_hits: self.near_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::query_key;
+    use rankhow_core::{RankHow, SolverConfig, WeightConstraints};
+    use rankhow_data::Dataset;
+    use rankhow_ranking::GivenRanking;
+
+    fn problem(variant: f64) -> Arc<OptProblem> {
+        let data = Dataset::from_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![3.0, 2.0, 8.0],
+                vec![4.0, 1.0, 15.0],
+                vec![1.0, 1.0, 14.0],
+                vec![2.0, variant, 9.0],
+            ],
+        )
+        .unwrap();
+        let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None, None]).unwrap();
+        Arc::new(OptProblem::new(data, pi).unwrap())
+    }
+
+    fn solved(problem: &OptProblem) -> Solution {
+        RankHow::with_config(SolverConfig {
+            threads: 1,
+            ..SolverConfig::default()
+        })
+        .solve(problem)
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_hit_round_trips_the_solution_with_fresh_stats() {
+        let cache = SolutionCache::new(8, 2);
+        let p = problem(5.0);
+        let key = query_key(&p);
+        let sol = solved(&p);
+        assert!(matches!(cache.lookup(&key, &p), Lookup::Miss));
+        cache.record(&key, &p, &sol, None);
+        match cache.lookup(&key, &p) {
+            Lookup::Exact(hit) => {
+                assert_eq!(hit.weights, sol.weights);
+                assert_eq!(hit.error, sol.error);
+                assert_eq!(hit.certified_error, sol.certified_error);
+                assert_eq!(hit.status, sol.status);
+                assert_eq!(hit.stats.nodes, 0);
+                assert_eq!(hit.stats.lp_solves, 0);
+                assert_eq!(hit.stats.cache_exact_hits, 1);
+            }
+            _ => panic!("expected an exact hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.exact_hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn near_hit_requires_equal_shape() {
+        let cache = SolutionCache::new(8, 1);
+        let base = problem(5.0);
+        let sol = solved(&base);
+        cache.record(&query_key(&base), &base, &sol, None);
+        // Same data, different constraints: near hit.
+        let constrained = Arc::new(
+            (*base.clone())
+                .clone()
+                .with_constraints(WeightConstraints::none().max_weight(0, 0.6))
+                .unwrap(),
+        );
+        match cache.lookup(&query_key(&constrained), &constrained) {
+            Lookup::Near { incumbents, .. } => assert!(!incumbents.is_empty()),
+            _ => panic!("expected a near hit"),
+        }
+        // Different data: miss (even if a shape-hash collision occurred,
+        // the structural check rules it out).
+        let other = problem(7.0);
+        assert!(matches!(
+            cache.lookup(&query_key(&other), &other),
+            Lookup::Miss
+        ));
+    }
+
+    #[test]
+    fn non_optimal_completion_invalidates() {
+        let cache = SolutionCache::new(8, 1);
+        let p = problem(5.0);
+        let key = query_key(&p);
+        let sol = solved(&p);
+        cache.record(&key, &p, &sol, None);
+        assert_eq!(cache.entries(), 1);
+        let mut bounded = sol.clone();
+        bounded.status = SolveStatus::Cancelled;
+        bounded.optimal = false;
+        cache.record(&key, &p, &bounded, None);
+        assert_eq!(cache.entries(), 0, "non-Optimal completions invalidate");
+        assert!(matches!(cache.lookup(&key, &p), Lookup::Miss));
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        // One shard, capacity 2: the least recently used entry goes.
+        let cache = SolutionCache::new(2, 1);
+        let (a, b, c) = (problem(5.0), problem(6.0), problem(7.0));
+        let (ka, kb, kc) = (query_key(&a), query_key(&b), query_key(&c));
+        let sol = solved(&a);
+        cache.record(&ka, &a, &sol, None);
+        cache.record(&kb, &b, &solved(&b), None);
+        // Touch `a` so `b` is the LRU entry when `c` arrives.
+        assert!(matches!(cache.lookup(&ka, &a), Lookup::Exact(_)));
+        cache.record(&kc, &c, &solved(&c), None);
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(matches!(cache.lookup(&ka, &a), Lookup::Exact(_)));
+        assert!(matches!(cache.lookup(&kc, &c), Lookup::Exact(_)));
+        assert!(
+            matches!(cache.lookup(&kb, &b), Lookup::Miss),
+            "b was evicted as least recently used"
+        );
+    }
+}

@@ -51,6 +51,18 @@ pub struct RouterConfig {
     /// admissions (see [`Router::rebalance`](crate::Router::rebalance)).
     /// `0` disables automatic ticks — rebalancing is then explicit.
     pub rebalance_every: u64,
+    /// Whether the cross-query solution cache sits in front of
+    /// placement (default `true`): exact fingerprint matches return the
+    /// stored solution without touching a pool, and same-shape queries
+    /// with different weight constraints warm-start from the cached
+    /// root. Disable for strictly independent re-solves (e.g. when
+    /// measuring cold-solve throughput, or when admission counters must
+    /// see every duplicate).
+    pub cache: bool,
+    /// Capacity of the solution cache in entries, LRU-evicted and
+    /// sharded across pools. `0` disables the cache just like
+    /// [`RouterConfig::cache`]` = false`.
+    pub cache_cap: usize,
 }
 
 impl Default for RouterConfig {
@@ -64,6 +76,8 @@ impl Default for RouterConfig {
             placement: Placement::QueryHash,
             backpressure: false,
             rebalance_every: 64,
+            cache: true,
+            cache_cap: 512,
         }
     }
 }

@@ -1,0 +1,188 @@
+//! Canonical query fingerprinting: the cache key and placement hash.
+//!
+//! One FNV-1a pass over the instance yields two keys
+//! ([`QueryKey`]): `shape` covers everything *except* the weight
+//! constraints (dimensions, given ranking, feature bits, tolerances,
+//! objective, position windows) and `full` extends it over the
+//! constraint rows. Two queries with equal `full` keys are candidates
+//! for an exact cache hit; equal `shape` but different `full` marks a
+//! *near* hit — same instance, different weight-constraint region —
+//! the case the cache answers with a root warm start instead of a
+//! stored solution. Hashes are advisory: the cache re-verifies every
+//! hit by structural comparison before using it, so a 64-bit collision
+//! costs a missed hit, never a wrong answer.
+
+use rankhow_core::{ErrorMeasure, OptProblem};
+
+/// The two-level canonical key of one query (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueryKey {
+    /// Hash of the instance shape: n, m, given ranking, feature bits,
+    /// tolerances, objective, position windows — everything but the
+    /// weight constraints.
+    pub shape: u64,
+    /// `shape` extended over the weight-constraint rows: the exact-hit
+    /// identity of the query.
+    pub full: u64,
+}
+
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(hash: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *hash = (*hash ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+}
+
+/// Compute both key levels in one pass over the instance. Stable across
+/// runs and processes (no pointer or `RandomState` input), so both
+/// query-hash placement and cache keys are reproducible. Cost is one
+/// walk over the feature matrix — noise next to the thousands of LP
+/// solves a query triggers, and paid **once** per admission: the router
+/// reuses the key for placement, the cache lookup, and the queued-job
+/// fingerprint.
+pub fn query_key(problem: &OptProblem) -> QueryKey {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    mix(&mut hash, problem.n() as u64);
+    mix(&mut hash, problem.m() as u64);
+    for position in problem.given.positions() {
+        mix(&mut hash, position.map_or(u64::MAX, u64::from));
+    }
+    for j in 0..problem.m() {
+        for &value in problem.data.col(j) {
+            mix(&mut hash, value.to_bits());
+        }
+    }
+    mix(&mut hash, problem.tol.eps.to_bits());
+    mix(&mut hash, problem.tol.eps1.to_bits());
+    mix(&mut hash, problem.tol.eps2.to_bits());
+    mix(&mut hash, problem.tol.tau.to_bits());
+    mix(
+        &mut hash,
+        match problem.objective {
+            ErrorMeasure::Position => 0,
+            ErrorMeasure::KendallTau => 1,
+            ErrorMeasure::TopWeighted => 2,
+        },
+    );
+    for (tuple, (lo, hi)) in problem.positions.iter() {
+        mix(&mut hash, tuple as u64);
+        mix(&mut hash, u64::from(lo));
+        mix(&mut hash, u64::from(hi));
+    }
+    let shape = hash;
+    mix(&mut hash, problem.constraints.len() as u64);
+    for (coefs, rhs) in problem.constraints.rows() {
+        mix(&mut hash, coefs.len() as u64);
+        for &(j, c) in coefs {
+            mix(&mut hash, j as u64);
+            mix(&mut hash, c.to_bits());
+        }
+        mix(&mut hash, rhs.to_bits());
+    }
+    QueryKey { shape, full: hash }
+}
+
+/// The full canonical fingerprint of one query — what query-hash
+/// placement and the cross-query cache key on. Equivalent to
+/// [`query_key`]`(problem).full`.
+pub fn fingerprint(problem: &OptProblem) -> u64 {
+    query_key(problem).full
+}
+
+/// Structural shape equality: every [`QueryKey::shape`] component
+/// compared bit for bit. The cache runs this behind a shape-hash match
+/// to rule out 64-bit collisions before trusting a near hit.
+pub(crate) fn same_shape(a: &OptProblem, b: &OptProblem) -> bool {
+    a.n() == b.n()
+        && a.m() == b.m()
+        && a.given.positions() == b.given.positions()
+        && a.tol.eps.to_bits() == b.tol.eps.to_bits()
+        && a.tol.eps1.to_bits() == b.tol.eps1.to_bits()
+        && a.tol.eps2.to_bits() == b.tol.eps2.to_bits()
+        && a.tol.tau.to_bits() == b.tol.tau.to_bits()
+        && a.objective == b.objective
+        && a.positions == b.positions
+        && (0..a.m()).all(|j| {
+            let (ca, cb) = (a.data.col(j), b.data.col(j));
+            ca.len() == cb.len() && ca.iter().zip(cb).all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+}
+
+/// Structural constraint equality, bit for bit — [`same_shape`] plus
+/// this is full query identity (the exact-hit verification).
+pub(crate) fn same_constraints(a: &OptProblem, b: &OptProblem) -> bool {
+    a.constraints.len() == b.constraints.len()
+        && a.constraints.rows().zip(b.constraints.rows()).all(
+            |((coefs_a, rhs_a), (coefs_b, rhs_b))| {
+                rhs_a.to_bits() == rhs_b.to_bits()
+                    && coefs_a.len() == coefs_b.len()
+                    && coefs_a
+                        .iter()
+                        .zip(coefs_b)
+                        .all(|((ja, ca), (jb, cb))| ja == jb && ca.to_bits() == cb.to_bits())
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankhow_core::WeightConstraints;
+    use rankhow_data::Dataset;
+    use rankhow_ranking::GivenRanking;
+
+    fn base_problem() -> OptProblem {
+        let data = Dataset::from_rows(
+            vec!["A1".into(), "A2".into(), "A3".into()],
+            vec![
+                vec![3.0, 2.0, 8.0],
+                vec![4.0, 1.0, 15.0],
+                vec![1.0, 1.0, 14.0],
+            ],
+        )
+        .unwrap();
+        let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+        OptProblem::new(data, pi).unwrap()
+    }
+
+    #[test]
+    fn identical_problems_share_both_keys() {
+        let (a, b) = (base_problem(), base_problem());
+        assert_eq!(query_key(&a), query_key(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(same_shape(&a, &b));
+        assert!(same_constraints(&a, &b));
+    }
+
+    #[test]
+    fn constraints_change_full_but_not_shape() {
+        let a = base_problem();
+        let b = base_problem()
+            .with_constraints(WeightConstraints::none().max_weight(0, 0.5))
+            .unwrap();
+        let (ka, kb) = (query_key(&a), query_key(&b));
+        assert_eq!(ka.shape, kb.shape, "constraints are outside the shape");
+        assert_ne!(ka.full, kb.full, "constraints are inside the full key");
+        assert!(same_shape(&a, &b));
+        assert!(!same_constraints(&a, &b));
+    }
+
+    #[test]
+    fn data_change_shifts_the_shape() {
+        let a = base_problem();
+        let data = Dataset::from_rows(
+            vec!["A1".into(), "A2".into(), "A3".into()],
+            vec![
+                vec![3.0, 2.0, 8.0],
+                vec![4.0, 1.0, 15.0],
+                vec![1.0, 2.0, 14.0],
+            ],
+        )
+        .unwrap();
+        let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None]).unwrap();
+        let b = OptProblem::new(data, pi).unwrap();
+        assert_ne!(query_key(&a).shape, query_key(&b).shape);
+        assert!(!same_shape(&a, &b));
+    }
+}

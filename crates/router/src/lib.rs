@@ -41,11 +41,22 @@
 //!   [`SolverStats`](rankhow_core::SolverStats), queue depths, and the
 //!   admission/rejection/migration counters into a [`RouterStats`]
 //!   snapshot.
+//! - A **cross-query solution cache** sits in front of placement
+//!   ([`RouterConfig::cache`], on by default): a query whose canonical
+//!   fingerprint ([`query_key`]) matches a cached proved-optimal solve
+//!   completes immediately without touching a pool, and a query that
+//!   differs only in its weight constraints warm-starts from the cached
+//!   incumbent, LP basis, and (containment-proved) root facts. Hit,
+//!   miss, and eviction counters land in [`RouterStats::cache`].
 //!
 //! Routed solves are bit-identical to single-scheduler solves: the
 //! router decides *where* a job runs, never *how* — with one worker per
 //! pool, every placement policy returns exactly the errors one
-//! scheduler would.
+//! scheduler would. The cache keeps that bar: an exact hit returns the
+//! stored solution bit for bit, and a near hit only ever *adds* root
+//! information the engine re-validates, so the certified bracket
+//! (`error ≤ C* ≤ certified_error`) of a cached or warm-seeded solve
+//! always overlaps the cold solve's bracket.
 //!
 //! ```
 //! use rankhow_core::{OptProblem, SolverConfig};
@@ -74,10 +85,14 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
+mod key;
 mod router;
 mod stats;
 
+pub use cache::CacheStats;
 pub use config::{Placement, RouterConfig};
+pub use key::{fingerprint, query_key, QueryKey};
 pub use router::Router;
 pub use stats::{PoolSnapshot, RouterStats};

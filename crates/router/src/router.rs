@@ -1,9 +1,13 @@
 //! The router: P scheduler pools behind one `spawn` surface.
 
+use crate::cache::{Lookup, SolutionCache};
 use crate::config::{Placement, RouterConfig};
+use crate::key::{self, query_key, QueryKey};
 use crate::stats::{PoolSnapshot, RouterStats};
-use rankhow_core::{CellScheduler, OptProblem, Solution, SolverConfig, SolverError, SolverStats};
-use rankhow_serve::{Scheduler, SolveHandle};
+use rankhow_core::{
+    CellScheduler, OptProblem, RootSeed, Solution, SolverConfig, SolverError, SolverStats,
+};
+use rankhow_serve::{Scheduler, SolveHandle, SpawnOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,13 +34,21 @@ const BACKPRESSURE_POLL: Duration = Duration::from_millis(2);
 ///   shallowest. Un-started jobs have no root state, so a migration
 ///   moves nothing but the queue entry;
 /// - **observability** ([`Router::stats`]): per-pool and aggregate
-///   engine statistics plus admission/rejection/migration counters.
+///   engine statistics plus admission/rejection/migration counters;
+/// - a **cross-query solution cache** ([`RouterConfig::cache`],
+///   counters in [`CacheStats`](crate::CacheStats)): exact repeats of a
+///   proved-optimal query complete from the cache without ever
+///   reaching a pool, and same-shape queries with different weight
+///   constraints warm-start from the cached root.
 ///
 /// Dropping the router drops every pool: outstanding jobs are cancelled
 /// cooperatively and their joiners unblock with best-so-far results.
 pub struct Router {
     pools: Vec<Scheduler>,
     config: RouterConfig,
+    /// The cross-query solution cache, `None` when disabled. Shared
+    /// with the completion hooks of every admitted cache-eligible job.
+    cache: Option<Arc<SolutionCache>>,
     admissions: AtomicU64,
     rejections: AtomicU64,
     migrations: AtomicU64,
@@ -50,6 +62,8 @@ impl Router {
         let pools = config.pools.max(1);
         let threads = config.threads_per_pool.max(1);
         let slice = config.slice_nodes.max(1);
+        let cache = (config.cache && config.cache_cap > 0)
+            .then(|| Arc::new(SolutionCache::new(config.cache_cap, pools)));
         Router {
             pools: (0..pools)
                 .map(|_| Scheduler::with_slice(threads, slice))
@@ -60,6 +74,7 @@ impl Router {
                 slice_nodes: slice,
                 ..config
             },
+            cache,
             admissions: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             migrations: AtomicU64::new(0),
@@ -99,13 +114,55 @@ impl Router {
         mut config: SolverConfig,
         backpressure: bool,
     ) -> SolveHandle {
+        // One canonical-key pass per admission: placement, the cache
+        // lookup, and the queued-job fingerprint all reuse it —
+        // placement retries and rebalancing never re-walk the feature
+        // matrix.
+        let keyed = (self.cache.is_some() || self.config.placement == Placement::QueryHash)
+            .then(|| query_key(&problem));
+        let mut opts = SpawnOptions {
+            fingerprint: keyed.map(|k| k.full),
+            ..SpawnOptions::default()
+        };
+        if let (Some(cache), Some(query)) = (&self.cache, keyed) {
+            // Only plain spawns go through the cache. A query that
+            // arrives with its own region or seed (a SYM-GD cell mid
+            // chain, a caller-narrowed re-solve) is not the whole-simplex
+            // instance the key describes — serving it a cached answer
+            // would answer a different question.
+            if config.initial_box.is_none() && config.root_seed.is_none() {
+                match cache.lookup(&query, &problem) {
+                    Lookup::Exact(solution) => return SolveHandle::completed(solution),
+                    Lookup::Near {
+                        incumbents,
+                        artifacts,
+                    } => {
+                        config.root_seed = Some(Arc::new(RootSeed {
+                            incumbents,
+                            artifacts,
+                        }));
+                    }
+                    Lookup::Miss => {}
+                }
+                opts.on_complete = Some(Self::record_hook(
+                    Arc::clone(cache),
+                    Arc::clone(&problem),
+                    query,
+                ));
+            }
+        }
         // Query-hash placement is a function of the problem alone —
-        // hash once, not per retry (the fingerprint walks the whole
-        // feature matrix). Least-loaded placement is recomputed on
-        // every retry instead: a blocked spawner re-routes to whichever
-        // pool drained first rather than camping on its original choice.
+        // pinned once from the precomputed key. Least-loaded placement
+        // is recomputed on every retry instead: a blocked spawner
+        // re-routes to whichever pool drained first rather than camping
+        // on its original choice.
         let pinned = match self.config.placement {
-            Placement::QueryHash => Some(self.place(&problem)),
+            Placement::QueryHash => {
+                let full = keyed
+                    .expect("QueryHash placement always computes the key")
+                    .full;
+                Some((full % self.pools.len() as u64) as usize)
+            }
             Placement::LeastLoaded => None,
         };
         loop {
@@ -118,7 +175,7 @@ impl Router {
                 self.park(pool);
                 continue;
             }
-            match self.pools[pool].try_spawn_shared(problem, config, self.config.queue_cap) {
+            match self.pools[pool].try_spawn_with(problem, config, self.config.queue_cap, opts) {
                 Ok(handle) => {
                     self.admissions.fetch_add(1, Ordering::AcqRel);
                     self.auto_tick();
@@ -127,6 +184,7 @@ impl Router {
                 Err(refused) => {
                     problem = refused.problem;
                     config = refused.config;
+                    opts = refused.opts;
                     if !backpressure {
                         self.rejections.fetch_add(1, Ordering::AcqRel);
                         return SolveHandle::rejected();
@@ -135,6 +193,20 @@ impl Router {
                 }
             }
         }
+    }
+
+    /// The completion hook an admitted cache-eligible job carries: runs
+    /// on the finalizing worker (before joiners wake) and records the
+    /// result, so a sequential re-submit of the same query after `join`
+    /// is guaranteed to hit.
+    fn record_hook(
+        cache: Arc<SolutionCache>,
+        problem: Arc<OptProblem>,
+        query: QueryKey,
+    ) -> rankhow_serve::CompletionHook {
+        Arc::new(move |solution, artifacts| {
+            cache.record(&query, &problem, solution, artifacts.map(Arc::new));
+        })
     }
 
     /// Bounded wait for a backpressured spawner: park on the placed
@@ -157,7 +229,7 @@ impl Router {
     /// Exposed so callers (and tests) can predict routing.
     pub fn place(&self, problem: &OptProblem) -> usize {
         match self.config.placement {
-            Placement::QueryHash => (fingerprint(problem) % self.pools.len() as u64) as usize,
+            Placement::QueryHash => (key::fingerprint(problem) % self.pools.len() as u64) as usize,
             Placement::LeastLoaded => self
                 .pools
                 .iter()
@@ -225,7 +297,8 @@ impl Router {
     }
 
     /// A point-in-time observability snapshot: per-pool engine stats
-    /// and loads, the merged aggregate, and the admission counters.
+    /// and loads, the merged aggregate, the admission counters, and the
+    /// solution-cache counters.
     pub fn stats(&self) -> RouterStats {
         let pools: Vec<PoolSnapshot> = self
             .pools
@@ -240,12 +313,22 @@ impl Router {
         for pool in &pools {
             solver.merge(&pool.solver);
         }
+        let cache = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        // Exact hits never reach a pool, so no per-pool row carries
+        // them — fold the router-side counters into the aggregate here.
+        // Near hits already arrive through the merged per-job stats of
+        // the warm-seeded solves (`cache_near_hits`), so only the
+        // router-side view is added for misses/evictions.
+        solver.cache_exact_hits += cache.exact_hits as usize;
+        solver.cache_misses += cache.misses as usize;
+        solver.cache_evictions += cache.evictions as usize;
         RouterStats {
             pools,
             solver,
             admissions: self.admissions.load(Ordering::Acquire),
             rejections: self.rejections.load(Ordering::Acquire),
             migrations: self.migrations.load(Ordering::Acquire),
+            cache,
         }
     }
 }
@@ -265,30 +348,4 @@ impl CellScheduler for Router {
     ) -> Result<Solution, SolverError> {
         self.submit(Arc::clone(problem), config, true).join()
     }
-}
-
-/// Deterministic query fingerprint: FNV-1a over the instance shape, the
-/// given ranking, and every feature's bit pattern. Stable across runs
-/// and processes (no pointer or RandomState input), so query-hash
-/// placement is reproducible. Cost is one pass over the feature matrix
-/// — noise next to the thousands of LP solves a query triggers.
-fn fingerprint(problem: &OptProblem) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mix = |hash: &mut u64, v: u64| {
-        for byte in v.to_le_bytes() {
-            *hash = (*hash ^ u64::from(byte)).wrapping_mul(PRIME);
-        }
-    };
-    mix(&mut hash, problem.n() as u64);
-    mix(&mut hash, problem.m() as u64);
-    for position in problem.given.positions() {
-        mix(&mut hash, position.map_or(u64::MAX, u64::from));
-    }
-    for j in 0..problem.m() {
-        for &value in problem.data.col(j) {
-            mix(&mut hash, value.to_bits());
-        }
-    }
-    hash
 }

@@ -1,5 +1,6 @@
 //! Router observability: per-pool and aggregate serving statistics.
 
+use crate::cache::CacheStats;
 use rankhow_core::SolverStats;
 use rankhow_serve::PoolLoad;
 
@@ -36,6 +37,11 @@ pub struct RouterStats {
     pub rejections: u64,
     /// Queued jobs migrated between pools by rebalancing load ticks.
     pub migrations: u64,
+    /// Cross-query solution cache counters (all zero when the cache is
+    /// disabled). Exact hits also appear in `solver.cache_exact_hits`,
+    /// and near hits in `solver.cache_near_hits` via the per-job stats
+    /// of completed warm-seeded solves.
+    pub cache: CacheStats,
 }
 
 impl RouterStats {

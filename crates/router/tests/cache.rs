@@ -1,0 +1,394 @@
+//! The cross-query solution cache's correctness bar: exact hits are
+//! bit-identical to the first solve, near-hit warm seeding never
+//! degrades the certified bracket, unsound artifact adoption is
+//! impossible (a cached *tighter* region must not leak facts into a
+//! looser re-query), and the LRU capacity policy holds under both
+//! sequential and interleaved traffic.
+
+// The shared fixture module ships helpers for the blocker-based
+// admission tests too; this suite only needs the instance builders.
+#[allow(dead_code)]
+#[path = "../../serve/tests/support/mod.rs"]
+mod support;
+
+use proptest::prelude::*;
+use rankhow_core::{OptProblem, Solution, SolverConfig, WeightConstraints};
+use rankhow_data::Dataset;
+use rankhow_ranking::GivenRanking;
+use rankhow_router::{Router, RouterConfig};
+use std::sync::Arc;
+use support::{build, light_problem, small_instance};
+
+/// The serve-layer cross-check for two exhaustive solves of one
+/// instance: each one's incumbent error is a lower bound on the other's
+/// certified error (band incumbents are interleaving-dependent, so
+/// exact equality is not pinned — the bracket overlap is).
+fn brackets_overlap(a: &Solution, b: &Solution) -> bool {
+    a.error <= b.certified_error && b.error <= a.certified_error
+}
+
+fn cached_router(pools: usize, threads: usize, cap: usize) -> Router {
+    Router::new(RouterConfig {
+        pools,
+        threads_per_pool: threads,
+        cache_cap: cap,
+        ..RouterConfig::default()
+    })
+}
+
+fn cold_router(pools: usize, threads: usize) -> Router {
+    Router::new(RouterConfig {
+        pools,
+        threads_per_pool: threads,
+        cache: false,
+        ..RouterConfig::default()
+    })
+}
+
+/// A small fixed instance parameterized by one feature value, for
+/// driving distinct-query traffic at the cache.
+fn variant_problem(v: f64) -> Arc<OptProblem> {
+    let data = Dataset::from_rows(
+        vec!["a".into(), "b".into(), "c".into()],
+        vec![
+            vec![3.0, 2.0, 8.0],
+            vec![4.0, 1.0, 15.0],
+            vec![1.0, v, 14.0],
+            vec![2.0, 3.0, 9.0],
+        ],
+    )
+    .unwrap();
+    let pi = GivenRanking::from_positions(vec![Some(1), Some(2), None, None]).unwrap();
+    Arc::new(OptProblem::new(data, pi).unwrap())
+}
+
+#[test]
+fn exact_hit_returns_the_stored_solution_without_running() {
+    let router = cached_router(1, 1, 16);
+    let problem = Arc::new(light_problem());
+    let first = router
+        .spawn_shared(Arc::clone(&problem), SolverConfig::default())
+        .join()
+        .expect("feasible instance");
+    assert!(first.optimal);
+    // The completion hook records before joiners wake, so a sequential
+    // re-submit is guaranteed to hit.
+    let hit_handle = router.spawn_shared(Arc::clone(&problem), SolverConfig::default());
+    assert!(
+        hit_handle.is_finished(),
+        "an exact hit completes on arrival, no pool involved"
+    );
+    let hit = hit_handle.join().expect("cached solution");
+    // Bit-identical payload...
+    assert_eq!(hit.weights, first.weights);
+    assert_eq!(hit.error, first.error);
+    assert_eq!(hit.optimal, first.optimal);
+    assert_eq!(hit.status, first.status);
+    assert_eq!(hit.certified, first.certified);
+    assert_eq!(hit.certified_error, first.certified_error);
+    assert_eq!(hit.certified_weights, first.certified_weights);
+    // ...with serving stats that say "no search ran".
+    assert_eq!(hit.stats.nodes, 0);
+    assert_eq!(hit.stats.lp_solves, 0);
+    assert_eq!(hit.stats.cache_exact_hits, 1);
+    let stats = router.stats();
+    assert_eq!(stats.cache.exact_hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.cache.entries, 1);
+    assert_eq!(stats.admissions, 1, "the hit was never admitted to a pool");
+    assert_eq!(
+        stats.solver.cache_exact_hits, 1,
+        "folded into the aggregate"
+    );
+}
+
+#[test]
+fn near_hit_seeds_the_constrained_re_query() {
+    let router = cached_router(1, 1, 16);
+    let base = Arc::new(light_problem());
+    let first = router
+        .spawn_shared(Arc::clone(&base), SolverConfig::default())
+        .join()
+        .expect("feasible instance");
+    assert!(first.optimal);
+    // Same instance, new weight constraints: a near hit — the cached
+    // (looser-region) root facts are adoptable after the containment
+    // re-proof, and the cached incumbent is a candidate.
+    let constrained = Arc::new(
+        (*base)
+            .clone()
+            .with_constraints(WeightConstraints::none().max_weight(0, 0.6))
+            .unwrap(),
+    );
+    let warm = router
+        .spawn_shared(Arc::clone(&constrained), SolverConfig::default())
+        .join()
+        .expect("feasible constrained instance");
+    assert!(warm.optimal);
+    assert!(warm.stats.cache_near_hits >= 1, "the job saw the seed");
+    // Cold reference: the warm-seeded solve must reproduce its bracket.
+    let cold = cold_router(1, 1)
+        .spawn_shared(constrained, SolverConfig::default())
+        .join()
+        .expect("feasible constrained instance");
+    assert!(cold.optimal);
+    assert!(
+        brackets_overlap(&warm, &cold),
+        "warm ({}, {}) vs cold ({}, {}) certified brackets must overlap",
+        warm.error,
+        warm.certified_error,
+        cold.error,
+        cold.certified_error
+    );
+    let stats = router.stats();
+    assert_eq!(stats.cache.near_hits, 1);
+    assert_eq!(stats.solver.cache_near_hits, 1, "per-job stats agree");
+}
+
+#[test]
+fn loosening_the_constraints_must_not_inherit_tight_region_facts() {
+    // Cache a *constrained* solve first: its root facts (boxes, decided
+    // pairs, witnesses) are only valid inside the constrained region.
+    let router = cached_router(1, 1, 16);
+    let base = Arc::new(light_problem());
+    let constrained = Arc::new(
+        (*base)
+            .clone()
+            .with_constraints(WeightConstraints::none().max_weight(0, 0.4))
+            .unwrap(),
+    );
+    let tight = router
+        .spawn_shared(constrained, SolverConfig::default())
+        .join()
+        .expect("feasible constrained instance");
+    assert!(tight.optimal);
+    // Now the *unconstrained* query: same shape, so the cache offers a
+    // near hit — but the containment gate must reject the artifacts
+    // (the new region is a superset), keeping only the incumbent
+    // candidates. An unsound adoption would over-prune and could
+    // certify a wrong optimum.
+    let loose = router
+        .spawn_shared(Arc::clone(&base), SolverConfig::default())
+        .join()
+        .expect("feasible instance");
+    assert!(loose.optimal);
+    let cold = cold_router(1, 1)
+        .spawn_shared(base, SolverConfig::default())
+        .join()
+        .expect("feasible instance");
+    assert!(cold.optimal);
+    assert!(
+        brackets_overlap(&loose, &cold),
+        "loosened re-query ({}, {}) diverged from cold ({}, {})",
+        loose.error,
+        loose.certified_error,
+        cold.error,
+        cold.certified_error
+    );
+    assert!(
+        loose.error <= tight.error,
+        "a superset region never has a worse optimum"
+    );
+}
+
+#[test]
+fn lru_capacity_holds_under_sequential_and_interleaved_traffic() {
+    let variants: Vec<Arc<OptProblem>> = (0..6).map(|i| variant_problem(i as f64)).collect();
+    let router = cached_router(1, 2, 3);
+    // Sequential distinct queries: every lookup misses, inserts stay
+    // capped, eviction is oldest-first.
+    for problem in &variants {
+        router
+            .spawn_shared(Arc::clone(problem), SolverConfig::default())
+            .join()
+            .expect("feasible instance");
+    }
+    let stats = router.stats();
+    assert_eq!(stats.cache.misses, 6, "distinct shapes never hit");
+    assert_eq!(stats.cache.insertions, 6);
+    assert_eq!(stats.cache.entries, 3, "capacity binds");
+    assert_eq!(stats.cache.evictions, 3);
+    // The most recent variant survives; the oldest was evicted.
+    let newest = router.spawn_shared(Arc::clone(&variants[5]), SolverConfig::default());
+    assert!(newest.is_finished(), "most recent entry is resident");
+    newest.join().expect("cached solution");
+    router
+        .spawn_shared(Arc::clone(&variants[0]), SolverConfig::default())
+        .join()
+        .expect("feasible instance");
+    let stats = router.stats();
+    assert_eq!(stats.cache.exact_hits, 1);
+    assert_eq!(stats.cache.misses, 7, "the evicted entry misses");
+    // Interleaved traffic: spawn everything concurrently, twice over.
+    let handles: Vec<_> = variants
+        .iter()
+        .chain(variants.iter())
+        .map(|p| router.spawn_shared(Arc::clone(p), SolverConfig::default()))
+        .collect();
+    for handle in handles {
+        handle.join().expect("feasible instance");
+    }
+    let stats = router.stats();
+    assert!(
+        stats.cache.entries <= 3,
+        "capacity holds under interleaving"
+    );
+    assert_eq!(
+        stats.cache.insertions - stats.cache.evictions,
+        stats.cache.entries as u64,
+        "insert/evict/resident accounting balances"
+    );
+    let lookups = stats.cache.exact_hits + stats.cache.near_hits + stats.cache.misses;
+    assert_eq!(lookups, 20, "every eligible spawn did exactly one lookup");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cache-on serving returns certified brackets overlapping cache-off
+    /// serving for every query of a duplicate-heavy batch, across pool
+    /// and thread shapes. Queries are joined in spawn order, so later
+    /// duplicates genuinely exercise exact hits.
+    #[test]
+    fn cache_on_matches_cache_off_across_shapes(insts in prop::collection::vec(small_instance(), 3..5)) {
+        let mut problems: Vec<Arc<OptProblem>> =
+            insts.iter().filter_map(build).map(Arc::new).collect();
+        if problems.is_empty() {
+            return Err(TestCaseError::reject("invalid ranking"));
+        }
+        // Duplicate the batch so the cache has repeats to serve.
+        problems.extend(problems.clone());
+        for &(pools, threads) in &[(1usize, 1usize), (2, 2), (4, 4), (1, 4), (4, 1)] {
+            let cold = cold_router(pools, threads);
+            let warm = cached_router(pools, threads, 64);
+            for problem in &problems {
+                let a = cold
+                    .spawn_shared(Arc::clone(problem), SolverConfig::default())
+                    .join()
+                    .expect("feasible instance");
+                let b = warm
+                    .spawn_shared(Arc::clone(problem), SolverConfig::default())
+                    .join()
+                    .expect("feasible instance");
+                prop_assert!(a.optimal && b.optimal);
+                prop_assert!(
+                    brackets_overlap(&a, &b),
+                    "{} pools / {} threads: cold ({}, {}) vs cached ({}, {})",
+                    pools, threads, a.error, a.certified_error, b.error, b.certified_error
+                );
+            }
+            let stats = warm.stats();
+            prop_assert!(
+                stats.cache.exact_hits >= problems.len() as u64 / 2,
+                "sequential duplicates must hit: {} hits of {} queries",
+                stats.cache.exact_hits, problems.len()
+            );
+        }
+    }
+
+    /// Every exact hit is bit-identical to the first solve of the same
+    /// query — weights, error fields, and status all round-trip.
+    #[test]
+    fn exact_hits_are_bit_identical(inst in small_instance()) {
+        let Some(problem) = build(&inst).map(Arc::new) else {
+            return Err(TestCaseError::reject("invalid ranking"));
+        };
+        let router = cached_router(2, 1, 16);
+        let first = router
+            .spawn_shared(Arc::clone(&problem), SolverConfig::default())
+            .join()
+            .expect("feasible instance");
+        prop_assert!(first.optimal);
+        for _ in 0..2 {
+            let hit = router
+                .spawn_shared(Arc::clone(&problem), SolverConfig::default())
+                .join()
+                .expect("cached solution");
+            prop_assert_eq!(&hit.weights, &first.weights);
+            prop_assert_eq!(hit.error, first.error);
+            prop_assert_eq!(hit.certified_error, first.certified_error);
+            prop_assert_eq!(&hit.certified_weights, &first.certified_weights);
+            prop_assert_eq!(hit.status, first.status);
+            prop_assert_eq!(hit.stats.nodes, 0, "a hit runs no search");
+            prop_assert_eq!(hit.stats.lp_solves, 0);
+        }
+        prop_assert_eq!(router.stats().cache.exact_hits, 2);
+    }
+
+    /// Near-hit warm seeding (cached base solve, then a constrained
+    /// variant) never yields a worse certified bracket than solving the
+    /// variant cold — in either tightening direction.
+    #[test]
+    fn near_hits_never_degrade_the_bracket(
+        inst in small_instance(),
+        bound in 0.35f64..0.9,
+        tighten_first in any::<bool>(),
+    ) {
+        let Some(base) = build(&inst).map(Arc::new) else {
+            return Err(TestCaseError::reject("invalid ranking"));
+        };
+        let constrained = Arc::new(
+            (*base)
+                .clone()
+                .with_constraints(WeightConstraints::none().max_weight(0, bound))
+                .unwrap(),
+        );
+        let (first, second) = if tighten_first {
+            (Arc::clone(&constrained), Arc::clone(&base))
+        } else {
+            (Arc::clone(&base), Arc::clone(&constrained))
+        };
+        let router = cached_router(1, 1, 16);
+        let primed = router
+            .spawn_shared(first, SolverConfig::default())
+            .join()
+            .expect("feasible instance");
+        prop_assert!(primed.optimal);
+        let warm = router
+            .spawn_shared(Arc::clone(&second), SolverConfig::default())
+            .join()
+            .expect("feasible instance");
+        prop_assert!(warm.optimal);
+        prop_assert!(warm.stats.cache_near_hits >= 1, "the seed reached the job");
+        let cold = cold_router(1, 1)
+            .spawn_shared(second, SolverConfig::default())
+            .join()
+            .expect("feasible instance");
+        prop_assert!(cold.optimal);
+        prop_assert!(
+            brackets_overlap(&warm, &cold),
+            "warm ({}, {}) vs cold ({}, {})",
+            warm.error, warm.certified_error, cold.error, cold.certified_error
+        );
+    }
+
+    /// Interleaved spawns of a rotating query set never break the LRU
+    /// capacity or accounting invariants, and all results stay optimal.
+    #[test]
+    fn lru_invariants_under_interleaved_spawns(
+        order in prop::collection::vec(0usize..5, 8..14),
+        cap in 1usize..4,
+    ) {
+        let variants: Vec<Arc<OptProblem>> = (0..5).map(|i| variant_problem(i as f64)).collect();
+        let router = cached_router(2, 2, cap);
+        let handles: Vec<_> = order
+            .iter()
+            .map(|&i| router.spawn_shared(Arc::clone(&variants[i]), SolverConfig::default()))
+            .collect();
+        for handle in handles {
+            let sol = handle.join().expect("feasible instance");
+            prop_assert!(sol.optimal);
+        }
+        let stats = router.stats();
+        // Two shards of ceil(cap/2) each bound the resident count.
+        prop_assert!(stats.cache.entries <= 2 * cap.div_ceil(2));
+        prop_assert_eq!(
+            stats.cache.insertions - stats.cache.evictions,
+            stats.cache.entries as u64
+        );
+        prop_assert_eq!(
+            stats.cache.exact_hits + stats.cache.near_hits + stats.cache.misses,
+            order.len() as u64
+        );
+    }
+}

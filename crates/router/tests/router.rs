@@ -52,6 +52,11 @@ proptest! {
                     pools,
                     threads_per_pool: 1,
                     placement,
+                    // Integer-grid instances can repeat across the
+                    // generated batch; this test pins per-query
+                    // admission and job counts, so every duplicate must
+                    // actually run (cache parity has its own suite).
+                    cache: false,
                     ..RouterConfig::default()
                 });
                 let handles: Vec<_> = problems
@@ -209,6 +214,10 @@ fn backpressure_blocks_instead_of_shedding() {
         threads_per_pool: 2,
         queue_cap: 1,
         backpressure: true,
+        // Three sequential joins of one query: with the cache on, the
+        // repeats would complete from the cache without being admitted —
+        // this test is about backpressure admission, so disable it.
+        cache: false,
         ..RouterConfig::default()
     });
     // Light queries: each spawn after the first blocks until the pool
@@ -325,6 +334,10 @@ fn stats_snapshot_aggregates_pools() {
         pools: 3,
         threads_per_pool: 1,
         placement: Placement::LeastLoaded,
+        // Six copies of one query must all become pool jobs for the
+        // per-pool sums below; a cache hit would answer some of them
+        // before any pool saw them.
+        cache: false,
         ..RouterConfig::default()
     });
     let problem = Arc::new(light_problem());

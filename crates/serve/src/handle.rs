@@ -45,10 +45,12 @@ impl Completion {
     }
 }
 
-/// What a [`SolveHandle`] observes: a live scheduler job, or a query
-/// that admission control shed before it ever became one.
+/// What a [`SolveHandle`] observes: a live scheduler job, a query that
+/// was answered before it ever became one (a cross-query cache exact
+/// hit), or one that admission control shed.
 enum Inner {
     Job(Arc<JobEntry>),
+    Completed(Box<Solution>),
     Rejected,
 }
 
@@ -78,6 +80,17 @@ impl SolveHandle {
     pub fn rejected() -> Self {
         SolveHandle {
             inner: Inner::Rejected,
+        }
+    }
+
+    /// An already-completed handle carrying a ready solution — what the
+    /// router hands back on a cross-query cache *exact hit*: no pool is
+    /// touched, [`SolveHandle::join`] returns the stored solution
+    /// immediately, and cancel/deadline are no-ops (there is nothing
+    /// running to stop).
+    pub fn completed(solution: Solution) -> Self {
+        SolveHandle {
+            inner: Inner::Completed(Box::new(solution)),
         }
     }
 
@@ -112,6 +125,9 @@ impl SolveHandle {
     pub fn best_so_far(&self) -> Option<(u64, Vec<f64>)> {
         match &self.inner {
             Inner::Job(entry) => entry.job.best_so_far(),
+            Inner::Completed(sol) => {
+                (sol.error != u64::MAX).then(|| (sol.error, sol.weights.clone()))
+            }
             Inner::Rejected => None,
         }
     }
@@ -121,6 +137,7 @@ impl SolveHandle {
     pub fn is_finished(&self) -> bool {
         match &self.inner {
             Inner::Job(entry) => entry.completion.is_set(),
+            Inner::Completed(_) => true,
             Inner::Rejected => true,
         }
     }
@@ -134,6 +151,7 @@ impl SolveHandle {
     pub fn join(self) -> Result<Solution, SolverError> {
         match self.inner {
             Inner::Job(entry) => entry.completion.wait(),
+            Inner::Completed(sol) => Ok(*sol),
             Inner::Rejected => Ok(Solution::rejected()),
         }
     }

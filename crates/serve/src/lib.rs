@@ -76,4 +76,7 @@ mod scheduler;
 mod sync;
 
 pub use handle::SolveHandle;
-pub use scheduler::{PoolLoad, QueuedJob, RejectedSpawn, Scheduler, DEFAULT_SLICE_NODES};
+pub use scheduler::{
+    CompletionHook, PoolLoad, QueuedJob, RejectedSpawn, Scheduler, SpawnOptions,
+    DEFAULT_SLICE_NODES,
+};

@@ -4,8 +4,8 @@
 use crate::handle::{Completion, SolveHandle};
 use crate::sync;
 use rankhow_core::{
-    CellScheduler, EngineScratch, OptProblem, Solution, SolveJob, SolverConfig, SolverError,
-    SolverStats, StepOutcome,
+    CellScheduler, EngineScratch, OptProblem, RootArtifacts, Solution, SolveJob, SolverConfig,
+    SolverError, SolverStats, StepOutcome,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -18,10 +18,33 @@ use std::time::{Duration, Instant};
 /// cannot starve light ones, large enough to amortize the rotation.
 pub const DEFAULT_SLICE_NODES: usize = 64;
 
+/// Callback a spawner attaches to a job, invoked exactly once when the
+/// job is finalized with a real result — *before* its joiner is woken,
+/// so anything the hook publishes (e.g. a cross-query cache insert) is
+/// visible by the time [`SolveHandle::join`] returns. Jobs shed by a
+/// dropped [`QueuedJob`] never ran, and their hook is never called.
+pub type CompletionHook = Arc<dyn Fn(&Solution, Option<RootArtifacts>) + Send + Sync>;
+
+/// Spawn-time metadata riding a job entry ([`Scheduler::try_spawn_with`]).
+#[derive(Default, Clone)]
+pub struct SpawnOptions {
+    /// The admission-time canonical query fingerprint, computed once by
+    /// the router and carried here so placement retries and
+    /// [`Scheduler::take_unstarted`] rebalancing never re-walk the
+    /// instance.
+    pub fingerprint: Option<u64>,
+    /// See [`CompletionHook`].
+    pub on_complete: Option<CompletionHook>,
+}
+
 /// One spawned job: the reentrant engine state plus completion plumbing.
 pub(crate) struct JobEntry {
     pub(crate) job: SolveJob<Arc<OptProblem>>,
     pub(crate) completion: Completion,
+    /// Admission-time query fingerprint (see [`SpawnOptions`]).
+    fingerprint: Option<u64>,
+    /// Completion callback (see [`CompletionHook`]).
+    on_complete: Option<CompletionHook>,
     /// Taken (CAS) by the worker that packages the final result.
     finalized: AtomicBool,
     /// Workers currently holding this entry between popping it and
@@ -97,6 +120,9 @@ pub struct RejectedSpawn {
     pub problem: Arc<OptProblem>,
     /// The submitted solver configuration, returned unchanged.
     pub config: SolverConfig,
+    /// The submitted spawn metadata, returned unchanged (so a retry on
+    /// another pool keeps the precomputed fingerprint and hook).
+    pub opts: SpawnOptions,
 }
 
 /// A not-yet-started job removed from one scheduler's run queue by
@@ -111,6 +137,15 @@ pub struct RejectedSpawn {
 /// incumbent, so the submitter never hangs.
 pub struct QueuedJob {
     entry: Option<Arc<JobEntry>>,
+}
+
+impl QueuedJob {
+    /// The admission-time query fingerprint the job was spawned with —
+    /// the router's rebalancer re-places migrated jobs by this without
+    /// re-walking the instance. `None` for jobs spawned without one.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.entry.as_ref().and_then(|e| e.fingerprint)
+    }
 }
 
 impl Drop for QueuedJob {
@@ -251,15 +286,34 @@ impl Scheduler {
         config: SolverConfig,
         queue_cap: usize,
     ) -> Result<SolveHandle, Box<RejectedSpawn>> {
+        self.try_spawn_with(problem, config, queue_cap, SpawnOptions::default())
+    }
+
+    /// [`Scheduler::try_spawn_shared`] carrying spawn metadata: a
+    /// precomputed query fingerprint and/or a completion hook
+    /// ([`SpawnOptions`]) — the router's cache-aware spawn path.
+    pub fn try_spawn_with(
+        &self,
+        problem: Arc<OptProblem>,
+        config: SolverConfig,
+        queue_cap: usize,
+        opts: SpawnOptions,
+    ) -> Result<SolveHandle, Box<RejectedSpawn>> {
         let entry = {
             let queue_lock = &self.shared.queue;
             let mut queue = sync::lock(queue_lock);
             if queue_cap > 0 && self.shared.live.load(Ordering::Acquire) >= queue_cap {
-                return Err(Box::new(RejectedSpawn { problem, config }));
+                return Err(Box::new(RejectedSpawn {
+                    problem,
+                    config,
+                    opts,
+                }));
             }
             let entry = Arc::new(JobEntry {
                 job: SolveJob::new(problem, config, self.shared.threads),
                 completion: Completion::new(),
+                fingerprint: opts.fingerprint,
+                on_complete: opts.on_complete,
                 finalized: AtomicBool::new(false),
                 claims: AtomicUsize::new(0),
                 started_accounted: AtomicBool::new(false),
@@ -444,6 +498,12 @@ fn finalize(shared: &Shared, entry: &JobEntry) {
     let result = entry.job.result();
     if let Ok(solution) = &result {
         sync::lock(&shared.finished_stats).merge(&solution.stats);
+        // Run the spawner's hook *before* waking the joiner: a caller
+        // observing completion may rely on what the hook published
+        // (e.g. the router's cache insert serving the next query).
+        if let Some(hook) = &entry.on_complete {
+            hook(solution, entry.job.root_artifacts());
+        }
     }
     entry.completion.set(result);
     // Release the job's admission slot under the queue lock so a

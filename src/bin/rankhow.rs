@@ -7,6 +7,7 @@
 //!         [--symgd <CELL>] [--budget <SECONDS>] [--measure position|kendall|topweighted]
 //!         [--threads <N>]
 //! rankhow --batch <queries.txt> [--threads <N>] [--pools <P>] [--queue-cap <N>]
+//!         [--no-cache] [--cache-cap <N>]
 //! ```
 //!
 //! Input: a CSV of numeric attributes (header row). The given ranking
@@ -26,10 +27,15 @@
 //! `--threads` workers each (per-line `--threads` is ignored — the
 //! pools decide). `--queue-cap` bounds each pool's outstanding jobs
 //! (queued + in-flight): over-capacity queries are shed with status
-//! `rejected` instead of queueing without bound. Both flags apply to
-//! `--batch` only. Lines with `--symgd` run as warm-started cell-job
-//! chains routed through the same pools. Results print in line order;
-//! with `--threads 1` the output is deterministic for any `--pools`.
+//! `rejected` instead of queueing without bound. The router's
+//! cross-query solution cache is on by default — repeated identical
+//! lines complete from the cache, and same-instance lines that differ
+//! only in weight constraints warm-start from the cached root;
+//! `--no-cache` disables it and `--cache-cap` bounds its entry count.
+//! All four flags apply to `--batch` only. Lines with `--symgd` run as
+//! warm-started cell-job chains routed through the same pools. Results
+//! print in line order; with `--threads 1` the output is deterministic
+//! for any `--pools`, cache on or off.
 //!
 //! Output: the synthesized weights, the objective value, and the exact
 //! verification verdict.
@@ -61,6 +67,8 @@ struct Args {
     threads: usize,
     pools: usize,
     queue_cap: usize,
+    no_cache: bool,
+    cache_cap: Option<usize>,
     stats: bool,
     batch: Option<PathBuf>,
 }
@@ -71,7 +79,8 @@ fn usage() -> ! {
          \x20      [--eps E] [--eps1 E1] [--eps2 E2] [--min-weight A=L] [--max-weight A=H]\n\
          \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]\n\
          \x20      [--threads N] [--stats]\n\
-         \x20      rankhow --batch queries.txt [--threads N] [--pools P] [--queue-cap N] [--stats]"
+         \x20      rankhow --batch queries.txt [--threads N] [--pools P] [--queue-cap N]\n\
+         \x20      [--no-cache] [--cache-cap N] [--stats]"
     );
     std::process::exit(2)
 }
@@ -96,6 +105,8 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
         threads: rankhow::core::default_threads(),
         pools: 1,
         queue_cap: 0,
+        no_cache: false,
+        cache_cap: None,
         stats: false,
         batch: None,
     };
@@ -144,6 +155,14 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
                 args.queue_cap = v
                     .parse()
                     .map_err(|_| format!("--queue-cap: not a count: {v}"))?;
+            }
+            "--no-cache" => args.no_cache = true,
+            "--cache-cap" => {
+                let v = next("--cache-cap")?;
+                args.cache_cap = Some(
+                    v.parse()
+                        .map_err(|_| format!("--cache-cap: not a count: {v}"))?,
+                );
             }
             "--stats" => args.stats = true,
             "--symgd" => {
@@ -195,6 +214,12 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
     }
     if args.queue_cap != 0 {
         return Err("--queue-cap only applies to --batch".into());
+    }
+    if args.no_cache {
+        return Err("--no-cache only applies to --batch".into());
+    }
+    if args.cache_cap.is_some() {
+        return Err("--cache-cap only applies to --batch".into());
     }
     if positional.len() != 1 {
         return Err("expected exactly one <data.csv> argument".into());
@@ -319,6 +344,19 @@ fn report_stats(stats: &rankhow::core::SolverStats) {
         stats.jobs.max(1),
         elapsed
     );
+    // Cross-query cache telemetry (the --batch router path; always zero
+    // on a single in-process solve, so the line is suppressed there).
+    let cache_events =
+        stats.cache_exact_hits + stats.cache_near_hits + stats.cache_misses + stats.cache_evictions;
+    if cache_events > 0 {
+        eprintln!(
+            "cache: {} exact hits, {} near hits, {} misses, {} evictions",
+            stats.cache_exact_hits,
+            stats.cache_near_hits,
+            stats.cache_misses,
+            stats.cache_evictions
+        );
+    }
 }
 
 fn status_label(status: SolveStatus) -> &'static str {
@@ -455,11 +493,14 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let default_config = RouterConfig::default();
     let router = Router::new(RouterConfig {
         pools: args.pools.max(1),
         threads_per_pool: args.threads.max(1),
         queue_cap: args.queue_cap,
-        ..RouterConfig::default()
+        cache: !args.no_cache,
+        cache_cap: args.cache_cap.unwrap_or(default_config.cache_cap),
+        ..default_config
     });
     eprintln!(
         "batch: {} queries on {} pool(s) x {} worker(s){}",

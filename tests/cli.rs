@@ -382,11 +382,17 @@ fn malformed_flags_exit_with_usage_code() {
 
 #[test]
 fn router_flags_require_batch_mode() {
-    // --pools / --queue-cap shape the --batch serving topology; on a
-    // single query they must be refused, not silently ignored.
+    // --pools / --queue-cap / --no-cache / --cache-cap shape the
+    // --batch serving topology; on a single query they must be refused,
+    // not silently ignored.
     let dir = temp_dir("router_flags");
     let data = write_csv(&dir, "data.csv", &data_csv());
-    for flag in [["--pools", "2"], ["--queue-cap", "4"]] {
+    for flag in [
+        &["--pools", "2"][..],
+        &["--queue-cap", "4"],
+        &["--no-cache"],
+        &["--cache-cap", "8"],
+    ] {
         let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
             .args([data.to_str().unwrap(), "--score-col", "score"])
             .args(flag)
@@ -527,4 +533,74 @@ fn stats_flag_prints_batch_aggregate() {
     assert!(stderr.contains("router:"), "{stderr}");
     assert!(stderr.contains("stats:"), "{stderr}");
     assert!(stderr.contains("2 job(s)"), "{stderr}");
+}
+
+#[test]
+fn batch_duplicate_queries_are_cache_invariant() {
+    // A batch with repeated identical lines must print byte-identical
+    // stdout at --threads 1 whether the cross-query cache serves the
+    // repeats or every line solves cold (--no-cache): an exact hit
+    // returns the stored solution bit for bit, so caching can never
+    // change what the user sees — only how fast it arrives.
+    let dir = temp_dir("batch_cache_dup");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let mut data2 = String::from("a,b,score\n");
+    for i in 0..10 {
+        let a = ((i * 3) % 10) as f64;
+        let b = ((i * 7) % 10) as f64;
+        let score = 0.6 * a + 0.4 * b;
+        data2.push_str(&format!("{a},{b},{score}\n"));
+    }
+    let data2 = write_csv(&dir, "data2.csv", &data2);
+    // Three copies of one query interleaved with a distinct one.
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "{d} --score-col score --k 6 --budget 10\n\
+             {d} --score-col score --k 6 --budget 10\n\
+             {e} --score-col score --k 5 --budget 10\n\
+             {d} --score-col score --k 6 --budget 10\n",
+            d = data.to_str().unwrap(),
+            e = data2.to_str().unwrap()
+        ),
+    );
+    let run = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_rankhow"))
+            .args(["--batch", batch.to_str().unwrap(), "--threads", "1"])
+            .args(extra)
+            .output()
+            .expect("run cli")
+    };
+    let cached = run(&["--stats"]);
+    assert!(
+        cached.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cached.stderr)
+    );
+    let cached_stdout = String::from_utf8_lossy(&cached.stdout).to_string();
+    assert_eq!(
+        cached_stdout.matches("status: optimal").count(),
+        4,
+        "{cached_stdout}"
+    );
+    let cold = run(&["--no-cache", "--stats"]);
+    assert!(
+        cold.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert_eq!(
+        cached_stdout,
+        String::from_utf8_lossy(&cold.stdout),
+        "cache on/off must not change batch output"
+    );
+    // The cold run's telemetry must not claim any cache traffic.
+    let cold_stderr = String::from_utf8_lossy(&cold.stderr);
+    assert!(!cold_stderr.contains("cache:"), "{cold_stderr}");
+    // Cache-on re-run: still byte-identical (hit timing may vary — the
+    // whole batch is spawned before the first completion at tight
+    // interleavings — but output never does).
+    let again = run(&["--stats"]);
+    assert_eq!(cached_stdout, String::from_utf8_lossy(&again.stdout));
 }
