@@ -5,7 +5,7 @@
 //! Kept compiling by the CI `cargo bench --no-run` step; run with
 //! `cargo bench --bench solver_scaling`.
 //!
-//! `cargo bench --bench solver_scaling -- --json BENCH_PR8.json`
+//! `cargo bench --bench solver_scaling -- --json BENCH_PR9.json`
 //! skips the criterion loop and instead emits a machine-readable
 //! perf-trajectory report — nodes/sec, LPs/sec, pivots, probe-skip and
 //! probe-batch counters, and the LP warm-hit rate per workload, in four
@@ -17,7 +17,9 @@
 //! constraint-variant streams submitted sequentially through a router,
 //! comparing the cross-query solution cache (`cache` mode, hit/miss/
 //! eviction counters included) against cold per-query serving (`kern`
-//! mode).
+//! mode); every serving query carries a telemetry handle, so these
+//! rows also report the per-query admission→completion latency
+//! distribution (`latency_p50_ns` / `latency_p99_ns`).
 //!
 //! Interpretation note: on a single-core container
 //! (`std::thread::available_parallelism() == 1`) the >1-thread rows
@@ -180,8 +182,18 @@ fn json_row(name: &str, mode: &str, secs: f64, sol: &rankhow_core::Solution) -> 
 /// join, next — the realistic order for repeated traffic: a duplicate
 /// arrives after its first solve completed) through a 1-pool × 1-worker
 /// router, with the cross-query cache on (`cache` mode) or off (`kern`
-/// mode — the PR-7 serving configuration).
-fn timed_serve(queries: &[Arc<OptProblem>], mode: &str) -> (f64, rankhow_router::RouterStats) {
+/// mode — the PR-7 serving configuration). Every query carries a
+/// telemetry handle into one shared metrics registry, so the row can
+/// report the per-query admission→completion latency distribution
+/// alongside the aggregate counters.
+fn timed_serve(
+    queries: &[Arc<OptProblem>],
+    mode: &str,
+) -> (
+    f64,
+    rankhow_router::RouterStats,
+    rankhow_obs::HistogramSnapshot,
+) {
     let cache = match mode {
         "cache" => true,
         "kern" => false,
@@ -193,13 +205,16 @@ fn timed_serve(queries: &[Arc<OptProblem>], mode: &str) -> (f64, rankhow_router:
         cache,
         ..RouterConfig::default()
     });
+    let metrics = Arc::new(rankhow_obs::MetricsRegistry::new());
     let start = std::time::Instant::now();
     for query in queries {
+        let telemetry = Arc::new(rankhow_obs::SolveTelemetry::new(Arc::clone(&metrics)));
         let sol = router
             .spawn_shared(
                 Arc::clone(query),
                 SolverConfig {
                     time_limit: Some(Duration::from_secs(10)),
+                    telemetry: Some(telemetry),
                     ..SolverConfig::default()
                 },
             )
@@ -207,7 +222,11 @@ fn timed_serve(queries: &[Arc<OptProblem>], mode: &str) -> (f64, rankhow_router:
             .expect("feasible workload");
         black_box(sol.error);
     }
-    (start.elapsed().as_secs_f64().max(1e-9), router.stats())
+    (
+        start.elapsed().as_secs_f64().max(1e-9),
+        router.stats(),
+        metrics.latency.snapshot(),
+    )
 }
 
 /// Format one serving-report row.
@@ -218,12 +237,14 @@ fn serve_row(
     queries: usize,
     secs: f64,
     stats: &rankhow_router::RouterStats,
+    latency: &rankhow_obs::HistogramSnapshot,
 ) -> String {
     let s = &stats.solver;
     format!(
         concat!(
             "{{\"workload\":\"{}\",\"mode\":\"{}\",\"repeat_p\":{:.2},",
             "\"queries\":{},\"queries_per_sec\":{:.1},",
+            "\"latency_p50_ns\":{},\"latency_p99_ns\":{},",
             "\"cache_exact_hits\":{},\"cache_near_hits\":{},",
             "\"cache_misses\":{},\"cache_evictions\":{},",
             "\"nodes\":{},\"lp_solves\":{},\"lp_pivots\":{},\"elapsed_sec\":{:.6}}}"
@@ -233,6 +254,8 @@ fn serve_row(
         repeat_p,
         queries,
         queries as f64 / secs,
+        latency.p50(),
+        latency.p99(),
         stats.cache.exact_hits,
         stats.cache.near_hits,
         stats.cache.misses,
@@ -288,18 +311,31 @@ fn serving_rows() -> Vec<String> {
     let modes = ["cache", "kern"];
     let mut rows = Vec::new();
     for (name, repeat_p, queries) in streams {
-        let mut best: Vec<Option<(f64, rankhow_router::RouterStats)>> = vec![None; modes.len()];
+        type ServeBest = (
+            f64,
+            rankhow_router::RouterStats,
+            rankhow_obs::HistogramSnapshot,
+        );
+        let mut best: Vec<Option<ServeBest>> = vec![None; modes.len()];
         for _round in 0..3 {
             for (i, mode) in modes.iter().enumerate() {
-                let (secs, stats) = timed_serve(queries, mode);
-                if best[i].as_ref().map_or(true, |(b, _)| secs < *b) {
-                    best[i] = Some((secs, stats));
+                let (secs, stats, latency) = timed_serve(queries, mode);
+                if best[i].as_ref().map_or(true, |(b, _, _)| secs < *b) {
+                    best[i] = Some((secs, stats, latency));
                 }
             }
         }
         for (i, mode) in modes.iter().enumerate() {
-            let (secs, stats) = best[i].take().expect("measured above");
-            rows.push(serve_row(name, mode, repeat_p, queries.len(), secs, &stats));
+            let (secs, stats, latency) = best[i].take().expect("measured above");
+            rows.push(serve_row(
+                name,
+                mode,
+                repeat_p,
+                queries.len(),
+                secs,
+                &stats,
+                &latency,
+            ));
         }
     }
     rows
@@ -340,7 +376,7 @@ fn json_report(path: &std::path::Path) {
     rows.extend(serving_rows());
     let total = rows.len();
     let body = format!(
-        "{{\"bench\":\"solver_scaling\",\"pr\":8,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
+        "{{\"bench\":\"solver_scaling\",\"pr\":9,\"threads\":1,\"rows\":[\n  {}\n]}}\n",
         rows.join(",\n  ")
     );
     std::fs::write(path, &body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));

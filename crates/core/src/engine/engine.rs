@@ -15,7 +15,9 @@ use rankhow_lp::{
     chebyshev_center_with, BasisSnapshot, IncrementalLp, LoadStatus, Op, ProbeOutcome,
     Problem as Lp, Sense, SimplexWorkspace, Status, VarId,
 };
+use rankhow_obs::Event;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Nodes a blocking driver expands per [`SolveJob::step`] slice. The
 /// slice length only bounds how often limits/cancellation are
@@ -235,6 +237,9 @@ impl SearchView<'_> {
         }
         if incumbent.offer(err, w) {
             stats.incumbents += 1;
+            if let Some(tel) = self.config.obs() {
+                tel.event(Event::Incumbent { error: err as f64 });
+            }
             true
         } else {
             false
@@ -360,7 +365,13 @@ impl SearchView<'_> {
                     continue;
                 }
                 scratch.stats.lp_solves += 1;
+                // LP-time histogram: one entry per probe, so the
+                // lp_solve count reconciles with `SolverStats::lp_solves`.
+                let t0 = self.config.obs().map(|_| Instant::now());
                 let p = probe(scratch, j, sense);
+                if let (Some(tel), Some(t0)) = (self.config.obs(), t0) {
+                    tel.metrics.lp_solve.record(t0.elapsed());
+                }
                 let resolved = if slot < m {
                     resolve_probe_lo(&p, static_lo)
                 } else {
@@ -456,6 +467,11 @@ impl SearchView<'_> {
             wit: vec![0.0; 2 * m * m],
             wit_ok: vec![false; 2 * m],
         };
+        // Phase profiling (sampled): time phases A and C of this node's
+        // tightening when the telemetry sampling knob selects it.
+        let obs = self.config.obs();
+        let sampled = obs.is_some_and(|tel| tel.sample_phase());
+        let phase_a_t0 = sampled.then(Instant::now);
         // Phase A: skip rules (witness / untouched coordinate), same
         // order and accounting as the sequential path; survivors queue.
         let mut probes: Vec<(usize, Sense)> = Vec::with_capacity(2 * m);
@@ -487,15 +503,36 @@ impl SearchView<'_> {
                 probe_slots.push(slot);
             }
         }
+        if let (Some(tel), Some(t0)) = (obs, phase_a_t0) {
+            tel.metrics.tighten_a.record(t0.elapsed());
+        }
         // Phase B: one sweep solves all survivors.
         let mut outcomes: Vec<ProbeOutcome> = Vec::new();
         let mut witnesses: Vec<Vec<f64>> = Vec::new();
         if !probes.is_empty() {
             scratch.stats.batched_sweeps += 1;
+            let t0 = obs.map(|_| Instant::now());
             scratch
                 .inc
                 .solve_objectives(&probes, &mut outcomes, &mut witnesses);
+            if let (Some(tel), Some(t0)) = (obs, t0) {
+                let elapsed = t0.elapsed();
+                tel.metrics.probe_sweep.record(elapsed);
+                // The sweep is `probes.len()` objective solves done in
+                // one pass; spread its time evenly so the lp_solve
+                // histogram count still reconciles with
+                // `SolverStats::lp_solves` (Phase A counted each
+                // survivor there).
+                let per = (elapsed.as_nanos() / probes.len() as u128) as u64;
+                for _ in 0..probes.len() {
+                    tel.metrics.lp_solve.record_nanos(per);
+                }
+                tel.event(Event::ProbeSweep {
+                    probes: probes.len() as u64,
+                });
+            }
         }
+        let phase_c_t0 = sampled.then(Instant::now);
         // Phase C: resolve in slot order.
         for (k, &slot) in probe_slots.iter().enumerate() {
             let (j, _) = probes[k];
@@ -538,6 +575,9 @@ impl SearchView<'_> {
                 t.hi[j] = mid;
             }
         }
+        if let (Some(tel), Some(t0)) = (obs, phase_c_t0) {
+            tel.metrics.tighten_c.record(t0.elapsed());
+        }
         t
     }
 
@@ -577,19 +617,34 @@ impl SearchView<'_> {
         // carries one — then drive all probes and child checks from that
         // tableau. A failed load (numerical trouble) silently degrades
         // this node to cold per-LP solves; answers never depend on it.
+        let obs = self.config.obs();
         let mut inc_ready = false;
         if self.config.warm_lp {
             // The load is itself an LP solve (snapshot install + dual
             // restore, or a cold phase 1 on fallback) — count it, so
             // warm-mode lp_solves reflects the work actually done.
             scratch.stats.lp_solves += 1;
-            match scratch.inc.load(&region, node.basis.as_deref()) {
+            let t0 = obs.map(|_| Instant::now());
+            let loaded = scratch.inc.load(&region, node.basis.as_deref());
+            if let (Some(tel), Some(t0)) = (obs, t0) {
+                let elapsed = t0.elapsed();
+                tel.metrics.lp_solve.record(elapsed);
+                // lp_load is the snapshot-install / dual-restore detail
+                // view of the same work, behind the sampling knob.
+                if tel.sample_phase() {
+                    tel.metrics.lp_load.record(elapsed);
+                }
+            }
+            match loaded {
                 Ok(LoadStatus::Infeasible { warm }) => {
                     // The load still ran (and pruned the node): account
                     // it, so every expanded node counts exactly one LP
                     // start — the invariant the parity proptest pins.
                     if warm {
                         scratch.stats.lp_warm_starts += 1;
+                        if let Some(tel) = obs {
+                            tel.event(Event::SnapshotRestore);
+                        }
                     } else {
                         scratch.stats.lp_cold_starts += 1;
                     }
@@ -599,6 +654,9 @@ impl SearchView<'_> {
                     inc_ready = true;
                     if warm {
                         scratch.stats.lp_warm_starts += 1;
+                        if let Some(tel) = obs {
+                            tel.event(Event::SnapshotRestore);
+                        }
                     } else {
                         scratch.stats.lp_cold_starts += 1;
                     }
@@ -710,7 +768,12 @@ impl SearchView<'_> {
         let mut center_point: Option<Vec<f64>> = None;
         if self.config.incumbent_sampling {
             scratch.stats.lp_solves += 1;
-            if let Ok(Some(center)) = chebyshev_center_with(&region, &mut scratch.lp) {
+            let t0 = obs.map(|_| Instant::now());
+            let centered = chebyshev_center_with(&region, &mut scratch.lp);
+            if let (Some(tel), Some(t0)) = (obs, t0) {
+                tel.metrics.lp_solve.record(t0.elapsed());
+            }
+            if let Ok(Some(center)) = centered {
                 if self.try_incumbent(&center, incumbent, certified, &mut scratch.stats) {
                     let best = incumbent.error();
                     if best == 0 || bound >= best {
@@ -808,17 +871,35 @@ impl SearchView<'_> {
                 true
             } else if inc_ready {
                 scratch.stats.lp_solves += 1;
+                let t0 = obs.map(|_| Instant::now());
                 let (op, rhs) = if side { (Op::Ge, eps1) } else { (Op::Le, eps2) };
                 let pushed = scratch.inc.push_row(&branch_terms, op, rhs);
                 scratch.inc.pop_row();
+                if let (Some(tel), Some(t0)) = (obs, t0) {
+                    let elapsed = t0.elapsed();
+                    tel.metrics.lp_solve.record(elapsed);
+                    if tel.sample_phase() {
+                        tel.metrics.child_feas.record(elapsed);
+                    }
+                    tel.event(Event::PushRow);
+                }
                 match pushed {
                     Ok(status) => status == Status::Optimal,
                     Err(_) => true,
                 }
             } else {
                 scratch.stats.lp_solves += 1;
+                let t0 = obs.map(|_| Instant::now());
                 let child_region = self.region(&decisions);
-                match child_region.solve_feasibility_with(&mut scratch.lp) {
+                let feas = child_region.solve_feasibility_with(&mut scratch.lp);
+                if let (Some(tel), Some(t0)) = (obs, t0) {
+                    let elapsed = t0.elapsed();
+                    tel.metrics.lp_solve.record(elapsed);
+                    if tel.sample_phase() {
+                        tel.metrics.child_feas.record(elapsed);
+                    }
+                }
+                match feas {
                     Ok(sol) => sol.status == Status::Optimal,
                     Err(_) => true,
                 }

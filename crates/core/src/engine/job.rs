@@ -198,6 +198,14 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         (err != u64::MAX).then_some((err, w))
     }
 
+    /// This job's telemetry handle, if any (`None` when telemetry is
+    /// runtime-disabled or compiled out). The scheduler and router
+    /// record their layer's signals — queue wait, completion latency,
+    /// placement events — against the same handle the engine uses.
+    pub fn telemetry(&self) -> Option<&rankhow_obs::SolveTelemetry> {
+        self.config.obs()
+    }
+
     /// Advance the job by at most `node_budget` frontier pops on `lane`
     /// (the scheduler's fairness slice). Reentrant: distinct workers may
     /// step distinct lanes of the same job concurrently.
@@ -240,6 +248,10 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         scratch.prepare(view.sys);
         let budget = node_budget.max(1);
         let mut popped = 0usize;
+        // Slice accounting starts at the first successful pop, so
+        // starved slices leave no trace.
+        let obs = self.config.obs();
+        let mut slice_t0: Option<Instant> = None;
         let outcome = loop {
             if self.is_finished() {
                 break StepOutcome::Done;
@@ -264,6 +276,12 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                 break StepOutcome::Starved;
             };
             popped += 1;
+            if let Some(tel) = obs {
+                if popped == 1 {
+                    slice_t0 = Some(Instant::now());
+                    tel.event(rankhow_obs::Event::SliceStart { lane });
+                }
+            }
             if node.bound >= self.incumbent.error() {
                 // Sound discard — and under best-first order everything
                 // left on this lane's heap is at least as bad.
@@ -310,6 +328,13 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                 }
             }
         };
+        if let (Some(tel), Some(t0)) = (obs, slice_t0) {
+            tel.metrics.slice.record(t0.elapsed());
+            tel.event(rankhow_obs::Event::SliceEnd {
+                lane,
+                nodes: popped as u64,
+            });
+        }
         self.flush(scratch);
         outcome
     }
@@ -419,8 +444,14 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         // Root region feasibility + first incumbent. A numerically
         // stuck Chebyshev LP falls back to a plain feasibility solve.
         let root_region = view.region(&[]);
+        let obs = self.config.obs();
         scratch.stats.lp_solves += 1;
-        let center = match rankhow_lp::chebyshev_center_with(&root_region, &mut scratch.lp) {
+        let t0 = obs.map(|_| Instant::now());
+        let centered = rankhow_lp::chebyshev_center_with(&root_region, &mut scratch.lp);
+        if let (Some(tel), Some(t0)) = (obs, t0) {
+            tel.metrics.lp_solve.record(t0.elapsed());
+        }
+        let center = match centered {
             Ok(Some(c)) => c,
             Ok(None) => {
                 self.finish(Err(SolverError::Infeasible));
@@ -428,7 +459,12 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
             }
             Err(_) => {
                 scratch.stats.lp_solves += 1;
-                match root_region.solve_feasibility_with(&mut scratch.lp) {
+                let t0 = obs.map(|_| Instant::now());
+                let feas = root_region.solve_feasibility_with(&mut scratch.lp);
+                if let (Some(tel), Some(t0)) = (obs, t0) {
+                    tel.metrics.lp_solve.record(t0.elapsed());
+                }
+                match feas {
                     Ok(sol) if sol.status == Status::Optimal => sol.x,
                     Ok(_) => {
                         self.finish(Err(SolverError::Infeasible));
@@ -466,6 +502,9 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         let mut seeded_prop: Option<Arc<Propagated>> = None;
         if let Some(seed) = &self.config.root_seed {
             scratch.stats.cache_near_hits += 1;
+            if let Some(tel) = obs {
+                tel.event(rankhow_obs::Event::CacheNearHit);
+            }
             for w in &seed.incumbents {
                 if w.len() == problem.m()
                     && problem.constraints.satisfied_by(w)
@@ -542,6 +581,9 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                     prop: seeded_prop,
                 },
             );
+        }
+        if let Some(tel) = obs {
+            tel.event(rankhow_obs::Event::RootInit);
         }
         self.root_done.store(true, Ordering::Release);
     }

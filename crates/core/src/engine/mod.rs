@@ -160,6 +160,14 @@ pub struct SolverConfig {
     /// incumbent is found first. Set `threads: 1` where bit-identical
     /// output matters (the figure/table reproduction binaries do).
     pub threads: usize,
+    /// Solve-path telemetry ([`rankhow_obs::SolveTelemetry`]): latency
+    /// histograms in the shared registry, per-query flight-recorder
+    /// events, and sampled engine-phase profiling. `None` (the default)
+    /// records nothing and costs nothing on the hot path; the `obs-off`
+    /// cargo feature removes even the `None` checks at compile time.
+    /// Telemetry never influences the search — on/off parity is pinned
+    /// by proptest.
+    pub telemetry: Option<Arc<rankhow_obs::SolveTelemetry>>,
 }
 
 impl Default for SolverConfig {
@@ -177,6 +185,21 @@ impl Default for SolverConfig {
             batched_kernels: true,
             root_seed: None,
             threads: default_threads(),
+            telemetry: None,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The telemetry handle to record against, or `None` when telemetry
+    /// is runtime-disabled or compiled out (`obs-off`): guarding every
+    /// record site on this lets the disabled branch fold away.
+    #[inline]
+    pub fn obs(&self) -> Option<&rankhow_obs::SolveTelemetry> {
+        if rankhow_obs::ENABLED {
+            self.telemetry.as_deref()
+        } else {
+            None
         }
     }
 }
@@ -270,6 +293,34 @@ impl SolverStats {
         self.cache_evictions += other.cache_evictions;
         self.live_pairs += other.live_pairs;
         self.jobs += other.jobs;
+    }
+
+    /// Serialize as a JSON object (the `solver` section of
+    /// `--stats-json`; schema documented in README § Observability).
+    pub fn to_json(&self) -> String {
+        let mut obj = rankhow_obs::json::Obj::new();
+        obj.field_u64("nodes", self.nodes as u64);
+        obj.field_u64("lp_solves", self.lp_solves as u64);
+        obj.field_u64("lp_warm_starts", self.lp_warm_starts as u64);
+        obj.field_u64("lp_cold_starts", self.lp_cold_starts as u64);
+        obj.field_u64("lp_pivots", self.lp_pivots);
+        obj.field_u64("probes_skipped", self.probes_skipped as u64);
+        obj.field_u64("coords_skipped", self.coords_skipped as u64);
+        obj.field_u64("batched_sweeps", self.batched_sweeps as u64);
+        obj.field_u64(
+            "probe_objectives_batched",
+            self.probe_objectives_batched as u64,
+        );
+        obj.field_u64("incumbents", self.incumbents as u64);
+        obj.field_u64("cache_exact_hits", self.cache_exact_hits as u64);
+        obj.field_u64("cache_near_hits", self.cache_near_hits as u64);
+        obj.field_u64("cache_misses", self.cache_misses as u64);
+        obj.field_u64("cache_evictions", self.cache_evictions as u64);
+        obj.field_u64("live_pairs", self.live_pairs as u64);
+        obj.field_u64("threads", self.threads as u64);
+        obj.field_u64("jobs", self.jobs as u64);
+        obj.field_f64("elapsed_s", self.elapsed.as_secs_f64());
+        obj.finish()
     }
 }
 

@@ -1,0 +1,324 @@
+//! Dependency-free JSON writing, plus a validating parser for tests.
+//!
+//! The build is fully offline (no serde), so `--metrics-out`,
+//! `--trace-out`, `--stats-json`, and the bench reporter all hand-roll
+//! their JSON through [`Obj`]/[`Arr`]. [`validate`] is a strict
+//! recursive-descent parser the CLI tests use to assert the emitted
+//! files are well-formed without a third-party crate.
+
+/// Incremental JSON object writer.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(name));
+        self.buf.push_str("\":");
+    }
+
+    pub fn field_u64(&mut self, name: &str, v: u64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn field_f64(&mut self, name: &str, v: f64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    pub fn field_bool(&mut self, name: &str, v: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn field_str(&mut self, name: &str, v: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Insert a pre-serialized JSON value (nested object/array).
+    pub fn field_raw(&mut self, name: &str, v: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(&self) -> String {
+        let mut out = self.buf.clone();
+        out.push('}');
+        out
+    }
+}
+
+/// Incremental JSON array writer.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+    first: bool,
+}
+
+impl Arr {
+    pub fn new() -> Self {
+        Arr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    pub fn push_raw(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn push_f64(&mut self, v: f64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    pub fn push_str(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    pub fn finish(&self) -> String {
+        let mut out = self.buf.clone();
+        out.push(']');
+        out
+    }
+}
+
+/// Format an `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // Rust Display may print exponent-free integers ("3"), which
+        // is valid JSON, but normalize "-0" to keep diffs stable.
+        if s == "-0" {
+            s = "0".to_string();
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string for embedding inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Strict well-formedness check: one JSON value, nothing trailing.
+pub fn validate(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    if !value(b, &mut pos) {
+        return false;
+    }
+    ws(b, &mut pos);
+    pos == b.len()
+}
+
+fn ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> bool {
+    ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '{'
+    ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !string(b, pos) {
+            return false;
+        }
+        ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !value(b, pos) {
+            return false;
+        }
+        ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '['
+    ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !value(b, pos) {
+            return false;
+        }
+        ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() - *pos < 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return false;
+                        }
+                        *pos += 5;
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| -> bool {
+        let s = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    // The integer part is "0" or a nonzero-led digit run — strict JSON
+    // has no leading zeros.
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            digits(b, pos);
+        }
+        _ => return false,
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    *pos > start
+}

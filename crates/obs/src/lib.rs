@@ -1,0 +1,36 @@
+//! Solve-path observability for the rankhow serving stack.
+//!
+//! Three layers, all optional at two levels:
+//!
+//! * [`Histogram`] / [`MetricsRegistry`] — lock-free log-bucketed
+//!   latency histograms and per-pool depth gauges, merge-able and
+//!   snapshot-able (p50/p90/p99/max), aggregated across every query a
+//!   registry is attached to.
+//! * [`FlightRecorder`] / [`SolveTrace`] — a fixed-capacity ring of
+//!   timestamped [`Event`]s recording one query's path through
+//!   router → scheduler → engine → LP, drained into a serializable
+//!   trace on join.
+//! * [`json`] — a dependency-free JSON writer (and a validating parser
+//!   for tests) shared by `--metrics-out`, `--trace-out`, and
+//!   `--stats-json`.
+//!
+//! Runtime gating: a query records only when its `SolverConfig`
+//! carries an `Arc<SolveTelemetry>`; the router layer additionally
+//! honours `RouterConfig::telemetry`. Compile-time gating: the
+//! `obs-off` cargo feature turns [`ENABLED`] const-false and every
+//! recording entry point into an inlined no-op, so guarded call sites
+//! fold to nothing.
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use recorder::{Event, FlightRecorder, SolveTrace, TimedEvent};
+pub use registry::{MetricsRegistry, PoolDepth, SolveTelemetry};
+
+/// Const-false under the `obs-off` cargo feature. Hot paths guard
+/// telemetry lookups with `if rankhow_obs::ENABLED { .. }` so the
+/// disabled build folds the whole branch away.
+pub const ENABLED: bool = cfg!(not(feature = "obs-off"));

@@ -46,6 +46,21 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+impl CacheStats {
+    /// Serialize as a JSON object (the `cache` section of
+    /// `--stats-json`; schema documented in README § Observability).
+    pub fn to_json(&self) -> String {
+        let mut obj = rankhow_obs::json::Obj::new();
+        obj.field_u64("exact_hits", self.exact_hits);
+        obj.field_u64("near_hits", self.near_hits);
+        obj.field_u64("misses", self.misses);
+        obj.field_u64("evictions", self.evictions);
+        obj.field_u64("insertions", self.insertions);
+        obj.field_u64("entries", self.entries as u64);
+        obj.finish()
+    }
+}
+
 /// What one lookup produced.
 pub(crate) enum Lookup {
     /// Verified exact hit: the stored solution, re-stamped with

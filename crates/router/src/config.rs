@@ -63,6 +63,14 @@ pub struct RouterConfig {
     /// sharded across pools. `0` disables the cache just like
     /// [`RouterConfig::cache`]` = false`.
     pub cache_cap: usize,
+    /// Whether the router records its layer of solve-path telemetry —
+    /// admission/placement/rejection flight-recorder events, cache
+    /// lookup timing, and per-pool queue-depth gauges — for queries
+    /// that carry a telemetry handle
+    /// (`SolverConfig::telemetry`). Default `true`; queries without a
+    /// handle record nothing either way, and the `obs-off` cargo
+    /// feature removes the recording at compile time.
+    pub telemetry: bool,
 }
 
 impl Default for RouterConfig {
@@ -78,6 +86,7 @@ impl Default for RouterConfig {
             rebalance_every: 64,
             cache: true,
             cache_cap: 512,
+            telemetry: true,
         }
     }
 }

@@ -10,7 +10,7 @@ use rankhow_core::{
 use rankhow_serve::{Scheduler, SolveHandle, SpawnOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a backpressured spawner parks on a pool's capacity condvar
 /// before rechecking admission (a completion on *another* pool does not
@@ -114,6 +114,20 @@ impl Router {
         mut config: SolverConfig,
         backpressure: bool,
     ) -> SolveHandle {
+        // Router-layer telemetry: only for queries that carry a handle,
+        // and only when the router's own gate is open. The admission
+        // stamp always rides the spawn options — queue-wait must
+        // survive placement retries and rebalance migrations, so it is
+        // taken once, here.
+        let admitted_at = Instant::now();
+        let tel = if rankhow_obs::ENABLED && self.config.telemetry {
+            config.telemetry.clone()
+        } else {
+            None
+        };
+        if let Some(tel) = &tel {
+            tel.event(rankhow_obs::Event::Admitted);
+        }
         // One canonical-key pass per admission: placement, the cache
         // lookup, and the queued-job fingerprint all reuse it —
         // placement retries and rebalancing never re-walk the feature
@@ -122,6 +136,7 @@ impl Router {
             .then(|| query_key(&problem));
         let mut opts = SpawnOptions {
             fingerprint: keyed.map(|k| k.full),
+            admitted: Some(admitted_at),
             ..SpawnOptions::default()
         };
         if let (Some(cache), Some(query)) = (&self.cache, keyed) {
@@ -131,8 +146,23 @@ impl Router {
             // instance the key describes — serving it a cached answer
             // would answer a different question.
             if config.initial_box.is_none() && config.root_seed.is_none() {
-                match cache.lookup(&query, &problem) {
-                    Lookup::Exact(solution) => return SolveHandle::completed(solution),
+                let lookup_t0 = tel.as_ref().map(|_| Instant::now());
+                let looked_up = cache.lookup(&query, &problem);
+                if let (Some(tel), Some(t0)) = (&tel, lookup_t0) {
+                    tel.metrics.cache_lookup.record(t0.elapsed());
+                }
+                match looked_up {
+                    Lookup::Exact(solution) => {
+                        // An exact hit still completes the query: keep
+                        // the latency histogram's "one entry per
+                        // completed query" invariant.
+                        if let Some(tel) = &tel {
+                            tel.event(rankhow_obs::Event::CacheExactHit);
+                            tel.event(rankhow_obs::Event::Completed { status: "optimal" });
+                            tel.metrics.latency.record(admitted_at.elapsed());
+                        }
+                        return SolveHandle::completed(solution);
+                    }
                     Lookup::Near {
                         incumbents,
                         artifacts,
@@ -170,14 +200,25 @@ impl Router {
             if self.over_high_water() {
                 if !backpressure {
                     self.rejections.fetch_add(1, Ordering::AcqRel);
+                    if let Some(tel) = &tel {
+                        tel.event(rankhow_obs::Event::Rejected);
+                    }
                     return SolveHandle::rejected();
                 }
                 self.park(pool);
                 continue;
             }
+            // The scheduler stamps the `placed` event itself, before the
+            // entry is worker-visible — recording it here after the Ok
+            // would race the worker's `dequeued` into the trace.
+            opts.placed_pool = tel.as_ref().map(|_| pool);
             match self.pools[pool].try_spawn_with(problem, config, self.config.queue_cap, opts) {
                 Ok(handle) => {
                     self.admissions.fetch_add(1, Ordering::AcqRel);
+                    if let Some(tel) = &tel {
+                        tel.metrics
+                            .set_pool_depth(pool, self.pools[pool].load().queued as u64);
+                    }
                     self.auto_tick();
                     return handle;
                 }
@@ -187,6 +228,9 @@ impl Router {
                     opts = refused.opts;
                     if !backpressure {
                         self.rejections.fetch_add(1, Ordering::AcqRel);
+                        if let Some(tel) = &tel {
+                            tel.event(rankhow_obs::Event::Rejected);
+                        }
                         return SolveHandle::rejected();
                     }
                     self.park(pool);

@@ -58,4 +58,30 @@ impl RouterStats {
     pub fn queued_jobs(&self) -> usize {
         self.pools.iter().map(|p| p.load.queued).sum()
     }
+
+    /// Serialize the whole snapshot as a JSON object — the `router`
+    /// section of `--stats-json` (schema documented in README
+    /// § Observability). Shares the serializers of the parts:
+    /// [`SolverStats::to_json`] and [`CacheStats::to_json`].
+    pub fn to_json(&self) -> String {
+        let mut pools = rankhow_obs::json::Arr::new();
+        for (i, p) in self.pools.iter().enumerate() {
+            let mut row = rankhow_obs::json::Obj::new();
+            row.field_u64("pool", i as u64);
+            row.field_u64("spawned", p.spawned);
+            row.field_u64("queued", p.load.queued as u64);
+            row.field_u64("in_flight", p.load.in_flight as u64);
+            row.field_u64("workers", p.load.workers as u64);
+            row.field_raw("solver", &p.solver.to_json());
+            pools.push_raw(&row.finish());
+        }
+        let mut obj = rankhow_obs::json::Obj::new();
+        obj.field_u64("admissions", self.admissions);
+        obj.field_u64("rejections", self.rejections);
+        obj.field_u64("migrations", self.migrations);
+        obj.field_raw("solver", &self.solver.to_json());
+        obj.field_raw("cache", &self.cache.to_json());
+        obj.field_raw("pools", &pools.finish());
+        obj.finish()
+    }
 }

@@ -4,8 +4,8 @@
 use crate::handle::{Completion, SolveHandle};
 use crate::sync;
 use rankhow_core::{
-    CellScheduler, EngineScratch, OptProblem, RootArtifacts, Solution, SolveJob, SolverConfig,
-    SolverError, SolverStats, StepOutcome,
+    CellScheduler, EngineScratch, OptProblem, RootArtifacts, Solution, SolveJob, SolveStatus,
+    SolverConfig, SolverError, SolverStats, StepOutcome,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -35,6 +35,20 @@ pub struct SpawnOptions {
     pub fingerprint: Option<u64>,
     /// See [`CompletionHook`].
     pub on_complete: Option<CompletionHook>,
+    /// When the query was admitted by its submitter (the router stamps
+    /// this before its first placement attempt). Queue-wait and
+    /// end-to-end latency telemetry are measured from here, so they
+    /// survive placement retries and [`Scheduler::take_unstarted`]
+    /// migrations — wait is charged from *original* admission, not
+    /// re-enqueue. Defaults to the spawn instant.
+    pub admitted: Option<Instant>,
+    /// Pool label for the flight-recorder `placed` event. When set, the
+    /// spawn records [`rankhow_obs::Event::Placed`] under the queue
+    /// lock, *before* the entry is visible to workers — so a trace
+    /// always orders `placed` ahead of the worker's `dequeued`, which a
+    /// post-spawn recording by the submitter cannot guarantee. `None`
+    /// (direct scheduler use, or router telemetry off) records nothing.
+    pub placed_pool: Option<usize>,
 }
 
 /// One spawned job: the reentrant engine state plus completion plumbing.
@@ -59,6 +73,10 @@ pub(crate) struct JobEntry {
     /// exactly once — keeps [`Scheduler::load`] O(1) instead of a
     /// queue scan on the placement hot path.
     started_accounted: AtomicBool,
+    /// Original admission time (see [`SpawnOptions::admitted`]). Rides
+    /// the entry itself, so a `take_unstarted` → `adopt` migration
+    /// keeps the stamp.
+    admitted: Instant,
 }
 
 struct Shared {
@@ -145,6 +163,14 @@ impl QueuedJob {
     /// re-walking the instance. `None` for jobs spawned without one.
     pub fn fingerprint(&self) -> Option<u64> {
         self.entry.as_ref().and_then(|e| e.fingerprint)
+    }
+
+    /// The job's original admission stamp. Migration moves the entry
+    /// wholesale, so queue-wait telemetry keeps measuring from the
+    /// *first* admission even after a rebalance re-enqueues the job on
+    /// another pool.
+    pub fn admitted(&self) -> Option<Instant> {
+        self.entry.as_ref().map(|e| e.admitted)
     }
 }
 
@@ -317,7 +343,14 @@ impl Scheduler {
                 finalized: AtomicBool::new(false),
                 claims: AtomicUsize::new(0),
                 started_accounted: AtomicBool::new(false),
+                admitted: opts.admitted.unwrap_or_else(Instant::now),
             });
+            // Stamp placement while the entry is still invisible to
+            // workers (they pop under this same lock), so the trace
+            // orders `placed` strictly before `dequeued`.
+            if let (Some(pool), Some(tel)) = (opts.placed_pool, entry.job.telemetry()) {
+                tel.event(rankhow_obs::Event::Placed { pool });
+            }
             self.shared.jobs_spawned.fetch_add(1, Ordering::AcqRel);
             self.shared.live.fetch_add(1, Ordering::AcqRel);
             self.shared.queued.fetch_add(1, Ordering::AcqRel);
@@ -475,6 +508,12 @@ fn worker_loop(shared: &Shared, wid: usize) {
             .is_ok()
         {
             shared.queued.fetch_sub(1, Ordering::AcqRel);
+            // Queue wait ends here: one entry per job, measured from the
+            // original admission stamp (survives rebalance migration).
+            if let Some(tel) = entry.job.telemetry() {
+                tel.metrics.queue_wait.record(entry.admitted.elapsed());
+                tel.event(rankhow_obs::Event::Dequeued);
+            }
         }
         match entry.job.step(wid, &mut scratch, shared.slice_nodes) {
             StepOutcome::Done => finalize(shared, &entry),
@@ -498,6 +537,20 @@ fn finalize(shared: &Shared, entry: &JobEntry) {
     let result = entry.job.result();
     if let Ok(solution) = &result {
         sync::lock(&shared.finished_stats).merge(&solution.stats);
+        // End-to-end latency: original admission → completion. One
+        // entry per completed job, so latency.count == finished jobs.
+        if let Some(tel) = entry.job.telemetry() {
+            tel.metrics.latency.record(entry.admitted.elapsed());
+            tel.event(rankhow_obs::Event::Completed {
+                status: match solution.status {
+                    SolveStatus::Optimal => "optimal",
+                    SolveStatus::NodeLimit => "node_limit",
+                    SolveStatus::TimeLimit => "time_limit",
+                    SolveStatus::Cancelled => "cancelled",
+                    SolveStatus::Rejected => "rejected",
+                },
+            });
+        }
         // Run the spawner's hook *before* waking the joiner: a caller
         // observing completion may rely on what the hook published
         // (e.g. the router's cache insert serving the next query).
@@ -505,13 +558,15 @@ fn finalize(shared: &Shared, entry: &JobEntry) {
             hook(solution, entry.job.root_artifacts());
         }
     }
-    entry.completion.set(result);
     // Release the job's admission slot under the queue lock so a
     // `wait_capacity` parked on the capacity condvar cannot miss the
-    // wakeup between its predicate check and its wait.
+    // wakeup between its predicate check and its wait. This happens
+    // *before* the joiner wakes: anything `join` returns into (a load
+    // snapshot, `live_jobs`) already reflects the completed job.
     {
         let _queue = sync::lock(&shared.queue);
         shared.live.fetch_sub(1, Ordering::AcqRel);
         shared.capacity.notify_all();
     }
+    entry.completion.set(result);
 }

@@ -435,3 +435,67 @@ fn node_limited_jobs_report_node_limit_status() {
     }
     assert_eq!(problem.evaluate(&sol.weights), sol.error);
 }
+
+#[test]
+fn admission_stamp_survives_migration_and_feeds_queue_wait() {
+    use rankhow_obs::{MetricsRegistry, SolveTelemetry};
+    use rankhow_serve::SpawnOptions;
+
+    let source = Scheduler::new(1);
+    let target = Scheduler::new(1);
+    let blocker = source.spawn_shared(Arc::new(blocker_problem(12, 6, 0)), blocker_config());
+    // Wait for the lone worker to claim the blocker, so the next spawn
+    // is deterministically the one unstarted (migratable) entry.
+    let t0 = Instant::now();
+    while source.load().queued > 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "worker never started"
+        );
+        std::thread::yield_now();
+    }
+
+    // A query "admitted" 250 ms ago: the stamp the router would have
+    // taken before its first placement attempt.
+    let backdated = Instant::now() - Duration::from_millis(250);
+    let tel = Arc::new(SolveTelemetry::new(Arc::new(MetricsRegistry::new())));
+    let handle = source
+        .try_spawn_with(
+            Arc::new(light_problem()),
+            SolverConfig {
+                telemetry: Some(Arc::clone(&tel)),
+                ..SolverConfig::default()
+            },
+            0,
+            SpawnOptions {
+                admitted: Some(backdated),
+                ..SpawnOptions::default()
+            },
+        )
+        .ok()
+        .expect("cap 0 admits unconditionally");
+
+    // The stamp rides the migrated entry itself, not the source pool.
+    let migrated = source.take_unstarted().expect("light query is unstarted");
+    assert_eq!(migrated.admitted(), Some(backdated));
+    target.adopt(migrated);
+    let sol = handle.join().expect("feasible instance");
+    assert!(sol.optimal, "migration must not change results");
+    blocker.cancel();
+
+    if rankhow_obs::ENABLED {
+        // Queue wait is charged from the ORIGINAL admission: at least
+        // the backdating, even though the job spent almost no time on
+        // the target pool's queue.
+        let wait = tel.metrics.queue_wait.snapshot();
+        assert_eq!(wait.count, 1);
+        assert!(
+            wait.min() >= 250_000_000,
+            "wait measured from re-enqueue, not admission: {} ns",
+            wait.min()
+        );
+        let latency = tel.metrics.latency.snapshot();
+        assert_eq!(latency.count, 1);
+        assert!(latency.max() >= wait.max(), "latency includes the wait");
+    }
+}

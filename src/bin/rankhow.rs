@@ -10,6 +10,17 @@
 //!         [--no-cache] [--cache-cap <N>]
 //! ```
 //!
+//! Observability flags (both modes, top-level only — not inside batch
+//! lines): `--stats` prints human-readable counters and latency
+//! histogram summaries to stderr; `--stats-json <file>` writes the
+//! solver/router/cache statistics as JSON; `--metrics-out <file>`
+//! writes the metrics-registry snapshot (latency/queue-wait/LP-solve
+//! histograms plus per-pool queue-depth gauges); `--trace-out <dir>`
+//! attaches a flight recorder to every direct query and writes one
+//! JSON trace per query into the directory (SYM-GD cell chains carry
+//! no recorder — their cells are internal jobs). Schemas are
+//! documented in README § Observability.
+//!
 //! Input: a CSV of numeric attributes (header row). The given ranking
 //! comes either from `--ranking` (a one-column CSV of positions, one row
 //! per tuple, empty/0 = ⊥) or from `--score-col` + `--k` (rank the top-K
@@ -41,14 +52,20 @@
 //! verification verdict.
 
 use rankhow::core::{seeding, verify, Solution, SolveStatus, SolverConfig, SymGd, SymGdConfig};
+use rankhow::obs::{Event, MetricsRegistry, SolveTelemetry};
 use rankhow::prelude::*;
 use rankhow::ranking::ErrorMeasure;
 use rankhow::router::{Router, RouterConfig};
 use std::io::BufRead;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Flight-recorder ring capacity per traced query (`--trace-out`).
+/// Long solves overflow and keep the newest events; `dropped` in the
+/// trace counts the overwritten prefix.
+const TRACE_CAPACITY: usize = 4096;
 
 #[derive(Clone)]
 struct Args {
@@ -70,7 +87,36 @@ struct Args {
     no_cache: bool,
     cache_cap: Option<usize>,
     stats: bool,
+    stats_json: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     batch: Option<PathBuf>,
+}
+
+impl Args {
+    /// Whether any flag asked for telemetry — the queries then carry a
+    /// `SolveTelemetry` handle; otherwise `SolverConfig::telemetry`
+    /// stays `None` and the instrumented paths cost nothing.
+    fn wants_telemetry(&self) -> bool {
+        self.stats
+            || self.stats_json.is_some()
+            || self.metrics_out.is_some()
+            || self.trace_out.is_some()
+    }
+
+    /// Build one query's telemetry handle over the shared registry:
+    /// a flight recorder when tracing, full phase sampling when the
+    /// metrics snapshot or the human histogram summary was asked for.
+    fn make_telemetry(&self, metrics: &Arc<MetricsRegistry>) -> Arc<SolveTelemetry> {
+        let mut tel = SolveTelemetry::new(Arc::clone(metrics));
+        if self.trace_out.is_some() {
+            tel = tel.with_recorder(TRACE_CAPACITY);
+        }
+        if self.metrics_out.is_some() || self.stats {
+            tel = tel.with_phase_sample(1);
+        }
+        Arc::new(tel)
+    }
 }
 
 fn usage() -> ! {
@@ -78,9 +124,11 @@ fn usage() -> ! {
         "usage: rankhow <data.csv> [--ranking pos.csv | --score-col NAME] [--k K]\n\
          \x20      [--eps E] [--eps1 E1] [--eps2 E2] [--min-weight A=L] [--max-weight A=H]\n\
          \x20      [--symgd CELL] [--budget SECS] [--measure position|kendall|topweighted]\n\
-         \x20      [--threads N] [--stats]\n\
+         \x20      [--threads N] [--stats] [--stats-json FILE] [--metrics-out FILE]\n\
+         \x20      [--trace-out DIR]\n\
          \x20      rankhow --batch queries.txt [--threads N] [--pools P] [--queue-cap N]\n\
-         \x20      [--no-cache] [--cache-cap N] [--stats]"
+         \x20      [--no-cache] [--cache-cap N] [--stats] [--stats-json FILE]\n\
+         \x20      [--metrics-out FILE] [--trace-out DIR]"
     );
     std::process::exit(2)
 }
@@ -108,6 +156,9 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
         no_cache: false,
         cache_cap: None,
         stats: false,
+        stats_json: None,
+        metrics_out: None,
+        trace_out: None,
         batch: None,
     };
     let mut it = tokens.iter();
@@ -165,6 +216,19 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
                 );
             }
             "--stats" => args.stats = true,
+            "--stats-json" | "--metrics-out" | "--trace-out" => {
+                // Output destinations are process-level: one file (or
+                // directory) per run, never one per batch line.
+                if !allow_batch {
+                    return Err(format!("{a} cannot appear inside a batch file"));
+                }
+                let path = PathBuf::from(next(a)?);
+                match a.as_str() {
+                    "--stats-json" => args.stats_json = Some(path),
+                    "--metrics-out" => args.metrics_out = Some(path),
+                    _ => args.trace_out = Some(path),
+                }
+            }
             "--symgd" => {
                 args.symgd_cell = Some(parse_f64("--symgd", next("--symgd")?)?);
             }
@@ -359,6 +423,62 @@ fn report_stats(stats: &rankhow::core::SolverStats) {
     }
 }
 
+/// Print one summary line per non-empty latency histogram (`--stats`
+/// with telemetry on): count, p50/p90/p99, max.
+fn report_histograms(metrics: &MetricsRegistry) {
+    let fmt = |ns: u64| format!("{:.3?}", Duration::from_nanos(ns));
+    let rows = [
+        ("latency", metrics.latency.snapshot()),
+        ("queue wait", metrics.queue_wait.snapshot()),
+        ("slice", metrics.slice.snapshot()),
+        ("lp solve", metrics.lp_solve.snapshot()),
+        ("lp load", metrics.lp_load.snapshot()),
+        ("probe sweep", metrics.probe_sweep.snapshot()),
+        ("tighten A", metrics.tighten_a.snapshot()),
+        ("tighten C", metrics.tighten_c.snapshot()),
+        ("child feas", metrics.child_feas.snapshot()),
+        ("cache lookup", metrics.cache_lookup.snapshot()),
+    ];
+    for (name, snap) in rows {
+        if snap.count == 0 {
+            continue;
+        }
+        eprintln!(
+            "  {name:<12} {:>8} recorded  p50 {:>9}  p90 {:>9}  p99 {:>9}  max {:>9}",
+            snap.count,
+            fmt(snap.p50()),
+            fmt(snap.p90()),
+            fmt(snap.p99()),
+            fmt(snap.max())
+        );
+    }
+}
+
+/// Write one observability JSON payload, newline-terminated.
+fn write_json(path: &Path, what: &str, json: &str) -> Result<(), String> {
+    std::fs::write(path, format!("{json}\n"))
+        .map_err(|e| format!("error writing {what} {}: {e}", path.display()))
+}
+
+/// Drain traced queries' flight recorders into `--trace-out`: one
+/// `query-NNNN.json` per recorder, numbered in submission order.
+fn write_traces<'a>(
+    dir: &Path,
+    traced: impl Iterator<Item = (usize, &'a SolveTelemetry, String)>,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("error creating trace dir {}: {e}", dir.display()))?;
+    for (i, tel, label) in traced {
+        let Some(recorder) = &tel.recorder else {
+            continue;
+        };
+        let trace = recorder.drain(&label);
+        let path = dir.join(format!("query-{:04}.json", i + 1));
+        write_json(&path, "trace", &trace.to_json())?;
+    }
+    Ok(())
+}
+
 fn status_label(status: SolveStatus) -> &'static str {
     match status {
         SolveStatus::Optimal => "optimal",
@@ -385,7 +505,9 @@ fn run_single(args: &Args) -> ExitCode {
         problem.given.k()
     );
 
-    // Solve.
+    // Solve. Telemetry attaches to the direct engine path only: a
+    // SYM-GD chain's cell jobs are internal and carry no handle.
+    let metrics = args.wants_telemetry().then(Arc::<MetricsRegistry>::default);
     let (weights, error, optimal) = if let Some(cell) = args.symgd_cell {
         let seed = seeding::ordinal_seed(&problem);
         match SymGd::with_config(SymGdConfig {
@@ -404,6 +526,17 @@ fn run_single(args: &Args) -> ExitCode {
                         r.iterations, r.cell_growths
                     );
                 }
+                if let Some(path) = &args.stats_json {
+                    let mut sym = rankhow::obs::json::Obj::new();
+                    sym.field_u64("iterations", r.iterations as u64);
+                    sym.field_u64("cell_growths", r.cell_growths as u64);
+                    let mut obj = rankhow::obs::json::Obj::new();
+                    obj.field_raw("symgd", &sym.finish());
+                    if let Err(msg) = write_json(path, "stats json", &obj.finish()) {
+                        eprintln!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 (r.weights, r.error, false)
             }
             Err(e) => {
@@ -412,18 +545,53 @@ fn run_single(args: &Args) -> ExitCode {
             }
         }
     } else {
+        let telemetry = metrics.as_ref().map(|m| args.make_telemetry(m));
+        let admitted = Instant::now();
+        if let Some(tel) = &telemetry {
+            tel.event(Event::Admitted);
+        }
         let seed = seeding::ordinal_seed(&problem);
         match RankHow::with_config(SolverConfig {
             time_limit: Some(Duration::from_secs(args.budget)),
             warm_start: Some(seed),
             threads: args.threads,
+            telemetry: telemetry.clone(),
             ..SolverConfig::default()
         })
         .solve(&problem)
         {
             Ok(s) => {
+                // No scheduler finalizes a single in-process solve, so
+                // the CLI records the admission→completion latency
+                // itself — latency.count == completed queries in both
+                // modes.
+                if let Some(tel) = &telemetry {
+                    tel.metrics.latency.record(admitted.elapsed());
+                    tel.event(Event::Completed {
+                        status: status_label(s.status),
+                    });
+                }
                 if args.stats {
                     report_stats(&s.stats);
+                    if let Some(m) = &metrics {
+                        report_histograms(m);
+                    }
+                }
+                if let Some(path) = &args.stats_json {
+                    let mut obj = rankhow::obs::json::Obj::new();
+                    obj.field_raw("solver", &s.stats.to_json());
+                    if let Err(msg) = write_json(path, "stats json", &obj.finish()) {
+                        eprintln!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(dir) = &args.trace_out {
+                    let label = args.data.display().to_string();
+                    let traced = telemetry.iter().map(|tel| (0, tel.as_ref(), label.clone()));
+                    if let Err(msg) = write_traces(dir, traced) {
+                        eprintln!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
                 }
                 (s.weights, s.error, s.optimal)
             }
@@ -433,6 +601,12 @@ fn run_single(args: &Args) -> ExitCode {
             }
         }
     };
+    if let (Some(path), Some(m)) = (&args.metrics_out, &metrics) {
+        if let Err(msg) = write_json(path, "metrics", &m.snapshot_json()) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     report(&problem, args, &weights, error, optimal);
     ExitCode::SUCCESS
 }
@@ -519,18 +693,26 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
     // nature (each cell warm-starts from the previous optimum), so each
     // gets a lightweight driver thread while all the actual solving —
     // cells and direct jobs alike — multiplexes on the router's pools.
+    let metrics = args.wants_telemetry().then(Arc::<MetricsRegistry>::default);
     let mut handles: Vec<Option<SolveHandle>> = Vec::with_capacity(queries.len());
+    let mut telemetries: Vec<Option<Arc<SolveTelemetry>>> = Vec::with_capacity(queries.len());
     for (query, problem) in &queries {
         if query.symgd_cell.is_some() {
+            // Cell-chain jobs are internal: no per-query recorder, and
+            // their engine work is excluded from the shared registry.
             handles.push(None);
+            telemetries.push(None);
             continue;
         }
+        let telemetry = metrics.as_ref().map(|m| args.make_telemetry(m));
         let seed = seeding::ordinal_seed(problem);
         let config = SolverConfig {
             time_limit: Some(Duration::from_secs(query.budget)),
             warm_start: Some(seed),
+            telemetry: telemetry.clone(),
             ..SolverConfig::default()
         };
+        telemetries.push(telemetry);
         handles.push(Some(router.spawn_shared(Arc::clone(problem), config)));
     }
     let mut outcomes: Vec<Option<BatchOutcome>> = Vec::with_capacity(queries.len());
@@ -615,6 +797,34 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
     if args.stats {
         // Aggregate over every completed job across all pools.
         report_stats(&stats.solver);
+        if let Some(m) = &metrics {
+            report_histograms(m);
+        }
+    }
+    if let Some(path) = &args.stats_json {
+        let mut obj = rankhow::obs::json::Obj::new();
+        obj.field_raw("router", &stats.to_json());
+        if let Err(msg) = write_json(path, "stats json", &obj.finish()) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let (Some(path), Some(m)) = (&args.metrics_out, &metrics) {
+        if let Err(msg) = write_json(path, "metrics", &m.snapshot_json()) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = &args.trace_out {
+        let traced = telemetries.iter().enumerate().filter_map(|(i, tel)| {
+            let tel = tel.as_deref()?;
+            let label = format!("query {}: {}", i + 1, queries[i].0.data.display());
+            Some((i, tel, label))
+        });
+        if let Err(msg) = write_traces(dir, traced) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
     }
     if failures > 0 {
         eprintln!("{failures}/{total} queries failed");

@@ -54,6 +54,7 @@ pub use rankhow_linalg as linalg;
 pub use rankhow_lp as lp;
 pub use rankhow_milp as milp;
 pub use rankhow_numeric as numeric;
+pub use rankhow_obs as obs;
 pub use rankhow_ranking as ranking;
 pub use rankhow_router as router;
 pub use rankhow_serve as serve;

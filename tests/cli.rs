@@ -604,3 +604,192 @@ fn batch_duplicate_queries_are_cache_invariant() {
     let again = run(&["--stats"]);
     assert_eq!(cached_stdout, String::from_utf8_lossy(&again.stdout));
 }
+
+/// Pull `"key":<integer>` out of a JSON payload without a parser (the
+/// build is serde-free; `rankhow::obs::json::validate` checks
+/// well-formedness, this digs out the few counters the tests compare).
+fn json_u64(payload: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = payload
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {payload}"));
+    payload[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer value")
+}
+
+#[test]
+fn observability_outputs_are_valid_and_reconcile() {
+    let dir = temp_dir("obs_single");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let stats_json = dir.join("stats.json");
+    let metrics = dir.join("metrics.json");
+    let traces = dir.join("traces");
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            data.to_str().unwrap(),
+            "--score-col",
+            "score",
+            "--k",
+            "6",
+            "--stats",
+            "--stats-json",
+            stats_json.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            traces.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stats:"), "{stderr}");
+
+    let stats_payload = std::fs::read_to_string(&stats_json).expect("stats json written");
+    assert!(
+        rankhow::obs::json::validate(&stats_payload),
+        "{stats_payload}"
+    );
+    let metrics_payload = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        rankhow::obs::json::validate(&metrics_payload),
+        "{metrics_payload}"
+    );
+    let trace_payload =
+        std::fs::read_to_string(traces.join("query-0001.json")).expect("trace written");
+    assert!(
+        rankhow::obs::json::validate(&trace_payload),
+        "{trace_payload}"
+    );
+
+    if rankhow::obs::ENABLED {
+        // The histogram summary rides --stats only when telemetry is
+        // compiled in.
+        assert!(stderr.contains("lp solve"), "{stderr}");
+        // The reconciliation invariant, end to end through the CLI: the
+        // LP-time histogram saw exactly SolverStats::lp_solves entries.
+        let lp_solves = json_u64(&stats_payload, "lp_solves");
+        assert!(lp_solves > 0);
+        let lp_hist = metrics_payload
+            .split("\"lp_solve\":")
+            .nth(1)
+            .expect("lp_solve histogram in metrics");
+        assert_eq!(json_u64(lp_hist, "count"), lp_solves);
+        // One completed query, one latency entry.
+        let latency = metrics_payload
+            .split("\"latency\":")
+            .nth(1)
+            .expect("latency histogram in metrics");
+        assert_eq!(json_u64(latency, "count"), 1);
+        assert!(
+            trace_payload.contains("\"event\":\"admitted\""),
+            "{trace_payload}"
+        );
+        assert!(
+            trace_payload.contains("\"event\":\"completed\""),
+            "{trace_payload}"
+        );
+    }
+}
+
+#[test]
+fn batch_observability_outputs_cover_every_query() {
+    let dir = temp_dir("obs_batch");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "{0} --score-col score --k 6 --budget 10\n\
+             {0} --score-col score --k 5 --budget 10\n",
+            data.to_str().unwrap()
+        ),
+    );
+    let stats_json = dir.join("stats.json");
+    let metrics = dir.join("metrics.json");
+    let traces = dir.join("traces");
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args([
+            "--batch",
+            batch.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--stats-json",
+            stats_json.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            traces.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats_payload = std::fs::read_to_string(&stats_json).expect("stats json written");
+    assert!(
+        rankhow::obs::json::validate(&stats_payload),
+        "{stats_payload}"
+    );
+    assert!(stats_payload.contains("\"router\":"), "{stats_payload}");
+    assert!(stats_payload.contains("\"cache\":"), "{stats_payload}");
+    let metrics_payload = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(
+        rankhow::obs::json::validate(&metrics_payload),
+        "{metrics_payload}"
+    );
+    // One trace file per direct query, each well-formed.
+    for name in ["query-0001.json", "query-0002.json"] {
+        let payload = std::fs::read_to_string(traces.join(name)).expect(name);
+        assert!(rankhow::obs::json::validate(&payload), "{payload}");
+    }
+    if rankhow::obs::ENABLED {
+        let latency = metrics_payload
+            .split("\"latency\":")
+            .nth(1)
+            .expect("latency histogram in metrics");
+        assert_eq!(
+            json_u64(latency, "count"),
+            2,
+            "one latency entry per completed query"
+        );
+    }
+}
+
+#[test]
+fn observability_flags_are_process_level_not_batch_line_level() {
+    let dir = temp_dir("obs_flags");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "{} --score-col score --k 6 --metrics-out nope.json\n",
+            data.to_str().unwrap()
+        ),
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
+        .args(["--batch", batch.to_str().unwrap()])
+        .output()
+        .expect("run cli");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed batch line is a usage error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--metrics-out cannot appear inside a batch file"),
+        "{stderr}"
+    );
+}
