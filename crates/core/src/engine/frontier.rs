@@ -236,21 +236,21 @@ impl WorkPool {
     /// Enqueue a node on `worker`'s own frontier.
     pub fn push(&self, worker: usize, node: Node) {
         self.pending.fetch_add(1, AtomicOrder::SeqCst);
-        self.queues[worker].lock().unwrap().push(node);
+        rankhow_sync::lock(&self.queues[worker]).push(node);
     }
 
     /// Dequeue for `worker`: own frontier first, then steal half of the
     /// first non-empty victim's queue (handoff lands on the worker's own
     /// frontier; one node is returned immediately).
     pub fn pop(&self, worker: usize) -> Option<Node> {
-        if let Some(n) = self.queues[worker].lock().unwrap().pop() {
+        if let Some(n) = rankhow_sync::lock(&self.queues[worker]).pop() {
             return Some(n);
         }
         let workers = self.queues.len();
         let mut stolen: Vec<Node> = Vec::new();
         for off in 1..workers {
             let victim = (worker + off) % workers;
-            self.queues[victim].lock().unwrap().split_half(&mut stolen);
+            rankhow_sync::lock(&self.queues[victim]).split_half(&mut stolen);
             if !stolen.is_empty() {
                 break;
             }
@@ -260,7 +260,7 @@ impl WorkPool {
         }
         // Route the loot through the worker's own queue so the returned
         // node respects the search order (best bound first on a heap).
-        let mut own = self.queues[worker].lock().unwrap();
+        let mut own = rankhow_sync::lock(&self.queues[worker]);
         for n in stolen {
             own.push(n);
         }
@@ -279,7 +279,7 @@ impl WorkPool {
     /// right after popping a node whose bound already failed the prune
     /// test (every remaining node's bound is at least as large).
     pub fn discard_lane(&self, lane: usize) {
-        let mut queue = self.queues[lane].lock().unwrap();
+        let mut queue = rankhow_sync::lock(&self.queues[lane]);
         let dropped = queue.len();
         if dropped > 0 {
             queue.clear();

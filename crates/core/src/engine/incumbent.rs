@@ -33,7 +33,7 @@ impl SharedIncumbent {
         if error >= self.error() {
             return false;
         }
-        let mut best = self.best.lock().unwrap();
+        let mut best = rankhow_sync::lock(&self.best);
         if error < best.0 {
             best.0 = error;
             best.1.clear();
@@ -54,7 +54,7 @@ impl SharedIncumbent {
     /// read used by `best_so_far` streaming. Taken under the lock, so
     /// the weights always realize the returned error.
     pub fn snapshot(&self) -> (u64, Vec<f64>) {
-        let best = self.best.lock().unwrap();
+        let best = rankhow_sync::lock(&self.best);
         (best.0, best.1.clone())
     }
 }

@@ -163,6 +163,17 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         self.cancelled.store(true, Ordering::Release);
     }
 
+    /// Force-finish the job with [`SolveStatus::Failed`], keeping the
+    /// best-so-far incumbent. The scheduler calls this after catching a
+    /// panic that unwound out of [`SolveJob::step`]: the step's
+    /// slice-local state died with the unwind, but the job's shared
+    /// state (frontier, incumbent, counters) stays structurally valid
+    /// and the first-writer-wins outcome makes joiners safe to wake.
+    /// Idempotent; a no-op once finished.
+    pub fn fail(&self) {
+        self.finish(Ok(SolveStatus::Failed));
+    }
+
     /// Set (or move) the job's deadline to `after` from now, checked at
     /// node granularity; an expired job finishes with
     /// [`SolveStatus::TimeLimit`] and its best-so-far incumbent.
@@ -221,6 +232,10 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         // The solve clock starts when the first worker arrives, not at
         // spawn: queued jobs keep their full time budget.
         self.solve_started.get_or_init(Instant::now);
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.config.faults {
+            plan.on_step();
+        }
         // A job cancelled before its root was ever built skips the
         // (possibly expensive) root setup entirely.
         if self.cancelled.load(Ordering::Acquire) && !self.root_done.load(Ordering::Acquire) {
@@ -368,7 +383,10 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         let status = outcome?;
         let stats = SolverStats {
             jobs: 1,
-            ..self.stats.into_inner().unwrap()
+            ..self
+                .stats
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
         };
         let (error, weights) = self.incumbent.into_best();
         if error == u64::MAX {
@@ -396,15 +414,26 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
         certified_error: u64,
         certified_weights: Vec<f64>,
     ) -> Result<Solution, SolverError> {
+        let mut stats = rankhow_sync::lock(&self.stats).clone();
+        stats.jobs = 1;
+        if status == SolveStatus::Failed {
+            stats.job_panics = 1;
+        }
         if error == u64::MAX {
+            if status == SolveStatus::Failed {
+                // The step panicked before any feasible point was
+                // sampled — that is a failure, not a proof of
+                // infeasibility.
+                let mut sol = Solution::failed();
+                sol.stats = stats;
+                return Ok(sol);
+            }
             // No feasible point was ever sampled. With a proof this is a
             // genuine infeasibility (only possible under position
             // constraints); without one it mirrors the historical
             // limit-exhausted behaviour.
             return Err(SolverError::Infeasible);
         }
-        let mut stats = self.stats.lock().unwrap().clone();
-        stats.jobs = 1;
         let certified = !crate::verify::relies_on_gap_band(self.problem.borrow(), &weights);
         Ok(Solution {
             weights,
@@ -422,6 +451,22 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
     /// warm start, start heuristic, and the root node push. Runs once,
     /// on whichever worker wins the claim.
     fn init_root(&self, scratch: &mut EngineScratch) {
+        // Forced root-LP verdict (fault injection): report the verdict
+        // without building any root state. `root_done` stays false; the
+        // finished-job check at the top of `step` covers every other
+        // worker.
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.config.faults {
+            if let Some(fault) = plan.take_root_lp() {
+                self.finish(Err(match fault {
+                    crate::fault::LpFault::Infeasible => SolverError::Infeasible,
+                    crate::fault::LpFault::IterationLimit => {
+                        SolverError::Lp(rankhow_lp::SolveError::IterationLimit)
+                    }
+                }));
+                return;
+            }
+        }
         let problem = self.problem.borrow();
         let sys = formulation::reduce_against_box(problem, &self.box_lo, &self.box_hi);
         let slot_bounds: Vec<Option<(u32, u32)>> = sys
@@ -513,7 +558,19 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
                     view.try_incumbent(w, &self.incumbent, &self.certified, &mut scratch.stats);
                 }
             }
-            if let Some(art) = &seed.artifacts {
+            // Injected cache-artifact rejection: pretend the containment
+            // re-proof failed, exercising the cold-root degradation.
+            #[cfg(feature = "fault-inject")]
+            let artifacts = (!self
+                .config
+                .faults
+                .as_ref()
+                .is_some_and(|p| p.take_reject_seed()))
+            .then_some(&seed.artifacts)
+            .and_then(|a| a.as_ref());
+            #[cfg(not(feature = "fault-inject"))]
+            let artifacts = seed.artifacts.as_ref();
+            if let Some(art) = artifacts {
                 if self.config.warm_lp {
                     // A basis snapshot is always safe to offer: the load
                     // installs it onto the *new* region's tableau and
@@ -777,13 +834,13 @@ impl<P: Borrow<OptProblem>> SolveJob<P> {
     /// job's elapsed time.
     fn finish(&self, outcome: Result<SolveStatus, SolverError>) {
         if self.outcome.set(outcome).is_ok() {
-            self.stats.lock().unwrap().elapsed = self.start.elapsed();
+            rankhow_sync::lock(&self.stats).elapsed = self.start.elapsed();
         }
     }
 
     /// Merge the worker's slice-local counters into the job totals.
     fn flush(&self, scratch: &mut EngineScratch) {
         let delta = scratch.take_stats();
-        self.stats.lock().unwrap().merge(&delta);
+        rankhow_sync::lock(&self.stats).merge(&delta);
     }
 }

@@ -168,6 +168,13 @@ pub struct SolverConfig {
     /// Telemetry never influences the search — on/off parity is pinned
     /// by proptest.
     pub telemetry: Option<Arc<rankhow_obs::SolveTelemetry>>,
+    /// Deterministic fault schedule for this solve
+    /// ([`crate::fault::FaultPlan`]): injected panics, worker deaths,
+    /// stalls, forced root-LP verdicts, and cache-seed rejection, each
+    /// firing exactly once. Test-only — the field (and every injection
+    /// branch) exists only under the `fault-inject` cargo feature.
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl Default for SolverConfig {
@@ -186,6 +193,8 @@ impl Default for SolverConfig {
             root_seed: None,
             threads: default_threads(),
             telemetry: None,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 }
@@ -260,6 +269,13 @@ pub struct SolverStats {
     /// Cache entries evicted by the LRU capacity policy (router-level
     /// counter).
     pub cache_evictions: usize,
+    /// Jobs whose step panicked under a worker's `catch_unwind` and were
+    /// finalized with [`SolveStatus::Failed`] (scheduler-level counter;
+    /// a failed job's own solution carries `1` here).
+    pub job_panics: usize,
+    /// Worker threads the scheduler's supervisor respawned after a
+    /// thread death (scheduler-level counter).
+    pub worker_respawns: usize,
     /// Live indicator pairs after root constant-folding.
     pub live_pairs: usize,
     /// Worker threads (blocking solve) or frontier lanes (scheduler
@@ -291,6 +307,8 @@ impl SolverStats {
         self.cache_near_hits += other.cache_near_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.job_panics += other.job_panics;
+        self.worker_respawns += other.worker_respawns;
         self.live_pairs += other.live_pairs;
         self.jobs += other.jobs;
     }
@@ -316,6 +334,8 @@ impl SolverStats {
         obj.field_u64("cache_near_hits", self.cache_near_hits as u64);
         obj.field_u64("cache_misses", self.cache_misses as u64);
         obj.field_u64("cache_evictions", self.cache_evictions as u64);
+        obj.field_u64("job_panics", self.job_panics as u64);
+        obj.field_u64("worker_respawns", self.worker_respawns as u64);
         obj.field_u64("live_pairs", self.live_pairs as u64);
         obj.field_u64("threads", self.threads as u64);
         obj.field_u64("jobs", self.jobs as u64);
@@ -410,6 +430,14 @@ pub enum SolveStatus {
     /// solution carries *no* incumbent — see [`Solution::rejected`] —
     /// and the query can simply be resubmitted.
     Rejected,
+    /// The job's step panicked; a worker caught the unwind and finalized
+    /// the job with whatever incumbent the search had found so far
+    /// (possibly none — `error` may still be the `u64::MAX` sentinel).
+    /// Sibling jobs are untouched and joiners are woken normally; the
+    /// router's retry layer (`rankhow_router::RetryPolicy`) may
+    /// transparently re-admit the query before a joiner ever sees this
+    /// status.
+    Failed,
 }
 
 impl SolveStatus {
@@ -489,6 +517,19 @@ impl Solution {
             certified_weights: Vec::new(),
             stats: SolverStats::default(),
         }
+    }
+
+    /// The solution of a job whose step panicked and found no incumbent
+    /// first ([`SolveStatus::Failed`]): like [`Solution::rejected`],
+    /// `weights` is empty and `error` is the `u64::MAX` sentinel. A
+    /// failed job that *had* an incumbent keeps it instead — this
+    /// constructor is only for the empty case (panic before the first
+    /// feasible point, or a pool with no live workers left).
+    pub fn failed() -> Solution {
+        let mut sol = Solution::rejected();
+        sol.status = SolveStatus::Failed;
+        sol.stats.jobs = 1;
+        sol
     }
 }
 

@@ -1,0 +1,258 @@
+//! Deterministic fault injection for the serving stack's recovery paths
+//! (compiled only under the `fault-inject` cargo feature; the default
+//! build carries none of this).
+//!
+//! A [`FaultPlan`] rides a job's `SolverConfig`
+//! ([`SolverConfig::faults`](crate::SolverConfig)) and triggers failures
+//! at engine-defined points:
+//!
+//! - **panic at the Nth step** ([`FaultPlan::panic_at`]) — exercises the
+//!   scheduler's `catch_unwind` isolation: the job must finalize with
+//!   `SolveStatus::Failed`, siblings untouched, joiners never hung;
+//! - **worker death at the Nth step** ([`FaultPlan::kill_worker_at`]) —
+//!   the panic payload is [`WorkerDeath`], which the scheduler re-raises
+//!   after failing the job so the *thread* dies too, exercising the
+//!   supervisor's respawn path;
+//! - **step stall** ([`FaultPlan::stall_at`]) — a worker sleeps inside a
+//!   step, exercising deadline/time-limit recovery around a wedged
+//!   slice;
+//! - **forced root LP verdicts** ([`FaultPlan::root_lp`]) — the root
+//!   feasibility solve reports `Infeasible` or an LP iteration limit
+//!   without running, exercising clean `Err` delivery;
+//! - **cache-seed rejection** ([`FaultPlan::reject_root_seed`]) — a
+//!   cross-query near-hit's root artifacts are refused as if the
+//!   containment re-proof failed, exercising the cold-root degradation.
+//!
+//! Every trigger fires **exactly once** per plan (atomic claim flags),
+//! so a router retry of the failed job — which re-runs the *same*
+//! config, hence the same `Arc<FaultPlan>` — deterministically
+//! succeeds. [`FaultPlan::seeded`] derives a reproducible plan from a
+//! `u64`, which is what the chaos proptests randomize over.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Panic payload of an injected plain panic ([`FaultPlan::panic_at`]).
+/// Tests install [`silence_injected_panics`] so these don't spam
+/// stderr; the scheduler treats them like any other job panic.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedPanic;
+
+/// Panic payload of an injected *worker death*
+/// ([`FaultPlan::kill_worker_at`]): after failing the job, the
+/// scheduler re-raises this payload so the worker thread itself unwinds
+/// and the pool supervisor must respawn it.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerDeath;
+
+/// A forced verdict for the root feasibility LP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpFault {
+    /// Report the root region as infeasible.
+    Infeasible,
+    /// Report a simplex iteration-limit failure.
+    IterationLimit,
+}
+
+/// A deterministic, trigger-once fault schedule for one job (see the
+/// module docs). Cheap to share: the scheduler clones the `Arc`, never
+/// the plan.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    panic_at: Option<u64>,
+    kill_at: Option<u64>,
+    stall: Option<(u64, u64)>,
+    root_lp: Option<LpFault>,
+    reject_seed: bool,
+    steps: AtomicU64,
+    panic_fired: AtomicBool,
+    kill_fired: AtomicBool,
+    stall_fired: AtomicBool,
+    root_lp_fired: AtomicBool,
+    seed_fired: AtomicBool,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults). Compose with the builder methods.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Panic (payload [`InjectedPanic`]) on the `step`-th engine step of
+    /// the job (1-based; fires once, at the first step ≥ `step`).
+    pub fn panic_at(mut self, step: u64) -> Self {
+        self.panic_at = Some(step.max(1));
+        self
+    }
+
+    /// Panic with [`WorkerDeath`] on the `step`-th engine step: the
+    /// scheduler fails the job *and* lets the worker thread die.
+    pub fn kill_worker_at(mut self, step: u64) -> Self {
+        self.kill_at = Some(step.max(1));
+        self
+    }
+
+    /// Sleep `millis` inside the `step`-th engine step (fires once) —
+    /// an artificial stall for deadline-recovery tests.
+    pub fn stall_at(mut self, step: u64, millis: u64) -> Self {
+        self.stall = Some((step.max(1), millis));
+        self
+    }
+
+    /// Force the root feasibility LP's verdict instead of solving it.
+    pub fn root_lp(mut self, fault: LpFault) -> Self {
+        self.root_lp = Some(fault);
+        self
+    }
+
+    /// Refuse a cross-query root seed's artifacts as if the containment
+    /// re-proof failed (the solve degrades to a cold root).
+    pub fn reject_root_seed(mut self) -> Self {
+        self.reject_seed = true;
+        self
+    }
+
+    /// A reproducible plan derived from `seed`: roughly 20% of seeds
+    /// panic at a small step, ~7% kill their worker, ~7% stall, ~7%
+    /// force a root-LP verdict; the rest return `None` (no faults).
+    /// Same seed, same plan — the chaos proptests randomize only this.
+    pub fn seeded(seed: u64) -> Option<FaultPlan> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let roll = next() % 100;
+        let step = 1 + next() % 4;
+        Some(match roll {
+            0..=19 => FaultPlan::new().panic_at(step),
+            20..=26 => FaultPlan::new().kill_worker_at(step),
+            27..=33 => FaultPlan::new().stall_at(step, 1 + next() % 5),
+            34..=40 => FaultPlan::new().root_lp(if next() % 2 == 0 {
+                LpFault::Infeasible
+            } else {
+                LpFault::IterationLimit
+            }),
+            _ => return None,
+        })
+    }
+
+    /// Whether this plan injects a panic or worker death at some step —
+    /// i.e. whether the job is expected to finalize `Failed` on its
+    /// first (pre-retry) attempt.
+    pub fn fails_job(&self) -> bool {
+        self.panic_at.is_some() || self.kill_at.is_some()
+    }
+
+    /// Whether this plan kills a worker thread (the [`WorkerDeath`]
+    /// payload) — i.e. whether the pool supervisor is expected to burn
+    /// one respawn on it.
+    pub fn kills_worker(&self) -> bool {
+        self.kill_at.is_some()
+    }
+
+    /// Whether this plan forces a root-LP verdict — i.e. whether the
+    /// job is expected to deliver a clean `Err` instead of a solution.
+    pub fn forces_root_lp(&self) -> bool {
+        self.root_lp.is_some()
+    }
+
+    /// Engine hook: called at the top of every `SolveJob::step`. May
+    /// sleep (stall), panic with [`InjectedPanic`], or panic with
+    /// [`WorkerDeath`] — each at most once per plan.
+    pub fn on_step(&self) {
+        let step = self.steps.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some((at, millis)) = self.stall {
+            if step >= at && !self.stall_fired.swap(true, Ordering::AcqRel) {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+        }
+        if let Some(at) = self.kill_at {
+            if step >= at && !self.kill_fired.swap(true, Ordering::AcqRel) {
+                std::panic::panic_any(WorkerDeath);
+            }
+        }
+        if let Some(at) = self.panic_at {
+            if step >= at && !self.panic_fired.swap(true, Ordering::AcqRel) {
+                std::panic::panic_any(InjectedPanic);
+            }
+        }
+    }
+
+    /// Engine hook: the forced root-LP verdict, if one is due (fires
+    /// once).
+    pub fn take_root_lp(&self) -> Option<LpFault> {
+        let fault = self.root_lp?;
+        (!self.root_lp_fired.swap(true, Ordering::AcqRel)).then_some(fault)
+    }
+
+    /// Engine hook: whether to refuse the root seed's artifacts (fires
+    /// once).
+    pub fn take_reject_seed(&self) -> bool {
+        self.reject_seed && !self.seed_fired.swap(true, Ordering::AcqRel)
+    }
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the
+/// default "thread panicked" report for *injected* payloads
+/// ([`InjectedPanic`] / [`WorkerDeath`]) and chains to the previous
+/// hook for everything else. Chaos tests call this so thousands of
+/// deliberate panics don't drown real failures in the output.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected =
+                info.payload().is::<InjectedPanic>() || info.payload().is::<WorkerDeath>();
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_fire_exactly_once() {
+        let plan = FaultPlan::new().panic_at(2).root_lp(LpFault::Infeasible);
+        // Step 1: below the threshold, nothing fires.
+        plan.on_step();
+        // Step 2: the panic fires…
+        assert!(std::panic::catch_unwind(|| plan.on_step()).is_err());
+        // …and never again, even though step ≥ threshold stays true.
+        plan.on_step();
+        plan.on_step();
+        assert_eq!(plan.take_root_lp(), Some(LpFault::Infeasible));
+        assert_eq!(plan.take_root_lp(), None);
+        assert!(plan.fails_job());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed);
+            let b = FaultPlan::seeded(seed);
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.panic_at, b.panic_at);
+                    assert_eq!(a.kill_at, b.kill_at);
+                    assert_eq!(a.stall, b.stall);
+                    assert_eq!(a.root_lp, b.root_lp);
+                }
+                _ => panic!("seed {seed} produced divergent plans"),
+            }
+        }
+        // The distribution actually contains faults (and non-faults).
+        let plans: Vec<_> = (0..100).map(FaultPlan::seeded).collect();
+        assert!(plans.iter().any(|p| p.is_some()));
+        assert!(plans.iter().any(|p| p.is_none()));
+    }
+}

@@ -32,6 +32,8 @@
 
 mod engine;
 pub mod extensions;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod formulation;
 mod positions;
 mod problem;

@@ -16,19 +16,45 @@ use crate::json::{Arr, Obj};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     Admitted,
-    Placed { pool: usize },
+    Placed {
+        pool: usize,
+    },
     Dequeued,
     RootInit,
-    SliceStart { lane: usize },
-    SliceEnd { lane: usize, nodes: u64 },
-    Incumbent { error: f64 },
-    ProbeSweep { probes: u64 },
+    SliceStart {
+        lane: usize,
+    },
+    SliceEnd {
+        lane: usize,
+        nodes: u64,
+    },
+    Incumbent {
+        error: f64,
+    },
+    ProbeSweep {
+        probes: u64,
+    },
     PushRow,
     SnapshotRestore,
     CacheExactHit,
     CacheNearHit,
     Rejected,
-    Completed { status: &'static str },
+    /// A worker caught a panic while stepping this query's job; the job
+    /// was finalized with `SolveStatus::Failed` (best-so-far kept).
+    Failed,
+    /// The router re-admitted this query after a failed or refused
+    /// attempt; `attempt` counts from 1.
+    Retried {
+        attempt: u32,
+    },
+    /// The scheduler worker stepping this query died and the supervisor
+    /// is respawning a replacement thread.
+    WorkerRespawned {
+        worker: usize,
+    },
+    Completed {
+        status: &'static str,
+    },
 }
 
 impl Event {
@@ -47,6 +73,9 @@ impl Event {
             Event::CacheExactHit => "cache_exact_hit",
             Event::CacheNearHit => "cache_near_hit",
             Event::Rejected => "rejected",
+            Event::Failed => "failed",
+            Event::Retried { .. } => "retried",
+            Event::WorkerRespawned { .. } => "worker_respawned",
             Event::Completed { .. } => "completed",
         }
     }
@@ -83,6 +112,12 @@ impl TimedEvent {
             }
             Event::ProbeSweep { probes } => {
                 obj.field_u64("probes", probes);
+            }
+            Event::Retried { attempt } => {
+                obj.field_u64("attempt", attempt as u64);
+            }
+            Event::WorkerRespawned { worker } => {
+                obj.field_u64("worker", worker as u64);
             }
             Event::Completed { status } => {
                 obj.field_str("status", status);
@@ -136,7 +171,7 @@ impl FlightRecorder {
             return;
         }
         let at_ns = self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        let mut ring = self.ring.lock().unwrap();
+        let mut ring = rankhow_sync::lock(&self.ring);
         let seq = ring.next_seq;
         ring.next_seq += 1;
         let timed = TimedEvent { seq, at_ns, event };
@@ -153,7 +188,7 @@ impl FlightRecorder {
     /// Copy the ring out in sequence order (oldest surviving event
     /// first). Leaves the recorder usable.
     pub fn drain(&self, label: &str) -> SolveTrace {
-        let ring = self.ring.lock().unwrap();
+        let ring = rankhow_sync::lock(&self.ring);
         let mut events = Vec::with_capacity(ring.events.len());
         events.extend_from_slice(&ring.events[ring.head..]);
         events.extend_from_slice(&ring.events[..ring.head]);

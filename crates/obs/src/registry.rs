@@ -62,7 +62,7 @@ impl MetricsRegistry {
         if !crate::ENABLED {
             return;
         }
-        let mut gauges = self.pool_depth.lock().unwrap();
+        let mut gauges = rankhow_sync::lock(&self.pool_depth);
         if gauges.len() <= pool {
             gauges.resize(pool + 1, PoolDepth::default());
         }
@@ -71,7 +71,7 @@ impl MetricsRegistry {
     }
 
     pub fn pool_depths(&self) -> Vec<PoolDepth> {
-        self.pool_depth.lock().unwrap().clone()
+        rankhow_sync::lock(&self.pool_depth).clone()
     }
 
     fn histograms(&self) -> [(&'static str, &Histogram); 10] {
@@ -100,7 +100,7 @@ impl MetricsRegistry {
                 // pool it never sighted — don't clobber ours with it.
                 continue;
             }
-            let mut gauges = self.pool_depth.lock().unwrap();
+            let mut gauges = rankhow_sync::lock(&self.pool_depth);
             if gauges.len() <= pool {
                 gauges.resize(pool + 1, PoolDepth::default());
             }

@@ -65,7 +65,9 @@ impl CacheStats {
 pub(crate) enum Lookup {
     /// Verified exact hit: the stored solution, re-stamped with
     /// exact-hit stats (zero nodes/LPs, `cache_exact_hits == 1`).
-    Exact(Solution),
+    /// Boxed: the hit arm is cold next to `Miss`, and `Solution` is the
+    /// enum's whole footprint.
+    Exact(Box<Solution>),
     /// Verified shape match with different constraints: seed material
     /// for the new job's root.
     Near {
@@ -134,7 +136,7 @@ impl SolutionCache {
     /// equality and pick the most recently used same-shape entry.
     pub fn lookup(&self, key: &QueryKey, problem: &OptProblem) -> Lookup {
         let stamp = self.tick();
-        let mut shard = self.shards[self.shard_of(key.shape)].lock().unwrap();
+        let mut shard = rankhow_sync::lock(&self.shards[self.shard_of(key.shape)]);
         if let Some(entry) = shard.iter_mut().find(|e| {
             e.full == key.full
                 && same_shape(&e.problem, problem)
@@ -151,7 +153,7 @@ impl SolutionCache {
                 cache_exact_hits: 1,
                 ..SolverStats::default()
             };
-            return Lookup::Exact(solution);
+            return Lookup::Exact(Box::new(solution));
         }
         if let Some(entry) = shard
             .iter_mut()
@@ -192,7 +194,7 @@ impl SolutionCache {
             return;
         }
         let stamp = self.tick();
-        let mut shard = self.shards[self.shard_of(key.shape)].lock().unwrap();
+        let mut shard = rankhow_sync::lock(&self.shards[self.shard_of(key.shape)]);
         if let Some(entry) = shard.iter_mut().find(|e| e.full == key.full) {
             entry.problem = Arc::clone(problem);
             entry.solution = solution.clone();
@@ -223,7 +225,7 @@ impl SolutionCache {
 
     /// Drop the entry under `key`, if any (non-`Optimal` completion).
     pub fn invalidate(&self, key: &QueryKey) {
-        let mut shard = self.shards[self.shard_of(key.shape)].lock().unwrap();
+        let mut shard = rankhow_sync::lock(&self.shards[self.shard_of(key.shape)]);
         if let Some(idx) = shard.iter().position(|e| e.full == key.full) {
             shard.swap_remove(idx);
         }
@@ -231,7 +233,10 @@ impl SolutionCache {
 
     /// Resident entry count across shards.
     pub fn entries(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| rankhow_sync::lock(s).len())
+            .sum()
     }
 
     /// Counter snapshot.

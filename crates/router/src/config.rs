@@ -1,6 +1,52 @@
-//! Router configuration: pool shape, placement policy, admission caps.
+//! Router configuration: pool shape, placement policy, admission caps,
+//! retry/quarantine policy.
 
-use rankhow_serve::DEFAULT_SLICE_NODES;
+use rankhow_serve::{DEFAULT_RESPAWN_CAP, DEFAULT_SLICE_NODES};
+use std::time::Duration;
+
+/// Retry policy for refused and failed spawns
+/// ([`RouterConfig::retry`]).
+///
+/// Two failure classes are re-admitted, both transparently behind the
+/// returned [`SolveHandle`](rankhow_serve::SolveHandle):
+///
+/// - a spawn *shed by admission control* (pool or global cap, without
+///   backpressure) is retried from the submitting thread after an
+///   exponential backoff (`backoff`, `2 * backoff`, `4 * backoff`, …);
+/// - a job that completed
+///   [`SolveStatus::Failed`](rankhow_core::SolveStatus) (its step
+///   panicked) is respawned by the router's delivery hook — without
+///   sleeping on the pool worker — warm-started from the failed
+///   attempt's best-so-far incumbent, and preferring non-quarantined
+///   pools.
+///
+/// `budget` bounds the *total* time spent on re-admissions, measured
+/// from the original admission; retries stop when it runs out even if
+/// `max_retries` remain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-admissions allowed per query (0 = retries disabled; refused
+    /// spawns shed immediately and `Failed` results are delivered
+    /// as-is).
+    pub max_retries: u32,
+    /// Base backoff between admission-shed retries; doubles per
+    /// attempt. Failure respawns never sleep — backoff applies to the
+    /// submitting thread only.
+    pub backoff: Duration,
+    /// Optional cap on total retry time per query, from original
+    /// admission. `None` = bounded only by `max_retries`.
+    pub budget: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::from_millis(10),
+            budget: None,
+        }
+    }
+}
 
 /// How the router picks a pool for a new query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -71,6 +117,26 @@ pub struct RouterConfig {
     /// handle record nothing either way, and the `obs-off` cargo
     /// feature removes the recording at compile time.
     pub telemetry: bool,
+    /// Retry policy for refused and failed spawns (see [`RetryPolicy`];
+    /// retries are off by default).
+    pub retry: RetryPolicy,
+    /// Quarantine threshold: a pool whose sliding window of recent
+    /// completions (last 16) accumulates this many `Failed` results is
+    /// excluded from placement for [`RouterConfig::quarantine_cooldown`]
+    /// — failure respawns and new queries prefer healthy pools, and a
+    /// query-hash-pinned query remaps to the next healthy pool. `0`
+    /// (default) disables quarantining. When *every* pool is
+    /// quarantined, placement ignores quarantine rather than refusing
+    /// service.
+    pub quarantine_after: u32,
+    /// How long a tripped pool stays out of placement before being
+    /// re-admitted with a clean window.
+    pub quarantine_cooldown: Duration,
+    /// Supervisor respawn cap per pool (see
+    /// [`Scheduler::with_options`](rankhow_serve::Scheduler::with_options)):
+    /// worker threads that die are replaced up to this many times per
+    /// pool before the pool is allowed to go dead.
+    pub worker_respawn_cap: usize,
 }
 
 impl Default for RouterConfig {
@@ -87,6 +153,10 @@ impl Default for RouterConfig {
             cache: true,
             cache_cap: 512,
             telemetry: true,
+            retry: RetryPolicy::default(),
+            quarantine_after: 0,
+            quarantine_cooldown: Duration::from_millis(250),
+            worker_respawn_cap: DEFAULT_RESPAWN_CAP,
         }
     }
 }

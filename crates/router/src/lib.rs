@@ -49,6 +49,31 @@
 //!   incumbent, LP basis, and (containment-proved) root facts. Hit,
 //!   miss, and eviction counters land in [`RouterStats::cache`].
 //!
+//! # Fault tolerance
+//!
+//! The router assumes pools can *fail* — a job's step panics, a worker
+//! thread dies, a whole pool exhausts its supervision respawn cap —
+//! and keeps the `spawn -> SolveHandle -> join` contract anyway:
+//!
+//! - A [`RetryPolicy`] ([`RouterConfig::retry`], off by default)
+//!   re-admits both failure classes behind the caller's handle:
+//!   admission-shed spawns re-place after an exponential backoff on the
+//!   submitting thread, and jobs that complete
+//!   [`SolveStatus::Failed`](rankhow_core::SolveStatus) respawn onto a
+//!   healthy pool, warm-started from the failed attempt's incumbent.
+//!   Retries exhausted, the handle completes with the `Failed` (or
+//!   `Rejected`) result — it never hangs.
+//! - Quarantine ([`RouterConfig::quarantine_after`]): a pool whose
+//!   recent deliveries keep failing is benched for a cooldown — new
+//!   queries and respawns route around it, then it re-enters placement
+//!   with a clean window. Dead pools (every worker gone, respawn cap
+//!   spent) are skipped unconditionally; if *all* pools die, spawns
+//!   complete immediately with `Failed`.
+//! - The admission ledger in [`RouterStats`] reconciles:
+//!   `admissions == completions + retries_exhausted` once all handles
+//!   join, with `retries` and `quarantines` counting the recovery work
+//!   on top.
+//!
 //! Routed solves are bit-identical to single-scheduler solves: the
 //! router decides *where* a job runs, never *how* — with one worker per
 //! pool, every placement policy returns exactly the errors one
@@ -92,7 +117,7 @@ mod router;
 mod stats;
 
 pub use cache::CacheStats;
-pub use config::{Placement, RouterConfig};
+pub use config::{Placement, RetryPolicy, RouterConfig};
 pub use key::{fingerprint, query_key, QueryKey};
 pub use router::Router;
 pub use stats::{PoolSnapshot, RouterStats};

@@ -37,6 +37,28 @@ pub struct RouterStats {
     pub rejections: u64,
     /// Queued jobs migrated between pools by rebalancing load ticks.
     pub migrations: u64,
+    /// Re-admissions under the router's
+    /// [`RetryPolicy`](crate::RetryPolicy): admission-shed spawns
+    /// retried after backoff plus `Failed` jobs respawned by the
+    /// delivery hook. Not admissions — a query admitted once and
+    /// retried twice counts one admission and two retries.
+    pub retries: u64,
+    /// Queries whose *final* delivery was
+    /// [`SolveStatus::Failed`](rankhow_core::SolveStatus) — the retry
+    /// policy (possibly `max_retries == 0`) ran out without a
+    /// non-failed result.
+    pub retries_exhausted: u64,
+    /// Queries delivered with a non-`Failed` result (`Err` deliveries —
+    /// proved infeasibility — count too; cache exact hits never reach a
+    /// pool and count in neither). The admission ledger reconciles as
+    /// `admissions == completions + retries_exhausted` once all handles
+    /// join, the one caveat being a queued job dropped mid-migration
+    /// during shutdown.
+    pub completions: u64,
+    /// Pools tripped into quarantine by the sliding failure window
+    /// ([`RouterConfig::quarantine_after`](crate::RouterConfig)); each
+    /// trip counts once, re-trips after cooldown recovery count again.
+    pub quarantines: u64,
     /// Cross-query solution cache counters (all zero when the cache is
     /// disabled). Exact hits also appear in `solver.cache_exact_hits`,
     /// and near hits in `solver.cache_near_hits` via the per-job stats
@@ -79,6 +101,10 @@ impl RouterStats {
         obj.field_u64("admissions", self.admissions);
         obj.field_u64("rejections", self.rejections);
         obj.field_u64("migrations", self.migrations);
+        obj.field_u64("retries", self.retries);
+        obj.field_u64("retries_exhausted", self.retries_exhausted);
+        obj.field_u64("completions", self.completions);
+        obj.field_u64("quarantines", self.quarantines);
         obj.field_raw("solver", &self.solver.to_json());
         obj.field_raw("cache", &self.cache.to_json());
         obj.field_raw("pools", &pools.finish());

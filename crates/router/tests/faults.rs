@@ -1,0 +1,354 @@
+//! Chaos and recovery semantics of the fault-tolerant router (runs
+//! only under the `fault-inject` cargo feature; the default build
+//! compiles this file to nothing): randomized seeded fault plans across
+//! thread/pool shapes with bounded joins and certified-bracket safety,
+//! plus deterministic retry-ledger, quarantine, and degraded-cache
+//! scenarios.
+
+#![cfg(feature = "fault-inject")]
+
+// The shared fixture module ships helpers for the admission tests too;
+// this suite only needs a slice of them.
+#[allow(dead_code)]
+#[path = "../../serve/tests/support/mod.rs"]
+mod support;
+
+use proptest::prelude::*;
+use rankhow_core::fault::{silence_injected_panics, FaultPlan};
+use rankhow_core::{OptProblem, RankHow, SolveStatus, SolverConfig, WeightConstraints};
+use rankhow_router::{RetryPolicy, Router, RouterConfig, RouterStats};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use support::{build, light_problem, small_instance};
+
+fn faulty_router(pools: usize, threads: usize, max_retries: u32) -> Router {
+    Router::new(RouterConfig {
+        pools,
+        threads_per_pool: threads,
+        // The ledger tests count every query through a pool: keep the
+        // cache out so repeated instances aren't answered router-side.
+        cache: false,
+        retry: RetryPolicy {
+            max_retries,
+            backoff: Duration::from_millis(1),
+            budget: None,
+        },
+        ..RouterConfig::default()
+    })
+}
+
+/// `admissions == completions + retries_exhausted` — every admitted
+/// query is delivered exactly once, as a success or as an exhausted
+/// failure.
+fn assert_ledger_reconciles(stats: &RouterStats) {
+    assert_eq!(
+        stats.admissions,
+        stats.completions + stats.retries_exhausted,
+        "admission ledger must reconcile: {} admitted, {} completed, {} exhausted",
+        stats.admissions,
+        stats.completions,
+        stats.retries_exhausted
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Chaos: random seeded fault plans over thread {1, 2, 4} × pool
+    /// {1, 4} shapes. Every handle joins (bounded — the test itself is
+    /// the timeout), failures only come from plans that inject them,
+    /// and every non-failed answer still satisfies the certified
+    /// bracket against an undisturbed sequential solve.
+    #[test]
+    fn seeded_chaos_keeps_joins_bounded_and_answers_certified(
+        insts in prop::collection::vec(small_instance(), 4..6),
+        fault_seed in any::<u64>(),
+    ) {
+        silence_injected_panics();
+        let problems: Vec<Arc<OptProblem>> =
+            insts.iter().filter_map(build).map(Arc::new).collect();
+        if problems.len() < 4 {
+            return Err(TestCaseError::reject("invalid ranking"));
+        }
+        let sequential: Vec<rankhow_core::Solution> = problems
+            .iter()
+            .map(|p| {
+                RankHow::with_config(SolverConfig { threads: 1, ..SolverConfig::default() })
+                    .solve(p)
+                    .expect("feasible unconstrained instance")
+            })
+            .collect();
+        for (threads, pools) in [(1, 1), (1, 4), (2, 1), (2, 4), (4, 1), (4, 4)] {
+            let router = faulty_router(pools, threads, 2);
+            let jobs: Vec<_> = problems
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let plan = FaultPlan::seeded(fault_seed.wrapping_add(i as u64)).map(Arc::new);
+                    let handle = router.spawn_shared(
+                        Arc::clone(p),
+                        SolverConfig { faults: plan.clone(), ..SolverConfig::default() },
+                    );
+                    (i, plan, handle)
+                })
+                .collect();
+            for (i, plan, handle) in jobs {
+                match handle.join() {
+                    Err(_) => prop_assert!(
+                        plan.as_ref().is_some_and(|p| p.forces_root_lp()),
+                        "only forced root-LP plans may deliver Err"
+                    ),
+                    Ok(sol) if sol.status == SolveStatus::Failed => prop_assert!(
+                        plan.as_ref().is_some_and(|p| p.fails_job()),
+                        "only injected panics may deliver Failed"
+                    ),
+                    Ok(sol) => {
+                        let seq = &sequential[i];
+                        prop_assert!(sol.error <= sol.certified_error);
+                        prop_assert!(
+                            sol.error <= seq.certified_error && seq.error <= sol.certified_error,
+                            "chaos bracket ({}, {}) must overlap sequential ({}, {})",
+                            sol.error, sol.certified_error, seq.error, seq.certified_error
+                        );
+                    }
+                }
+            }
+            assert_ledger_reconciles(&router.stats());
+        }
+    }
+}
+
+/// The acceptance scenario: 20% of a 20-query batch panics on its
+/// first step (one of those deaths takes the worker thread with it),
+/// served on 4 pools with retries. The full batch completes — zero
+/// hung joins, zero lost queries — every panicked job recovers on its
+/// retry (trigger-once plans), and the counters reconcile exactly.
+#[test]
+fn panicking_fifth_of_batch_completes_with_reconciled_ledger() {
+    silence_injected_panics();
+    const QUERIES: u64 = 20;
+    let router = faulty_router(4, 2, 2);
+    // Every 5th query fails its first attempt; one failure also kills
+    // the worker thread, exercising the supervisor under load.
+    let plans: Vec<Option<Arc<FaultPlan>>> = (0..QUERIES)
+        .map(|i| match i {
+            10 => Some(Arc::new(FaultPlan::new().kill_worker_at(1))),
+            _ if i % 5 == 0 => Some(Arc::new(FaultPlan::new().panic_at(1))),
+            _ => None,
+        })
+        .collect();
+    let panics = plans
+        .iter()
+        .filter(|p| p.as_ref().is_some_and(|p| p.fails_job()))
+        .count() as u64;
+    let kills = plans
+        .iter()
+        .filter(|p| p.as_ref().is_some_and(|p| p.kills_worker()))
+        .count() as u64;
+    assert_eq!(panics, QUERIES / 5, "20% of the batch fails");
+    assert_eq!(kills, 1);
+
+    let problem = Arc::new(light_problem());
+    let start = Instant::now();
+    let handles: Vec<_> = plans
+        .iter()
+        .map(|plan| {
+            router.spawn_shared(
+                Arc::clone(&problem),
+                SolverConfig {
+                    faults: plan.clone(),
+                    ..SolverConfig::default()
+                },
+            )
+        })
+        .collect();
+    for handle in handles {
+        // Panicked jobs recover on the retry (the plan already fired);
+        // clean jobs just solve.
+        let sol = handle.join().expect("feasible instance");
+        assert_eq!(sol.status, SolveStatus::Optimal, "query must recover");
+        assert_eq!(sol.error, 0);
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "chaos joins must be bounded"
+    );
+
+    let stats = router.stats();
+    assert_eq!(stats.admissions, QUERIES);
+    assert_eq!(stats.completions, QUERIES, "zero lost queries");
+    assert_eq!(stats.retries_exhausted, 0, "every retry recovered");
+    assert_eq!(stats.retries, panics, "one respawn per injected panic");
+    assert_ledger_reconciles(&stats);
+    assert_eq!(stats.solver.job_panics as u64, panics);
+    assert_eq!(stats.solver.worker_respawns as u64, kills);
+}
+
+/// With retries disabled, injected panics are delivered as `Failed`
+/// finals and the ledger still reconciles:
+/// `admissions == completions + retries_exhausted`.
+#[test]
+fn disabled_retries_deliver_failed_and_reconcile() {
+    silence_injected_panics();
+    let router = faulty_router(2, 1, 0);
+    let problem = Arc::new(light_problem());
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let faults = (i % 2 == 0).then(|| Arc::new(FaultPlan::new().panic_at(1)));
+            router.spawn_shared(
+                Arc::clone(&problem),
+                SolverConfig {
+                    faults,
+                    ..SolverConfig::default()
+                },
+            )
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let sol = handle.join().expect("failed jobs still deliver Ok");
+        if i % 2 == 0 {
+            assert_eq!(sol.status, SolveStatus::Failed);
+        } else {
+            assert_eq!(sol.status, SolveStatus::Optimal);
+        }
+    }
+    let stats = router.stats();
+    assert_eq!(stats.admissions, 6);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.retries_exhausted, 3);
+    assert_eq!(stats.completions, 3);
+    assert_ledger_reconciles(&stats);
+}
+
+/// Repeated failures on one pool trip its quarantine: the pool leaves
+/// placement for the cooldown (queries remap to its neighbor), then
+/// recovers with a clean window.
+#[test]
+fn failing_pool_quarantines_and_recovers_after_cooldown() {
+    silence_injected_panics();
+    let cooldown = Duration::from_secs(2);
+    let router = Router::new(RouterConfig {
+        pools: 2,
+        threads_per_pool: 1,
+        cache: false,
+        retry: RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            budget: None,
+        },
+        quarantine_after: 2,
+        quarantine_cooldown: cooldown,
+        ..RouterConfig::default()
+    });
+    let problem = Arc::new(light_problem());
+    // Query-hash placement pins this problem; note the healthy pin
+    // before any failures land.
+    let pinned = router.place(&problem);
+    for _ in 0..2 {
+        let sol = router
+            .spawn_shared(
+                Arc::clone(&problem),
+                SolverConfig {
+                    faults: Some(Arc::new(FaultPlan::new().panic_at(1))),
+                    ..SolverConfig::default()
+                },
+            )
+            .join()
+            .expect("panicked query recovers on retry");
+        assert_eq!(sol.status, SolveStatus::Optimal);
+    }
+    let stats = router.stats();
+    assert_eq!(stats.quarantines, 1, "two failures trip the threshold");
+    assert_eq!(router.quarantined_pools(), vec![pinned]);
+    assert_ne!(
+        router.place(&problem),
+        pinned,
+        "placement must remap off the benched pool"
+    );
+    // The router still serves while one pool is benched.
+    let sol = router
+        .spawn_shared(Arc::clone(&problem), SolverConfig::default())
+        .join()
+        .expect("feasible instance");
+    assert_eq!(sol.error, 0);
+    // Cooldown over: the pool re-enters placement with a clean window.
+    std::thread::sleep(cooldown + Duration::from_millis(100));
+    assert!(router.quarantined_pools().is_empty());
+    assert_eq!(router.place(&problem), pinned);
+    assert_eq!(router.stats().quarantines, 1, "no re-trip after recovery");
+}
+
+/// A stalled step delays but never wedges a routed query: the deadline
+/// (set through the relayed handle) still expires it.
+#[test]
+fn stalled_routed_query_still_honors_deadline() {
+    let router = faulty_router(1, 1, 2);
+    let handle = router.spawn_shared(
+        Arc::new(support::blocker_problem(12, 4, 1)),
+        SolverConfig {
+            faults: Some(Arc::new(FaultPlan::new().stall_at(2, 30))),
+            ..support::blocker_config()
+        },
+    );
+    handle.deadline(Duration::from_millis(100));
+    let sol = handle.join().expect("deadline delivers best-so-far");
+    assert!(
+        matches!(sol.status, SolveStatus::TimeLimit | SolveStatus::Optimal),
+        "unexpected status {:?}",
+        sol.status
+    );
+}
+
+/// A near-hit whose cached root artifacts are refused (as if the
+/// containment re-proof failed) degrades to a cold root — and still
+/// proves the same optimum.
+#[test]
+fn rejected_cache_seed_degrades_to_cold_root_same_optimum() {
+    let router = Router::new(RouterConfig {
+        pools: 1,
+        threads_per_pool: 1,
+        cache_cap: 16,
+        ..RouterConfig::default()
+    });
+    let base = Arc::new(light_problem());
+    let first = router
+        .spawn_shared(Arc::clone(&base), SolverConfig::default())
+        .join()
+        .expect("feasible instance");
+    assert!(first.optimal);
+    // Same shape, new constraints: a near hit whose artifacts the plan
+    // refuses to adopt.
+    let constrained = Arc::new(
+        (*base)
+            .clone()
+            .with_constraints(WeightConstraints::none().max_weight(0, 0.6))
+            .unwrap(),
+    );
+    let degraded = router
+        .spawn_shared(
+            Arc::clone(&constrained),
+            SolverConfig {
+                faults: Some(Arc::new(FaultPlan::new().reject_root_seed())),
+                ..SolverConfig::default()
+            },
+        )
+        .join()
+        .expect("feasible constrained instance");
+    assert!(degraded.optimal, "cold-root degradation must still prove");
+    assert_eq!(router.stats().cache.near_hits, 1, "the lookup still hit");
+    // Cold reference: identical certified answer set.
+    let cold = RankHow::with_config(SolverConfig {
+        threads: 1,
+        ..SolverConfig::default()
+    })
+    .solve(&constrained)
+    .expect("feasible constrained instance");
+    assert!(
+        degraded.error <= cold.certified_error && cold.error <= degraded.certified_error,
+        "degraded bracket ({}, {}) must overlap cold ({}, {})",
+        degraded.error,
+        degraded.certified_error,
+        cold.error,
+        cold.certified_error
+    );
+}

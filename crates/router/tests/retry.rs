@@ -1,0 +1,89 @@
+//! Admission-shed retry semantics that need no fault injection (this
+//! suite runs in the default tier-1 build): a spawn refused by a full
+//! pool is re-admitted after backoff instead of shedding, and a spent
+//! retry budget still sheds deterministically.
+
+// The shared fixture module ships helpers for the chaos suites too;
+// this one only needs the blocker and light instances.
+#[allow(dead_code)]
+#[path = "../../serve/tests/support/mod.rs"]
+mod support;
+
+use rankhow_core::{SolveStatus, SolverConfig};
+use rankhow_router::{RetryPolicy, Router, RouterConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use support::{blocker_config, blocker_problem, light_problem};
+
+fn retrying_router(max_retries: u32, budget: Option<Duration>) -> Router {
+    Router::new(RouterConfig {
+        pools: 1,
+        threads_per_pool: 1,
+        // One live job fills the pool: the second spawn must be shed
+        // (and, with retries on, re-admitted).
+        queue_cap: 1,
+        cache: false,
+        retry: RetryPolicy {
+            max_retries,
+            backoff: Duration::from_millis(10),
+            budget,
+        },
+        ..RouterConfig::default()
+    })
+}
+
+/// A spawn refused by a full pool retries with backoff and lands once
+/// capacity frees up — the caller sees one ordinary handle that solves,
+/// never a `Rejected` shed.
+#[test]
+fn shed_spawn_is_readmitted_after_backoff() {
+    let router = Arc::new(retrying_router(50, None));
+    let blocker = router.spawn(blocker_problem(12, 6, 3), blocker_config());
+    // Free the pool from the side once the retry loop is certainly
+    // spinning.
+    let unblock = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        blocker.cancel();
+        let _ = blocker.join();
+    });
+    // This call occupies the submitting thread through the backoff
+    // sleeps until the blocker's cancellation frees the slot.
+    let sol = router
+        .spawn_shared(Arc::new(light_problem()), SolverConfig::default())
+        .join()
+        .expect("re-admitted query must solve");
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_eq!(sol.error, 0);
+    unblock.join().unwrap();
+
+    let stats = router.stats();
+    assert!(stats.retries >= 1, "the shed must have retried");
+    assert_eq!(stats.admissions, 2, "blocker + re-admitted query");
+    assert_eq!(stats.rejections, 0, "nothing shed to the caller");
+    assert_eq!(
+        stats.admissions,
+        stats.completions + stats.retries_exhausted,
+        "admission ledger must reconcile"
+    );
+}
+
+/// A spent retry time budget stops re-admission: the spawn sheds with
+/// `Rejected` just as if retries were off, bounded by the budget rather
+/// than hanging on a never-freeing pool.
+#[test]
+fn exhausted_retry_budget_sheds_with_rejected() {
+    let router = retrying_router(u32::MAX, Some(Duration::from_millis(50)));
+    let blocker = router.spawn(blocker_problem(12, 6, 5), blocker_config());
+    let shed = router
+        .spawn_shared(Arc::new(light_problem()), SolverConfig::default())
+        .join()
+        .expect("shed spawns deliver Ok(Rejected)");
+    assert_eq!(shed.status, SolveStatus::Rejected);
+
+    let stats = router.stats();
+    assert!(stats.retries >= 1, "the budget allowed at least one retry");
+    assert_eq!(stats.rejections, 1);
+    assert_eq!(stats.admissions, 1, "only the blocker was admitted");
+    blocker.cancel();
+    let _ = blocker.join();
+}

@@ -1,8 +1,9 @@
 //! The caller's view of one in-flight job.
 
 use crate::scheduler::JobEntry;
-use crate::sync;
 use rankhow_core::{Solution, SolverError};
+use rankhow_sync as sync;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -47,11 +48,65 @@ impl Completion {
 
 /// What a [`SolveHandle`] observes: a live scheduler job, a query that
 /// was answered before it ever became one (a cross-query cache exact
-/// hit), or one that admission control shed.
+/// hit), one that admission control shed, or a retryable query whose
+/// result arrives through a [`RetryRelay`] rather than any single
+/// attempt.
 enum Inner {
     Job(Arc<JobEntry>),
     Completed(Box<Solution>),
     Rejected,
+    Relay(Arc<RetryRelay>),
+}
+
+/// Completion relay decoupling a [`SolveHandle`] from any one spawn
+/// attempt — the router's retry layer resolves it once, after however
+/// many re-admissions its `RetryPolicy` allows.
+///
+/// The joiner parks on the relay's own completion slot; each attempt's
+/// [`JobEntry`] is *bound* ([`RetryRelay::bind`]) as the current
+/// attempt so `cancel` / `deadline` / `best_so_far` keep working
+/// mid-retry. Whoever orchestrates retries (the router's delivery hook)
+/// calls [`RetryRelay::resolve`] exactly once with the final result;
+/// first write wins, so a racing orchestrator teardown can safely
+/// resolve defensively too.
+pub struct RetryRelay {
+    slot: Completion,
+    current: Mutex<Option<Arc<JobEntry>>>,
+    cancelled: AtomicBool,
+}
+
+impl RetryRelay {
+    /// Bind `attempt` (a handle freshly returned by a spawn) as the
+    /// relay's current attempt. Only live-job handles bind; completed /
+    /// rejected handles are ignored — resolve the relay directly with
+    /// their result instead. If the relay was cancelled while no
+    /// attempt was bound, the new attempt is cancelled immediately so a
+    /// retry cannot resurrect a cancelled query.
+    pub fn bind(&self, attempt: &SolveHandle) {
+        if let Inner::Job(entry) = &attempt.inner {
+            *sync::lock(&self.current) = Some(Arc::clone(entry));
+            if self.cancelled.load(Ordering::Acquire) {
+                entry.job.cancel();
+            }
+        }
+    }
+
+    /// Deliver the final result to the joiner (first write wins;
+    /// idempotent afterwards).
+    pub fn resolve(&self, result: Result<Solution, SolverError>) {
+        self.slot.set(result);
+    }
+
+    /// Whether the handle side requested cancellation — a retry
+    /// orchestrator must not re-admit a cancelled query.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether [`RetryRelay::resolve`] has delivered the final result.
+    pub fn is_resolved(&self) -> bool {
+        self.slot.is_set()
+    }
 }
 
 /// Handle to a job spawned on a [`Scheduler`](crate::Scheduler).
@@ -94,6 +149,25 @@ impl SolveHandle {
         }
     }
 
+    /// A handle whose result arrives through a [`RetryRelay`] instead
+    /// of any single spawn attempt — the shape the router hands back
+    /// when its `RetryPolicy` may transparently re-admit the query
+    /// after a failure. The caller keeps the handle; the orchestrator
+    /// keeps the relay, binds each attempt, and resolves it once.
+    pub fn relayed() -> (Self, Arc<RetryRelay>) {
+        let relay = Arc::new(RetryRelay {
+            slot: Completion::new(),
+            current: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+        });
+        (
+            SolveHandle {
+                inner: Inner::Relay(Arc::clone(&relay)),
+            },
+            relay,
+        )
+    }
+
     /// Request cooperative cancellation. The job stops at the next node
     /// boundary and completes with
     /// [`SolveStatus::Cancelled`](rankhow_core::SolveStatus) carrying
@@ -101,8 +175,17 @@ impl SolveHandle {
     /// [`SolverError::Infeasible`] if none was ever found). Idempotent;
     /// a no-op once the job finished.
     pub fn cancel(&self) {
-        if let Inner::Job(entry) = &self.inner {
-            entry.job.cancel();
+        match &self.inner {
+            Inner::Job(entry) => entry.job.cancel(),
+            Inner::Relay(relay) => {
+                // Flag first so a concurrent retry re-admission sees the
+                // cancellation, then stop the in-flight attempt.
+                relay.cancelled.store(true, Ordering::Release);
+                if let Some(entry) = sync::lock(&relay.current).as_ref() {
+                    entry.job.cancel();
+                }
+            }
+            Inner::Completed(_) | Inner::Rejected => {}
         }
     }
 
@@ -111,9 +194,19 @@ impl SolveHandle {
     /// [`SolveStatus::TimeLimit`](rankhow_core::SolveStatus) and its
     /// best-so-far incumbent, overshooting by at most one fairness
     /// slice per worker.
+    ///
+    /// On a relayed (retryable) handle the deadline applies to the
+    /// *current* attempt only — a later retry starts with a fresh
+    /// budget, exactly like a manual resubmission would.
     pub fn deadline(&self, after: Duration) {
-        if let Inner::Job(entry) = &self.inner {
-            entry.job.deadline(after);
+        match &self.inner {
+            Inner::Job(entry) => entry.job.deadline(after),
+            Inner::Relay(relay) => {
+                if let Some(entry) = sync::lock(&relay.current).as_ref() {
+                    entry.job.deadline(after);
+                }
+            }
+            Inner::Completed(_) | Inner::Rejected => {}
         }
     }
 
@@ -129,6 +222,10 @@ impl SolveHandle {
                 (sol.error != u64::MAX).then(|| (sol.error, sol.weights.clone()))
             }
             Inner::Rejected => None,
+            Inner::Relay(relay) => {
+                let entry = sync::lock(&relay.current).as_ref().map(Arc::clone)?;
+                entry.job.best_so_far()
+            }
         }
     }
 
@@ -139,6 +236,7 @@ impl SolveHandle {
             Inner::Job(entry) => entry.completion.is_set(),
             Inner::Completed(_) => true,
             Inner::Rejected => true,
+            Inner::Relay(relay) => relay.slot.is_set(),
         }
     }
 
@@ -153,6 +251,7 @@ impl SolveHandle {
             Inner::Job(entry) => entry.completion.wait(),
             Inner::Completed(sol) => Ok(*sol),
             Inner::Rejected => Ok(Solution::rejected()),
+            Inner::Relay(relay) => relay.slot.wait(),
         }
     }
 }

@@ -44,9 +44,27 @@
 //!   resolves to
 //!   ([`SolveStatus::Rejected`](rankhow_core::SolveStatus)).
 //!
-//! All internal locks go through a poison-tolerant helper: a worker
-//! that panics mid-step cannot wedge other handles' `join` /
-//! `best_so_far` or the run queue itself.
+//! # Fault tolerance
+//!
+//! A panicking job is *isolated*, not fatal: every
+//! [`SolveJob::step`](rankhow_core::SolveJob::step) runs under
+//! `catch_unwind`, so a panic
+//! finalizes that one job with
+//! [`SolveStatus::Failed`](rankhow_core::SolveStatus) (best-so-far
+//! incumbent preserved, joiner woken normally) while sibling jobs keep
+//! solving. If the panic was a *worker death*
+//! (`rankhow_core::fault::WorkerDeath` under the `fault-inject`
+//! feature), the thread itself unwinds and the pool's supervisor
+//! respawns a replacement, up to [`Scheduler::with_options`]'s respawn
+//! cap ([`DEFAULT_RESPAWN_CAP`]); a pool whose last worker dies with
+//! the cap exhausted goes *dead* — it fails its queue, refuses new
+//! spawns, and never hangs a joiner. The caught-panic and respawn
+//! counts surface as
+//! [`SolverStats::{job_panics, worker_respawns}`](rankhow_core::SolverStats).
+//!
+//! All internal locks go through the shared poison-tolerant helpers
+//! ([`rankhow_sync`]): a worker that panics mid-step cannot wedge other
+//! handles' `join` / `best_so_far` or the run queue itself.
 //!
 //! ```
 //! use rankhow_core::{OptProblem, SolverConfig};
@@ -73,10 +91,9 @@
 
 mod handle;
 mod scheduler;
-mod sync;
 
-pub use handle::SolveHandle;
+pub use handle::{RetryRelay, SolveHandle};
 pub use scheduler::{
     CompletionHook, PoolLoad, QueuedJob, RejectedSpawn, Scheduler, SpawnOptions,
-    DEFAULT_SLICE_NODES,
+    DEFAULT_RESPAWN_CAP, DEFAULT_SLICE_NODES,
 };

@@ -2,11 +2,11 @@
 //! [`SolveJob`]s with round-robin node-budget time slicing.
 
 use crate::handle::{Completion, SolveHandle};
-use crate::sync;
 use rankhow_core::{
     CellScheduler, EngineScratch, OptProblem, RootArtifacts, Solution, SolveJob, SolveStatus,
     SolverConfig, SolverError, SolverStats, StepOutcome,
 };
+use rankhow_sync as sync;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -18,12 +18,22 @@ use std::time::{Duration, Instant};
 /// cannot starve light ones, large enough to amortize the rotation.
 pub const DEFAULT_SLICE_NODES: usize = 64;
 
+/// Default cap on supervised worker respawns per pool
+/// ([`Scheduler::with_options`]): enough to ride out sporadic thread
+/// deaths, small enough that a deterministically crashing workload
+/// cannot respawn forever.
+pub const DEFAULT_RESPAWN_CAP: usize = 8;
+
 /// Callback a spawner attaches to a job, invoked exactly once when the
-/// job is finalized with a real result — *before* its joiner is woken,
-/// so anything the hook publishes (e.g. a cross-query cache insert) is
+/// job is finalized with a real result (`Ok` *or* `Err` — the router's
+/// retry layer needs failures too) — *before* its joiner is woken, so
+/// anything the hook publishes (e.g. a cross-query cache insert) is
 /// visible by the time [`SolveHandle::join`] returns. Jobs shed by a
-/// dropped [`QueuedJob`] never ran, and their hook is never called.
-pub type CompletionHook = Arc<dyn Fn(&Solution, Option<RootArtifacts>) + Send + Sync>;
+/// dropped [`QueuedJob`] never ran, and their hook is never called. A
+/// panicking hook is caught and ignored: it can never wedge the joiner
+/// or kill the finalizing worker.
+pub type CompletionHook =
+    Arc<dyn Fn(&Result<Solution, SolverError>, Option<RootArtifacts>) + Send + Sync>;
 
 /// Spawn-time metadata riding a job entry ([`Scheduler::try_spawn_with`]).
 #[derive(Default, Clone)]
@@ -104,6 +114,28 @@ struct Shared {
     queued: AtomicUsize,
     /// Aggregate statistics over completed jobs (`jobs` counts them).
     finished_stats: Mutex<SolverStats>,
+    /// Panics caught unwinding out of a job step (each finalized that
+    /// job as [`SolveStatus::Failed`]).
+    job_panics: AtomicU64,
+    /// Worker threads the supervisor respawned after a death.
+    worker_respawns: AtomicU64,
+    /// Remaining respawn budget ([`Scheduler::with_options`]).
+    respawns_left: AtomicUsize,
+    /// Worker threads currently running (spawned or respawned, not yet
+    /// exited). When a death drives this to zero with the respawn
+    /// budget exhausted, the pool goes [`dead`](Shared::dead).
+    workers_alive: AtomicUsize,
+    /// Set (under the queue lock) when the last worker died with no
+    /// respawns left: the queue has been drained-and-failed, and
+    /// spawns are refused from then on. Checked by `try_spawn_with`
+    /// under the same lock, so no entry can slip into a dead pool's
+    /// queue.
+    dead: AtomicBool,
+    /// Join handles of every worker ever spawned, including supervisor
+    /// respawns (a dying worker pushes its successor's handle here
+    /// before exiting). Drained by [`Scheduler::drop`] in rounds until
+    /// empty — the finite respawn budget bounds the rounds.
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A load snapshot of one scheduler pool (see [`Scheduler::load`]).
@@ -203,7 +235,6 @@ impl Drop for QueuedJob {
 /// outstanding [`SolveHandle::join`] calls return promptly.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Scheduler {
@@ -213,8 +244,21 @@ impl Scheduler {
         Scheduler::with_slice(threads, DEFAULT_SLICE_NODES)
     }
 
-    /// A pool with an explicit fairness slice (nodes per job turn).
+    /// A pool with an explicit fairness slice (nodes per job turn) and
+    /// the default respawn cap ([`DEFAULT_RESPAWN_CAP`]).
     pub fn with_slice(threads: usize, slice_nodes: usize) -> Self {
+        Scheduler::with_options(threads, slice_nodes, DEFAULT_RESPAWN_CAP)
+    }
+
+    /// A pool with an explicit fairness slice and supervisor respawn
+    /// cap: up to `respawn_cap` worker deaths are repaired by spawning
+    /// replacement threads ([`SolverStats::worker_respawns`] counts
+    /// them). When the *last* worker dies with the cap exhausted the
+    /// pool goes dead ([`Scheduler::is_dead`]): queued jobs are
+    /// finalized [`SolveStatus::Failed`] and further spawns are
+    /// refused — joiners always resolve, they never hang on a pool
+    /// with nobody left to step.
+    pub fn with_options(threads: usize, slice_nodes: usize, respawn_cap: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -227,17 +271,20 @@ impl Scheduler {
             live: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
             finished_stats: Mutex::new(SolverStats::default()),
+            job_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            respawns_left: AtomicUsize::new(respawn_cap),
+            workers_alive: AtomicUsize::new(0),
+            dead: AtomicBool::new(false),
+            handles: Mutex::new(Vec::with_capacity(threads)),
         });
-        let workers = (0..threads)
-            .map(|wid| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rankhow-serve-{wid}"))
-                    .spawn(move || worker_loop(&shared, wid))
-                    .expect("spawn scheduler worker")
-            })
-            .collect();
-        Scheduler { shared, workers }
+        {
+            let mut handles = sync::lock(&shared.handles);
+            for wid in 0..threads {
+                handles.push(spawn_worker(&shared, wid));
+            }
+        }
+        Scheduler { shared }
     }
 
     /// Number of pool workers.
@@ -274,9 +321,23 @@ impl Scheduler {
     }
 
     /// Aggregate statistics over *completed* jobs (`stats().jobs` is
-    /// their count; counters are summed across jobs).
+    /// their count; counters are summed across jobs), plus the pool's
+    /// fault counters: `job_panics` (panics caught stepping jobs) and
+    /// `worker_respawns` (supervisor thread respawns).
     pub fn stats(&self) -> SolverStats {
-        sync::lock(&self.shared.finished_stats).clone()
+        let mut stats = sync::lock(&self.shared.finished_stats).clone();
+        stats.job_panics = self.shared.job_panics.load(Ordering::Acquire) as usize;
+        stats.worker_respawns = self.shared.worker_respawns.load(Ordering::Acquire) as usize;
+        stats
+    }
+
+    /// Whether the pool is dead: its last worker died with the respawn
+    /// budget exhausted. A dead pool refuses spawns
+    /// ([`Scheduler::try_spawn_shared`] rejects; [`Scheduler::spawn`]
+    /// returns an already-failed handle) and has already failed its
+    /// queue — nothing submitted to it can hang.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::Acquire)
     }
 
     /// Enqueue a solve job; returns immediately. The job runs with one
@@ -296,7 +357,11 @@ impl Scheduler {
     pub fn spawn_shared(&self, problem: Arc<OptProblem>, config: SolverConfig) -> SolveHandle {
         match self.try_spawn_shared(problem, config, 0) {
             Ok(handle) => handle,
-            Err(_) => unreachable!("cap 0 admits unconditionally"),
+            // Cap 0 admits unconditionally; only a dead pool refuses.
+            // Keep the no-panic spawn surface: hand back an
+            // already-failed handle instead of an enqueue nobody would
+            // ever step.
+            Err(_) => SolveHandle::completed(Solution::failed()),
         }
     }
 
@@ -328,7 +393,11 @@ impl Scheduler {
         let entry = {
             let queue_lock = &self.shared.queue;
             let mut queue = sync::lock(queue_lock);
-            if queue_cap > 0 && self.shared.live.load(Ordering::Acquire) >= queue_cap {
+            // `dead` flips under this same lock, so a spawn can never
+            // slip an entry into a queue nobody will ever drain.
+            if self.shared.dead.load(Ordering::Acquire)
+                || (queue_cap > 0 && self.shared.live.load(Ordering::Acquire) >= queue_cap)
+            {
                 return Err(Box::new(RejectedSpawn {
                     problem,
                     config,
@@ -448,9 +517,91 @@ impl Drop for Scheduler {
             }
         }
         self.shared.available.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Join in rounds: a dying worker pushes its successor's handle
+        // *before* exiting, so once a round's handles are all joined,
+        // any handle they produced is visible to the next round. The
+        // finite respawn budget bounds the rounds.
+        loop {
+            let round: Vec<JoinHandle<()>> = sync::lock(&self.shared.handles).drain(..).collect();
+            if round.is_empty() {
+                break;
+            }
+            for worker in round {
+                let _ = worker.join();
+            }
         }
+    }
+}
+
+/// Spawn one supervised worker thread: `workers_alive` is incremented
+/// here (before the thread exists) so a concurrent death of the old
+/// worker can never observe a transient zero while its replacement is
+/// being created.
+fn spawn_worker(shared: &Arc<Shared>, wid: usize) -> JoinHandle<()> {
+    shared.workers_alive.fetch_add(1, Ordering::AcqRel);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("rankhow-serve-{wid}"))
+        .spawn(move || {
+            let watch = DeathWatch {
+                shared: Arc::clone(&shared),
+                wid,
+            };
+            worker_loop(&shared, wid);
+            drop(watch);
+        })
+        .expect("spawn scheduler worker")
+}
+
+/// Supervision guard living on each worker thread's stack. On a normal
+/// shutdown exit it only decrements the live count; when the thread is
+/// *unwinding* (a panic escaped the worker loop — e.g. an injected
+/// `WorkerDeath` re-raise), it respawns a replacement if the budget
+/// allows, and otherwise — if this was the last worker — declares the
+/// pool dead and fails every queued job so no joiner is left hanging.
+struct DeathWatch {
+    shared: Arc<Shared>,
+    wid: usize,
+}
+
+impl Drop for DeathWatch {
+    fn drop(&mut self) {
+        let shared = &self.shared;
+        shared.workers_alive.fetch_sub(1, Ordering::AcqRel);
+        if !std::thread::panicking() || shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let respawn = shared
+            .respawns_left
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok();
+        if respawn {
+            shared.worker_respawns.fetch_add(1, Ordering::AcqRel);
+            let successor = spawn_worker(&self.shared, self.wid);
+            sync::lock(&shared.handles).push(successor);
+            return;
+        }
+        if shared.workers_alive.load(Ordering::Acquire) > 0 {
+            // Other workers keep the pool serving at reduced width.
+            return;
+        }
+        // Last worker, respawn budget gone: the pool is dead. Flip the
+        // flag and drain under the queue lock (the same lock spawns
+        // check), then fail each job outside it — `finalize` re-takes
+        // the lock for its capacity release.
+        let drained: Vec<Arc<JobEntry>> = {
+            let mut queue = sync::lock(&shared.queue);
+            shared.dead.store(true, Ordering::Release);
+            queue.drain(..).collect()
+        };
+        for entry in drained {
+            entry.job.cancel();
+            entry.job.fail();
+            finalize(shared, &entry);
+        }
+        // Backpressured spawners parked on `capacity` re-check against
+        // a pool that now refuses admission; wake them.
+        shared.capacity.notify_all();
     }
 }
 
@@ -515,10 +666,46 @@ fn worker_loop(shared: &Shared, wid: usize) {
                 tel.event(rankhow_obs::Event::Dequeued);
             }
         }
-        match entry.job.step(wid, &mut scratch, shared.slice_nodes) {
-            StepOutcome::Done => finalize(shared, &entry),
-            StepOutcome::Starved => std::thread::yield_now(),
-            StepOutcome::Progress => {}
+        // Panic isolation: a panic unwinding out of the step fails *this
+        // job* (best-so-far kept, joiner woken, siblings untouched) —
+        // the job's shared state is guarded by poison-tolerant locks and
+        // stays structurally valid, only this worker's slice-local state
+        // died with the unwind.
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            entry.job.step(wid, &mut scratch, shared.slice_nodes)
+        }));
+        match stepped {
+            Ok(StepOutcome::Done) => finalize(shared, &entry),
+            Ok(StepOutcome::Starved) => std::thread::yield_now(),
+            Ok(StepOutcome::Progress) => {}
+            Err(payload) => {
+                shared.job_panics.fetch_add(1, Ordering::AcqRel);
+                if let Some(tel) = entry.job.telemetry() {
+                    tel.event(rankhow_obs::Event::Failed);
+                }
+                entry.job.fail();
+                finalize(shared, &entry);
+                entry.claims.fetch_sub(1, Ordering::AcqRel);
+                // The unwound step may have left the scratch's LP
+                // tableau mid-rebuild; start the next slice clean.
+                scratch = EngineScratch::new();
+                // An injected *worker death* additionally kills this
+                // thread: re-raise after the job is safely finalized so
+                // the DeathWatch supervisor takes over.
+                #[cfg(feature = "fault-inject")]
+                if payload.is::<rankhow_core::fault::WorkerDeath>() {
+                    if let Some(tel) = entry.job.telemetry() {
+                        if !shared.shutdown.load(Ordering::Acquire)
+                            && shared.respawns_left.load(Ordering::Acquire) > 0
+                        {
+                            tel.event(rankhow_obs::Event::WorkerRespawned { worker: wid });
+                        }
+                    }
+                    std::panic::panic_any(rankhow_core::fault::WorkerDeath);
+                }
+                drop(payload);
+                continue;
+            }
         }
         entry.claims.fetch_sub(1, Ordering::AcqRel);
     }
@@ -548,15 +735,21 @@ fn finalize(shared: &Shared, entry: &JobEntry) {
                     SolveStatus::TimeLimit => "time_limit",
                     SolveStatus::Cancelled => "cancelled",
                     SolveStatus::Rejected => "rejected",
+                    SolveStatus::Failed => "failed",
                 },
             });
         }
-        // Run the spawner's hook *before* waking the joiner: a caller
-        // observing completion may rely on what the hook published
-        // (e.g. the router's cache insert serving the next query).
-        if let Some(hook) = &entry.on_complete {
-            hook(solution, entry.job.root_artifacts());
-        }
+    }
+    // Run the spawner's hook *before* waking the joiner: a caller
+    // observing completion may rely on what the hook published (e.g.
+    // the router's cache insert serving the next query). `Err` results
+    // flow through too — the router's retry/quarantine bookkeeping
+    // needs them — and a panicking hook is contained here rather than
+    // taking the finalizing worker (and the wakeup below) with it.
+    if let Some(hook) = &entry.on_complete {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            hook(&result, entry.job.root_artifacts());
+        }));
     }
     // Release the job's admission slot under the queue lock so a
     // `wait_capacity` parked on the capacity condvar cannot miss the

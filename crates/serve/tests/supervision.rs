@@ -1,0 +1,154 @@
+//! Panic isolation and worker supervision (runs only under the
+//! `fault-inject` cargo feature; the default build compiles this file
+//! to nothing). Deterministic counterparts of the chaos proptests in
+//! the router crate: one injected fault, one asserted recovery.
+
+#![cfg(feature = "fault-inject")]
+
+// This suite uses only a slice of the shared helpers.
+#[allow(dead_code)]
+mod support;
+
+use rankhow_core::fault::{silence_injected_panics, FaultPlan, LpFault};
+use rankhow_core::{SolveStatus, SolverConfig, SolverError};
+use rankhow_serve::{Scheduler, DEFAULT_RESPAWN_CAP};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use support::light_problem;
+
+fn faulty_config(plan: FaultPlan) -> SolverConfig {
+    SolverConfig {
+        faults: Some(Arc::new(plan)),
+        ..SolverConfig::default()
+    }
+}
+
+/// A panicking job finalizes `Failed` — bounded join, no hang — while a
+/// clean sibling on the same pool still proves its optimum.
+#[test]
+fn injected_panic_is_isolated_from_siblings() {
+    silence_injected_panics();
+    let scheduler = Scheduler::new(2);
+    let doomed = scheduler.spawn(light_problem(), faulty_config(FaultPlan::new().panic_at(1)));
+    let clean = scheduler.spawn(light_problem(), SolverConfig::default());
+
+    let failed = doomed.join().expect("failed jobs deliver Ok(Failed)");
+    assert_eq!(failed.status, SolveStatus::Failed);
+    assert!(!failed.optimal);
+    assert_eq!(failed.stats.job_panics, 1);
+
+    let sol = clean.join().expect("sibling must be untouched");
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_eq!(sol.error, 0);
+
+    let stats = scheduler.stats();
+    assert_eq!(stats.job_panics, 1, "exactly one caught panic");
+    assert_eq!(stats.worker_respawns, 0, "plain panics don't kill workers");
+}
+
+/// A `WorkerDeath` panic takes the thread with it: the job fails, the
+/// supervisor respawns a replacement, and the pool keeps serving.
+#[test]
+fn worker_death_respawns_and_pool_keeps_serving() {
+    silence_injected_panics();
+    let scheduler = Scheduler::with_options(1, 256, DEFAULT_RESPAWN_CAP);
+    let doomed = scheduler.spawn(
+        light_problem(),
+        faulty_config(FaultPlan::new().kill_worker_at(1)),
+    );
+    let failed = doomed.join().expect("killed jobs deliver Ok(Failed)");
+    assert_eq!(failed.status, SolveStatus::Failed);
+
+    // The only worker died — a successor must pick this job up.
+    let after = scheduler.spawn(light_problem(), SolverConfig::default());
+    let sol = after.join().expect("respawned worker serves new jobs");
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_eq!(sol.error, 0);
+    assert!(!scheduler.is_dead());
+
+    let stats = scheduler.stats();
+    assert_eq!(stats.job_panics, 1);
+    assert_eq!(stats.worker_respawns, 1);
+}
+
+/// With the respawn budget at zero, the last worker's death turns the
+/// pool *dead*: queued jobs drain as `Failed` (bounded joins — nobody
+/// hangs), and later spawns complete `Failed` immediately instead of
+/// enqueueing into a pool nobody will ever drain.
+#[test]
+fn respawn_cap_exhaustion_fails_fast_without_hanging() {
+    silence_injected_panics();
+    let scheduler = Scheduler::with_options(1, 256, 0);
+    let killer = scheduler.spawn(
+        light_problem(),
+        faulty_config(FaultPlan::new().kill_worker_at(1)),
+    );
+    // Enqueue behind the killer; with one worker and no respawns these
+    // can only resolve through the dead-pool drain.
+    let queued: Vec<_> = (0..3)
+        .map(|_| scheduler.spawn(light_problem(), SolverConfig::default()))
+        .collect();
+
+    let start = Instant::now();
+    let failed = killer.join().expect("killed jobs deliver Ok(Failed)");
+    assert_eq!(failed.status, SolveStatus::Failed);
+    for handle in queued {
+        let sol = handle.join().expect("drained jobs deliver Ok(Failed)");
+        assert_eq!(sol.status, SolveStatus::Failed);
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "dead-pool joins must be bounded"
+    );
+
+    assert!(scheduler.is_dead());
+    assert_eq!(scheduler.stats().worker_respawns, 0);
+    // Spawns on a dead pool complete immediately (Failed), never hang.
+    let late = scheduler.spawn(light_problem(), SolverConfig::default());
+    assert!(late.is_finished());
+    let sol = late.join().expect("dead-pool spawns deliver Ok(Failed)");
+    assert_eq!(sol.status, SolveStatus::Failed);
+}
+
+/// A forced root-LP verdict surfaces as a clean `Err` through the
+/// normal join path (no panic, no hang), and fires exactly once.
+#[test]
+fn forced_root_lp_verdict_delivers_clean_error() {
+    let scheduler = Scheduler::new(1);
+    let handle = scheduler.spawn(
+        light_problem(),
+        faulty_config(FaultPlan::new().root_lp(LpFault::Infeasible)),
+    );
+    match handle.join() {
+        Err(SolverError::Infeasible) => {}
+        other => panic!("expected forced infeasibility, got {other:?}"),
+    }
+    // The trigger fired once: the same pool solves the same problem
+    // fine afterwards.
+    let sol = scheduler
+        .spawn(light_problem(), SolverConfig::default())
+        .join()
+        .expect("pool unaffected by the forced verdict");
+    assert_eq!(sol.error, 0);
+}
+
+/// A stalled step delays but never wedges: the deadline still expires
+/// the job with its best-so-far result.
+#[test]
+fn stalled_step_still_honors_deadline() {
+    let scheduler = Scheduler::new(1);
+    let handle = scheduler.spawn(
+        support::blocker_problem(12, 4, 1),
+        SolverConfig {
+            faults: Some(Arc::new(FaultPlan::new().stall_at(2, 30))),
+            ..support::blocker_config()
+        },
+    );
+    handle.deadline(Duration::from_millis(100));
+    let sol = handle.join().expect("deadline delivers best-so-far");
+    assert!(
+        matches!(sol.status, SolveStatus::TimeLimit | SolveStatus::Optimal),
+        "unexpected status {:?}",
+        sol.status
+    );
+}

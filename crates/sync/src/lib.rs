@@ -1,0 +1,94 @@
+//! # Poison-tolerant locking for the serving stack
+//!
+//! A worker that panics while holding a lock poisons it; the default
+//! `.lock().unwrap()` then re-raises that panic in *every* other thread
+//! touching the same mutex — one crashed worker would wedge every
+//! handle's `join`/`best_so_far`, the scheduler's run queue, the
+//! router's cache shards, and the telemetry registry. The data these
+//! locks protect (job queues, completion slots, aggregate counters,
+//! LRU shards, event rings) stays structurally valid across a
+//! mid-operation panic — every critical section either fully applies or
+//! leaves a still-consistent container — so the serving layers recover
+//! the guard and keep the other queries alive instead of cascading the
+//! panic.
+//!
+//! Every layer of the stack (`rankhow-obs`, `rankhow-core`'s engine,
+//! `rankhow-serve`, `rankhow-router`) routes its internal mutexes and
+//! condvars through these three helpers; `.lock().unwrap()` is reserved
+//! for test code that *wants* to observe poisoning.
+
+#![warn(missing_docs)]
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Lock `mutex`, recovering the guard if a panicking thread poisoned it.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`], recovering a poisoned guard.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`], recovering a poisoned guard. The `bool`
+/// is whether the wait timed out (spurious wakeups return `false`; the
+/// caller rechecks its predicate either way).
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((guard, timeout)) => (guard, timeout.timed_out()),
+        Err(poisoned) => {
+            let (guard, timeout) = poisoned.into_inner();
+            (guard, timeout.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    #[test]
+    fn lock_survives_poisoning() {
+        let shared = Arc::new(Mutex::new(7usize));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(shared.is_poisoned(), "panic while locked must poison");
+        // The helper recovers the guard where `.lock().unwrap()` would
+        // propagate the worker's panic into this thread.
+        assert_eq!(*lock(&shared), 7);
+        *lock(&shared) = 8;
+        assert_eq!(*lock(&shared), 8);
+    }
+
+    #[test]
+    fn condvar_waits_survive_poisoning() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let pair = Arc::clone(&pair);
+            let _ = std::thread::spawn(move || {
+                let _guard = pair.0.lock().unwrap();
+                panic!("poison under the condvar's mutex");
+            })
+            .join();
+        }
+        assert!(pair.0.is_poisoned());
+        // A timed wait on the poisoned pair still returns a usable
+        // guard and a truthful timeout flag.
+        let guard = lock(&pair.0);
+        let (guard, timed_out) = wait_timeout(&pair.1, guard, Duration::from_millis(1));
+        assert!(timed_out);
+        assert!(!*guard);
+    }
+}

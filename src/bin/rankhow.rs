@@ -86,6 +86,8 @@ struct Args {
     queue_cap: usize,
     no_cache: bool,
     cache_cap: Option<usize>,
+    retries: Option<u32>,
+    retry_backoff_ms: Option<u64>,
     stats: bool,
     stats_json: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
@@ -127,8 +129,8 @@ fn usage() -> ! {
          \x20      [--threads N] [--stats] [--stats-json FILE] [--metrics-out FILE]\n\
          \x20      [--trace-out DIR]\n\
          \x20      rankhow --batch queries.txt [--threads N] [--pools P] [--queue-cap N]\n\
-         \x20      [--no-cache] [--cache-cap N] [--stats] [--stats-json FILE]\n\
-         \x20      [--metrics-out FILE] [--trace-out DIR]"
+         \x20      [--no-cache] [--cache-cap N] [--retries N] [--retry-backoff-ms N]\n\
+         \x20      [--stats] [--stats-json FILE] [--metrics-out FILE] [--trace-out DIR]"
     );
     std::process::exit(2)
 }
@@ -155,6 +157,8 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
         queue_cap: 0,
         no_cache: false,
         cache_cap: None,
+        retries: None,
+        retry_backoff_ms: None,
         stats: false,
         stats_json: None,
         metrics_out: None,
@@ -213,6 +217,20 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
                 args.cache_cap = Some(
                     v.parse()
                         .map_err(|_| format!("--cache-cap: not a count: {v}"))?,
+                );
+            }
+            "--retries" => {
+                let v = next("--retries")?;
+                args.retries = Some(
+                    v.parse()
+                        .map_err(|_| format!("--retries: not a count: {v}"))?,
+                );
+            }
+            "--retry-backoff-ms" => {
+                let v = next("--retry-backoff-ms")?;
+                args.retry_backoff_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--retry-backoff-ms: not a number of ms: {v}"))?,
                 );
             }
             "--stats" => args.stats = true,
@@ -284,6 +302,12 @@ fn parse_tokens(tokens: &[String], allow_batch: bool) -> Result<Args, String> {
     }
     if args.cache_cap.is_some() {
         return Err("--cache-cap only applies to --batch".into());
+    }
+    if args.retries.is_some() {
+        return Err("--retries only applies to --batch".into());
+    }
+    if args.retry_backoff_ms.is_some() {
+        return Err("--retry-backoff-ms only applies to --batch".into());
     }
     if positional.len() != 1 {
         return Err("expected exactly one <data.csv> argument".into());
@@ -486,6 +510,7 @@ fn status_label(status: SolveStatus) -> &'static str {
         SolveStatus::TimeLimit => "time-limit",
         SolveStatus::Cancelled => "cancelled",
         SolveStatus::Rejected => "rejected",
+        SolveStatus::Failed => "failed",
     }
 }
 
@@ -668,12 +693,20 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
     }
 
     let default_config = RouterConfig::default();
+    let mut retry = default_config.retry;
+    if let Some(n) = args.retries {
+        retry.max_retries = n;
+    }
+    if let Some(ms) = args.retry_backoff_ms {
+        retry.backoff = Duration::from_millis(ms);
+    }
     let router = Router::new(RouterConfig {
         pools: args.pools.max(1),
         threads_per_pool: args.threads.max(1),
         queue_cap: args.queue_cap,
         cache: !args.no_cache,
         cache_cap: args.cache_cap.unwrap_or(default_config.cache_cap),
+        retry,
         ..default_config
     });
     eprintln!(
@@ -775,6 +808,13 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
                 println!("status: rejected (pool at capacity; re-submit)");
                 failures += 1;
             }
+            BatchOutcome::Direct(sol) if sol.status == SolveStatus::Failed => {
+                // Every attempt the retry policy allowed ended in a
+                // caught panic (or the serving pools died). The message
+                // is deterministic so batch transcripts diff cleanly.
+                println!("status: failed (job did not complete; retries exhausted)");
+                failures += 1;
+            }
             BatchOutcome::Direct(sol) => {
                 report(problem, query, &sol.weights, sol.error, sol.optimal);
                 println!("status: {}", status_label(sol.status));
@@ -794,6 +834,21 @@ fn run_batch(args: &Args, batch_path: &PathBuf) -> ExitCode {
         "router: {} admitted, {} rejected, {} migrated",
         stats.admissions, stats.rejections, stats.migrations
     );
+    // Fault-tolerance counters get their own line, printed only when
+    // something actually went wrong (or was retried) so healthy batch
+    // transcripts stay byte-identical to previous releases.
+    if stats.retries + stats.retries_exhausted + stats.quarantines > 0
+        || stats.solver.job_panics + stats.solver.worker_respawns > 0
+    {
+        eprintln!(
+            "faults: {} job panics, {} worker respawns, {} retries ({} exhausted), {} quarantines",
+            stats.solver.job_panics,
+            stats.solver.worker_respawns,
+            stats.retries,
+            stats.retries_exhausted,
+            stats.quarantines
+        );
+    }
     if args.stats {
         // Aggregate over every completed job across all pools.
         report_stats(&stats.solver);

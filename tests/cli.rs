@@ -382,9 +382,9 @@ fn malformed_flags_exit_with_usage_code() {
 
 #[test]
 fn router_flags_require_batch_mode() {
-    // --pools / --queue-cap / --no-cache / --cache-cap shape the
-    // --batch serving topology; on a single query they must be refused,
-    // not silently ignored.
+    // --pools / --queue-cap / --no-cache / --cache-cap / --retries /
+    // --retry-backoff-ms shape the --batch serving topology; on a
+    // single query they must be refused, not silently ignored.
     let dir = temp_dir("router_flags");
     let data = write_csv(&dir, "data.csv", &data_csv());
     for flag in [
@@ -392,6 +392,8 @@ fn router_flags_require_batch_mode() {
         &["--queue-cap", "4"],
         &["--no-cache"],
         &["--cache-cap", "8"],
+        &["--retries", "2"],
+        &["--retry-backoff-ms", "5"],
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_rankhow"))
             .args([data.to_str().unwrap(), "--score-col", "score"])
@@ -405,6 +407,49 @@ fn router_flags_require_batch_mode() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+}
+
+#[test]
+fn batch_retry_flags_are_inert_on_healthy_runs() {
+    // --retries / --retry-backoff-ms arm the router's re-admission
+    // policy; with nothing failing they must not change results, and
+    // the --stats fault counters must stay silent.
+    let dir = temp_dir("batch_retry");
+    let data = write_csv(&dir, "data.csv", &data_csv());
+    let batch = write_csv(
+        &dir,
+        "queries.txt",
+        &format!(
+            "{} --score-col score --k 6 --budget 10\n",
+            data.to_str().unwrap()
+        ),
+    );
+    let run = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_rankhow"))
+            .args(["--batch", batch.to_str().unwrap(), "--threads", "1"])
+            .args(extra)
+            .output()
+            .expect("run cli")
+    };
+    let plain = run(&["--stats"]);
+    let retried = run(&["--retries", "3", "--retry-backoff-ms", "5", "--stats"]);
+    for out in [&plain, &retried] {
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !String::from_utf8_lossy(&out.stderr).contains("faults:"),
+            "healthy runs must not print fault counters: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&retried.stdout),
+        "retry policy must not change healthy results"
+    );
 }
 
 #[test]
